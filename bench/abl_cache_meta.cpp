@@ -1,0 +1,105 @@
+// Ablation: cache metadata (tag / valid / dirty bits) vs data bits.
+//
+// The paper's headline AVF weights caches by their data capacity. Real
+// arrays also hold tags and state bits; this ablation measures their
+// failure rates separately. Expected shape: valid-bit and tag flips on
+// *clean* lines are largely benign (the line refetches), while dirty-bit
+// and tag flips on *dirty* lines can lose writes (SDC) — but the metadata
+// population is tiny next to the data array, so the chip-level impact is
+// second-order, supporting the paper's data-capacity weighting.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/common/rng.h"
+
+namespace {
+
+using namespace gras;
+
+enum class MetaKind { Data, Tag, Valid, Dirty };
+
+const char* kind_name(MetaKind k) {
+  switch (k) {
+    case MetaKind::Data: return "data bit";
+    case MetaKind::Tag: return "tag bit";
+    case MetaKind::Valid: return "valid bit";
+    case MetaKind::Dirty: return "dirty bit";
+  }
+  return "?";
+}
+
+class MetaInjector final : public sim::FaultHook {
+ public:
+  MetaInjector(MetaKind kind, std::uint64_t trigger, Rng rng)
+      : kind_(kind), trigger_(trigger), rng_(rng) {}
+
+  void on_cycle(sim::Gpu& gpu, std::uint64_t cycle) override {
+    if (done_ || cycle < trigger_) return;
+    sim::Cache& l2 = gpu.l2();
+    switch (kind_) {
+      case MetaKind::Data:
+        l2.flip_data_bit(rng_.below(l2.data_bit_count()));
+        break;
+      case MetaKind::Tag:
+        // Tags in this model are ~26 significant bits for the configured
+        // geometry; flip one of the low 26.
+        l2.flip_tag_bit(rng_.below(l2.line_count()),
+                        static_cast<unsigned>(rng_.below(26)));
+        break;
+      case MetaKind::Valid:
+        l2.flip_valid_bit(rng_.below(l2.line_count()));
+        break;
+      case MetaKind::Dirty:
+        l2.flip_dirty_bit(rng_.below(l2.line_count()));
+        break;
+    }
+    done_ = true;
+  }
+  std::uint64_t next_trigger() const override {
+    return done_ ? ~std::uint64_t{0} : trigger_;
+  }
+
+ private:
+  MetaKind kind_;
+  std::uint64_t trigger_;
+  Rng rng_;
+  bool done_ = false;
+};
+
+}  // namespace
+
+int main() {
+  using namespace gras;
+  bench::Bench bench;
+  bench.print_header("Ablation — L2 metadata (tag/valid/dirty) vs data-bit faults");
+
+  TextTable table({"App", "Fault target", "Masked %", "SDC %", "Timeout %", "DUE %"});
+  for (auto& ctx : bench.apps()) {
+    // Whole-application window: metadata faults can land at any cycle.
+    const std::uint64_t total = ctx.golden.total_cycles;
+    for (MetaKind kind :
+         {MetaKind::Data, MetaKind::Tag, MetaKind::Valid, MetaKind::Dirty}) {
+      std::vector<std::uint8_t> outcomes(bench.samples());
+      bench.pool().parallel_for(bench.samples(), [&](std::size_t i) {
+        Rng rng = Rng::for_sample(bench.seed() ^ (0xcafeull + static_cast<int>(kind)), i);
+        MetaInjector hook(kind, 1 + rng.below(total), rng);
+        sim::Gpu gpu(bench.config());
+        gpu.set_launch_budgets(ctx.golden.budgets, ctx.golden.overflow_budget);
+        gpu.set_fault_hook(&hook);
+        const auto out = workloads::run_app(*ctx.app, gpu);
+        if (out.trap == sim::TrapKind::Watchdog) outcomes[i] = 2;
+        else if (out.trap != sim::TrapKind::None) outcomes[i] = 3;
+        else if (out.outputs != ctx.golden.output.outputs) outcomes[i] = 1;
+        else outcomes[i] = 0;
+      });
+      std::uint64_t hist[4] = {};
+      for (std::uint8_t o : outcomes) hist[o] += 1;
+      const double n = static_cast<double>(bench.samples());
+      table.add_row({bench::Bench::display_name(ctx.app->name()), kind_name(kind),
+                     TextTable::pct(hist[0] / n), TextTable::pct(hist[1] / n),
+                     TextTable::pct(hist[2] / n), TextTable::pct(hist[3] / n)});
+    }
+  }
+  std::printf("%s", table.render().c_str());
+  return 0;
+}

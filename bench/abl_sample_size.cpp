@@ -1,0 +1,46 @@
+// Ablation: statistical convergence of the fault-injection estimate.
+//
+// The paper (§II-A) uses 3,000 injections per campaign for a 99% CI of
+// about +/-2.35 points (Leveugle et al.). This ablation measures the same
+// campaign at increasing sample counts and reports the point estimate and
+// achieved interval, illustrating the 1/sqrt(n) convergence that justifies
+// the paper's choice — and what the reduced default (300) trades away.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/campaign/cache.h"
+
+int main() {
+  using namespace gras;
+  bench::Bench bench;
+  bench.print_header("Ablation — sample-size convergence of the FR estimate");
+
+  const char* apps[] = {"hotspot", "scp"};
+  TextTable table({"Kernel", "Target", "n", "FR %", "99% CI", "theoretical margin"});
+  for (const char* name : apps) {
+    const auto app = workloads::make_benchmark(name);
+    const auto golden = campaign::run_golden(*app, bench.config());
+    const std::string kernel = golden.kernel_names().front();
+    for (const auto target : {campaign::Target::RF, campaign::Target::Svf}) {
+      for (std::uint64_t n : {75ull, 300ull, 1200ull}) {
+        campaign::CampaignSpec spec;
+        spec.kernel = kernel;
+        spec.target = target;
+        spec.samples = n;
+        spec.seed = bench.seed();
+        const auto r =
+            campaign::cached_campaign(*app, bench.config(), golden, spec, bench.pool());
+        const auto ci = r.fr_ci();
+        table.add_row({bench::Bench::display_name(name) + " " + kernel,
+                       campaign::target_name(target), std::to_string(n),
+                       bench::pct(r.counts.failure_rate()),
+                       "[" + bench::pct(ci.lower) + ", " + bench::pct(ci.upper) + "]",
+                       "+/-" + bench::pct(margin_for_samples(n, 0.99))});
+      }
+    }
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("Margins shrink with 1/sqrt(n): 75 -> +/-14.9 pts, 300 -> +/-7.4, "
+              "1200 -> +/-3.7, 3000 -> +/-2.35 (the paper's setting).\n");
+  return 0;
+}

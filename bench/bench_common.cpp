@@ -1,0 +1,113 @@
+#include "bench/bench_common.h"
+
+#include <cstdio>
+
+#include "src/common/stats.h"
+
+namespace gras::bench {
+
+Bench::Bench()
+    : config_(sim::make_config(env_config())),
+      samples_(env_injections()),
+      seed_(env_seed()),
+      pool_(static_cast<std::size_t>(env_threads())),
+      bits_(metrics::StructureBits::from(config_)) {}
+
+std::string Bench::display_name(const std::string& app_name) {
+  if (app_name == "srad_v1") return "SRADv1";
+  if (app_name == "srad_v2") return "SRADv2";
+  if (app_name == "kmeans") return "K-Means";
+  if (app_name == "hotspot") return "HotSpot";
+  if (app_name == "lud") return "LUD";
+  if (app_name == "scp") return "SCP";
+  if (app_name == "va") return "VA";
+  if (app_name == "nw") return "NW";
+  if (app_name == "pathfinder") return "PathFinder";
+  if (app_name == "backprop") return "BackProp";
+  if (app_name == "bfs") return "BFS";
+  // Hardened apps carry a _tmr suffix.
+  if (app_name.size() > 4 && app_name.ends_with("_tmr")) {
+    return display_name(app_name.substr(0, app_name.size() - 4));
+  }
+  return app_name;
+}
+
+std::string Bench::kernel_label(const AppContext& ctx, const std::string& kernel) const {
+  std::size_t index = 0;
+  for (std::size_t i = 0; i < ctx.kernels.size(); ++i) {
+    if (ctx.kernels[i] == kernel) {
+      index = i + 1;
+      break;
+    }
+  }
+  return display_name(ctx.app->name()) + " K" + std::to_string(index);
+}
+
+std::vector<AppContext>& Bench::apps(bool hardened) {
+  if (base_.empty()) {
+    for (auto& app : workloads::make_all_benchmarks()) {
+      AppContext ctx;
+      ctx.app = std::move(app);
+      ctx.golden = campaign::run_golden(*ctx.app, config_);
+      ctx.kernels = ctx.golden.kernel_names();
+      base_.push_back(std::move(ctx));
+    }
+  }
+  if (!hardened) return base_;
+  if (hardened_.empty()) {
+    // The TmrApp references its base app, which stays alive in base_.
+    for (AppContext& base_ctx : base_) {
+      AppContext ctx;
+      ctx.app = harden::harden(*base_ctx.app);
+      ctx.golden = campaign::run_golden(*ctx.app, config_);
+      ctx.kernels = ctx.golden.kernel_names();
+      hardened_.push_back(std::move(ctx));
+    }
+  }
+  return hardened_;
+}
+
+campaign::KernelCampaigns Bench::sweep(const AppContext& ctx, const std::string& kernel,
+                                       std::span<const campaign::Target> targets) {
+  return campaign::cached_kernel_sweep(*ctx.app, config_, ctx.golden, kernel, targets,
+                                       samples_, seed_, pool_);
+}
+
+metrics::AppReliability Bench::reliability(AppContext& ctx, bool with_svf_ld) {
+  metrics::AppReliability rel;
+  rel.app = ctx.app->name();
+  std::vector<campaign::Target> targets(std::begin(campaign::kMicroarchTargets),
+                                        std::end(campaign::kMicroarchTargets));
+  targets.push_back(campaign::Target::Svf);
+  if (with_svf_ld) targets.push_back(campaign::Target::SvfLd);
+  for (const std::string& kernel : ctx.kernels) {
+    const auto campaigns = sweep(ctx, kernel, targets);
+    rel.kernels.push_back(
+        metrics::consolidate_kernel(ctx.golden, kernel, campaigns, config_));
+  }
+  return rel;
+}
+
+metrics::KernelReliability Bench::kernel_reliability(AppContext& ctx,
+                                                     const std::string& kernel,
+                                                     bool with_svf_ld) {
+  std::vector<campaign::Target> targets(std::begin(campaign::kMicroarchTargets),
+                                        std::end(campaign::kMicroarchTargets));
+  targets.push_back(campaign::Target::Svf);
+  if (with_svf_ld) targets.push_back(campaign::Target::SvfLd);
+  const auto campaigns = sweep(ctx, kernel, targets);
+  return metrics::consolidate_kernel(ctx.golden, kernel, campaigns, config_);
+}
+
+void Bench::print_header(const char* title) const {
+  std::printf("%s\n", title);
+  std::printf("config=%s  samples/campaign=%llu  seed=%llu  99%%-CI margin=+/-%.2f pts"
+              "  (paper: 3000 samples, +/-2.35 pts)\n\n",
+              config_.name.c_str(), static_cast<unsigned long long>(samples_),
+              static_cast<unsigned long long>(seed_),
+              margin_for_samples(samples_, 0.99) * 100.0);
+}
+
+std::string pct(double proportion) { return TextTable::pct(proportion, 2); }
+
+}  // namespace gras::bench

@@ -1,0 +1,84 @@
+// Shared infrastructure for the paper-reproduction bench harnesses.
+//
+// Each bench binary regenerates one table or figure of the paper. They all
+// consume the same campaign database, memoized on disk (see
+// src/campaign/cache.h), so running the whole bench directory costs the
+// union of the campaigns, not the sum.
+//
+// Environment knobs (see src/common/env.h): GRAS_INJECTIONS (default 300;
+// the paper uses 3,000), GRAS_SEED, GRAS_CONFIG, GRAS_THREADS, GRAS_CACHE.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/analysis/analysis.h"
+#include "src/campaign/cache.h"
+#include "src/campaign/campaign.h"
+#include "src/common/env.h"
+#include "src/common/table.h"
+#include "src/harden/tmr.h"
+#include "src/metrics/metrics.h"
+#include "src/workloads/workload.h"
+
+namespace gras::bench {
+
+/// One benchmark application plus everything campaigns need.
+struct AppContext {
+  std::unique_ptr<workloads::App> app;
+  campaign::GoldenRun golden;
+  /// Kernel names in first-launch order.
+  std::vector<std::string> kernels;
+};
+
+/// Lazily-built database of apps, golden runs and campaign results.
+class Bench {
+ public:
+  Bench();
+
+  const sim::GpuConfig& config() const { return config_; }
+  std::uint64_t samples() const { return samples_; }
+  std::uint64_t seed() const { return seed_; }
+  ThreadPool& pool() { return pool_; }
+  const metrics::StructureBits& bits() const { return bits_; }
+
+  /// Display names as the paper prints them ("SRADv1", "K-Means", ...).
+  static std::string display_name(const std::string& app_name);
+  /// Paper-style kernel label, e.g. "SRADv1 K2" or "HotSpot K1".
+  std::string kernel_label(const AppContext& ctx, const std::string& kernel) const;
+
+  /// The 11 benchmarks in Figure-1 order; hardened=true wraps each in TMR.
+  std::vector<AppContext>& apps(bool hardened = false);
+
+  /// Cached campaign sweep for one kernel.
+  campaign::KernelCampaigns sweep(const AppContext& ctx, const std::string& kernel,
+                                  std::span<const campaign::Target> targets);
+
+  /// Full cross-layer reliability of one app: runs the five microarch
+  /// targets plus SVF (and optionally SVF-LD) on every kernel.
+  metrics::AppReliability reliability(AppContext& ctx, bool with_svf_ld = false);
+
+  /// Per-kernel reliability (same targets).
+  metrics::KernelReliability kernel_reliability(AppContext& ctx,
+                                                const std::string& kernel,
+                                                bool with_svf_ld = false);
+
+  /// Prints the standard bench header (config, samples, achieved margin).
+  void print_header(const char* title) const;
+
+ private:
+  sim::GpuConfig config_;
+  std::uint64_t samples_;
+  std::uint64_t seed_;
+  ThreadPool pool_;
+  metrics::StructureBits bits_;
+  std::vector<AppContext> base_;
+  std::vector<AppContext> hardened_;
+};
+
+/// Percent string with two decimals.
+std::string pct(double proportion);
+
+}  // namespace gras::bench

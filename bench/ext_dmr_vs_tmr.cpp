@@ -1,0 +1,58 @@
+// Extension: detection-only duplication (DMR) vs correction (TMR).
+//
+// The paper's case study hardens with TMR (§IV). Related work it cites
+// covers cheaper duplication-based schemes that can only *detect*. This
+// bench runs both transforms over representative kernels and compares where
+// the fault-effect probability mass goes:
+//   base: SDC-heavy;
+//   DMR:  SDCs become DUEs (detected, not corrected) at ~2x cost;
+//   TMR:  SDCs become Masked (corrected) at ~3x cost, DUEs grow.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/campaign/cache.h"
+#include "src/harden/dmr.h"
+#include "src/harden/tmr.h"
+
+int main() {
+  using namespace gras;
+  bench::Bench bench;
+  bench.print_header("Extension — DMR (detect) vs TMR (correct), SVF campaigns");
+
+  const char* picks[] = {"va", "hotspot", "scp", "nw", "pathfinder"};
+  TextTable table({"Kernel", "Variant", "Cycles x", "Masked %", "SDC %", "T/O %",
+                   "DUE %"});
+  for (const char* name : picks) {
+    const auto base = workloads::make_benchmark(name);
+    const auto dmr = harden::harden_dmr(*base);
+    const auto tmr = harden::harden(*base);
+    const auto golden_base = campaign::run_golden(*base, bench.config());
+
+    struct Variant {
+      const workloads::App* app;
+      const char* label;
+    };
+    const Variant variants[] = {{base.get(), "base"}, {dmr.get(), "DMR"},
+                                {tmr.get(), "TMR"}};
+    for (const Variant& v : variants) {
+      const auto golden = campaign::run_golden(*v.app, bench.config());
+      campaign::CampaignSpec spec;
+      spec.kernel = golden_base.kernel_names().front();
+      spec.target = campaign::Target::Svf;
+      spec.samples = bench.samples();
+      spec.seed = bench.seed();
+      const auto r =
+          campaign::cached_campaign(*v.app, bench.config(), golden, spec, bench.pool());
+      table.add_row({bench::Bench::display_name(name) + " " + spec.kernel, v.label,
+                     TextTable::num(static_cast<double>(golden.total_cycles) /
+                                        static_cast<double>(golden_base.total_cycles),
+                                    2),
+                     bench::pct(r.counts.pct(fi::Outcome::Masked)),
+                     bench::pct(r.counts.pct(fi::Outcome::SDC)),
+                     bench::pct(r.counts.pct(fi::Outcome::Timeout)),
+                     bench::pct(r.counts.pct(fi::Outcome::DUE))});
+    }
+  }
+  std::printf("%s", table.render().c_str());
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Extension (paper §V-B): making the register-reuse analyzer operational.
+//
+// The paper proposes augmenting software-level fault injection with
+// source-register faults plus reuse replication. This bench compares three
+// software-level fault models on a subset of kernels:
+//   SVF        — NVBitFI default: flip the destination register after one
+//                dynamic instruction (covers downstream readers of the
+//                destination, but models only producer-side faults);
+//   SVF-SRC1   — flip a source operand for exactly one consumption (the
+//                naive source-fault model the paper critiques: it misses
+//                every later reader);
+//   SVF-REUSE  — flip the stored source register so every later reader sees
+//                it until the register is rewritten (the paper's proposed
+//                fix).
+// Shape to observe: SVF-REUSE >= SVF-SRC1 — replication only adds ways for
+// the fault to matter.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace gras;
+  bench::Bench bench;
+  bench.print_header("Extension — SVF with source-register reuse replication (§V-B)");
+
+  const campaign::Target targets[] = {campaign::Target::Svf, campaign::Target::SvfSrcOnce,
+                                      campaign::Target::SvfSrcReuse};
+  TextTable table({"Kernel", "SVF %", "SVF-SRC1 %", "SVF-REUSE %"});
+  std::size_t reuse_geq_once = 0, total = 0;
+  for (auto& ctx : bench.apps()) {
+    for (const std::string& kernel : ctx.kernels) {
+      const auto campaigns = bench.sweep(ctx, kernel, targets);
+      const double dst = campaigns.at(campaign::Target::Svf).counts.failure_rate();
+      const double once = campaigns.at(campaign::Target::SvfSrcOnce).counts.failure_rate();
+      const double reuse =
+          campaigns.at(campaign::Target::SvfSrcReuse).counts.failure_rate();
+      reuse_geq_once += reuse >= once;
+      total += 1;
+      table.add_row({bench.kernel_label(ctx, kernel), bench::pct(dst), bench::pct(once),
+                     bench::pct(reuse)});
+    }
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("Kernels with SVF-REUSE >= SVF-SRC1: %zu / %zu\n", reuse_geq_once, total);
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Figure 1: application-level comparison — SVF (top graph) and full-chip
+// AVF (bottom graph), each stacked into SDC / Timeout / DUE shares, for the
+// 11 benchmarks.
+//
+// Paper shape to reproduce: SVF values are an order of magnitude larger
+// than AVF (no hardware masking in the software-level view), and the
+// *relative ranking* of applications disagrees between the two metrics for
+// a large share of pairs (quantified in Table I / tab01_trend_pairs).
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace gras;
+  bench::Bench bench;
+  bench.print_header(
+      "Figure 1 — Application-level AVF (bottom) and SVF (top), % of injections");
+
+  TextTable svf_table({"App", "SVF %", "SDC", "Timeout", "DUE"});
+  TextTable avf_table({"App", "AVF %", "SDC", "Timeout", "DUE"});
+  for (auto& ctx : bench.apps()) {
+    const metrics::AppReliability rel = bench.reliability(ctx);
+    const metrics::Breakdown svf = rel.svf();
+    const metrics::Breakdown avf = rel.chip_avf(bench.bits());
+    const std::string name = bench::Bench::display_name(ctx.app->name());
+    svf_table.add_row({name, bench::pct(svf.value()), bench::pct(svf.sdc),
+                       bench::pct(svf.timeout), bench::pct(svf.due)});
+    avf_table.add_row({name, bench::pct(avf.value()), bench::pct(avf.sdc),
+                       bench::pct(avf.timeout), bench::pct(avf.due)});
+  }
+  std::printf("SVF (software-level, NVBitFI-style):\n%s\n", svf_table.render().c_str());
+  std::printf("AVF (cross-layer, gpuFI-4-style, chip-size-weighted):\n%s",
+              avf_table.render().c_str());
+  return 0;
+}

@@ -1,0 +1,26 @@
+// Figure 2: kernel-level AVF (bottom) and SVF (top) for all 23 kernels,
+// stacked into SDC / Timeout / DUE shares.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace gras;
+  bench::Bench bench;
+  bench.print_header("Figure 2 — Kernel-level AVF and SVF, % of injections");
+
+  TextTable table({"Kernel", "AVF %", "AVF SDC", "AVF T/O", "AVF DUE", "SVF %",
+                   "SVF SDC", "SVF T/O", "SVF DUE"});
+  for (auto& ctx : bench.apps()) {
+    for (const std::string& kernel : ctx.kernels) {
+      const metrics::KernelReliability k = bench.kernel_reliability(ctx, kernel);
+      const metrics::Breakdown avf = k.chip_avf(bench.bits());
+      table.add_row({bench.kernel_label(ctx, kernel), bench::pct(avf.value()),
+                     bench::pct(avf.sdc), bench::pct(avf.timeout), bench::pct(avf.due),
+                     bench::pct(k.svf.value()), bench::pct(k.svf.sdc),
+                     bench::pct(k.svf.timeout), bench::pct(k.svf.due)});
+    }
+  }
+  std::printf("%s", table.render().c_str());
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Figure 3: AVF, SVF and resource-utilization metrics for kernel pairs,
+// normalized per metric so each pair sums to 100%.
+//
+// The paper's three panels:
+//   (a) HotSpot K1 vs LUD K1 — opposite AVF/SVF trend; HotSpot K1 has much
+//       higher resource utilization.
+//   (b) LUD K2 vs LUD K1 — consistent trend; LUD K1 has lower utilization,
+//       AVF and SVF.
+//   (c) VA K1 vs SCP K1 — opposite trend with no clear utilization winner.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+namespace {
+
+using namespace gras;
+
+bench::AppContext& find_app(bench::Bench& bench, const std::string& name) {
+  for (auto& ctx : bench.apps()) {
+    if (ctx.app->name() == name) return ctx;
+  }
+  throw std::out_of_range(name);
+}
+
+void panel(bench::Bench& bench, const char* title, const std::string& app_a,
+           const std::string& kernel_a, const std::string& app_b,
+           const std::string& kernel_b) {
+  auto& ctx_a = find_app(bench, app_a);
+  auto& ctx_b = find_app(bench, app_b);
+  const metrics::KernelReliability ra = bench.kernel_reliability(ctx_a, kernel_a);
+  const metrics::KernelReliability rb = bench.kernel_reliability(ctx_b, kernel_b);
+  const analysis::UtilizationProfile pa =
+      analysis::profile_kernel(ctx_a.golden, kernel_a, bench.config());
+  const analysis::UtilizationProfile pb =
+      analysis::profile_kernel(ctx_b.golden, kernel_b, bench.config());
+
+  std::vector<std::string> names = {"AVF", "SVF"};
+  std::vector<double> va = {ra.chip_avf(bench.bits()).value(), ra.svf.value()};
+  std::vector<double> vb = {rb.chip_avf(bench.bits()).value(), rb.svf.value()};
+  const auto& metric_names = analysis::UtilizationProfile::metric_names();
+  const auto values_a = pa.values();
+  const auto values_b = pb.values();
+  names.insert(names.end(), metric_names.begin(), metric_names.end());
+  va.insert(va.end(), values_a.begin(), values_a.end());
+  vb.insert(vb.end(), values_b.begin(), values_b.end());
+
+  const auto normalized = analysis::normalize_pair(va, vb);
+  const std::string label_a = bench.kernel_label(ctx_a, kernel_a);
+  const std::string label_b = bench.kernel_label(ctx_b, kernel_b);
+  TextTable table({"Metric", label_a + " %", label_b + " %"});
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    table.add_row({names[i], TextTable::pct(normalized[i].first, 1),
+                   TextTable::pct(normalized[i].second, 1)});
+  }
+  std::printf("%s\n%s\n", title, table.render().c_str());
+}
+
+}  // namespace
+
+int main() {
+  using namespace gras;
+  bench::Bench bench;
+  bench.print_header(
+      "Figure 3 — AVF, SVF and normalized resource-utilization metrics per kernel pair");
+  panel(bench, "(a) HotSpot K1 vs LUD K1 (paper: opposite AVF/SVF trend)",
+        "hotspot", "hotspot_k1", "lud", "lud_diagonal");
+  panel(bench, "(b) LUD K2 vs LUD K1 (paper: consistent trend)",
+        "lud", "lud_perimeter", "lud", "lud_diagonal");
+  panel(bench, "(c) VA K1 vs SCP K1 (paper: opposite trend, mixed utilization)",
+        "va", "va_k1", "scp", "scp_k1");
+  return 0;
+}

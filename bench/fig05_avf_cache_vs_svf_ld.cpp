@@ -1,0 +1,34 @@
+// Figure 5: AVF of the on-chip memory structures (L1D + L1T + L2, bottom)
+// vs SVF-LD (load-destination-only software injection, top), per
+// application. The paper finds these memory-restricted comparisons even
+// more erratic than the register-file ones: a majority of pairs flip.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace gras;
+  bench::Bench bench;
+  bench.print_header("Figure 5 — AVF-Cache (bottom) vs SVF-LD (top), % of injections");
+
+  TextTable table({"App", "AVF-Cache %", "SDC", "T/O", "DUE", "SVF-LD %", "SDC", "T/O",
+                   "DUE"});
+  std::vector<analysis::TrendPoint> points;
+  for (auto& ctx : bench.apps()) {
+    const metrics::AppReliability rel = bench.reliability(ctx, /*with_svf_ld=*/true);
+    const metrics::Breakdown cache = rel.avf_cache(bench.bits());
+    const metrics::Breakdown ld = rel.svf_ld();
+    const std::string name = bench::Bench::display_name(ctx.app->name());
+    table.add_row({name, bench::pct(cache.value()), bench::pct(cache.sdc),
+                   bench::pct(cache.timeout), bench::pct(cache.due),
+                   bench::pct(ld.value()), bench::pct(ld.sdc), bench::pct(ld.timeout),
+                   bench::pct(ld.due)});
+    points.push_back({name, cache.value(), ld.value()});
+  }
+  std::printf("%s\n", table.render().c_str());
+  const auto trends = analysis::count_trends(points);
+  std::printf("Pairs: %llu consistent, %llu opposite (paper: 23 / 32 — majority flip)\n",
+              static_cast<unsigned long long>(trends.consistent),
+              static_cast<unsigned long long>(trends.opposite));
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Figure 10: per-structure AVF breakdown (SDC / Timeout / DUE) before and
+// after TMR hardening, for the paper's representative kernels:
+// LUD K2, SCP K1, NW K2, BackProp K2, SRADv1 K2, K-Means K2.
+//
+// Paper shape: TMR's improvement concentrates in the register file and
+// shared memory (where unhardened SDC probability is largest); hardening
+// *introduces* extra vulnerability in L2 (bigger footprint, more live
+// lines), and the reliability character of a kernel changes completely —
+// detail only a cross-layer analysis can deliver.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+namespace {
+
+using namespace gras;
+
+struct Pick {
+  const char* app;
+  const char* kernel;
+};
+
+constexpr Pick kPicks[] = {
+    {"lud", "lud_perimeter"},       {"scp", "scp_k1"},
+    {"nw", "nw_k2"},                {"backprop", "backprop_adjust"},
+    {"srad_v1", "srad1_prepare"},   {"kmeans", "kmeans_point"},
+};
+
+bench::AppContext& find_app(std::vector<bench::AppContext>& apps, const std::string& name,
+                            bool hardened) {
+  for (auto& ctx : apps) {
+    if (ctx.app->name() == (hardened ? name + "_tmr" : name)) return ctx;
+  }
+  throw std::out_of_range(name);
+}
+
+}  // namespace
+
+int main() {
+  using namespace gras;
+  bench::Bench bench;
+  bench.print_header(
+      "Figure 10 — Per-structure AVF (FR x DF, %) before/after TMR, representative kernels");
+
+  for (fi::Structure s : fi::kAllStructures) {
+    TextTable table({"Kernel", "SDC w/o", "T/O w/o", "DUE w/o", "SDC w/", "T/O w/",
+                     "DUE w/"});
+    for (const Pick& pick : kPicks) {
+      auto& base = find_app(bench.apps(false), pick.app, false);
+      auto& hard = find_app(bench.apps(true), pick.app, true);
+      const auto before = bench.kernel_reliability(base, pick.kernel).avf(s);
+      const auto after = bench.kernel_reliability(hard, pick.kernel).avf(s);
+      table.add_row({bench.kernel_label(base, pick.kernel), bench::pct(before.sdc),
+                     bench::pct(before.timeout), bench::pct(before.due),
+                     bench::pct(after.sdc), bench::pct(after.timeout),
+                     bench::pct(after.due)});
+    }
+    std::printf("(%c) %s:\n%s\n", static_cast<char>('a' + static_cast<int>(s)),
+                fi::structure_name(s), table.render().c_str());
+  }
+  return 0;
+}

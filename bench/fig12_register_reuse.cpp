@@ -1,0 +1,77 @@
+// Figure 12: the register-reuse analyzer. The paper's example: a fault in
+// register R0 of instruction #4 must affect every subsequent instruction
+// that reads R0 until it is rewritten (instructions #5 and #7), which
+// single-instruction software-level fault models miss.
+//
+// This bench reproduces the paper's SASS listing, marks the affected
+// instructions, and then quantifies register reuse across the entire
+// benchmark suite: the average number of downstream readers per register
+// write, i.e. how much a one-shot source-operand fault model understates a
+// real fault's reach.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/assembler/assembler.h"
+
+namespace {
+
+// Faithful transcription of the paper's Fig. 12 listing (the addresses in
+// comments are the paper's instruction offsets).
+constexpr char kFig12[] = R"(
+.kernel paper_fig12
+.param c140 u32
+.param c144 u32
+.param c148 u32
+.param c14c u32
+    S2R R0, SR_CTAID.X           // #1 [0x00033c08]
+    S2R R3, SR_TID.X             // #2 [0x00033c10]
+    IMAD R4, R0, c[c14c], R3     // #3 [0x00033c18]
+    ISCADD R3, R4, c[c140], 2    // #4 [0x00033c20]
+    ISCADD R2, R4, c[c144], 2    // #5 [0x00033c28]
+    LDG R3, [R3]                 // #6 [0x00033c30]
+    ISCADD R0, R4, c[c148], 2    // #7 [0x00033c38]
+    LDG R2, [R2]                 // #8 [0x00033c40]
+    FADD R3, R0, R2              // #9 [0x00033c48]
+    STG [R0], R3                 // #10 [0x00033c50]
+    EXIT
+)";
+
+}  // namespace
+
+int main() {
+  using namespace gras;
+  bench::Bench bench;
+  bench.print_header("Figure 12 — Register-reuse analyzer");
+
+  const auto kernel = assembler::assemble_kernel(kFig12);
+  // The paper faults R4 as written by #3 (its figure labels the ISCADD
+  // consumers #4, #5 and #7 as the affected set; note the paper text calls
+  // the faulted register "R0 in instruction #4" referring to the destination
+  // field R3/R4 of the ISCADD — we analyze the R4 web, which matches the
+  // circled occurrences).
+  const analysis::ReuseSite site = analysis::analyze_reuse(kernel, 2, 4);
+  std::printf("Fault site: instruction #%zu, register R%d\n",
+              site.instr_index + 1, site.reg);
+  std::printf("Affected readers until rewrite: ");
+  for (std::size_t i : site.affected) std::printf("#%zu ", i + 1);
+  std::printf("\n\n%s\n", analysis::reuse_listing(kernel, site).c_str());
+
+  TextTable table({"App", "Kernel", "Avg readers per register write"});
+  double total = 0.0;
+  std::size_t count = 0;
+  for (auto& ctx : bench.apps()) {
+    for (const isa::Kernel& k : ctx.app->kernels()) {
+      const double reuse = analysis::average_reuse(k);
+      total += reuse;
+      count += 1;
+      table.add_row({bench::Bench::display_name(ctx.app->name()), k.name,
+                     TextTable::num(reuse, 2)});
+    }
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("Suite average: %.2f downstream readers per register write — every one\n"
+              "of them is missed by a fault model that corrupts a single dynamic\n"
+              "instruction only (paper §V-B).\n",
+              total / static_cast<double>(count));
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Google-benchmark microbenchmarks: simulator and campaign throughput.
+//
+// The paper motivates software-level injection with speed ("two orders of
+// magnitude or more": 1,258 machine-days of AVF vs 10 of SVF). These
+// benchmarks measure the analogous costs in this reproduction: the cost of
+// one golden run per app, one microarchitecture-level sample, and one
+// software-level sample.
+#include <benchmark/benchmark.h>
+
+#include "src/campaign/campaign.h"
+#include "src/harden/tmr.h"
+#include "src/workloads/workload.h"
+
+namespace {
+
+using namespace gras;
+
+const sim::GpuConfig& config() {
+  static const sim::GpuConfig c = sim::make_config("gv100-scaled");
+  return c;
+}
+
+void BM_GoldenRun(benchmark::State& state, const std::string& name) {
+  const auto app = workloads::make_benchmark(name);
+  for (auto _ : state) {
+    sim::Gpu gpu(config());
+    benchmark::DoNotOptimize(workloads::run_app(*app, gpu));
+  }
+}
+BENCHMARK_CAPTURE(BM_GoldenRun, va, std::string("va"));
+BENCHMARK_CAPTURE(BM_GoldenRun, hotspot, std::string("hotspot"));
+BENCHMARK_CAPTURE(BM_GoldenRun, bfs, std::string("bfs"));
+
+void BM_MicroarchSample(benchmark::State& state) {
+  const auto app = workloads::make_benchmark("hotspot");
+  const auto golden = campaign::run_golden(*app, config());
+  campaign::CampaignSpec spec;
+  spec.kernel = "hotspot_k1";
+  spec.target = campaign::Target::RF;
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(campaign::run_sample(*app, config(), golden, spec, i++));
+  }
+}
+BENCHMARK(BM_MicroarchSample);
+
+void BM_SoftwareSample(benchmark::State& state) {
+  const auto app = workloads::make_benchmark("hotspot");
+  const auto golden = campaign::run_golden(*app, config());
+  campaign::CampaignSpec spec;
+  spec.kernel = "hotspot_k1";
+  spec.target = campaign::Target::Svf;
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(campaign::run_sample(*app, config(), golden, spec, i++));
+  }
+}
+BENCHMARK(BM_SoftwareSample);
+
+void BM_TmrGoldenRun(benchmark::State& state) {
+  const auto app = workloads::make_benchmark("hotspot");
+  const auto tmr = harden::harden(*app);
+  for (auto _ : state) {
+    sim::Gpu gpu(config());
+    benchmark::DoNotOptimize(workloads::run_app(*tmr, gpu));
+  }
+}
+BENCHMARK(BM_TmrGoldenRun);
+
+void BM_GpuConstruction(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Gpu gpu(config());
+    benchmark::DoNotOptimize(gpu.cycle());
+  }
+}
+BENCHMARK(BM_GpuConstruction);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,58 @@
+#include "src/analysis/ace.h"
+
+namespace gras::analysis {
+
+AceProfiler::AceProfiler(const sim::GpuConfig& config) : config_(config) {}
+
+void AceProfiler::close(const Lifetime& life) {
+  if (life.last_read_cycle > life.write_cycle) {
+    ace_bit_cycles_ += (life.last_read_cycle - life.write_cycle) * 32;
+    intervals_ += 1;
+  }
+}
+
+void AceProfiler::note_read(std::uint64_t cell_key, std::uint64_t cycle) {
+  auto it = live_.find(cell_key);
+  if (it == live_.end()) return;  // read of a never-written (stale) cell
+  it->second.last_read_cycle = cycle;
+}
+
+void AceProfiler::note_write(std::uint64_t cell_key, std::uint64_t cycle) {
+  auto [it, inserted] = live_.try_emplace(cell_key);
+  if (!inserted) close(it->second);  // previous lifetime ends at this write
+  it->second = Lifetime{cycle, 0};
+}
+
+void AceProfiler::on_issue(sim::Sm& sm, std::uint32_t warp_slot, const isa::Instr& ins,
+                           std::uint32_t exec_mask, std::uint64_t cycle) {
+  const sim::WarpExec& warp = sm.warp(warp_slot);
+  const std::uint64_t sm_base =
+      std::uint64_t{sm.sm_id()} * config_.regs_per_sm;
+  for (std::uint32_t lane = 0; lane < 32; ++lane) {
+    if (!(exec_mask & (1u << lane))) continue;
+    for (const isa::Operand* op : {&ins.a, &ins.b, &ins.c}) {
+      if (!op->is_gpr() || op->value == isa::kRegRZ) continue;
+      note_read(sm_base + sm.rf_cell_index(warp, lane, static_cast<std::uint8_t>(op->value)),
+                cycle);
+    }
+    if (ins.writes_gpr()) {
+      note_write(sm_base + sm.rf_cell_index(warp, lane, ins.dst), cycle);
+    }
+  }
+}
+
+void AceProfiler::finalize() {
+  if (finalized_) return;
+  finalized_ = true;
+  for (const auto& [key, life] : live_) close(life);
+  live_.clear();
+}
+
+double AceProfiler::avf_rf(std::uint64_t total_cycles) const {
+  if (total_cycles == 0) return 0.0;
+  const double denom = static_cast<double>(config_.rf_bits_total()) *
+                       static_cast<double>(total_cycles);
+  return static_cast<double>(ace_bit_cycles_) / denom;
+}
+
+}  // namespace gras::analysis

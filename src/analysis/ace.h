@@ -1,0 +1,64 @@
+// ACE (Architecturally Correct Execution) analysis for the register file.
+//
+// The analytical alternative to statistical fault injection the paper
+// mentions in §I (Mukherjee et al., MICRO'03): instead of injecting faults,
+// track which bits matter. A register-file cell is ACE from the moment it
+// is written until its *last read before the next write*; a flip inside
+// that interval changes an actually-consumed value, a flip outside it is
+// dead by construction. The ACE-based AVF estimate is
+//
+//   AVF_ACE(RF) = ACE bit-cycles / (total RF bits x total cycles)
+//
+// The classic caveat applies — and the ablation bench quantifies it: ACE
+// analysis counts every consumed bit as failure-causing, while fault
+// injection observes logical, arithmetic and algorithmic masking downstream
+// (a flipped bit that is consumed can still leave the output intact), so
+// ACE is a conservative upper bound on the injection-measured AVF.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "src/sim/gpu.h"
+
+namespace gras::analysis {
+
+/// Register-file liveness profiler; attach with Gpu::set_fault_hook and run
+/// the workload fault-free.
+class AceProfiler final : public sim::FaultHook {
+ public:
+  explicit AceProfiler(const sim::GpuConfig& config);
+
+  void on_issue(sim::Sm& sm, std::uint32_t warp_slot, const isa::Instr& ins,
+                std::uint32_t exec_mask, std::uint64_t cycle) override;
+
+  /// Closes all open lifetime intervals; call once after the run.
+  void finalize();
+
+  /// Total ACE bit-cycles accumulated (32 bits per live register-cycle).
+  std::uint64_t ace_bit_cycles() const noexcept { return ace_bit_cycles_; }
+
+  /// ACE-based AVF of the register file for a run of `total_cycles`.
+  double avf_rf(std::uint64_t total_cycles) const;
+
+  /// Number of write->last-read intervals observed.
+  std::uint64_t intervals() const noexcept { return intervals_; }
+
+ private:
+  struct Lifetime {
+    std::uint64_t write_cycle = 0;
+    std::uint64_t last_read_cycle = 0;  // 0 = never read
+  };
+
+  void note_read(std::uint64_t cell_key, std::uint64_t cycle);
+  void note_write(std::uint64_t cell_key, std::uint64_t cycle);
+  void close(const Lifetime& life);
+
+  const sim::GpuConfig& config_;
+  std::unordered_map<std::uint64_t, Lifetime> live_;
+  std::uint64_t ace_bit_cycles_ = 0;
+  std::uint64_t intervals_ = 0;
+  bool finalized_ = false;
+};
+
+}  // namespace gras::analysis

@@ -1,0 +1,142 @@
+#include "src/analysis/analysis.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "src/isa/disasm.h"
+
+namespace gras::analysis {
+
+TrendCounts count_trends(const std::vector<TrendPoint>& points, double epsilon) {
+  TrendCounts counts;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    for (std::size_t j = i + 1; j < points.size(); ++j) {
+      const double da = points[i].a - points[j].a;
+      const double db = points[i].b - points[j].b;
+      const int sa = da > epsilon ? 1 : (da < -epsilon ? -1 : 0);
+      const int sb = db > epsilon ? 1 : (db < -epsilon ? -1 : 0);
+      if (sa == 0 || sb == 0 || sa == sb) counts.consistent += 1;
+      else counts.opposite += 1;
+    }
+  }
+  return counts;
+}
+
+const std::vector<std::string>& UtilizationProfile::metric_names() {
+  static const std::vector<std::string> kNames = {
+      "Occupancy",        "RF Derat. Factor",  "SMEM Derat. Factor",
+      "L1D Accesses",     "L1D Miss Rate",     "L1D Misses",
+      "L2 Accesses",      "L2 Miss Rate",      "L2 Misses",
+      "L2 Pending Hits",  "L2 Reserv. Fails",  "Load Instructions",
+      "SMEM Instructions","Store Instructions","Memory Read",
+      "Memory Write"};
+  return kNames;
+}
+
+std::vector<double> UtilizationProfile::values() const {
+  return {occupancy,       rf_derating,        smem_derating,      l1d_accesses,
+          l1d_miss_rate,   l1d_misses,         l2_accesses,        l2_miss_rate,
+          l2_misses,       l2_pending_hits,    l2_reservation_fails,
+          load_instructions, smem_instructions, store_instructions,
+          memory_read,     memory_write};
+}
+
+UtilizationProfile profile_kernel(const campaign::GoldenRun& golden,
+                                  const std::string& kernel,
+                                  const sim::GpuConfig& config) {
+  const sim::SimStats stats = golden.kernel_stats(kernel);
+  UtilizationProfile p;
+  p.occupancy = stats.occupancy(config.max_warps_per_sm);
+  p.rf_derating = metrics::rf_derating(golden, kernel, config);
+  p.smem_derating = metrics::smem_derating(golden, kernel, config);
+  p.l1d_accesses = static_cast<double>(stats.l1d.accesses);
+  p.l1d_miss_rate = stats.l1d.miss_rate();
+  p.l1d_misses = static_cast<double>(stats.l1d.misses);
+  p.l2_accesses = static_cast<double>(stats.l2.accesses);
+  p.l2_miss_rate = stats.l2.miss_rate();
+  p.l2_misses = static_cast<double>(stats.l2.misses);
+  p.l2_pending_hits = static_cast<double>(stats.l2.pending_hits);
+  p.l2_reservation_fails = static_cast<double>(stats.l2.reservation_fails);
+  p.load_instructions = static_cast<double>(stats.load_instrs);
+  p.smem_instructions = static_cast<double>(stats.smem_instrs);
+  p.store_instructions = static_cast<double>(stats.store_instrs);
+  p.memory_read = static_cast<double>(stats.dram_read_bytes);
+  p.memory_write = static_cast<double>(stats.dram_written_bytes);
+  return p;
+}
+
+std::vector<std::pair<double, double>> normalize_pair(const std::vector<double>& a,
+                                                      const std::vector<double>& b) {
+  std::vector<std::pair<double, double>> out;
+  out.reserve(a.size());
+  for (std::size_t i = 0; i < a.size() && i < b.size(); ++i) {
+    const double sum = a[i] + b[i];
+    if (sum == 0.0) out.emplace_back(0.5, 0.5);
+    else out.emplace_back(a[i] / sum, b[i] / sum);
+  }
+  return out;
+}
+
+namespace {
+
+bool reads_reg(const isa::Instr& ins, std::uint8_t reg) {
+  const auto uses = [&](const isa::Operand& op) {
+    return op.is_gpr() && op.value == reg;
+  };
+  return uses(ins.a) || uses(ins.b) || uses(ins.c);
+}
+
+bool is_control(const isa::Instr& ins) {
+  switch (ins.op) {
+    case isa::Op::BRA:
+    case isa::Op::SSY:
+    case isa::Op::SYNC:
+    case isa::Op::EXIT:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+ReuseSite analyze_reuse(const isa::Kernel& kernel, std::size_t index, std::uint8_t reg) {
+  ReuseSite site;
+  site.instr_index = index;
+  site.reg = reg;
+  for (std::size_t i = index + 1; i < kernel.code.size(); ++i) {
+    const isa::Instr& ins = kernel.code[i];
+    if (reads_reg(ins, reg)) site.affected.push_back(i);
+    if (ins.writes_gpr() && ins.dst == reg) break;  // rewritten: fault dies
+    if (is_control(ins)) break;  // conservative: stop at control flow
+  }
+  return site;
+}
+
+double average_reuse(const isa::Kernel& kernel) {
+  std::uint64_t sites = 0, affected = 0;
+  for (std::size_t i = 0; i < kernel.code.size(); ++i) {
+    const isa::Instr& ins = kernel.code[i];
+    if (!ins.writes_gpr()) continue;
+    sites += 1;
+    affected += analyze_reuse(kernel, i, ins.dst).affected.size();
+  }
+  return sites == 0 ? 0.0 : static_cast<double>(affected) / static_cast<double>(sites);
+}
+
+std::string reuse_listing(const isa::Kernel& kernel, const ReuseSite& site) {
+  std::ostringstream out;
+  for (std::size_t i = 0; i < kernel.code.size(); ++i) {
+    const char* marker = "   ";
+    if (i == site.instr_index) marker = "<< ";  // fault origin
+    else if (std::find(site.affected.begin(), site.affected.end(), i) !=
+             site.affected.end()) {
+      marker = " * ";  // affected reader
+    }
+    out << marker << '#' << i + 1 << "  " << isa::disassemble(kernel.code[i], &kernel)
+        << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace gras::analysis

@@ -1,0 +1,99 @@
+// Cross-layer analysis utilities:
+//  * pairwise trend comparison between two vulnerability metrics (Table I),
+//  * the fault-free resource-utilization profile and normalized pair
+//    comparison (Fig. 3),
+//  * the register-reuse analyzer (Fig. 12 / §V-B).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/campaign/campaign.h"
+#include "src/isa/isa.h"
+#include "src/metrics/metrics.h"
+
+namespace gras::analysis {
+
+/// One (name, metric-A, metric-B) observation, e.g. (app, AVF, SVF).
+struct TrendPoint {
+  std::string name;
+  double a = 0.0;
+  double b = 0.0;
+};
+
+/// Pairwise trend comparison: for every unordered pair of points, the trend
+/// is consistent when sign(a_i - a_j) == sign(b_i - b_j) (ties count as
+/// consistent), opposite otherwise — the Table I methodology.
+struct TrendCounts {
+  std::uint64_t consistent = 0;
+  std::uint64_t opposite = 0;
+  std::uint64_t total() const { return consistent + opposite; }
+  double opposite_share() const {
+    return total() == 0 ? 0.0 : static_cast<double>(opposite) / static_cast<double>(total());
+  }
+};
+
+TrendCounts count_trends(const std::vector<TrendPoint>& points, double epsilon = 1e-12);
+
+/// The Fig. 3 resource-utilization metrics of one kernel, derived from the
+/// golden run's per-launch statistics.
+struct UtilizationProfile {
+  double occupancy = 0.0;
+  double rf_derating = 0.0;
+  double smem_derating = 0.0;
+  double l1d_accesses = 0.0;
+  double l1d_miss_rate = 0.0;
+  double l1d_misses = 0.0;
+  double l2_accesses = 0.0;
+  double l2_miss_rate = 0.0;
+  double l2_misses = 0.0;
+  double l2_pending_hits = 0.0;
+  double l2_reservation_fails = 0.0;
+  double load_instructions = 0.0;
+  double smem_instructions = 0.0;
+  double store_instructions = 0.0;
+  double memory_read = 0.0;   ///< DRAM bytes read
+  double memory_write = 0.0;  ///< DRAM bytes written
+
+  /// Metric names in the paper's Fig. 3 x-axis order.
+  static const std::vector<std::string>& metric_names();
+  /// Metric values in the same order.
+  std::vector<double> values() const;
+};
+
+UtilizationProfile profile_kernel(const campaign::GoldenRun& golden,
+                                  const std::string& kernel,
+                                  const sim::GpuConfig& config);
+
+/// Normalizes two kernels' metric vectors pairwise:
+/// norm_a = a / (a + b), norm_b = b / (a + b) (50/50 when both are zero) —
+/// the Fig. 3 presentation.
+std::vector<std::pair<double, double>> normalize_pair(const std::vector<double>& a,
+                                                      const std::vector<double>& b);
+
+/// Register-reuse analysis (paper Fig. 12): for a register written (or read)
+/// at one instruction, which later instructions read it before it is
+/// rewritten? The analysis walks the static code in fall-through order
+/// (branch targets are treated as barriers ending the walk), which is exact
+/// for straight-line SASS like the paper's example.
+struct ReuseSite {
+  std::size_t instr_index;     ///< the faulted instruction
+  std::uint8_t reg;            ///< the register under study
+  std::vector<std::size_t> affected;  ///< later readers before the next write
+};
+
+/// Readers of `reg` after instruction `index` until the next write of `reg`
+/// or a control-flow transfer.
+ReuseSite analyze_reuse(const isa::Kernel& kernel, std::size_t index, std::uint8_t reg);
+
+/// Average number of affected readers over every (instruction, destination
+/// register) site of the kernel — how much a one-instruction fault model
+/// underestimates the fault's reach.
+double average_reuse(const isa::Kernel& kernel);
+
+/// Renders the Fig. 12-style annotated listing for one site.
+std::string reuse_listing(const isa::Kernel& kernel, const ReuseSite& site);
+
+}  // namespace gras::analysis

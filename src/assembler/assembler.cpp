@@ -1,0 +1,472 @@
+#include "src/assembler/assembler.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <optional>
+
+namespace gras::assembler {
+
+using isa::Cmp;
+using isa::Instr;
+using isa::Kernel;
+using isa::Mufu;
+using isa::Op;
+using isa::Operand;
+using isa::ParamDecl;
+using isa::SpecialReg;
+
+namespace {
+
+/// A pending branch/SSY fixup: patched once all labels are known.
+struct Fixup {
+  std::size_t instr_index;
+  std::string label;
+  std::size_t line;
+};
+
+struct Token {
+  std::string text;
+};
+
+std::vector<std::string> tokenize(std::string_view line) {
+  std::vector<std::string> out;
+  std::string cur;
+  auto push = [&] {
+    if (!cur.empty()) {
+      out.push_back(cur);
+      cur.clear();
+    }
+  };
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char ch = line[i];
+    if (ch == '/' && i + 1 < line.size() && line[i + 1] == '/') break;
+    if (ch == ';') break;
+    if (std::isspace(static_cast<unsigned char>(ch)) || ch == ',') {
+      push();
+      continue;
+    }
+    cur.push_back(ch);
+  }
+  push();
+  return out;
+}
+
+bool iequals(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::toupper(static_cast<unsigned char>(a[i])) !=
+        std::toupper(static_cast<unsigned char>(b[i])))
+      return false;
+  }
+  return true;
+}
+
+std::optional<std::uint8_t> parse_gpr(std::string_view t) {
+  if (iequals(t, "RZ")) return isa::kRegRZ;
+  if (t.size() < 2 || (t[0] != 'R' && t[0] != 'r')) return std::nullopt;
+  int v = 0;
+  for (std::size_t i = 1; i < t.size(); ++i) {
+    if (!std::isdigit(static_cast<unsigned char>(t[i]))) return std::nullopt;
+    v = v * 10 + (t[i] - '0');
+  }
+  if (v >= isa::kRegRZ) return std::nullopt;
+  return static_cast<std::uint8_t>(v);
+}
+
+std::optional<std::pair<std::uint8_t, bool>> parse_pred(std::string_view t) {
+  bool neg = false;
+  if (!t.empty() && t[0] == '!') {
+    neg = true;
+    t.remove_prefix(1);
+  }
+  if (iequals(t, "PT")) return std::make_pair(isa::kPredPT, neg);
+  if (t.size() == 2 && (t[0] == 'P' || t[0] == 'p') &&
+      std::isdigit(static_cast<unsigned char>(t[1]))) {
+    const int v = t[1] - '0';
+    if (v < isa::kPredPT) return std::make_pair(static_cast<std::uint8_t>(v), neg);
+  }
+  return std::nullopt;
+}
+
+std::optional<SpecialReg> parse_sreg(std::string_view t) {
+  static const std::map<std::string, SpecialReg, std::less<>> kMap = {
+      {"SR_TID.X", SpecialReg::TID_X},       {"SR_TID.Y", SpecialReg::TID_Y},
+      {"SR_CTAID.X", SpecialReg::CTAID_X},   {"SR_CTAID.Y", SpecialReg::CTAID_Y},
+      {"SR_CTAID.Z", SpecialReg::CTAID_Z},   {"SR_NTID.X", SpecialReg::NTID_X},
+      {"SR_NTID.Y", SpecialReg::NTID_Y},     {"SR_NCTAID.X", SpecialReg::NCTAID_X},
+      {"SR_NCTAID.Y", SpecialReg::NCTAID_Y}, {"SR_NCTAID.Z", SpecialReg::NCTAID_Z},
+      {"SR_LANEID", SpecialReg::LANEID},     {"SR_WARPID", SpecialReg::WARPID},
+  };
+  auto it = kMap.find(std::string(t));
+  if (it == kMap.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<std::uint32_t> parse_int_imm(std::string_view t) {
+  if (t.empty()) return std::nullopt;
+  bool neg = false;
+  std::size_t i = 0;
+  if (t[0] == '-') {
+    neg = true;
+    i = 1;
+  }
+  if (i >= t.size()) return std::nullopt;
+  std::uint64_t v = 0;
+  if (t.size() - i > 2 && t[i] == '0' && (t[i + 1] == 'x' || t[i + 1] == 'X')) {
+    for (std::size_t j = i + 2; j < t.size(); ++j) {
+      const char c = static_cast<char>(std::tolower(static_cast<unsigned char>(t[j])));
+      int d;
+      if (c >= '0' && c <= '9') d = c - '0';
+      else if (c >= 'a' && c <= 'f') d = 10 + c - 'a';
+      else return std::nullopt;
+      v = v * 16 + static_cast<std::uint64_t>(d);
+    }
+  } else {
+    for (std::size_t j = i; j < t.size(); ++j) {
+      if (!std::isdigit(static_cast<unsigned char>(t[j]))) return std::nullopt;
+      v = v * 10 + static_cast<std::uint64_t>(t[j] - '0');
+    }
+  }
+  std::uint32_t out = static_cast<std::uint32_t>(v);
+  if (neg) out = static_cast<std::uint32_t>(-static_cast<std::int64_t>(v));
+  return out;
+}
+
+std::optional<float> parse_float_imm(std::string_view t) {
+  if (t.size() < 2) return std::nullopt;
+  const char last = t.back();
+  if (last != 'f' && last != 'F') return std::nullopt;
+  const std::string body(t.substr(0, t.size() - 1));
+  char* end = nullptr;
+  const float v = std::strtof(body.c_str(), &end);
+  if (end != body.c_str() + body.size()) return std::nullopt;
+  return v;
+}
+
+/// Parser for one assembly unit.
+class Parser {
+ public:
+  explicit Parser(std::string_view source) : source_(source) {}
+
+  std::vector<Kernel> run() {
+    std::size_t pos = 0;
+    std::size_t line_no = 0;
+    while (pos <= source_.size()) {
+      const std::size_t eol = source_.find('\n', pos);
+      const std::string_view line =
+          source_.substr(pos, eol == std::string_view::npos ? source_.size() - pos
+                                                            : eol - pos);
+      ++line_no;
+      parse_line(line, line_no);
+      if (eol == std::string_view::npos) break;
+      pos = eol + 1;
+    }
+    finish_kernel(line_no);
+    return std::move(kernels_);
+  }
+
+ private:
+  void require_kernel(std::size_t line) const {
+    if (!current_) throw AsmError(line, "statement outside of .kernel");
+  }
+
+  void parse_line(std::string_view line, std::size_t n) {
+    auto toks = tokenize(line);
+    if (toks.empty()) return;
+
+    // Labels (possibly several on one line before an instruction).
+    std::size_t first = 0;
+    while (first < toks.size() && toks[first].back() == ':') {
+      require_kernel(n);
+      std::string label = toks[first].substr(0, toks[first].size() - 1);
+      if (label.empty()) throw AsmError(n, "empty label");
+      if (labels_.count(label) != 0) throw AsmError(n, "duplicate label '" + label + "'");
+      labels_[label] = current_->code.size();
+      ++first;
+    }
+    if (first >= toks.size()) return;
+
+    const std::string& head = toks[first];
+    if (head == ".kernel") {
+      if (toks.size() != first + 2) throw AsmError(n, ".kernel expects a name");
+      finish_kernel(n);
+      current_.emplace();
+      current_->name = toks[first + 1];
+      return;
+    }
+    if (head == ".smem") {
+      require_kernel(n);
+      if (toks.size() != first + 2) throw AsmError(n, ".smem expects a byte count");
+      auto v = parse_int_imm(toks[first + 1]);
+      if (!v) throw AsmError(n, ".smem expects a byte count");
+      current_->smem_bytes = *v;
+      return;
+    }
+    if (head == ".param") {
+      require_kernel(n);
+      if (toks.size() != first + 3) throw AsmError(n, ".param expects <name> ptr|u32|f32");
+      ParamDecl p;
+      p.name = toks[first + 1];
+      const std::string& kind = toks[first + 2];
+      if (kind == "ptr") p.is_pointer = true;
+      else if (kind != "u32" && kind != "f32")
+        throw AsmError(n, "unknown param kind '" + kind + "'");
+      p.byte_offset = static_cast<std::uint32_t>(current_->params.size() * 4);
+      for (const auto& existing : current_->params) {
+        if (existing.name == p.name) throw AsmError(n, "duplicate param '" + p.name + "'");
+      }
+      current_->params.push_back(p);
+      return;
+    }
+    if (head[0] == '.') throw AsmError(n, "unknown directive '" + head + "'");
+
+    require_kernel(n);
+    parse_instruction({toks.begin() + static_cast<std::ptrdiff_t>(first), toks.end()}, n);
+  }
+
+  Operand parse_src(const std::string& t, std::size_t n) {
+    if (auto r = parse_gpr(t)) return Operand::gpr(*r);
+    if (t.size() > 3 && (t[0] == 'c' || t[0] == 'C') && t[1] == '[' && t.back() == ']') {
+      const std::string inner = t.substr(2, t.size() - 3);
+      if (auto off = parse_int_imm(inner)) return Operand::param(*off);
+      // Named parameter.
+      for (const ParamDecl& p : current_->params) {
+        if (p.name == inner) return Operand::param(p.byte_offset);
+      }
+      throw AsmError(n, "unknown parameter '" + inner + "'");
+    }
+    // Integers first: "0x1f" must not be misread as the hex float "0x1".
+    if (auto v = parse_int_imm(t)) return Operand::imm(*v);
+    if (auto f = parse_float_imm(t)) return Operand::fimm(*f);
+    throw AsmError(n, "cannot parse operand '" + t + "'");
+  }
+
+  std::uint8_t parse_dst(const std::string& t, std::size_t n) {
+    if (auto r = parse_gpr(t)) return *r;
+    throw AsmError(n, "expected destination register, got '" + t + "'");
+  }
+
+  /// Parses "[Rn]", "[Rn+imm]", "[Rn-imm]".
+  void parse_mem_ref(const std::string& t, Instr& ins, std::size_t n) {
+    if (t.size() < 3 || t.front() != '[' || t.back() != ']')
+      throw AsmError(n, "expected memory reference, got '" + t + "'");
+    const std::string inner = t.substr(1, t.size() - 2);
+    std::size_t split = inner.find_first_of("+-", 1);
+    const std::string base = inner.substr(0, split);
+    if (auto r = parse_gpr(base)) {
+      ins.a = Operand::gpr(*r);
+    } else if (auto abs = parse_int_imm(base); abs && split == std::string::npos) {
+      // Absolute reference, e.g. [0] or [0x40]: base RZ + immediate offset.
+      ins.a = Operand::gpr(isa::kRegRZ);
+      ins.mem_offset = static_cast<std::int32_t>(*abs);
+      return;
+    } else {
+      throw AsmError(n, "memory base must be a register, got '" + base + "'");
+    }
+    if (split != std::string::npos) {
+      // Skip an explicit '+'; keep '-' as part of the number.
+      auto off = parse_int_imm(inner[split] == '+' ? inner.substr(split + 1)
+                                                   : inner.substr(split));
+      if (!off) throw AsmError(n, "bad memory offset in '" + t + "'");
+      ins.mem_offset = static_cast<std::int32_t>(*off);
+    }
+  }
+
+  Cmp parse_cmp_suffix(const std::string& suffix, std::size_t n) {
+    if (iequals(suffix, "EQ")) return Cmp::EQ;
+    if (iequals(suffix, "NE")) return Cmp::NE;
+    if (iequals(suffix, "LT")) return Cmp::LT;
+    if (iequals(suffix, "LE")) return Cmp::LE;
+    if (iequals(suffix, "GT")) return Cmp::GT;
+    if (iequals(suffix, "GE")) return Cmp::GE;
+    throw AsmError(n, "unknown comparison '" + suffix + "'");
+  }
+
+  Mufu parse_mufu_suffix(const std::string& suffix, std::size_t n) {
+    if (iequals(suffix, "RCP")) return Mufu::RCP;
+    if (iequals(suffix, "SQRT")) return Mufu::SQRT;
+    if (iequals(suffix, "RSQRT")) return Mufu::RSQRT;
+    if (iequals(suffix, "EX2")) return Mufu::EX2;
+    if (iequals(suffix, "LG2")) return Mufu::LG2;
+    if (iequals(suffix, "EXP")) return Mufu::EXP;
+    if (iequals(suffix, "LOG")) return Mufu::LOG;
+    if (iequals(suffix, "SIN")) return Mufu::SIN;
+    if (iequals(suffix, "COS")) return Mufu::COS;
+    throw AsmError(n, "unknown MUFU function '" + suffix + "'");
+  }
+
+  void parse_instruction(std::vector<std::string> toks, std::size_t n) {
+    Instr ins;
+    std::size_t i = 0;
+
+    // Guard predicate.
+    if (toks[i][0] == '@') {
+      auto p = parse_pred(std::string_view(toks[i]).substr(1));
+      if (!p) throw AsmError(n, "bad guard predicate '" + toks[i] + "'");
+      ins.guard = p->first;
+      ins.guard_neg = p->second;
+      ++i;
+      if (i >= toks.size()) throw AsmError(n, "guard predicate without instruction");
+    }
+
+    // Mnemonic, possibly with .suffix (ISETP.LT, MUFU.EXP, ATOM.ADD).
+    std::string mn = toks[i++];
+    std::string suffix;
+    if (const std::size_t dot = mn.find('.'); dot != std::string::npos) {
+      suffix = mn.substr(dot + 1);
+      mn = mn.substr(0, dot);
+    }
+    for (auto& ch : mn) ch = static_cast<char>(std::toupper(static_cast<unsigned char>(ch)));
+
+    auto need = [&](std::size_t count) {
+      if (toks.size() - i != count)
+        throw AsmError(n, mn + " expects " + std::to_string(count) + " operands, got " +
+                              std::to_string(toks.size() - i));
+    };
+    auto src = [&](std::size_t k) { return parse_src(toks[i + k], n); };
+    auto require_gpr_a = [&](Instr& out, std::size_t k) {
+      const Operand o = src(k);
+      out.a = o;
+    };
+
+    if (mn == "S2R") {
+      need(2);
+      ins.op = Op::S2R;
+      ins.dst = parse_dst(toks[i], n);
+      auto sr = parse_sreg(toks[i + 1]);
+      if (!sr) throw AsmError(n, "unknown special register '" + toks[i + 1] + "'");
+      ins.b = Operand::imm(static_cast<std::uint32_t>(*sr));
+    } else if (mn == "MOV" || mn == "NOT" || mn == "F2I" || mn == "I2F") {
+      need(2);
+      ins.op = mn == "MOV" ? Op::MOV : mn == "NOT" ? Op::NOT : mn == "F2I" ? Op::F2I : Op::I2F;
+      ins.dst = parse_dst(toks[i], n);
+      require_gpr_a(ins, 1);
+    } else if (mn == "MUFU") {
+      need(2);
+      ins.op = Op::MUFU;
+      ins.mufu = parse_mufu_suffix(suffix, n);
+      ins.dst = parse_dst(toks[i], n);
+      require_gpr_a(ins, 1);
+    } else if (mn == "IADD" || mn == "ISUB" || mn == "IMUL" || mn == "SHL" || mn == "SHR" ||
+               mn == "ASR" || mn == "AND" || mn == "OR" || mn == "XOR" || mn == "IMIN" ||
+               mn == "IMAX" || mn == "FADD" || mn == "FSUB" || mn == "FMUL" ||
+               mn == "FMIN" || mn == "FMAX") {
+      need(3);
+      static const std::map<std::string, Op> kBin = {
+          {"IADD", Op::IADD}, {"ISUB", Op::ISUB}, {"IMUL", Op::IMUL}, {"SHL", Op::SHL},
+          {"SHR", Op::SHR},   {"ASR", Op::ASR},   {"AND", Op::AND},   {"OR", Op::OR},
+          {"XOR", Op::XOR},   {"IMIN", Op::IMIN}, {"IMAX", Op::IMAX}, {"FADD", Op::FADD},
+          {"FSUB", Op::FSUB}, {"FMUL", Op::FMUL}, {"FMIN", Op::FMIN}, {"FMAX", Op::FMAX}};
+      ins.op = kBin.at(mn);
+      ins.dst = parse_dst(toks[i], n);
+      require_gpr_a(ins, 1);
+      ins.b = src(2);
+    } else if (mn == "IMAD" || mn == "FFMA") {
+      need(4);
+      ins.op = mn == "IMAD" ? Op::IMAD : Op::FFMA;
+      ins.dst = parse_dst(toks[i], n);
+      require_gpr_a(ins, 1);
+      ins.b = src(2);
+      ins.c = src(3);
+    } else if (mn == "ISCADD") {
+      need(4);
+      ins.op = Op::ISCADD;
+      ins.dst = parse_dst(toks[i], n);
+      require_gpr_a(ins, 1);
+      ins.b = src(2);
+      auto sh = parse_int_imm(toks[i + 3]);
+      if (!sh || *sh > 31) throw AsmError(n, "ISCADD shift must be 0..31");
+      ins.shift = static_cast<std::uint8_t>(*sh);
+    } else if (mn == "ISETP" || mn == "FSETP") {
+      need(3);
+      ins.op = mn == "ISETP" ? Op::ISETP : Op::FSETP;
+      ins.cmp = parse_cmp_suffix(suffix, n);
+      auto p = parse_pred(toks[i]);
+      if (!p || p->second) throw AsmError(n, "expected predicate destination");
+      ins.pdst = p->first;
+      if (ins.pdst == isa::kPredPT) throw AsmError(n, "cannot write PT");
+      require_gpr_a(ins, 1);
+      ins.b = src(2);
+    } else if (mn == "SEL") {
+      need(4);
+      ins.op = Op::SEL;
+      ins.dst = parse_dst(toks[i], n);
+      require_gpr_a(ins, 1);
+      ins.b = src(2);
+      auto p = parse_pred(toks[i + 3]);
+      if (!p) throw AsmError(n, "SEL expects a predicate as 4th operand");
+      ins.psrc = p->first;
+      ins.psrc_neg = p->second;
+    } else if (mn == "LDG" || mn == "LDT" || mn == "LDS") {
+      need(2);
+      ins.op = mn == "LDG" ? Op::LDG : mn == "LDT" ? Op::LDT : Op::LDS;
+      ins.dst = parse_dst(toks[i], n);
+      parse_mem_ref(toks[i + 1], ins, n);
+    } else if (mn == "STG" || mn == "STS") {
+      need(2);
+      ins.op = mn == "STG" ? Op::STG : Op::STS;
+      parse_mem_ref(toks[i], ins, n);
+      ins.b = src(1);
+    } else if (mn == "ATOM") {
+      need(3);
+      if (!iequals(suffix, "ADD")) throw AsmError(n, "only ATOM.ADD is supported");
+      ins.op = Op::ATOM_ADD;
+      ins.dst = parse_dst(toks[i], n);
+      parse_mem_ref(toks[i + 1], ins, n);
+      ins.b = src(2);
+    } else if (mn == "RED") {
+      need(2);
+      if (!iequals(suffix, "ADD")) throw AsmError(n, "only RED.ADD is supported");
+      ins.op = Op::RED_ADD;
+      parse_mem_ref(toks[i], ins, n);
+      ins.b = src(1);
+    } else if (mn == "BRA" || mn == "SSY") {
+      need(1);
+      ins.op = mn == "BRA" ? Op::BRA : Op::SSY;
+      fixups_.push_back({current_->code.size(), toks[i], n});
+    } else if (mn == "SYNC" || mn == "BAR" || mn == "EXIT" || mn == "NOP") {
+      need(0);
+      ins.op = mn == "SYNC" ? Op::SYNC : mn == "BAR" ? Op::BAR : mn == "EXIT" ? Op::EXIT : Op::NOP;
+    } else {
+      throw AsmError(n, "unknown mnemonic '" + mn + "'");
+    }
+
+    current_->code.push_back(ins);
+  }
+
+  void finish_kernel(std::size_t line) {
+    if (!current_) return;
+    for (const Fixup& f : fixups_) {
+      auto it = labels_.find(f.label);
+      if (it == labels_.end()) throw AsmError(f.line, "undefined label '" + f.label + "'");
+      current_->code[f.instr_index].target = static_cast<std::uint32_t>(it->second);
+    }
+    if (current_->code.empty()) throw AsmError(line, "kernel '" + current_->name + "' is empty");
+    current_->recount_registers();
+    kernels_.push_back(std::move(*current_));
+    current_.reset();
+    labels_.clear();
+    fixups_.clear();
+  }
+
+  std::string_view source_;
+  std::optional<Kernel> current_;
+  std::map<std::string, std::size_t> labels_;
+  std::vector<Fixup> fixups_;
+  std::vector<Kernel> kernels_;
+};
+
+}  // namespace
+
+std::vector<Kernel> assemble(std::string_view source) { return Parser(source).run(); }
+
+Kernel assemble_kernel(std::string_view source) {
+  auto kernels = assemble(source);
+  if (kernels.size() != 1) {
+    throw AsmError(0, "expected exactly one kernel, found " + std::to_string(kernels.size()));
+  }
+  return std::move(kernels.front());
+}
+
+}  // namespace gras::assembler

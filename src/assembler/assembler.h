@@ -1,0 +1,70 @@
+// Text assembler for the gras mini-ISA.
+//
+// Grammar (line oriented; `//` and `;` start comments):
+//
+//   .kernel <name>             begins a new kernel
+//   .smem <bytes>              static shared memory per CTA
+//   .param <name> ptr|u32|f32  declares the next 4-byte parameter slot
+//   <label>:                   labels an instruction position
+//   [@[!]Pn] MNEMONIC operands
+//
+// Operand syntax:
+//   R5, RZ                     general-purpose registers
+//   P0..P6, PT                 predicates ("!P0" negates where allowed)
+//   123, -7, 0x1f              integer immediates
+//   1.5f, -0.25f               float immediates (bit pattern into the GPR)
+//   c[name] / c[0x10]          kernel parameter (constant bank 0)
+//   [R4], [R4+16], [R4-4]      memory reference (base register + byte offset)
+//   SR_TID.X etc.              special registers (S2R only)
+//   some_label                 branch/SSY target
+//
+// Example:
+//   .kernel vec_add
+//   .param a ptr
+//   .param b ptr
+//   .param out ptr
+//   .param n u32
+//       S2R R0, SR_CTAID.X
+//       S2R R1, SR_NTID.X
+//       S2R R2, SR_TID.X
+//       IMAD R3, R0, R1, R2        // global index
+//       ISETP.GE P0, R3, c[n]
+//       @P0 EXIT
+//       ISCADD R4, R3, c[a], 2
+//       LDG R5, [R4]
+//       ISCADD R6, R3, c[b], 2
+//       LDG R7, [R6]
+//       FADD R8, R5, R7
+//       ISCADD R9, R3, c[out], 2
+//       STG [R9], R8
+//       EXIT
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/isa/isa.h"
+
+namespace gras::assembler {
+
+/// Error with 1-based source line number.
+class AsmError : public std::runtime_error {
+ public:
+  AsmError(std::size_t line, const std::string& message)
+      : std::runtime_error("asm line " + std::to_string(line) + ": " + message),
+        line_(line) {}
+  std::size_t line() const noexcept { return line_; }
+
+ private:
+  std::size_t line_;
+};
+
+/// Assembles source text containing one or more kernels.
+std::vector<isa::Kernel> assemble(std::string_view source);
+
+/// Assembles source text expected to contain exactly one kernel.
+isa::Kernel assemble_kernel(std::string_view source);
+
+}  // namespace gras::assembler

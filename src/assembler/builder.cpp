@@ -1,0 +1,165 @@
+#include "src/assembler/builder.h"
+
+#include <stdexcept>
+
+namespace gras::assembler {
+
+using isa::Instr;
+using isa::Op;
+using isa::Operand;
+
+KernelBuilder::KernelBuilder(std::string name) { kernel_.name = std::move(name); }
+
+KernelBuilder& KernelBuilder::smem(std::uint32_t bytes) {
+  kernel_.smem_bytes = bytes;
+  return *this;
+}
+
+KernelBuilder& KernelBuilder::param(const std::string& name, bool is_pointer) {
+  isa::ParamDecl p;
+  p.name = name;
+  p.is_pointer = is_pointer;
+  p.byte_offset = static_cast<std::uint32_t>(kernel_.params.size() * 4);
+  kernel_.params.push_back(p);
+  return *this;
+}
+
+KernelBuilder& KernelBuilder::emit(Instr ins) {
+  kernel_.code.push_back(ins);
+  return *this;
+}
+
+KernelBuilder& KernelBuilder::label(const std::string& name) {
+  labels_.emplace_back(name, kernel_.code.size());
+  return *this;
+}
+
+KernelBuilder& KernelBuilder::bra(const std::string& label, std::uint8_t guard,
+                                  bool guard_neg) {
+  Instr ins;
+  ins.op = Op::BRA;
+  ins.guard = guard;
+  ins.guard_neg = guard_neg;
+  pending_.push_back({kernel_.code.size(), label});
+  return emit(ins);
+}
+
+KernelBuilder& KernelBuilder::ssy(const std::string& label) {
+  Instr ins;
+  ins.op = Op::SSY;
+  pending_.push_back({kernel_.code.size(), label});
+  return emit(ins);
+}
+
+KernelBuilder& KernelBuilder::s2r(std::uint8_t rd, isa::SpecialReg sr) {
+  Instr ins;
+  ins.op = Op::S2R;
+  ins.dst = rd;
+  ins.b = Operand::imm(static_cast<std::uint32_t>(sr));
+  return emit(ins);
+}
+
+KernelBuilder& KernelBuilder::mov(std::uint8_t rd, Operand src) {
+  Instr ins;
+  ins.op = Op::MOV;
+  ins.dst = rd;
+  ins.a = src;
+  return emit(ins);
+}
+
+KernelBuilder& KernelBuilder::iadd(std::uint8_t rd, std::uint8_t ra, Operand b) {
+  Instr ins;
+  ins.op = Op::IADD;
+  ins.dst = rd;
+  ins.a = Operand::gpr(ra);
+  ins.b = b;
+  return emit(ins);
+}
+
+KernelBuilder& KernelBuilder::imad(std::uint8_t rd, std::uint8_t ra, Operand b, Operand c) {
+  Instr ins;
+  ins.op = Op::IMAD;
+  ins.dst = rd;
+  ins.a = Operand::gpr(ra);
+  ins.b = b;
+  ins.c = c;
+  return emit(ins);
+}
+
+KernelBuilder& KernelBuilder::iscadd(std::uint8_t rd, std::uint8_t ra, Operand b,
+                                     std::uint8_t shift) {
+  Instr ins;
+  ins.op = Op::ISCADD;
+  ins.dst = rd;
+  ins.a = Operand::gpr(ra);
+  ins.b = b;
+  ins.shift = shift;
+  return emit(ins);
+}
+
+KernelBuilder& KernelBuilder::isetp(isa::Cmp cmp, std::uint8_t pd, std::uint8_t ra,
+                                    Operand b) {
+  Instr ins;
+  ins.op = Op::ISETP;
+  ins.cmp = cmp;
+  ins.pdst = pd;
+  ins.a = Operand::gpr(ra);
+  ins.b = b;
+  return emit(ins);
+}
+
+KernelBuilder& KernelBuilder::ldg(std::uint8_t rd, std::uint8_t ra, std::int32_t offset) {
+  Instr ins;
+  ins.op = Op::LDG;
+  ins.dst = rd;
+  ins.a = Operand::gpr(ra);
+  ins.mem_offset = offset;
+  return emit(ins);
+}
+
+KernelBuilder& KernelBuilder::stg(std::uint8_t ra, Operand value, std::int32_t offset) {
+  Instr ins;
+  ins.op = Op::STG;
+  ins.a = Operand::gpr(ra);
+  ins.b = value;
+  ins.mem_offset = offset;
+  return emit(ins);
+}
+
+KernelBuilder& KernelBuilder::bar() {
+  Instr ins;
+  ins.op = Op::BAR;
+  return emit(ins);
+}
+
+KernelBuilder& KernelBuilder::sync() {
+  Instr ins;
+  ins.op = Op::SYNC;
+  return emit(ins);
+}
+
+KernelBuilder& KernelBuilder::exit(std::uint8_t guard, bool guard_neg) {
+  Instr ins;
+  ins.op = Op::EXIT;
+  ins.guard = guard;
+  ins.guard_neg = guard_neg;
+  return emit(ins);
+}
+
+isa::Kernel KernelBuilder::build() {
+  for (const PendingTarget& p : pending_) {
+    bool found = false;
+    for (const auto& [name, index] : labels_) {
+      if (name == p.label) {
+        kernel_.code[p.instr_index].target = static_cast<std::uint32_t>(index);
+        found = true;
+        break;
+      }
+    }
+    if (!found) throw std::runtime_error("KernelBuilder: undefined label '" + p.label + "'");
+  }
+  kernel_.recount_registers();
+  return std::move(kernel_);
+}
+
+}  // namespace gras::assembler

@@ -1,0 +1,58 @@
+// Programmatic kernel construction. Used by the TMR hardening transform
+// (which injects prologue instructions into existing kernels) and by tests
+// that synthesize kernels without going through assembler text.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/isa/isa.h"
+
+namespace gras::assembler {
+
+/// Fluent builder for isa::Kernel. Branch targets are labels resolved at
+/// build() time.
+class KernelBuilder {
+ public:
+  explicit KernelBuilder(std::string name);
+
+  KernelBuilder& smem(std::uint32_t bytes);
+  KernelBuilder& param(const std::string& name, bool is_pointer);
+
+  /// Appends a raw instruction (target fields must already be resolved).
+  KernelBuilder& emit(isa::Instr ins);
+
+  /// Binds `label` to the next emitted instruction.
+  KernelBuilder& label(const std::string& name);
+  /// Emits a branch/SSY to `label` (resolved at build()).
+  KernelBuilder& bra(const std::string& label, std::uint8_t guard = isa::kPredPT,
+                     bool guard_neg = false);
+  KernelBuilder& ssy(const std::string& label);
+
+  // Common shorthands.
+  KernelBuilder& s2r(std::uint8_t rd, isa::SpecialReg sr);
+  KernelBuilder& mov(std::uint8_t rd, isa::Operand src);
+  KernelBuilder& iadd(std::uint8_t rd, std::uint8_t ra, isa::Operand b);
+  KernelBuilder& imad(std::uint8_t rd, std::uint8_t ra, isa::Operand b, isa::Operand c);
+  KernelBuilder& iscadd(std::uint8_t rd, std::uint8_t ra, isa::Operand b, std::uint8_t shift);
+  KernelBuilder& isetp(isa::Cmp cmp, std::uint8_t pd, std::uint8_t ra, isa::Operand b);
+  KernelBuilder& ldg(std::uint8_t rd, std::uint8_t ra, std::int32_t offset = 0);
+  KernelBuilder& stg(std::uint8_t ra, isa::Operand value, std::int32_t offset = 0);
+  KernelBuilder& bar();
+  KernelBuilder& sync();
+  KernelBuilder& exit(std::uint8_t guard = isa::kPredPT, bool guard_neg = false);
+
+  /// Resolves labels, recounts registers, returns the kernel.
+  isa::Kernel build();
+
+ private:
+  struct PendingTarget {
+    std::size_t instr_index;
+    std::string label;
+  };
+  isa::Kernel kernel_;
+  std::vector<std::pair<std::string, std::size_t>> labels_;
+  std::vector<PendingTarget> pending_;
+};
+
+}  // namespace gras::assembler

@@ -1,0 +1,97 @@
+#include "src/campaign/cache.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "src/common/env.h"
+
+namespace gras::campaign {
+namespace {
+
+std::filesystem::path cache_dir() {
+  return std::filesystem::path(env_str("GRAS_CACHE", ".gras_cache"));
+}
+
+std::filesystem::path key_path(const workloads::App& app, const sim::GpuConfig& config,
+                               const CampaignSpec& spec) {
+  std::string name = app.name();
+  name += '.';
+  name += spec.kernel;
+  name += '.';
+  name += target_name(spec.target);
+  name += '.';
+  name += std::to_string(spec.samples);
+  name += '.';
+  name += std::to_string(spec.seed);
+  name += '.';
+  name += config.name;
+  name += ".txt";
+  return cache_dir() / name;
+}
+
+bool load(const std::filesystem::path& path, CampaignResult& result) {
+  std::FILE* f = std::fopen(path.string().c_str(), "r");
+  if (f == nullptr) return false;
+  std::uint64_t masked, sdc, timeout, due, control, injected;
+  const int n = std::fscanf(f, "%" SCNu64 " %" SCNu64 " %" SCNu64 " %" SCNu64
+                               " %" SCNu64 " %" SCNu64,
+                            &masked, &sdc, &timeout, &due, &control, &injected);
+  std::fclose(f);
+  if (n != 6) return false;
+  result.counts.masked = masked;
+  result.counts.sdc = sdc;
+  result.counts.timeout = timeout;
+  result.counts.due = due;
+  result.control_path_masked = control;
+  result.injected = injected;
+  return true;
+}
+
+void store(const std::filesystem::path& path, const CampaignResult& result) {
+  std::error_code ec;
+  std::filesystem::create_directories(path.parent_path(), ec);
+  const std::filesystem::path tmp = path.string() + ".tmp";
+  std::FILE* f = std::fopen(tmp.string().c_str(), "w");
+  if (f == nullptr) return;
+  std::fprintf(f, "%" PRIu64 " %" PRIu64 " %" PRIu64 " %" PRIu64 " %" PRIu64 " %" PRIu64 "\n",
+               result.counts.masked, result.counts.sdc, result.counts.timeout,
+               result.counts.due, result.control_path_masked, result.injected);
+  std::fclose(f);
+  std::filesystem::rename(tmp, path, ec);
+}
+
+}  // namespace
+
+CampaignResult cached_campaign(const workloads::App& app, const sim::GpuConfig& config,
+                               const GoldenRun& golden, const CampaignSpec& spec,
+                               ThreadPool& pool) {
+  const std::filesystem::path path = key_path(app, config, spec);
+  CampaignResult result;
+  result.spec = spec;
+  if (load(path, result)) return result;
+  result = run_campaign(app, config, golden, spec, pool);
+  store(path, result);
+  return result;
+}
+
+KernelCampaigns cached_kernel_sweep(const workloads::App& app,
+                                    const sim::GpuConfig& config,
+                                    const GoldenRun& golden, const std::string& kernel,
+                                    std::span<const Target> targets,
+                                    std::uint64_t samples, std::uint64_t seed,
+                                    ThreadPool& pool) {
+  KernelCampaigns out;
+  for (Target t : targets) {
+    CampaignSpec spec;
+    spec.kernel = kernel;
+    spec.target = t;
+    spec.samples = samples;
+    spec.seed = seed;
+    out.emplace(t, cached_campaign(app, config, golden, spec, pool));
+  }
+  return out;
+}
+
+}  // namespace gras::campaign

@@ -1,0 +1,300 @@
+#include "src/campaign/campaign.h"
+
+#include <atomic>
+#include <memory>
+#include <stdexcept>
+
+#include "src/common/rng.h"
+#include "src/fi/injectors.h"
+
+namespace gras::campaign {
+
+std::vector<std::size_t> GoldenRun::launches_of(const std::string& kernel) const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < launches.size(); ++i) {
+    if (launches[i].kernel == kernel) out.push_back(i);
+  }
+  return out;
+}
+
+std::uint64_t GoldenRun::kernel_cycles(const std::string& kernel) const {
+  std::uint64_t total = 0;
+  for (const auto& l : launches) {
+    if (l.kernel == kernel) total += l.cycles();
+  }
+  return total;
+}
+
+std::uint64_t GoldenRun::kernel_gp_instrs(const std::string& kernel) const {
+  std::uint64_t total = 0;
+  for (const auto& l : launches) {
+    if (l.kernel == kernel) total += l.gp_end - l.gp_begin;
+  }
+  return total;
+}
+
+std::uint64_t GoldenRun::kernel_ld_instrs(const std::string& kernel) const {
+  std::uint64_t total = 0;
+  for (const auto& l : launches) {
+    if (l.kernel == kernel) total += l.ld_end - l.ld_begin;
+  }
+  return total;
+}
+
+sim::SimStats GoldenRun::kernel_stats(const std::string& kernel) const {
+  sim::SimStats total;
+  for (const auto& l : launches) {
+    if (l.kernel == kernel) total += l.stats;
+  }
+  return total;
+}
+
+std::vector<std::string> GoldenRun::kernel_names() const {
+  std::vector<std::string> names;
+  for (const auto& l : launches) {
+    bool seen = false;
+    for (const auto& n : names) {
+      if (n == l.kernel) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) names.push_back(l.kernel);
+  }
+  return names;
+}
+
+GoldenRun run_golden(const workloads::App& app, const sim::GpuConfig& config) {
+  sim::Gpu gpu(config);
+  GoldenRun golden;
+  golden.output = workloads::run_app(app, gpu);
+  if (!golden.output.completed()) {
+    throw std::runtime_error("fault-free run of '" + app.name() + "' failed: " +
+                             std::string(sim::trap_name(golden.output.trap)));
+  }
+  golden.launches = gpu.launches();
+  golden.total_cycles = gpu.cycle();
+  std::uint64_t max_budget = 0;
+  for (const auto& l : golden.launches) {
+    const std::uint64_t b = l.cycles() * 10 + 2000;
+    golden.budgets.push_back(b);
+    max_budget = std::max(max_budget, b);
+  }
+  golden.overflow_budget = max_budget;
+  return golden;
+}
+
+const char* target_name(Target t) {
+  switch (t) {
+    case Target::RF: return "RF";
+    case Target::SMEM: return "SMEM";
+    case Target::L1D: return "L1D";
+    case Target::L1T: return "L1T";
+    case Target::L2: return "L2";
+    case Target::Svf: return "SVF";
+    case Target::SvfLd: return "SVF-LD";
+    case Target::SvfSrcOnce: return "SVF-SRC1";
+    case Target::SvfSrcReuse: return "SVF-REUSE";
+  }
+  return "?";
+}
+
+bool is_microarch(Target t) {
+  switch (t) {
+    case Target::RF:
+    case Target::SMEM:
+    case Target::L1D:
+    case Target::L1T:
+    case Target::L2:
+      return true;
+    default:
+      return false;
+  }
+}
+
+double OutcomeCounts::pct(fi::Outcome o) const {
+  const std::uint64_t n = total();
+  if (n == 0) return 0.0;
+  std::uint64_t v = 0;
+  switch (o) {
+    case fi::Outcome::Masked: v = masked; break;
+    case fi::Outcome::SDC: v = sdc; break;
+    case fi::Outcome::Timeout: v = timeout; break;
+    case fi::Outcome::DUE: v = due; break;
+  }
+  return static_cast<double>(v) / static_cast<double>(n);
+}
+
+double OutcomeCounts::failure_rate() const {
+  return pct(fi::Outcome::SDC) + pct(fi::Outcome::Timeout) + pct(fi::Outcome::DUE);
+}
+
+OutcomeCounts& OutcomeCounts::operator+=(const OutcomeCounts& o) {
+  masked += o.masked;
+  sdc += o.sdc;
+  timeout += o.timeout;
+  due += o.due;
+  return *this;
+}
+
+ProportionCi CampaignResult::fr_ci(double confidence) const {
+  return wald_interval(counts.sdc + counts.timeout + counts.due, counts.total(),
+                       confidence);
+}
+
+namespace {
+
+fi::Structure to_structure(Target t) {
+  switch (t) {
+    case Target::RF: return fi::Structure::RF;
+    case Target::SMEM: return fi::Structure::SMEM;
+    case Target::L1D: return fi::Structure::L1D;
+    case Target::L1T: return fi::Structure::L1T;
+    default: return fi::Structure::L2;
+  }
+}
+
+fi::SvfMode to_mode(Target t) {
+  switch (t) {
+    case Target::SvfLd: return fi::SvfMode::DstLoad;
+    case Target::SvfSrcOnce: return fi::SvfMode::SrcOnce;
+    case Target::SvfSrcReuse: return fi::SvfMode::SrcReuse;
+    default: return fi::SvfMode::Dst;
+  }
+}
+
+/// Builds the injector for one sample, or nullptr when the kernel has no
+/// sampling space for this target (no cycles / no instructions).
+std::unique_ptr<sim::FaultHook> make_hook(const GoldenRun& golden,
+                                          const CampaignSpec& spec, Rng& rng) {
+  const auto indices = golden.launches_of(spec.kernel);
+  if (indices.empty()) return nullptr;
+
+  if (is_microarch(spec.target)) {
+    // Pick a launch weighted by its cycle span, then a cycle within it.
+    std::uint64_t total = 0;
+    for (std::size_t i : indices) total += golden.launches[i].cycles();
+    if (total == 0) return nullptr;
+    std::uint64_t r = rng.below(total);
+    for (std::size_t i : indices) {
+      const auto& l = golden.launches[i];
+      if (r < l.cycles()) {
+        return std::make_unique<fi::MicroarchInjector>(
+            to_structure(spec.target), l.start_cycle + 1 + r, l.end_cycle, rng);
+      }
+      r -= l.cycles();
+    }
+    return nullptr;
+  }
+
+  // Software level: pick a dynamic thread instruction of the kernel,
+  // weighted across its launches, in the global counting space.
+  const bool loads = spec.target == Target::SvfLd;
+  std::uint64_t total = 0;
+  for (std::size_t i : indices) {
+    const auto& l = golden.launches[i];
+    total += loads ? (l.ld_end - l.ld_begin) : (l.gp_end - l.gp_begin);
+  }
+  if (total == 0) return nullptr;
+  std::uint64_t r = rng.below(total);
+  for (std::size_t i : indices) {
+    const auto& l = golden.launches[i];
+    const std::uint64_t span = loads ? (l.ld_end - l.ld_begin) : (l.gp_end - l.gp_begin);
+    if (r < span) {
+      const std::uint64_t global_index = (loads ? l.ld_begin : l.gp_begin) + r;
+      return std::make_unique<fi::SoftwareInjector>(to_mode(spec.target), global_index,
+                                                    rng);
+    }
+    r -= span;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+SampleResult run_sample(const workloads::App& app, const sim::GpuConfig& config,
+                        const GoldenRun& golden, const CampaignSpec& spec,
+                        std::uint64_t sample_index) {
+  Rng rng = Rng::for_sample(spec.seed ^ (static_cast<std::uint64_t>(spec.target) << 40),
+                            sample_index);
+  auto hook = make_hook(golden, spec, rng);
+
+  sim::Gpu gpu(config);
+  gpu.set_launch_budgets(golden.budgets, golden.overflow_budget);
+  if (hook) gpu.set_fault_hook(hook.get());
+  const workloads::RunOutput out = workloads::run_app(app, gpu);
+
+  SampleResult result;
+  result.cycles = gpu.cycle();
+  result.injected = false;
+  if (hook) {
+    if (auto* m = dynamic_cast<fi::MicroarchInjector*>(hook.get())) {
+      result.injected = m->injected();
+    } else if (auto* s = dynamic_cast<fi::SoftwareInjector*>(hook.get())) {
+      result.injected = s->injected();
+    }
+  }
+
+  if (out.trap == sim::TrapKind::Watchdog) {
+    result.outcome = fi::Outcome::Timeout;
+  } else if (out.trap != sim::TrapKind::None) {
+    result.outcome = fi::Outcome::DUE;
+  } else if (out.outputs != golden.output.outputs) {
+    result.outcome = fi::Outcome::SDC;
+  } else {
+    result.outcome = fi::Outcome::Masked;
+  }
+  return result;
+}
+
+CampaignResult run_campaign(const workloads::App& app, const sim::GpuConfig& config,
+                            const GoldenRun& golden, const CampaignSpec& spec,
+                            ThreadPool& pool) {
+  CampaignResult result;
+  result.spec = spec;
+
+  std::atomic<std::uint64_t> masked{0}, sdc{0}, timeout{0}, due{0};
+  std::atomic<std::uint64_t> control{0}, injected{0};
+
+  pool.parallel_for(spec.samples, [&](std::size_t i) {
+    const SampleResult s = run_sample(app, config, golden, spec, i);
+    switch (s.outcome) {
+      case fi::Outcome::Masked:
+        masked.fetch_add(1, std::memory_order_relaxed);
+        if (s.cycles != golden.total_cycles) {
+          control.fetch_add(1, std::memory_order_relaxed);
+        }
+        break;
+      case fi::Outcome::SDC: sdc.fetch_add(1, std::memory_order_relaxed); break;
+      case fi::Outcome::Timeout: timeout.fetch_add(1, std::memory_order_relaxed); break;
+      case fi::Outcome::DUE: due.fetch_add(1, std::memory_order_relaxed); break;
+    }
+    if (s.injected) injected.fetch_add(1, std::memory_order_relaxed);
+  });
+
+  result.counts.masked = masked.load();
+  result.counts.sdc = sdc.load();
+  result.counts.timeout = timeout.load();
+  result.counts.due = due.load();
+  result.control_path_masked = control.load();
+  result.injected = injected.load();
+  return result;
+}
+
+KernelCampaigns run_kernel_sweep(const workloads::App& app, const sim::GpuConfig& config,
+                                 const GoldenRun& golden, const std::string& kernel,
+                                 std::span<const Target> targets, std::uint64_t samples,
+                                 std::uint64_t seed, ThreadPool& pool) {
+  KernelCampaigns out;
+  for (Target t : targets) {
+    CampaignSpec spec;
+    spec.kernel = kernel;
+    spec.target = t;
+    spec.samples = samples;
+    spec.seed = seed;
+    out.emplace(t, run_campaign(app, config, golden, spec, pool));
+  }
+  return out;
+}
+
+}  // namespace gras::campaign

@@ -1,0 +1,123 @@
+// Statistical fault-injection campaign engine.
+//
+// One campaign = (application, target kernel, injection target, N samples).
+// Each sample is an independent simulation with exactly one single-bit fault
+// (paper §II-A: 3,000 samples give 99% CIs of about +/-2.35 points; the
+// sample count here is configurable and every consumer reports the achieved
+// margin). Samples derive their randomness from (seed, sample index), so
+// results are bit-reproducible for any thread count.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/common/stats.h"
+#include "src/common/thread_pool.h"
+#include "src/fi/fault.h"
+#include "src/sim/config.h"
+#include "src/sim/gpu.h"
+#include "src/workloads/workload.h"
+
+namespace gras::campaign {
+
+/// Fault-free reference execution: outputs, per-launch records, and the
+/// watchdog budgets derived from them (10x golden cycles per launch).
+struct GoldenRun {
+  workloads::RunOutput output;
+  std::vector<sim::LaunchRecord> launches;
+  std::uint64_t total_cycles = 0;
+  std::vector<std::uint64_t> budgets;
+  std::uint64_t overflow_budget = 0;
+
+  /// Launch indices of a kernel; empty if the kernel never ran.
+  std::vector<std::size_t> launches_of(const std::string& kernel) const;
+  /// Total golden cycles of a kernel across its launches.
+  std::uint64_t kernel_cycles(const std::string& kernel) const;
+  /// Total GPR-writing (or load) thread instructions of a kernel.
+  std::uint64_t kernel_gp_instrs(const std::string& kernel) const;
+  std::uint64_t kernel_ld_instrs(const std::string& kernel) const;
+  /// Aggregated golden SimStats of a kernel.
+  sim::SimStats kernel_stats(const std::string& kernel) const;
+  /// Kernel names in first-launch order.
+  std::vector<std::string> kernel_names() const;
+};
+
+/// Runs the app fault-free and collects the golden reference.
+/// Throws std::runtime_error if the fault-free run does not complete.
+GoldenRun run_golden(const workloads::App& app, const sim::GpuConfig& config);
+
+/// What a campaign injects into.
+enum class Target : std::uint8_t {
+  RF, SMEM, L1D, L1T, L2,   // microarchitecture level (gpuFI-4 / AVF)
+  Svf,                      // software level, destination registers (NVBitFI)
+  SvfLd,                    // software level, load destinations only
+  SvfSrcOnce,               // extension: transient source-operand corruption
+  SvfSrcReuse,              // extension: persistent source-register corruption
+};
+
+const char* target_name(Target t);
+bool is_microarch(Target t);
+/// The five microarchitecture targets.
+inline constexpr Target kMicroarchTargets[] = {Target::RF, Target::SMEM, Target::L1D,
+                                               Target::L1T, Target::L2};
+
+struct CampaignSpec {
+  std::string kernel;        ///< target kernel name
+  Target target = Target::RF;
+  std::uint64_t samples = 300;
+  std::uint64_t seed = 2024;
+};
+
+struct OutcomeCounts {
+  std::uint64_t masked = 0, sdc = 0, timeout = 0, due = 0;
+  std::uint64_t total() const { return masked + sdc + timeout + due; }
+  double pct(fi::Outcome o) const;
+  /// FR = Pct(SDC) + Pct(Timeout) + Pct(DUE) (paper §II-B).
+  double failure_rate() const;
+  OutcomeCounts& operator+=(const OutcomeCounts& o);
+};
+
+struct CampaignResult {
+  CampaignSpec spec;
+  OutcomeCounts counts;
+  /// Masked runs whose total cycle count differed from golden: the paper's
+  /// control-path-affected masked proxy (Fig. 11).
+  std::uint64_t control_path_masked = 0;
+  /// Samples in which a bit flip actually landed (RF/SMEM attempts can
+  /// expire when nothing is allocated in the window).
+  std::uint64_t injected = 0;
+
+  /// Confidence interval on the failure rate.
+  ProportionCi fr_ci(double confidence = 0.99) const;
+};
+
+/// Runs one campaign. The app and golden run must outlive the call; both are
+/// shared read-only across worker threads.
+CampaignResult run_campaign(const workloads::App& app, const sim::GpuConfig& config,
+                            const GoldenRun& golden, const CampaignSpec& spec,
+                            ThreadPool& pool);
+
+/// Runs one injection sample (exposed for tests): returns the outcome and
+/// the faulty run's total cycles.
+struct SampleResult {
+  fi::Outcome outcome;
+  std::uint64_t cycles;
+  bool injected;
+};
+SampleResult run_sample(const workloads::App& app, const sim::GpuConfig& config,
+                        const GoldenRun& golden, const CampaignSpec& spec,
+                        std::uint64_t sample_index);
+
+/// All campaign results for one kernel, keyed by target.
+using KernelCampaigns = std::map<Target, CampaignResult>;
+
+/// Convenience sweep: runs campaigns for `targets` over one kernel.
+KernelCampaigns run_kernel_sweep(const workloads::App& app, const sim::GpuConfig& config,
+                                 const GoldenRun& golden, const std::string& kernel,
+                                 std::span<const Target> targets, std::uint64_t samples,
+                                 std::uint64_t seed, ThreadPool& pool);
+
+}  // namespace gras::campaign

@@ -1,0 +1,26 @@
+#include "src/common/bitops.h"
+
+#include <bit>
+
+namespace gras {
+
+void flip_bit(std::span<std::uint8_t> bytes, std::size_t bit_index) noexcept {
+  const std::size_t byte = bit_index >> 3;
+  const unsigned bit = static_cast<unsigned>(bit_index & 7u);
+  if (byte < bytes.size()) bytes[byte] = static_cast<std::uint8_t>(bytes[byte] ^ (1u << bit));
+}
+
+bool read_bit(std::span<const std::uint8_t> bytes, std::size_t bit_index) noexcept {
+  const std::size_t byte = bit_index >> 3;
+  const unsigned bit = static_cast<unsigned>(bit_index & 7u);
+  if (byte >= bytes.size()) return false;
+  return (bytes[byte] >> bit) & 1u;
+}
+
+std::size_t popcount(std::span<const std::uint8_t> bytes) noexcept {
+  std::size_t n = 0;
+  for (std::uint8_t b : bytes) n += static_cast<std::size_t>(std::popcount(b));
+  return n;
+}
+
+}  // namespace gras

@@ -1,0 +1,45 @@
+// Bit-level helpers used by the fault injectors: every injectable hardware
+// structure in gras is ultimately a byte array, and a single-bit fault is a
+// flip of one bit inside it.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace gras {
+
+/// Flips bit `bit` (0 = LSB) of `value` and returns the result.
+constexpr std::uint32_t flip_bit(std::uint32_t value, unsigned bit) noexcept {
+  return value ^ (std::uint32_t{1} << (bit & 31u));
+}
+
+/// Flips bit `bit_index` of a byte array viewed as a little-endian bit string
+/// (bit 0 = LSB of byte 0).
+void flip_bit(std::span<std::uint8_t> bytes, std::size_t bit_index) noexcept;
+
+/// Reads bit `bit_index` of a byte array (same numbering as flip_bit).
+bool read_bit(std::span<const std::uint8_t> bytes, std::size_t bit_index) noexcept;
+
+/// Number of set bits in a byte span.
+std::size_t popcount(std::span<const std::uint8_t> bytes) noexcept;
+
+/// Ceiling division for unsigned integers.
+constexpr std::uint64_t ceil_div(std::uint64_t a, std::uint64_t b) noexcept {
+  return (a + b - 1) / b;
+}
+
+/// True if `v` is a power of two (and non-zero).
+constexpr bool is_pow2(std::uint64_t v) noexcept { return v != 0 && (v & (v - 1)) == 0; }
+
+/// log2 of a power of two.
+constexpr unsigned log2_pow2(std::uint64_t v) noexcept {
+  unsigned n = 0;
+  while (v > 1) {
+    v >>= 1;
+    ++n;
+  }
+  return n;
+}
+
+}  // namespace gras

@@ -1,0 +1,27 @@
+#include "src/common/env.h"
+
+#include <cstdlib>
+
+namespace gras {
+
+std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(v, &end, 10);
+  if (end == v) return fallback;
+  return parsed;
+}
+
+std::string env_str(const char* name, const std::string& fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  return v;
+}
+
+std::uint64_t env_injections(std::uint64_t fallback) { return env_u64("GRAS_INJECTIONS", fallback); }
+std::uint64_t env_seed(std::uint64_t fallback) { return env_u64("GRAS_SEED", fallback); }
+std::uint64_t env_threads(std::uint64_t fallback) { return env_u64("GRAS_THREADS", fallback); }
+std::string env_config(const std::string& fallback) { return env_str("GRAS_CONFIG", fallback); }
+
+}  // namespace gras

@@ -1,0 +1,26 @@
+// Environment-variable knobs shared by the benchmark harnesses:
+//   GRAS_INJECTIONS  samples per fault-injection campaign (default 300;
+//                    the paper uses 3,000 per kernel/structure)
+//   GRAS_CONFIG      "gv100-scaled" (default) or "gv100"
+//   GRAS_THREADS     campaign worker threads (default: hardware concurrency)
+//   GRAS_SEED        campaign master seed (default 2024)
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace gras {
+
+std::uint64_t env_u64(const char* name, std::uint64_t fallback);
+std::string env_str(const char* name, const std::string& fallback);
+
+/// GRAS_INJECTIONS with its default.
+std::uint64_t env_injections(std::uint64_t fallback = 300);
+/// GRAS_SEED with its default.
+std::uint64_t env_seed(std::uint64_t fallback = 2024);
+/// GRAS_THREADS with its default (0 = hardware concurrency).
+std::uint64_t env_threads(std::uint64_t fallback = 0);
+/// GRAS_CONFIG with its default.
+std::string env_config(const std::string& fallback = "gv100-scaled");
+
+}  // namespace gras

@@ -1,0 +1,60 @@
+// Deterministic, splittable random number generation.
+//
+// A statistical fault-injection campaign must be reproducible bit-for-bit no
+// matter how many worker threads execute it, so every campaign sample derives
+// its own independent stream from (campaign seed, sample index) instead of
+// sharing one sequential generator.
+//
+// The generator is xoshiro256** seeded through SplitMix64, the scheme
+// recommended by the xoshiro authors for deriving independent streams.
+#pragma once
+
+#include <cstdint>
+
+namespace gras {
+
+/// SplitMix64 step: maps a 64-bit state to a well-mixed 64-bit output.
+/// Used for seeding and as a cheap one-shot hash.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** PRNG. Satisfies std::uniform_random_bit_generator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the stream from a single 64-bit seed via SplitMix64.
+  explicit Rng(std::uint64_t seed = 0x6a09e667f3bcc908ull) noexcept;
+
+  /// Derives the independent stream for sample `index` of a campaign with
+  /// seed `seed` (mixes both through SplitMix64 before seeding).
+  static Rng for_sample(std::uint64_t seed, std::uint64_t index) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~std::uint64_t{0}; }
+
+  result_type operator()() noexcept;
+
+  /// Uniform integer in [0, bound). `bound` must be non-zero.
+  /// Uses Lemire's multiply-shift rejection method (unbiased).
+  std::uint64_t below(std::uint64_t bound) noexcept;
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::uint64_t range(std::uint64_t lo, std::uint64_t hi) noexcept;
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept;
+
+  /// Bernoulli trial with success probability p.
+  bool chance(double p) noexcept { return uniform() < p; }
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace gras

@@ -1,0 +1,112 @@
+#include "src/common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gras {
+
+double normal_quantile(double p) noexcept {
+  // Peter Acklam's inverse-normal approximation.
+  if (p <= 0.0) return -1e9;
+  if (p >= 1.0) return 1e9;
+  static constexpr double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                                 -2.759285104469687e+02, 1.383577518672690e+02,
+                                 -3.066479806614716e+01, 2.506628277459239e+00};
+  static constexpr double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                                 -1.556989798598866e+02, 6.680131188771972e+01,
+                                 -1.328068155288572e+01};
+  static constexpr double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                                 -2.400758277161838e+00, -2.549732539343734e+00,
+                                 4.374664141464968e+00,  2.938163982698783e+00};
+  static constexpr double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                                 2.445134137142996e+00, 3.754408661907416e+00};
+  constexpr double p_low = 0.02425;
+  constexpr double p_high = 1 - p_low;
+  double q, r;
+  if (p < p_low) {
+    q = std::sqrt(-2 * std::log(p));
+    return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1);
+  }
+  if (p <= p_high) {
+    q = p - 0.5;
+    r = q * q;
+    return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * q /
+           (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1);
+  }
+  q = std::sqrt(-2 * std::log(1 - p));
+  return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+         ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1);
+}
+
+double z_for_confidence(double confidence) noexcept {
+  return normal_quantile(0.5 + confidence / 2.0);
+}
+
+ProportionCi wald_interval(std::uint64_t successes, std::uint64_t trials,
+                           double confidence) noexcept {
+  ProportionCi ci;
+  if (trials == 0) return ci;
+  const double p = static_cast<double>(successes) / static_cast<double>(trials);
+  const double z = z_for_confidence(confidence);
+  const double half = z * std::sqrt(p * (1 - p) / static_cast<double>(trials));
+  ci.estimate = p;
+  ci.lower = std::max(0.0, p - half);
+  ci.upper = std::min(1.0, p + half);
+  return ci;
+}
+
+ProportionCi wilson_interval(std::uint64_t successes, std::uint64_t trials,
+                             double confidence) noexcept {
+  ProportionCi ci;
+  if (trials == 0) return ci;
+  const double n = static_cast<double>(trials);
+  const double p = static_cast<double>(successes) / n;
+  const double z = z_for_confidence(confidence);
+  const double z2 = z * z;
+  const double denom = 1 + z2 / n;
+  const double center = (p + z2 / (2 * n)) / denom;
+  const double half = (z / denom) * std::sqrt(p * (1 - p) / n + z2 / (4 * n * n));
+  ci.estimate = p;
+  ci.lower = std::max(0.0, center - half);
+  ci.upper = std::min(1.0, center + half);
+  return ci;
+}
+
+std::uint64_t required_samples(double e, double confidence, std::uint64_t population,
+                               double p) noexcept {
+  // n = N / (1 + e^2 (N-1) / (z^2 p (1-p)))   (Leveugle et al., DATE'09)
+  if (population == 0 || e <= 0.0) return 0;
+  const double z = z_for_confidence(confidence);
+  const double big_n = static_cast<double>(population);
+  const double n = big_n / (1.0 + e * e * (big_n - 1.0) / (z * z * p * (1.0 - p)));
+  return static_cast<std::uint64_t>(std::ceil(n));
+}
+
+double margin_for_samples(std::uint64_t trials, double confidence) noexcept {
+  if (trials == 0) return 1.0;
+  const double z = z_for_confidence(confidence);
+  return z * std::sqrt(0.25 / static_cast<double>(trials));
+}
+
+void RunningStat::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStat::variance() const noexcept {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStat::stddev() const noexcept { return std::sqrt(variance()); }
+
+}  // namespace gras

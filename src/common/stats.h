@@ -1,0 +1,75 @@
+// Statistics for fault-injection campaigns.
+//
+// The paper (CLUSTER'24, §II-A) follows Leveugle et al., "Statistical fault
+// injection: Quantified error and confidence" (DATE'09): with n = 3,000
+// uniformly sampled single-bit injections the estimated fault-effect
+// proportions carry a 99% confidence interval of about +/-2.35 percentage
+// points. This header implements exactly that machinery: proportion
+// estimates, normal-approximation and Wilson confidence intervals, and the
+// (finite-population) sample-size formula used to justify n.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace gras {
+
+/// Two-sided confidence interval for a proportion.
+struct ProportionCi {
+  double estimate = 0.0;  ///< point estimate p-hat
+  double lower = 0.0;     ///< lower bound, clamped to [0,1]
+  double upper = 0.0;     ///< upper bound, clamped to [0,1]
+  /// Half-width (margin of error) of the interval.
+  double margin() const noexcept { return (upper - lower) / 2.0; }
+};
+
+/// Inverse standard-normal CDF (Acklam's rational approximation,
+/// |relative error| < 1.15e-9 over (0,1)).
+double normal_quantile(double p) noexcept;
+
+/// z value for a two-sided confidence level (e.g. 0.99 -> 2.5758...).
+double z_for_confidence(double confidence) noexcept;
+
+/// Normal-approximation ("Wald") CI for `successes` out of `trials`.
+/// This is the interval form used by Leveugle et al. and the paper.
+ProportionCi wald_interval(std::uint64_t successes, std::uint64_t trials,
+                           double confidence) noexcept;
+
+/// Wilson score interval: better behaved for proportions near 0 or 1, which
+/// is the common case for AVF measurements (most faults are masked).
+ProportionCi wilson_interval(std::uint64_t successes, std::uint64_t trials,
+                             double confidence) noexcept;
+
+/// Leveugle et al. sample size for estimating a proportion with margin `e`
+/// at confidence `confidence`, drawing from a population of `population`
+/// fault sites (finite population correction). `p` is the a-priori worst
+/// case proportion (0.5 maximizes the requirement).
+std::uint64_t required_samples(double e, double confidence, std::uint64_t population,
+                               double p = 0.5) noexcept;
+
+/// Margin of error achieved by `trials` samples at `confidence` for the
+/// worst-case proportion p = 0.5 and an effectively infinite population.
+/// required margins: margin_for_samples(3000, 0.99) ~= 0.0235.
+double margin_for_samples(std::uint64_t trials, double confidence) noexcept;
+
+/// Streaming mean/variance accumulator (Welford's algorithm).
+class RunningStat {
+ public:
+  void add(double x) noexcept;
+  std::uint64_t count() const noexcept { return n_; }
+  double mean() const noexcept { return mean_; }
+  /// Unbiased sample variance; 0 when fewer than two samples.
+  double variance() const noexcept;
+  double stddev() const noexcept;
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace gras

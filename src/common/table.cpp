@@ -1,0 +1,49 @@
+#include "src/common/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace gras {
+
+TextTable::TextTable(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  cells.resize(header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+std::string TextTable::pct(double proportion, int precision) {
+  return num(proportion * 100.0, precision);
+}
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> width(header_.size(), 0);
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) width[c] = std::max(width[c], row[c].size());
+  }
+  std::ostringstream out;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : header_[c];
+      out << cell;
+      if (c + 1 < header_.size()) out << std::string(width[c] - cell.size() + 2, ' ');
+    }
+    out << '\n';
+  };
+  emit(header_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < width.size(); ++c) total += width[c] + (c + 1 < width.size() ? 2 : 0);
+  out << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit(row);
+  return out.str();
+}
+
+}  // namespace gras

@@ -1,0 +1,35 @@
+// Plain-text table rendering for the benchmark harnesses that regenerate the
+// paper's tables and figures. Figures are rendered as aligned numeric tables
+// (one row per x-axis entry, one column per series), which is the faithful
+// machine-readable form of a bar chart.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace gras {
+
+/// Column-aligned text table.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with `precision` decimals.
+  static std::string num(double v, int precision = 2);
+  /// Formats a proportion as a percentage string, e.g. 0.1234 -> "12.34".
+  static std::string pct(double proportion, int precision = 2);
+
+  /// Renders with a header separator; columns padded to widest cell.
+  std::string render() const;
+
+  std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace gras

@@ -1,0 +1,108 @@
+#include "src/common/thread_pool.h"
+
+#include <exception>
+
+namespace gras {
+
+struct ThreadPool::Batch {
+  std::size_t count = 0;
+  const std::function<void(std::size_t)>* body = nullptr;
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> done{0};
+  std::mutex m;
+  std::condition_variable finished;
+  std::exception_ptr error;
+  std::mutex error_m;
+
+  // Claims and runs iterations until the batch is drained; returns when no
+  // work is left to claim.
+  void drain() {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) return;
+      try {
+        (*body)(i);
+      } catch (...) {
+        std::lock_guard lock(error_m);
+        if (!error) error = std::current_exception();
+      }
+      if (done.fetch_add(1, std::memory_order_acq_rel) + 1 == count) {
+        std::lock_guard lock(m);
+        finished.notify_all();
+      }
+    }
+  }
+};
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::thread::hardware_concurrency();
+    if (threads == 0) threads = 1;
+  }
+  // The calling thread participates in parallel_for, so spawn one fewer.
+  const std::size_t spawned = threads > 1 ? threads - 1 : 0;
+  workers_.reserve(spawned);
+  for (std::size_t i = 0; i < spawned; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::shared_ptr<Batch> batch;
+    {
+      std::unique_lock lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !pending_.empty(); });
+      if (stop_) return;
+      batch = pending_.front();
+      // Leave the batch in the queue so other workers can join it; the
+      // submitting thread removes it once the batch completes.
+      if (batch->next.load(std::memory_order_relaxed) >= batch->count) {
+        pending_.pop_front();
+        continue;
+      }
+    }
+    batch->drain();
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t count,
+                              const std::function<void(std::size_t)>& body) {
+  if (count == 0) return;
+  auto batch = std::make_shared<Batch>();
+  batch->count = count;
+  batch->body = &body;
+  {
+    std::lock_guard lock(mutex_);
+    pending_.push_back(batch);
+  }
+  cv_.notify_all();
+  batch->drain();
+  {
+    std::unique_lock lock(batch->m);
+    batch->finished.wait(lock, [&] {
+      return batch->done.load(std::memory_order_acquire) == batch->count;
+    });
+  }
+  {
+    std::lock_guard lock(mutex_);
+    for (auto it = pending_.begin(); it != pending_.end(); ++it) {
+      if (*it == batch) {
+        pending_.erase(it);
+        break;
+      }
+    }
+  }
+  if (batch->error) std::rethrow_exception(batch->error);
+}
+
+}  // namespace gras

@@ -1,0 +1,49 @@
+// Minimal work-stealing-free thread pool for fault-injection campaign
+// fan-out. Each campaign sample is an independent simulation, so a simple
+// shared-counter parallel-for is both sufficient and cache-friendly.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace gras {
+
+/// Fixed-size thread pool with a parallel-for primitive.
+///
+/// Exceptions thrown by tasks are captured; the first one is rethrown from
+/// parallel_for on the calling thread.
+class ThreadPool {
+ public:
+  /// `threads == 0` selects std::thread::hardware_concurrency() (min 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t thread_count() const noexcept { return workers_.size(); }
+
+  /// Runs body(i) for i in [0, count). Blocks until all iterations finish.
+  /// The calling thread participates in the work. Iterations are handed out
+  /// through an atomic counter, so ordering is nondeterministic — bodies
+  /// must derive any randomness from `i`, never from shared state.
+  void parallel_for(std::size_t count, const std::function<void(std::size_t)>& body);
+
+ private:
+  struct Batch;
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::shared_ptr<Batch>> pending_;
+  bool stop_ = false;
+};
+
+}  // namespace gras

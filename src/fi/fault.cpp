@@ -1,0 +1,36 @@
+#include "src/fi/fault.h"
+
+namespace gras::fi {
+
+const char* structure_name(Structure s) {
+  switch (s) {
+    case Structure::RF: return "RF";
+    case Structure::SMEM: return "SMEM";
+    case Structure::L1D: return "L1D";
+    case Structure::L1T: return "L1T";
+    case Structure::L2: return "L2";
+  }
+  return "?";
+}
+
+const char* outcome_name(Outcome o) {
+  switch (o) {
+    case Outcome::Masked: return "Masked";
+    case Outcome::SDC: return "SDC";
+    case Outcome::Timeout: return "Timeout";
+    case Outcome::DUE: return "DUE";
+  }
+  return "?";
+}
+
+const char* svf_mode_name(SvfMode m) {
+  switch (m) {
+    case SvfMode::Dst: return "SVF";
+    case SvfMode::DstLoad: return "SVF-LD";
+    case SvfMode::SrcOnce: return "SVF-SRC1";
+    case SvfMode::SrcReuse: return "SVF-REUSE";
+  }
+  return "?";
+}
+
+}  // namespace gras::fi

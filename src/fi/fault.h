@@ -1,0 +1,46 @@
+// Fault model types shared by both injection layers.
+//
+// Fault model (paper §II-A): single-bit flips, uniformly distributed over
+// the fault space of the chosen layer:
+//  * microarchitecture level (gpuFI-4 style): any bit of a hardware
+//    structure at any cycle of the target kernel's execution window;
+//  * software level (NVBitFI style): any bit of the destination register of
+//    any dynamic GPR-writing instruction of the target kernel.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace gras::fi {
+
+/// Hardware structures targeted by microarchitecture-level injection — the
+/// five structures gpuFI-4 supports (paper §II-B).
+enum class Structure : std::uint8_t { RF, SMEM, L1D, L1T, L2 };
+
+inline constexpr Structure kAllStructures[] = {Structure::RF, Structure::SMEM,
+                                               Structure::L1D, Structure::L1T,
+                                               Structure::L2};
+
+const char* structure_name(Structure s);
+
+/// Fault-effect classes (paper §II-A).
+enum class Outcome : std::uint8_t { Masked, SDC, Timeout, DUE };
+
+const char* outcome_name(Outcome o);
+
+/// Software-level injection instruction groups.
+enum class SvfMode : std::uint8_t {
+  Dst,      ///< NVBitFI default: destination register of any GP instruction
+  DstLoad,  ///< destination register of load instructions only (SVF-LD)
+  /// Extension (paper §V-B): source-register fault affecting only the one
+  /// consuming instruction — the flawed model the paper critiques...
+  SrcOnce,
+  /// ...and the proposed fix: the source-register fault persists for every
+  /// subsequent reader until the register is rewritten (the register-reuse
+  /// analyzer made operational).
+  SrcReuse,
+};
+
+const char* svf_mode_name(SvfMode m);
+
+}  // namespace gras::fi

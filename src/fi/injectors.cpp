@@ -1,0 +1,194 @@
+#include "src/fi/injectors.h"
+
+#include <bit>
+
+namespace gras::fi {
+
+MicroarchInjector::MicroarchInjector(Structure target, std::uint64_t trigger_cycle,
+                                     std::uint64_t window_end, Rng rng, unsigned width)
+    : target_(target),
+      trigger_(trigger_cycle),
+      window_end_(window_end),
+      rng_(rng),
+      width_(width == 0 ? 1 : width) {}
+
+std::uint64_t MicroarchInjector::next_trigger() const {
+  if (injected_ || gave_up_) return ~std::uint64_t{0};
+  return trigger_;
+}
+
+void MicroarchInjector::on_cycle(sim::Gpu& gpu, std::uint64_t cycle) {
+  if (injected_ || gave_up_ || cycle < trigger_) return;
+  if (cycle > window_end_) {
+    gave_up_ = true;  // kernel window elapsed with nothing allocated
+    return;
+  }
+  inject(gpu);
+  if (!injected_) trigger_ = cycle + 1;  // retry next cycle
+}
+
+void MicroarchInjector::inject(sim::Gpu& gpu) {
+  const std::uint32_t sms = gpu.num_sms();
+  switch (target_) {
+    case Structure::RF: {
+      std::uint64_t total_cells = 0;
+      for (std::uint32_t s = 0; s < sms; ++s) {
+        total_cells += gpu.sm(s).regfile().allocated_count();
+      }
+      if (total_cells == 0) return;
+      std::uint64_t k = rng_.below(total_cells * 32);
+      const unsigned bit = static_cast<unsigned>(k % 32);
+      std::uint64_t cell_k = k / 32;
+      for (std::uint32_t s = 0; s < sms; ++s) {
+        sim::RegFile& rf = gpu.sm(s).regfile();
+        if (cell_k < rf.allocated_count()) {
+          const std::uint32_t cell = rf.allocated_cell(static_cast<std::uint32_t>(cell_k));
+          // Adjacent multi-bit flips stay within the 32-bit word.
+          for (unsigned w = 0; w < width_ && bit + w < 32; ++w) {
+            rf.flip_bit(std::uint64_t{cell} * 32 + bit + w);
+          }
+          injected_ = true;
+          return;
+        }
+        cell_k -= rf.allocated_count();
+      }
+      return;
+    }
+    case Structure::SMEM: {
+      std::uint64_t total_bytes = 0;
+      for (std::uint32_t s = 0; s < sms; ++s) {
+        total_bytes += gpu.sm(s).shared_mem().allocated_bytes();
+      }
+      if (total_bytes == 0) return;
+      std::uint64_t k = rng_.below(total_bytes * 8);
+      const unsigned bit = static_cast<unsigned>(k % 8);
+      std::uint64_t byte_k = k / 8;
+      for (std::uint32_t s = 0; s < sms; ++s) {
+        sim::SharedMem& sm = gpu.sm(s).shared_mem();
+        if (byte_k < sm.allocated_bytes()) {
+          const std::uint32_t byte = sm.allocated_byte(static_cast<std::uint32_t>(byte_k));
+          for (unsigned w = 0; w < width_ && bit + w < 8; ++w) {
+            sm.flip_bit(std::uint64_t{byte} * 8 + bit + w);
+          }
+          injected_ = true;
+          return;
+        }
+        byte_k -= sm.allocated_bytes();
+      }
+      return;
+    }
+    case Structure::L1D:
+    case Structure::L1T: {
+      const std::uint32_t s = static_cast<std::uint32_t>(rng_.below(sms));
+      sim::Cache& cache =
+          target_ == Structure::L1D ? gpu.sm(s).l1d() : gpu.sm(s).l1t();
+      const std::uint64_t bit = rng_.below(cache.data_bit_count());
+      for (unsigned w = 0; w < width_ && bit + w < cache.data_bit_count(); ++w) {
+        cache.flip_data_bit(bit + w);
+      }
+      injected_ = true;
+      return;
+    }
+    case Structure::L2: {
+      const std::uint64_t bit = rng_.below(gpu.l2().data_bit_count());
+      for (unsigned w = 0; w < width_ && bit + w < gpu.l2().data_bit_count(); ++w) {
+        gpu.l2().flip_data_bit(bit + w);
+      }
+      injected_ = true;
+      return;
+    }
+  }
+}
+
+SoftwareInjector::SoftwareInjector(SvfMode mode, std::uint64_t target_index, Rng rng)
+    : mode_(mode), target_(target_index), rng_(rng) {}
+
+bool SoftwareInjector::counts(const isa::Instr& ins) const {
+  if (mode_ == SvfMode::DstLoad) return ins.is_load();
+  return true;  // hook is only invoked for GPR-writing instructions
+}
+
+int SoftwareInjector::select_lane(std::uint32_t exec_mask) const {
+  const std::uint32_t lanes = static_cast<std::uint32_t>(std::popcount(exec_mask));
+  if (target_ < counter_ || target_ >= counter_ + lanes) return -1;
+  std::uint64_t skip = target_ - counter_;
+  std::uint32_t mask = exec_mask;
+  while (skip-- > 0) mask &= mask - 1;
+  return std::countr_zero(mask);
+}
+
+void SoftwareInjector::on_pre_exec(sim::Sm& sm, std::uint32_t warp_slot,
+                                   const isa::Instr& ins, std::uint32_t exec_mask) {
+  if (injected_ || (mode_ != SvfMode::SrcOnce && mode_ != SvfMode::SrcReuse)) return;
+  if (!counts(ins)) return;
+  const int lane = select_lane(exec_mask);
+  if (lane < 0) return;
+  // Pick a GPR source operand; a target with no register sources stays
+  // un-injected (masked), which slightly understates source-mode SVF and is
+  // documented in DESIGN.md.
+  const isa::Operand* sources[3] = {&ins.a, &ins.b, &ins.c};
+  std::uint8_t regs[3];
+  std::size_t count = 0;
+  for (const isa::Operand* op : sources) {
+    if (op->is_gpr() && op->value != isa::kRegRZ) {
+      regs[count++] = static_cast<std::uint8_t>(op->value);
+    }
+  }
+  injected_ = true;  // the sampled site is consumed either way
+  if (count == 0) return;
+  const std::uint8_t reg = regs[rng_.below(count)];
+  const unsigned bit = static_cast<unsigned>(rng_.below(32));
+  const std::uint32_t cell =
+      sm.rf_cell_index(sm.warp(warp_slot), static_cast<std::uint32_t>(lane), reg);
+  sm.regfile().flip_bit(std::uint64_t{cell} * 32 + bit);
+  if (mode_ == SvfMode::SrcOnce) {
+    pending_restore_ = true;
+    restore_cell_ = cell;
+    restore_bit_ = bit;
+    restore_sm_ = &sm;
+  }
+}
+
+void SoftwareInjector::on_gpr_retire(sim::Sm& sm, std::uint32_t warp_slot,
+                                     const isa::Instr& ins, std::uint32_t exec_mask) {
+  if (pending_restore_) {
+    // SrcOnce: the corrupted source value was consumed by exactly this
+    // instruction; restore the stored register unless the instruction
+    // overwrote it (then the flip is dead anyway — restoring would corrupt).
+    sim::WarpExec& warp = restore_sm_->warp(warp_slot);
+    bool overwritten = false;
+    if (ins.dst != isa::kRegRZ) {
+      for (std::uint32_t lane = 0; lane < 32; ++lane) {
+        if ((exec_mask >> lane) & 1) {
+          if (restore_sm_->rf_cell_index(warp, lane, ins.dst) == restore_cell_) {
+            overwritten = true;
+            break;
+          }
+        }
+      }
+    }
+    if (!overwritten) {
+      restore_sm_->regfile().flip_bit(std::uint64_t{restore_cell_} * 32 + restore_bit_);
+    }
+    pending_restore_ = false;
+    (void)sm;
+  }
+  if (injected_) return;
+  if (mode_ != SvfMode::Dst && mode_ != SvfMode::DstLoad) {
+    // Source modes still need the counter advanced in the same space.
+    if (counts(ins)) counter_ += static_cast<std::uint32_t>(std::popcount(exec_mask));
+    return;
+  }
+  if (!counts(ins)) return;
+  const int lane = select_lane(exec_mask);
+  if (lane >= 0) {
+    const unsigned bit = static_cast<unsigned>(rng_.below(32));
+    const std::uint32_t cell = sm.rf_cell_index(
+        sm.warp(warp_slot), static_cast<std::uint32_t>(lane), ins.dst);
+    sm.regfile().flip_bit(std::uint64_t{cell} * 32 + bit);
+    injected_ = true;
+  }
+  counter_ += static_cast<std::uint32_t>(std::popcount(exec_mask));
+}
+
+}  // namespace gras::fi

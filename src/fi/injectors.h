@@ -1,0 +1,89 @@
+// The two fault injectors, implemented as simulator hooks.
+//
+// MicroarchInjector reproduces gpuFI-4's methodology (paper §II-B): a
+// single-bit flip of a hardware structure at a uniformly random cycle of the
+// target kernel's window. Caches are targeted across their whole data
+// arrays (valid or not). Register file and shared memory faults are drawn
+// uniformly from the *allocated* cells at the trigger cycle — the
+// GPGPU-Sim-imposed restriction the derating factor corrects for.
+//
+// SoftwareInjector reproduces NVBitFI's methodology (paper §II-C): flip one
+// bit of the destination register of a uniformly chosen dynamic GPR-writing
+// (or load-only) thread instruction, immediately after it executes. The
+// SrcOnce/SrcReuse modes implement the source-register variants discussed in
+// §V-B (Fig. 12's register-reuse analyzer, made operational).
+#pragma once
+
+#include <cstdint>
+
+#include "src/common/rng.h"
+#include "src/fi/fault.h"
+#include "src/sim/gpu.h"
+
+namespace gras::fi {
+
+class MicroarchInjector final : public sim::FaultHook {
+ public:
+  /// Injects into `target` at `trigger_cycle` (global GPU cycle). When the
+  /// target is RF/SMEM and nothing is allocated at the trigger, the attempt
+  /// is retried every cycle until `window_end`; giving up leaves the fault
+  /// un-injected (equivalent to hitting an unallocated cell: masked).
+  ///
+  /// `width` > 1 selects the multi-bit model the paper anticipates
+  /// (§II-A): `width` *adjacent* bits of the same physical word/byte run
+  /// flip together, matching beam-test observations that multi-bit upsets
+  /// stay within one adjacent area and never span structures.
+  MicroarchInjector(Structure target, std::uint64_t trigger_cycle,
+                    std::uint64_t window_end, Rng rng, unsigned width = 1);
+
+  void on_cycle(sim::Gpu& gpu, std::uint64_t cycle) override;
+  std::uint64_t next_trigger() const override;
+
+  bool injected() const noexcept { return injected_; }
+  Structure target() const noexcept { return target_; }
+
+ private:
+  void inject(sim::Gpu& gpu);
+
+  Structure target_;
+  std::uint64_t trigger_;
+  std::uint64_t window_end_;
+  Rng rng_;
+  unsigned width_;
+  bool injected_ = false;
+  bool gave_up_ = false;
+};
+
+class SoftwareInjector final : public sim::FaultHook {
+ public:
+  /// `target_index` is the global index (across the whole application run)
+  /// of the dynamic thread instruction to corrupt, in the counting space of
+  /// the mode (all GPR writers, or loads only).
+  SoftwareInjector(SvfMode mode, std::uint64_t target_index, Rng rng);
+
+  void on_pre_exec(sim::Sm& sm, std::uint32_t warp_slot, const isa::Instr& ins,
+                   std::uint32_t exec_mask) override;
+  void on_gpr_retire(sim::Sm& sm, std::uint32_t warp_slot, const isa::Instr& ins,
+                     std::uint32_t exec_mask) override;
+
+  bool injected() const noexcept { return injected_; }
+
+ private:
+  bool counts(const isa::Instr& ins) const;
+  /// Lane of the target thread instruction inside this warp instruction, or
+  /// -1 if the target is not in [counter, counter+popcount(exec)).
+  int select_lane(std::uint32_t exec_mask) const;
+
+  SvfMode mode_;
+  std::uint64_t target_;
+  Rng rng_;
+  std::uint64_t counter_ = 0;
+  bool injected_ = false;
+  // SrcOnce restore state.
+  bool pending_restore_ = false;
+  std::uint32_t restore_cell_ = 0;
+  unsigned restore_bit_ = 0;
+  sim::Sm* restore_sm_ = nullptr;
+};
+
+}  // namespace gras::fi

@@ -1,0 +1,113 @@
+#include "src/harden/dmr.h"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "src/harden/tmr.h"
+
+namespace gras::harden {
+namespace {
+
+constexpr std::uint32_t kCopies = 2;
+
+std::uint32_t round16(std::uint64_t bytes) {
+  return static_cast<std::uint32_t>((bytes + 15) & ~std::uint64_t{15});
+}
+
+/// ExecCtx adapter: duplicate grids, copy-0 host reads, fan-out writes.
+class DmrCtx final : public workloads::ExecCtx {
+ public:
+  DmrCtx(workloads::ExecCtx& inner, const DmrApp& app) : inner_(inner), app_(app) {}
+
+  std::uint32_t addr(std::string_view buffer) override { return inner_.addr(buffer); }
+
+  bool launch(const isa::Kernel& kernel, sim::Dim3 grid, sim::Dim3 block,
+              std::vector<std::uint32_t> params) override {
+    if (grid.z != 1) {
+      throw std::invalid_argument("DMR requires grid.z == 1 in the base app");
+    }
+    grid.z = kCopies;
+    return inner_.launch(app_.kernel(kernel.name), grid, block, std::move(params));
+  }
+
+  std::uint32_t read_u32(std::string_view buffer, std::uint64_t off) override {
+    return inner_.read_u32(buffer, off);  // copy 0: host logic not duplicated
+  }
+  void write_u32(std::string_view buffer, std::uint64_t off, std::uint32_t value) override {
+    inner_.write_u32(buffer, off, value);
+    inner_.write_u32(buffer, off + app_.copy_stride(), value);
+  }
+  void read_bytes(std::string_view buffer, std::uint64_t off,
+                  std::span<std::uint8_t> out) override {
+    inner_.read_bytes(buffer, off, out);
+  }
+  void write_bytes(std::string_view buffer, std::uint64_t off,
+                   std::span<const std::uint8_t> in) override {
+    inner_.write_bytes(buffer, off, in);
+    inner_.write_bytes(buffer, off + app_.copy_stride(), in);
+  }
+  void mark_timeout() override { inner_.mark_timeout(); }
+  void mark_host_error() override { inner_.mark_host_error(); }
+  bool aborted() const override { return inner_.aborted(); }
+
+ private:
+  workloads::ExecCtx& inner_;
+  const DmrApp& app_;
+};
+
+}  // namespace
+
+DmrApp::DmrApp(const workloads::App& base) : base_(base), name_(base.name() + "_dmr") {
+  for (const workloads::BufferSpec& spec : base.buffers()) {
+    stride_ = std::max(stride_, round16(spec.bytes));
+  }
+  for (const workloads::BufferSpec& spec : base.buffers()) {
+    workloads::BufferSpec doubled;
+    doubled.name = spec.name;
+    doubled.role = spec.role;
+    doubled.bytes = std::uint64_t{stride_} * kCopies;
+    if (!spec.host_init.empty()) {
+      doubled.host_init.assign(doubled.bytes, 0);
+      for (std::uint32_t c = 0; c < kCopies; ++c) {
+        std::memcpy(doubled.host_init.data() + std::uint64_t{c} * stride_,
+                    spec.host_init.data(), spec.host_init.size());
+      }
+    }
+    buffers_.push_back(std::move(doubled));
+  }
+  // The pointer-rebasing prologue is copy-count agnostic (copy = CTAID.Z).
+  for (const isa::Kernel& k : base.kernels()) {
+    kernels_.push_back(tmr_transform(k, stride_));
+  }
+}
+
+void DmrApp::execute(workloads::ExecCtx& ctx) const {
+  DmrCtx dmr_ctx(ctx, *this);
+  base_.execute(dmr_ctx);
+}
+
+workloads::RunOutput DmrApp::postprocess(workloads::RunOutput raw) const {
+  if (!raw.completed()) return raw;
+  workloads::RunOutput checked;
+  checked.trap = raw.trap;
+  std::size_t out_index = 0;
+  for (const workloads::BufferSpec& spec : base_.buffers()) {
+    if (!spec.is_output()) continue;
+    const std::vector<std::uint8_t>& doubled = raw.outputs.at(out_index++);
+    // Detection: the copies must agree byte for byte.
+    if (std::memcmp(doubled.data(), doubled.data() + stride_, spec.bytes) != 0) {
+      checked.trap = sim::TrapKind::HostCheck;
+      checked.outputs.clear();
+      return checked;
+    }
+    checked.outputs.emplace_back(doubled.begin(),
+                                 doubled.begin() + static_cast<std::ptrdiff_t>(spec.bytes));
+  }
+  return checked;
+}
+
+std::unique_ptr<DmrApp> harden_dmr(const workloads::App& base) {
+  return std::make_unique<DmrApp>(base);
+}
+
+}  // namespace gras::harden

@@ -1,0 +1,44 @@
+// Dual Modular Redundancy: detection-only duplication.
+//
+// The cheaper sibling of the paper's TMR case study (§IV), matching the
+// duplication-based schemes its related work discusses (e.g. instruction
+// duplication): every buffer is duplicated, every launch runs twice in
+// parallel (grid.z = 2, same pointer-rebasing prologue as TMR), and
+// post-processing *compares* the two output copies word-wise. A mismatch is
+// detected but cannot be corrected: it becomes a DUE.
+//
+// Expected behaviour vs TMR: DMR converts SDCs into DUEs at ~2/3 of TMR's
+// execution cost; TMR converts them into masked outcomes at full cost. Both
+// share the non-triplicated host path as a common-mode escape
+// (intermediate host reads see copy 0).
+#pragma once
+
+#include <memory>
+
+#include "src/workloads/workload.h"
+
+namespace gras::harden {
+
+class DmrApp final : public workloads::App {
+ public:
+  explicit DmrApp(const workloads::App& base);
+
+  const std::string& name() const override { return name_; }
+  const std::vector<workloads::BufferSpec>& buffers() const override { return buffers_; }
+  const std::vector<isa::Kernel>& kernels() const override { return kernels_; }
+  void execute(workloads::ExecCtx& ctx) const override;
+  workloads::RunOutput postprocess(workloads::RunOutput raw) const override;
+
+  std::uint32_t copy_stride() const { return stride_; }
+
+ private:
+  const workloads::App& base_;
+  std::string name_;
+  std::uint32_t stride_ = 0;
+  std::vector<workloads::BufferSpec> buffers_;
+  std::vector<isa::Kernel> kernels_;
+};
+
+std::unique_ptr<DmrApp> harden_dmr(const workloads::App& base);
+
+}  // namespace gras::harden

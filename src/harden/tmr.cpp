@@ -1,0 +1,222 @@
+#include "src/harden/tmr.h"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace gras::harden {
+
+using isa::Instr;
+using isa::Kernel;
+using isa::Op;
+using isa::Operand;
+using isa::OperandKind;
+
+namespace {
+
+constexpr std::uint32_t kCopies = 3;
+
+std::uint32_t round16(std::uint64_t bytes) {
+  return static_cast<std::uint32_t>((bytes + 15) & ~std::uint64_t{15});
+}
+
+/// Word-wise 2-of-3 majority vote; returns false if any word has no
+/// majority.
+bool vote_words(const std::uint8_t* c0, const std::uint8_t* c1, const std::uint8_t* c2,
+                std::uint8_t* out, std::size_t bytes) {
+  bool ok = true;
+  std::size_t i = 0;
+  for (; i + 4 <= bytes; i += 4) {
+    std::uint32_t a, b, c;
+    std::memcpy(&a, c0 + i, 4);
+    std::memcpy(&b, c1 + i, 4);
+    std::memcpy(&c, c2 + i, 4);
+    std::uint32_t v = a;
+    if (a == b || a == c) v = a;
+    else if (b == c) v = b;
+    else ok = false;
+    std::memcpy(out + i, &v, 4);
+  }
+  for (; i < bytes; ++i) {
+    const std::uint8_t a = c0[i], b = c1[i], c = c2[i];
+    std::uint8_t v = a;
+    if (a == b || a == c) v = a;
+    else if (b == c) v = b;
+    else ok = false;
+    out[i] = v;
+  }
+  return ok;
+}
+
+/// ExecCtx adapter implementing the TMR pre/post-processing around the base
+/// app's host logic.
+class TmrCtx final : public workloads::ExecCtx {
+ public:
+  TmrCtx(workloads::ExecCtx& inner, const TmrApp& app) : inner_(inner), app_(app) {}
+
+  std::uint32_t addr(std::string_view buffer) override { return inner_.addr(buffer); }
+
+  bool launch(const isa::Kernel& kernel, sim::Dim3 grid, sim::Dim3 block,
+              std::vector<std::uint32_t> params) override {
+    if (grid.z != 1) {
+      throw std::invalid_argument("TMR requires grid.z == 1 in the base app");
+    }
+    // Swap in the hardened kernel of the same name and triplicate the grid.
+    grid.z = kCopies;
+    return inner_.launch(app_.kernel(kernel.name), grid, block, std::move(params));
+  }
+
+  std::uint32_t read_u32(std::string_view buffer, std::uint64_t off) override {
+    // Host logic is not triplicated: intermediate reads see copy 0 only
+    // (voting happens at post-processing, per the paper's Fig. 6).
+    return inner_.read_u32(buffer, off);
+  }
+
+  void write_u32(std::string_view buffer, std::uint64_t off, std::uint32_t value) override {
+    const std::uint32_t s = app_.copy_stride();
+    inner_.write_u32(buffer, off, value);
+    inner_.write_u32(buffer, off + s, value);
+    inner_.write_u32(buffer, off + 2ull * s, value);
+  }
+
+  void read_bytes(std::string_view buffer, std::uint64_t off,
+                  std::span<std::uint8_t> out) override {
+    inner_.read_bytes(buffer, off, out);  // copy 0; see read_u32
+  }
+
+  void write_bytes(std::string_view buffer, std::uint64_t off,
+                   std::span<const std::uint8_t> in) override {
+    const std::uint32_t s = app_.copy_stride();
+    inner_.write_bytes(buffer, off, in);
+    inner_.write_bytes(buffer, off + s, in);
+    inner_.write_bytes(buffer, off + 2ull * s, in);
+  }
+
+  void mark_timeout() override { inner_.mark_timeout(); }
+  void mark_host_error() override { inner_.mark_host_error(); }
+  bool aborted() const override { return inner_.aborted(); }
+
+ private:
+  workloads::ExecCtx& inner_;
+  const TmrApp& app_;
+};
+
+}  // namespace
+
+Kernel tmr_transform(const Kernel& kernel, std::uint32_t copy_stride) {
+  Kernel out;
+  out.name = kernel.name;
+  out.params = kernel.params;
+  out.smem_bytes = kernel.smem_bytes;
+
+  // Registers for the copy index and one re-based pointer per pointer param.
+  std::uint8_t next_reg = kernel.num_regs;
+  const std::uint8_t copy_reg = next_reg++;
+  std::vector<std::pair<std::uint32_t, std::uint8_t>> rebased;  // param offset -> reg
+  for (const isa::ParamDecl& p : kernel.params) {
+    if (p.is_pointer) rebased.emplace_back(p.byte_offset, next_reg++);
+  }
+  if (next_reg >= isa::kRegRZ) {
+    throw std::runtime_error("TMR transform of '" + kernel.name +
+                             "' exceeds the register file");
+  }
+
+  // Prologue: copy = CTAID.Z; Rp = param + copy * stride for each pointer.
+  Instr s2r;
+  s2r.op = Op::S2R;
+  s2r.dst = copy_reg;
+  s2r.b = Operand::imm(static_cast<std::uint32_t>(isa::SpecialReg::CTAID_Z));
+  out.code.push_back(s2r);
+  for (const auto& [offset, reg] : rebased) {
+    Instr mov;
+    mov.op = Op::MOV;
+    mov.dst = reg;
+    mov.a = Operand::param(offset);
+    out.code.push_back(mov);
+    Instr imad;
+    imad.op = Op::IMAD;
+    imad.dst = reg;
+    imad.a = Operand::gpr(copy_reg);
+    imad.b = Operand::imm(copy_stride);
+    imad.c = Operand::gpr(reg);
+    out.code.push_back(imad);
+  }
+  const std::uint32_t shift = static_cast<std::uint32_t>(out.code.size());
+
+  // Body: pointer-param operands become re-based registers; branch targets
+  // shift by the prologue length.
+  for (Instr ins : kernel.code) {
+    auto rewrite = [&](Operand& op) {
+      if (op.kind != OperandKind::Param) return;
+      for (const auto& [offset, reg] : rebased) {
+        if (op.value == offset) {
+          op = Operand::gpr(reg);
+          return;
+        }
+      }
+    };
+    rewrite(ins.a);
+    rewrite(ins.b);
+    rewrite(ins.c);
+    if (ins.op == Op::BRA || ins.op == Op::SSY) ins.target += shift;
+    out.code.push_back(ins);
+  }
+  out.recount_registers();
+  return out;
+}
+
+TmrApp::TmrApp(const workloads::App& base) : base_(base), name_(base.name() + "_tmr") {
+  // Uniform per-copy stride: the largest buffer decides, so one prologue
+  // constant re-bases every pointer parameter correctly.
+  for (const workloads::BufferSpec& spec : base.buffers()) {
+    stride_ = std::max(stride_, round16(spec.bytes));
+  }
+  for (const workloads::BufferSpec& spec : base.buffers()) {
+    workloads::BufferSpec tripled;
+    tripled.name = spec.name;
+    tripled.role = spec.role;
+    tripled.bytes = std::uint64_t{stride_} * kCopies;
+    if (!spec.host_init.empty()) {
+      tripled.host_init.assign(tripled.bytes, 0);
+      for (std::uint32_t c = 0; c < kCopies; ++c) {
+        std::memcpy(tripled.host_init.data() + std::uint64_t{c} * stride_,
+                    spec.host_init.data(), spec.host_init.size());
+      }
+    }
+    buffers_.push_back(std::move(tripled));
+  }
+  for (const isa::Kernel& k : base.kernels()) {
+    kernels_.push_back(tmr_transform(k, stride_));
+  }
+}
+
+void TmrApp::execute(workloads::ExecCtx& ctx) const {
+  TmrCtx tmr_ctx(ctx, *this);
+  base_.execute(tmr_ctx);
+}
+
+workloads::RunOutput TmrApp::postprocess(workloads::RunOutput raw) const {
+  if (!raw.completed()) return raw;
+  workloads::RunOutput voted;
+  voted.trap = raw.trap;
+  std::size_t out_index = 0;
+  for (const workloads::BufferSpec& spec : base_.buffers()) {
+    if (!spec.is_output()) continue;
+    const std::vector<std::uint8_t>& tripled = raw.outputs.at(out_index++);
+    std::vector<std::uint8_t> result(spec.bytes);
+    const bool ok = vote_words(tripled.data(), tripled.data() + stride_,
+                               tripled.data() + 2ull * stride_, result.data(), spec.bytes);
+    if (!ok) {
+      voted.trap = sim::TrapKind::HostCheck;  // three different copies -> DUE
+      voted.outputs.clear();
+      return voted;
+    }
+    voted.outputs.push_back(std::move(result));
+  }
+  return voted;
+}
+
+std::unique_ptr<TmrApp> harden(const workloads::App& base) {
+  return std::make_unique<TmrApp>(base);
+}
+
+}  // namespace gras::harden

@@ -1,0 +1,66 @@
+// Thread-level Triple Modular Redundancy (paper §IV, Fig. 6).
+//
+// The transform wraps any workloads::App:
+//  1) Pre-processing: every device buffer is triplicated (three copies at a
+//     uniform stride inside one allocation; inputs replicated).
+//  2) Kernel execution: every launch's grid gains z = 3 — the same work runs
+//     three times in parallel. Each kernel receives an injected prologue
+//     that reads the copy index from CTAID.Z and re-bases every pointer
+//     parameter by copy * stride, so each copy computes on its own buffers.
+//  3) Post-processing: the host majority-votes the three output copies
+//     word-wise. A word on which all three copies disagree is an
+//     unrecoverable error (DUE).
+//
+// Faithful to the paper's workflow, voting happens ONLY at post-processing:
+// intermediate host-visible reads (BFS's convergence flag, reduction
+// results fed back as kernel parameters) read copy 0, because the host code
+// itself is not triplicated. This single-copy host path is precisely the
+// common-mode channel through which some SDCs survive TMR in the paper's
+// cross-layer (AVF) measurements (§IV-B): a corrupted copy-0 reduction
+// result becomes a kernel parameter for all three copies, so all three
+// outputs are identically wrong and the vote cannot catch it. Host writes
+// still fan out to all three copies (they are pre-processing).
+//
+// The hardened app exposes the same kernel names, so unhardened and
+// hardened campaigns are directly comparable (paper Figs. 7-10).
+#pragma once
+
+#include <memory>
+
+#include "src/isa/isa.h"
+#include "src/workloads/workload.h"
+
+namespace gras::harden {
+
+/// Rewrites one kernel for TMR: prologue computing per-copy pointer bases
+/// (copy = CTAID.Z) and pointer-parameter operands redirected to the
+/// re-based registers. Exposed for tests.
+/// Throws std::runtime_error if the kernel runs out of registers.
+isa::Kernel tmr_transform(const isa::Kernel& kernel, std::uint32_t copy_stride);
+
+/// TMR-hardened view of an application. The base app must outlive this
+/// wrapper.
+class TmrApp final : public workloads::App {
+ public:
+  explicit TmrApp(const workloads::App& base);
+
+  const std::string& name() const override { return name_; }
+  const std::vector<workloads::BufferSpec>& buffers() const override { return buffers_; }
+  const std::vector<isa::Kernel>& kernels() const override { return kernels_; }
+  void execute(workloads::ExecCtx& ctx) const override;
+  workloads::RunOutput postprocess(workloads::RunOutput raw) const override;
+
+  std::uint32_t copy_stride() const { return stride_; }
+
+ private:
+  const workloads::App& base_;
+  std::string name_;
+  std::uint32_t stride_ = 0;  ///< uniform per-copy byte stride
+  std::vector<workloads::BufferSpec> buffers_;
+  std::vector<isa::Kernel> kernels_;
+};
+
+/// Convenience factory.
+std::unique_ptr<TmrApp> harden(const workloads::App& base);
+
+}  // namespace gras::harden

@@ -1,0 +1,157 @@
+#include "src/isa/disasm.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace gras::isa {
+namespace {
+
+std::string reg(std::uint8_t r) {
+  if (r == kRegRZ) return "RZ";
+  return "R" + std::to_string(r);
+}
+
+std::string pred(std::uint8_t p) {
+  if (p == kPredPT) return "PT";
+  return "P" + std::to_string(p);
+}
+
+std::string operand(const Operand& o, const Kernel* kernel) {
+  switch (o.kind) {
+    case OperandKind::None:
+      return "<none>";
+    case OperandKind::Gpr:
+      return reg(static_cast<std::uint8_t>(o.value));
+    case OperandKind::Imm: {
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "0x%x", o.value);
+      return buf;
+    }
+    case OperandKind::Param: {
+      if (kernel != nullptr) {
+        for (const ParamDecl& p : kernel->params) {
+          if (p.byte_offset == o.value) return "c[" + p.name + "]";
+        }
+      }
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "c[0x%x]", o.value);
+      return buf;
+    }
+  }
+  return "?";
+}
+
+std::string mem_ref(const Instr& ins, const Kernel* kernel) {
+  std::string s = "[" + operand(ins.a, kernel);
+  if (ins.mem_offset != 0) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%+d", ins.mem_offset);
+    s += buf;
+  }
+  return s + "]";
+}
+
+}  // namespace
+
+std::string disassemble(const Instr& ins, const Kernel* kernel) {
+  std::ostringstream out;
+  if (ins.guard != kPredPT || ins.guard_neg) {
+    out << '@' << (ins.guard_neg ? "!" : "") << pred(ins.guard) << ' ';
+  }
+  switch (ins.op) {
+    case Op::S2R:
+      out << "S2R " << reg(ins.dst) << ", "
+          << sreg_name(static_cast<SpecialReg>(ins.b.value));
+      break;
+    case Op::MOV:
+    case Op::NOT:
+    case Op::F2I:
+    case Op::I2F:
+      out << op_name(ins.op) << ' ' << reg(ins.dst) << ", " << operand(ins.a, kernel);
+      break;
+    case Op::MUFU:
+      out << "MUFU." << mufu_name(ins.mufu) << ' ' << reg(ins.dst) << ", "
+          << operand(ins.a, kernel);
+      break;
+    case Op::IADD:
+    case Op::ISUB:
+    case Op::IMUL:
+    case Op::SHL:
+    case Op::SHR:
+    case Op::ASR:
+    case Op::AND:
+    case Op::OR:
+    case Op::XOR:
+    case Op::IMIN:
+    case Op::IMAX:
+    case Op::FADD:
+    case Op::FSUB:
+    case Op::FMUL:
+    case Op::FMIN:
+    case Op::FMAX:
+      out << op_name(ins.op) << ' ' << reg(ins.dst) << ", " << operand(ins.a, kernel)
+          << ", " << operand(ins.b, kernel);
+      break;
+    case Op::IMAD:
+    case Op::FFMA:
+      out << op_name(ins.op) << ' ' << reg(ins.dst) << ", " << operand(ins.a, kernel)
+          << ", " << operand(ins.b, kernel) << ", " << operand(ins.c, kernel);
+      break;
+    case Op::ISCADD:
+      out << "ISCADD " << reg(ins.dst) << ", " << operand(ins.a, kernel) << ", "
+          << operand(ins.b, kernel) << ", " << static_cast<int>(ins.shift);
+      break;
+    case Op::ISETP:
+    case Op::FSETP:
+      out << op_name(ins.op) << '.' << cmp_name(ins.cmp) << ' ' << pred(ins.pdst)
+          << ", " << operand(ins.a, kernel) << ", " << operand(ins.b, kernel);
+      break;
+    case Op::SEL:
+      out << "SEL " << reg(ins.dst) << ", " << operand(ins.a, kernel) << ", "
+          << operand(ins.b, kernel) << ", " << (ins.psrc_neg ? "!" : "")
+          << pred(ins.psrc);
+      break;
+    case Op::LDG:
+    case Op::LDT:
+    case Op::LDS:
+      out << op_name(ins.op) << ' ' << reg(ins.dst) << ", " << mem_ref(ins, kernel);
+      break;
+    case Op::STG:
+    case Op::STS:
+      out << op_name(ins.op) << ' ' << mem_ref(ins, kernel) << ", "
+          << operand(ins.b, kernel);
+      break;
+    case Op::ATOM_ADD:
+      out << "ATOM.ADD " << reg(ins.dst) << ", " << mem_ref(ins, kernel) << ", "
+          << operand(ins.b, kernel);
+      break;
+    case Op::RED_ADD:
+      out << "RED.ADD " << mem_ref(ins, kernel) << ", " << operand(ins.b, kernel);
+      break;
+    case Op::BRA:
+    case Op::SSY:
+      out << op_name(ins.op) << " #" << ins.target;
+      break;
+    case Op::SYNC:
+    case Op::BAR:
+    case Op::EXIT:
+    case Op::NOP:
+      out << op_name(ins.op);
+      break;
+  }
+  return out.str();
+}
+
+std::string disassemble(const Kernel& kernel) {
+  std::ostringstream out;
+  out << ".kernel " << kernel.name << "  (regs=" << static_cast<int>(kernel.num_regs)
+      << ", smem=" << kernel.smem_bytes << ")\n";
+  for (std::size_t i = 0; i < kernel.code.size(); ++i) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%4zu: ", i);
+    out << buf << disassemble(kernel.code[i], &kernel) << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace gras::isa

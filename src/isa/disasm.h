@@ -1,0 +1,18 @@
+// Disassembler: renders instructions and kernels back to assembler syntax.
+// Used for debugging, the register-reuse analyzer listing (paper Fig. 12),
+// and assembler round-trip tests.
+#pragma once
+
+#include <string>
+
+#include "src/isa/isa.h"
+
+namespace gras::isa {
+
+/// One instruction, e.g. "@!P0 IMAD R4, R0, c[0x8], R3".
+std::string disassemble(const Instr& ins, const Kernel* kernel = nullptr);
+
+/// Whole kernel with instruction indices, one line per instruction.
+std::string disassemble(const Kernel& kernel);
+
+}  // namespace gras::isa

@@ -1,0 +1,173 @@
+#include "src/isa/isa.h"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+namespace gras::isa {
+
+Operand Operand::fimm(float f) {
+  std::uint32_t bits = 0;
+  std::memcpy(&bits, &f, sizeof bits);
+  return {OperandKind::Imm, bits};
+}
+
+bool Instr::writes_gpr() const {
+  switch (op) {
+    case Op::S2R:
+    case Op::MOV:
+    case Op::IADD:
+    case Op::ISUB:
+    case Op::IMUL:
+    case Op::IMAD:
+    case Op::ISCADD:
+    case Op::SHL:
+    case Op::SHR:
+    case Op::ASR:
+    case Op::AND:
+    case Op::OR:
+    case Op::XOR:
+    case Op::NOT:
+    case Op::IMIN:
+    case Op::IMAX:
+    case Op::SEL:
+    case Op::FADD:
+    case Op::FSUB:
+    case Op::FMUL:
+    case Op::FFMA:
+    case Op::FMIN:
+    case Op::FMAX:
+    case Op::F2I:
+    case Op::I2F:
+    case Op::MUFU:
+    case Op::LDG:
+    case Op::LDT:
+    case Op::LDS:
+    case Op::ATOM_ADD:
+      return dst != kRegRZ;
+    default:
+      return false;
+  }
+}
+
+bool Instr::is_load() const { return op == Op::LDG || op == Op::LDT || op == Op::LDS; }
+bool Instr::is_store() const { return op == Op::STG || op == Op::STS; }
+bool Instr::is_shared_mem() const { return op == Op::LDS || op == Op::STS; }
+
+void Kernel::recount_registers() {
+  std::uint8_t max_reg = 0;
+  auto see = [&max_reg](std::uint8_t r) {
+    if (r != kRegRZ) max_reg = std::max(max_reg, r);
+  };
+  auto see_op = [&](const Operand& o) {
+    if (o.kind == OperandKind::Gpr) see(static_cast<std::uint8_t>(o.value));
+  };
+  for (const Instr& ins : code) {
+    see(ins.dst);
+    see_op(ins.a);
+    see_op(ins.b);
+    see_op(ins.c);
+  }
+  num_regs = static_cast<std::uint8_t>(max_reg + 1);
+}
+
+std::uint32_t Kernel::param_offset(const std::string& pname) const {
+  for (const ParamDecl& p : params) {
+    if (p.name == pname) return p.byte_offset;
+  }
+  throw std::out_of_range("kernel '" + name + "' has no parameter '" + pname + "'");
+}
+
+const char* op_name(Op op) {
+  switch (op) {
+    case Op::S2R: return "S2R";
+    case Op::MOV: return "MOV";
+    case Op::IADD: return "IADD";
+    case Op::ISUB: return "ISUB";
+    case Op::IMUL: return "IMUL";
+    case Op::IMAD: return "IMAD";
+    case Op::ISCADD: return "ISCADD";
+    case Op::SHL: return "SHL";
+    case Op::SHR: return "SHR";
+    case Op::ASR: return "ASR";
+    case Op::AND: return "AND";
+    case Op::OR: return "OR";
+    case Op::XOR: return "XOR";
+    case Op::NOT: return "NOT";
+    case Op::IMIN: return "IMIN";
+    case Op::IMAX: return "IMAX";
+    case Op::ISETP: return "ISETP";
+    case Op::SEL: return "SEL";
+    case Op::FADD: return "FADD";
+    case Op::FSUB: return "FSUB";
+    case Op::FMUL: return "FMUL";
+    case Op::FFMA: return "FFMA";
+    case Op::FMIN: return "FMIN";
+    case Op::FMAX: return "FMAX";
+    case Op::FSETP: return "FSETP";
+    case Op::F2I: return "F2I";
+    case Op::I2F: return "I2F";
+    case Op::MUFU: return "MUFU";
+    case Op::LDG: return "LDG";
+    case Op::LDT: return "LDT";
+    case Op::STG: return "STG";
+    case Op::LDS: return "LDS";
+    case Op::STS: return "STS";
+    case Op::BRA: return "BRA";
+    case Op::SSY: return "SSY";
+    case Op::SYNC: return "SYNC";
+    case Op::BAR: return "BAR";
+    case Op::EXIT: return "EXIT";
+    case Op::NOP: return "NOP";
+    case Op::ATOM_ADD: return "ATOM.ADD";
+    case Op::RED_ADD: return "RED.ADD";
+  }
+  return "?";
+}
+
+const char* cmp_name(Cmp cmp) {
+  switch (cmp) {
+    case Cmp::EQ: return "EQ";
+    case Cmp::NE: return "NE";
+    case Cmp::LT: return "LT";
+    case Cmp::LE: return "LE";
+    case Cmp::GT: return "GT";
+    case Cmp::GE: return "GE";
+  }
+  return "?";
+}
+
+const char* mufu_name(Mufu f) {
+  switch (f) {
+    case Mufu::RCP: return "RCP";
+    case Mufu::SQRT: return "SQRT";
+    case Mufu::RSQRT: return "RSQRT";
+    case Mufu::EX2: return "EX2";
+    case Mufu::LG2: return "LG2";
+    case Mufu::EXP: return "EXP";
+    case Mufu::LOG: return "LOG";
+    case Mufu::SIN: return "SIN";
+    case Mufu::COS: return "COS";
+  }
+  return "?";
+}
+
+const char* sreg_name(SpecialReg sr) {
+  switch (sr) {
+    case SpecialReg::TID_X: return "SR_TID.X";
+    case SpecialReg::TID_Y: return "SR_TID.Y";
+    case SpecialReg::CTAID_X: return "SR_CTAID.X";
+    case SpecialReg::CTAID_Y: return "SR_CTAID.Y";
+    case SpecialReg::CTAID_Z: return "SR_CTAID.Z";
+    case SpecialReg::NTID_X: return "SR_NTID.X";
+    case SpecialReg::NTID_Y: return "SR_NTID.Y";
+    case SpecialReg::NCTAID_X: return "SR_NCTAID.X";
+    case SpecialReg::NCTAID_Y: return "SR_NCTAID.Y";
+    case SpecialReg::NCTAID_Z: return "SR_NCTAID.Z";
+    case SpecialReg::LANEID: return "SR_LANEID";
+    case SpecialReg::WARPID: return "SR_WARPID";
+  }
+  return "?";
+}
+
+}  // namespace gras::isa

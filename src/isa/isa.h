@@ -1,0 +1,182 @@
+// The gras mini-ISA: a SASS-flavoured SIMT instruction set.
+//
+// Design notes
+// ------------
+// * 32-bit general-purpose registers R0..R62 plus RZ (always reads zero,
+//   writes discarded), exactly like SASS.
+// * 1-bit predicate registers P0..P6 plus PT (always true). Any instruction
+//   can carry a guard predicate @Pn / @!Pn.
+// * Device pointers are 32 bits (the simulated GPU has < 4 GiB of global
+//   memory), so a single GPR holds an address. Real Volta SASS pairs two
+//   registers; collapsing the pair changes nothing about fault behaviour in
+//   the structures the paper studies and halves kernel-authoring noise.
+// * Kernel parameters live in constant bank 0 and appear as `c[offset]`
+//   source operands, mirroring SASS `c[0x0][0x160]` operands.
+// * SIMT control flow uses the pre-Volta SSY/SYNC discipline: SSY pushes a
+//   reconvergence point, a divergent predicated BRA splits the warp, each
+//   path ends in SYNC, and the warp reconverges at the SSY target.
+//
+// Faults are never injected into instruction encodings: the paper excludes
+// the instruction cache / opcode bits from both AVF and SVF for fairness
+// (§II-B), so instructions here are plain structs with no binary encoding.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gras::isa {
+
+/// Opcode of the mini-ISA. Operand shapes are documented per group.
+enum class Op : std::uint8_t {
+  // --- Special-register / moves ---
+  S2R,     ///< Rd = special register (src0 = SpecialReg as imm)
+  MOV,     ///< Rd = src0 (reg/imm/param)
+  // --- Integer ALU (Rd, Ra, src_b[, src_c]) ---
+  IADD,    ///< Rd = Ra + b
+  ISUB,    ///< Rd = Ra - b
+  IMUL,    ///< Rd = low32(Ra * b), signed
+  IMAD,    ///< Rd = Ra * b + c
+  ISCADD,  ///< Rd = (Ra << shift) + b   (shift = imm field `shift`)
+  SHL,     ///< Rd = Ra << (b & 31)
+  SHR,     ///< Rd = Ra >> (b & 31), logical
+  ASR,     ///< Rd = Ra >> (b & 31), arithmetic
+  AND,     ///< Rd = Ra & b
+  OR,      ///< Rd = Ra | b
+  XOR,     ///< Rd = Ra ^ b
+  NOT,     ///< Rd = ~src0
+  IMIN,    ///< Rd = min(Ra, b), signed
+  IMAX,    ///< Rd = max(Ra, b), signed
+  // --- Integer compare / select ---
+  ISETP,   ///< Pd = Ra <cmp> b  (signed compare; cmp in `cmp` field)
+  SEL,     ///< Rd = Pguard2 ? Ra : b   (predicate in `psrc` field)
+  // --- Float ALU (IEEE-754 binary32 held in GPRs) ---
+  FADD, FSUB, FMUL,
+  FFMA,    ///< Rd = Ra * b + c (fused on host: computed in double, rounded)
+  FMIN, FMAX,
+  FSETP,   ///< Pd = Ra <cmp> b (float compare)
+  F2I,     ///< Rd = (int32) truncate(float Ra)
+  I2F,     ///< Rd = (float) (int32) Ra
+  MUFU,    ///< Rd = unary function of Ra (func in `mufu` field)
+  // --- Memory ---
+  LDG,     ///< Rd = global[Ra + imm]    (via L1D + L2)
+  LDT,     ///< Rd = global[Ra + imm]    (read-only/texture path: L1T + L2)
+  STG,     ///< global[Ra + imm] = Rb
+  LDS,     ///< Rd = shared[Ra + imm]
+  STS,     ///< shared[Ra + imm] = Rb
+  // --- Control flow / sync ---
+  BRA,     ///< branch to `target` (predicated -> possibly divergent)
+  SSY,     ///< push reconvergence point `target`
+  SYNC,    ///< end of a divergent path; reconverge at the SSY target
+  BAR,     ///< CTA-wide barrier
+  EXIT,    ///< thread terminates
+  NOP,
+  // --- Atomics (global memory, via L2) ---
+  ATOM_ADD,  ///< Rd = old = global[Ra+imm]; global[Ra+imm] = old + Rb
+  RED_ADD,   ///< global[Ra+imm] += Rb (no return value)
+};
+
+/// Comparison operators for ISETP/FSETP.
+enum class Cmp : std::uint8_t { EQ, NE, LT, LE, GT, GE };
+
+/// Unary transcendental functions for MUFU (SFU path on real GPUs).
+enum class Mufu : std::uint8_t { RCP, SQRT, RSQRT, EX2, LG2, EXP, LOG, SIN, COS };
+
+/// Special registers readable with S2R.
+enum class SpecialReg : std::uint8_t {
+  TID_X, TID_Y,       ///< thread index within CTA
+  CTAID_X, CTAID_Y, CTAID_Z,  ///< CTA index within grid
+  NTID_X, NTID_Y,     ///< CTA dimensions
+  NCTAID_X, NCTAID_Y, NCTAID_Z,  ///< grid dimensions
+  LANEID,             ///< lane within warp
+  WARPID,             ///< warp index within CTA
+};
+
+/// Register name constants.
+inline constexpr std::uint8_t kNumGpr = 64;     ///< R0..R62 + RZ
+inline constexpr std::uint8_t kRegRZ = 63;      ///< hardwired zero
+inline constexpr std::uint8_t kNumPred = 8;     ///< P0..P6 + PT
+inline constexpr std::uint8_t kPredPT = 7;      ///< hardwired true
+
+/// Operand kinds for ALU sources.
+enum class OperandKind : std::uint8_t {
+  None,
+  Gpr,    ///< value = register index
+  Imm,    ///< value = 32-bit immediate (bit pattern; floats use bit casts)
+  Param,  ///< value = byte offset into constant bank 0 (kernel params)
+};
+
+/// A source operand.
+struct Operand {
+  OperandKind kind = OperandKind::None;
+  std::uint32_t value = 0;
+
+  static Operand gpr(std::uint8_t r) { return {OperandKind::Gpr, r}; }
+  static Operand imm(std::uint32_t v) { return {OperandKind::Imm, v}; }
+  static Operand fimm(float f);
+  static Operand param(std::uint32_t byte_offset) { return {OperandKind::Param, byte_offset}; }
+  bool is_gpr() const { return kind == OperandKind::Gpr; }
+};
+
+/// One instruction. Fixed-shape struct: unused fields are zero.
+struct Instr {
+  Op op = Op::NOP;
+
+  // Guard predicate: executes only in lanes where (pred(guard) == !guard_neg).
+  std::uint8_t guard = kPredPT;
+  bool guard_neg = false;
+
+  std::uint8_t dst = kRegRZ;      ///< GPR destination (or kRegRZ)
+  std::uint8_t pdst = kPredPT;    ///< predicate destination (ISETP/FSETP)
+  Operand a;                      ///< first source (Ra; base register for memory)
+  Operand b;                      ///< second source
+  Operand c;                      ///< third source (IMAD/FFMA)
+  std::uint8_t psrc = kPredPT;    ///< predicate source (SEL)
+  bool psrc_neg = false;
+  Cmp cmp = Cmp::EQ;
+  Mufu mufu = Mufu::RCP;
+  std::uint8_t shift = 0;         ///< ISCADD shift amount
+  std::int32_t mem_offset = 0;    ///< immediate byte offset for memory ops
+  std::uint32_t target = 0;       ///< branch/SSY target (instruction index)
+
+  /// True if this op writes a general-purpose destination register.
+  /// These are the instructions NVBitFI-style software injection targets
+  /// (its "general purpose" instruction group).
+  bool writes_gpr() const;
+  /// True for LDG/LDT/LDS (the SVF-LD injection group).
+  bool is_load() const;
+  /// True for STG/STS.
+  bool is_store() const;
+  /// True for LDS/STS (the "SMEM instructions" utilization metric).
+  bool is_shared_mem() const;
+};
+
+/// Parameter descriptor: kernels declare their parameter layout so the TMR
+/// transform knows which params are device pointers it must re-base.
+struct ParamDecl {
+  std::string name;
+  bool is_pointer = false;         ///< device buffer address
+  std::uint32_t byte_offset = 0;   ///< offset in constant bank 0 (4-byte slots)
+};
+
+/// A kernel: code plus static resource requirements.
+struct Kernel {
+  std::string name;
+  std::vector<Instr> code;
+  std::vector<ParamDecl> params;
+  std::uint32_t smem_bytes = 0;    ///< static shared memory per CTA
+  std::uint8_t num_regs = 0;       ///< registers per thread (max used + 1)
+
+  /// Recomputes num_regs from the code (call after editing code).
+  void recount_registers();
+  /// Returns the byte offset of a named parameter; throws if unknown.
+  std::uint32_t param_offset(const std::string& pname) const;
+};
+
+/// Returns the mnemonic for an opcode ("IMAD", ...).
+const char* op_name(Op op);
+const char* cmp_name(Cmp cmp);
+const char* mufu_name(Mufu f);
+const char* sreg_name(SpecialReg sr);
+
+}  // namespace gras::isa

@@ -1,0 +1,195 @@
+#include "src/metrics/metrics.h"
+
+#include <algorithm>
+
+namespace gras::metrics {
+
+StructureBits StructureBits::from(const sim::GpuConfig& config) {
+  StructureBits b;
+  b.rf = config.rf_bits_total();
+  b.smem = config.smem_bits_total();
+  b.l1d = config.l1d_bits_total();
+  b.l1t = config.l1t_bits_total();
+  b.l2 = config.l2_bits_total();
+  return b;
+}
+
+std::uint64_t StructureBits::of(fi::Structure s) const {
+  switch (s) {
+    case fi::Structure::RF: return rf;
+    case fi::Structure::SMEM: return smem;
+    case fi::Structure::L1D: return l1d;
+    case fi::Structure::L1T: return l1t;
+    case fi::Structure::L2: return l2;
+  }
+  return 0;
+}
+
+Breakdown& Breakdown::operator+=(const Breakdown& o) {
+  sdc += o.sdc;
+  timeout += o.timeout;
+  due += o.due;
+  return *this;
+}
+
+Breakdown breakdown_of(const campaign::OutcomeCounts& counts) {
+  return {counts.pct(fi::Outcome::SDC), counts.pct(fi::Outcome::Timeout),
+          counts.pct(fi::Outcome::DUE)};
+}
+
+namespace {
+
+/// Cycle-weighted average of a per-launch quantity over a kernel's launches.
+template <typename Fn>
+double cycle_weighted(const campaign::GoldenRun& golden, const std::string& kernel,
+                      Fn&& per_launch) {
+  std::uint64_t total_cycles = 0;
+  double acc = 0.0;
+  for (const auto& l : golden.launches) {
+    if (l.kernel != kernel) continue;
+    total_cycles += l.cycles();
+    acc += per_launch(l) * static_cast<double>(l.cycles());
+  }
+  if (total_cycles == 0) return 0.0;
+  return acc / static_cast<double>(total_cycles);
+}
+
+}  // namespace
+
+double rf_derating(const campaign::GoldenRun& golden, const std::string& kernel,
+                   const sim::GpuConfig& config) {
+  const double system_bits = static_cast<double>(config.rf_bits_total());
+  return cycle_weighted(golden, kernel, [&](const sim::LaunchRecord& l) {
+    const double used =
+        static_cast<double>(l.regs_per_thread) * 32.0 * static_cast<double>(l.threads);
+    return std::min(1.0, used / system_bits);
+  });
+}
+
+double smem_derating(const campaign::GoldenRun& golden, const std::string& kernel,
+                     const sim::GpuConfig& config) {
+  const double system_bits = static_cast<double>(config.smem_bits_total());
+  return cycle_weighted(golden, kernel, [&](const sim::LaunchRecord& l) {
+    const double ctas = static_cast<double>(l.grid.count());
+    const double used = static_cast<double>(l.smem_per_cta) * 8.0 * ctas;
+    return std::min(1.0, used / system_bits);
+  });
+}
+
+Breakdown KernelReliability::avf(fi::Structure s) const {
+  const auto fr_it = fr.find(s);
+  if (fr_it == fr.end()) return {};
+  const auto df_it = df.find(s);
+  const double factor = df_it == df.end() ? 1.0 : df_it->second;
+  return fr_it->second.scaled(factor);
+}
+
+Breakdown KernelReliability::chip_avf(const StructureBits& bits) const {
+  Breakdown out;
+  const double total = static_cast<double>(bits.total());
+  if (total == 0.0) return out;
+  for (fi::Structure s : fi::kAllStructures) {
+    out += avf(s).scaled(static_cast<double>(bits.of(s)) / total);
+  }
+  return out;
+}
+
+Breakdown KernelReliability::avf_cache(const StructureBits& bits) const {
+  Breakdown out;
+  const double total = static_cast<double>(bits.cache_total());
+  if (total == 0.0) return out;
+  for (fi::Structure s : {fi::Structure::L1D, fi::Structure::L1T, fi::Structure::L2}) {
+    out += avf(s).scaled(static_cast<double>(bits.of(s)) / total);
+  }
+  return out;
+}
+
+KernelReliability consolidate_kernel(const campaign::GoldenRun& golden,
+                                     const std::string& kernel,
+                                     const campaign::KernelCampaigns& campaigns,
+                                     const sim::GpuConfig& config) {
+  KernelReliability out;
+  out.kernel = kernel;
+  out.cycles = golden.kernel_cycles(kernel);
+  out.instructions = golden.kernel_gp_instrs(kernel);
+  out.df[fi::Structure::RF] = rf_derating(golden, kernel, config);
+  out.df[fi::Structure::SMEM] = smem_derating(golden, kernel, config);
+  out.df[fi::Structure::L1D] = 1.0;
+  out.df[fi::Structure::L1T] = 1.0;
+  out.df[fi::Structure::L2] = 1.0;
+  for (const auto& [target, result] : campaigns) {
+    if (campaign::is_microarch(target)) {
+      fi::Structure s;
+      switch (target) {
+        case campaign::Target::RF: s = fi::Structure::RF; break;
+        case campaign::Target::SMEM: s = fi::Structure::SMEM; break;
+        case campaign::Target::L1D: s = fi::Structure::L1D; break;
+        case campaign::Target::L1T: s = fi::Structure::L1T; break;
+        default: s = fi::Structure::L2; break;
+      }
+      out.fr[s] = breakdown_of(result.counts);
+    } else if (target == campaign::Target::Svf) {
+      out.svf = breakdown_of(result.counts);
+    } else if (target == campaign::Target::SvfLd) {
+      out.svf_ld = breakdown_of(result.counts);
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// Weighted consolidation over kernels with a caller-supplied weight and
+/// per-kernel value.
+template <typename WeightFn, typename ValueFn>
+Breakdown consolidate(const std::vector<KernelReliability>& kernels, WeightFn&& weight,
+                      ValueFn&& value) {
+  double total = 0.0;
+  for (const auto& k : kernels) total += weight(k);
+  Breakdown out;
+  if (total == 0.0) return out;
+  for (const auto& k : kernels) out += value(k).scaled(weight(k) / total);
+  return out;
+}
+
+}  // namespace
+
+Breakdown AppReliability::chip_avf(const StructureBits& bits) const {
+  return consolidate(
+      kernels, [](const KernelReliability& k) { return static_cast<double>(k.cycles); },
+      [&](const KernelReliability& k) { return k.chip_avf(bits); });
+}
+
+Breakdown AppReliability::avf_rf() const {
+  return consolidate(
+      kernels, [](const KernelReliability& k) { return static_cast<double>(k.cycles); },
+      [](const KernelReliability& k) { return k.avf_rf(); });
+}
+
+Breakdown AppReliability::avf_cache(const StructureBits& bits) const {
+  return consolidate(
+      kernels, [](const KernelReliability& k) { return static_cast<double>(k.cycles); },
+      [&](const KernelReliability& k) { return k.avf_cache(bits); });
+}
+
+Breakdown AppReliability::svf() const {
+  return consolidate(
+      kernels,
+      [](const KernelReliability& k) { return static_cast<double>(k.instructions); },
+      [](const KernelReliability& k) { return k.svf; });
+}
+
+Breakdown AppReliability::svf_ld() const {
+  return consolidate(
+      kernels,
+      [](const KernelReliability& k) { return static_cast<double>(k.instructions); },
+      [](const KernelReliability& k) { return k.svf_ld; });
+}
+
+Breakdown AppReliability::avf(fi::Structure s) const {
+  return consolidate(
+      kernels, [](const KernelReliability& k) { return static_cast<double>(k.cycles); },
+      [&](const KernelReliability& k) { return k.avf(s); });
+}
+
+}  // namespace gras::metrics

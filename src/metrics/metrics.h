@@ -1,0 +1,103 @@
+// AVF / SVF arithmetic (paper §II-B, §II-C).
+//
+//   FR(h)        = Pct(SDC) + Pct(Timeout) + Pct(DUE)
+//   DF(h)        = size_per_thread(h) * num_threads / system_size(h)
+//                  (register file and shared memory only; clamped to 1)
+//   AVF(h)       = FR(h) * DF(h)
+//   AVF(chip)    = sum_h AVF(h) * size(h) / sum_h size(h)
+//   AVF(app)     = sum_k AVF(k) * cycles(k) / sum_k cycles(k)
+//   SVF(kernel)  = FR(kernel)
+//   SVF(app)     = sum_k SVF(k) * instructions(k) / sum_k instructions(k)
+//
+// Every quantity is carried as a Breakdown (SDC / Timeout / DUE shares) so
+// the stacked-bar figures of the paper can be regenerated, with the scalar
+// value being the sum of the three shares.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/campaign/campaign.h"
+#include "src/fi/fault.h"
+#include "src/sim/config.h"
+
+namespace gras::metrics {
+
+/// Bit counts of the injectable structures (chip-AVF weights).
+struct StructureBits {
+  std::uint64_t rf = 0, smem = 0, l1d = 0, l1t = 0, l2 = 0;
+
+  static StructureBits from(const sim::GpuConfig& config);
+  std::uint64_t of(fi::Structure s) const;
+  std::uint64_t total() const { return rf + smem + l1d + l1t + l2; }
+  std::uint64_t cache_total() const { return l1d + l1t + l2; }
+};
+
+/// A vulnerability value split into the three non-masked fault-effect
+/// classes. value() == SDC + Timeout + DUE.
+struct Breakdown {
+  double sdc = 0.0, timeout = 0.0, due = 0.0;
+
+  double value() const { return sdc + timeout + due; }
+  Breakdown scaled(double f) const { return {sdc * f, timeout * f, due * f}; }
+  Breakdown& operator+=(const Breakdown& o);
+};
+
+/// Failure-rate breakdown of a campaign's outcome histogram.
+Breakdown breakdown_of(const campaign::OutcomeCounts& counts);
+
+/// Cycle-weighted derating factor of a kernel, aggregated over its launches:
+/// DF_RF(l) = regs_per_thread * 32 * threads(l) / total RF bits.
+double rf_derating(const campaign::GoldenRun& golden, const std::string& kernel,
+                   const sim::GpuConfig& config);
+/// DF_SMEM(l) = smem_per_cta * 8 * ctas(l) / total SMEM bits.
+double smem_derating(const campaign::GoldenRun& golden, const std::string& kernel,
+                     const sim::GpuConfig& config);
+
+/// Consolidated reliability measurements of one kernel.
+struct KernelReliability {
+  std::string kernel;
+  /// Raw failure-rate breakdowns per microarchitecture structure.
+  std::map<fi::Structure, Breakdown> fr;
+  /// Derating factors (1.0 for caches).
+  std::map<fi::Structure, double> df;
+  Breakdown svf;     ///< software-level failure rate (== SVF)
+  Breakdown svf_ld;  ///< loads-only software-level failure rate
+  std::uint64_t cycles = 0;        ///< AVF app-consolidation weight
+  std::uint64_t instructions = 0;  ///< SVF app-consolidation weight
+
+  /// AVF of one structure: FR x DF.
+  Breakdown avf(fi::Structure s) const;
+  /// Size-weighted AVF over all five structures (the paper's full-chip AVF).
+  Breakdown chip_avf(const StructureBits& bits) const;
+  /// AVF of the register file alone (the paper's AVF-RF).
+  Breakdown avf_rf() const { return avf(fi::Structure::RF); }
+  /// Size-weighted AVF over L1D+L1T+L2 (the paper's AVF-Cache).
+  Breakdown avf_cache(const StructureBits& bits) const;
+};
+
+/// Builds a KernelReliability from campaign results (whichever targets were
+/// run; missing targets contribute zero).
+KernelReliability consolidate_kernel(const campaign::GoldenRun& golden,
+                                     const std::string& kernel,
+                                     const campaign::KernelCampaigns& campaigns,
+                                     const sim::GpuConfig& config);
+
+/// Consolidated reliability of one application.
+struct AppReliability {
+  std::string app;
+  std::vector<KernelReliability> kernels;
+
+  /// Cycle-weighted chip AVF over kernels (paper's AVF(app)).
+  Breakdown chip_avf(const StructureBits& bits) const;
+  Breakdown avf_rf() const;
+  Breakdown avf_cache(const StructureBits& bits) const;
+  /// Instruction-weighted SVF over kernels (paper's SVF(app)).
+  Breakdown svf() const;
+  Breakdown svf_ld() const;
+  /// Cycle-weighted AVF of one structure.
+  Breakdown avf(fi::Structure s) const;
+};
+
+}  // namespace gras::metrics

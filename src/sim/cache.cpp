@@ -1,0 +1,351 @@
+#include "src/sim/cache.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+#include <stdexcept>
+
+#include "src/common/bitops.h"
+
+namespace gras::sim {
+
+CacheStats& CacheStats::operator+=(const CacheStats& o) {
+  accesses += o.accesses;
+  hits += o.hits;
+  misses += o.misses;
+  pending_hits += o.pending_hits;
+  reservation_fails += o.reservation_fails;
+  writebacks += o.writebacks;
+  fills += o.fills;
+  return *this;
+}
+
+// ---------------------------------------------------------------- Dram ----
+
+Dram::Dram(GlobalMemory& memory, std::uint32_t latency)
+    : memory_(memory), latency_(latency) {}
+
+std::uint64_t Dram::read_line(std::uint64_t line_addr,
+                              std::span<const std::uint32_t> offsets,
+                              std::span<std::uint32_t> out, std::uint64_t now) {
+  for (std::size_t i = 0; i < offsets.size(); ++i) {
+    std::uint8_t buf[4];
+    memory_.read(line_addr + offsets[i], buf);
+    std::memcpy(&out[i], buf, 4);
+  }
+  bytes_read_ += offsets.size() * 4;
+  return now + latency_;
+}
+
+std::uint64_t Dram::write_line(std::uint64_t line_addr, std::span<const LineOp> ops,
+                               std::uint64_t now) {
+  for (const LineOp& op : ops) {
+    std::uint8_t buf[4];
+    std::memcpy(buf, &op.value, 4);
+    memory_.write(line_addr + op.offset, buf);
+  }
+  bytes_written_ += ops.size() * 4;
+  return now + latency_;
+}
+
+std::uint64_t Dram::fill_line(std::uint64_t line_addr, std::span<std::uint8_t> out,
+                              std::uint64_t now) {
+  memory_.read(line_addr, out);
+  bytes_read_ += out.size();
+  return now + latency_;
+}
+
+void Dram::writeback_line(std::uint64_t line_addr, std::span<const std::uint8_t> in) {
+  memory_.write(line_addr, in);
+  bytes_written_ += in.size();
+}
+
+std::uint64_t Dram::atomic_add(std::uint64_t addr, std::uint32_t operand,
+                               std::uint32_t& old_value, std::uint64_t now) {
+  std::uint8_t buf[4];
+  memory_.read(addr, buf);
+  std::memcpy(&old_value, buf, 4);
+  const std::uint32_t updated = old_value + operand;
+  std::memcpy(buf, &updated, 4);
+  memory_.write(addr, buf);
+  bytes_read_ += 4;
+  bytes_written_ += 4;
+  return now + latency_;
+}
+
+void Dram::peek(std::uint64_t addr, std::span<std::uint8_t> out) { memory_.read(addr, out); }
+void Dram::poke(std::uint64_t addr, std::span<const std::uint8_t> in) { memory_.write(addr, in); }
+
+// --------------------------------------------------------------- Cache ----
+
+Cache::Cache(const CacheConfig& config, MemLevel& next, const char* name)
+    : config_(config),
+      next_(next),
+      name_(name),
+      meta_(std::size_t{config.sets} * config.ways),
+      data_(std::size_t{config.sets} * config.ways * config.line_bytes, 0) {
+  // Line size must be a power of two (callers mask addresses with it); set
+  // counts may be arbitrary (e.g. Volta's 24-set L1T) — indexing divides.
+  if (!is_pow2(config_.line_bytes)) {
+    throw std::invalid_argument("cache line size must be a power of two");
+  }
+  (void)name_;
+}
+
+std::uint32_t Cache::set_of(std::uint64_t line_addr) const noexcept {
+  return static_cast<std::uint32_t>((line_addr / config_.line_bytes) % config_.sets);
+}
+
+std::uint64_t Cache::tag_of(std::uint64_t line_addr) const noexcept {
+  return line_addr / config_.line_bytes / config_.sets;
+}
+
+int Cache::lookup(std::uint32_t set, std::uint64_t tag) const noexcept {
+  for (std::uint32_t w = 0; w < config_.ways; ++w) {
+    const LineMeta& m = meta_[std::size_t{set} * config_.ways + w];
+    if (m.valid && m.tag == tag) return static_cast<int>(w);
+  }
+  return -1;
+}
+
+std::uint8_t* Cache::line_data(std::uint32_t set, std::uint32_t way) noexcept {
+  return data_.data() + (std::size_t{set} * config_.ways + way) * config_.line_bytes;
+}
+
+void Cache::evict(std::uint32_t set, std::uint32_t way) {
+  LineMeta& m = meta_[std::size_t{set} * config_.ways + way];
+  if (m.valid && m.dirty) {
+    const std::uint64_t victim_addr =
+        (m.tag * config_.sets + set) * config_.line_bytes;
+    next_.writeback_line(victim_addr, {line_data(set, way), config_.line_bytes});
+    ++stats_.writebacks;
+  }
+  m.valid = false;
+  m.dirty = false;
+}
+
+std::uint64_t Cache::mshr_register(std::uint64_t line_addr, std::uint64_t ready,
+                                   std::uint64_t now) {
+  // Drop completed fills.
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    if (it->second <= now) it = pending_.erase(it);
+    else ++it;
+  }
+  std::uint64_t delay = 0;
+  if (pending_.size() >= config_.mshrs) {
+    // All MSHRs busy: the access retries when the earliest fill lands.
+    ++stats_.reservation_fails;
+    std::uint64_t earliest = ~std::uint64_t{0};
+    for (const auto& [line, r] : pending_) earliest = std::min(earliest, r);
+    delay = earliest > now ? earliest - now : 1;
+    // The retried access re-reserves after the earliest completion frees up.
+    for (auto it = pending_.begin(); it != pending_.end();) {
+      if (it->second <= now + delay) it = pending_.erase(it);
+      else ++it;
+    }
+  }
+  pending_[line_addr] = ready + delay;
+  return delay;
+}
+
+std::pair<std::uint32_t, std::uint64_t> Cache::ensure_line(std::uint64_t line_addr,
+                                                           std::uint64_t now) {
+  const std::uint32_t set = set_of(line_addr);
+  const std::uint64_t tag = tag_of(line_addr);
+  if (const int way = lookup(set, tag); way >= 0) {
+    // Resident. A fill may still be in flight (pending hit).
+    auto it = pending_.find(line_addr);
+    std::uint64_t ready = now + config_.hit_latency;
+    if (it != pending_.end() && it->second > now) {
+      ++stats_.pending_hits;
+      ready = it->second + config_.hit_latency;
+    } else {
+      ++stats_.hits;
+    }
+    meta_[std::size_t{set} * config_.ways + way].last_use = ++use_clock_;
+    return {static_cast<std::uint32_t>(way), ready};
+  }
+
+  // Miss: pick LRU victim (prefer invalid ways), evict, fill.
+  ++stats_.misses;
+  std::uint32_t victim = 0;
+  std::uint64_t oldest = ~std::uint64_t{0};
+  for (std::uint32_t w = 0; w < config_.ways; ++w) {
+    const LineMeta& m = meta_[std::size_t{set} * config_.ways + w];
+    if (!m.valid) {
+      victim = w;
+      break;
+    }
+    if (m.last_use < oldest) {
+      oldest = m.last_use;
+      victim = w;
+    }
+  }
+  evict(set, victim);
+
+  std::uint8_t* dst = line_data(set, victim);
+  const std::uint64_t fill_ready = next_.fill_line(line_addr, {dst, config_.line_bytes}, now);
+  ++stats_.fills;
+  const std::uint64_t delay = mshr_register(line_addr, fill_ready, now);
+
+  LineMeta& m = meta_[std::size_t{set} * config_.ways + victim];
+  m.tag = tag;
+  m.valid = true;
+  m.dirty = false;
+  m.last_use = ++use_clock_;
+  // Data traverses this level after the fill lands.
+  return {victim, fill_ready + delay + config_.hit_latency};
+}
+
+std::uint64_t Cache::read_line(std::uint64_t line_addr,
+                               std::span<const std::uint32_t> offsets,
+                               std::span<std::uint32_t> out, std::uint64_t now) {
+  ++stats_.accesses;
+  auto [way, ready] = ensure_line(line_addr, now);
+  const std::uint8_t* src = line_data(set_of(line_addr), way);
+  for (std::size_t i = 0; i < offsets.size(); ++i) {
+    std::memcpy(&out[i], src + offsets[i], 4);
+  }
+  return ready;
+}
+
+std::uint64_t Cache::write_line(std::uint64_t line_addr, std::span<const LineOp> ops,
+                                std::uint64_t now) {
+  ++stats_.accesses;
+  const std::uint32_t set = set_of(line_addr);
+  const std::uint64_t tag = tag_of(line_addr);
+
+  if (config_.write_back) {
+    // Write-allocate: bring the line in, update it, mark dirty.
+    auto [way, ready] = ensure_line(line_addr, now);
+    std::uint8_t* dst = line_data(set, way);
+    for (const LineOp& op : ops) std::memcpy(dst + op.offset, &op.value, 4);
+    meta_[std::size_t{set} * config_.ways + way].dirty = true;
+    return ready;
+  }
+
+  // Write-through, no write-allocate: update the line when resident, always
+  // forward to the next level. Stores do not stall the warp beyond the hit
+  // latency (fire and forget).
+  if (const int way = lookup(set, tag); way >= 0) {
+    ++stats_.hits;
+    std::uint8_t* dst = line_data(set, static_cast<std::uint32_t>(way));
+    for (const LineOp& op : ops) std::memcpy(dst + op.offset, &op.value, 4);
+    meta_[std::size_t{set} * config_.ways + static_cast<std::uint32_t>(way)].last_use =
+        ++use_clock_;
+  } else {
+    ++stats_.misses;
+  }
+  next_.write_line(line_addr, ops, now);
+  return now + config_.hit_latency;
+}
+
+std::uint64_t Cache::fill_line(std::uint64_t line_addr, std::span<std::uint8_t> out,
+                               std::uint64_t now) {
+  ++stats_.accesses;
+  auto [way, ready] = ensure_line(line_addr, now);
+  std::memcpy(out.data(), line_data(set_of(line_addr), way), config_.line_bytes);
+  return ready;
+}
+
+void Cache::writeback_line(std::uint64_t line_addr, std::span<const std::uint8_t> in) {
+  // A dirty victim from the level above. For a write-back cache, absorb it;
+  // otherwise pass through (L1s in this model are write-through and never
+  // produce victims, but the path is kept general).
+  if (config_.write_back) {
+    const std::uint64_t now = use_clock_;  // untimed path
+    ++stats_.accesses;
+    auto [way, ready] = ensure_line(line_addr, now);
+    (void)ready;
+    std::memcpy(line_data(set_of(line_addr), way), in.data(), config_.line_bytes);
+    meta_[std::size_t{set_of(line_addr)} * config_.ways + way].dirty = true;
+    return;
+  }
+  next_.writeback_line(line_addr, in);
+}
+
+std::uint64_t Cache::atomic_add(std::uint64_t addr, std::uint32_t operand,
+                                std::uint32_t& old_value, std::uint64_t now) {
+  // Atomics are resolved at this level (the GPU routes them to L2).
+  ++stats_.accesses;
+  const std::uint64_t line_addr = addr & ~std::uint64_t{config_.line_bytes - 1};
+  auto [way, ready] = ensure_line(line_addr, now);
+  std::uint8_t* dst = line_data(set_of(line_addr), way) + (addr - line_addr);
+  std::memcpy(&old_value, dst, 4);
+  const std::uint32_t updated = old_value + operand;
+  std::memcpy(dst, &updated, 4);
+  if (config_.write_back) {
+    meta_[std::size_t{set_of(line_addr)} * config_.ways + way].dirty = true;
+  } else {
+    LineOp op{static_cast<std::uint32_t>(addr - line_addr), updated};
+    next_.write_line(line_addr, {&op, 1}, now);
+  }
+  return ready;
+}
+
+void Cache::peek(std::uint64_t addr, std::span<std::uint8_t> out) {
+  // Byte-wise coherent read: serve from this level when resident.
+  std::size_t done = 0;
+  while (done < out.size()) {
+    const std::uint64_t a = addr + done;
+    const std::uint64_t line_addr = a & ~std::uint64_t{config_.line_bytes - 1};
+    const std::size_t in_line = static_cast<std::size_t>(a - line_addr);
+    const std::size_t chunk = std::min(out.size() - done, std::size_t{config_.line_bytes} - in_line);
+    const std::uint32_t set = set_of(line_addr);
+    const std::uint64_t tag = tag_of(line_addr);
+    if (const int way = lookup(set, tag); way >= 0) {
+      std::memcpy(out.data() + done, line_data(set, static_cast<std::uint32_t>(way)) + in_line,
+                  chunk);
+    } else {
+      next_.peek(a, out.subspan(done, chunk));
+    }
+    done += chunk;
+  }
+}
+
+void Cache::poke(std::uint64_t addr, std::span<const std::uint8_t> in) {
+  // Byte-wise coherent write: update resident copies and the level below,
+  // so host writes are visible regardless of later hits or misses.
+  std::size_t done = 0;
+  while (done < in.size()) {
+    const std::uint64_t a = addr + done;
+    const std::uint64_t line_addr = a & ~std::uint64_t{config_.line_bytes - 1};
+    const std::size_t in_line = static_cast<std::size_t>(a - line_addr);
+    const std::size_t chunk = std::min(in.size() - done, std::size_t{config_.line_bytes} - in_line);
+    const std::uint32_t set = set_of(line_addr);
+    const std::uint64_t tag = tag_of(line_addr);
+    if (const int way = lookup(set, tag); way >= 0) {
+      std::memcpy(line_data(set, static_cast<std::uint32_t>(way)) + in_line, in.data() + done,
+                  chunk);
+    }
+    next_.poke(a, in.subspan(done, chunk));
+    done += chunk;
+  }
+}
+
+void Cache::flush() {
+  for (std::uint32_t set = 0; set < config_.sets; ++set) {
+    for (std::uint32_t way = 0; way < config_.ways; ++way) {
+      evict(set, way);
+    }
+  }
+  pending_.clear();
+}
+
+void Cache::flip_data_bit(std::uint64_t bit_index) noexcept {
+  gras::flip_bit(std::span<std::uint8_t>(data_), bit_index);
+}
+
+void Cache::flip_tag_bit(std::uint64_t line_index, unsigned bit) noexcept {
+  if (line_index < meta_.size()) meta_[line_index].tag ^= (std::uint64_t{1} << (bit & 63));
+}
+
+void Cache::flip_valid_bit(std::uint64_t line_index) noexcept {
+  if (line_index < meta_.size()) meta_[line_index].valid = !meta_[line_index].valid;
+}
+
+void Cache::flip_dirty_bit(std::uint64_t line_index) noexcept {
+  if (line_index < meta_.size()) meta_[line_index].dirty = !meta_[line_index].dirty;
+}
+
+}  // namespace gras::sim

@@ -1,0 +1,182 @@
+// Set-associative caches with real backing storage.
+//
+// Faults are injected into the backing arrays themselves, which is what
+// makes the cross-layer AVF measurement honest (paper §V-B):
+//  * a flipped bit in a *clean* line disappears when the line is evicted
+//    (hardware masking that software-level injection cannot see),
+//  * a flipped bit in a *dirty* L2 line is written back to memory and
+//    corrupts the program output even if the program never reads it again,
+//  * a flipped bit in an invalid line is dead and always masked.
+//
+// Hierarchy: per-SM L1D and L1T (write-through, no write-allocate, as in
+// GPGPU-Sim's Volta configs) on top of a shared write-back write-allocate
+// L2, on top of DRAM. All levels share one line size.
+//
+// Timing is issue-time: an access returns the absolute cycle at which its
+// data is ready; the issuing warp stalls until then. A small MSHR model
+// provides the "pending hit" and "reservation fail" behaviours that surface
+// in the paper's Fig. 3 utilization metrics.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "src/sim/config.h"
+#include "src/sim/memory.h"
+
+namespace gras::sim {
+
+/// One 4-byte word write within a line.
+struct LineOp {
+  std::uint32_t offset;  ///< byte offset within the line (4-aligned)
+  std::uint32_t value;
+};
+
+/// Per-cache statistics (subset of GPGPU-Sim's cache stats; these are the
+/// metrics plotted in the paper's Fig. 3).
+struct CacheStats {
+  std::uint64_t accesses = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t pending_hits = 0;      ///< miss merged into an in-flight fill
+  std::uint64_t reservation_fails = 0; ///< all MSHRs busy; access had to retry
+  std::uint64_t writebacks = 0;        ///< dirty lines written to next level
+  std::uint64_t fills = 0;             ///< lines brought in from next level
+
+  double miss_rate() const {
+    return accesses == 0 ? 0.0 : static_cast<double>(misses) / static_cast<double>(accesses);
+  }
+  CacheStats& operator+=(const CacheStats& o);
+};
+
+/// Abstract memory level: caches stack on each other and terminate in Dram.
+class MemLevel {
+ public:
+  virtual ~MemLevel() = default;
+
+  /// Timed read of words within one line. Returns the data-ready cycle.
+  virtual std::uint64_t read_line(std::uint64_t line_addr,
+                                  std::span<const std::uint32_t> offsets,
+                                  std::span<std::uint32_t> out, std::uint64_t now) = 0;
+  /// Timed write of words within one line. Returns the completion cycle.
+  virtual std::uint64_t write_line(std::uint64_t line_addr, std::span<const LineOp> ops,
+                                   std::uint64_t now) = 0;
+  /// Timed full-line read (used for fills from a lower level).
+  virtual std::uint64_t fill_line(std::uint64_t line_addr, std::span<std::uint8_t> out,
+                                  std::uint64_t now) = 0;
+  /// Untimed full-line write (evicted dirty victim).
+  virtual void writeback_line(std::uint64_t line_addr, std::span<const std::uint8_t> in) = 0;
+  /// Timed atomic fetch-and-add of a 4-byte word. Returns completion cycle.
+  virtual std::uint64_t atomic_add(std::uint64_t addr, std::uint32_t operand,
+                                   std::uint32_t& old_value, std::uint64_t now) = 0;
+  /// Untimed coherent read/write for host memcpy: sees the freshest copy at
+  /// this level or below.
+  virtual void peek(std::uint64_t addr, std::span<std::uint8_t> out) = 0;
+  virtual void poke(std::uint64_t addr, std::span<const std::uint8_t> in) = 0;
+};
+
+/// Terminal level: simulated DRAM with a flat latency.
+class Dram final : public MemLevel {
+ public:
+  Dram(GlobalMemory& memory, std::uint32_t latency);
+
+  std::uint64_t read_line(std::uint64_t line_addr, std::span<const std::uint32_t> offsets,
+                          std::span<std::uint32_t> out, std::uint64_t now) override;
+  std::uint64_t write_line(std::uint64_t line_addr, std::span<const LineOp> ops,
+                           std::uint64_t now) override;
+  std::uint64_t fill_line(std::uint64_t line_addr, std::span<std::uint8_t> out,
+                          std::uint64_t now) override;
+  void writeback_line(std::uint64_t line_addr, std::span<const std::uint8_t> in) override;
+  std::uint64_t atomic_add(std::uint64_t addr, std::uint32_t operand,
+                           std::uint32_t& old_value, std::uint64_t now) override;
+  void peek(std::uint64_t addr, std::span<std::uint8_t> out) override;
+  void poke(std::uint64_t addr, std::span<const std::uint8_t> in) override;
+
+  std::uint64_t bytes_read() const noexcept { return bytes_read_; }
+  std::uint64_t bytes_written() const noexcept { return bytes_written_; }
+  void reset_traffic() noexcept { bytes_read_ = bytes_written_ = 0; }
+
+ private:
+  GlobalMemory& memory_;
+  std::uint32_t latency_;
+  std::uint64_t bytes_read_ = 0;
+  std::uint64_t bytes_written_ = 0;
+};
+
+/// Set-associative cache level.
+class Cache final : public MemLevel {
+ public:
+  Cache(const CacheConfig& config, MemLevel& next, const char* name);
+
+  std::uint64_t read_line(std::uint64_t line_addr, std::span<const std::uint32_t> offsets,
+                          std::span<std::uint32_t> out, std::uint64_t now) override;
+  std::uint64_t write_line(std::uint64_t line_addr, std::span<const LineOp> ops,
+                           std::uint64_t now) override;
+  std::uint64_t fill_line(std::uint64_t line_addr, std::span<std::uint8_t> out,
+                          std::uint64_t now) override;
+  void writeback_line(std::uint64_t line_addr, std::span<const std::uint8_t> in) override;
+  std::uint64_t atomic_add(std::uint64_t addr, std::uint32_t operand,
+                           std::uint32_t& old_value, std::uint64_t now) override;
+  void peek(std::uint64_t addr, std::span<std::uint8_t> out) override;
+  void poke(std::uint64_t addr, std::span<const std::uint8_t> in) override;
+
+  /// Writes back all dirty lines and invalidates everything (GPGPU-Sim
+  /// flushes L1 caches at kernel boundaries).
+  void flush();
+
+  const CacheStats& stats() const noexcept { return stats_; }
+  void reset_stats() noexcept { stats_ = CacheStats{}; }
+  const CacheConfig& config() const noexcept { return config_; }
+
+  // --- Fault-injection surface (microarchitecture level) ---
+  /// Total data-array bits (valid or not — AVF targets the full structure).
+  std::uint64_t data_bit_count() const noexcept { return config_.data_bits(); }
+  /// Flips one bit of the data array, live or dead.
+  void flip_data_bit(std::uint64_t bit_index) noexcept;
+  /// Number of cache lines (for tag/flag injection, an extension).
+  std::uint64_t line_count() const noexcept { return meta_.size(); }
+  void flip_tag_bit(std::uint64_t line_index, unsigned bit) noexcept;
+  void flip_valid_bit(std::uint64_t line_index) noexcept;
+  void flip_dirty_bit(std::uint64_t line_index) noexcept;
+
+  /// Introspection for tests.
+  bool line_valid(std::uint64_t line_index) const { return meta_[line_index].valid; }
+  bool line_dirty(std::uint64_t line_index) const { return meta_[line_index].dirty; }
+
+ private:
+  struct LineMeta {
+    std::uint64_t tag = 0;
+    std::uint64_t last_use = 0;
+    bool valid = false;
+    bool dirty = false;
+  };
+
+  std::uint32_t set_of(std::uint64_t line_addr) const noexcept;
+  std::uint64_t tag_of(std::uint64_t line_addr) const noexcept;
+  /// Returns way index of a hit, or -1.
+  int lookup(std::uint32_t set, std::uint64_t tag) const noexcept;
+  std::uint8_t* line_data(std::uint32_t set, std::uint32_t way) noexcept;
+  /// Returns (way, ready_cycle) after ensuring the line is resident
+  /// (allocating/evicting/filling as needed).
+  std::pair<std::uint32_t, std::uint64_t> ensure_line(std::uint64_t line_addr,
+                                                      std::uint64_t now);
+  /// MSHR bookkeeping around a miss; returns extra delay from reservation
+  /// failures and registers the in-flight fill.
+  std::uint64_t mshr_register(std::uint64_t line_addr, std::uint64_t ready,
+                              std::uint64_t now);
+  void evict(std::uint32_t set, std::uint32_t way);
+
+  CacheConfig config_;
+  MemLevel& next_;
+  const char* name_;
+  std::vector<LineMeta> meta_;        ///< sets * ways
+  std::vector<std::uint8_t> data_;    ///< sets * ways * line_bytes
+  std::unordered_map<std::uint64_t, std::uint64_t> pending_;  ///< line -> ready
+  CacheStats stats_;
+  std::uint64_t use_clock_ = 0;
+};
+
+}  // namespace gras::sim

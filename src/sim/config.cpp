@@ -1,0 +1,31 @@
+#include "src/sim/config.h"
+
+#include <stdexcept>
+
+namespace gras::sim {
+
+GpuConfig make_config(const std::string& name) {
+  if (name == "gv100-scaled") {
+    return GpuConfig{};  // defaults above are the scaled preset
+  }
+  if (name == "gv100") {
+    // Faithful Volta GV100 per-structure sizes. We still instantiate a small
+    // SM count (simulating 80 SMs serves no purpose for kernels this size);
+    // per-SM sizes are the real ones, so structure ratios match the paper.
+    GpuConfig c;
+    c.name = "gv100";
+    c.num_sms = 4;
+    c.max_warps_per_sm = 64;
+    c.max_ctas_per_sm = 32;
+    c.regs_per_sm = 64 * 1024;            // 256 KiB register file per SM
+    c.smem_bytes_per_sm = 96 * 1024;      // 96 KiB shared memory per SM
+    c.l1d = CacheConfig{64, 4, 128, 28, 16, false};   // 32 KiB L1D
+    c.l1t = CacheConfig{24, 4, 128, 30, 16, false};   // 12 KiB L1T
+    c.l2 = CacheConfig{1024, 12, 128, 190, 64, true}; // 1.5 MiB L2 slice
+    c.global_mem_bytes = 64ull * 1024 * 1024;
+    return c;
+  }
+  throw std::invalid_argument("unknown GPU config '" + name + "'");
+}
+
+}  // namespace gras::sim

@@ -1,0 +1,86 @@
+// GPU model configuration.
+//
+// Two presets mirror the paper's setup (§II, Quadro GV100 for gpuFI-4):
+//  * "gv100"        — faithful Volta structure sizes. Weighting the chip AVF
+//                     with these sizes reproduces the paper's size ratios
+//                     (the register file dominates, §III-D footnote 2).
+//  * "gv100-scaled" — same microarchitecture with fewer SMs and smaller
+//                     structures, the default for campaigns on laptop-class
+//                     hosts. The AVF estimator remains self-consistent
+//                     because chip weighting always uses the instantiated
+//                     sizes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace gras::sim {
+
+/// Configuration of one cache level.
+struct CacheConfig {
+  std::uint32_t sets = 64;
+  std::uint32_t ways = 4;
+  std::uint32_t line_bytes = 128;
+  std::uint32_t hit_latency = 28;
+  std::uint32_t mshrs = 8;           ///< outstanding misses before reservation fails
+  bool write_back = false;           ///< false = write-through, no write-allocate
+
+  std::uint64_t data_bytes() const {
+    return std::uint64_t{sets} * ways * line_bytes;
+  }
+  std::uint64_t data_bits() const { return data_bytes() * 8; }
+};
+
+/// Whole-GPU configuration.
+struct GpuConfig {
+  std::string name = "gv100-scaled";
+
+  // --- SIMT organization ---
+  std::uint32_t num_sms = 4;
+  std::uint32_t warp_size = 32;
+  std::uint32_t max_warps_per_sm = 16;
+  std::uint32_t max_ctas_per_sm = 8;
+
+  // --- Register file / shared memory (per SM) ---
+  std::uint32_t regs_per_sm = 16 * 1024;   ///< 32-bit registers (64 KiB)
+  std::uint32_t smem_bytes_per_sm = 16 * 1024;
+
+  // --- Memory system ---
+  CacheConfig l1d{/*sets*/ 32, /*ways*/ 4, /*line*/ 128, /*hit*/ 28, /*mshrs*/ 8,
+                  /*write_back*/ false};
+  CacheConfig l1t{/*sets*/ 16, /*ways*/ 4, /*line*/ 128, /*hit*/ 30, /*mshrs*/ 8,
+                  /*write_back*/ false};
+  CacheConfig l2{/*sets*/ 256, /*ways*/ 8, /*line*/ 128, /*hit*/ 190, /*mshrs*/ 32,
+                 /*write_back*/ true};
+  std::uint32_t dram_latency = 420;
+  // Sized to the suite's footprints (largest TMR-hardened app < 1 MiB);
+  // campaigns construct one Gpu per sample, so zeroing cost matters.
+  std::uint64_t global_mem_bytes = 2ull * 1024 * 1024;
+
+  // --- Latencies (cycles) ---
+  std::uint32_t alu_latency = 2;
+  std::uint32_t sfu_latency = 8;      ///< MUFU
+  std::uint32_t smem_latency = 19;
+
+  // --- Watchdog ---
+  /// Hard cycle ceiling per launch when no explicit budget is given.
+  std::uint64_t default_watchdog_cycles = 400ull * 1000 * 1000;
+
+  // --- Derived sizes used for AVF chip weighting (bits) ---
+  std::uint64_t rf_bits_total() const {
+    return std::uint64_t{regs_per_sm} * 32 * num_sms;
+  }
+  std::uint64_t smem_bits_total() const {
+    return std::uint64_t{smem_bytes_per_sm} * 8 * num_sms;
+  }
+  std::uint64_t l1d_bits_total() const { return l1d.data_bits() * num_sms; }
+  std::uint64_t l1t_bits_total() const { return l1t.data_bits() * num_sms; }
+  std::uint64_t l2_bits_total() const { return l2.data_bits(); }
+
+  std::uint32_t max_threads_per_sm() const { return max_warps_per_sm * warp_size; }
+};
+
+/// Returns a named preset ("gv100" or "gv100-scaled"); throws on unknown names.
+GpuConfig make_config(const std::string& name);
+
+}  // namespace gras::sim

@@ -1,0 +1,212 @@
+#include "src/sim/gpu.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "src/common/bitops.h"
+
+namespace gras::sim {
+
+Gpu::Gpu(GpuConfig config)
+    : config_(std::move(config)),
+      gmem_(config_.global_mem_bytes),
+      dram_(gmem_, config_.dram_latency),
+      l2_(config_.l2, dram_, "L2") {
+  if (config_.l1d.line_bytes != config_.l2.line_bytes ||
+      config_.l1t.line_bytes != config_.l2.line_bytes) {
+    throw std::invalid_argument("all cache levels must share one line size");
+  }
+  sms_.reserve(config_.num_sms);
+  for (std::uint32_t i = 0; i < config_.num_sms; ++i) {
+    sms_.push_back(std::make_unique<Sm>(config_, i, l2_, gmem_));
+  }
+}
+
+std::uint32_t Gpu::malloc(std::uint64_t bytes) { return gmem_.allocate(bytes); }
+
+void Gpu::memcpy_h2d(std::uint32_t dst, const void* src, std::uint64_t bytes) {
+  // Host writes go through L2's coherent poke path so resident lines stay
+  // fresh (L1s are flushed at launch boundaries and cannot be stale here).
+  l2_.poke(dst, {static_cast<const std::uint8_t*>(src), bytes});
+}
+
+void Gpu::memcpy_d2h(void* dst, std::uint32_t src, std::uint64_t bytes) {
+  // Reads come through L2: a dirty (possibly fault-corrupted) L2 line is the
+  // architecturally current value of that memory.
+  l2_.peek(src, {static_cast<std::uint8_t*>(dst), bytes});
+}
+
+void Gpu::memset_d32(std::uint32_t dst, std::uint32_t value, std::uint64_t words) {
+  std::vector<std::uint32_t> buf(words, value);
+  memcpy_h2d(dst, buf.data(), words * 4);
+}
+
+void Gpu::set_launch_budgets(std::vector<std::uint64_t> budgets, std::uint64_t overflow) {
+  budgets_ = std::move(budgets);
+  overflow_budget_ = overflow;
+}
+
+LaunchResult Gpu::launch(const isa::Kernel& kernel, Dim3 grid, Dim3 block,
+                         std::vector<std::uint32_t> params) {
+  LaunchContext ctx;
+  ctx.kernel = &kernel;
+  ctx.grid = grid;
+  ctx.block = block;
+  ctx.params = std::move(params);
+  ctx.threads_per_cta = block.x * block.y;
+  ctx.warps_per_cta = static_cast<std::uint32_t>(
+      ceil_div(ctx.threads_per_cta, config_.warp_size));
+  ctx.regs_per_thread = std::max<std::uint8_t>(kernel.num_regs, 1);
+  ctx.hook = hook_;
+
+  if (ctx.threads_per_cta == 0 || grid.count() == 0) {
+    throw std::invalid_argument("empty launch");
+  }
+  if (ctx.warps_per_cta > config_.max_warps_per_sm ||
+      ctx.warps_per_cta * config_.warp_size * ctx.regs_per_thread > config_.regs_per_sm ||
+      kernel.smem_bytes > config_.smem_bytes_per_sm) {
+    throw std::invalid_argument("kernel '" + kernel.name + "' does not fit on an SM");
+  }
+
+  LaunchRecord record;
+  record.kernel = kernel.name;
+  record.grid = grid;
+  record.block = block;
+  record.start_cycle = cycle_;
+  record.threads = grid.count() * ctx.threads_per_cta;
+  record.regs_per_thread = ctx.regs_per_thread;
+  record.smem_per_cta = kernel.smem_bytes;
+  record.gp_begin = gp_total_;
+  record.ld_begin = ld_total_;
+
+  SimStats stats;
+  ctx.stats = &stats;
+
+  // Cache counters accumulate inside the cache objects; snapshot them so the
+  // launch record carries per-launch deltas.
+  CacheStats l1d_before, l1t_before;
+  for (const auto& sm : sms_) {
+    l1d_before += sm->l1d().stats();
+    l1t_before += sm->l1t().stats();
+  }
+  const CacheStats l2_before = l2_.stats();
+
+  const std::uint64_t budget =
+      launches_.size() < budgets_.size()
+          ? budgets_[launches_.size()]
+          : (overflow_budget_ != 0 ? overflow_budget_ : config_.default_watchdog_cycles);
+  const std::uint64_t deadline = cycle_ + budget;
+
+  const std::uint64_t total_ctas = grid.count();
+  std::uint64_t next_cta = 0;
+  LaunchResult result;
+
+  auto all_idle = [&] {
+    for (const auto& sm : sms_) {
+      if (sm->busy()) return false;
+    }
+    return true;
+  };
+
+  while (next_cta < total_ctas || !all_idle()) {
+    ++cycle_;
+    if (cycle_ > deadline) {
+      result.trap = TrapKind::Watchdog;
+      break;
+    }
+    if (hook_ != nullptr) hook_->on_cycle(*this, cycle_);
+
+    // Distribute pending CTAs to SMs with room (row-major CTA order).
+    for (std::uint32_t s = 0; s < config_.num_sms && next_cta < total_ctas; ++s) {
+      while (next_cta < total_ctas && sms_[s]->free_cta_slots() > 0) {
+        const std::uint32_t cx = static_cast<std::uint32_t>(next_cta % grid.x);
+        const std::uint32_t cy = static_cast<std::uint32_t>((next_cta / grid.x) % grid.y);
+        const std::uint32_t cz = static_cast<std::uint32_t>(next_cta / (std::uint64_t{grid.x} * grid.y));
+        if (!sms_[s]->try_launch_cta(ctx, cx, cy, cz)) break;
+        ++next_cta;
+      }
+    }
+
+    std::uint64_t resident = 0;
+    for (const auto& sm : sms_) resident += sm->resident_warp_count();
+    stats.warp_residency += resident;
+    stats.sm_cycles += config_.num_sms;
+
+    for (auto& sm : sms_) {
+      sm->step(ctx, cycle_);
+      if (ctx.trap != TrapKind::None) break;
+    }
+    if (ctx.trap != TrapKind::None) {
+      result.trap = ctx.trap;
+      break;
+    }
+
+    // Fast-forward over idle stretches: jump to the next cycle at which any
+    // warp becomes ready (bounded by pending fault triggers and the
+    // deadline). CTA placement above only changes state right after a CTA
+    // retires, which happens inside step(), so skipping is safe.
+    if (next_cta >= total_ctas && all_idle()) break;  // launch complete
+
+    std::uint64_t next_event = ~std::uint64_t{0};
+    for (const auto& sm : sms_) {
+      next_event = std::min(next_event, sm->next_ready_cycle());
+    }
+    if (hook_ != nullptr) next_event = std::min(next_event, hook_->next_trigger());
+    // No runnable warp at any future cycle means every resident warp is
+    // stuck at a barrier (fault-induced deadlock): jump to the watchdog.
+    next_event = std::min(next_event, deadline + 1);
+    if (next_event > cycle_ + 1) {
+      const std::uint64_t skipped = next_event - cycle_ - 1;
+      stats.warp_residency += skipped * resident;
+      stats.sm_cycles += skipped * config_.num_sms;
+      cycle_ = next_event - 1;
+    }
+  }
+
+  // On trap/watchdog, abandon resident CTAs (the launch failed); either way
+  // flush L1s at the launch boundary.
+  if (result.trap != TrapKind::None) {
+    for (auto& sm : sms_) sm->abort_launch();
+  }
+  for (auto& sm : sms_) sm->end_launch();
+
+  stats.cycles = cycle_ - record.start_cycle;
+  stats.dram_read_bytes = dram_.bytes_read();
+  stats.dram_written_bytes = dram_.bytes_written();
+  dram_.reset_traffic();
+
+  CacheStats l1d_after, l1t_after;
+  for (const auto& sm : sms_) {
+    l1d_after += sm->l1d().stats();
+    l1t_after += sm->l1t().stats();
+  }
+  auto delta = [](const CacheStats& after, const CacheStats& before) {
+    CacheStats d;
+    d.accesses = after.accesses - before.accesses;
+    d.hits = after.hits - before.hits;
+    d.misses = after.misses - before.misses;
+    d.pending_hits = after.pending_hits - before.pending_hits;
+    d.reservation_fails = after.reservation_fails - before.reservation_fails;
+    d.writebacks = after.writebacks - before.writebacks;
+    d.fills = after.fills - before.fills;
+    return d;
+  };
+  stats.l1d = delta(l1d_after, l1d_before);
+  stats.l1t = delta(l1t_after, l1t_before);
+  stats.l2 = delta(l2_.stats(), l2_before);
+
+  gp_total_ += stats.gp_thread_instrs;
+  ld_total_ += stats.ld_thread_instrs;
+
+  result.cycles = stats.cycles;
+  result.instructions = stats.warp_instrs;
+  record.end_cycle = cycle_;
+  record.gp_end = gp_total_;
+  record.ld_end = ld_total_;
+  record.stats = stats;
+  record.result = result;
+  launches_.push_back(std::move(record));
+  return result;
+}
+
+}  // namespace gras::sim

@@ -1,0 +1,94 @@
+// The GPU device: CTA scheduler, launch loop, host memcpy, launch records.
+//
+// The global cycle counter runs continuously across launches, so the golden
+// run's per-launch [start, end) cycle windows define the sampling space for
+// microarchitecture-level fault injection ("inject at a uniformly random
+// cycle of the target kernel", paper §II-B).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/isa/isa.h"
+#include "src/sim/cache.h"
+#include "src/sim/config.h"
+#include "src/sim/memory.h"
+#include "src/sim/sm.h"
+#include "src/sim/trap.h"
+
+namespace gras::sim {
+
+/// Golden-run bookkeeping for one kernel launch.
+struct LaunchRecord {
+  std::string kernel;
+  Dim3 grid, block;
+  std::uint64_t start_cycle = 0;   ///< global cycle at launch start
+  std::uint64_t end_cycle = 0;     ///< global cycle just after completion
+  std::uint64_t threads = 0;
+  std::uint32_t regs_per_thread = 0;
+  std::uint32_t smem_per_cta = 0;
+  /// Cumulative GPR-writing thread-instruction counts over the whole app
+  /// run, [gp_begin, gp_end): the SVF sampling space for this launch.
+  std::uint64_t gp_begin = 0, gp_end = 0;
+  /// Same for load instructions (SVF-LD sampling space).
+  std::uint64_t ld_begin = 0, ld_end = 0;
+  SimStats stats;                  ///< this launch only
+  LaunchResult result;
+
+  std::uint64_t cycles() const { return end_cycle - start_cycle; }
+};
+
+class Gpu {
+ public:
+  explicit Gpu(GpuConfig config);
+
+  // --- Host API (CUDA-driver flavoured) ---
+  std::uint32_t malloc(std::uint64_t bytes);
+  void memcpy_h2d(std::uint32_t dst, const void* src, std::uint64_t bytes);
+  void memcpy_d2h(void* dst, std::uint32_t src, std::uint64_t bytes);
+  /// Fills a device range with a repeated 32-bit pattern.
+  void memset_d32(std::uint32_t dst, std::uint32_t value, std::uint64_t words);
+
+  /// Launches a kernel and runs it to completion (or trap/watchdog).
+  /// Throws std::invalid_argument if a single CTA cannot fit on an SM.
+  LaunchResult launch(const isa::Kernel& kernel, Dim3 grid, Dim3 block,
+                      std::vector<std::uint32_t> params);
+
+  /// Per-launch cycle budgets (indexed by launch order); a launch exceeding
+  /// its budget aborts with TrapKind::Watchdog. Campaigns set these to 10x
+  /// the golden run's per-launch cycles. `overflow` is the budget for
+  /// launches beyond the vector (a faulty run may launch more kernels than
+  /// the golden run did, e.g. extra BFS iterations); 0 keeps the config
+  /// default.
+  void set_launch_budgets(std::vector<std::uint64_t> budgets, std::uint64_t overflow = 0);
+  void set_fault_hook(FaultHook* hook) { hook_ = hook; }
+
+  const std::vector<LaunchRecord>& launches() const noexcept { return launches_; }
+  std::uint64_t cycle() const noexcept { return cycle_; }
+  const GpuConfig& config() const noexcept { return config_; }
+
+  // --- Fault-injection surface ---
+  Sm& sm(std::uint32_t i) { return *sms_[i]; }
+  const Sm& sm(std::uint32_t i) const { return *sms_[i]; }
+  std::uint32_t num_sms() const noexcept { return config_.num_sms; }
+  Cache& l2() noexcept { return l2_; }
+  GlobalMemory& gmem() noexcept { return gmem_; }
+
+ private:
+  GpuConfig config_;
+  GlobalMemory gmem_;
+  Dram dram_;
+  Cache l2_;
+  std::vector<std::unique_ptr<Sm>> sms_;
+  std::vector<LaunchRecord> launches_;
+  std::vector<std::uint64_t> budgets_;
+  std::uint64_t overflow_budget_ = 0;
+  FaultHook* hook_ = nullptr;
+  std::uint64_t cycle_ = 0;
+  std::uint64_t gp_total_ = 0;  ///< cumulative GPR-writing thread instrs
+  std::uint64_t ld_total_ = 0;
+};
+
+}  // namespace gras::sim

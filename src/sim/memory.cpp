@@ -1,0 +1,43 @@
+#include "src/sim/memory.h"
+
+#include <algorithm>
+#include <cstring>
+#include <new>
+
+namespace gras::sim {
+
+GlobalMemory::GlobalMemory(std::uint64_t bytes) : data_(bytes, 0) {}
+
+std::uint32_t GlobalMemory::allocate(std::uint64_t bytes) {
+  const std::uint64_t aligned = (top_ + 15) & ~std::uint64_t{15};
+  if (aligned + bytes > data_.size()) throw std::bad_alloc{};
+  top_ = aligned + bytes;
+  return static_cast<std::uint32_t>(aligned);
+}
+
+void GlobalMemory::reset() {
+  std::fill(data_.begin(), data_.end(), 0);
+  top_ = kBase;
+}
+
+bool GlobalMemory::in_bounds(std::uint64_t addr, std::uint64_t size) const noexcept {
+  return addr >= kBase && addr + size <= top_ && addr + size >= addr;
+}
+
+void GlobalMemory::read(std::uint64_t addr, std::span<std::uint8_t> out) noexcept {
+  if (addr >= data_.size()) {
+    std::memset(out.data(), 0, out.size());
+    return;
+  }
+  const std::uint64_t n = std::min<std::uint64_t>(out.size(), data_.size() - addr);
+  std::memcpy(out.data(), data_.data() + addr, n);
+  if (n < out.size()) std::memset(out.data() + n, 0, out.size() - n);
+}
+
+void GlobalMemory::write(std::uint64_t addr, std::span<const std::uint8_t> in) noexcept {
+  if (addr >= data_.size()) return;
+  const std::uint64_t n = std::min<std::uint64_t>(in.size(), data_.size() - addr);
+  std::memcpy(data_.data() + addr, in.data(), n);
+}
+
+}  // namespace gras::sim

@@ -1,0 +1,51 @@
+// Simulated global (device) memory with a bump allocator and access checks.
+//
+// The first page is never mapped, so null-pointer-like accesses trap; any
+// access beyond the allocation high-water mark traps. Both conditions model
+// the "illegal memory access" DUEs that fault-corrupted addresses trigger on
+// real GPUs (paper §IV-B).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/sim/trap.h"
+
+namespace gras::sim {
+
+class GlobalMemory {
+ public:
+  explicit GlobalMemory(std::uint64_t bytes);
+
+  /// Allocates `bytes` (16-byte aligned); returns the device address.
+  /// Throws std::bad_alloc when out of simulated memory.
+  std::uint32_t allocate(std::uint64_t bytes);
+
+  /// Resets the allocator and zeroes memory.
+  void reset();
+
+  /// True if [addr, addr+size) lies fully inside allocated memory.
+  bool in_bounds(std::uint64_t addr, std::uint64_t size) const noexcept;
+
+  /// Unchecked raw access for cache fills/write-backs (line-granular; the
+  /// cache hierarchy only requests lines that passed in_bounds checks or
+  /// whole lines overlapping allocated space, which are clamped).
+  void read(std::uint64_t addr, std::span<std::uint8_t> out) noexcept;
+  void write(std::uint64_t addr, std::span<const std::uint8_t> in) noexcept;
+
+  std::uint64_t size() const noexcept { return data_.size(); }
+  std::uint64_t allocated_top() const noexcept { return top_; }
+  /// Base of the first allocation (the unmapped guard region ends here).
+  static constexpr std::uint32_t kBase = 4096;
+
+  /// Direct view of backing storage (host memcpy uses the cache hierarchy
+  /// instead; this is for tests).
+  std::span<std::uint8_t> raw() noexcept { return data_; }
+
+ private:
+  std::vector<std::uint8_t> data_;
+  std::uint64_t top_ = kBase;
+};
+
+}  // namespace gras::sim

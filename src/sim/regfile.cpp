@@ -1,0 +1,153 @@
+#include "src/sim/regfile.h"
+
+#include <bit>
+#include <cassert>
+
+#include "src/common/bitops.h"
+
+namespace gras::sim {
+
+RegFile::RegFile(std::uint32_t num_regs)
+    : cells_(num_regs, 0), alloc_bitmap_((num_regs + 63) / 64, 0) {}
+
+std::optional<std::uint32_t> RegFile::allocate(std::uint32_t count) {
+  if (count == 0 || count > size()) return std::nullopt;
+  // Fast reject: the CTA scheduler retries placement every cycle while CTAs
+  // are pending, so a full-RF failure must be O(1).
+  if (count > size() - allocated_count_) return std::nullopt;
+  // First-fit scan, word-wise: fully-used 64-cell words are skipped in one
+  // step, so a fragmented-but-busy register file costs ~size/64 iterations.
+  std::uint32_t run = 0;
+  for (std::uint32_t w = 0; w < alloc_bitmap_.size(); ++w) {
+    const std::uint64_t word = alloc_bitmap_[w];
+    if (word == ~std::uint64_t{0}) {
+      run = 0;
+      continue;
+    }
+    const std::uint32_t limit = std::min<std::uint32_t>(64, size() - w * 64);
+    for (std::uint32_t b = 0; b < limit; ++b) {
+      const bool used = (word >> b) & 1;
+      run = used ? 0 : run + 1;
+      if (run == count) {
+        const std::uint32_t end = w * 64 + b;
+        const std::uint32_t base = end + 1 - count;
+        for (std::uint32_t j = base; j <= end; ++j) {
+          alloc_bitmap_[j >> 6] |= 1ull << (j & 63);
+        }
+        allocated_count_ += count;
+        return base;
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+void RegFile::free(std::uint32_t base, std::uint32_t count) {
+  for (std::uint32_t j = base; j < base + count; ++j) {
+    assert((alloc_bitmap_[j >> 6] >> (j & 63)) & 1);
+    alloc_bitmap_[j >> 6] &= ~(1ull << (j & 63));
+  }
+  allocated_count_ -= count;
+  // Note: freed cells intentionally keep their stale values.
+}
+
+void RegFile::flip_bit(std::uint64_t bit_index) noexcept {
+  const std::uint64_t cell = bit_index / 32;
+  if (cell < cells_.size()) {
+    cells_[cell] = gras::flip_bit(cells_[cell], static_cast<unsigned>(bit_index % 32));
+  }
+}
+
+bool RegFile::is_allocated(std::uint32_t index) const noexcept {
+  return (alloc_bitmap_[index >> 6] >> (index & 63)) & 1;
+}
+
+std::uint32_t RegFile::allocated_cell(std::uint32_t k) const noexcept {
+  // Select the k-th set bit: skip whole 64-bit words by popcount.
+  for (std::uint32_t w = 0; w < alloc_bitmap_.size(); ++w) {
+    const std::uint32_t bits = static_cast<std::uint32_t>(std::popcount(alloc_bitmap_[w]));
+    if (k >= bits) {
+      k -= bits;
+      continue;
+    }
+    std::uint64_t word = alloc_bitmap_[w];
+    for (;;) {
+      const unsigned b = static_cast<unsigned>(std::countr_zero(word));
+      if (k == 0) return w * 64 + b;
+      --k;
+      word &= word - 1;
+    }
+  }
+  return 0;  // unreachable when k < allocated_count()
+}
+
+SharedMem::SharedMem(std::uint32_t bytes)
+    : data_(bytes, 0), granule_used_(bytes / kGranule, false) {
+  assert(bytes % kGranule == 0);
+}
+
+std::optional<std::uint32_t> SharedMem::allocate(std::uint32_t bytes) {
+  const std::uint32_t granules =
+      static_cast<std::uint32_t>(gras::ceil_div(bytes == 0 ? 1 : bytes, kGranule));
+  if (granules * kGranule > size() - allocated_bytes_) return std::nullopt;
+  std::uint32_t run = 0;
+  for (std::uint32_t i = 0; i < granule_used_.size(); ++i) {
+    run = granule_used_[i] ? 0 : run + 1;
+    if (run == granules) {
+      const std::uint32_t base = i + 1 - granules;
+      for (std::uint32_t j = base; j <= i; ++j) granule_used_[j] = true;
+      allocated_bytes_ += granules * kGranule;
+      return base * kGranule;
+    }
+  }
+  return std::nullopt;
+}
+
+void SharedMem::free(std::uint32_t base, std::uint32_t bytes) {
+  const std::uint32_t granules =
+      static_cast<std::uint32_t>(gras::ceil_div(bytes == 0 ? 1 : bytes, kGranule));
+  for (std::uint32_t j = base / kGranule; j < base / kGranule + granules; ++j) {
+    granule_used_[j] = false;
+  }
+  allocated_bytes_ -= granules * kGranule;
+}
+
+std::uint32_t SharedMem::read_u32(std::uint32_t addr) const noexcept {
+  std::uint32_t v = 0;
+  if (addr + 4 <= data_.size()) {
+    v = static_cast<std::uint32_t>(data_[addr]) |
+        (static_cast<std::uint32_t>(data_[addr + 1]) << 8) |
+        (static_cast<std::uint32_t>(data_[addr + 2]) << 16) |
+        (static_cast<std::uint32_t>(data_[addr + 3]) << 24);
+  }
+  return v;
+}
+
+void SharedMem::write_u32(std::uint32_t addr, std::uint32_t value) noexcept {
+  if (addr + 4 <= data_.size()) {
+    data_[addr] = static_cast<std::uint8_t>(value);
+    data_[addr + 1] = static_cast<std::uint8_t>(value >> 8);
+    data_[addr + 2] = static_cast<std::uint8_t>(value >> 16);
+    data_[addr + 3] = static_cast<std::uint8_t>(value >> 24);
+  }
+}
+
+void SharedMem::flip_bit(std::uint64_t bit_index) noexcept {
+  gras::flip_bit(std::span<std::uint8_t>(data_), bit_index);
+}
+
+bool SharedMem::is_allocated(std::uint32_t byte) const noexcept {
+  const std::uint32_t g = byte / kGranule;
+  return g < granule_used_.size() && granule_used_[g];
+}
+
+std::uint32_t SharedMem::allocated_byte(std::uint32_t k) const noexcept {
+  for (std::uint32_t g = 0; g < granule_used_.size(); ++g) {
+    if (!granule_used_[g]) continue;
+    if (k < kGranule) return g * kGranule + k;
+    k -= kGranule;
+  }
+  return 0;
+}
+
+}  // namespace gras::sim

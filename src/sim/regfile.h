@@ -1,0 +1,81 @@
+// Physical per-SM register file with allocation tracking.
+//
+// GPGPU-Sim allocates registers dynamically per thread, so gpuFI-4 can only
+// inject into registers that are allocated at the trigger cycle and then
+// scales the failure rate by a derating factor (paper §II-B). This model
+// reproduces that exactly: the backing array is the full physical register
+// file, an allocation bitmap tracks which cells belong to resident CTAs, and
+// the injector samples among allocated cells. Freed cells keep their stale
+// data — faults landing there are dead by construction, which is the
+// hardware masking SVF cannot see.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace gras::sim {
+
+class RegFile {
+ public:
+  explicit RegFile(std::uint32_t num_regs);
+
+  /// Allocates a contiguous block of `count` registers (first-fit).
+  /// Returns the base index, or nullopt if no block fits.
+  std::optional<std::uint32_t> allocate(std::uint32_t count);
+  void free(std::uint32_t base, std::uint32_t count);
+
+  std::uint32_t read(std::uint32_t index) const noexcept { return cells_[index]; }
+  void write(std::uint32_t index, std::uint32_t value) noexcept { cells_[index] = value; }
+
+  std::uint32_t size() const noexcept { return static_cast<std::uint32_t>(cells_.size()); }
+  std::uint64_t bit_count() const noexcept { return std::uint64_t{size()} * 32; }
+  std::uint32_t allocated_count() const noexcept { return allocated_count_; }
+  std::uint64_t allocated_bit_count() const noexcept {
+    return std::uint64_t{allocated_count_} * 32;
+  }
+
+  /// Flips one bit anywhere in the physical register file.
+  void flip_bit(std::uint64_t bit_index) noexcept;
+  /// Index of the k-th currently allocated register cell (k < allocated_count).
+  std::uint32_t allocated_cell(std::uint32_t k) const noexcept;
+  bool is_allocated(std::uint32_t index) const noexcept;
+
+ private:
+  std::vector<std::uint32_t> cells_;
+  std::vector<std::uint64_t> alloc_bitmap_;  ///< one bit per register cell
+  std::uint32_t allocated_count_ = 0;
+};
+
+/// Per-SM shared memory with per-CTA region allocation. Same derating-factor
+/// story as the register file, at byte granularity.
+class SharedMem {
+ public:
+  explicit SharedMem(std::uint32_t bytes);
+
+  std::optional<std::uint32_t> allocate(std::uint32_t bytes);
+  void free(std::uint32_t base, std::uint32_t bytes);
+
+  std::uint32_t read_u32(std::uint32_t addr) const noexcept;
+  void write_u32(std::uint32_t addr, std::uint32_t value) noexcept;
+
+  std::uint32_t size() const noexcept { return static_cast<std::uint32_t>(data_.size()); }
+  std::uint64_t bit_count() const noexcept { return std::uint64_t{size()} * 8; }
+  std::uint32_t allocated_bytes() const noexcept { return allocated_bytes_; }
+
+  void flip_bit(std::uint64_t bit_index) noexcept;
+  /// Byte index of the k-th currently allocated byte.
+  std::uint32_t allocated_byte(std::uint32_t k) const noexcept;
+  bool is_allocated(std::uint32_t byte) const noexcept;
+
+ private:
+  // Allocation is tracked at 256-byte granule granularity to keep the bitmap
+  // small; kernel smem sizes are rounded up to the granule.
+  static constexpr std::uint32_t kGranule = 256;
+  std::vector<std::uint8_t> data_;
+  std::vector<bool> granule_used_;
+  std::uint32_t allocated_bytes_ = 0;
+};
+
+}  // namespace gras::sim

@@ -1,0 +1,807 @@
+#include "src/sim/sm.h"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <cmath>
+#include <cstring>
+
+namespace gras::sim {
+
+using isa::Instr;
+using isa::Op;
+using isa::Operand;
+using isa::OperandKind;
+
+namespace {
+
+constexpr std::uint32_t kFullMask = 0xffffffffu;
+constexpr std::uint32_t kMaxDivergenceDepth = 64;
+
+float as_float(std::uint32_t bits) {
+  float f;
+  std::memcpy(&f, &bits, 4);
+  return f;
+}
+
+std::uint32_t as_bits(float f) {
+  std::uint32_t bits;
+  std::memcpy(&bits, &f, 4);
+  return bits;
+}
+
+/// Saturating, NaN-safe float->int32 conversion (CUDA F2I semantics).
+std::uint32_t f2i(std::uint32_t bits) {
+  const float f = as_float(bits);
+  if (std::isnan(f)) return 0;
+  if (f >= 2147483647.0f) return 0x7fffffffu;
+  if (f <= -2147483648.0f) return 0x80000000u;
+  return static_cast<std::uint32_t>(static_cast<std::int32_t>(f));
+}
+
+SimStats& stats_of(LaunchContext& ctx) { return *ctx.stats; }
+
+}  // namespace
+
+SimStats& SimStats::operator+=(const SimStats& o) {
+  cycles += o.cycles;
+  warp_instrs += o.warp_instrs;
+  thread_instrs += o.thread_instrs;
+  gp_thread_instrs += o.gp_thread_instrs;
+  ld_thread_instrs += o.ld_thread_instrs;
+  load_instrs += o.load_instrs;
+  store_instrs += o.store_instrs;
+  smem_instrs += o.smem_instrs;
+  atom_instrs += o.atom_instrs;
+  l1d += o.l1d;
+  l1t += o.l1t;
+  l2 += o.l2;
+  dram_read_bytes += o.dram_read_bytes;
+  dram_written_bytes += o.dram_written_bytes;
+  warp_residency += o.warp_residency;
+  sm_cycles += o.sm_cycles;
+  return *this;
+}
+
+Sm::Sm(const GpuConfig& config, std::uint32_t sm_id, MemLevel& l2, GlobalMemory& gmem)
+    : config_(config),
+      sm_id_(sm_id),
+      l2_(l2),
+      gmem_(gmem),
+      rf_(config.regs_per_sm),
+      smem_(config.smem_bytes_per_sm),
+      l1d_(config.l1d, l2, "L1D"),
+      l1t_(config.l1t, l2, "L1T"),
+      warps_(config.max_warps_per_sm),
+      ctas_(config.max_ctas_per_sm) {}
+
+std::uint32_t Sm::free_cta_slots() const noexcept {
+  return config_.max_ctas_per_sm - active_ctas_;
+}
+
+bool Sm::try_launch_cta(LaunchContext& ctx, std::uint32_t x, std::uint32_t y,
+                        std::uint32_t z) {
+  // CTA slot.
+  std::uint32_t cta_slot = config_.max_ctas_per_sm;
+  for (std::uint32_t i = 0; i < ctas_.size(); ++i) {
+    if (!ctas_[i].resident) {
+      cta_slot = i;
+      break;
+    }
+  }
+  if (cta_slot == config_.max_ctas_per_sm) return false;
+
+  // Contiguous run of free warp slots.
+  const std::uint32_t need = ctx.warps_per_cta;
+  std::uint32_t first_warp = config_.max_warps_per_sm;
+  std::uint32_t run = 0;
+  for (std::uint32_t i = 0; i < warps_.size(); ++i) {
+    run = warps_[i].resident ? 0 : run + 1;
+    if (run == need) {
+      first_warp = i + 1 - need;
+      break;
+    }
+  }
+  if (first_warp == config_.max_warps_per_sm) return false;
+
+  // Registers (warp-granular allocation, as on real SMs) and shared memory.
+  const std::uint32_t rf_count = need * config_.warp_size * ctx.regs_per_thread;
+  const auto rf_base = rf_.allocate(rf_count);
+  if (!rf_base) return false;
+  const auto smem_base = smem_.allocate(ctx.kernel->smem_bytes);
+  if (!smem_base) {
+    rf_.free(*rf_base, rf_count);
+    return false;
+  }
+
+  CtaExec& cta = ctas_[cta_slot];
+  cta = CtaExec{};
+  cta.resident = true;
+  cta.ctaid_x = x;
+  cta.ctaid_y = y;
+  cta.ctaid_z = z;
+  cta.rf_base = *rf_base;
+  cta.rf_count = rf_count;
+  cta.smem_base = *smem_base;
+  cta.smem_bytes = ctx.kernel->smem_bytes;
+  cta.num_warps = need;
+  cta.first_warp_slot = first_warp;
+
+  for (std::uint32_t w = 0; w < need; ++w) {
+    WarpExec& warp = warps_[first_warp + w];
+    warp = WarpExec{};
+    warp.resident = true;
+    warp.cta_slot = cta_slot;
+    warp.warp_in_cta = w;
+    // Lanes beyond the CTA's thread count never start.
+    const std::uint64_t first_tid = std::uint64_t{w} * config_.warp_size;
+    std::uint32_t mask = 0;
+    for (std::uint32_t lane = 0; lane < config_.warp_size; ++lane) {
+      if (first_tid + lane < ctx.threads_per_cta) mask |= 1u << lane;
+    }
+    warp.active_mask = mask;
+    warp.pred_mask[isa::kPredPT] = kFullMask;
+  }
+  active_ctas_ += 1;
+  resident_warps_ += need;
+  return true;
+}
+
+std::uint32_t Sm::rf_cell_index(const WarpExec& warp, std::uint32_t lane,
+                                std::uint8_t reg) const {
+  const CtaExec& cta = ctas_[warp.cta_slot];
+  const std::uint32_t tid = warp.warp_in_cta * config_.warp_size + lane;
+  // Thread-major layout: each thread's registers are contiguous.
+  const std::uint32_t regs = cta.rf_count / (cta.num_warps * config_.warp_size);
+  return cta.rf_base + tid * regs + reg;
+}
+
+std::uint32_t Sm::read_reg(const WarpExec& warp, std::uint32_t lane,
+                           std::uint8_t reg) const {
+  if (reg == isa::kRegRZ) return 0;
+  return rf_.read(rf_cell_index(warp, lane, reg));
+}
+
+void Sm::write_reg(const WarpExec& warp, std::uint32_t lane, std::uint8_t reg,
+                   std::uint32_t value) {
+  if (reg == isa::kRegRZ) return;
+  rf_.write(rf_cell_index(warp, lane, reg), value);
+}
+
+std::uint32_t Sm::special_value(const LaunchContext& ctx, const WarpExec& warp,
+                                std::uint32_t lane, isa::SpecialReg sr) const {
+  const CtaExec& cta = ctas_[warp.cta_slot];
+  const std::uint32_t tid = warp.warp_in_cta * config_.warp_size + lane;
+  switch (sr) {
+    case isa::SpecialReg::TID_X: return tid % ctx.block.x;
+    case isa::SpecialReg::TID_Y: return tid / ctx.block.x;
+    case isa::SpecialReg::CTAID_X: return cta.ctaid_x;
+    case isa::SpecialReg::CTAID_Y: return cta.ctaid_y;
+    case isa::SpecialReg::CTAID_Z: return cta.ctaid_z;
+    case isa::SpecialReg::NTID_X: return ctx.block.x;
+    case isa::SpecialReg::NTID_Y: return ctx.block.y;
+    case isa::SpecialReg::NCTAID_X: return ctx.grid.x;
+    case isa::SpecialReg::NCTAID_Y: return ctx.grid.y;
+    case isa::SpecialReg::NCTAID_Z: return ctx.grid.z;
+    case isa::SpecialReg::LANEID: return lane;
+    case isa::SpecialReg::WARPID: return warp.warp_in_cta;
+  }
+  return 0;
+}
+
+std::uint32_t Sm::eval_operand(const LaunchContext& ctx, const WarpExec& warp,
+                               const Operand& op, std::uint32_t lane, bool& trap) {
+  switch (op.kind) {
+    case OperandKind::Gpr:
+      return read_reg(warp, lane, static_cast<std::uint8_t>(op.value));
+    case OperandKind::Imm:
+      return op.value;
+    case OperandKind::Param: {
+      const std::uint32_t index = op.value / 4;
+      if (index >= ctx.params.size()) {
+        trap = true;
+        return 0;
+      }
+      return ctx.params[index];
+    }
+    case OperandKind::None:
+      return 0;
+  }
+  return 0;
+}
+
+std::uint64_t Sm::next_ready_cycle() const noexcept {
+  std::uint64_t earliest = ~std::uint64_t{0};
+  for (const WarpExec& w : warps_) {
+    if (w.resident && !w.done && !w.at_barrier) {
+      earliest = std::min(earliest, w.ready_cycle);
+    }
+  }
+  return earliest;
+}
+
+void Sm::release_barrier_if_ready(CtaExec& cta, std::uint64_t now) {
+  const std::uint32_t live = cta.num_warps - cta.warps_done;
+  if (live == 0 || cta.barrier_arrived < live) return;
+  for (std::uint32_t w = 0; w < cta.num_warps; ++w) {
+    WarpExec& warp = warps_[cta.first_warp_slot + w];
+    if (warp.at_barrier) {
+      warp.at_barrier = false;
+      warp.ready_cycle = now + 1;
+    }
+  }
+  cta.barrier_arrived = 0;
+}
+
+void Sm::finish_warp(LaunchContext& ctx, std::uint32_t slot) {
+  WarpExec& warp = warps_[slot];
+  warp.done = true;
+  resident_warps_ -= 1;
+  CtaExec& cta = ctas_[warp.cta_slot];
+  cta.warps_done += 1;
+  if (cta.warps_done == cta.num_warps) {
+    rf_.free(cta.rf_base, cta.rf_count);
+    smem_.free(cta.smem_base, cta.smem_bytes);
+    for (std::uint32_t w = 0; w < cta.num_warps; ++w) {
+      warps_[cta.first_warp_slot + w].resident = false;
+    }
+    cta.resident = false;
+    active_ctas_ -= 1;
+  } else {
+    // A warp exiting may satisfy a barrier the rest of the CTA waits on.
+    release_barrier_if_ready(cta, warp.ready_cycle);
+  }
+  (void)ctx;
+}
+
+bool Sm::resolve_path(WarpExec& warp, bool via_sync) {
+  (void)via_sync;
+  for (;;) {
+    if (warp.stack.empty()) return warp.path_active() != 0;
+    DivFrame& frame = warp.stack.back();
+    if (!frame.pending.empty()) {
+      const DivPath next = frame.pending.back();
+      frame.pending.pop_back();
+      warp.active_mask = next.mask;
+      warp.pc = next.pc;
+      if (warp.path_active() != 0) return true;
+      continue;  // that path fully exited in the meantime
+    }
+    const std::uint32_t restored = frame.union_mask & ~warp.exited_mask;
+    const std::uint32_t reconv = frame.reconv_pc;
+    warp.stack.pop_back();
+    if (restored != 0 && reconv != DivFrame::kNoReconv) {
+      warp.active_mask = restored;
+      warp.pc = reconv;
+      return true;
+    }
+    // Implicit frame or everyone exited: keep draining outer frames.
+    warp.active_mask = restored;
+    if (restored != 0) {
+      // Implicit frame with survivors: they already run under outer frames'
+      // bookkeeping; nothing to jump to, keep the current pc.
+      return true;
+    }
+  }
+}
+
+void Sm::step(LaunchContext& ctx, std::uint64_t now) {
+  if (active_ctas_ == 0) return;
+  const std::uint32_t n = static_cast<std::uint32_t>(warps_.size());
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const std::uint32_t slot = (rr_next_ + i) % n;
+    WarpExec& warp = warps_[slot];
+    if (!warp.resident || warp.done || warp.at_barrier || warp.ready_cycle > now) continue;
+    rr_next_ = (slot + 1) % n;
+    execute_warp(ctx, slot, now);
+    return;
+  }
+}
+
+void Sm::execute_warp(LaunchContext& ctx, std::uint32_t slot, std::uint64_t now) {
+  WarpExec& warp = warps_[slot];
+  const isa::Kernel& k = kernel(ctx);
+  if (warp.pc >= k.code.size()) {
+    ctx.trap = TrapKind::InvalidPc;
+    return;
+  }
+  const Instr& ins = k.code[warp.pc];
+  const std::uint32_t path = warp.path_active();
+  const std::uint32_t guard_bits = warp.pred_mask[ins.guard];
+  const std::uint32_t exec = path & (ins.guard_neg ? ~guard_bits : guard_bits);
+
+  SimStats& st = stats_of(ctx);
+  st.warp_instrs += 1;
+  st.thread_instrs += static_cast<std::uint32_t>(std::popcount(exec));
+
+  std::uint64_t ready = now + config_.alu_latency;
+  std::uint32_t next_pc = warp.pc + 1;
+  bool advance = true;       // set pc = next_pc at the end
+  bool param_trap = false;
+
+  if (ctx.hook != nullptr && exec != 0) {
+    ctx.hook->on_issue(*this, slot, ins, exec, now);
+    if (ins.writes_gpr()) ctx.hook->on_pre_exec(*this, slot, ins, exec);
+  }
+
+  auto for_lanes = [&](auto&& body) {
+    for (std::uint32_t lane = 0; lane < config_.warp_size; ++lane) {
+      if (exec & (1u << lane)) body(lane);
+    }
+  };
+  auto src = [&](const Operand& op, std::uint32_t lane) {
+    return eval_operand(ctx, warp, op, lane, param_trap);
+  };
+
+  switch (ins.op) {
+    case Op::S2R:
+      for_lanes([&](std::uint32_t lane) {
+        write_reg(warp, lane, ins.dst,
+                  special_value(ctx, warp, lane, static_cast<isa::SpecialReg>(ins.b.value)));
+      });
+      break;
+    case Op::MOV:
+      for_lanes([&](std::uint32_t lane) { write_reg(warp, lane, ins.dst, src(ins.a, lane)); });
+      break;
+    case Op::NOT:
+      for_lanes([&](std::uint32_t lane) { write_reg(warp, lane, ins.dst, ~src(ins.a, lane)); });
+      break;
+    case Op::IADD:
+      for_lanes([&](std::uint32_t lane) {
+        write_reg(warp, lane, ins.dst, src(ins.a, lane) + src(ins.b, lane));
+      });
+      break;
+    case Op::ISUB:
+      for_lanes([&](std::uint32_t lane) {
+        write_reg(warp, lane, ins.dst, src(ins.a, lane) - src(ins.b, lane));
+      });
+      break;
+    case Op::IMUL:
+      for_lanes([&](std::uint32_t lane) {
+        write_reg(warp, lane, ins.dst,
+                  static_cast<std::uint32_t>(static_cast<std::int32_t>(src(ins.a, lane)) *
+                                             static_cast<std::int32_t>(src(ins.b, lane))));
+      });
+      break;
+    case Op::IMAD:
+      for_lanes([&](std::uint32_t lane) {
+        const std::int64_t prod = static_cast<std::int64_t>(
+                                      static_cast<std::int32_t>(src(ins.a, lane))) *
+                                  static_cast<std::int32_t>(src(ins.b, lane));
+        write_reg(warp, lane, ins.dst,
+                  static_cast<std::uint32_t>(prod) + src(ins.c, lane));
+      });
+      break;
+    case Op::ISCADD:
+      for_lanes([&](std::uint32_t lane) {
+        write_reg(warp, lane, ins.dst,
+                  (src(ins.a, lane) << ins.shift) + src(ins.b, lane));
+      });
+      break;
+    case Op::SHL:
+      for_lanes([&](std::uint32_t lane) {
+        write_reg(warp, lane, ins.dst, src(ins.a, lane) << (src(ins.b, lane) & 31));
+      });
+      break;
+    case Op::SHR:
+      for_lanes([&](std::uint32_t lane) {
+        write_reg(warp, lane, ins.dst, src(ins.a, lane) >> (src(ins.b, lane) & 31));
+      });
+      break;
+    case Op::ASR:
+      for_lanes([&](std::uint32_t lane) {
+        write_reg(warp, lane, ins.dst,
+                  static_cast<std::uint32_t>(static_cast<std::int32_t>(src(ins.a, lane)) >>
+                                             (src(ins.b, lane) & 31)));
+      });
+      break;
+    case Op::AND:
+      for_lanes([&](std::uint32_t lane) {
+        write_reg(warp, lane, ins.dst, src(ins.a, lane) & src(ins.b, lane));
+      });
+      break;
+    case Op::OR:
+      for_lanes([&](std::uint32_t lane) {
+        write_reg(warp, lane, ins.dst, src(ins.a, lane) | src(ins.b, lane));
+      });
+      break;
+    case Op::XOR:
+      for_lanes([&](std::uint32_t lane) {
+        write_reg(warp, lane, ins.dst, src(ins.a, lane) ^ src(ins.b, lane));
+      });
+      break;
+    case Op::IMIN:
+      for_lanes([&](std::uint32_t lane) {
+        write_reg(warp, lane, ins.dst,
+                  static_cast<std::uint32_t>(
+                      std::min(static_cast<std::int32_t>(src(ins.a, lane)),
+                               static_cast<std::int32_t>(src(ins.b, lane)))));
+      });
+      break;
+    case Op::IMAX:
+      for_lanes([&](std::uint32_t lane) {
+        write_reg(warp, lane, ins.dst,
+                  static_cast<std::uint32_t>(
+                      std::max(static_cast<std::int32_t>(src(ins.a, lane)),
+                               static_cast<std::int32_t>(src(ins.b, lane)))));
+      });
+      break;
+    case Op::ISETP:
+      for_lanes([&](std::uint32_t lane) {
+        const std::int32_t a = static_cast<std::int32_t>(src(ins.a, lane));
+        const std::int32_t b = static_cast<std::int32_t>(src(ins.b, lane));
+        bool r = false;
+        switch (ins.cmp) {
+          case isa::Cmp::EQ: r = a == b; break;
+          case isa::Cmp::NE: r = a != b; break;
+          case isa::Cmp::LT: r = a < b; break;
+          case isa::Cmp::LE: r = a <= b; break;
+          case isa::Cmp::GT: r = a > b; break;
+          case isa::Cmp::GE: r = a >= b; break;
+        }
+        if (ins.pdst != isa::kPredPT) {
+          if (r) warp.pred_mask[ins.pdst] |= 1u << lane;
+          else warp.pred_mask[ins.pdst] &= ~(1u << lane);
+        }
+      });
+      break;
+    case Op::FSETP:
+      for_lanes([&](std::uint32_t lane) {
+        const float a = as_float(src(ins.a, lane));
+        const float b = as_float(src(ins.b, lane));
+        bool r = false;
+        switch (ins.cmp) {
+          case isa::Cmp::EQ: r = a == b; break;
+          case isa::Cmp::NE: r = a != b; break;
+          case isa::Cmp::LT: r = a < b; break;
+          case isa::Cmp::LE: r = a <= b; break;
+          case isa::Cmp::GT: r = a > b; break;
+          case isa::Cmp::GE: r = a >= b; break;
+        }
+        if (ins.pdst != isa::kPredPT) {
+          if (r) warp.pred_mask[ins.pdst] |= 1u << lane;
+          else warp.pred_mask[ins.pdst] &= ~(1u << lane);
+        }
+      });
+      break;
+    case Op::SEL:
+      for_lanes([&](std::uint32_t lane) {
+        const bool p = ((warp.pred_mask[ins.psrc] >> lane) & 1) != 0;
+        const bool take_a = p != ins.psrc_neg;
+        write_reg(warp, lane, ins.dst, take_a ? src(ins.a, lane) : src(ins.b, lane));
+      });
+      break;
+    case Op::FADD:
+      for_lanes([&](std::uint32_t lane) {
+        write_reg(warp, lane, ins.dst,
+                  as_bits(as_float(src(ins.a, lane)) + as_float(src(ins.b, lane))));
+      });
+      break;
+    case Op::FSUB:
+      for_lanes([&](std::uint32_t lane) {
+        write_reg(warp, lane, ins.dst,
+                  as_bits(as_float(src(ins.a, lane)) - as_float(src(ins.b, lane))));
+      });
+      break;
+    case Op::FMUL:
+      for_lanes([&](std::uint32_t lane) {
+        write_reg(warp, lane, ins.dst,
+                  as_bits(as_float(src(ins.a, lane)) * as_float(src(ins.b, lane))));
+      });
+      break;
+    case Op::FFMA:
+      for_lanes([&](std::uint32_t lane) {
+        write_reg(warp, lane, ins.dst,
+                  as_bits(std::fmaf(as_float(src(ins.a, lane)), as_float(src(ins.b, lane)),
+                                    as_float(src(ins.c, lane)))));
+      });
+      break;
+    case Op::FMIN:
+      for_lanes([&](std::uint32_t lane) {
+        write_reg(warp, lane, ins.dst,
+                  as_bits(std::fmin(as_float(src(ins.a, lane)), as_float(src(ins.b, lane)))));
+      });
+      break;
+    case Op::FMAX:
+      for_lanes([&](std::uint32_t lane) {
+        write_reg(warp, lane, ins.dst,
+                  as_bits(std::fmax(as_float(src(ins.a, lane)), as_float(src(ins.b, lane)))));
+      });
+      break;
+    case Op::F2I:
+      for_lanes([&](std::uint32_t lane) { write_reg(warp, lane, ins.dst, f2i(src(ins.a, lane))); });
+      break;
+    case Op::I2F:
+      for_lanes([&](std::uint32_t lane) {
+        write_reg(warp, lane, ins.dst,
+                  as_bits(static_cast<float>(static_cast<std::int32_t>(src(ins.a, lane)))));
+      });
+      break;
+    case Op::MUFU:
+      ready = now + config_.sfu_latency;
+      for_lanes([&](std::uint32_t lane) {
+        const float a = as_float(src(ins.a, lane));
+        float r = 0.0f;
+        switch (ins.mufu) {
+          case isa::Mufu::RCP: r = 1.0f / a; break;
+          case isa::Mufu::SQRT: r = std::sqrt(a); break;
+          case isa::Mufu::RSQRT: r = 1.0f / std::sqrt(a); break;
+          case isa::Mufu::EX2: r = std::exp2(a); break;
+          case isa::Mufu::LG2: r = std::log2(a); break;
+          case isa::Mufu::EXP: r = std::exp(a); break;
+          case isa::Mufu::LOG: r = std::log(a); break;
+          case isa::Mufu::SIN: r = std::sin(a); break;
+          case isa::Mufu::COS: r = std::cos(a); break;
+        }
+        write_reg(warp, lane, ins.dst, as_bits(r));
+      });
+      break;
+    case Op::LDG:
+    case Op::LDT:
+    case Op::STG:
+      ready = exec_global(ctx, warp, ins, exec, now);
+      break;
+    case Op::LDS:
+    case Op::STS:
+      ready = exec_shared(ctx, warp, ins, exec, now);
+      break;
+    case Op::ATOM_ADD:
+    case Op::RED_ADD:
+      ready = exec_atomic(ctx, warp, ins, exec, now);
+      break;
+    case Op::SSY: {
+      if (ins.target >= k.code.size()) {
+        ctx.trap = TrapKind::InvalidPc;
+        return;
+      }
+      if (warp.stack.size() >= kMaxDivergenceDepth) {
+        ctx.trap = TrapKind::DivergenceOverflow;
+        return;
+      }
+      DivFrame frame;
+      frame.reconv_pc = ins.target;
+      frame.union_mask = path;
+      warp.stack.push_back(std::move(frame));
+      break;
+    }
+    case Op::BRA: {
+      if (exec == 0) break;  // no lane takes the branch
+      if (ins.target >= k.code.size()) {
+        ctx.trap = TrapKind::InvalidPc;
+        return;
+      }
+      if (exec == path) {
+        next_pc = ins.target;  // uniform branch
+        break;
+      }
+      // Divergent: save the taken side, continue on the fallthrough.
+      if (warp.stack.empty()) {
+        // Fault-perturbed control flow can diverge without an SSY; an
+        // implicit frame serialises the paths (they retire via EXIT).
+        DivFrame frame;
+        frame.reconv_pc = DivFrame::kNoReconv;
+        frame.union_mask = path;
+        warp.stack.push_back(std::move(frame));
+      }
+      if (warp.stack.size() >= kMaxDivergenceDepth &&
+          warp.stack.back().pending.size() >= kMaxDivergenceDepth) {
+        ctx.trap = TrapKind::DivergenceOverflow;
+        return;
+      }
+      warp.stack.back().pending.push_back({ins.target, exec});
+      warp.active_mask = path & ~exec;
+      break;
+    }
+    case Op::SYNC: {
+      if (warp.stack.empty() ||
+          warp.stack.back().reconv_pc == DivFrame::kNoReconv) {
+        break;  // stray SYNC: no-op
+      }
+      if (!resolve_path(warp, true)) {
+        finish_warp(ctx, slot);
+        return;
+      }
+      advance = false;  // resolve_path set the pc
+      break;
+    }
+    case Op::BAR: {
+      CtaExec& cta = ctas_[warp.cta_slot];
+      warp.at_barrier = true;
+      cta.barrier_arrived += 1;
+      warp.pc = next_pc;  // resumes after the barrier
+      release_barrier_if_ready(cta, now);
+      return;
+    }
+    case Op::EXIT: {
+      warp.exited_mask |= exec;
+      if (warp.path_active() == 0) {
+        if (!resolve_path(warp, false)) {
+          warp.ready_cycle = ready;
+          finish_warp(ctx, slot);
+          return;
+        }
+        advance = false;
+      }
+      break;
+    }
+    case Op::NOP:
+      break;
+  }
+
+  if (param_trap) {
+    ctx.trap = TrapKind::ParamOob;
+    return;
+  }
+  if (ctx.trap != TrapKind::None) return;
+
+  if (ins.writes_gpr() && exec != 0) {
+    st.gp_thread_instrs += static_cast<std::uint32_t>(std::popcount(exec));
+    if (ins.is_load()) st.ld_thread_instrs += static_cast<std::uint32_t>(std::popcount(exec));
+    if (ctx.hook != nullptr) ctx.hook->on_gpr_retire(*this, slot, ins, exec);
+  }
+
+  if (advance) warp.pc = next_pc;
+  warp.ready_cycle = ready;
+}
+
+std::uint64_t Sm::exec_global(LaunchContext& ctx, WarpExec& warp, const Instr& ins,
+                              std::uint32_t exec, std::uint64_t now) {
+  SimStats& st = stats_of(ctx);
+  const bool store = ins.op == Op::STG;
+  const bool texture = ins.op == Op::LDT;
+  if (store) st.store_instrs += 1;
+  else st.load_instrs += 1;
+  if (exec == 0) return now + 1;
+
+  Cache& cache = texture ? l1t_ : l1d_;
+  const std::uint32_t line_bytes = cache.config().line_bytes;
+  bool param_trap = false;
+
+  // Coalesce: gather per-line word lists across lanes.
+  struct LaneAccess {
+    std::uint64_t line;
+    std::uint32_t offset;
+    std::uint32_t lane;
+  };
+  LaneAccess accesses[32];
+  std::size_t count = 0;
+  for (std::uint32_t lane = 0; lane < config_.warp_size; ++lane) {
+    if (!(exec & (1u << lane))) continue;
+    const std::uint32_t base = read_reg(warp, lane, static_cast<std::uint8_t>(ins.a.value));
+    const std::uint32_t addr = base + static_cast<std::uint32_t>(ins.mem_offset);
+    if ((addr & 3u) != 0) {
+      ctx.trap = TrapKind::MisalignedGlobal;
+      return now + 1;
+    }
+    if (!gmem_.in_bounds(addr, 4)) {
+      ctx.trap = TrapKind::OobGlobal;
+      return now + 1;
+    }
+    const std::uint64_t line = addr & ~std::uint64_t{line_bytes - 1};
+    accesses[count++] = {line, addr - static_cast<std::uint32_t>(line), lane};
+  }
+
+  std::uint64_t ready = now + 1;
+  // Process each distinct line once (coalescing), preserving lane order.
+  bool handled[32] = {};
+  for (std::size_t i = 0; i < count; ++i) {
+    if (handled[i]) continue;
+    const std::uint64_t line = accesses[i].line;
+    if (store) {
+      LineOp ops[32];
+      std::size_t nops = 0;
+      for (std::size_t j = i; j < count; ++j) {
+        if (accesses[j].line != line) continue;
+        handled[j] = true;
+        const std::uint32_t value = eval_operand(ctx, warp, ins.b, accesses[j].lane, param_trap);
+        ops[nops++] = {accesses[j].offset, value};
+      }
+      ready = std::max(ready, cache.write_line(line, {ops, nops}, now));
+    } else {
+      std::uint32_t offsets[32];
+      std::uint32_t lanes[32];
+      std::uint32_t values[32];
+      std::size_t nread = 0;
+      for (std::size_t j = i; j < count; ++j) {
+        if (accesses[j].line != line) continue;
+        handled[j] = true;
+        offsets[nread] = accesses[j].offset;
+        lanes[nread] = accesses[j].lane;
+        ++nread;
+      }
+      ready = std::max(ready, cache.read_line(line, {offsets, nread}, {values, nread}, now));
+      for (std::size_t j = 0; j < nread; ++j) {
+        write_reg(warp, lanes[j], ins.dst, values[j]);
+      }
+    }
+  }
+  if (param_trap) ctx.trap = TrapKind::ParamOob;
+  return ready;
+}
+
+std::uint64_t Sm::exec_shared(LaunchContext& ctx, WarpExec& warp, const Instr& ins,
+                              std::uint32_t exec, std::uint64_t now) {
+  SimStats& st = stats_of(ctx);
+  st.smem_instrs += 1;
+  if (exec == 0) return now + 1;
+  const bool store = ins.op == Op::STS;
+  const CtaExec& cta = ctas_[warp.cta_slot];
+  bool param_trap = false;
+  for (std::uint32_t lane = 0; lane < config_.warp_size; ++lane) {
+    if (!(exec & (1u << lane))) continue;
+    const std::uint32_t base = read_reg(warp, lane, static_cast<std::uint8_t>(ins.a.value));
+    const std::uint32_t off = base + static_cast<std::uint32_t>(ins.mem_offset);
+    if ((off & 3u) != 0) {
+      ctx.trap = TrapKind::MisalignedShared;
+      return now + 1;
+    }
+    if (off >= config_.smem_bytes_per_sm) {
+      ctx.trap = TrapKind::OobShared;
+      return now + 1;
+    }
+    // Physical address may spill past the CTA's own allocation: that is a
+    // silent corruption of a neighbouring CTA's data, not a trap, matching
+    // the undefined-but-not-faulting behaviour of real shared memory.
+    const std::uint32_t phys = (cta.smem_base + off) % config_.smem_bytes_per_sm;
+    if (store) {
+      smem_.write_u32(phys, eval_operand(ctx, warp, ins.b, lane, param_trap));
+    } else {
+      write_reg(warp, lane, ins.dst, smem_.read_u32(phys));
+    }
+  }
+  if (param_trap) ctx.trap = TrapKind::ParamOob;
+  return now + config_.smem_latency;
+}
+
+std::uint64_t Sm::exec_atomic(LaunchContext& ctx, WarpExec& warp, const Instr& ins,
+                              std::uint32_t exec, std::uint64_t now) {
+  SimStats& st = stats_of(ctx);
+  st.atom_instrs += 1;
+  if (exec == 0) return now + 1;
+  bool param_trap = false;
+  std::uint64_t ready = now + 1;
+  // Atomics resolve at L2, lane by lane in lane order.
+  for (std::uint32_t lane = 0; lane < config_.warp_size; ++lane) {
+    if (!(exec & (1u << lane))) continue;
+    const std::uint32_t base = read_reg(warp, lane, static_cast<std::uint8_t>(ins.a.value));
+    const std::uint32_t addr = base + static_cast<std::uint32_t>(ins.mem_offset);
+    if ((addr & 3u) != 0) {
+      ctx.trap = TrapKind::MisalignedGlobal;
+      return now + 1;
+    }
+    if (!gmem_.in_bounds(addr, 4)) {
+      ctx.trap = TrapKind::OobGlobal;
+      return now + 1;
+    }
+    const std::uint32_t operand = eval_operand(ctx, warp, ins.b, lane, param_trap);
+    std::uint32_t old = 0;
+    ready = std::max(ready, l2_.atomic_add(addr, operand, old, now));
+    if (ins.op == Op::ATOM_ADD) write_reg(warp, lane, ins.dst, old);
+  }
+  if (param_trap) ctx.trap = TrapKind::ParamOob;
+  return ready;
+}
+
+void Sm::end_launch() {
+  l1d_.flush();
+  l1t_.flush();
+  rr_next_ = 0;
+}
+
+void Sm::abort_launch() {
+  for (CtaExec& cta : ctas_) {
+    if (!cta.resident) continue;
+    rf_.free(cta.rf_base, cta.rf_count);
+    smem_.free(cta.smem_base, cta.smem_bytes);
+    for (std::uint32_t w = 0; w < cta.num_warps; ++w) {
+      WarpExec& warp = warps_[cta.first_warp_slot + w];
+      if (!warp.done) resident_warps_ -= 1;
+      warp.resident = false;
+      warp.done = true;
+    }
+    cta.resident = false;
+    active_ctas_ -= 1;
+  }
+}
+
+}  // namespace gras::sim

@@ -1,0 +1,225 @@
+// Streaming Multiprocessor model: warp state, SIMT divergence stack,
+// functional execution of every opcode, issue-time memory timing.
+//
+// Execution model: one warp instruction issues per SM per cycle (round-robin
+// over ready warps), executes functionally at issue, and the warp stalls
+// until the instruction's latency elapses. Loads/stores access the cache
+// hierarchy at issue time after warp-level coalescing (one cache access per
+// distinct line). This is the standard lightweight GPGPU timing abstraction:
+// precise enough for uniform cycle sampling, cycle-weighted AVF
+// consolidation, watchdog detection, and the occupancy/utilization metrics
+// of the paper's Fig. 3.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/isa/isa.h"
+#include "src/sim/cache.h"
+#include "src/sim/config.h"
+#include "src/sim/regfile.h"
+#include "src/sim/trap.h"
+
+namespace gras::sim {
+
+class Sm;
+class Gpu;
+
+/// Grid/block dimensions (z used only by the TMR transform's copy index).
+struct Dim3 {
+  std::uint32_t x = 1, y = 1, z = 1;
+  std::uint64_t count() const { return std::uint64_t{x} * y * z; }
+};
+
+/// Per-launch counters; the Fig. 3 resource-utilization metrics derive from
+/// these plus cache stats.
+struct SimStats {
+  std::uint64_t cycles = 0;
+  std::uint64_t warp_instrs = 0;
+  std::uint64_t thread_instrs = 0;
+  std::uint64_t gp_thread_instrs = 0;  ///< GPR-writing thread instrs (SVF population)
+  std::uint64_t ld_thread_instrs = 0;  ///< load thread instrs (SVF-LD population)
+  std::uint64_t load_instrs = 0;       ///< warp-level LDG+LDT
+  std::uint64_t store_instrs = 0;      ///< warp-level STG
+  std::uint64_t smem_instrs = 0;       ///< warp-level LDS+STS
+  std::uint64_t atom_instrs = 0;
+  CacheStats l1d, l1t, l2;
+  std::uint64_t dram_read_bytes = 0;
+  std::uint64_t dram_written_bytes = 0;
+  std::uint64_t warp_residency = 0;    ///< sum over cycles of resident warps
+  std::uint64_t sm_cycles = 0;         ///< cycles * num_sms (occupancy denominator)
+
+  double occupancy(std::uint32_t max_warps_per_sm) const {
+    if (sm_cycles == 0) return 0.0;
+    return static_cast<double>(warp_residency) /
+           (static_cast<double>(sm_cycles) * max_warps_per_sm);
+  }
+  SimStats& operator+=(const SimStats& o);
+};
+
+/// Callbacks the fault injectors hang off the simulator.
+class FaultHook {
+ public:
+  virtual ~FaultHook() = default;
+  /// Called once per GPU cycle before any SM issues.
+  virtual void on_cycle(Gpu& gpu, std::uint64_t cycle) { (void)gpu; (void)cycle; }
+  /// Earliest future cycle this hook needs to observe (lets the GPU
+  /// fast-forward through idle stretches without skipping a trigger).
+  virtual std::uint64_t next_trigger() const { return ~std::uint64_t{0}; }
+  /// Called after each GPR-writing warp instruction retires.
+  /// `exec_mask` holds the lanes that executed.
+  virtual void on_gpr_retire(Sm& sm, std::uint32_t warp_slot, const isa::Instr& ins,
+                             std::uint32_t exec_mask) {
+    (void)sm; (void)warp_slot; (void)ins; (void)exec_mask;
+  }
+  /// Called just before a GPR-writing warp instruction executes (same filter
+  /// as on_gpr_retire). Lets source-register injection modes corrupt an
+  /// input value for exactly this dynamic instruction.
+  virtual void on_pre_exec(Sm& sm, std::uint32_t warp_slot, const isa::Instr& ins,
+                           std::uint32_t exec_mask) {
+    (void)sm; (void)warp_slot; (void)ins; (void)exec_mask;
+  }
+  /// Called for *every* issued warp instruction (including stores, branches
+  /// and barriers), before execution. Used by profilers (e.g. the ACE
+  /// liveness analyzer) that need to observe all register reads.
+  virtual void on_issue(Sm& sm, std::uint32_t warp_slot, const isa::Instr& ins,
+                        std::uint32_t exec_mask, std::uint64_t cycle) {
+    (void)sm; (void)warp_slot; (void)ins; (void)exec_mask; (void)cycle;
+  }
+};
+
+/// One saved SIMT divergence path.
+struct DivPath {
+  std::uint32_t pc;
+  std::uint32_t mask;
+};
+
+/// SIMT reconvergence frame (pushed by SSY, popped when all paths SYNC).
+struct DivFrame {
+  std::uint32_t reconv_pc;                 ///< kNoReconv for implicit frames
+  std::uint32_t union_mask;
+  std::vector<DivPath> pending;
+  static constexpr std::uint32_t kNoReconv = ~std::uint32_t{0};
+};
+
+/// Warp execution state.
+struct WarpExec {
+  bool resident = false;
+  bool done = false;
+  bool at_barrier = false;
+  std::uint32_t cta_slot = 0;
+  std::uint32_t warp_in_cta = 0;
+  std::uint32_t pc = 0;
+  std::uint32_t active_mask = 0;   ///< current path
+  std::uint32_t exited_mask = 0;
+  std::uint64_t ready_cycle = 0;
+  std::uint32_t pred_mask[isa::kNumPred] = {};  ///< per-lane predicate bits
+  std::vector<DivFrame> stack;
+
+  std::uint32_t path_active() const { return active_mask & ~exited_mask; }
+};
+
+/// Resident CTA state.
+struct CtaExec {
+  bool resident = false;
+  std::uint32_t ctaid_x = 0, ctaid_y = 0, ctaid_z = 0;
+  std::uint32_t rf_base = 0, rf_count = 0;
+  std::uint32_t smem_base = 0, smem_bytes = 0;
+  std::uint32_t num_warps = 0;
+  std::uint32_t warps_done = 0;
+  std::uint32_t barrier_arrived = 0;
+  std::uint32_t first_warp_slot = 0;
+};
+
+/// Everything an SM needs about the launch in flight; owned by the Gpu.
+struct LaunchContext {
+  const isa::Kernel* kernel = nullptr;
+  Dim3 grid, block;
+  std::vector<std::uint32_t> params;
+  std::uint32_t threads_per_cta = 0;
+  std::uint32_t warps_per_cta = 0;
+  std::uint32_t regs_per_thread = 0;
+  SimStats* stats = nullptr;
+  FaultHook* hook = nullptr;
+  TrapKind trap = TrapKind::None;  ///< first trap, aborts the launch
+};
+
+class Sm {
+ public:
+  Sm(const GpuConfig& config, std::uint32_t sm_id, MemLevel& l2, GlobalMemory& gmem);
+
+  /// Attempts to place CTA (x,y,z) on this SM; false when out of resources.
+  bool try_launch_cta(LaunchContext& ctx, std::uint32_t x, std::uint32_t y, std::uint32_t z);
+
+  /// True while any CTA is resident.
+  bool busy() const noexcept { return active_ctas_ > 0; }
+  std::uint32_t resident_warp_count() const noexcept { return resident_warps_; }
+  std::uint32_t free_cta_slots() const noexcept;
+
+  /// One cycle: issue at most one warp instruction. Sets ctx.trap on error.
+  void step(LaunchContext& ctx, std::uint64_t now);
+
+  /// Earliest cycle at which this SM can make progress (for fast-forward);
+  /// UINT64_MAX when nothing is runnable.
+  std::uint64_t next_ready_cycle() const noexcept;
+
+  /// End-of-launch cleanup (flush L1s; CTAs must have drained).
+  void end_launch();
+
+  /// Forcibly retires all resident CTAs and frees their resources; used when
+  /// a launch aborts on a trap or watchdog.
+  void abort_launch();
+
+  // --- Fault-injection surface ---
+  RegFile& regfile() noexcept { return rf_; }
+  const RegFile& regfile() const noexcept { return rf_; }
+  SharedMem& shared_mem() noexcept { return smem_; }
+  Cache& l1d() noexcept { return l1d_; }
+  Cache& l1t() noexcept { return l1t_; }
+  /// Physical RF cell holding (warp, lane, reg); used by the software-level
+  /// injector to flip destination-register bits.
+  std::uint32_t rf_cell_index(const WarpExec& warp, std::uint32_t lane,
+                              std::uint8_t reg) const;
+  const WarpExec& warp(std::uint32_t slot) const { return warps_[slot]; }
+  WarpExec& warp(std::uint32_t slot) { return warps_[slot]; }
+  std::uint32_t sm_id() const noexcept { return sm_id_; }
+
+ private:
+  const isa::Kernel& kernel(const LaunchContext& ctx) const { return *ctx.kernel; }
+  void execute_warp(LaunchContext& ctx, std::uint32_t slot, std::uint64_t now);
+  std::uint32_t eval_operand(const LaunchContext& ctx, const WarpExec& warp,
+                             const isa::Operand& op, std::uint32_t lane, bool& trap);
+  std::uint32_t read_reg(const WarpExec& warp, std::uint32_t lane, std::uint8_t reg) const;
+  void write_reg(const WarpExec& warp, std::uint32_t lane, std::uint8_t reg,
+                 std::uint32_t value);
+  std::uint32_t special_value(const LaunchContext& ctx, const WarpExec& warp,
+                              std::uint32_t lane, isa::SpecialReg sr) const;
+  /// Handles a drained path (SYNC or full exit): switches to a pending path
+  /// or reconverges/pops. Returns false when the warp is done.
+  bool resolve_path(WarpExec& warp, bool via_sync);
+  void finish_warp(LaunchContext& ctx, std::uint32_t slot);
+  void release_barrier_if_ready(CtaExec& cta, std::uint64_t now);
+  /// Memory instruction execution; returns latency-completion cycle.
+  std::uint64_t exec_global(LaunchContext& ctx, WarpExec& warp, const isa::Instr& ins,
+                            std::uint32_t exec_mask, std::uint64_t now);
+  std::uint64_t exec_shared(LaunchContext& ctx, WarpExec& warp, const isa::Instr& ins,
+                            std::uint32_t exec_mask, std::uint64_t now);
+  std::uint64_t exec_atomic(LaunchContext& ctx, WarpExec& warp, const isa::Instr& ins,
+                            std::uint32_t exec_mask, std::uint64_t now);
+
+  const GpuConfig& config_;
+  std::uint32_t sm_id_;
+  MemLevel& l2_;
+  GlobalMemory& gmem_;
+  RegFile rf_;
+  SharedMem smem_;
+  Cache l1d_;
+  Cache l1t_;
+  std::vector<WarpExec> warps_;
+  std::vector<CtaExec> ctas_;
+  std::uint32_t active_ctas_ = 0;
+  std::uint32_t resident_warps_ = 0;
+  std::uint32_t rr_next_ = 0;
+};
+
+}  // namespace gras::sim

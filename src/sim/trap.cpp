@@ -1,0 +1,21 @@
+#include "src/sim/trap.h"
+
+namespace gras::sim {
+
+const char* trap_name(TrapKind k) {
+  switch (k) {
+    case TrapKind::None: return "None";
+    case TrapKind::OobGlobal: return "OobGlobal";
+    case TrapKind::MisalignedGlobal: return "MisalignedGlobal";
+    case TrapKind::OobShared: return "OobShared";
+    case TrapKind::MisalignedShared: return "MisalignedShared";
+    case TrapKind::InvalidPc: return "InvalidPc";
+    case TrapKind::ParamOob: return "ParamOob";
+    case TrapKind::DivergenceOverflow: return "DivergenceOverflow";
+    case TrapKind::Watchdog: return "Watchdog";
+    case TrapKind::HostCheck: return "HostCheck";
+  }
+  return "?";
+}
+
+}  // namespace gras::sim

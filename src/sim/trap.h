@@ -1,0 +1,36 @@
+// Trap and status types shared across the simulator.
+//
+// Traps map onto the paper's DUE (Detected Unrecoverable Error) fault-effect
+// class: the execution does not complete because a catastrophic event
+// disturbs it (§II-A), e.g. an illegal memory access.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+namespace gras::sim {
+
+enum class TrapKind : std::uint8_t {
+  None = 0,
+  OobGlobal,          ///< global access outside allocated memory
+  MisalignedGlobal,   ///< global access not 4-byte aligned
+  OobShared,          ///< shared access outside the SM's shared memory
+  MisalignedShared,
+  InvalidPc,          ///< control transfer outside the kernel body
+  ParamOob,           ///< constant-bank read past the parameter block
+  DivergenceOverflow, ///< SIMT reconvergence stack exceeded its depth bound
+  Watchdog,           ///< launch exceeded its cycle budget (classified Timeout)
+  HostCheck,          ///< host-side failure (e.g. TMR vote with no majority)
+};
+
+const char* trap_name(TrapKind k);
+
+/// Result of one kernel launch.
+struct LaunchResult {
+  TrapKind trap = TrapKind::None;
+  std::uint64_t cycles = 0;        ///< cycles this launch consumed
+  std::uint64_t instructions = 0;  ///< warp-instructions executed
+  bool ok() const { return trap == TrapKind::None; }
+};
+
+}  // namespace gras::sim

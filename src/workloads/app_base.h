@@ -1,0 +1,62 @@
+// Shared base for the 11 benchmark implementations: owns the name, buffer
+// specs and assembled kernels that the App interface exposes.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/assembler/assembler.h"
+#include "src/workloads/workload.h"
+
+namespace gras::workloads {
+
+class BenchApp : public App {
+ public:
+  const std::string& name() const override { return name_; }
+  const std::vector<BufferSpec>& buffers() const override { return buffers_; }
+  const std::vector<isa::Kernel>& kernels() const override { return kernels_; }
+
+ protected:
+  explicit BenchApp(std::string name) : name_(std::move(name)) {}
+
+  void add_kernels(std::string_view source) {
+    for (isa::Kernel& k : assembler::assemble(source)) {
+      kernels_.push_back(std::move(k));
+    }
+  }
+
+  BufferSpec& add_buffer(std::string bname, std::uint64_t bytes, Role role,
+                         std::vector<std::uint8_t> init = {}) {
+    BufferSpec spec;
+    spec.name = std::move(bname);
+    spec.bytes = bytes;
+    spec.role = role;
+    spec.host_init = std::move(init);
+    buffers_.push_back(std::move(spec));
+    return buffers_.back();
+  }
+
+  std::string name_;
+  std::vector<BufferSpec> buffers_;
+  std::vector<isa::Kernel> kernels_;
+};
+
+// Factory functions, one per benchmark (defined in the per-app .cpp files).
+std::unique_ptr<App> make_va();
+std::unique_ptr<App> make_scp();
+std::unique_ptr<App> make_hotspot();
+// Size-parameterized variants for input-sensitivity studies (SUGAR-style):
+// `n` elements for VA (multiple of 256), `dim` x `dim` cells for HotSpot
+// (multiple of 16).
+std::unique_ptr<App> make_va_sized(std::uint32_t n);
+std::unique_ptr<App> make_hotspot_sized(std::uint32_t dim, std::uint32_t steps);
+std::unique_ptr<App> make_srad_v1();
+std::unique_ptr<App> make_srad_v2();
+std::unique_ptr<App> make_kmeans();
+std::unique_ptr<App> make_lud();
+std::unique_ptr<App> make_nw();
+std::unique_ptr<App> make_pathfinder();
+std::unique_ptr<App> make_backprop();
+std::unique_ptr<App> make_bfs();
+
+}  // namespace gras::workloads

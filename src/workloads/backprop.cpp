@@ -1,0 +1,178 @@
+// BackProp (Rodinia): one forward + one weight-adjust pass of a two-layer
+// perceptron (512 inputs, 16 hidden units).
+//   K1 bpnn_layerforward — per-block partial sums of input x weight in
+//                          shared memory (log-tree reduction over block rows).
+//   K2 bpnn_adjust_weights — weight update with momentum; deltas and layer
+//                          activations come through the texture path.
+// The host sums partials, applies the sigmoid, computes the hidden deltas
+// and uploads them between the kernels, as Rodinia's backprop_cuda.cu does.
+#include <cmath>
+#include <cstring>
+
+#include "src/workloads/app_base.h"
+
+namespace gras::workloads {
+namespace {
+
+constexpr std::uint32_t kIn = 512;    // input units (n)
+constexpr std::uint32_t kHid = 16;
+constexpr std::uint32_t kBlocks = kIn / kHid;  // 32 CTAs in grid.y
+
+constexpr char kAsm[] = R"(
+.kernel backprop_layerforward
+.smem 1152                           // input_node[16] | weight_matrix[16][16]
+.param input ptr                     // layer activations, 1-based [n+1]
+.param w ptr                         // weights [(n+1) x (hid+1)]
+.param partial ptr                   // per-block partial sums [blocks x hid]
+.param hid u32
+.param hidp1 u32
+    S2R R0, SR_TID.X                 // hidden index
+    S2R R1, SR_TID.Y                 // input row within block
+    S2R R2, SR_CTAID.Y               // block
+    IMAD R3, R2, 16, R1
+    IADD R3, R3, 1                   // input node id (1-based)
+    IMAD R4, R3, c[hidp1], R0
+    IADD R4, R4, 1                   // weight index
+    ISETP.NE P0, R0, RZ
+    ISCADD R5, R3, c[input], 2
+    @!P0 LDG R6, [R5]
+    SHL R7, R1, 2
+    @!P0 STS [R7], R6                // input_node[ty]
+    BAR
+    ISCADD R8, R4, c[w], 2
+    LDG R9, [R8]
+    IMAD R10, R1, 16, R0
+    SHL R10, R10, 2
+    STS [R10+64], R9                 // weight_matrix[ty][tx]
+    BAR
+    LDS R11, [R7]
+    LDS R12, [R10+64]
+    FMUL R12, R12, R11
+    STS [R10+64], R12
+    BAR
+    MOV R13, 1                       // stride s
+bred:
+    ISETP.GE P1, R13, 16
+    @P1 BRA bred_done
+    SHL R14, R13, 1
+    IADD R15, R14, -1
+    AND R16, R1, R15
+    ISETP.EQ P2, R16, RZ             // ty % 2s == 0
+    @P2 LDS R18, [R10+64]
+    SHL R19, R13, 6                  // s rows of 16 floats
+    IADD R19, R10, R19
+    @P2 LDS R20, [R19+64]
+    @P2 FADD R18, R18, R20
+    @P2 STS [R10+64], R18
+    BAR
+    SHL R13, R13, 1
+    BRA bred
+bred_done:
+    ISETP.NE P3, R1, RZ
+    @P3 EXIT
+    IMAD R21, R2, c[hid], R0
+    ISCADD R21, R21, c[partial], 2
+    SHL R22, R0, 2
+    LDS R23, [R22+64]
+    STG [R21], R23
+    EXIT
+
+.kernel backprop_adjust
+.param delta ptr                     // hidden deltas, 1-based [hid+1]
+.param ly ptr                        // input activations, 1-based [n+1]
+.param w ptr
+.param oldw ptr
+.param hidp1 u32
+    S2R R0, SR_TID.X
+    S2R R1, SR_TID.Y
+    S2R R2, SR_CTAID.Y
+    IMAD R3, R2, 16, R1
+    IADD R3, R3, 1
+    IMAD R4, R3, c[hidp1], R0
+    IADD R4, R4, 1
+    IADD R5, R0, 1
+    ISCADD R5, R5, c[delta], 2
+    LDT R6, [R5]
+    ISCADD R7, R3, c[ly], 2
+    LDT R8, [R7]
+    FMUL R9, R6, R8
+    FMUL R9, R9, 0.3f                // eta
+    ISCADD R10, R4, c[oldw], 2
+    LDG R11, [R10]
+    FMUL R11, R11, 0.3f              // momentum
+    FADD R9, R9, R11
+    ISCADD R12, R4, c[w], 2
+    LDG R13, [R12]
+    FADD R13, R13, R9
+    STG [R12], R13
+    STG [R10], R9
+    // Bias row, updated once by (ty==0, by==0).
+    ISETP.NE P0, R1, RZ
+    @P0 EXIT
+    ISETP.NE P1, R2, RZ
+    @P1 EXIT
+    IADD R14, R0, 1
+    ISCADD R15, R14, c[w], 2
+    LDG R16, [R15]
+    FMUL R17, R6, 0.3f
+    FADD R16, R16, R17
+    STG [R15], R16
+    EXIT
+)";
+
+class BackpropApp final : public BenchApp {
+ public:
+  BackpropApp() : BenchApp("backprop") {
+    add_kernels(kAsm);
+    const std::uint32_t wcount = (kIn + 1) * (kHid + 1);
+    std::vector<float> input(kIn + 1, 0.0f), w(wcount), oldw(wcount, 0.0f);
+    for (std::uint32_t i = 1; i <= kIn; ++i) {
+      input[i] = detail::init_float(101, i, 0.0f, 1.0f);
+    }
+    for (std::uint32_t i = 0; i < wcount; ++i) {
+      w[i] = detail::init_float(102, i, -0.5f, 0.5f);
+    }
+    add_buffer("input", input.size() * 4, Role::Input, detail::pack_floats(input));
+    add_buffer("w", w.size() * 4, Role::InOut, detail::pack_floats(w));
+    add_buffer("oldw", oldw.size() * 4, Role::Scratch);
+    add_buffer("partial", kBlocks * kHid * 4, Role::Scratch);
+    add_buffer("delta", (kHid + 1) * 4, Role::Scratch);
+  }
+
+  void execute(ExecCtx& ctx) const override {
+    const sim::Dim3 grid{1, kBlocks, 1}, block{kHid, kHid, 1};
+    if (!ctx.launch(kernel("backprop_layerforward"), grid, block,
+                    {ctx.addr("input"), ctx.addr("w"), ctx.addr("partial"), kHid,
+                     kHid + 1})) {
+      return;
+    }
+    // Host: sum the partials, add the bias, squash, derive hidden deltas.
+    std::vector<std::uint8_t> raw(kBlocks * kHid * 4);
+    ctx.read_bytes("partial", 0, raw);
+    if (ctx.aborted()) return;
+    std::vector<float> delta(kHid + 1, 0.0f);
+    for (std::uint32_t j = 0; j < kHid; ++j) {
+      float sum = 0.0f;
+      for (std::uint32_t b = 0; b < kBlocks; ++b) {
+        float v;
+        std::memcpy(&v, raw.data() + (b * kHid + j) * 4, 4);
+        sum += v;
+      }
+      sum += ctx.read_f32("w", (j + 1) * 4);  // bias weight
+      const float hidden = 1.0f / (1.0f + std::exp(-sum));
+      // Target 0.1 for every hidden unit stands in for the output layer.
+      delta[j + 1] = hidden * (1.0f - hidden) * (0.1f - hidden);
+    }
+    const auto packed = detail::pack_floats(delta);
+    ctx.write_bytes("delta", 0, packed);
+    ctx.launch(kernel("backprop_adjust"), grid, block,
+               {ctx.addr("delta"), ctx.addr("input"), ctx.addr("w"), ctx.addr("oldw"),
+                kHid + 1});
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<App> make_backprop() { return std::make_unique<BackpropApp>(); }
+
+}  // namespace gras::workloads

@@ -1,0 +1,156 @@
+// BFS (Rodinia): frontier-based breadth-first search, two kernels.
+//   K1 — every frontier node relaxes its unvisited neighbours (sets their
+//        cost and marks them "updating"); the neighbour loop makes this the
+//        suite's most divergent kernel (explicit SSY/SYNC regions).
+//   K2 — promotes "updating" nodes to the next frontier and raises the
+//        continue flag.
+// The host loops until the flag stays down (bounded; exceeding the bound is
+// classified as Timeout, which is how NVBitFI-style harnesses see a
+// non-converging faulty run).
+#include "src/workloads/app_base.h"
+
+namespace gras::workloads {
+namespace {
+
+constexpr std::uint32_t kNodes = 1024;
+constexpr std::uint32_t kBlock = 256;
+constexpr std::uint32_t kMaxHostIters = 40;
+
+constexpr char kAsm[] = R"(
+.kernel bfs_k1
+.param nodes ptr                    // [n][2]: edge-list start, edge count
+.param edges ptr
+.param frontier ptr
+.param updating ptr
+.param visited ptr
+.param cost ptr
+.param n u32
+    S2R R0, SR_CTAID.X
+    S2R R1, SR_NTID.X
+    S2R R2, SR_TID.X
+    IMAD R3, R0, R1, R2             // node id
+    ISETP.GE P0, R3, c[n]
+    @P0 EXIT
+    ISCADD R4, R3, c[frontier], 2
+    LDG R5, [R4]
+    SSY join
+    ISETP.EQ P1, R5, RZ
+    @P1 BRA skip                    // not in the frontier
+    STG [R4], RZ                    // leave the frontier
+    SHL R6, R3, 3                   // node record byte offset
+    IADD R6, R6, c[nodes]
+    LDG R7, [R6]                    // first edge
+    LDG R8, [R6+4]                  // edge count
+    IADD R8, R7, R8                 // end edge
+    ISCADD R9, R3, c[cost], 2
+    LDG R10, [R9]                   // my cost
+    IADD R10, R10, 1
+    SSY nloop_done
+nloop:
+    ISETP.GE P2, R7, R8
+    @P2 BRA nloop_exit
+    ISCADD R11, R7, c[edges], 2
+    LDG R12, [R11]                  // neighbour id
+    ISCADD R13, R12, c[visited], 2
+    LDG R14, [R13]
+    ISETP.EQ P3, R14, RZ            // not yet visited?
+    ISCADD R15, R12, c[cost], 2
+    @P3 STG [R15], R10
+    MOV R16, 1
+    ISCADD R17, R12, c[updating], 2
+    @P3 STG [R17], R16
+    IADD R7, R7, 1
+    BRA nloop
+nloop_exit:
+    SYNC
+nloop_done:
+    SYNC
+skip:
+    SYNC
+join:
+    EXIT
+
+.kernel bfs_k2
+.param frontier ptr
+.param updating ptr
+.param visited ptr
+.param flag ptr
+.param n u32
+    S2R R0, SR_CTAID.X
+    S2R R1, SR_NTID.X
+    S2R R2, SR_TID.X
+    IMAD R3, R0, R1, R2
+    ISETP.GE P0, R3, c[n]
+    @P0 EXIT
+    ISCADD R4, R3, c[updating], 2
+    LDG R5, [R4]
+    ISETP.NE P1, R5, RZ
+    MOV R6, 1
+    ISCADD R7, R3, c[frontier], 2
+    @P1 STG [R7], R6
+    ISCADD R8, R3, c[visited], 2
+    @P1 STG [R8], R6
+    MOV R9, c[flag]
+    @P1 STG [R9], R6
+    @P1 STG [R4], RZ
+    EXIT
+)";
+
+class BfsApp final : public BenchApp {
+ public:
+  BfsApp() : BenchApp("bfs") {
+    add_kernels(kAsm);
+    // Deterministic random graph: each node gets 2..5 forward-ish edges.
+    std::vector<std::uint32_t> nodes(kNodes * 2);
+    std::vector<std::uint32_t> edges;
+    for (std::uint32_t i = 0; i < kNodes; ++i) {
+      const std::uint32_t degree = 2 + detail::init_u32(61, i, 4);
+      nodes[i * 2] = static_cast<std::uint32_t>(edges.size());
+      nodes[i * 2 + 1] = degree;
+      for (std::uint32_t d = 0; d < degree; ++d) {
+        edges.push_back(detail::init_u32(62, i * 8 + d, kNodes));
+      }
+    }
+    std::vector<std::uint32_t> frontier(kNodes, 0), visited(kNodes, 0);
+    std::vector<std::uint32_t> cost(kNodes, 0xffffffffu);  // -1
+    frontier[0] = 1;
+    visited[0] = 1;
+    cost[0] = 0;
+    add_buffer("nodes", nodes.size() * 4, Role::Input, detail::pack_u32(nodes));
+    add_buffer("edges", edges.size() * 4, Role::Input, detail::pack_u32(edges));
+    add_buffer("frontier", kNodes * 4, Role::Input, detail::pack_u32(frontier));
+    add_buffer("updating", kNodes * 4, Role::Scratch);
+    add_buffer("visited", kNodes * 4, Role::Input, detail::pack_u32(visited));
+    add_buffer("cost", kNodes * 4, Role::InOut, detail::pack_u32(cost));
+    add_buffer("flag", 4, Role::Scratch);
+  }
+
+  void execute(ExecCtx& ctx) const override {
+    const sim::Dim3 grid{kNodes / kBlock, 1, 1}, block{kBlock, 1, 1};
+    for (std::uint32_t iter = 0;; ++iter) {
+      if (iter >= kMaxHostIters) {
+        ctx.mark_timeout();
+        return;
+      }
+      ctx.write_u32("flag", 0, 0);
+      if (!ctx.launch(kernel("bfs_k1"), grid, block,
+                      {ctx.addr("nodes"), ctx.addr("edges"), ctx.addr("frontier"),
+                       ctx.addr("updating"), ctx.addr("visited"), ctx.addr("cost"),
+                       kNodes})) {
+        return;
+      }
+      if (!ctx.launch(kernel("bfs_k2"), grid, block,
+                      {ctx.addr("frontier"), ctx.addr("updating"), ctx.addr("visited"),
+                       ctx.addr("flag"), kNodes})) {
+        return;
+      }
+      if (ctx.read_u32("flag", 0) == 0) break;
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<App> make_bfs() { return std::make_unique<BfsApp>(); }
+
+}  // namespace gras::workloads

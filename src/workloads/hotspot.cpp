@@ -1,0 +1,168 @@
+// HotSpot (Rodinia): thermal simulation, 2D five-point stencil.
+//
+// One kernel ("hotspot_k1"), launched once per time step with ping-ponged
+// temperature buffers. Each 16x16 CTA stages its tile in shared memory;
+// neighbours inside the tile come from shared memory, neighbours across the
+// tile edge from global memory (clamped at the chip boundary). The power
+// map is read through the texture path.
+#include "src/workloads/app_base.h"
+
+namespace gras::workloads {
+namespace {
+
+constexpr std::uint32_t kDim = 64;    // grid is kDim x kDim cells
+constexpr std::uint32_t kTile = 16;
+constexpr std::uint32_t kSteps = 2;
+
+constexpr char kAsm[] = R"(
+.kernel hotspot_k1
+.smem 1024                      // 16x16 tile of temperatures
+.param tin ptr
+.param pow ptr
+.param tout ptr
+.param width u32
+.param wm1 u32                  // width-1
+.param hm1 u32                  // height-1
+.param sdc f32                  // step / capacitance
+.param rx f32                   // 1/Rx
+.param ry f32                   // 1/Ry
+.param rz f32                   // 1/Rz
+.param amb f32                  // ambient temperature
+    S2R R0, SR_TID.X
+    S2R R1, SR_TID.Y
+    S2R R2, SR_CTAID.X
+    S2R R3, SR_CTAID.Y
+    IMAD R4, R2, 16, R0          // column
+    IMAD R5, R3, 16, R1          // row
+    IMAD R6, R5, c[width], R4    // cell index
+    ISCADD R8, R6, c[tin], 2
+    LDG R7, [R8]                 // centre temperature
+    IMAD R9, R1, 16, R0
+    SHL R9, R9, 2                // tile slot byte offset
+    STS [R9], R7
+    BAR
+    // North neighbour.
+    ISETP.GT P0, R1, RZ
+    @P0 LDS R10, [R9-64]
+    IADD R11, R5, -1
+    IMAX R11, R11, RZ
+    IMAD R12, R11, c[width], R4
+    ISCADD R12, R12, c[tin], 2
+    @!P0 LDG R10, [R12]
+    // South neighbour.
+    ISETP.LT P1, R1, 15
+    @P1 LDS R13, [R9+64]
+    IADD R11, R5, 1
+    IMIN R11, R11, c[hm1]
+    IMAD R12, R11, c[width], R4
+    ISCADD R12, R12, c[tin], 2
+    @!P1 LDG R13, [R12]
+    // West neighbour.
+    ISETP.GT P2, R0, RZ
+    @P2 LDS R14, [R9-4]
+    IADD R11, R4, -1
+    IMAX R11, R11, RZ
+    IMAD R12, R5, c[width], R11
+    ISCADD R12, R12, c[tin], 2
+    @!P2 LDG R14, [R12]
+    // East neighbour.
+    ISETP.LT P3, R0, 15
+    @P3 LDS R15, [R9+4]
+    IADD R11, R4, 1
+    IMIN R11, R11, c[wm1]
+    IMAD R12, R5, c[width], R11
+    ISCADD R12, R12, c[tin], 2
+    @!P3 LDG R15, [R12]
+    // Power through the read-only path.
+    ISCADD R16, R6, c[pow], 2
+    LDT R17, [R16]
+    // delta = sdc * (p + (n+s-2c)*ry + (e+w-2c)*rx + (amb-c)*rz)
+    FADD R18, R10, R13
+    FMUL R19, R7, -2.0f
+    FADD R18, R18, R19
+    FMUL R18, R18, c[ry]
+    FADD R20, R14, R15
+    FADD R20, R20, R19
+    FMUL R20, R20, c[rx]
+    MOV R21, c[amb]
+    FSUB R21, R21, R7
+    FMUL R21, R21, c[rz]
+    FADD R22, R17, R18
+    FADD R22, R22, R20
+    FADD R22, R22, R21
+    FMUL R22, R22, c[sdc]
+    FADD R22, R7, R22
+    ISCADD R23, R6, c[tout], 2
+    STG [R23], R22
+    EXIT
+)";
+
+class HotspotApp final : public BenchApp {
+ public:
+  // Non-default sizes get distinct names so campaign caches never collide.
+  HotspotApp(std::uint32_t dim, std::uint32_t steps)
+      : BenchApp(dim == kDim && steps == kSteps
+                     ? "hotspot"
+                     : "hotspot@" + std::to_string(dim) + "x" + std::to_string(steps)),
+        dim_(dim),
+        steps_(steps) {
+    add_kernels(kAsm);
+    const std::uint32_t n = dim_ * dim_;
+    std::vector<float> temp(n), power(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      temp[i] = detail::init_float(31, i, 323.0f, 342.0f);
+      power[i] = detail::init_float(32, i, 0.0f, 0.01f);
+    }
+    add_buffer("temp0", n * 4, Role::InOut, detail::pack_floats(temp));
+    add_buffer("temp1", n * 4, Role::Scratch);
+    add_buffer("power", n * 4, Role::Input, detail::pack_floats(power));
+  }
+
+  void execute(ExecCtx& ctx) const override {
+    const isa::Kernel& k = kernel("hotspot_k1");
+    // Physical constants folded exactly as Rodinia's hotspot.cu does.
+    const float sdc = 0.001365333f;   // step / capacitance
+    const float rx = 1.0f / 0.520833f, ry = 1.0f / 0.104166f, rz = 1.0f / 0.000078f * 1e-4f;
+    const float amb = 80.0f;
+    auto f = [](float v) {
+      std::uint32_t bits;
+      __builtin_memcpy(&bits, &v, 4);
+      return bits;
+    };
+    const sim::Dim3 grid{dim_ / kTile, dim_ / kTile, 1};
+    const sim::Dim3 block{kTile, kTile, 1};
+    const char* src = "temp0";
+    const char* dst = "temp1";
+    for (std::uint32_t step = 0; step < steps_; ++step) {
+      if (!ctx.launch(k, grid, block,
+                      {ctx.addr(src), ctx.addr("power"), ctx.addr(dst), dim_, dim_ - 1,
+                       dim_ - 1, f(sdc), f(rx), f(ry), f(rz), f(amb)})) {
+        return;
+      }
+      std::swap(src, dst);
+    }
+    // With an even step count the final state ends in temp0 (the output
+    // buffer); copy it back otherwise.
+    if (steps_ % 2 == 1) {
+      std::vector<std::uint8_t> bytes(dim_ * dim_ * 4);
+      ctx.read_bytes("temp1", 0, bytes);
+      ctx.write_bytes("temp0", 0, bytes);
+    }
+  }
+
+ private:
+  std::uint32_t dim_;
+  std::uint32_t steps_;
+};
+
+}  // namespace
+
+std::unique_ptr<App> make_hotspot() {
+  return std::make_unique<HotspotApp>(kDim, kSteps);
+}
+
+std::unique_ptr<App> make_hotspot_sized(std::uint32_t dim, std::uint32_t steps) {
+  return std::make_unique<HotspotApp>(dim, steps);
+}
+
+}  // namespace gras::workloads

@@ -1,0 +1,164 @@
+// K-Means (Rodinia kmeans): two kernels.
+//   K1 invert_mapping — transposes the feature matrix (point-major ->
+//                       feature-major) for coalesced access.
+//   K2 kmeansPoint    — assigns every point to its nearest cluster centre.
+// Cluster centres are recomputed on the host between iterations, exactly as
+// Rodinia's kmeans_cuda.cu does. Centres are read through the texture path
+// (Rodinia binds them to a texture).
+#include <cstring>
+
+#include "src/workloads/app_base.h"
+
+namespace gras::workloads {
+namespace {
+
+constexpr std::uint32_t kPoints = 1024;
+constexpr std::uint32_t kFeatures = 8;
+constexpr std::uint32_t kClusters = 5;
+constexpr std::uint32_t kBlock = 256;
+constexpr std::uint32_t kIters = 2;
+
+constexpr char kAsm[] = R"(
+.kernel kmeans_invert
+.param fin ptr                      // point-major features [n][f]
+.param fout ptr                     // feature-major features [f][n]
+.param n u32
+.param nf u32
+    S2R R0, SR_CTAID.X
+    S2R R1, SR_NTID.X
+    S2R R2, SR_TID.X
+    IMAD R3, R0, R1, R2             // point index
+    ISETP.GE P0, R3, c[n]
+    @P0 EXIT
+    MOV R4, RZ                      // feature j = 0
+    IMUL R5, R3, c[nf]              // row base in fin
+inv_loop:
+    ISETP.GE P1, R4, c[nf]
+    @P1 BRA inv_done
+    IADD R6, R5, R4
+    ISCADD R6, R6, c[fin], 2
+    LDG R7, [R6]
+    IMAD R8, R4, c[n], R3           // j*n + point
+    ISCADD R8, R8, c[fout], 2
+    STG [R8], R7
+    IADD R4, R4, 1
+    BRA inv_loop
+inv_done:
+    EXIT
+
+.kernel kmeans_point
+.param feat ptr                     // feature-major [f][n]
+.param clusters ptr                 // centres [k][f]
+.param membership ptr
+.param n u32
+.param nf u32
+.param nk u32
+    S2R R0, SR_CTAID.X
+    S2R R1, SR_NTID.X
+    S2R R2, SR_TID.X
+    IMAD R3, R0, R1, R2             // point index
+    ISETP.GE P0, R3, c[n]
+    @P0 EXIT
+    MOV R4, RZ                      // best cluster
+    MOV R5, 0x7f7fffff              // best distance = FLT_MAX
+    MOV R6, RZ                      // cluster k
+k_loop:
+    ISETP.GE P1, R6, c[nk]
+    @P1 BRA k_done
+    MOV R7, 0                       // dist accumulator (0.0f)
+    MOV R8, RZ                      // feature j
+    IMUL R9, R6, c[nf]              // centre row base
+f_loop:
+    ISETP.GE P2, R8, c[nf]
+    @P2 BRA f_done
+    IMAD R10, R8, c[n], R3
+    ISCADD R10, R10, c[feat], 2
+    LDG R11, [R10]                  // feature value
+    IADD R12, R9, R8
+    ISCADD R12, R12, c[clusters], 2
+    LDT R13, [R12]                  // centre value (texture path)
+    FSUB R14, R11, R13
+    FFMA R7, R14, R14, R7
+    IADD R8, R8, 1
+    BRA f_loop
+f_done:
+    FSETP.LT P3, R7, R5
+    @P3 MOV R5, R7
+    @P3 MOV R4, R6
+    IADD R6, R6, 1
+    BRA k_loop
+k_done:
+    ISCADD R15, R3, c[membership], 2
+    STG [R15], R4
+    EXIT
+)";
+
+class KmeansApp final : public BenchApp {
+ public:
+  KmeansApp() : BenchApp("kmeans") {
+    add_kernels(kAsm);
+    features_.resize(kPoints * kFeatures);
+    for (std::uint32_t i = 0; i < features_.size(); ++i) {
+      features_[i] = detail::init_float(51, i, 0.0f, 10.0f);
+    }
+    // Initial centres: the first k points (Rodinia's initialization).
+    std::vector<float> centres(kClusters * kFeatures);
+    for (std::uint32_t k = 0; k < kClusters; ++k) {
+      for (std::uint32_t j = 0; j < kFeatures; ++j) {
+        centres[k * kFeatures + j] = features_[k * kFeatures + j];
+      }
+    }
+    add_buffer("features", features_.size() * 4, Role::Input, detail::pack_floats(features_));
+    add_buffer("features_t", features_.size() * 4, Role::Scratch);
+    add_buffer("clusters", centres.size() * 4, Role::Input, detail::pack_floats(centres));
+    add_buffer("membership", kPoints * 4, Role::Output);
+  }
+
+  void execute(ExecCtx& ctx) const override {
+    const sim::Dim3 grid{kPoints / kBlock, 1, 1}, block{kBlock, 1, 1};
+    if (!ctx.launch(kernel("kmeans_invert"), grid, block,
+                    {ctx.addr("features"), ctx.addr("features_t"), kPoints, kFeatures})) {
+      return;
+    }
+    std::vector<std::uint8_t> raw(kPoints * 4);
+    for (std::uint32_t iter = 0; iter < kIters; ++iter) {
+      if (!ctx.launch(kernel("kmeans_point"), grid, block,
+                      {ctx.addr("features_t"), ctx.addr("clusters"),
+                       ctx.addr("membership"), kPoints, kFeatures, kClusters})) {
+        return;
+      }
+      if (iter + 1 == kIters) break;
+      // Host recomputes centres from the original features + membership.
+      ctx.read_bytes("membership", 0, raw);
+      if (ctx.aborted()) return;
+      std::vector<float> sums(kClusters * kFeatures, 0.0f);
+      std::vector<std::uint32_t> counts(kClusters, 0);
+      for (std::uint32_t p = 0; p < kPoints; ++p) {
+        std::uint32_t m;
+        std::memcpy(&m, raw.data() + p * 4, 4);
+        if (m >= kClusters) m = 0;  // defensive: fault-corrupted membership
+        counts[m] += 1;
+        for (std::uint32_t j = 0; j < kFeatures; ++j) {
+          sums[m * kFeatures + j] += features_[p * kFeatures + j];
+        }
+      }
+      for (std::uint32_t k = 0; k < kClusters; ++k) {
+        if (counts[k] == 0) continue;
+        for (std::uint32_t j = 0; j < kFeatures; ++j) {
+          sums[k * kFeatures + j] /= static_cast<float>(counts[k]);
+        }
+      }
+      const auto packed = detail::pack_floats(sums);
+      ctx.write_bytes("clusters", 0, packed);
+    }
+  }
+
+ private:
+  std::vector<float> features_;
+};
+
+}  // namespace
+
+std::unique_ptr<App> make_kmeans() { return std::make_unique<KmeansApp>(); }
+
+}  // namespace gras::workloads

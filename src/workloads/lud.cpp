@@ -1,0 +1,315 @@
+// LUD (Rodinia): blocked LU decomposition, three kernels per block step.
+//   K1 lud_diagonal  — factorises the 16x16 diagonal block in shared memory
+//                      (one CTA of 16 threads).
+//   K2 lud_perimeter — triangular solves for the blocks right of / below the
+//                      diagonal (32-thread CTAs whose two halves take
+//                      different code paths: real warp divergence under an
+//                      explicit SSY/SYNC region).
+//   K3 lud_internal  — rank-16 update of the trailing submatrix (16x16 CTAs,
+//                      two shared-memory tiles).
+#include "src/workloads/app_base.h"
+
+namespace gras::workloads {
+namespace {
+
+constexpr std::uint32_t kDim = 64;
+constexpr std::uint32_t kBs = 16;
+
+constexpr char kAsm[] = R"(
+.kernel lud_diagonal
+.smem 1024
+.param m ptr
+.param width u32
+.param off u32
+    S2R R0, SR_TID.X
+    MOV R1, RZ                       // i
+dload:
+    ISETP.GE P0, R1, 16
+    @P0 BRA dload_done
+    IADD R2, R1, c[off]
+    IMAD R3, R2, c[width], R0
+    IADD R3, R3, c[off]
+    ISCADD R4, R3, c[m], 2
+    LDG R5, [R4]
+    IMAD R6, R1, 16, R0
+    SHL R6, R6, 2
+    STS [R6], R5
+    IADD R1, R1, 1
+    BRA dload
+dload_done:
+    BAR
+    MOV R1, RZ                       // pivot i
+elim:
+    ISETP.GE P0, R1, 15
+    @P0 BRA elim_done
+    ISETP.GT P1, R0, R1              // rows below the pivot
+    IMAD R2, R0, 16, R1
+    SHL R2, R2, 2                    // shadow[tid][i]
+    IMAD R3, R1, 16, R1
+    SHL R3, R3, 2                    // shadow[i][i]
+    @P1 LDS R4, [R2]
+    @P1 LDS R5, [R3]
+    @P1 MUFU.RCP R5, R5
+    @P1 FMUL R4, R4, R5              // multiplier
+    @P1 STS [R2], R4
+    BAR
+    IADD R6, R1, 1                   // j
+jloop:
+    ISETP.GE P2, R6, 16
+    @P2 BRA jloop_done
+    IMAD R7, R0, 16, R6
+    SHL R7, R7, 2                    // shadow[tid][j]
+    IMAD R8, R1, 16, R6
+    SHL R8, R8, 2                    // shadow[i][j]
+    @P1 LDS R9, [R7]
+    @P1 LDS R10, [R8]
+    @P1 FMUL R10, R4, R10
+    @P1 FSUB R9, R9, R10
+    @P1 STS [R7], R9
+    IADD R6, R6, 1
+    BRA jloop
+jloop_done:
+    BAR
+    IADD R1, R1, 1
+    BRA elim
+elim_done:
+    MOV R1, RZ
+dstore:
+    ISETP.GE P0, R1, 16
+    @P0 BRA dstore_done
+    IADD R2, R1, c[off]
+    IMAD R3, R2, c[width], R0
+    IADD R3, R3, c[off]
+    ISCADD R4, R3, c[m], 2
+    IMAD R6, R1, 16, R0
+    SHL R6, R6, 2
+    LDS R5, [R6]
+    STG [R4], R5
+    IADD R1, R1, 1
+    BRA dstore
+dstore_done:
+    EXIT
+
+.kernel lud_perimeter
+.smem 3072                           // dia | row block | col block
+.param m ptr
+.param width u32
+.param off u32
+    S2R R0, SR_TID.X
+    S2R R1, SR_CTAID.X
+    IADD R2, R1, 1
+    SHL R2, R2, 4
+    IADD R2, R2, c[off]              // moving-axis offset of the target block
+    ISETP.LT P0, R0, 16              // lower half: row block, upper: col block
+    AND R3, R0, 15                   // local lane 0..15
+    MOV R4, RZ                       // i
+pload:
+    ISETP.GE P1, R4, 16
+    @P1 BRA pload_done
+    IADD R5, R4, c[off]
+    IMAD R6, R5, c[width], R3
+    IADD R6, R6, c[off]
+    ISCADD R6, R6, c[m], 2
+    @P0 LDG R7, [R6]
+    IMAD R8, R4, 16, R3
+    SHL R8, R8, 2
+    @P0 STS [R8], R7                 // diagonal block
+    IMAD R6, R5, c[width], R3
+    IADD R6, R6, R2
+    ISCADD R6, R6, c[m], 2
+    @P0 LDG R7, [R6]
+    @P0 STS [R8+1024], R7            // row block
+    IADD R5, R4, R2
+    IMAD R6, R5, c[width], R3
+    IADD R6, R6, c[off]
+    ISCADD R6, R6, c[m], 2
+    @!P0 LDG R7, [R6]
+    @!P0 STS [R8+2048], R7           // col block
+    IADD R4, R4, 1
+    BRA pload
+pload_done:
+    BAR
+    SSY pjoin
+    @!P0 BRA pcol
+    // Row half: forward substitution with the diagonal's unit-lower factor.
+    MOV R4, 1                        // i
+prow_i:
+    ISETP.GE P1, R4, 16
+    @P1 BRA prow_done
+    IMAD R9, R4, 16, R3
+    SHL R9, R9, 2
+    LDS R10, [R9+1024]               // row[i][idx]
+    MOV R5, RZ                       // j
+prow_j:
+    ISETP.GE P2, R5, R4
+    @P2 BRA prow_j_done
+    IMAD R11, R4, 16, R5
+    SHL R11, R11, 2
+    LDS R12, [R11]                   // dia[i][j]
+    IMAD R13, R5, 16, R3
+    SHL R13, R13, 2
+    LDS R14, [R13+1024]              // row[j][idx]
+    FMUL R12, R12, R14
+    FSUB R10, R10, R12
+    IADD R5, R5, 1
+    BRA prow_j
+prow_j_done:
+    STS [R9+1024], R10
+    IADD R4, R4, 1
+    BRA prow_i
+prow_done:
+    SYNC
+pcol:
+    // Col half: solve against the upper factor, scaling by the pivots.
+    MOV R4, RZ                       // i
+pcol_i:
+    ISETP.GE P1, R4, 16
+    @P1 BRA pcol_done
+    IMAD R9, R3, 16, R4
+    SHL R9, R9, 2
+    LDS R10, [R9+2048]               // col[idx][i]
+    MOV R5, RZ                       // j
+pcol_j:
+    ISETP.GE P2, R5, R4
+    @P2 BRA pcol_j_done
+    IMAD R11, R3, 16, R5
+    SHL R11, R11, 2
+    LDS R12, [R11+2048]              // col[idx][j]
+    IMAD R13, R5, 16, R4
+    SHL R13, R13, 2
+    LDS R14, [R13]                   // dia[j][i]
+    FMUL R12, R12, R14
+    FSUB R10, R10, R12
+    IADD R5, R5, 1
+    BRA pcol_j
+pcol_j_done:
+    IMAD R11, R4, 16, R4
+    SHL R11, R11, 2
+    LDS R12, [R11]                   // dia[i][i]
+    MUFU.RCP R12, R12
+    FMUL R10, R10, R12
+    STS [R9+2048], R10
+    IADD R4, R4, 1
+    BRA pcol_i
+pcol_done:
+    SYNC
+pjoin:
+    BAR
+    MOV R4, RZ
+pstore:
+    ISETP.GE P1, R4, 16
+    @P1 BRA pstore_done
+    IADD R5, R4, c[off]
+    IMAD R6, R5, c[width], R3
+    IADD R6, R6, R2
+    ISCADD R6, R6, c[m], 2
+    IMAD R8, R4, 16, R3
+    SHL R8, R8, 2
+    @P0 LDS R7, [R8+1024]
+    @P0 STG [R6], R7
+    IADD R5, R4, R2
+    IMAD R6, R5, c[width], R3
+    IADD R6, R6, c[off]
+    ISCADD R6, R6, c[m], 2
+    @!P0 LDS R7, [R8+2048]
+    @!P0 STG [R6], R7
+    IADD R4, R4, 1
+    BRA pstore
+pstore_done:
+    EXIT
+
+.kernel lud_internal
+.smem 2048                           // perimeter row tile | perimeter col tile
+.param m ptr
+.param width u32
+.param off u32
+    S2R R0, SR_TID.X
+    S2R R1, SR_TID.Y
+    S2R R2, SR_CTAID.X
+    S2R R3, SR_CTAID.Y
+    IADD R4, R2, 1
+    SHL R4, R4, 4
+    IADD R4, R4, c[off]              // global column base
+    IADD R5, R3, 1
+    SHL R5, R5, 4
+    IADD R5, R5, c[off]              // global row base
+    IADD R6, R1, c[off]
+    IMAD R7, R6, c[width], R4
+    IADD R7, R7, R0
+    ISCADD R7, R7, c[m], 2
+    LDG R8, [R7]                     // perimeter row element
+    IMAD R9, R1, 16, R0
+    SHL R9, R9, 2
+    STS [R9], R8
+    IADD R6, R5, R1
+    IMAD R7, R6, c[width], R0
+    IADD R7, R7, c[off]
+    ISCADD R7, R7, c[m], 2
+    LDG R8, [R7]                     // perimeter col element
+    STS [R9+1024], R8
+    BAR
+    MOV R10, 0                       // accumulator (0.0f)
+    MOV R11, RZ                      // k
+iloop:
+    ISETP.GE P0, R11, 16
+    @P0 BRA iloop_done
+    IMAD R12, R1, 16, R11
+    SHL R12, R12, 2
+    LDS R13, [R12+1024]              // col[ty][k]
+    IMAD R14, R11, 16, R0
+    SHL R14, R14, 2
+    LDS R15, [R14]                   // row[k][tx]
+    FMUL R13, R13, R15
+    FADD R10, R10, R13
+    IADD R11, R11, 1
+    BRA iloop
+iloop_done:
+    IADD R6, R5, R1
+    IMAD R7, R6, c[width], R4
+    IADD R7, R7, R0
+    ISCADD R7, R7, c[m], 2
+    LDG R8, [R7]
+    FSUB R8, R8, R10
+    STG [R7], R8
+    EXIT
+)";
+
+class LudApp final : public BenchApp {
+ public:
+  LudApp() : BenchApp("lud") {
+    add_kernels(kAsm);
+    std::vector<float> m(kDim * kDim);
+    for (std::uint32_t r = 0; r < kDim; ++r) {
+      for (std::uint32_t c = 0; c < kDim; ++c) {
+        m[r * kDim + c] = detail::init_float(71, r * kDim + c, 0.0f, 1.0f) +
+                          (r == c ? static_cast<float>(kDim) : 0.0f);
+      }
+    }
+    add_buffer("m", m.size() * 4, Role::InOut, detail::pack_floats(m));
+  }
+
+  void execute(ExecCtx& ctx) const override {
+    for (std::uint32_t off = 0; off < kDim; off += kBs) {
+      if (!ctx.launch(kernel("lud_diagonal"), {1, 1, 1}, {kBs, 1, 1},
+                      {ctx.addr("m"), kDim, off})) {
+        return;
+      }
+      const std::uint32_t rem = (kDim - off) / kBs - 1;
+      if (rem == 0) break;
+      if (!ctx.launch(kernel("lud_perimeter"), {rem, 1, 1}, {2 * kBs, 1, 1},
+                      {ctx.addr("m"), kDim, off})) {
+        return;
+      }
+      if (!ctx.launch(kernel("lud_internal"), {rem, rem, 1}, {kBs, kBs, 1},
+                      {ctx.addr("m"), kDim, off})) {
+        return;
+      }
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<App> make_lud() { return std::make_unique<LudApp>(); }
+
+}  // namespace gras::workloads

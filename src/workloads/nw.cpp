@@ -1,0 +1,249 @@
+// NW — Needleman-Wunsch (Rodinia needle): dynamic-programming sequence
+// alignment over 16x16 blocks processed in anti-diagonal waves.
+//   K1 (nw_k1) handles the top-left triangle of block diagonals,
+//   K2 (nw_k2) the bottom-right triangle; they share the wavefront core and
+//   differ only in how the block coordinates derive from the CTA id,
+//   mirroring needle_cuda_shared_1/_2.
+// Integer workload; the reference (substitution score) matrix goes through
+// the texture path.
+#include <string>
+
+#include "src/workloads/app_base.h"
+
+namespace gras::workloads {
+namespace {
+
+constexpr std::uint32_t kSeqLen = 64;           // alignment dimension
+constexpr std::uint32_t kCols = kSeqLen + 1;    // DP matrix is 65x65
+constexpr std::uint32_t kBs = 16;
+constexpr std::uint32_t kBlocksPerDim = kSeqLen / kBs;  // 4
+constexpr std::int32_t kPenalty = 2;
+
+// Shared wavefront core; the per-kernel prefix computes R2 = block index x
+// and R3 = block index y from the CTA id. Shared memory: temp[17][17]
+// (offset 0) and ref[16][16] (offset 1156).
+constexpr char kCore[] = R"(
+    SHL R4, R2, 4                    // base_x
+    SHL R5, R3, 4                    // base_y
+    // Left border column: temp[tid+1][0].
+    IADD R6, R5, R0
+    IADD R6, R6, 1
+    IMAD R6, R6, c[cols], R4
+    ISCADD R6, R6, c[mat], 2
+    LDG R7, [R6]
+    IADD R8, R0, 1
+    IMAD R8, R8, 17, RZ
+    SHL R8, R8, 2
+    STS [R8], R7
+    // Top border row: temp[0][tid+1].
+    IMAD R6, R5, c[cols], R4
+    IADD R6, R6, R0
+    IADD R6, R6, 1
+    ISCADD R6, R6, c[mat], 2
+    LDG R7, [R6]
+    IADD R8, R0, 1
+    SHL R8, R8, 2
+    STS [R8], R7
+    // Corner (thread 0 only).
+    ISETP.NE P0, R0, RZ
+    IMAD R6, R5, c[cols], R4
+    ISCADD R6, R6, c[mat], 2
+    @!P0 LDG R7, [R6]
+    @!P0 STS [0], R7
+    // Reference tile.
+    MOV R9, RZ
+rload:
+    ISETP.GE P1, R9, 16
+    @P1 BRA rload_done
+    IADD R6, R5, R9
+    IADD R6, R6, 1
+    IMAD R6, R6, c[cols], R4
+    IADD R6, R6, R0
+    IADD R6, R6, 1
+    ISCADD R6, R6, c[ref], 2
+    LDT R7, [R6]
+    IMAD R8, R9, 16, R0
+    SHL R8, R8, 2
+    STS [R8+1156], R7
+    IADD R9, R9, 1
+    BRA rload
+rload_done:
+    BAR
+    // Forward wavefront over the block's anti-diagonals.
+    MOV R9, RZ                       // m
+wave1:
+    ISETP.GE P1, R9, 16
+    @P1 BRA wave1_done
+    ISETP.LE P2, R0, R9
+    IADD R10, R0, 1                  // t_x
+    ISUB R11, R9, R0
+    IADD R11, R11, 1                 // t_y
+    IADD R12, R11, -1
+    IMAD R13, R12, 17, R10
+    IADD R13, R13, -1
+    SHL R13, R13, 2
+    @P2 LDS R14, [R13]               // temp[ty-1][tx-1]
+    IADD R15, R10, -1
+    IMAD R16, R12, 16, R15
+    SHL R16, R16, 2
+    @P2 LDS R17, [R16+1156]          // ref[ty-1][tx-1]
+    @P2 IADD R14, R14, R17
+    IMAD R18, R11, 17, R15
+    SHL R18, R18, 2
+    @P2 LDS R19, [R18]               // temp[ty][tx-1]
+    @P2 ISUB R19, R19, c[penalty]
+    IMAD R20, R12, 17, R10
+    SHL R20, R20, 2
+    @P2 LDS R21, [R20]               // temp[ty-1][tx]
+    @P2 ISUB R21, R21, c[penalty]
+    @P2 IMAX R14, R14, R19
+    @P2 IMAX R14, R14, R21
+    IMAD R22, R11, 17, R10
+    SHL R22, R22, 2
+    @P2 STS [R22], R14
+    BAR
+    IADD R9, R9, 1
+    BRA wave1
+wave1_done:
+    // Backward wavefront.
+    MOV R9, 14
+wave2:
+    ISETP.LT P1, R9, RZ
+    @P1 BRA wave2_done
+    ISETP.LE P2, R0, R9
+    ISUB R10, R0, R9
+    IADD R10, R10, 16                // t_x = tid + 16 - m
+    MOV R11, 16
+    ISUB R11, R11, R0                // t_y = 16 - tid
+    IADD R12, R11, -1
+    IMAD R13, R12, 17, R10
+    IADD R13, R13, -1
+    SHL R13, R13, 2
+    @P2 LDS R14, [R13]
+    IADD R15, R10, -1
+    IMAD R16, R12, 16, R15
+    SHL R16, R16, 2
+    @P2 LDS R17, [R16+1156]
+    @P2 IADD R14, R14, R17
+    IMAD R18, R11, 17, R15
+    SHL R18, R18, 2
+    @P2 LDS R19, [R18]
+    @P2 ISUB R19, R19, c[penalty]
+    IMAD R20, R12, 17, R10
+    SHL R20, R20, 2
+    @P2 LDS R21, [R20]
+    @P2 ISUB R21, R21, c[penalty]
+    @P2 IMAX R14, R14, R19
+    @P2 IMAX R14, R14, R21
+    IMAD R22, R11, 17, R10
+    SHL R22, R22, 2
+    @P2 STS [R22], R14
+    BAR
+    IADD R9, R9, -1
+    BRA wave2
+wave2_done:
+    // Write the block back.
+    MOV R9, RZ
+wstore:
+    ISETP.GE P1, R9, 16
+    @P1 BRA wstore_done
+    IADD R6, R5, R9
+    IADD R6, R6, 1
+    IMAD R6, R6, c[cols], R4
+    IADD R6, R6, R0
+    IADD R6, R6, 1
+    ISCADD R6, R6, c[mat], 2
+    IADD R8, R9, 1
+    IMAD R8, R8, 17, R0
+    IADD R8, R8, 1
+    SHL R8, R8, 2
+    LDS R7, [R8]
+    STG [R6], R7
+    IADD R9, R9, 1
+    BRA wstore
+wstore_done:
+    EXIT
+)";
+
+std::string kernel_source() {
+  std::string src;
+  src += R"(
+.kernel nw_k1
+.smem 2180
+.param ref ptr
+.param mat ptr
+.param cols u32
+.param penalty u32
+.param i u32
+.param bw u32
+    S2R R0, SR_TID.X
+    S2R R1, SR_CTAID.X
+    MOV R2, R1                       // block index x = bx
+    MOV R3, c[i]
+    IADD R3, R3, -1
+    ISUB R3, R3, R1                  // block index y = i - 1 - bx
+)";
+  src += kCore;
+  src += R"(
+.kernel nw_k2
+.smem 2180
+.param ref ptr
+.param mat ptr
+.param cols u32
+.param penalty u32
+.param i u32
+.param bw u32
+    S2R R0, SR_TID.X
+    S2R R1, SR_CTAID.X
+    MOV R2, c[bw]
+    ISUB R2, R2, c[i]
+    IADD R2, R2, R1                  // block index x = bx + bw - i
+    MOV R3, c[bw]
+    IADD R3, R3, -1
+    ISUB R3, R3, R1                  // block index y = bw - 1 - bx
+)";
+  src += kCore;
+  return src;
+}
+
+class NwApp final : public BenchApp {
+ public:
+  NwApp() : BenchApp("nw") {
+    add_kernels(kernel_source());
+    const std::uint32_t cells = kCols * kCols;
+    std::vector<std::uint32_t> ref(cells, 0), mat(cells, 0);
+    for (std::uint32_t i = 0; i < cells; ++i) {
+      ref[i] = detail::init_u32(81, i, 10);  // substitution scores 0..9
+    }
+    for (std::uint32_t i = 1; i < kCols; ++i) {
+      mat[i * kCols] = static_cast<std::uint32_t>(-static_cast<std::int32_t>(i) * kPenalty);
+      mat[i] = static_cast<std::uint32_t>(-static_cast<std::int32_t>(i) * kPenalty);
+    }
+    add_buffer("ref", cells * 4, Role::Input, detail::pack_u32(ref));
+    add_buffer("mat", cells * 4, Role::InOut, detail::pack_u32(mat));
+  }
+
+  void execute(ExecCtx& ctx) const override {
+    const std::uint32_t penalty = static_cast<std::uint32_t>(kPenalty);
+    for (std::uint32_t i = 1; i <= kBlocksPerDim; ++i) {
+      if (!ctx.launch(kernel("nw_k1"), {i, 1, 1}, {kBs, 1, 1},
+                      {ctx.addr("ref"), ctx.addr("mat"), kCols, penalty, i,
+                       kBlocksPerDim})) {
+        return;
+      }
+    }
+    for (std::uint32_t i = kBlocksPerDim - 1; i >= 1; --i) {
+      if (!ctx.launch(kernel("nw_k2"), {i, 1, 1}, {kBs, 1, 1},
+                      {ctx.addr("ref"), ctx.addr("mat"), kCols, penalty, i,
+                       kBlocksPerDim})) {
+        return;
+      }
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<App> make_nw() { return std::make_unique<NwApp>(); }
+
+}  // namespace gras::workloads

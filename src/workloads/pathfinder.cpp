@@ -1,0 +1,150 @@
+// PathFinder (Rodinia): dynamic-programming shortest path down a grid,
+// processed in pyramid steps. One kernel (dynproc_kernel): each CTA owns a
+// column stripe plus a halo, iterates `pyramid_height` rows in shared
+// memory, and writes back only the stripe interior that remained valid.
+// Integer workload with heavily predicated bounds logic.
+#include "src/workloads/app_base.h"
+
+namespace gras::workloads {
+namespace {
+
+constexpr std::uint32_t kCols = 512;
+constexpr std::uint32_t kRows = 8;
+constexpr std::uint32_t kBlock = 256;
+constexpr std::uint32_t kPyramid = 2;
+constexpr std::uint32_t kBorder = kPyramid;                  // halo per side
+constexpr std::uint32_t kSmallBlock = kBlock - 2 * kBorder;  // 252
+
+constexpr char kAsm[] = R"(
+.kernel pathfinder_k1
+.smem 1024                           // prev[256] costs
+.param wall ptr
+.param src ptr
+.param dst ptr
+.param cols u32
+.param iteration u32
+.param start u32
+.param border u32
+.param sbc u32
+    S2R R0, SR_TID.X
+    S2R R1, SR_CTAID.X
+    IMUL R3, R1, c[sbc]
+    ISUB R3, R3, c[border]           // blkX (signed)
+    IADD R4, R3, R0                  // xidx
+    // validXmin = max(-blkX, 0); validXmax = min(255, cols-blkX-1)
+    MOV R5, RZ
+    ISUB R5, R5, R3
+    IMAX R5, R5, RZ
+    MOV R6, c[cols]
+    ISUB R6, R6, R3
+    IADD R6, R6, -1
+    IMIN R6, R6, 255
+    // valid = (xidx >= 0) && (xidx < cols), composed through SEL
+    ISETP.GE P0, R4, RZ
+    SEL R9, 1, RZ, P0
+    ISETP.LT P1, R4, c[cols]
+    SEL R10, R9, RZ, P1              // R10 = valid flag
+    ISETP.NE P2, R10, RZ
+    SHL R7, R0, 2                    // my shared slot
+    IMAX R11, R4, RZ
+    MOV R12, c[cols]
+    IADD R12, R12, -1
+    IMIN R11, R11, R12               // clamped xidx
+    ISCADD R13, R11, c[src], 2
+    @P2 LDG R14, [R13]
+    @P2 STS [R7], R14
+    BAR
+    MOV R15, RZ                      // i
+ploop:
+    ISETP.GE P3, R15, c[iteration]
+    @P3 BRA ploop_done
+    // computed = valid && (i+1 <= tid <= 254-i)
+    IADD R16, R15, 1
+    ISETP.GE P4, R0, R16
+    SEL R17, R10, RZ, P4
+    MOV R18, 254
+    ISUB R18, R18, R15
+    ISETP.LE P5, R0, R18
+    SEL R17, R17, RZ, P5
+    ISETP.NE P6, R17, RZ
+    IADD R19, R0, -1
+    IMAX R19, R19, R5
+    SHL R19, R19, 2
+    @P6 LDS R20, [R19]               // left
+    @P6 LDS R21, [R7]                // up
+    IADD R22, R0, 1
+    IMIN R22, R22, R6
+    SHL R22, R22, 2
+    @P6 LDS R23, [R22]               // right
+    @P6 IMIN R20, R20, R21
+    @P6 IMIN R20, R20, R23           // shortest
+    IADD R24, R15, c[start]
+    IADD R24, R24, 1                 // wall row
+    IMAD R24, R24, c[cols], R4
+    ISCADD R24, R24, c[wall], 2
+    @P6 LDG R25, [R24]
+    @P6 IADD R25, R25, R20
+    BAR
+    @P6 STS [R7], R25
+    BAR
+    IADD R15, R15, 1
+    BRA ploop
+ploop_done:
+    // Write out lanes that were computed in the final iteration.
+    ISETP.GE P4, R0, c[iteration]
+    SEL R17, R10, RZ, P4
+    MOV R18, 255
+    ISUB R18, R18, c[iteration]
+    ISETP.LE P5, R0, R18
+    SEL R17, R17, RZ, P5
+    ISETP.NE P6, R17, RZ
+    @P6 LDS R26, [R7]
+    ISCADD R27, R4, c[dst], 2
+    @P6 STG [R27], R26
+    EXIT
+)";
+
+class PathfinderApp final : public BenchApp {
+ public:
+  PathfinderApp() : BenchApp("pathfinder") {
+    add_kernels(kAsm);
+    std::vector<std::uint32_t> wall(kRows * kCols);
+    for (std::uint32_t i = 0; i < wall.size(); ++i) {
+      wall[i] = detail::init_u32(91, i, 10);
+    }
+    std::vector<std::uint32_t> row0(wall.begin(), wall.begin() + kCols);
+    add_buffer("wall", wall.size() * 4, Role::Input, detail::pack_u32(wall));
+    add_buffer("res0", kCols * 4, Role::InOut, detail::pack_u32(row0));
+    add_buffer("res1", kCols * 4, Role::Scratch);
+  }
+
+  void execute(ExecCtx& ctx) const override {
+    const std::uint32_t grid =
+        static_cast<std::uint32_t>((kCols + kSmallBlock - 1) / kSmallBlock);
+    const char* src = "res0";
+    const char* dst = "res1";
+    std::uint32_t t = 0;
+    while (t < kRows - 1) {
+      const std::uint32_t iteration = std::min(kPyramid, kRows - 1 - t);
+      if (!ctx.launch(kernel("pathfinder_k1"), {grid, 1, 1}, {kBlock, 1, 1},
+                      {ctx.addr("wall"), ctx.addr(src), ctx.addr(dst), kCols, iteration,
+                       t, kBorder, kSmallBlock})) {
+        return;
+      }
+      t += iteration;
+      std::swap(src, dst);
+    }
+    // The final result must land in res0 (the output buffer).
+    if (std::string_view(src) != "res0") {
+      std::vector<std::uint8_t> bytes(kCols * 4);
+      ctx.read_bytes(src, 0, bytes);
+      ctx.write_bytes("res0", 0, bytes);
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<App> make_pathfinder() { return std::make_unique<PathfinderApp>(); }
+
+}  // namespace gras::workloads

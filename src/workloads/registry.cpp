@@ -1,0 +1,43 @@
+// Benchmark registry: the paper's 11 applications (23 kernels), presented in
+// the order of Figure 1.
+#include <stdexcept>
+
+#include "src/workloads/app_base.h"
+
+namespace gras::workloads {
+namespace {
+
+struct Entry {
+  const char* name;
+  std::unique_ptr<App> (*factory)();
+};
+
+constexpr Entry kEntries[] = {
+    {"srad_v1", make_srad_v1},  {"srad_v2", make_srad_v2}, {"kmeans", make_kmeans},
+    {"hotspot", make_hotspot},  {"lud", make_lud},         {"scp", make_scp},
+    {"va", make_va},            {"nw", make_nw},           {"pathfinder", make_pathfinder},
+    {"backprop", make_backprop},{"bfs", make_bfs},
+};
+
+}  // namespace
+
+std::vector<std::string> benchmark_names() {
+  std::vector<std::string> names;
+  for (const Entry& e : kEntries) names.emplace_back(e.name);
+  return names;
+}
+
+std::unique_ptr<App> make_benchmark(std::string_view name) {
+  for (const Entry& e : kEntries) {
+    if (name == e.name) return e.factory();
+  }
+  throw std::out_of_range("unknown benchmark '" + std::string(name) + "'");
+}
+
+std::vector<std::unique_ptr<App>> make_all_benchmarks() {
+  std::vector<std::unique_ptr<App>> apps;
+  for (const Entry& e : kEntries) apps.push_back(e.factory());
+  return apps;
+}
+
+}  // namespace gras::workloads

@@ -1,0 +1,93 @@
+// SCP — scalarProd (CUDA SDK): dot products of vector pairs.
+//
+// One CTA per pair; each thread accumulates a strided partial product, then
+// a shared-memory tree reduction produces the pair's dot product. Inputs go
+// through the read-only (texture) path, exercising the L1T structure. High
+// arithmetic register pressure plus live shared memory make SCP a high-AVF
+// workload, the other side of the paper's SCP-vs-VA trend flip.
+#include "src/workloads/app_base.h"
+
+namespace gras::workloads {
+namespace {
+
+constexpr std::uint32_t kPairs = 16;
+constexpr std::uint32_t kElems = 512;   // per pair; multiple of the block size
+constexpr std::uint32_t kBlock = 128;
+
+constexpr char kAsm[] = R"(
+.kernel scp_k1
+.smem 512                        // one float per thread
+.param a ptr
+.param b ptr
+.param out ptr
+.param elems u32
+    S2R R0, SR_CTAID.X           // pair index
+    S2R R1, SR_TID.X
+    S2R R2, SR_NTID.X
+    IMUL R3, R0, c[elems]        // first element of this pair
+    MOV R4, 0                    // accumulator (0.0f)
+    MOV R5, R1                   // i = tid
+loop:
+    ISETP.GE P0, R5, c[elems]
+    @P0 BRA loop_end
+    IADD R6, R3, R5
+    ISCADD R7, R6, c[a], 2
+    LDT R8, [R7]
+    ISCADD R9, R6, c[b], 2
+    LDT R10, [R9]
+    FFMA R4, R8, R10, R4
+    IADD R5, R5, R2
+    BRA loop
+loop_end:
+    SHL R11, R1, 2               // smem slot = tid*4
+    STS [R11], R4
+    BAR
+    SHR R12, R2, 1               // stride = ntid/2
+red:
+    ISETP.EQ P1, R12, RZ
+    @P1 BRA red_end
+    ISETP.LT P0, R1, R12
+    IADD R13, R1, R12
+    SHL R13, R13, 2
+    @P0 LDS R14, [R13]
+    @P0 LDS R15, [R11]
+    @P0 FADD R14, R14, R15
+    @P0 STS [R11], R14
+    BAR
+    SHR R12, R12, 1
+    BRA red
+red_end:
+    ISETP.NE P2, R1, RZ
+    @P2 EXIT
+    LDS R16, [0]
+    ISCADD R17, R0, c[out], 2
+    STG [R17], R16
+    EXIT
+)";
+
+class ScpApp final : public BenchApp {
+ public:
+  ScpApp() : BenchApp("scp") {
+    add_kernels(kAsm);
+    const std::uint32_t n = kPairs * kElems;
+    std::vector<float> a(n), b(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      a[i] = detail::init_float(21, i, -8.0f, 8.0f);
+      b[i] = detail::init_float(22, i, -8.0f, 8.0f);
+    }
+    add_buffer("a", n * 4, Role::Input, detail::pack_floats(a));
+    add_buffer("b", n * 4, Role::Input, detail::pack_floats(b));
+    add_buffer("out", kPairs * 4, Role::Output);
+  }
+
+  void execute(ExecCtx& ctx) const override {
+    ctx.launch(kernel("scp_k1"), {kPairs, 1, 1}, {kBlock, 1, 1},
+               {ctx.addr("a"), ctx.addr("b"), ctx.addr("out"), kElems});
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<App> make_scp() { return std::make_unique<ScpApp>(); }
+
+}  // namespace gras::workloads

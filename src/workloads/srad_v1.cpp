@@ -1,0 +1,349 @@
+// SRADv1 (Rodinia srad_v1): speckle-reducing anisotropic diffusion, the
+// 6-kernel variant. Kernel roles match Rodinia's srad_v1/main.cu:
+//   K1 extract   — I = exp(I/255)
+//   K2 prepare   — stage I and I^2 for the reduction
+//   K3 reduce    — block-tree reduction of both arrays (launched twice per
+//                  iteration: 16 partials, then 1 value)
+//   K4 srad      — directional derivatives + diffusion coefficient
+//   K5 srad2     — image update from the coefficients
+//   K6 compress  — I = log(I)*255
+// The host consumes the reduction result between launches (mean/variance ->
+// q0sqr), exactly like Rodinia.
+#include "src/workloads/app_base.h"
+
+namespace gras::workloads {
+namespace {
+
+constexpr std::uint32_t kDim = 64;
+constexpr std::uint32_t kN = kDim * kDim;
+constexpr std::uint32_t kBlock = 256;
+constexpr std::uint32_t kRedBlocks = kN / kBlock;  // 16
+constexpr std::uint32_t kIters = 2;
+constexpr float kLambda = 0.5f;
+
+constexpr char kAsm[] = R"(
+.kernel srad1_extract
+.param img ptr
+.param n u32
+    S2R R0, SR_CTAID.X
+    S2R R1, SR_NTID.X
+    S2R R2, SR_TID.X
+    IMAD R3, R0, R1, R2
+    ISETP.GE P0, R3, c[n]
+    @P0 EXIT
+    ISCADD R4, R3, c[img], 2
+    LDG R5, [R4]
+    FMUL R5, R5, 0.00392156863f      // /255
+    MUFU.EXP R5, R5
+    STG [R4], R5
+    EXIT
+
+.kernel srad1_prepare
+.param img ptr
+.param sums ptr
+.param sums2 ptr
+.param n u32
+    S2R R0, SR_CTAID.X
+    S2R R1, SR_NTID.X
+    S2R R2, SR_TID.X
+    IMAD R3, R0, R1, R2
+    ISETP.GE P0, R3, c[n]
+    @P0 EXIT
+    ISCADD R4, R3, c[img], 2
+    LDG R5, [R4]
+    ISCADD R6, R3, c[sums], 2
+    STG [R6], R5
+    FMUL R7, R5, R5
+    ISCADD R8, R3, c[sums2], 2
+    STG [R8], R7
+    EXIT
+
+.kernel srad1_reduce
+.smem 2048                           // two 256-float regions
+.param in1 ptr
+.param in2 ptr
+.param out1 ptr
+.param out2 ptr
+.param n u32
+    S2R R0, SR_CTAID.X
+    S2R R1, SR_TID.X
+    S2R R2, SR_NTID.X
+    IMAD R3, R0, R2, R1
+    MOV R4, 0                        // 0.0f defaults for out-of-range lanes
+    MOV R5, 0
+    ISETP.GE P0, R3, c[n]
+    ISCADD R6, R3, c[in1], 2
+    @!P0 LDG R4, [R6]
+    ISCADD R6, R3, c[in2], 2
+    @!P0 LDG R5, [R6]
+    SHL R7, R1, 2                    // smem slot for array 1
+    STS [R7], R4
+    STS [R7+1024], R5
+    BAR
+    SHR R8, R2, 1                    // stride = ntid/2
+red:
+    ISETP.EQ P1, R8, RZ
+    @P1 BRA red_end
+    ISETP.LT P0, R1, R8
+    IADD R9, R1, R8
+    SHL R9, R9, 2
+    @P0 LDS R10, [R9]
+    @P0 LDS R11, [R7]
+    @P0 FADD R10, R10, R11
+    @P0 STS [R7], R10
+    @P0 LDS R10, [R9+1024]
+    @P0 LDS R11, [R7+1024]
+    @P0 FADD R10, R10, R11
+    @P0 STS [R7+1024], R10
+    BAR
+    SHR R8, R8, 1
+    BRA red
+red_end:
+    ISETP.NE P2, R1, RZ
+    @P2 EXIT
+    LDS R12, [0]
+    ISCADD R13, R0, c[out1], 2
+    STG [R13], R12
+    LDS R12, [1024]
+    ISCADD R13, R0, c[out2], 2
+    STG [R13], R12
+    EXIT
+
+.kernel srad1_srad
+.param img ptr
+.param dn ptr
+.param ds ptr
+.param dw ptr
+.param de ptr
+.param cc ptr
+.param width u32
+.param wm1 u32
+.param hm1 u32
+.param q0 f32
+    S2R R0, SR_TID.X
+    S2R R1, SR_TID.Y
+    S2R R2, SR_CTAID.X
+    S2R R3, SR_CTAID.Y
+    IMAD R4, R2, 16, R0              // column
+    IMAD R5, R3, 16, R1              // row
+    IMAD R6, R5, c[width], R4        // index
+    ISCADD R7, R6, c[img], 2
+    LDG R8, [R7]                     // Ic
+    // Clamped neighbour indices.
+    IADD R9, R5, -1
+    IMAX R9, R9, RZ
+    IMAD R9, R9, c[width], R4
+    ISCADD R9, R9, c[img], 2
+    LDG R10, [R9]                    // north
+    IADD R9, R5, 1
+    IMIN R9, R9, c[hm1]
+    IMAD R9, R9, c[width], R4
+    ISCADD R9, R9, c[img], 2
+    LDG R11, [R9]                    // south
+    IADD R9, R4, -1
+    IMAX R9, R9, RZ
+    IMAD R9, R5, c[width], R9
+    ISCADD R9, R9, c[img], 2
+    LDG R12, [R9]                    // west
+    IADD R9, R4, 1
+    IMIN R9, R9, c[wm1]
+    IMAD R9, R5, c[width], R9
+    ISCADD R9, R9, c[img], 2
+    LDG R13, [R9]                    // east
+    FSUB R10, R10, R8                // dN
+    FSUB R11, R11, R8                // dS
+    FSUB R12, R12, R8                // dW
+    FSUB R13, R13, R8                // dE
+    // G2 = (dN^2+dS^2+dW^2+dE^2) / Ic^2
+    FMUL R14, R10, R10
+    FFMA R14, R11, R11, R14
+    FFMA R14, R12, R12, R14
+    FFMA R14, R13, R13, R14
+    FMUL R15, R8, R8
+    MUFU.RCP R15, R15
+    FMUL R14, R14, R15               // G2
+    // L = (dN+dS+dW+dE) / Ic
+    FADD R16, R10, R11
+    FADD R16, R16, R12
+    FADD R16, R16, R13
+    MUFU.RCP R17, R8
+    FMUL R16, R16, R17               // L
+    // num = 0.5*G2 - (1/16)*L^2 ; den = 1 + 0.25*L ; qsqr = num/den^2
+    FMUL R18, R14, 0.5f
+    FMUL R19, R16, R16
+    FMUL R19, R19, 0.0625f
+    FSUB R18, R18, R19               // num
+    FMUL R19, R16, 0.25f
+    FADD R19, R19, 1.0f              // den
+    FMUL R19, R19, R19
+    MUFU.RCP R19, R19
+    FMUL R18, R18, R19               // qsqr
+    // den2 = (qsqr - q0) / (q0*(1+q0)) ; c = 1/(1+den2), clamped to [0,1]
+    FSUB R20, R18, c[q0]
+    MOV R21, c[q0]
+    FADD R22, R21, 1.0f
+    FMUL R22, R21, R22
+    MUFU.RCP R22, R22
+    FMUL R20, R20, R22
+    FADD R20, R20, 1.0f
+    MUFU.RCP R20, R20
+    FMAX R20, R20, 0.0f
+    FMIN R20, R20, 1.0f
+    // Store coefficient and the four derivatives.
+    ISCADD R23, R6, c[cc], 2
+    STG [R23], R20
+    ISCADD R23, R6, c[dn], 2
+    STG [R23], R10
+    ISCADD R23, R6, c[ds], 2
+    STG [R23], R11
+    ISCADD R23, R6, c[dw], 2
+    STG [R23], R12
+    ISCADD R23, R6, c[de], 2
+    STG [R23], R13
+    EXIT
+
+.kernel srad1_srad2
+.param img ptr
+.param dn ptr
+.param ds ptr
+.param dw ptr
+.param de ptr
+.param cc ptr
+.param width u32
+.param wm1 u32
+.param hm1 u32
+.param lam f32
+    S2R R0, SR_TID.X
+    S2R R1, SR_TID.Y
+    S2R R2, SR_CTAID.X
+    S2R R3, SR_CTAID.Y
+    IMAD R4, R2, 16, R0
+    IMAD R5, R3, 16, R1
+    IMAD R6, R5, c[width], R4
+    // cN = cC = c[idx]; cS = c[south]; cE = c[east]  (Rodinia's scheme)
+    ISCADD R7, R6, c[cc], 2
+    LDG R8, [R7]                     // cN / cW
+    IADD R9, R5, 1
+    IMIN R9, R9, c[hm1]
+    IMAD R9, R9, c[width], R4
+    ISCADD R9, R9, c[cc], 2
+    LDG R10, [R9]                    // cS
+    IADD R9, R4, 1
+    IMIN R9, R9, c[wm1]
+    IMAD R9, R5, c[width], R9
+    ISCADD R9, R9, c[cc], 2
+    LDG R11, [R9]                    // cE
+    ISCADD R9, R6, c[dn], 2
+    LDG R12, [R9]
+    ISCADD R9, R6, c[ds], 2
+    LDG R13, [R9]
+    ISCADD R9, R6, c[dw], 2
+    LDG R14, [R9]
+    ISCADD R9, R6, c[de], 2
+    LDG R15, [R9]
+    // D = cN*dN + cS*dS + cW*dW + cE*dE
+    FMUL R16, R8, R12
+    FFMA R16, R10, R13, R16
+    FFMA R16, R8, R14, R16
+    FFMA R16, R11, R15, R16
+    // I += 0.25 * lambda * D
+    FMUL R16, R16, 0.25f
+    FMUL R16, R16, c[lam]
+    ISCADD R17, R6, c[img], 2
+    LDG R18, [R17]
+    FADD R18, R18, R16
+    STG [R17], R18
+    EXIT
+
+.kernel srad1_compress
+.param img ptr
+.param n u32
+    S2R R0, SR_CTAID.X
+    S2R R1, SR_NTID.X
+    S2R R2, SR_TID.X
+    IMAD R3, R0, R1, R2
+    ISETP.GE P0, R3, c[n]
+    @P0 EXIT
+    ISCADD R4, R3, c[img], 2
+    LDG R5, [R4]
+    MUFU.LOG R5, R5
+    FMUL R5, R5, 255.0f
+    STG [R4], R5
+    EXIT
+)";
+
+class SradV1App final : public BenchApp {
+ public:
+  SradV1App() : BenchApp("srad_v1") {
+    add_kernels(kAsm);
+    std::vector<float> img(kN);
+    for (std::uint32_t i = 0; i < kN; ++i) {
+      img[i] = detail::init_float(41, i, 0.0f, 255.0f);
+    }
+    add_buffer("img", kN * 4, Role::InOut, detail::pack_floats(img));
+    add_buffer("dn", kN * 4, Role::Scratch);
+    add_buffer("ds", kN * 4, Role::Scratch);
+    add_buffer("dw", kN * 4, Role::Scratch);
+    add_buffer("de", kN * 4, Role::Scratch);
+    add_buffer("cc", kN * 4, Role::Scratch);
+    add_buffer("sums", kN * 4, Role::Scratch);
+    add_buffer("sums2", kN * 4, Role::Scratch);
+    add_buffer("psum", kRedBlocks * 4, Role::Scratch);
+    add_buffer("psum2", kRedBlocks * 4, Role::Scratch);
+  }
+
+  void execute(ExecCtx& ctx) const override {
+    auto f = [](float v) {
+      std::uint32_t bits;
+      __builtin_memcpy(&bits, &v, 4);
+      return bits;
+    };
+    const sim::Dim3 grid1{kN / kBlock, 1, 1}, block1{kBlock, 1, 1};
+    const sim::Dim3 grid2{kDim / 16, kDim / 16, 1}, block2{16, 16, 1};
+
+    if (!ctx.launch(kernel("srad1_extract"), grid1, block1, {ctx.addr("img"), kN})) return;
+
+    for (std::uint32_t iter = 0; iter < kIters; ++iter) {
+      if (!ctx.launch(kernel("srad1_prepare"), grid1, block1,
+                      {ctx.addr("img"), ctx.addr("sums"), ctx.addr("sums2"), kN})) {
+        return;
+      }
+      // Two-level tree reduction: 4096 -> 16 -> 1.
+      if (!ctx.launch(kernel("srad1_reduce"), {kRedBlocks, 1, 1}, block1,
+                      {ctx.addr("sums"), ctx.addr("sums2"), ctx.addr("psum"),
+                       ctx.addr("psum2"), kN})) {
+        return;
+      }
+      if (!ctx.launch(kernel("srad1_reduce"), {1, 1, 1}, {kRedBlocks, 1, 1},
+                      {ctx.addr("psum"), ctx.addr("psum2"), ctx.addr("psum"),
+                       ctx.addr("psum2"), kRedBlocks})) {
+        return;
+      }
+      const float total = ctx.read_f32("psum", 0);
+      const float total2 = ctx.read_f32("psum2", 0);
+      const float mean = total / static_cast<float>(kN);
+      const float var = total2 / static_cast<float>(kN) - mean * mean;
+      const float q0sqr = var / (mean * mean);
+
+      if (!ctx.launch(kernel("srad1_srad"), grid2, block2,
+                      {ctx.addr("img"), ctx.addr("dn"), ctx.addr("ds"), ctx.addr("dw"),
+                       ctx.addr("de"), ctx.addr("cc"), kDim, kDim - 1, kDim - 1,
+                       f(q0sqr)})) {
+        return;
+      }
+      if (!ctx.launch(kernel("srad1_srad2"), grid2, block2,
+                      {ctx.addr("img"), ctx.addr("dn"), ctx.addr("ds"), ctx.addr("dw"),
+                       ctx.addr("de"), ctx.addr("cc"), kDim, kDim - 1, kDim - 1,
+                       f(kLambda)})) {
+        return;
+      }
+    }
+    ctx.launch(kernel("srad1_compress"), grid1, block1, {ctx.addr("img"), kN});
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<App> make_srad_v1() { return std::make_unique<SradV1App>(); }
+
+}  // namespace gras::workloads

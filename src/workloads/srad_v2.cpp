@@ -1,0 +1,245 @@
+// SRADv2 (Rodinia srad_v2): the 2-kernel SRAD variant. The image statistics
+// (mean/variance -> q0sqr) are computed on the host each iteration, as in
+// Rodinia's srad_v2/srad.cu; srad_cuda_1 computes the directional
+// derivatives and the diffusion coefficient with a shared-memory tile,
+// srad_cuda_2 applies the update, also tiled.
+#include <cmath>
+#include <cstring>
+
+#include "src/workloads/app_base.h"
+
+namespace gras::workloads {
+namespace {
+
+constexpr std::uint32_t kDim = 64;
+constexpr std::uint32_t kN = kDim * kDim;
+constexpr std::uint32_t kTile = 16;
+constexpr std::uint32_t kIters = 2;
+constexpr float kLambda = 0.5f;
+
+constexpr char kAsm[] = R"(
+.kernel srad2_k1
+.smem 1024                          // 16x16 image tile
+.param img ptr
+.param dn ptr
+.param ds ptr
+.param dw ptr
+.param de ptr
+.param cc ptr
+.param width u32
+.param wm1 u32
+.param hm1 u32
+.param q0 f32
+    S2R R0, SR_TID.X
+    S2R R1, SR_TID.Y
+    S2R R2, SR_CTAID.X
+    S2R R3, SR_CTAID.Y
+    IMAD R4, R2, 16, R0
+    IMAD R5, R3, 16, R1
+    IMAD R6, R5, c[width], R4
+    ISCADD R7, R6, c[img], 2
+    LDG R8, [R7]                    // Ic
+    IMAD R9, R1, 16, R0
+    SHL R9, R9, 2                   // tile byte slot
+    STS [R9], R8
+    BAR
+    // North: shared when inside the tile, global (clamped) otherwise.
+    ISETP.GT P0, R1, RZ
+    @P0 LDS R10, [R9-64]
+    IADD R11, R5, -1
+    IMAX R11, R11, RZ
+    IMAD R12, R11, c[width], R4
+    ISCADD R12, R12, c[img], 2
+    @!P0 LDG R10, [R12]
+    // South.
+    ISETP.LT P1, R1, 15
+    @P1 LDS R13, [R9+64]
+    IADD R11, R5, 1
+    IMIN R11, R11, c[hm1]
+    IMAD R12, R11, c[width], R4
+    ISCADD R12, R12, c[img], 2
+    @!P1 LDG R13, [R12]
+    // West.
+    ISETP.GT P2, R0, RZ
+    @P2 LDS R14, [R9-4]
+    IADD R11, R4, -1
+    IMAX R11, R11, RZ
+    IMAD R12, R5, c[width], R11
+    ISCADD R12, R12, c[img], 2
+    @!P2 LDG R14, [R12]
+    // East.
+    ISETP.LT P3, R0, 15
+    @P3 LDS R15, [R9+4]
+    IADD R11, R4, 1
+    IMIN R11, R11, c[wm1]
+    IMAD R12, R5, c[width], R11
+    ISCADD R12, R12, c[img], 2
+    @!P3 LDG R15, [R12]
+    FSUB R10, R10, R8               // dN
+    FSUB R13, R13, R8               // dS
+    FSUB R14, R14, R8               // dW
+    FSUB R15, R15, R8               // dE
+    FMUL R16, R10, R10
+    FFMA R16, R13, R13, R16
+    FFMA R16, R14, R14, R16
+    FFMA R16, R15, R15, R16
+    FMUL R17, R8, R8
+    MUFU.RCP R17, R17
+    FMUL R16, R16, R17              // G2
+    FADD R18, R10, R13
+    FADD R18, R18, R14
+    FADD R18, R18, R15
+    MUFU.RCP R19, R8
+    FMUL R18, R18, R19              // L
+    FMUL R20, R16, 0.5f
+    FMUL R21, R18, R18
+    FMUL R21, R21, 0.0625f
+    FSUB R20, R20, R21              // num
+    FMUL R21, R18, 0.25f
+    FADD R21, R21, 1.0f
+    FMUL R21, R21, R21
+    MUFU.RCP R21, R21
+    FMUL R20, R20, R21              // qsqr
+    FSUB R22, R20, c[q0]
+    MOV R23, c[q0]
+    FADD R24, R23, 1.0f
+    FMUL R24, R23, R24
+    MUFU.RCP R24, R24
+    FMUL R22, R22, R24
+    FADD R22, R22, 1.0f
+    MUFU.RCP R22, R22
+    FMAX R22, R22, 0.0f
+    FMIN R22, R22, 1.0f
+    ISCADD R25, R6, c[cc], 2
+    STG [R25], R22
+    ISCADD R25, R6, c[dn], 2
+    STG [R25], R10
+    ISCADD R25, R6, c[ds], 2
+    STG [R25], R13
+    ISCADD R25, R6, c[dw], 2
+    STG [R25], R14
+    ISCADD R25, R6, c[de], 2
+    STG [R25], R15
+    EXIT
+
+.kernel srad2_k2
+.smem 1024                          // 16x16 coefficient tile
+.param img ptr
+.param dn ptr
+.param ds ptr
+.param dw ptr
+.param de ptr
+.param cc ptr
+.param width u32
+.param wm1 u32
+.param hm1 u32
+.param lam f32
+    S2R R0, SR_TID.X
+    S2R R1, SR_TID.Y
+    S2R R2, SR_CTAID.X
+    S2R R3, SR_CTAID.Y
+    IMAD R4, R2, 16, R0
+    IMAD R5, R3, 16, R1
+    IMAD R6, R5, c[width], R4
+    ISCADD R7, R6, c[cc], 2
+    LDG R8, [R7]                    // cC (= cN = cW)
+    IMAD R9, R1, 16, R0
+    SHL R9, R9, 2
+    STS [R9], R8
+    BAR
+    // cS: shared for interior rows, global (clamped) at the tile edge.
+    ISETP.LT P1, R1, 15
+    @P1 LDS R10, [R9+64]
+    IADD R11, R5, 1
+    IMIN R11, R11, c[hm1]
+    IMAD R12, R11, c[width], R4
+    ISCADD R12, R12, c[cc], 2
+    @!P1 LDG R10, [R12]
+    // cE.
+    ISETP.LT P3, R0, 15
+    @P3 LDS R13, [R9+4]
+    IADD R11, R4, 1
+    IMIN R11, R11, c[wm1]
+    IMAD R12, R5, c[width], R11
+    ISCADD R12, R12, c[cc], 2
+    @!P3 LDG R13, [R12]
+    ISCADD R14, R6, c[dn], 2
+    LDG R15, [R14]
+    ISCADD R14, R6, c[ds], 2
+    LDG R16, [R14]
+    ISCADD R14, R6, c[dw], 2
+    LDG R17, [R14]
+    ISCADD R14, R6, c[de], 2
+    LDG R18, [R14]
+    FMUL R19, R8, R15               // cN*dN
+    FFMA R19, R10, R16, R19         // + cS*dS
+    FFMA R19, R8, R17, R19          // + cW*dW
+    FFMA R19, R13, R18, R19         // + cE*dE
+    FMUL R19, R19, 0.25f
+    FMUL R19, R19, c[lam]
+    ISCADD R20, R6, c[img], 2
+    LDG R21, [R20]
+    FADD R21, R21, R19
+    STG [R20], R21
+    EXIT
+)";
+
+class SradV2App final : public BenchApp {
+ public:
+  SradV2App() : BenchApp("srad_v2") {
+    add_kernels(kAsm);
+    std::vector<float> img(kN);
+    for (std::uint32_t i = 0; i < kN; ++i) {
+      // srad_v2 operates on the exp-extracted image directly.
+      img[i] = std::exp(detail::init_float(42, i, 0.0f, 1.0f));
+    }
+    add_buffer("img", kN * 4, Role::InOut, detail::pack_floats(img));
+    add_buffer("dn", kN * 4, Role::Scratch);
+    add_buffer("ds", kN * 4, Role::Scratch);
+    add_buffer("dw", kN * 4, Role::Scratch);
+    add_buffer("de", kN * 4, Role::Scratch);
+    add_buffer("cc", kN * 4, Role::Scratch);
+  }
+
+  void execute(ExecCtx& ctx) const override {
+    auto f = [](float v) {
+      std::uint32_t bits;
+      __builtin_memcpy(&bits, &v, 4);
+      return bits;
+    };
+    const sim::Dim3 grid{kDim / kTile, kDim / kTile, 1}, block{kTile, kTile, 1};
+    std::vector<std::uint8_t> raw(kN * 4);
+    for (std::uint32_t iter = 0; iter < kIters; ++iter) {
+      // Host-side statistics, as in Rodinia srad_v2.
+      ctx.read_bytes("img", 0, raw);
+      if (ctx.aborted()) return;
+      float sum = 0.0f, sum2 = 0.0f;
+      for (std::uint32_t i = 0; i < kN; ++i) {
+        float v;
+        std::memcpy(&v, raw.data() + i * 4, 4);
+        sum += v;
+        sum2 += v * v;
+      }
+      const float mean = sum / static_cast<float>(kN);
+      const float var = sum2 / static_cast<float>(kN) - mean * mean;
+      const float q0sqr = var / (mean * mean);
+
+      const std::vector<std::uint32_t> common = {
+          ctx.addr("img"), ctx.addr("dn"), ctx.addr("ds"), ctx.addr("dw"),
+          ctx.addr("de"),  ctx.addr("cc"), kDim,           kDim - 1,
+          kDim - 1};
+      std::vector<std::uint32_t> p1 = common;
+      p1.push_back(f(q0sqr));
+      if (!ctx.launch(kernel("srad2_k1"), grid, block, std::move(p1))) return;
+      std::vector<std::uint32_t> p2 = common;
+      p2.push_back(f(kLambda));
+      if (!ctx.launch(kernel("srad2_k2"), grid, block, std::move(p2))) return;
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<App> make_srad_v2() { return std::make_unique<SradV2App>(); }
+
+}  // namespace gras::workloads

@@ -1,0 +1,71 @@
+// VA — vectorAdd (CUDA SDK): c[i] = a[i] + b[i].
+//
+// The simplest benchmark of the suite: one kernel, one load-compute-store
+// round trip per thread, no shared memory, no divergence beyond the bounds
+// guard. Its low register pressure and short residency make it a low-AVF /
+// moderate-SVF workload — one side of the paper's SCP-vs-VA trend flip
+// (Fig. 1).
+#include "src/workloads/app_base.h"
+
+namespace gras::workloads {
+namespace {
+
+constexpr std::uint32_t kN = 4096;
+constexpr std::uint32_t kBlock = 256;
+
+constexpr char kAsm[] = R"(
+.kernel va_k1
+.param a ptr
+.param b ptr
+.param c ptr
+.param n u32
+    S2R R0, SR_CTAID.X
+    S2R R1, SR_NTID.X
+    S2R R2, SR_TID.X
+    IMAD R3, R0, R1, R2          // global element index
+    ISETP.GE P0, R3, c[n]
+    @P0 EXIT
+    ISCADD R4, R3, c[a], 2
+    LDG R5, [R4]
+    ISCADD R6, R3, c[b], 2
+    LDG R7, [R6]
+    FADD R8, R5, R7
+    ISCADD R9, R3, c[c], 2
+    STG [R9], R8
+    EXIT
+)";
+
+class VaApp final : public BenchApp {
+ public:
+  // Non-default sizes get distinct names so campaign caches never collide.
+  explicit VaApp(std::uint32_t n)
+      : BenchApp(n == kN ? "va" : "va@" + std::to_string(n)), n_(n) {
+    add_kernels(kAsm);
+    std::vector<float> a(n_), b(n_);
+    for (std::uint32_t i = 0; i < n_; ++i) {
+      a[i] = detail::init_float(11, i, -100.0f, 100.0f);
+      b[i] = detail::init_float(12, i, -100.0f, 100.0f);
+    }
+    add_buffer("a", n_ * 4, Role::Input, detail::pack_floats(a));
+    add_buffer("b", n_ * 4, Role::Input, detail::pack_floats(b));
+    add_buffer("c", n_ * 4, Role::Output);
+  }
+
+  void execute(ExecCtx& ctx) const override {
+    ctx.launch(kernel("va_k1"), {n_ / kBlock, 1, 1}, {kBlock, 1, 1},
+               {ctx.addr("a"), ctx.addr("b"), ctx.addr("c"), n_});
+  }
+
+ private:
+  std::uint32_t n_;
+};
+
+}  // namespace
+
+std::unique_ptr<App> make_va() { return std::make_unique<VaApp>(kN); }
+
+std::unique_ptr<App> make_va_sized(std::uint32_t n) {
+  return std::make_unique<VaApp>(n);
+}
+
+}  // namespace gras::workloads

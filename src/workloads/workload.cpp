@@ -1,0 +1,138 @@
+#include "src/workloads/workload.h"
+
+#include <cstring>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "src/common/rng.h"
+
+namespace gras::workloads {
+
+const isa::Kernel& App::kernel(std::string_view kname) const {
+  for (const isa::Kernel& k : kernels()) {
+    if (k.name == kname) return k;
+  }
+  throw std::out_of_range("app '" + name() + "' has no kernel '" + std::string(kname) + "'");
+}
+
+namespace {
+
+/// Plain (non-TMR) execution context.
+class DirectCtx final : public ExecCtx {
+ public:
+  DirectCtx(const App& app, sim::Gpu& gpu) : gpu_(gpu) {
+    for (const BufferSpec& spec : app.buffers()) {
+      const std::uint32_t base = gpu_.malloc(spec.bytes);
+      addr_.emplace(spec.name, base);
+      if (!spec.host_init.empty()) {
+        gpu_.memcpy_h2d(base, spec.host_init.data(), spec.host_init.size());
+      } else {
+        gpu_.memset_d32(base, 0, (spec.bytes + 3) / 4);
+      }
+    }
+  }
+
+  std::uint32_t addr(std::string_view buffer) override { return lookup(buffer); }
+
+  bool launch(const isa::Kernel& kernel, sim::Dim3 grid, sim::Dim3 block,
+              std::vector<std::uint32_t> params) override {
+    if (aborted_) return false;
+    const sim::LaunchResult r = gpu_.launch(kernel, grid, block, std::move(params));
+    if (!r.ok()) {
+      aborted_ = true;
+      trap_ = r.trap;
+      return false;
+    }
+    return true;
+  }
+
+  std::uint32_t read_u32(std::string_view buffer, std::uint64_t off) override {
+    std::uint32_t v = 0;
+    gpu_.memcpy_d2h(&v, lookup(buffer) + static_cast<std::uint32_t>(off), 4);
+    return v;
+  }
+  void write_u32(std::string_view buffer, std::uint64_t off, std::uint32_t value) override {
+    gpu_.memcpy_h2d(lookup(buffer) + static_cast<std::uint32_t>(off), &value, 4);
+  }
+  void read_bytes(std::string_view buffer, std::uint64_t off,
+                  std::span<std::uint8_t> out) override {
+    gpu_.memcpy_d2h(out.data(), lookup(buffer) + static_cast<std::uint32_t>(off), out.size());
+  }
+  void write_bytes(std::string_view buffer, std::uint64_t off,
+                   std::span<const std::uint8_t> in) override {
+    gpu_.memcpy_h2d(lookup(buffer) + static_cast<std::uint32_t>(off), in.data(), in.size());
+  }
+
+  void mark_timeout() override {
+    aborted_ = true;
+    trap_ = sim::TrapKind::Watchdog;
+  }
+  void mark_host_error() override {
+    aborted_ = true;
+    trap_ = sim::TrapKind::HostCheck;
+  }
+  bool aborted() const override { return aborted_; }
+  sim::TrapKind trap() const { return trap_; }
+
+ private:
+  std::uint32_t lookup(std::string_view buffer) const {
+    const auto it = addr_.find(std::string(buffer));
+    if (it == addr_.end()) {
+      throw std::out_of_range("unknown buffer '" + std::string(buffer) + "'");
+    }
+    return it->second;
+  }
+
+  sim::Gpu& gpu_;
+  std::unordered_map<std::string, std::uint32_t> addr_;
+  bool aborted_ = false;
+  sim::TrapKind trap_ = sim::TrapKind::None;
+};
+
+}  // namespace
+
+RunOutput run_app(const App& app, sim::Gpu& gpu) {
+  DirectCtx ctx(app, gpu);
+  app.execute(ctx);
+  RunOutput out;
+  out.trap = ctx.trap();
+  if (!out.completed()) return out;
+  for (const BufferSpec& spec : app.buffers()) {
+    if (!spec.is_output()) continue;
+    std::vector<std::uint8_t> bytes(spec.bytes);
+    ctx.read_bytes(spec.name, 0, bytes);
+    out.outputs.push_back(std::move(bytes));
+  }
+  return app.postprocess(std::move(out));
+}
+
+namespace detail {
+
+float init_float(std::uint64_t seed, std::uint64_t index, float lo, float hi) {
+  std::uint64_t s = seed * 0x9e3779b97f4a7c15ull + index;
+  const std::uint64_t m = splitmix64(s);
+  const float u = static_cast<float>(m >> 40) * 0x1.0p-24f;  // [0,1)
+  return lo + (hi - lo) * u;
+}
+
+std::uint32_t init_u32(std::uint64_t seed, std::uint64_t index, std::uint32_t bound) {
+  std::uint64_t s = seed * 0xbf58476d1ce4e5b9ull + index;
+  const std::uint64_t m = splitmix64(s);
+  return static_cast<std::uint32_t>(m % bound);
+}
+
+std::vector<std::uint8_t> pack_floats(std::span<const float> values) {
+  std::vector<std::uint8_t> out(values.size() * 4);
+  std::memcpy(out.data(), values.data(), out.size());
+  return out;
+}
+
+std::vector<std::uint8_t> pack_u32(std::span<const std::uint32_t> values) {
+  std::vector<std::uint8_t> out(values.size() * 4);
+  std::memcpy(out.data(), values.data(), out.size());
+  return out;
+}
+
+}  // namespace detail
+
+}  // namespace gras::workloads

@@ -1,0 +1,152 @@
+// Workload (application) framework.
+//
+// An App is a declarative GPU application: a set of named device buffers, a
+// set of kernels, and a host-side execute() driving kernel launches (which
+// may loop and read device data back, e.g. BFS's convergence flag). Apps are
+// immutable after construction, so one instance can serve thousands of
+// concurrent fault-injection samples.
+//
+// The ExecCtx indirection is what makes the TMR hardening transform
+// (src/harden) a pure wrapper: the hardened app re-uses the base app's host
+// logic while triplicating buffers, rewriting kernels, and voting on every
+// host-visible read — exactly the source-level TMR workflow of the paper's
+// Fig. 6.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/isa/isa.h"
+#include "src/sim/gpu.h"
+
+namespace gras::workloads {
+
+/// Role of a device buffer in the application's dataflow.
+enum class Role : std::uint8_t {
+  Input,    ///< written by the host before execution
+  Output,   ///< read by the host after execution; part of the program output
+  InOut,    ///< both (e.g. in-place image updates); part of the program output
+  Scratch,  ///< device-internal (zero-initialized, not part of the output)
+};
+
+/// One named device buffer.
+struct BufferSpec {
+  std::string name;
+  std::uint64_t bytes = 0;
+  Role role = Role::Scratch;
+  /// Initial contents for Input/InOut buffers (size == bytes).
+  std::vector<std::uint8_t> host_init;
+
+  bool is_output() const { return role == Role::Output || role == Role::InOut; }
+};
+
+/// Host-side execution context handed to App::execute().
+class ExecCtx {
+ public:
+  virtual ~ExecCtx() = default;
+
+  /// Device address of a named buffer (copy 0 under TMR).
+  virtual std::uint32_t addr(std::string_view buffer) = 0;
+
+  /// Launches a kernel. Returns false when the run has aborted (trap or
+  /// watchdog); the app's execute() must then return promptly.
+  virtual bool launch(const isa::Kernel& kernel, sim::Dim3 grid, sim::Dim3 block,
+                      std::vector<std::uint32_t> params) = 0;
+
+  /// Host reads/writes of device data (no simulated time; coherent through
+  /// L2). Under TMR, reads are majority-voted and writes fan out to all
+  /// three copies.
+  virtual std::uint32_t read_u32(std::string_view buffer, std::uint64_t byte_offset) = 0;
+  virtual void write_u32(std::string_view buffer, std::uint64_t byte_offset,
+                         std::uint32_t value) = 0;
+  virtual void read_bytes(std::string_view buffer, std::uint64_t byte_offset,
+                          std::span<std::uint8_t> out) = 0;
+  virtual void write_bytes(std::string_view buffer, std::uint64_t byte_offset,
+                           std::span<const std::uint8_t> in) = 0;
+
+  /// Marks the run as timed out (host-side convergence loop exceeded its
+  /// bound); the app's execute() must then return promptly.
+  virtual void mark_timeout() = 0;
+
+  /// Marks the run as failed by a host-side consistency check (classified
+  /// DUE). Used by the TMR wrapper when a majority vote finds no majority.
+  virtual void mark_host_error() = 0;
+
+  /// True once any launch trapped or mark_timeout() was called.
+  virtual bool aborted() const = 0;
+
+  float read_f32(std::string_view buffer, std::uint64_t byte_offset) {
+    const std::uint32_t bits = read_u32(buffer, byte_offset);
+    float f;
+    static_assert(sizeof f == sizeof bits);
+    __builtin_memcpy(&f, &bits, sizeof f);
+    return f;
+  }
+  void write_f32(std::string_view buffer, std::uint64_t byte_offset, float value) {
+    std::uint32_t bits;
+    __builtin_memcpy(&bits, &value, sizeof bits);
+    write_u32(buffer, byte_offset, bits);
+  }
+};
+
+/// Result of running an app once.
+struct RunOutput {
+  sim::TrapKind trap = sim::TrapKind::None;
+  /// Output-buffer contents in buffers() order (only is_output() buffers).
+  std::vector<std::vector<std::uint8_t>> outputs;
+
+  bool completed() const { return trap == sim::TrapKind::None; }
+  bool operator==(const RunOutput&) const = default;
+};
+
+/// A GPU application.
+class App {
+ public:
+  virtual ~App() = default;
+  virtual const std::string& name() const = 0;
+  /// Buffer declarations, deterministic (including host_init contents).
+  virtual const std::vector<BufferSpec>& buffers() const = 0;
+  /// All kernels this app launches (names unique within the app).
+  virtual const std::vector<isa::Kernel>& kernels() const = 0;
+  /// Host logic: issues launches through the context. Must be re-entrant
+  /// (const) — one App instance runs on many simulated GPUs concurrently.
+  virtual void execute(ExecCtx& ctx) const = 0;
+
+  /// Post-processes the raw output buffers after execution (identity by
+  /// default). The TMR wrapper overrides this with the majority vote of the
+  /// paper's Fig. 6, turning an all-copies-disagree vote into a DUE.
+  virtual RunOutput postprocess(RunOutput raw) const { return raw; }
+
+  /// Kernel lookup by name; throws if missing.
+  const isa::Kernel& kernel(std::string_view kname) const;
+};
+
+/// Runs `app` on `gpu`: allocates and initializes buffers, drives execute(),
+/// reads back outputs, and applies the app's postprocess hook.
+RunOutput run_app(const App& app, sim::Gpu& gpu);
+
+/// Helpers shared by workload implementations.
+namespace detail {
+/// Deterministic pseudo-random float in [lo, hi) derived from (seed, index).
+float init_float(std::uint64_t seed, std::uint64_t index, float lo, float hi);
+/// Deterministic pseudo-random u32 in [0, bound).
+std::uint32_t init_u32(std::uint64_t seed, std::uint64_t index, std::uint32_t bound);
+/// Packs a float vector into bytes.
+std::vector<std::uint8_t> pack_floats(std::span<const float> values);
+std::vector<std::uint8_t> pack_u32(std::span<const std::uint32_t> values);
+}  // namespace detail
+
+/// Registry of the paper's 11 benchmark applications.
+/// Names: srad_v1, srad_v2, kmeans, hotspot, lud, scp, va, nw, pathfinder,
+/// backprop, bfs.
+std::vector<std::string> benchmark_names();
+/// Builds a benchmark by name; throws std::out_of_range on unknown names.
+std::unique_ptr<App> make_benchmark(std::string_view name);
+/// Builds all 11 benchmarks (in the paper's Figure-1 presentation order).
+std::vector<std::unique_ptr<App>> make_all_benchmarks();
+
+}  // namespace gras::workloads

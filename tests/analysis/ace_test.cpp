@@ -1,0 +1,93 @@
+// ACE liveness profiler tests.
+#include "src/analysis/ace.h"
+
+#include <gtest/gtest.h>
+
+#include "src/workloads/workload.h"
+#include "tests/testing/sim_helpers.h"
+
+namespace gras::analysis {
+namespace {
+
+using testing::KernelRunner;
+
+TEST(AceProfiler, CountsWriteToLastReadIntervals) {
+  // One thread: R1 written, read twice, rewritten, never read again.
+  KernelRunner runner(R"(
+.kernel t
+.param out ptr
+    MOV R1, 5            // write at cycle W
+    NOP
+    IADD R2, R1, RZ      // read
+    NOP
+    IADD R3, R1, R2      // last read of the first lifetime
+    MOV R1, 9            // rewrite: closes the interval
+    MOV R4, c[out]
+    STG [R4], R3
+    EXIT
+)");
+  AceProfiler profiler(runner.gpu().config());
+  runner.gpu().set_fault_hook(&profiler);
+  const auto out = runner.alloc(std::vector<std::uint32_t>(1, 0));
+  ASSERT_TRUE(runner.launch({1, 1, 1}, {1, 1, 1}, {out}).ok());
+  profiler.finalize();
+  // Lifetimes with reads: R1 (MOV..IADD#2), R2 (IADD..IADD), R3 (IADD..STG),
+  // R4 (MOV..STG). R1's second lifetime has no read.
+  EXPECT_EQ(profiler.intervals(), 4u);
+  EXPECT_GT(profiler.ace_bit_cycles(), 0u);
+}
+
+TEST(AceProfiler, NeverReadRegistersContributeNothing) {
+  KernelRunner runner(R"(
+.kernel t
+    MOV R1, 5
+    MOV R2, 6
+    EXIT
+)");
+  AceProfiler profiler(runner.gpu().config());
+  runner.gpu().set_fault_hook(&profiler);
+  ASSERT_TRUE(runner.launch({1, 1, 1}, {1, 1, 1}, {}).ok());
+  profiler.finalize();
+  EXPECT_EQ(profiler.ace_bit_cycles(), 0u);
+  EXPECT_EQ(profiler.intervals(), 0u);
+}
+
+TEST(AceProfiler, AvfIsAProbability) {
+  const auto app = workloads::make_benchmark("scp");
+  sim::GpuConfig config = sim::make_config("gv100-scaled");
+  AceProfiler profiler(config);
+  sim::Gpu gpu(config);
+  gpu.set_fault_hook(&profiler);
+  const auto out = workloads::run_app(*app, gpu);
+  ASSERT_TRUE(out.completed());
+  profiler.finalize();
+  const double avf = profiler.avf_rf(gpu.cycle());
+  EXPECT_GT(avf, 0.0);
+  EXPECT_LT(avf, 1.0);
+}
+
+TEST(AceProfiler, ProfilingDoesNotPerturbExecution) {
+  const auto app = workloads::make_benchmark("va");
+  sim::GpuConfig config = sim::make_config("gv100-scaled");
+  sim::Gpu plain(config);
+  const auto golden = workloads::run_app(*app, plain);
+
+  AceProfiler profiler(config);
+  sim::Gpu profiled(config);
+  profiled.set_fault_hook(&profiler);
+  const auto observed = workloads::run_app(*app, profiled);
+  EXPECT_EQ(golden, observed);
+  EXPECT_EQ(plain.cycle(), profiled.cycle());
+}
+
+TEST(AceProfiler, FinalizeIsIdempotent) {
+  sim::GpuConfig config = sim::make_config("gv100-scaled");
+  AceProfiler profiler(config);
+  profiler.finalize();
+  const auto first = profiler.ace_bit_cycles();
+  profiler.finalize();
+  EXPECT_EQ(profiler.ace_bit_cycles(), first);
+}
+
+}  // namespace
+}  // namespace gras::analysis

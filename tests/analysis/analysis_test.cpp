@@ -1,0 +1,160 @@
+// Analysis tests: trend-pair counting (Table I methodology), utilization
+// profiles (Fig. 3 metrics) and the register-reuse analyzer (Fig. 12).
+#include "src/analysis/analysis.h"
+
+#include <gtest/gtest.h>
+
+#include "src/assembler/assembler.h"
+#include "src/workloads/workload.h"
+
+namespace gras::analysis {
+namespace {
+
+TEST(TrendCounts, ConsistentAndOpposite) {
+  // a ranks: x < y < z ; b ranks: x < z < y -> pair (y,z) flips.
+  const std::vector<TrendPoint> points = {
+      {"x", 1.0, 1.0}, {"y", 2.0, 3.0}, {"z", 3.0, 2.0}};
+  const TrendCounts c = count_trends(points);
+  EXPECT_EQ(c.total(), 3u);
+  EXPECT_EQ(c.consistent, 2u);
+  EXPECT_EQ(c.opposite, 1u);
+  EXPECT_NEAR(c.opposite_share(), 1.0 / 3.0, 1e-12);
+}
+
+TEST(TrendCounts, TiesCountAsConsistent) {
+  const std::vector<TrendPoint> points = {{"a", 1.0, 5.0}, {"b", 1.0, 2.0}};
+  const TrendCounts c = count_trends(points);
+  EXPECT_EQ(c.consistent, 1u);
+  EXPECT_EQ(c.opposite, 0u);
+}
+
+TEST(TrendCounts, PairCountMatchesPaperArithmetic) {
+  // 11 applications -> 55 pairs (paper Table I row 1: 32 + 23);
+  // 23 kernels -> 253 pairs (row 2: 144 + 109).
+  std::vector<TrendPoint> apps(11), kernels(23);
+  for (std::size_t i = 0; i < apps.size(); ++i) apps[i] = {"", double(i), double(i)};
+  for (std::size_t i = 0; i < kernels.size(); ++i) kernels[i] = {"", double(i), double(i)};
+  EXPECT_EQ(count_trends(apps).total(), 55u);
+  EXPECT_EQ(count_trends(kernels).total(), 253u);
+}
+
+TEST(TrendCounts, EmptyAndSingle) {
+  EXPECT_EQ(count_trends({}).total(), 0u);
+  EXPECT_EQ(count_trends({{"a", 1, 2}}).total(), 0u);
+}
+
+TEST(NormalizePair, SumsToOne) {
+  const auto out = normalize_pair({2.0, 0.0, 5.0}, {6.0, 0.0, 5.0});
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_DOUBLE_EQ(out[0].first, 0.25);
+  EXPECT_DOUBLE_EQ(out[0].second, 0.75);
+  EXPECT_DOUBLE_EQ(out[1].first, 0.5);  // 0/0 -> 50/50
+  EXPECT_DOUBLE_EQ(out[2].first, 0.5);
+}
+
+TEST(UtilizationProfile, MetricNamesMatchValues) {
+  UtilizationProfile p;
+  EXPECT_EQ(UtilizationProfile::metric_names().size(), p.values().size());
+}
+
+TEST(UtilizationProfile, VaProfileIsPlausible) {
+  const auto app = workloads::make_benchmark("va");
+  const auto config = sim::make_config("gv100-scaled");
+  const auto golden = campaign::run_golden(*app, config);
+  const UtilizationProfile p = profile_kernel(golden, "va_k1", config);
+  EXPECT_GT(p.occupancy, 0.0);
+  EXPECT_LE(p.occupancy, 1.0);
+  EXPECT_GT(p.rf_derating, 0.0);
+  EXPECT_DOUBLE_EQ(p.smem_derating, 0.0);
+  // 4096 threads x 2 loads, coalesced into 128-byte lines: 256 accesses.
+  EXPECT_EQ(p.load_instructions, 4096.0 / 32 * 2);
+  EXPECT_EQ(p.store_instructions, 4096.0 / 32);
+  EXPECT_GT(p.l1d_accesses, 0.0);
+  EXPECT_GT(p.l2_accesses, 0.0);
+  EXPECT_GT(p.memory_read, 0.0);
+  EXPECT_DOUBLE_EQ(p.smem_instructions, 0.0);
+}
+
+TEST(UtilizationProfile, ScpUsesSharedAndTexture) {
+  const auto app = workloads::make_benchmark("scp");
+  const auto config = sim::make_config("gv100-scaled");
+  const auto golden = campaign::run_golden(*app, config);
+  const UtilizationProfile p = profile_kernel(golden, "scp_k1", config);
+  EXPECT_GT(p.smem_instructions, 0.0);
+  EXPECT_GT(p.smem_derating, 0.0);
+}
+
+// --- Register-reuse analyzer (paper Fig. 12) ---
+
+// The paper's example: a fault in R0 written by #4 (0-based index 3) must
+// affect the readers at #5 and #7 until R0 is rewritten.
+constexpr char kFig12[] = R"(
+.kernel fig12
+.param c14c u32
+.param c140 u32
+.param c144 u32
+.param c148 u32
+    S2R R0, SR_CTAID.X
+    S2R R3, SR_TID.X
+    IMAD R4, R0, c[c14c], R3
+    ISCADD R3, R4, c[c140], 2
+    ISCADD R2, R4, c[c144], 2
+    LDG R3, [R3]
+    ISCADD R0, R4, c[c148], 2
+    LDG R2, [R2]
+    FADD R3, R0, R2
+    STG [R0], R3
+    EXIT
+)";
+
+TEST(ReuseAnalyzer, ReplicatesTheFig12Example) {
+  const auto k = assembler::assemble_kernel(kFig12);
+  // Fault in R4, destination of instruction #3 (IMAD, index 2):
+  // read by #4 (index 3), #5 (index 4) and #7 (index 6).
+  const ReuseSite site = analyze_reuse(k, 2, 4);
+  EXPECT_EQ(site.affected, (std::vector<std::size_t>{3, 4, 6}));
+}
+
+TEST(ReuseAnalyzer, StopsAtRewrite) {
+  const auto k = assembler::assemble_kernel(kFig12);
+  // R3 written at index 1 (S2R R3) is read at index 2 (IMAD) and then
+  // rewritten at index 3 (ISCADD R3, ...): nothing beyond.
+  const ReuseSite site = analyze_reuse(k, 1, 3);
+  EXPECT_EQ(site.affected, (std::vector<std::size_t>{2}));
+}
+
+TEST(ReuseAnalyzer, RegisterNeverReadAgain) {
+  const auto k = assembler::assemble_kernel(R"(
+.kernel t
+    MOV R0, 1
+    MOV R1, 2
+    EXIT
+)");
+  EXPECT_TRUE(analyze_reuse(k, 0, 0).affected.empty());
+}
+
+TEST(ReuseAnalyzer, AverageReuseIsPositiveForRealKernels) {
+  const auto k = assembler::assemble_kernel(kFig12);
+  EXPECT_GT(average_reuse(k), 0.5);
+}
+
+TEST(ReuseAnalyzer, ListingMarksOriginAndReaders) {
+  const auto k = assembler::assemble_kernel(kFig12);
+  const ReuseSite site = analyze_reuse(k, 2, 4);
+  const std::string listing = reuse_listing(k, site);
+  EXPECT_NE(listing.find("<< #3"), std::string::npos);
+  EXPECT_NE(listing.find(" * #4"), std::string::npos);
+  EXPECT_NE(listing.find(" * #7"), std::string::npos);
+}
+
+TEST(ControlPath, MaskedRunsWithChangedCyclesAreCounted) {
+  // A fault that perturbs timing but not output: campaign records it.
+  // Covered end-to-end in campaign tests; here check the plumbing exists.
+  campaign::CampaignResult r;
+  r.control_path_masked = 3;
+  r.counts.masked = 10;
+  EXPECT_LE(r.control_path_masked, r.counts.masked);
+}
+
+}  // namespace
+}  // namespace gras::analysis

@@ -1,0 +1,243 @@
+#include "src/assembler/assembler.h"
+
+#include <gtest/gtest.h>
+
+#include "src/isa/disasm.h"
+
+namespace gras::assembler {
+namespace {
+
+using isa::Op;
+using isa::OperandKind;
+
+TEST(Assembler, ParsesSimpleKernel) {
+  const auto k = assemble_kernel(R"(
+.kernel add
+.param a ptr
+.param b u32
+    S2R R0, SR_TID.X
+    IADD R1, R0, c[b]
+    ISCADD R2, R1, c[a], 2
+    LDG R3, [R2]
+    EXIT
+)");
+  EXPECT_EQ(k.name, "add");
+  ASSERT_EQ(k.code.size(), 5u);
+  EXPECT_EQ(k.code[0].op, Op::S2R);
+  EXPECT_EQ(k.code[1].op, Op::IADD);
+  EXPECT_EQ(k.code[1].b.kind, OperandKind::Param);
+  EXPECT_EQ(k.code[1].b.value, 4u);  // second param slot
+  EXPECT_EQ(k.code[2].shift, 2);
+  EXPECT_EQ(k.code[4].op, Op::EXIT);
+  EXPECT_EQ(k.num_regs, 4);
+}
+
+TEST(Assembler, ParamsGetSequentialOffsets) {
+  const auto k = assemble_kernel(R"(
+.kernel p
+.param x ptr
+.param y f32
+.param z u32
+    EXIT
+)");
+  ASSERT_EQ(k.params.size(), 3u);
+  EXPECT_EQ(k.params[0].byte_offset, 0u);
+  EXPECT_TRUE(k.params[0].is_pointer);
+  EXPECT_EQ(k.params[1].byte_offset, 4u);
+  EXPECT_FALSE(k.params[1].is_pointer);
+  EXPECT_EQ(k.params[2].byte_offset, 8u);
+}
+
+TEST(Assembler, ResolvesForwardAndBackwardLabels) {
+  const auto k = assemble_kernel(R"(
+.kernel loops
+    MOV R0, 0
+top:
+    IADD R0, R0, 1
+    ISETP.LT P0, R0, 10
+    @P0 BRA top
+    BRA done
+    NOP
+done:
+    EXIT
+)");
+  EXPECT_EQ(k.code[3].op, Op::BRA);
+  EXPECT_EQ(k.code[3].target, 1u);  // top
+  EXPECT_EQ(k.code[4].target, 6u);  // done
+}
+
+TEST(Assembler, ParsesGuards) {
+  const auto k = assemble_kernel(R"(
+.kernel g
+    ISETP.EQ P1, R0, RZ
+    @P1 MOV R1, 5
+    @!P1 MOV R1, 6
+    EXIT
+)");
+  EXPECT_EQ(k.code[1].guard, 1);
+  EXPECT_FALSE(k.code[1].guard_neg);
+  EXPECT_EQ(k.code[2].guard, 1);
+  EXPECT_TRUE(k.code[2].guard_neg);
+}
+
+TEST(Assembler, ParsesImmediateForms) {
+  const auto k = assemble_kernel(R"(
+.kernel imm
+    MOV R0, 42
+    MOV R1, -7
+    MOV R2, 0x1f
+    MOV R3, 1.5f
+    MOV R4, -0.25f
+    EXIT
+)");
+  EXPECT_EQ(k.code[0].a.value, 42u);
+  EXPECT_EQ(k.code[1].a.value, static_cast<std::uint32_t>(-7));
+  EXPECT_EQ(k.code[2].a.value, 0x1fu);
+  float f;
+  __builtin_memcpy(&f, &k.code[3].a.value, 4);
+  EXPECT_EQ(f, 1.5f);
+  __builtin_memcpy(&f, &k.code[4].a.value, 4);
+  EXPECT_EQ(f, -0.25f);
+}
+
+TEST(Assembler, ParsesMemoryReferences) {
+  const auto k = assemble_kernel(R"(
+.kernel mem
+    LDG R0, [R1]
+    LDG R0, [R1+8]
+    LDG R0, [R1-8]
+    LDS R0, [0x40]
+    STS [R2+4], R0
+    STG [R2], RZ
+    EXIT
+)");
+  EXPECT_EQ(k.code[0].mem_offset, 0);
+  EXPECT_EQ(k.code[1].mem_offset, 8);
+  EXPECT_EQ(k.code[2].mem_offset, -8);
+  EXPECT_EQ(k.code[3].a.value, isa::kRegRZ);  // absolute -> RZ base
+  EXPECT_EQ(k.code[3].mem_offset, 0x40);
+  EXPECT_EQ(k.code[4].mem_offset, 4);
+  EXPECT_EQ(k.code[5].b.value, isa::kRegRZ);
+}
+
+TEST(Assembler, ParsesSelWithNegatedPredicate) {
+  const auto k = assemble_kernel(R"(
+.kernel s
+    SEL R0, R1, 9, !P2
+    EXIT
+)");
+  EXPECT_EQ(k.code[0].psrc, 2);
+  EXPECT_TRUE(k.code[0].psrc_neg);
+}
+
+TEST(Assembler, ParsesAtomics) {
+  const auto k = assemble_kernel(R"(
+.kernel a
+    ATOM.ADD R0, [R1], R2
+    RED.ADD [R1+4], 3
+    EXIT
+)");
+  EXPECT_EQ(k.code[0].op, Op::ATOM_ADD);
+  EXPECT_EQ(k.code[1].op, Op::RED_ADD);
+  EXPECT_EQ(k.code[1].b.value, 3u);
+}
+
+TEST(Assembler, MultipleKernelsInOneSource) {
+  const auto kernels = assemble(R"(
+.kernel first
+    EXIT
+.kernel second
+.smem 256
+    NOP
+    EXIT
+)");
+  ASSERT_EQ(kernels.size(), 2u);
+  EXPECT_EQ(kernels[0].name, "first");
+  EXPECT_EQ(kernels[1].name, "second");
+  EXPECT_EQ(kernels[1].smem_bytes, 256u);
+}
+
+TEST(Assembler, CommentsAndBlankLinesIgnored) {
+  const auto k = assemble_kernel(R"(
+.kernel c
+    // full line comment
+    NOP        // trailing comment
+    NOP        ; alternative comment
+    EXIT
+)");
+  EXPECT_EQ(k.code.size(), 3u);
+}
+
+// --- Error cases ---
+
+TEST(AssemblerErrors, UndefinedLabel) {
+  EXPECT_THROW(assemble_kernel(".kernel e\n BRA nowhere\n EXIT\n"), AsmError);
+}
+
+TEST(AssemblerErrors, DuplicateLabel) {
+  EXPECT_THROW(assemble_kernel(".kernel e\nx:\n NOP\nx:\n EXIT\n"), AsmError);
+}
+
+TEST(AssemblerErrors, UnknownMnemonic) {
+  EXPECT_THROW(assemble_kernel(".kernel e\n FROB R0, R1\n"), AsmError);
+}
+
+TEST(AssemblerErrors, UnknownParam) {
+  EXPECT_THROW(assemble_kernel(".kernel e\n MOV R0, c[nope]\n EXIT\n"), AsmError);
+}
+
+TEST(AssemblerErrors, DuplicateParam) {
+  EXPECT_THROW(assemble_kernel(".kernel e\n.param a ptr\n.param a u32\n EXIT\n"),
+               AsmError);
+}
+
+TEST(AssemblerErrors, WrongOperandCount) {
+  EXPECT_THROW(assemble_kernel(".kernel e\n IADD R0, R1\n"), AsmError);
+  EXPECT_THROW(assemble_kernel(".kernel e\n EXIT R0\n"), AsmError);
+}
+
+TEST(AssemblerErrors, StatementOutsideKernel) {
+  EXPECT_THROW(assemble("    NOP\n"), AsmError);
+}
+
+TEST(AssemblerErrors, EmptyKernel) {
+  EXPECT_THROW(assemble(".kernel empty\n"), AsmError);
+}
+
+TEST(AssemblerErrors, CannotWritePT) {
+  EXPECT_THROW(assemble_kernel(".kernel e\n ISETP.EQ PT, R0, R1\n EXIT\n"), AsmError);
+}
+
+TEST(AssemblerErrors, BadShift) {
+  EXPECT_THROW(assemble_kernel(".kernel e\n ISCADD R0, R1, R2, 40\n EXIT\n"), AsmError);
+}
+
+TEST(AssemblerErrors, ReportsLineNumber) {
+  try {
+    assemble_kernel(".kernel e\n NOP\n FROB\n");
+    FAIL();
+  } catch (const AsmError& e) {
+    EXPECT_EQ(e.line(), 3u);
+  }
+}
+
+// Round-trip: disassembled text of a kernel re-assembles to the same code
+// for branch-free kernels (labels are lost in disassembly).
+TEST(Assembler, DisassemblyIsReadable) {
+  const auto k = assemble_kernel(R"(
+.kernel rt
+.param src ptr
+    S2R R0, SR_TID.X
+    ISCADD R1, R0, c[src], 2
+    LDG R2, [R1]
+    FADD R3, R2, 1.0f
+    STG [R1], R3
+    EXIT
+)");
+  const std::string text = isa::disassemble(k);
+  EXPECT_NE(text.find("ISCADD R1, R0, c[src], 2"), std::string::npos);
+  EXPECT_NE(text.find("STG [R1], R3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gras::assembler

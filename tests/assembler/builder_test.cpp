@@ -1,0 +1,76 @@
+#include "src/assembler/builder.h"
+
+#include <gtest/gtest.h>
+
+namespace gras::assembler {
+namespace {
+
+using isa::Cmp;
+using isa::Op;
+using isa::Operand;
+
+TEST(KernelBuilder, BuildsBasicKernel) {
+  KernelBuilder b("k");
+  b.param("out", true).param("n", false).smem(128);
+  b.s2r(0, isa::SpecialReg::TID_X);
+  b.isetp(Cmp::GE, 0, 0, Operand::param(4));
+  b.exit(0, false);
+  b.iscadd(1, 0, Operand::param(0), 2);
+  b.stg(1, Operand::gpr(0));
+  b.exit();
+  const isa::Kernel k = b.build();
+  EXPECT_EQ(k.name, "k");
+  EXPECT_EQ(k.smem_bytes, 128u);
+  EXPECT_EQ(k.params.size(), 2u);
+  EXPECT_EQ(k.code.size(), 6u);
+  EXPECT_EQ(k.num_regs, 2);
+}
+
+TEST(KernelBuilder, ResolvesLabels) {
+  KernelBuilder b("loop");
+  b.mov(0, Operand::imm(0));
+  b.label("top");
+  b.iadd(0, 0, Operand::imm(1));
+  b.isetp(Cmp::LT, 0, 0, Operand::imm(5));
+  b.bra("top", 0, false);
+  b.exit();
+  const isa::Kernel k = b.build();
+  EXPECT_EQ(k.code[3].op, Op::BRA);
+  EXPECT_EQ(k.code[3].target, 1u);
+}
+
+TEST(KernelBuilder, SsyTargetsForwardLabel) {
+  KernelBuilder b("div");
+  b.ssy("join");
+  b.bra("else", 0, true);
+  b.sync();
+  b.label("else");
+  b.sync();
+  b.label("join");
+  b.exit();
+  const isa::Kernel k = b.build();
+  EXPECT_EQ(k.code[0].op, Op::SSY);
+  EXPECT_EQ(k.code[0].target, 4u);
+  EXPECT_EQ(k.code[1].target, 3u);
+}
+
+TEST(KernelBuilder, UndefinedLabelThrows) {
+  KernelBuilder b("bad");
+  b.bra("missing");
+  b.exit();
+  EXPECT_THROW(b.build(), std::runtime_error);
+}
+
+TEST(KernelBuilder, BarrierAndGuardedExit) {
+  KernelBuilder b("barrier");
+  b.bar();
+  b.exit(3, true);
+  b.exit();
+  const isa::Kernel k = b.build();
+  EXPECT_EQ(k.code[0].op, Op::BAR);
+  EXPECT_EQ(k.code[1].guard, 3);
+  EXPECT_TRUE(k.code[1].guard_neg);
+}
+
+}  // namespace
+}  // namespace gras::assembler

@@ -1,0 +1,108 @@
+// Robustness fuzzing: arbitrary byte soup and mutated valid programs must
+// either assemble or throw AsmError — never crash, hang or corrupt memory.
+#include <gtest/gtest.h>
+
+#include "src/assembler/assembler.h"
+#include "src/common/rng.h"
+
+namespace gras::assembler {
+namespace {
+
+constexpr char kValid[] = R"(
+.kernel fuzz_base
+.smem 256
+.param a ptr
+.param n u32
+    S2R R0, SR_TID.X
+    ISETP.GE P0, R0, c[n]
+    @P0 EXIT
+    SSY join
+    @!P0 BRA other
+    ISCADD R1, R0, c[a], 2
+    LDG R2, [R1]
+    FADD R2, R2, 1.5f
+    STG [R1], R2
+    SYNC
+other:
+    SYNC
+join:
+    BAR
+    EXIT
+)";
+
+TEST(AssemblerFuzz, RandomBytesNeverCrash) {
+  Rng rng(0xf022);
+  for (int trial = 0; trial < 500; ++trial) {
+    std::string soup;
+    const std::size_t len = rng.below(200);
+    for (std::size_t i = 0; i < len; ++i) {
+      // Printable-ish ASCII plus newlines keeps the tokenizer busy.
+      soup.push_back(static_cast<char>(rng.range(9, 126)));
+    }
+    try {
+      assemble(soup);
+    } catch (const AsmError&) {
+      // expected for garbage
+    }
+  }
+}
+
+TEST(AssemblerFuzz, SingleCharacterMutationsOfValidProgram) {
+  const std::string base = kValid;
+  Rng rng(0xf023);
+  int assembled = 0, rejected = 0;
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::string mutated = base;
+    const std::size_t pos = rng.below(mutated.size());
+    mutated[pos] = static_cast<char>(rng.range(32, 126));
+    try {
+      const auto kernels = assemble(mutated);
+      assembled += 1;
+      // Whatever assembled must be structurally sane.
+      for (const auto& k : kernels) {
+        EXPECT_FALSE(k.code.empty());
+        EXPECT_LE(k.num_regs, isa::kNumGpr);
+        for (const auto& ins : k.code) {
+          if (ins.op == isa::Op::BRA || ins.op == isa::Op::SSY) {
+            EXPECT_LT(ins.target, k.code.size());
+          }
+        }
+      }
+    } catch (const AsmError&) {
+      rejected += 1;
+    }
+  }
+  // Both outcomes must occur: mutations in comments/labels assemble,
+  // mutations in mnemonics are rejected.
+  EXPECT_GT(assembled, 0);
+  EXPECT_GT(rejected, 0);
+}
+
+TEST(AssemblerFuzz, LineDeletionsKeepErrorsPrecise) {
+  const std::string base = kValid;
+  std::vector<std::string> lines;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= base.size(); ++i) {
+    if (i == base.size() || base[i] == '\n') {
+      lines.push_back(base.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  for (std::size_t drop = 0; drop < lines.size(); ++drop) {
+    std::string program;
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+      if (i == drop) continue;
+      program += lines[i];
+      program += '\n';
+    }
+    try {
+      assemble(program);
+    } catch (const AsmError& e) {
+      EXPECT_GT(e.line(), 0u);
+      EXPECT_LE(e.line(), lines.size());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gras::assembler

@@ -1,0 +1,79 @@
+#include "src/common/bitops.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace gras {
+namespace {
+
+TEST(FlipBitU32, FlipsSingleBit) {
+  EXPECT_EQ(flip_bit(0u, 0), 1u);
+  EXPECT_EQ(flip_bit(0u, 31), 0x80000000u);
+  EXPECT_EQ(flip_bit(0xffffffffu, 7), 0xffffff7fu);
+}
+
+TEST(FlipBitU32, IsInvolution) {
+  for (unsigned bit = 0; bit < 32; ++bit) {
+    EXPECT_EQ(flip_bit(flip_bit(0xdeadbeefu, bit), bit), 0xdeadbeefu);
+  }
+}
+
+TEST(FlipBitU32, WrapsBitIndex) {
+  EXPECT_EQ(flip_bit(0u, 32), 1u);  // bit & 31
+}
+
+TEST(FlipBitSpan, FlipsCorrectByteAndBit) {
+  std::vector<std::uint8_t> bytes(4, 0);
+  flip_bit(std::span<std::uint8_t>(bytes), 0);
+  EXPECT_EQ(bytes[0], 1);
+  flip_bit(std::span<std::uint8_t>(bytes), 9);
+  EXPECT_EQ(bytes[1], 2);
+  flip_bit(std::span<std::uint8_t>(bytes), 31);
+  EXPECT_EQ(bytes[3], 0x80);
+}
+
+TEST(FlipBitSpan, OutOfRangeIsIgnored) {
+  std::vector<std::uint8_t> bytes(2, 0);
+  flip_bit(std::span<std::uint8_t>(bytes), 100);
+  EXPECT_EQ(bytes[0], 0);
+  EXPECT_EQ(bytes[1], 0);
+}
+
+TEST(ReadBit, MatchesFlips) {
+  std::vector<std::uint8_t> bytes(8, 0);
+  std::span<std::uint8_t> s(bytes);
+  EXPECT_FALSE(read_bit(s, 42));
+  flip_bit(s, 42);
+  EXPECT_TRUE(read_bit(s, 42));
+  EXPECT_FALSE(read_bit(s, 41));
+  EXPECT_FALSE(read_bit(s, 43));
+}
+
+TEST(Popcount, CountsBits) {
+  std::vector<std::uint8_t> bytes = {0xff, 0x0f, 0x01, 0x00};
+  EXPECT_EQ(popcount(std::span<const std::uint8_t>(bytes)), 13u);
+}
+
+TEST(CeilDiv, Rounds) {
+  EXPECT_EQ(ceil_div(0, 4), 0u);
+  EXPECT_EQ(ceil_div(1, 4), 1u);
+  EXPECT_EQ(ceil_div(4, 4), 1u);
+  EXPECT_EQ(ceil_div(5, 4), 2u);
+}
+
+TEST(IsPow2, Classifies) {
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(1024));
+  EXPECT_FALSE(is_pow2(48));
+}
+
+TEST(Log2Pow2, Computes) {
+  EXPECT_EQ(log2_pow2(1), 0u);
+  EXPECT_EQ(log2_pow2(2), 1u);
+  EXPECT_EQ(log2_pow2(128), 7u);
+}
+
+}  // namespace
+}  // namespace gras

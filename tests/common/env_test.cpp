@@ -1,0 +1,41 @@
+#include "src/common/env.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+namespace gras {
+namespace {
+
+TEST(Env, FallbackWhenUnset) {
+  ::unsetenv("GRAS_TEST_VAR");
+  EXPECT_EQ(env_u64("GRAS_TEST_VAR", 7), 7u);
+  EXPECT_EQ(env_str("GRAS_TEST_VAR", "dflt"), "dflt");
+}
+
+TEST(Env, ParsesSetValues) {
+  ::setenv("GRAS_TEST_VAR", "1234", 1);
+  EXPECT_EQ(env_u64("GRAS_TEST_VAR", 7), 1234u);
+  EXPECT_EQ(env_str("GRAS_TEST_VAR", "dflt"), "1234");
+  ::unsetenv("GRAS_TEST_VAR");
+}
+
+TEST(Env, GarbageFallsBack) {
+  ::setenv("GRAS_TEST_VAR", "not-a-number", 1);
+  EXPECT_EQ(env_u64("GRAS_TEST_VAR", 9), 9u);
+  ::setenv("GRAS_TEST_VAR", "", 1);
+  EXPECT_EQ(env_u64("GRAS_TEST_VAR", 9), 9u);
+  ::unsetenv("GRAS_TEST_VAR");
+}
+
+TEST(Env, NamedKnobsHaveDocumentedDefaults) {
+  ::unsetenv("GRAS_INJECTIONS");
+  ::unsetenv("GRAS_SEED");
+  ::unsetenv("GRAS_CONFIG");
+  EXPECT_EQ(env_injections(), 300u);
+  EXPECT_EQ(env_seed(), 2024u);
+  EXPECT_EQ(env_config(), "gv100-scaled");
+}
+
+}  // namespace
+}  // namespace gras

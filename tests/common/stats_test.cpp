@@ -1,0 +1,102 @@
+#include "src/common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace gras {
+namespace {
+
+TEST(NormalQuantile, KnownValues) {
+  EXPECT_NEAR(normal_quantile(0.5), 0.0, 1e-9);
+  EXPECT_NEAR(normal_quantile(0.975), 1.959964, 1e-5);
+  EXPECT_NEAR(normal_quantile(0.995), 2.575829, 1e-5);
+  EXPECT_NEAR(normal_quantile(0.025), -1.959964, 1e-5);
+}
+
+TEST(ZForConfidence, MatchesQuantile) {
+  EXPECT_NEAR(z_for_confidence(0.95), 1.959964, 1e-5);
+  EXPECT_NEAR(z_for_confidence(0.99), 2.575829, 1e-5);
+}
+
+TEST(PaperSampleSize, ThreeThousandGives235Margin) {
+  // The paper (§II-A): 3,000 injections -> 99% CI with ~+/-2.35% margin.
+  EXPECT_NEAR(margin_for_samples(3000, 0.99), 0.0235, 0.0003);
+}
+
+TEST(RequiredSamples, InvertsMargin) {
+  const std::uint64_t n = required_samples(0.0235, 0.99, ~std::uint64_t{0} >> 1);
+  EXPECT_NEAR(static_cast<double>(n), 3000.0, 30.0);
+}
+
+TEST(RequiredSamples, FinitePopulationReducesSamples) {
+  const std::uint64_t small = required_samples(0.01, 0.99, 10'000);
+  const std::uint64_t large = required_samples(0.01, 0.99, 100'000'000);
+  EXPECT_LT(small, large);
+  EXPECT_LE(small, 10'000u);
+}
+
+TEST(RequiredSamples, EdgeCases) {
+  EXPECT_EQ(required_samples(0.01, 0.99, 0), 0u);
+  EXPECT_EQ(required_samples(0.0, 0.99, 100), 0u);
+}
+
+TEST(WaldInterval, CentersOnEstimate) {
+  const ProportionCi ci = wald_interval(50, 100, 0.95);
+  EXPECT_DOUBLE_EQ(ci.estimate, 0.5);
+  EXPECT_NEAR(ci.margin(), 1.959964 * std::sqrt(0.25 / 100), 1e-6);
+  EXPECT_NEAR(ci.lower, 0.5 - ci.margin(), 1e-12);
+}
+
+TEST(WaldInterval, ClampsToUnitInterval) {
+  const ProportionCi lo = wald_interval(0, 100, 0.99);
+  EXPECT_EQ(lo.lower, 0.0);
+  const ProportionCi hi = wald_interval(100, 100, 0.99);
+  EXPECT_EQ(hi.upper, 1.0);
+}
+
+TEST(WaldInterval, ZeroTrials) {
+  const ProportionCi ci = wald_interval(0, 0, 0.99);
+  EXPECT_EQ(ci.estimate, 0.0);
+  EXPECT_EQ(ci.lower, 0.0);
+  EXPECT_EQ(ci.upper, 0.0);
+}
+
+TEST(WilsonInterval, NeverDegenerateAtExtremes) {
+  const ProportionCi ci = wilson_interval(0, 100, 0.99);
+  EXPECT_EQ(ci.estimate, 0.0);
+  EXPECT_GT(ci.upper, 0.0);  // Wilson upper bound stays informative
+  EXPECT_LT(ci.upper, 0.1);
+}
+
+TEST(WilsonInterval, ContainsEstimateForModerateP) {
+  const ProportionCi ci = wilson_interval(30, 100, 0.95);
+  EXPECT_LT(ci.lower, 0.3);
+  EXPECT_GT(ci.upper, 0.3);
+}
+
+TEST(WilsonInterval, NarrowerWithMoreSamples) {
+  const ProportionCi a = wilson_interval(30, 100, 0.95);
+  const ProportionCi b = wilson_interval(300, 1000, 0.95);
+  EXPECT_LT(b.margin(), a.margin());
+}
+
+TEST(RunningStat, MeanAndVariance) {
+  RunningStat s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // unbiased
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStat, SingleSample) {
+  RunningStat s;
+  s.add(3.5);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+}  // namespace
+}  // namespace gras

@@ -1,0 +1,46 @@
+#include "src/common/table.h"
+
+#include <gtest/gtest.h>
+
+namespace gras {
+namespace {
+
+TEST(TextTable, RendersAlignedColumns) {
+  TextTable t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22.5"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("22.5"), std::string::npos);
+  // Header separator line present.
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(TextTable, PadsMissingCells) {
+  TextTable t({"a", "b", "c"});
+  t.add_row({"x"});
+  EXPECT_EQ(t.rows(), 1u);
+  EXPECT_NO_THROW(t.render());
+}
+
+TEST(TextTable, NumFormatsPrecision) {
+  EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::num(3.0, 0), "3");
+  EXPECT_EQ(TextTable::num(-1.5, 1), "-1.5");
+}
+
+TEST(TextTable, PctScalesBy100) {
+  EXPECT_EQ(TextTable::pct(0.1234, 2), "12.34");
+  EXPECT_EQ(TextTable::pct(1.0, 1), "100.0");
+}
+
+TEST(TextTable, EmptyTableRendersHeaderOnly) {
+  TextTable t({"only"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("only"), std::string::npos);
+  EXPECT_EQ(t.rows(), 0u);
+}
+
+}  // namespace
+}  // namespace gras

@@ -1,0 +1,73 @@
+#include "src/common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace gras {
+namespace {
+
+TEST(ThreadPool, RunsEveryIterationExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(1000, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ZeroIterations) {
+  ThreadPool pool(2);
+  pool.parallel_for(0, [](std::size_t) { FAIL(); });
+}
+
+TEST(ThreadPool, SingleThreadWorks) {
+  ThreadPool pool(1);
+  std::atomic<int> sum{0};
+  pool.parallel_for(100, [&](std::size_t i) { sum += static_cast<int>(i); });
+  EXPECT_EQ(sum.load(), 4950);
+}
+
+TEST(ThreadPool, ReusableAcrossBatches) {
+  ThreadPool pool(3);
+  for (int round = 0; round < 5; ++round) {
+    std::atomic<int> count{0};
+    pool.parallel_for(50, [&](std::size_t) { count += 1; });
+    EXPECT_EQ(count.load(), 50);
+  }
+}
+
+TEST(ThreadPool, PropagatesFirstException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallel_for(100,
+                        [&](std::size_t i) {
+                          if (i == 37) throw std::runtime_error("boom");
+                        }),
+      std::runtime_error);
+  // The pool survives and keeps working.
+  std::atomic<int> count{0};
+  pool.parallel_for(10, [&](std::size_t) { count += 1; });
+  EXPECT_EQ(count.load(), 10);
+}
+
+TEST(ThreadPool, DefaultsToHardwareConcurrency) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.thread_count() + 1, 1u);  // spawned = threads - 1
+  std::atomic<int> count{0};
+  pool.parallel_for(8, [&](std::size_t) { count += 1; });
+  EXPECT_EQ(count.load(), 8);
+}
+
+TEST(ThreadPool, LargeBatchCompletes) {
+  ThreadPool pool(4);
+  std::atomic<std::uint64_t> sum{0};
+  pool.parallel_for(100000, [&](std::size_t i) {
+    sum.fetch_add(i, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(sum.load(), 100000ull * 99999 / 2);
+}
+
+}  // namespace
+}  // namespace gras

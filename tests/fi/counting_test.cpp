@@ -1,0 +1,72 @@
+// Consistency between the golden run's instruction accounting and the
+// software injector's counting: the sampling space [gp_begin, gp_end) of a
+// launch must exactly match the indices at which the injector can land.
+#include <gtest/gtest.h>
+
+#include "src/campaign/campaign.h"
+#include "src/fi/injectors.h"
+#include "src/workloads/workload.h"
+
+namespace gras {
+namespace {
+
+sim::GpuConfig config() { return sim::make_config("gv100-scaled"); }
+
+class CountingPerApp : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(CountingPerApp, LastGpIndexLandsAndOnePastDoesNot) {
+  const auto app = workloads::make_benchmark(GetParam());
+  const auto golden = campaign::run_golden(*app, config());
+  const std::uint64_t total = golden.launches.back().gp_end;
+  ASSERT_GT(total, 0u);
+  {
+    fi::SoftwareInjector inj(fi::SvfMode::Dst, total - 1, Rng(1));
+    sim::Gpu gpu(config());
+    gpu.set_launch_budgets(golden.budgets, golden.overflow_budget);
+    gpu.set_fault_hook(&inj);
+    workloads::run_app(*app, gpu);
+    EXPECT_TRUE(inj.injected()) << "last GP thread instruction must be reachable";
+  }
+  {
+    fi::SoftwareInjector inj(fi::SvfMode::Dst, total, Rng(1));
+    sim::Gpu gpu(config());
+    gpu.set_launch_budgets(golden.budgets, golden.overflow_budget);
+    gpu.set_fault_hook(&inj);
+    workloads::run_app(*app, gpu);
+    EXPECT_FALSE(inj.injected()) << "one-past-the-end must not land";
+  }
+}
+
+TEST_P(CountingPerApp, LoadSpaceMatchesLdCounters) {
+  const auto app = workloads::make_benchmark(GetParam());
+  const auto golden = campaign::run_golden(*app, config());
+  const std::uint64_t total = golden.launches.back().ld_end;
+  ASSERT_GT(total, 0u);
+  fi::SoftwareInjector inj(fi::SvfMode::DstLoad, total - 1, Rng(2));
+  sim::Gpu gpu(config());
+  gpu.set_launch_budgets(golden.budgets, golden.overflow_budget);
+  gpu.set_fault_hook(&inj);
+  workloads::run_app(*app, gpu);
+  EXPECT_TRUE(inj.injected());
+}
+
+// A fast subset keeps the suite quick; the mechanism is identical per app.
+INSTANTIATE_TEST_SUITE_P(Subset, CountingPerApp,
+                         ::testing::Values("va", "scp", "bfs", "lud"),
+                         [](const auto& info) { return info.param; });
+
+TEST(Counting, GpSpansArePerLaunchDisjointAndOrdered) {
+  const auto app = workloads::make_benchmark("srad_v1");
+  const auto golden = campaign::run_golden(*app, config());
+  std::uint64_t prev_end = 0;
+  for (const auto& l : golden.launches) {
+    EXPECT_EQ(l.gp_begin, prev_end);
+    EXPECT_GE(l.gp_end, l.gp_begin);
+    EXPECT_EQ(l.gp_end - l.gp_begin, l.stats.gp_thread_instrs);
+    EXPECT_EQ(l.ld_end - l.ld_begin, l.stats.ld_thread_instrs);
+    prev_end = l.gp_end;
+  }
+}
+
+}  // namespace
+}  // namespace gras

@@ -1,0 +1,248 @@
+// Fault injector tests: targeting, single-bit discipline, retry/give-up
+// behaviour and software-level counting.
+#include "src/fi/injectors.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/testing/sim_helpers.h"
+
+namespace gras {
+namespace {
+
+using testing::KernelRunner;
+
+constexpr char kSpinKernel[] = R"(
+.kernel spin
+.smem 512
+.param out ptr
+.param iters u32
+    S2R R0, SR_TID.X
+    MOV R1, 0
+    MOV R2, RZ
+loop:
+    IADD R1, R1, 3
+    IADD R2, R2, 1
+    ISETP.LT P0, R2, c[iters]
+    @P0 BRA loop
+    ISCADD R3, R0, c[out], 2
+    STG [R3], R1
+    EXIT
+)";
+
+TEST(MicroarchInjector, FlipsExactlyOneRfBit) {
+  sim::Gpu gpu(testing::test_config());
+  // Manually allocate registers so the fault space is known.
+  sim::RegFile& rf = gpu.sm(0).regfile();
+  const auto base = rf.allocate(8);
+  ASSERT_TRUE(base);
+  for (std::uint32_t i = 0; i < 8; ++i) rf.write(*base + i, 0);
+
+  fi::MicroarchInjector inj(fi::Structure::RF, 10, 100, Rng(1));
+  inj.on_cycle(gpu, 10);
+  EXPECT_TRUE(inj.injected());
+  std::uint32_t flipped_bits = 0;
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    flipped_bits += static_cast<std::uint32_t>(std::popcount(rf.read(*base + i)));
+  }
+  EXPECT_EQ(flipped_bits, 1u);
+}
+
+TEST(MicroarchInjector, OnlyTargetsAllocatedRf) {
+  sim::Gpu gpu(testing::test_config());
+  sim::RegFile& rf0 = gpu.sm(0).regfile();
+  const auto base = rf0.allocate(4);
+  ASSERT_TRUE(base);
+  // Run many injections; the flip must always land in the allocated block.
+  for (int trial = 0; trial < 50; ++trial) {
+    for (std::uint32_t i = 0; i < 4; ++i) rf0.write(*base + i, 0);
+    fi::MicroarchInjector inj(fi::Structure::RF, 1, 10, Rng(trial));
+    inj.on_cycle(gpu, 1);
+    ASSERT_TRUE(inj.injected());
+    std::uint32_t outside = 0;
+    for (std::uint32_t s = 0; s < gpu.num_sms(); ++s) {
+      const sim::RegFile& rf = gpu.sm(s).regfile();
+      for (std::uint32_t c = 0; c < rf.size(); ++c) {
+        if (rf.read(c) != 0 && !(s == 0 && c >= *base && c < *base + 4)) outside += 1;
+      }
+    }
+    EXPECT_EQ(outside, 0u) << "trial " << trial;
+  }
+}
+
+TEST(MicroarchInjector, RetriesUntilAllocationAppears) {
+  sim::Gpu gpu(testing::test_config());
+  fi::MicroarchInjector inj(fi::Structure::RF, 5, 100, Rng(3));
+  inj.on_cycle(gpu, 5);  // nothing allocated yet
+  EXPECT_FALSE(inj.injected());
+  EXPECT_EQ(inj.next_trigger(), 6u);  // retry armed
+  const auto base = gpu.sm(1).regfile().allocate(2);
+  ASSERT_TRUE(base);
+  inj.on_cycle(gpu, 6);
+  EXPECT_TRUE(inj.injected());
+  EXPECT_EQ(inj.next_trigger(), ~std::uint64_t{0});
+}
+
+TEST(MicroarchInjector, GivesUpAfterWindow) {
+  sim::Gpu gpu(testing::test_config());
+  fi::MicroarchInjector inj(fi::Structure::SMEM, 5, 10, Rng(4));
+  for (std::uint64_t cycle = 5; cycle <= 12; ++cycle) inj.on_cycle(gpu, cycle);
+  EXPECT_FALSE(inj.injected());
+  EXPECT_EQ(inj.next_trigger(), ~std::uint64_t{0});  // gave up
+}
+
+TEST(MicroarchInjector, CacheTargetsAlwaysInject) {
+  for (fi::Structure s : {fi::Structure::L1D, fi::Structure::L1T, fi::Structure::L2}) {
+    sim::Gpu gpu(testing::test_config());
+    fi::MicroarchInjector inj(s, 1, 2, Rng(5));
+    inj.on_cycle(gpu, 1);
+    EXPECT_TRUE(inj.injected()) << fi::structure_name(s);
+  }
+}
+
+TEST(MicroarchInjector, InjectionPerturbsLiveExecution) {
+  // Inject into the register file mid-kernel; with a busy RF some of the
+  // injections must change the output.
+  int changed = 0;
+  std::vector<std::uint32_t> golden;
+  for (int trial = -1; trial < 30; ++trial) {
+    KernelRunner runner(kSpinKernel);
+    const auto out = runner.alloc(std::vector<std::uint32_t>(32, 0));
+    fi::MicroarchInjector inj(fi::Structure::RF, 200, 100000, Rng(trial + 100));
+    if (trial >= 0) runner.gpu().set_fault_hook(&inj);
+    const auto result = runner.launch({1, 1, 1}, {32, 1, 1}, {out, 200});
+    if (trial < 0) {
+      ASSERT_TRUE(result.ok());
+      golden = runner.read(0);
+      continue;
+    }
+    if (result.ok() && runner.read(0) != golden) changed += 1;
+  }
+  EXPECT_GT(changed, 0);
+}
+
+TEST(SoftwareInjector, FlipsTheTargetDynamicInstruction) {
+  // Kernel writes out[tid] = tid via two GPR writes per thread:
+  // S2R (32 thread-instrs) then ISCADD (32) -> MOV R2 target below.
+  KernelRunner runner(R"(
+.kernel t
+.param out ptr
+    S2R R0, SR_TID.X
+    MOV R2, 5
+    ISCADD R3, R0, c[out], 2
+    STG [R3], R2
+    EXIT
+)");
+  const auto out = runner.alloc(std::vector<std::uint32_t>(32, 0));
+  // GP space per warp: S2R lanes 0..31 (indices 0-31), MOV (32-63),
+  // ISCADD (64-95). Target index 40 = MOV of lane 8.
+  fi::SoftwareInjector inj(fi::SvfMode::Dst, 40, Rng(7));
+  runner.gpu().set_fault_hook(&inj);
+  ASSERT_TRUE(runner.launch({1, 1, 1}, {32, 1, 1}, {out}).ok());
+  EXPECT_TRUE(inj.injected());
+  const auto result = runner.read(0);
+  for (std::uint32_t i = 0; i < 32; ++i) {
+    if (i == 8) {
+      EXPECT_NE(result[i], 5u);
+      EXPECT_EQ(std::popcount(result[i] ^ 5u), 1);  // single-bit flip
+    } else {
+      EXPECT_EQ(result[i], 5u) << i;
+    }
+  }
+}
+
+TEST(SoftwareInjector, LoadModeCountsOnlyLoads) {
+  KernelRunner runner(R"(
+.kernel t
+.param a ptr
+.param out ptr
+    S2R R0, SR_TID.X
+    ISCADD R1, R0, c[a], 2
+    LDG R2, [R1]
+    ISCADD R3, R0, c[out], 2
+    STG [R3], R2
+    EXIT
+)");
+  const auto a = runner.alloc(std::vector<std::uint32_t>(32, 100));
+  const auto out = runner.alloc(std::vector<std::uint32_t>(32, 0));
+  // Load space: only the LDG -> indices 0..31. Target lane 3.
+  fi::SoftwareInjector inj(fi::SvfMode::DstLoad, 3, Rng(8));
+  runner.gpu().set_fault_hook(&inj);
+  ASSERT_TRUE(runner.launch({1, 1, 1}, {32, 1, 1}, {a, out}).ok());
+  EXPECT_TRUE(inj.injected());
+  const auto result = runner.read(1);
+  for (std::uint32_t i = 0; i < 32; ++i) {
+    if (i == 3) EXPECT_EQ(std::popcount(result[i] ^ 100u), 1) << result[i];
+    else EXPECT_EQ(result[i], 100u);
+  }
+}
+
+TEST(SoftwareInjector, SrcReusePersistsAcrossReads) {
+  // R1 is read by two following instructions; a SrcReuse fault on the
+  // second instruction's source R1 corrupts both consumers' view from then
+  // on (the stored register itself is flipped).
+  KernelRunner runner(R"(
+.kernel t
+.param out ptr
+    S2R R0, SR_TID.X
+    MOV R1, 8
+    IADD R2, R1, RZ         // target: source R1 flipped here
+    IADD R3, R1, RZ         // sees the same corrupted R1
+    ISCADD R4, R0, c[out], 2
+    STG [R4], R2
+    STG [R4+128], R3
+    EXIT
+)");
+  const auto out = runner.alloc(std::vector<std::uint32_t>(64, 0));
+  // GP space: S2R(0-31) MOV(32-63) IADD(64-95) IADD(96-127) ISCADD(128-159).
+  fi::SoftwareInjector inj(fi::SvfMode::SrcReuse, 64, Rng(9));  // first IADD, lane 0
+  runner.gpu().set_fault_hook(&inj);
+  ASSERT_TRUE(runner.launch({1, 1, 1}, {32, 1, 1}, {out}).ok());
+  ASSERT_TRUE(inj.injected());
+  const auto result = runner.read(0);
+  EXPECT_NE(result[0], 8u);
+  EXPECT_EQ(result[0], result[32]);  // both consumers saw the same corruption
+}
+
+TEST(SoftwareInjector, SrcOnceAffectsOnlyOneConsumer) {
+  KernelRunner runner(R"(
+.kernel t
+.param out ptr
+    S2R R0, SR_TID.X
+    MOV R1, 8
+    IADD R2, R1, RZ         // target: corrupted source view
+    IADD R3, R1, RZ         // must see the restored R1
+    ISCADD R4, R0, c[out], 2
+    STG [R4], R2
+    STG [R4+128], R3
+    EXIT
+)");
+  const auto out = runner.alloc(std::vector<std::uint32_t>(64, 0));
+  fi::SoftwareInjector inj(fi::SvfMode::SrcOnce, 64, Rng(9));
+  runner.gpu().set_fault_hook(&inj);
+  ASSERT_TRUE(runner.launch({1, 1, 1}, {32, 1, 1}, {out}).ok());
+  ASSERT_TRUE(inj.injected());
+  const auto result = runner.read(0);
+  EXPECT_NE(result[0], 8u);    // first consumer corrupted
+  EXPECT_EQ(result[32], 8u);   // second consumer clean: fault was transient
+}
+
+TEST(SoftwareInjector, NoInjectionPastEndOfSpace) {
+  KernelRunner runner(R"(
+.kernel t
+    S2R R0, SR_TID.X
+    EXIT
+)");
+  fi::SoftwareInjector inj(fi::SvfMode::Dst, 1000000, Rng(10));
+  runner.gpu().set_fault_hook(&inj);
+  ASSERT_TRUE(runner.launch({1, 1, 1}, {32, 1, 1}, {}).ok());
+  EXPECT_FALSE(inj.injected());
+}
+
+TEST(Names, AreStable) {
+  EXPECT_STREQ(fi::structure_name(fi::Structure::L1T), "L1T");
+  EXPECT_STREQ(fi::outcome_name(fi::Outcome::SDC), "SDC");
+  EXPECT_STREQ(fi::svf_mode_name(fi::SvfMode::DstLoad), "SVF-LD");
+}
+
+}  // namespace
+}  // namespace gras

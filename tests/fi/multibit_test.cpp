@@ -1,0 +1,77 @@
+// Multi-bit fault model tests (the §II-A extension).
+#include <gtest/gtest.h>
+
+#include <bit>
+
+#include "src/fi/injectors.h"
+#include "tests/testing/sim_helpers.h"
+
+namespace gras {
+namespace {
+
+TEST(MultiBit, FlipsAdjacentBitsInOneWord) {
+  sim::Gpu gpu(testing::test_config());
+  sim::RegFile& rf = gpu.sm(0).regfile();
+  const auto base = rf.allocate(8);
+  ASSERT_TRUE(base);
+  for (std::uint32_t i = 0; i < 8; ++i) rf.write(*base + i, 0);
+
+  fi::MicroarchInjector inj(fi::Structure::RF, 1, 10, Rng(42), /*width=*/3);
+  inj.on_cycle(gpu, 1);
+  ASSERT_TRUE(inj.injected());
+  // All flipped bits live in exactly one cell, adjacent, count <= 3
+  // (clamped at the word boundary).
+  int cells_touched = 0;
+  std::uint32_t pattern = 0;
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    if (rf.read(*base + i) != 0) {
+      cells_touched += 1;
+      pattern = rf.read(*base + i);
+    }
+  }
+  EXPECT_EQ(cells_touched, 1);
+  const int bits = std::popcount(pattern);
+  EXPECT_GE(bits, 1);
+  EXPECT_LE(bits, 3);
+  // Adjacency: the set bits form one contiguous run.
+  const std::uint32_t normalized = pattern >> std::countr_zero(pattern);
+  EXPECT_EQ(normalized & (normalized + 1), 0u) << std::hex << pattern;
+}
+
+TEST(MultiBit, WidthOneEqualsSingleBit) {
+  sim::Gpu gpu(testing::test_config());
+  sim::RegFile& rf = gpu.sm(0).regfile();
+  const auto base = rf.allocate(4);
+  ASSERT_TRUE(base);
+  fi::MicroarchInjector inj(fi::Structure::RF, 1, 10, Rng(5), 1);
+  inj.on_cycle(gpu, 1);
+  std::uint32_t total_bits = 0;
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    total_bits += static_cast<std::uint32_t>(std::popcount(rf.read(*base + i)));
+  }
+  EXPECT_EQ(total_bits, 1u);
+}
+
+TEST(MultiBit, CacheFlipsStayInBounds) {
+  sim::Gpu gpu(testing::test_config());
+  fi::MicroarchInjector inj(fi::Structure::L2, 1, 10, Rng(6), 4);
+  inj.on_cycle(gpu, 1);
+  EXPECT_TRUE(inj.injected());  // must not crash near the array end
+}
+
+TEST(MultiBit, ZeroWidthIsTreatedAsOne) {
+  sim::Gpu gpu(testing::test_config());
+  sim::RegFile& rf = gpu.sm(0).regfile();
+  const auto base = rf.allocate(4);
+  ASSERT_TRUE(base);
+  fi::MicroarchInjector inj(fi::Structure::RF, 1, 10, Rng(7), 0);
+  inj.on_cycle(gpu, 1);
+  std::uint32_t total_bits = 0;
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    total_bits += static_cast<std::uint32_t>(std::popcount(rf.read(*base + i)));
+  }
+  EXPECT_EQ(total_bits, 1u);
+}
+
+}  // namespace
+}  // namespace gras

@@ -1,0 +1,84 @@
+// DMR (detection-only duplication) tests.
+#include "src/harden/dmr.h"
+
+#include <gtest/gtest.h>
+
+#include "src/campaign/campaign.h"
+#include "src/workloads/workload.h"
+
+namespace gras::harden {
+namespace {
+
+sim::GpuConfig config() { return sim::make_config("gv100-scaled"); }
+
+TEST(DmrApp, DuplicatesBuffers) {
+  const auto base = workloads::make_benchmark("va");
+  const DmrApp dmr(*base);
+  EXPECT_EQ(dmr.name(), "va_dmr");
+  for (const auto& spec : dmr.buffers()) {
+    EXPECT_EQ(spec.bytes, std::uint64_t{dmr.copy_stride()} * 2);
+  }
+}
+
+class DmrEveryApp : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(DmrEveryApp, FaultFreeOutputMatchesBase) {
+  const auto base = workloads::make_benchmark(GetParam());
+  const auto dmr = harden_dmr(*base);
+  sim::Gpu g1(config()), g2(config());
+  const auto base_out = workloads::run_app(*base, g1);
+  const auto dmr_out = workloads::run_app(*dmr, g2);
+  ASSERT_TRUE(dmr_out.completed());
+  EXPECT_EQ(base_out.outputs, dmr_out.outputs);
+  // Duplication costs less than triplication.
+  EXPECT_GT(g2.cycle(), g1.cycle());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, DmrEveryApp,
+                         ::testing::ValuesIn(workloads::benchmark_names()),
+                         [](const auto& info) { return info.param; });
+
+TEST(DmrVote, MismatchIsDetectedAsDue) {
+  const auto base = workloads::make_benchmark("va");
+  const DmrApp dmr(*base);
+  const std::uint64_t stride = dmr.copy_stride();
+  workloads::RunOutput raw;
+  std::vector<std::uint8_t> buf(stride * 2, 3);
+  buf[10] = 4;  // copies disagree
+  raw.outputs.push_back(buf);
+  const auto checked = dmr.postprocess(raw);
+  EXPECT_EQ(checked.trap, sim::TrapKind::HostCheck);
+}
+
+TEST(DmrVote, AgreementPassesThrough) {
+  const auto base = workloads::make_benchmark("va");
+  const DmrApp dmr(*base);
+  const std::uint64_t stride = dmr.copy_stride();
+  workloads::RunOutput raw;
+  raw.outputs.emplace_back(stride * 2, 9);
+  const auto checked = dmr.postprocess(raw);
+  ASSERT_TRUE(checked.completed());
+  EXPECT_EQ(checked.outputs[0].size(), base->buffers().back().bytes);
+  for (std::uint8_t b : checked.outputs[0]) EXPECT_EQ(b, 9);
+}
+
+TEST(DmrEndToEnd, ConvertsSdcToDue) {
+  const auto base = workloads::make_benchmark("va");
+  const auto dmr = harden_dmr(*base);
+  const auto golden_base = campaign::run_golden(*base, config());
+  const auto golden_dmr = campaign::run_golden(*dmr, config());
+  campaign::CampaignSpec spec;
+  spec.kernel = "va_k1";
+  spec.target = campaign::Target::Svf;
+  spec.samples = 60;
+  ThreadPool pool(2);
+  const auto before = campaign::run_campaign(*base, config(), golden_base, spec, pool);
+  const auto after = campaign::run_campaign(*dmr, config(), golden_dmr, spec, pool);
+  // Detection: SDCs collapse, DUEs grow correspondingly.
+  EXPECT_GT(before.counts.sdc, 0u);
+  EXPECT_LT(after.counts.sdc, std::max<std::uint64_t>(before.counts.sdc / 4, 1));
+  EXPECT_GT(after.counts.due, before.counts.due);
+}
+
+}  // namespace
+}  // namespace gras::harden

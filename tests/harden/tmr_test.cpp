@@ -1,0 +1,200 @@
+// TMR hardening tests: the kernel transform, buffer triplication, the
+// majority vote, and fault-correction behaviour end to end.
+#include "src/harden/tmr.h"
+
+#include <gtest/gtest.h>
+
+#include "src/assembler/assembler.h"
+#include "src/campaign/campaign.h"
+#include "src/fi/injectors.h"
+#include "src/workloads/workload.h"
+
+namespace gras::harden {
+namespace {
+
+sim::GpuConfig config() { return sim::make_config("gv100-scaled"); }
+
+TEST(TmrTransform, InjectsPrologueAndRebasesPointers) {
+  const auto k = assembler::assemble_kernel(R"(
+.kernel t
+.param a ptr
+.param n u32
+.param out ptr
+    S2R R0, SR_TID.X
+    ISETP.GE P0, R0, c[n]
+    @P0 EXIT
+    ISCADD R1, R0, c[a], 2
+    LDG R2, [R1]
+    ISCADD R3, R0, c[out], 2
+    STG [R3], R2
+    EXIT
+)");
+  const isa::Kernel h = tmr_transform(k, 0x1000);
+  // Prologue: S2R + (MOV+IMAD) per pointer param (a, out).
+  ASSERT_EQ(h.code.size(), k.code.size() + 5);
+  EXPECT_EQ(h.code[0].op, isa::Op::S2R);
+  EXPECT_EQ(h.code[0].b.value, static_cast<std::uint32_t>(isa::SpecialReg::CTAID_Z));
+  EXPECT_EQ(h.code[1].op, isa::Op::MOV);
+  EXPECT_EQ(h.code[2].op, isa::Op::IMAD);
+  EXPECT_EQ(h.code[2].b.value, 0x1000u);
+  // Pointer params in the body now come from registers; the scalar param is
+  // untouched.
+  const isa::Instr& iscadd_a = h.code[5 + 3];
+  EXPECT_EQ(iscadd_a.b.kind, isa::OperandKind::Gpr);
+  const isa::Instr& isetp = h.code[5 + 1];
+  EXPECT_EQ(isetp.b.kind, isa::OperandKind::Param);
+  // Register count grew by 1 (copy) + 2 (pointers).
+  EXPECT_EQ(h.num_regs, k.num_regs + 3);
+}
+
+TEST(TmrTransform, ShiftsBranchTargets) {
+  const auto k = assembler::assemble_kernel(R"(
+.kernel t
+.param p ptr
+    MOV R0, 0
+top:
+    IADD R0, R0, 1
+    ISETP.LT P0, R0, 3
+    @P0 BRA top
+    EXIT
+)");
+  const isa::Kernel h = tmr_transform(k, 16);
+  const std::uint32_t shift = 3;  // S2R + MOV + IMAD for one pointer
+  EXPECT_EQ(h.code[shift + 3].op, isa::Op::BRA);
+  EXPECT_EQ(h.code[shift + 3].target, shift + 1);
+}
+
+TEST(TmrTransform, ThrowsOnRegisterOverflow) {
+  isa::Kernel k;
+  k.name = "fat";
+  isa::Instr mov;
+  mov.op = isa::Op::MOV;
+  mov.dst = 61;
+  mov.a = isa::Operand::imm(0);
+  k.code.push_back(mov);
+  for (int i = 0; i < 3; ++i) {
+    k.params.push_back({"p" + std::to_string(i), true,
+                        static_cast<std::uint32_t>(i * 4)});
+  }
+  k.recount_registers();  // 62 regs + 1 copy + 3 pointers > 63
+  EXPECT_THROW(tmr_transform(k, 16), std::runtime_error);
+}
+
+TEST(TmrApp, TriplicatesBuffersAtUniformStride) {
+  const auto base = workloads::make_benchmark("va");
+  const TmrApp tmr(*base);
+  EXPECT_EQ(tmr.name(), "va_tmr");
+  ASSERT_EQ(tmr.buffers().size(), base->buffers().size());
+  std::uint64_t max_bytes = 0;
+  for (const auto& spec : base->buffers()) max_bytes = std::max(max_bytes, spec.bytes);
+  EXPECT_GE(tmr.copy_stride(), max_bytes);
+  for (const auto& spec : tmr.buffers()) {
+    EXPECT_EQ(spec.bytes, std::uint64_t{tmr.copy_stride()} * 3);
+  }
+  // Inputs replicated into all three copies.
+  const auto& a = tmr.buffers()[0];
+  const auto& base_a = base->buffers()[0];
+  for (std::uint64_t i = 0; i < base_a.bytes; ++i) {
+    EXPECT_EQ(a.host_init[i], base_a.host_init[i]);
+    EXPECT_EQ(a.host_init[tmr.copy_stride() + i], base_a.host_init[i]);
+    EXPECT_EQ(a.host_init[2ull * tmr.copy_stride() + i], base_a.host_init[i]);
+  }
+}
+
+class TmrEveryApp : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(TmrEveryApp, VotedOutputEqualsBaseOutput) {
+  const auto base = workloads::make_benchmark(GetParam());
+  const auto tmr = harden(*base);
+  sim::Gpu g1(config()), g2(config());
+  const auto base_out = workloads::run_app(*base, g1);
+  const auto tmr_out = workloads::run_app(*tmr, g2);
+  ASSERT_TRUE(base_out.completed());
+  ASSERT_TRUE(tmr_out.completed());
+  EXPECT_EQ(base_out.outputs, tmr_out.outputs);
+  // Triplication costs real execution time (the paper reports ~3x).
+  EXPECT_GT(g2.cycle(), g1.cycle());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, TmrEveryApp,
+                         ::testing::ValuesIn(workloads::benchmark_names()),
+                         [](const auto& info) { return info.param; });
+
+TEST(TmrVote, SingleCopyCorruptionIsCorrected) {
+  const auto base = workloads::make_benchmark("va");
+  const TmrApp tmr(*base);
+  // Build a raw (pre-vote) output: three identical copies, then corrupt
+  // copy 1.
+  const std::uint64_t stride = tmr.copy_stride();
+  workloads::RunOutput raw;
+  std::vector<std::uint8_t> buf(stride * 3, 0);
+  for (std::uint64_t i = 0; i < stride; ++i) {
+    buf[i] = buf[stride + i] = buf[2 * stride + i] = static_cast<std::uint8_t>(i);
+  }
+  buf[stride + 100] ^= 0x40;
+  raw.outputs.push_back(buf);
+  const auto voted = tmr.postprocess(raw);
+  ASSERT_TRUE(voted.completed());
+  EXPECT_EQ(voted.outputs[0][100], static_cast<std::uint8_t>(100));
+}
+
+TEST(TmrVote, TwoIdenticalWrongCopiesWin) {
+  // The residual-SDC mechanism: two copies corrupted identically outvote
+  // the correct one.
+  const auto base = workloads::make_benchmark("va");
+  const TmrApp tmr(*base);
+  const std::uint64_t stride = tmr.copy_stride();
+  workloads::RunOutput raw;
+  std::vector<std::uint8_t> buf(stride * 3, 7);
+  buf[4] = 9;
+  buf[stride + 4] = 9;  // copies 0 and 1 agree on the wrong value
+  raw.outputs.push_back(buf);
+  const auto voted = tmr.postprocess(raw);
+  ASSERT_TRUE(voted.completed());
+  EXPECT_EQ(voted.outputs[0][4], 9);
+}
+
+TEST(TmrVote, AllThreeDifferentIsDue) {
+  const auto base = workloads::make_benchmark("va");
+  const TmrApp tmr(*base);
+  const std::uint64_t stride = tmr.copy_stride();
+  workloads::RunOutput raw;
+  std::vector<std::uint8_t> buf(stride * 3, 0);
+  buf[8] = 1;
+  buf[stride + 8] = 2;
+  buf[2 * stride + 8] = 3;
+  raw.outputs.push_back(buf);
+  const auto voted = tmr.postprocess(raw);
+  EXPECT_EQ(voted.trap, sim::TrapKind::HostCheck);
+}
+
+TEST(TmrVote, AbortedRunPassesThrough) {
+  const auto base = workloads::make_benchmark("va");
+  const TmrApp tmr(*base);
+  workloads::RunOutput raw;
+  raw.trap = sim::TrapKind::OobGlobal;
+  const auto voted = tmr.postprocess(raw);
+  EXPECT_EQ(voted.trap, sim::TrapKind::OobGlobal);
+}
+
+TEST(TmrEndToEnd, SoftwareFaultInOneCopyIsMasked) {
+  // A destination-register flip corrupts one copy's computation; the vote
+  // must recover the golden output. Over several samples, the hardened
+  // app's SDC count must not exceed the unhardened one's.
+  const auto base = workloads::make_benchmark("va");
+  const auto tmr = harden(*base);
+  const auto golden_base = campaign::run_golden(*base, config());
+  const auto golden_tmr = campaign::run_golden(*tmr, config());
+  campaign::CampaignSpec spec;
+  spec.kernel = "va_k1";
+  spec.target = campaign::Target::Svf;
+  spec.samples = 60;
+  ThreadPool pool(2);
+  const auto base_result = campaign::run_campaign(*base, config(), golden_base, spec, pool);
+  const auto tmr_result = campaign::run_campaign(*tmr, config(), golden_tmr, spec, pool);
+  EXPECT_GT(base_result.counts.sdc, 0u);
+  EXPECT_LT(tmr_result.counts.sdc, base_result.counts.sdc / 4);
+}
+
+}  // namespace
+}  // namespace gras::harden

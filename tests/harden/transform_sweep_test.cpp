@@ -1,0 +1,53 @@
+// Property sweep: the TMR transform must be valid for every kernel of every
+// benchmark — prologue size, register budget, operand rewrites, target
+// shifts — and hardened kernels must stay within the SM's resources.
+#include <gtest/gtest.h>
+
+#include "src/harden/tmr.h"
+#include "src/workloads/workload.h"
+
+namespace gras::harden {
+namespace {
+
+class TransformSweep : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(TransformSweep, EveryKernelTransformsCleanly) {
+  const auto app = workloads::make_benchmark(GetParam());
+  for (const isa::Kernel& k : app->kernels()) {
+    const isa::Kernel h = tmr_transform(k, 0x4000);
+    std::size_t pointers = 0;
+    for (const auto& p : k.params) pointers += p.is_pointer;
+    // Prologue: one S2R plus MOV+IMAD per pointer param.
+    EXPECT_EQ(h.code.size(), k.code.size() + 1 + 2 * pointers) << k.name;
+    EXPECT_EQ(h.num_regs, k.num_regs + 1 + pointers) << k.name;
+    EXPECT_LT(h.num_regs, isa::kRegRZ) << k.name;
+    EXPECT_EQ(h.smem_bytes, k.smem_bytes) << k.name;
+    EXPECT_EQ(h.params.size(), k.params.size()) << k.name;
+
+    const std::uint32_t shift = static_cast<std::uint32_t>(1 + 2 * pointers);
+    for (std::size_t i = 0; i < k.code.size(); ++i) {
+      const isa::Instr& orig = k.code[i];
+      const isa::Instr& hard = h.code[i + shift];
+      EXPECT_EQ(hard.op, orig.op) << k.name << " @" << i;
+      if (orig.op == isa::Op::BRA || orig.op == isa::Op::SSY) {
+        EXPECT_EQ(hard.target, orig.target + shift) << k.name << " @" << i;
+      }
+      // No pointer-param operand survives in the body.
+      for (const isa::Operand* op : {&hard.a, &hard.b, &hard.c}) {
+        if (op->kind != isa::OperandKind::Param) continue;
+        for (const auto& p : k.params) {
+          if (p.is_pointer) {
+            EXPECT_NE(op->value, p.byte_offset) << k.name << " @" << i;
+          }
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, TransformSweep,
+                         ::testing::ValuesIn(workloads::benchmark_names()),
+                         [](const auto& info) { return info.param; });
+
+}  // namespace
+}  // namespace gras::harden

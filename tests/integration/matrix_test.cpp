@@ -1,0 +1,46 @@
+// Cross-matrix smoke: every app x every injection target executes a few
+// samples without crashing, and the outcome histogram is well-formed. This
+// guards the full campaign surface (including the SVF source modes) against
+// regressions in any single workload.
+#include <gtest/gtest.h>
+
+#include "src/campaign/campaign.h"
+#include "src/workloads/workload.h"
+
+namespace gras {
+namespace {
+
+sim::GpuConfig config() { return sim::make_config("gv100-scaled"); }
+
+class CampaignMatrix : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(CampaignMatrix, EveryTargetRunsOnEveryApp) {
+  const auto app = workloads::make_benchmark(GetParam());
+  const auto golden = campaign::run_golden(*app, config());
+  ThreadPool pool(2);
+  // First kernel keeps the matrix affordable; targets cover all nine modes.
+  const std::string kernel = golden.kernel_names().front();
+  for (const campaign::Target target :
+       {campaign::Target::RF, campaign::Target::SMEM, campaign::Target::L1D,
+        campaign::Target::L1T, campaign::Target::L2, campaign::Target::Svf,
+        campaign::Target::SvfLd, campaign::Target::SvfSrcOnce,
+        campaign::Target::SvfSrcReuse}) {
+    campaign::CampaignSpec spec;
+    spec.kernel = kernel;
+    spec.target = target;
+    spec.samples = 4;
+    spec.seed = 99;
+    const auto r = campaign::run_campaign(*app, config(), golden, spec, pool);
+    EXPECT_EQ(r.counts.total(), 4u)
+        << GetParam() << "/" << campaign::target_name(target);
+    EXPECT_LE(r.injected, 4u);
+    EXPECT_LE(r.control_path_masked, r.counts.masked);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, CampaignMatrix,
+                         ::testing::ValuesIn(workloads::benchmark_names()),
+                         [](const auto& info) { return info.param; });
+
+}  // namespace
+}  // namespace gras

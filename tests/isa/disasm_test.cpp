@@ -1,0 +1,84 @@
+#include "src/isa/disasm.h"
+
+#include <gtest/gtest.h>
+
+#include "src/assembler/assembler.h"
+
+namespace gras::isa {
+namespace {
+
+TEST(Disasm, RendersGuardsAndOperands) {
+  Instr i;
+  i.op = Op::IMAD;
+  i.guard = 0;
+  i.guard_neg = true;
+  i.dst = 4;
+  i.a = Operand::gpr(0);
+  i.b = Operand::imm(0x10);
+  i.c = Operand::gpr(3);
+  EXPECT_EQ(disassemble(i), "@!P0 IMAD R4, R0, 0x10, R3");
+}
+
+TEST(Disasm, RendersMemoryOffsets) {
+  Instr i;
+  i.op = Op::LDG;
+  i.dst = 6;
+  i.a = Operand::gpr(4);
+  i.mem_offset = 16;
+  EXPECT_EQ(disassemble(i), "LDG R6, [R4+16]");
+  i.mem_offset = -4;
+  EXPECT_EQ(disassemble(i), "LDG R6, [R4-4]");
+}
+
+TEST(Disasm, RendersNamedParams) {
+  Kernel k;
+  k.params.push_back({"src", true, 0});
+  Instr i;
+  i.op = Op::MOV;
+  i.dst = 1;
+  i.a = Operand::param(0);
+  EXPECT_EQ(disassemble(i, &k), "MOV R1, c[src]");
+  EXPECT_EQ(disassemble(i), "MOV R1, c[0x0]");
+}
+
+TEST(Disasm, RendersCompareAndMufuSuffixes) {
+  Instr i;
+  i.op = Op::ISETP;
+  i.cmp = Cmp::LT;
+  i.pdst = 2;
+  i.a = Operand::gpr(1);
+  i.b = Operand::gpr(3);
+  EXPECT_EQ(disassemble(i), "ISETP.LT P2, R1, R3");
+
+  Instr m;
+  m.op = Op::MUFU;
+  m.mufu = Mufu::SQRT;
+  m.dst = 5;
+  m.a = Operand::gpr(5);
+  EXPECT_EQ(disassemble(m), "MUFU.SQRT R5, R5");
+}
+
+TEST(Disasm, RendersBranchTargets) {
+  Instr i;
+  i.op = Op::BRA;
+  i.target = 12;
+  EXPECT_EQ(disassemble(i), "BRA #12");
+}
+
+TEST(Disasm, WholeKernelListsEveryInstruction) {
+  const auto kernel = assembler::assemble_kernel(R"(
+.kernel t
+.param n u32
+    S2R R0, SR_TID.X
+    ISETP.GE P0, R0, c[n]
+    @P0 EXIT
+    EXIT
+)");
+  const std::string text = disassemble(kernel);
+  EXPECT_NE(text.find("S2R R0, SR_TID.X"), std::string::npos);
+  EXPECT_NE(text.find("@P0 EXIT"), std::string::npos);
+  EXPECT_NE(text.find(".kernel t"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gras::isa

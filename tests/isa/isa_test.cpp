@@ -1,0 +1,99 @@
+#include "src/isa/isa.h"
+
+#include <gtest/gtest.h>
+
+namespace gras::isa {
+namespace {
+
+Instr make(Op op, std::uint8_t dst = kRegRZ) {
+  Instr i;
+  i.op = op;
+  i.dst = dst;
+  return i;
+}
+
+TEST(WritesGpr, AluWithRealDst) {
+  EXPECT_TRUE(make(Op::IADD, 3).writes_gpr());
+  EXPECT_TRUE(make(Op::FFMA, 0).writes_gpr());
+  EXPECT_TRUE(make(Op::MUFU, 10).writes_gpr());
+  EXPECT_TRUE(make(Op::LDG, 5).writes_gpr());
+  EXPECT_TRUE(make(Op::LDS, 5).writes_gpr());
+  EXPECT_TRUE(make(Op::ATOM_ADD, 5).writes_gpr());
+}
+
+TEST(WritesGpr, RzDestinationDoesNot) {
+  EXPECT_FALSE(make(Op::IADD, kRegRZ).writes_gpr());
+}
+
+TEST(WritesGpr, NonWritersDoNot) {
+  EXPECT_FALSE(make(Op::STG, 3).writes_gpr());
+  EXPECT_FALSE(make(Op::BRA, 3).writes_gpr());
+  EXPECT_FALSE(make(Op::ISETP, 3).writes_gpr());
+  EXPECT_FALSE(make(Op::BAR, 3).writes_gpr());
+  EXPECT_FALSE(make(Op::EXIT, 3).writes_gpr());
+  EXPECT_FALSE(make(Op::RED_ADD, 3).writes_gpr());
+}
+
+TEST(Classification, Loads) {
+  EXPECT_TRUE(make(Op::LDG).is_load());
+  EXPECT_TRUE(make(Op::LDT).is_load());
+  EXPECT_TRUE(make(Op::LDS).is_load());
+  EXPECT_FALSE(make(Op::STG).is_load());
+  EXPECT_FALSE(make(Op::IADD).is_load());
+}
+
+TEST(Classification, StoresAndShared) {
+  EXPECT_TRUE(make(Op::STG).is_store());
+  EXPECT_TRUE(make(Op::STS).is_store());
+  EXPECT_FALSE(make(Op::LDG).is_store());
+  EXPECT_TRUE(make(Op::LDS).is_shared_mem());
+  EXPECT_TRUE(make(Op::STS).is_shared_mem());
+  EXPECT_FALSE(make(Op::LDG).is_shared_mem());
+}
+
+TEST(Operand, FloatImmediateRoundTrips) {
+  const Operand op = Operand::fimm(1.5f);
+  EXPECT_EQ(op.kind, OperandKind::Imm);
+  float back;
+  __builtin_memcpy(&back, &op.value, 4);
+  EXPECT_EQ(back, 1.5f);
+}
+
+TEST(Kernel, RecountRegistersTracksMaxUsed) {
+  Kernel k;
+  Instr i = make(Op::IADD, 7);
+  i.a = Operand::gpr(3);
+  i.b = Operand::gpr(12);
+  k.code.push_back(i);
+  k.recount_registers();
+  EXPECT_EQ(k.num_regs, 13);
+}
+
+TEST(Kernel, RecountIgnoresRz) {
+  Kernel k;
+  Instr i = make(Op::MOV, 2);
+  i.a = Operand::gpr(kRegRZ);
+  k.code.push_back(i);
+  k.recount_registers();
+  EXPECT_EQ(k.num_regs, 3);
+}
+
+TEST(Kernel, ParamOffsetLookup) {
+  Kernel k;
+  k.name = "t";
+  k.params.push_back({"a", true, 0});
+  k.params.push_back({"n", false, 4});
+  EXPECT_EQ(k.param_offset("n"), 4u);
+  EXPECT_THROW(k.param_offset("missing"), std::out_of_range);
+}
+
+TEST(Names, AreStable) {
+  EXPECT_STREQ(op_name(Op::IMAD), "IMAD");
+  EXPECT_STREQ(op_name(Op::ATOM_ADD), "ATOM.ADD");
+  EXPECT_STREQ(cmp_name(Cmp::GE), "GE");
+  EXPECT_STREQ(mufu_name(Mufu::EXP), "EXP");
+  EXPECT_STREQ(sreg_name(SpecialReg::CTAID_Z), "SR_CTAID.Z");
+}
+
+}  // namespace
+}  // namespace gras::isa

@@ -1,0 +1,188 @@
+// AVF/SVF arithmetic tests against the paper's formulas (§II-B, §II-C),
+// using synthetic campaign results with known histograms.
+#include "src/metrics/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "src/workloads/workload.h"
+
+namespace gras::metrics {
+namespace {
+
+sim::GpuConfig config() { return sim::make_config("gv100-scaled"); }
+
+campaign::CampaignResult synthetic(campaign::Target target, std::uint64_t masked,
+                                   std::uint64_t sdc, std::uint64_t timeout,
+                                   std::uint64_t due) {
+  campaign::CampaignResult r;
+  r.spec.target = target;
+  r.counts.masked = masked;
+  r.counts.sdc = sdc;
+  r.counts.timeout = timeout;
+  r.counts.due = due;
+  return r;
+}
+
+TEST(StructureBits, DeriveFromConfig) {
+  const StructureBits bits = StructureBits::from(config());
+  const auto c = config();
+  EXPECT_EQ(bits.rf, std::uint64_t{c.regs_per_sm} * 32 * c.num_sms);
+  EXPECT_EQ(bits.l2, c.l2.data_bits());
+  EXPECT_EQ(bits.total(), bits.rf + bits.smem + bits.l1d + bits.l1t + bits.l2);
+  EXPECT_EQ(bits.cache_total(), bits.l1d + bits.l1t + bits.l2);
+  // The register file dominates the chip (paper footnote 2).
+  EXPECT_GT(bits.rf, bits.l1d + bits.l1t);
+}
+
+TEST(Breakdown, ValueIsSumOfClasses) {
+  Breakdown b{0.1, 0.02, 0.03};
+  EXPECT_DOUBLE_EQ(b.value(), 0.15);
+  const Breakdown s = b.scaled(0.5);
+  EXPECT_DOUBLE_EQ(s.sdc, 0.05);
+  EXPECT_DOUBLE_EQ(s.value(), 0.075);
+  Breakdown acc;
+  acc += b;
+  acc += s;
+  EXPECT_DOUBLE_EQ(acc.value(), 0.225);
+}
+
+TEST(Breakdown, OfCountsMatchesFr) {
+  const auto r = synthetic(campaign::Target::RF, 70, 20, 4, 6);
+  const Breakdown b = breakdown_of(r.counts);
+  EXPECT_DOUBLE_EQ(b.sdc, 0.20);
+  EXPECT_DOUBLE_EQ(b.timeout, 0.04);
+  EXPECT_DOUBLE_EQ(b.due, 0.06);
+  EXPECT_DOUBLE_EQ(b.value(), r.counts.failure_rate());
+}
+
+TEST(Derating, RfFollowsPaperFormula) {
+  const auto app = workloads::make_benchmark("va");
+  const auto golden = campaign::run_golden(*app, config());
+  const double df = rf_derating(golden, "va_k1", config());
+  const auto& l = golden.launches[0];
+  const double expected = static_cast<double>(l.regs_per_thread) * 32.0 *
+                          static_cast<double>(l.threads) /
+                          static_cast<double>(config().rf_bits_total());
+  EXPECT_DOUBLE_EQ(df, std::min(1.0, expected));
+  EXPECT_GT(df, 0.0);
+  EXPECT_LE(df, 1.0);
+}
+
+TEST(Derating, SmemZeroWhenKernelUsesNone) {
+  const auto app = workloads::make_benchmark("va");
+  const auto golden = campaign::run_golden(*app, config());
+  EXPECT_DOUBLE_EQ(smem_derating(golden, "va_k1", config()), 0.0);
+}
+
+TEST(Derating, SmemPositiveWhenKernelUsesShared) {
+  const auto app = workloads::make_benchmark("scp");
+  const auto golden = campaign::run_golden(*app, config());
+  EXPECT_GT(smem_derating(golden, "scp_k1", config()), 0.0);
+}
+
+TEST(KernelReliability, AvfIsFrTimesDf) {
+  KernelReliability k;
+  k.fr[fi::Structure::RF] = Breakdown{0.2, 0.0, 0.1};
+  k.df[fi::Structure::RF] = 0.25;
+  const Breakdown avf = k.avf(fi::Structure::RF);
+  EXPECT_DOUBLE_EQ(avf.sdc, 0.05);
+  EXPECT_DOUBLE_EQ(avf.due, 0.025);
+  EXPECT_DOUBLE_EQ(avf.value(), 0.075);
+}
+
+TEST(KernelReliability, MissingStructureContributesZero) {
+  KernelReliability k;
+  EXPECT_DOUBLE_EQ(k.avf(fi::Structure::L2).value(), 0.0);
+  EXPECT_DOUBLE_EQ(k.chip_avf(StructureBits::from(config())).value(), 0.0);
+}
+
+TEST(KernelReliability, ChipAvfIsSizeWeighted) {
+  // Two structures with hand sizes: AVF(chip) = sum size_h/total * AVF(h).
+  KernelReliability k;
+  k.fr[fi::Structure::RF] = Breakdown{0.4, 0.0, 0.0};
+  k.df[fi::Structure::RF] = 1.0;
+  k.fr[fi::Structure::L2] = Breakdown{0.1, 0.0, 0.0};
+  k.df[fi::Structure::L2] = 1.0;
+  StructureBits bits;
+  bits.rf = 300;
+  bits.l2 = 100;
+  const Breakdown chip = k.chip_avf(bits);
+  EXPECT_NEAR(chip.sdc, 0.4 * 0.75 + 0.1 * 0.25, 1e-12);
+}
+
+TEST(KernelReliability, AvfCacheWeighsOnlyCaches) {
+  KernelReliability k;
+  k.fr[fi::Structure::RF] = Breakdown{1.0, 0.0, 0.0};  // must not contribute
+  k.df[fi::Structure::RF] = 1.0;
+  k.fr[fi::Structure::L1D] = Breakdown{0.2, 0.0, 0.0};
+  k.df[fi::Structure::L1D] = 1.0;
+  k.fr[fi::Structure::L2] = Breakdown{0.4, 0.0, 0.0};
+  k.df[fi::Structure::L2] = 1.0;
+  StructureBits bits;
+  bits.rf = 1000;
+  bits.l1d = 100;
+  bits.l1t = 0;
+  bits.l2 = 300;
+  const Breakdown cache = k.avf_cache(bits);
+  EXPECT_NEAR(cache.sdc, 0.2 * 0.25 + 0.4 * 0.75, 1e-12);
+}
+
+TEST(AppReliability, CycleWeightedAvf) {
+  // Paper: AVF(app) = sum AVF(k) * cycles(k) / total cycles.
+  AppReliability app;
+  KernelReliability k1;
+  k1.fr[fi::Structure::RF] = Breakdown{0.3, 0.0, 0.0};
+  k1.df[fi::Structure::RF] = 1.0;
+  k1.cycles = 100;
+  k1.instructions = 10;
+  KernelReliability k2;
+  k2.fr[fi::Structure::RF] = Breakdown{0.6, 0.0, 0.0};
+  k2.df[fi::Structure::RF] = 1.0;
+  k2.cycles = 300;
+  k2.instructions = 90;
+  app.kernels = {k1, k2};
+  EXPECT_NEAR(app.avf_rf().sdc, 0.3 * 0.25 + 0.6 * 0.75, 1e-12);
+}
+
+TEST(AppReliability, InstructionWeightedSvf) {
+  AppReliability app;
+  KernelReliability k1;
+  k1.svf = Breakdown{0.5, 0.0, 0.0};
+  k1.cycles = 1000;
+  k1.instructions = 10;
+  KernelReliability k2;
+  k2.svf = Breakdown{0.1, 0.0, 0.0};
+  k2.cycles = 1;
+  k2.instructions = 90;
+  app.kernels = {k1, k2};
+  // SVF weighting ignores cycles entirely.
+  EXPECT_NEAR(app.svf().sdc, 0.5 * 0.1 + 0.1 * 0.9, 1e-12);
+}
+
+TEST(AppReliability, EmptyIsZero) {
+  AppReliability app;
+  EXPECT_DOUBLE_EQ(app.svf().value(), 0.0);
+  EXPECT_DOUBLE_EQ(app.chip_avf(StructureBits::from(config())).value(), 0.0);
+}
+
+TEST(Consolidate, BuildsFromCampaigns) {
+  const auto app = workloads::make_benchmark("scp");
+  const auto golden = campaign::run_golden(*app, config());
+  campaign::KernelCampaigns campaigns;
+  campaigns.emplace(campaign::Target::RF, synthetic(campaign::Target::RF, 8, 2, 0, 0));
+  campaigns.emplace(campaign::Target::Svf, synthetic(campaign::Target::Svf, 5, 5, 0, 0));
+  campaigns.emplace(campaign::Target::SvfLd,
+                    synthetic(campaign::Target::SvfLd, 9, 1, 0, 0));
+  const KernelReliability k = consolidate_kernel(golden, "scp_k1", campaigns, config());
+  EXPECT_EQ(k.kernel, "scp_k1");
+  EXPECT_DOUBLE_EQ(k.fr.at(fi::Structure::RF).sdc, 0.2);
+  EXPECT_DOUBLE_EQ(k.svf.sdc, 0.5);
+  EXPECT_DOUBLE_EQ(k.svf_ld.sdc, 0.1);
+  EXPECT_EQ(k.cycles, golden.kernel_cycles("scp_k1"));
+  EXPECT_EQ(k.instructions, golden.kernel_gp_instrs("scp_k1"));
+  EXPECT_DOUBLE_EQ(k.df.at(fi::Structure::L1D), 1.0);
+  EXPECT_GT(k.df.at(fi::Structure::RF), 0.0);
+}
+
+}  // namespace
+}  // namespace gras::metrics

@@ -1,0 +1,374 @@
+// Functional correctness of the ALU: every binary/ternary/unary opcode is
+// executed on the simulator over a sweep of values (including sign, overflow
+// and special-float cases) and compared with host-side reference semantics.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+
+#include "src/common/rng.h"
+#include "tests/testing/sim_helpers.h"
+
+namespace gras {
+namespace {
+
+using testing::bitsf;
+using testing::fbits;
+using testing::KernelRunner;
+
+constexpr std::uint32_t kN = 64;
+
+std::vector<std::uint32_t> test_values() {
+  std::vector<std::uint32_t> v = {0u,          1u,          2u,        0xffffffffu,
+                                  0x80000000u, 0x7fffffffu, 123456u,   0xdeadbeefu,
+                                  31u,         32u,         0xffffu,   0x10000u};
+  Rng rng(77);
+  while (v.size() < kN) v.push_back(static_cast<std::uint32_t>(rng()));
+  return v;
+}
+
+std::vector<std::uint32_t> float_values() {
+  std::vector<std::uint32_t> v = {fbits(0.0f),  fbits(-0.0f), fbits(1.0f),
+                                  fbits(-2.5f), fbits(1e20f), fbits(-1e-20f),
+                                  fbits(3.14159f), fbits(255.0f)};
+  Rng rng(78);
+  while (v.size() < kN) {
+    v.push_back(fbits(static_cast<float>(rng.uniform() * 200.0 - 100.0)));
+  }
+  return v;
+}
+
+struct BinOpCase {
+  const char* mnemonic;
+  bool float_inputs;
+  std::function<std::uint32_t(std::uint32_t, std::uint32_t)> reference;
+};
+
+class BinaryOp : public ::testing::TestWithParam<BinOpCase> {};
+
+TEST_P(BinaryOp, MatchesHostSemantics) {
+  const BinOpCase& tc = GetParam();
+  std::string src = R"(
+.kernel op_test
+.param a ptr
+.param b ptr
+.param out ptr
+.param n u32
+    S2R R0, SR_CTAID.X
+    S2R R1, SR_NTID.X
+    S2R R2, SR_TID.X
+    IMAD R3, R0, R1, R2
+    ISETP.GE P0, R3, c[n]
+    @P0 EXIT
+    ISCADD R4, R3, c[a], 2
+    LDG R5, [R4]
+    ISCADD R6, R3, c[b], 2
+    LDG R7, [R6]
+    )";
+  src += tc.mnemonic;
+  src += R"( R8, R5, R7
+    ISCADD R9, R3, c[out], 2
+    STG [R9], R8
+    EXIT
+)";
+  KernelRunner runner(src);
+  const auto a = tc.float_inputs ? float_values() : test_values();
+  auto b = tc.float_inputs ? float_values() : test_values();
+  std::reverse(b.begin(), b.end());
+  const std::uint32_t da = runner.alloc(a);
+  const std::uint32_t db = runner.alloc(b);
+  const std::uint32_t dout = runner.alloc(std::vector<std::uint32_t>(kN, 0));
+  const auto result = runner.launch({kN / 32, 1, 1}, {32, 1, 1}, {da, db, dout, kN});
+  ASSERT_TRUE(result.ok()) << sim::trap_name(result.trap);
+  const auto out = runner.read(2);
+  for (std::uint32_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(out[i], tc.reference(a[i], b[i])) << tc.mnemonic << " at " << i;
+  }
+}
+
+std::uint32_t s(std::int32_t v) { return static_cast<std::uint32_t>(v); }
+std::int32_t i32(std::uint32_t v) { return static_cast<std::int32_t>(v); }
+
+INSTANTIATE_TEST_SUITE_P(
+    IntegerOps, BinaryOp,
+    ::testing::Values(
+        BinOpCase{"IADD", false, [](auto a, auto b) { return a + b; }},
+        BinOpCase{"ISUB", false, [](auto a, auto b) { return a - b; }},
+        BinOpCase{"IMUL", false,
+                  [](auto a, auto b) {
+                    return static_cast<std::uint32_t>(i32(a) * std::int64_t{i32(b)});
+                  }},
+        BinOpCase{"SHL", false, [](auto a, auto b) { return a << (b & 31); }},
+        BinOpCase{"SHR", false, [](auto a, auto b) { return a >> (b & 31); }},
+        BinOpCase{"ASR", false, [](auto a, auto b) { return s(i32(a) >> (b & 31)); }},
+        BinOpCase{"AND", false, [](auto a, auto b) { return a & b; }},
+        BinOpCase{"OR", false, [](auto a, auto b) { return a | b; }},
+        BinOpCase{"XOR", false, [](auto a, auto b) { return a ^ b; }},
+        BinOpCase{"IMIN", false, [](auto a, auto b) { return s(std::min(i32(a), i32(b))); }},
+        BinOpCase{"IMAX", false, [](auto a, auto b) { return s(std::max(i32(a), i32(b))); }}),
+    [](const auto& info) { return info.param.mnemonic; });
+
+INSTANTIATE_TEST_SUITE_P(
+    FloatOps, BinaryOp,
+    ::testing::Values(
+        BinOpCase{"FADD", true, [](auto a, auto b) { return fbits(bitsf(a) + bitsf(b)); }},
+        BinOpCase{"FSUB", true, [](auto a, auto b) { return fbits(bitsf(a) - bitsf(b)); }},
+        BinOpCase{"FMUL", true, [](auto a, auto b) { return fbits(bitsf(a) * bitsf(b)); }},
+        BinOpCase{"FMIN", true,
+                  [](auto a, auto b) { return fbits(std::fmin(bitsf(a), bitsf(b))); }},
+        BinOpCase{"FMAX", true,
+                  [](auto a, auto b) { return fbits(std::fmax(bitsf(a), bitsf(b))); }}),
+    [](const auto& info) { return info.param.mnemonic; });
+
+struct UnaryCase {
+  const char* text;  // instruction text using R5 -> R8
+  bool float_inputs;
+  std::function<std::uint32_t(std::uint32_t)> reference;
+  const char* label;
+};
+
+class UnaryOp : public ::testing::TestWithParam<UnaryCase> {};
+
+TEST_P(UnaryOp, MatchesHostSemantics) {
+  const UnaryCase& tc = GetParam();
+  std::string src = R"(
+.kernel op_test
+.param a ptr
+.param out ptr
+.param n u32
+    S2R R0, SR_CTAID.X
+    S2R R1, SR_NTID.X
+    S2R R2, SR_TID.X
+    IMAD R3, R0, R1, R2
+    ISETP.GE P0, R3, c[n]
+    @P0 EXIT
+    ISCADD R4, R3, c[a], 2
+    LDG R5, [R4]
+    )";
+  src += tc.text;
+  src += R"(
+    ISCADD R9, R3, c[out], 2
+    STG [R9], R8
+    EXIT
+)";
+  KernelRunner runner(src);
+  auto a = tc.float_inputs ? float_values() : test_values();
+  if (tc.float_inputs) {
+    // Positive-only values keep RCP/SQRT/LOG well-defined.
+    for (auto& v : a) v = fbits(std::fabs(bitsf(v)) + 0.5f);
+  }
+  const std::uint32_t da = runner.alloc(a);
+  const std::uint32_t dout = runner.alloc(std::vector<std::uint32_t>(kN, 0));
+  const auto result = runner.launch({kN / 32, 1, 1}, {32, 1, 1}, {da, dout, kN});
+  ASSERT_TRUE(result.ok()) << sim::trap_name(result.trap);
+  const auto out = runner.read(1);
+  for (std::uint32_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(out[i], tc.reference(a[i])) << tc.label << " at " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Unaries, UnaryOp,
+    ::testing::Values(
+        UnaryCase{"MOV R8, R5", false, [](auto a) { return a; }, "MOV"},
+        UnaryCase{"NOT R8, R5", false, [](auto a) { return ~a; }, "NOT"},
+        UnaryCase{"I2F R8, R5", false, [](auto a) { return fbits(static_cast<float>(i32(a))); },
+                  "I2F"},
+        UnaryCase{"MUFU.RCP R8, R5", true,
+                  [](auto a) { return fbits(1.0f / bitsf(a)); }, "RCP"},
+        UnaryCase{"MUFU.SQRT R8, R5", true,
+                  [](auto a) { return fbits(std::sqrt(bitsf(a))); }, "SQRT"},
+        UnaryCase{"MUFU.EXP R8, R5", true,
+                  [](auto a) { return fbits(std::exp(bitsf(a))); }, "EXP"},
+        UnaryCase{"MUFU.LOG R8, R5", true,
+                  [](auto a) { return fbits(std::log(bitsf(a))); }, "LOG"},
+        UnaryCase{"MUFU.EX2 R8, R5", true,
+                  [](auto a) { return fbits(std::exp2(bitsf(a))); }, "EX2"},
+        UnaryCase{"MUFU.LG2 R8, R5", true,
+                  [](auto a) { return fbits(std::log2(bitsf(a))); }, "LG2"}),
+    [](const auto& info) { return info.param.label; });
+
+TEST(TernaryOps, ImadMatchesHost) {
+  KernelRunner runner(R"(
+.kernel t
+.param a ptr
+.param out ptr
+.param n u32
+    S2R R2, SR_TID.X
+    ISCADD R4, R2, c[a], 2
+    LDG R5, [R4]
+    IMAD R8, R5, 3, R5
+    ISCADD R9, R2, c[out], 2
+    STG [R9], R8
+    EXIT
+)");
+  const auto a = test_values();
+  const auto da = runner.alloc(a);
+  const auto dout = runner.alloc(std::vector<std::uint32_t>(kN, 0));
+  ASSERT_TRUE(runner.launch({1, 1, 1}, {kN, 1, 1}, {da, dout, kN}).ok());
+  const auto out = runner.read(1);
+  for (std::uint32_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(out[i], a[i] * 3 + a[i]);
+  }
+}
+
+TEST(TernaryOps, FfmaUsesFusedSemantics) {
+  KernelRunner runner(R"(
+.kernel t
+.param a ptr
+.param out ptr
+.param n u32
+    S2R R2, SR_TID.X
+    ISCADD R4, R2, c[a], 2
+    LDG R5, [R4]
+    FFMA R8, R5, R5, R5
+    ISCADD R9, R2, c[out], 2
+    STG [R9], R8
+    EXIT
+)");
+  const auto a = float_values();
+  const auto da = runner.alloc(a);
+  const auto dout = runner.alloc(std::vector<std::uint32_t>(kN, 0));
+  ASSERT_TRUE(runner.launch({1, 1, 1}, {kN, 1, 1}, {da, dout, kN}).ok());
+  const auto out = runner.read(1);
+  for (std::uint32_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(out[i], fbits(std::fmaf(bitsf(a[i]), bitsf(a[i]), bitsf(a[i]))));
+  }
+}
+
+TEST(TernaryOps, IscaddShifts) {
+  KernelRunner runner(R"(
+.kernel t
+.param out ptr
+    S2R R2, SR_TID.X
+    ISCADD R8, R2, 100, 4
+    ISCADD R9, R2, c[out], 2
+    STG [R9], R8
+    EXIT
+)");
+  const auto dout = runner.alloc(std::vector<std::uint32_t>(32, 0));
+  ASSERT_TRUE(runner.launch({1, 1, 1}, {32, 1, 1}, {dout}).ok());
+  const auto out = runner.read(0);
+  for (std::uint32_t i = 0; i < 32; ++i) EXPECT_EQ(out[i], (i << 4) + 100);
+}
+
+TEST(CompareSelect, IsetpAndSel) {
+  KernelRunner runner(R"(
+.kernel t
+.param a ptr
+.param out ptr
+.param n u32
+    S2R R2, SR_TID.X
+    ISCADD R4, R2, c[a], 2
+    LDG R5, [R4]
+    ISETP.LT P1, R5, 0
+    SEL R8, 1, RZ, P1        // 1 when negative, else 0
+    ISCADD R9, R2, c[out], 2
+    STG [R9], R8
+    EXIT
+)");
+  const auto a = test_values();
+  const auto da = runner.alloc(a);
+  const auto dout = runner.alloc(std::vector<std::uint32_t>(kN, 0));
+  ASSERT_TRUE(runner.launch({1, 1, 1}, {kN, 1, 1}, {da, dout, kN}).ok());
+  const auto out = runner.read(1);
+  for (std::uint32_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(out[i], i32(a[i]) < 0 ? 1u : 0u);
+  }
+}
+
+TEST(CompareSelect, FsetpComparesFloats) {
+  KernelRunner runner(R"(
+.kernel t
+.param a ptr
+.param out ptr
+    S2R R2, SR_TID.X
+    ISCADD R4, R2, c[a], 2
+    LDG R5, [R4]
+    FSETP.GT P1, R5, 0.5f
+    SEL R8, 7, 3, P1
+    ISCADD R9, R2, c[out], 2
+    STG [R9], R8
+    EXIT
+)");
+  std::vector<std::uint32_t> a;
+  for (int i = 0; i < 32; ++i) a.push_back(fbits(static_cast<float>(i) * 0.1f));
+  const auto da = runner.alloc(a);
+  const auto dout = runner.alloc(std::vector<std::uint32_t>(32, 0));
+  ASSERT_TRUE(runner.launch({1, 1, 1}, {32, 1, 1}, {da, dout}).ok());
+  const auto out = runner.read(1);
+  for (std::uint32_t i = 0; i < 32; ++i) {
+    EXPECT_EQ(out[i], bitsf(a[i]) > 0.5f ? 7u : 3u);
+  }
+}
+
+TEST(F2I, SaturatesAndHandlesNan) {
+  KernelRunner runner(R"(
+.kernel t
+.param a ptr
+.param out ptr
+    S2R R2, SR_TID.X
+    ISCADD R4, R2, c[a], 2
+    LDG R5, [R4]
+    F2I R8, R5
+    ISCADD R9, R2, c[out], 2
+    STG [R9], R8
+    EXIT
+)");
+  const std::vector<std::uint32_t> a = {
+      fbits(1.9f), fbits(-1.9f), fbits(0.0f),   fbits(1e30f),
+      fbits(-1e30f), fbits(std::nanf("")), fbits(2147483000.0f), fbits(42.0f)};
+  const auto da = runner.alloc(a);
+  const auto dout = runner.alloc(std::vector<std::uint32_t>(8, 0));
+  ASSERT_TRUE(runner.launch({1, 1, 1}, {8, 1, 1}, {da, dout}).ok());
+  const auto out = runner.read(1);
+  EXPECT_EQ(out[0], 1u);
+  EXPECT_EQ(out[1], s(-1));
+  EXPECT_EQ(out[2], 0u);
+  EXPECT_EQ(out[3], 0x7fffffffu);   // saturate high
+  EXPECT_EQ(out[4], 0x80000000u);   // saturate low
+  EXPECT_EQ(out[5], 0u);            // NaN -> 0
+  EXPECT_EQ(out[7], 42u);
+}
+
+TEST(SpecialRegs, AllIndicesCorrect) {
+  KernelRunner runner(R"(
+.kernel t
+.param out ptr
+    S2R R0, SR_TID.X
+    S2R R1, SR_TID.Y
+    S2R R2, SR_CTAID.X
+    S2R R3, SR_NTID.X
+    S2R R4, SR_LANEID
+    S2R R5, SR_WARPID
+    S2R R6, SR_NCTAID.X
+    S2R R7, SR_NTID.Y
+    // linear thread index within the launch
+    IMAD R10, R1, R3, R0          // tid.y*ntid.x + tid.x
+    IMUL R11, R3, R7              // threads per cta
+    IMAD R10, R2, R11, R10
+    // pack checks: out[linear*4 + k]
+    SHL R12, R10, 2
+    ISCADD R13, R12, c[out], 2
+    STG [R13], R4
+    STG [R13+4], R5
+    STG [R13+8], R6
+    STG [R13+12], R3
+    EXIT
+)");
+  const std::uint32_t total = 2 * 8 * 8;  // 2 CTAs of 8x8 threads
+  const auto dout = runner.alloc(std::vector<std::uint32_t>(total * 4, 0));
+  ASSERT_TRUE(runner.launch({2, 1, 1}, {8, 8, 1}, {dout}).ok());
+  const auto out = runner.read(0);
+  for (std::uint32_t lin = 0; lin < total; ++lin) {
+    const std::uint32_t in_cta = lin % 64;
+    EXPECT_EQ(out[lin * 4 + 0], in_cta % 32) << "laneid";
+    EXPECT_EQ(out[lin * 4 + 1], in_cta / 32) << "warpid";
+    EXPECT_EQ(out[lin * 4 + 2], 2u) << "nctaid.x";
+    EXPECT_EQ(out[lin * 4 + 3], 8u) << "ntid.x";
+  }
+}
+
+}  // namespace
+}  // namespace gras

@@ -1,0 +1,172 @@
+// Parameterized coverage of all comparison operators and of warp-level
+// memory coalescing.
+#include <gtest/gtest.h>
+
+#include "tests/testing/sim_helpers.h"
+
+namespace gras {
+namespace {
+
+using testing::bitsf;
+using testing::fbits;
+using testing::KernelRunner;
+
+struct CmpCase {
+  const char* suffix;
+  bool float_cmp;
+  std::function<bool(std::int32_t, std::int32_t)> iref;
+  std::function<bool(float, float)> fref;
+};
+
+class CompareOp : public ::testing::TestWithParam<CmpCase> {};
+
+TEST_P(CompareOp, AllSixOperators) {
+  const CmpCase& tc = GetParam();
+  std::string src = R"(
+.kernel t
+.param a ptr
+.param b ptr
+.param out ptr
+    S2R R2, SR_TID.X
+    ISCADD R4, R2, c[a], 2
+    LDG R5, [R4]
+    ISCADD R6, R2, c[b], 2
+    LDG R7, [R6]
+    )";
+  src += tc.float_cmp ? "FSETP." : "ISETP.";
+  src += tc.suffix;
+  src += R"( P1, R5, R7
+    SEL R8, 1, RZ, P1
+    ISCADD R9, R2, c[out], 2
+    STG [R9], R8
+    EXIT
+)";
+  KernelRunner runner(src);
+  std::vector<std::uint32_t> a, b;
+  for (int i = 0; i < 32; ++i) {
+    if (tc.float_cmp) {
+      a.push_back(fbits(static_cast<float>(i % 7) - 3.0f));
+      b.push_back(fbits(static_cast<float>(i % 5) - 2.0f));
+    } else {
+      a.push_back(static_cast<std::uint32_t>(i % 7 - 3));
+      b.push_back(static_cast<std::uint32_t>(i % 5 - 2));
+    }
+  }
+  const auto da = runner.alloc(a);
+  const auto db = runner.alloc(b);
+  const auto dout = runner.alloc(std::vector<std::uint32_t>(32, 7));
+  ASSERT_TRUE(runner.launch({1, 1, 1}, {32, 1, 1}, {da, db, dout}).ok());
+  const auto out = runner.read(2);
+  for (int i = 0; i < 32; ++i) {
+    const bool expect = tc.float_cmp
+                            ? tc.fref(bitsf(a[i]), bitsf(b[i]))
+                            : tc.iref(static_cast<std::int32_t>(a[i]),
+                                      static_cast<std::int32_t>(b[i]));
+    EXPECT_EQ(out[i], expect ? 1u : 0u) << tc.suffix << " lane " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Integer, CompareOp,
+    ::testing::Values(
+        CmpCase{"EQ", false, [](auto a, auto b) { return a == b; }, {}},
+        CmpCase{"NE", false, [](auto a, auto b) { return a != b; }, {}},
+        CmpCase{"LT", false, [](auto a, auto b) { return a < b; }, {}},
+        CmpCase{"LE", false, [](auto a, auto b) { return a <= b; }, {}},
+        CmpCase{"GT", false, [](auto a, auto b) { return a > b; }, {}},
+        CmpCase{"GE", false, [](auto a, auto b) { return a >= b; }, {}}),
+    [](const auto& info) { return std::string("I") + info.param.suffix; });
+
+INSTANTIATE_TEST_SUITE_P(
+    Float, CompareOp,
+    ::testing::Values(
+        CmpCase{"EQ", true, {}, [](auto a, auto b) { return a == b; }},
+        CmpCase{"NE", true, {}, [](auto a, auto b) { return a != b; }},
+        CmpCase{"LT", true, {}, [](auto a, auto b) { return a < b; }},
+        CmpCase{"LE", true, {}, [](auto a, auto b) { return a <= b; }},
+        CmpCase{"GT", true, {}, [](auto a, auto b) { return a > b; }},
+        CmpCase{"GE", true, {}, [](auto a, auto b) { return a >= b; }}),
+    [](const auto& info) { return std::string("F") + info.param.suffix; });
+
+TEST(Coalescing, WarpLoadOfOneLineIsOneAccess) {
+  KernelRunner runner(R"(
+.kernel t
+.param a ptr
+.param out ptr
+    S2R R2, SR_TID.X
+    ISCADD R4, R2, c[a], 2
+    LDG R5, [R4]
+    ISCADD R6, R2, c[out], 2
+    STG [R6], R5
+    EXIT
+)");
+  const auto a = runner.alloc(std::vector<std::uint32_t>(32, 1));
+  const auto out = runner.alloc(std::vector<std::uint32_t>(32, 0));
+  ASSERT_TRUE(runner.launch({1, 1, 1}, {32, 1, 1}, {a, out}).ok());
+  // 32 consecutive 4-byte accesses = exactly one 128-byte line each way.
+  EXPECT_EQ(runner.gpu().launches()[0].stats.l1d.accesses, 2u);
+}
+
+TEST(Coalescing, StridedAccessFansOut) {
+  KernelRunner runner(R"(
+.kernel t
+.param a ptr
+.param out ptr
+    S2R R2, SR_TID.X
+    SHL R3, R2, 5             // stride 32 words = one line per lane
+    ISCADD R4, R3, c[a], 2
+    LDG R5, [R4]
+    ISCADD R6, R2, c[out], 2
+    STG [R6], R5
+    EXIT
+)");
+  const auto a = runner.alloc(std::vector<std::uint32_t>(32 * 32, 2));
+  const auto out = runner.alloc(std::vector<std::uint32_t>(32, 0));
+  ASSERT_TRUE(runner.launch({1, 1, 1}, {32, 1, 1}, {a, out}).ok());
+  // The strided load touches 32 distinct lines; the store stays coalesced.
+  EXPECT_EQ(runner.gpu().launches()[0].stats.l1d.accesses, 32u + 1u);
+}
+
+TEST(Coalescing, PartiallyActiveWarpTouchesFewerLines) {
+  KernelRunner runner(R"(
+.kernel t
+.param a ptr
+.param out ptr
+    S2R R2, SR_TID.X
+    ISETP.GE P0, R2, 8
+    @P0 EXIT
+    SHL R3, R2, 5
+    ISCADD R4, R3, c[a], 2
+    LDG R5, [R4]
+    ISCADD R6, R2, c[out], 2
+    STG [R6], R5
+    EXIT
+)");
+  const auto a = runner.alloc(std::vector<std::uint32_t>(32 * 32, 3));
+  const auto out = runner.alloc(std::vector<std::uint32_t>(32, 0));
+  ASSERT_TRUE(runner.launch({1, 1, 1}, {32, 1, 1}, {a, out}).ok());
+  EXPECT_EQ(runner.gpu().launches()[0].stats.l1d.accesses, 8u + 1u);
+}
+
+TEST(Coalescing, GuardedStoreWritesOnlyActiveLanes) {
+  KernelRunner runner(R"(
+.kernel t
+.param out ptr
+    S2R R2, SR_TID.X
+    AND R3, R2, 1
+    ISETP.EQ P0, R3, RZ
+    ISCADD R4, R2, c[out], 2
+    MOV R5, 9
+    @P0 STG [R4], R5
+    EXIT
+)");
+  const auto out = runner.alloc(std::vector<std::uint32_t>(32, 0));
+  ASSERT_TRUE(runner.launch({1, 1, 1}, {32, 1, 1}, {out}).ok());
+  const auto result = runner.read(0);
+  for (std::uint32_t i = 0; i < 32; ++i) {
+    EXPECT_EQ(result[i], (i % 2 == 0) ? 9u : 0u) << i;
+  }
+}
+
+}  // namespace
+}  // namespace gras

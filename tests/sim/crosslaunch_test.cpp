@@ -1,0 +1,126 @@
+// Cross-launch behaviour: L1 flushing at kernel boundaries, L2 persistence,
+// fault persistence across launches, and the fast-forward optimization's
+// cycle-accuracy.
+#include <gtest/gtest.h>
+
+#include "tests/testing/sim_helpers.h"
+
+namespace gras {
+namespace {
+
+using testing::KernelRunner;
+
+constexpr char kLoadStore[] = R"(
+.kernel copy
+.param src ptr
+.param dst ptr
+    S2R R0, SR_TID.X
+    ISCADD R1, R0, c[src], 2
+    LDG R2, [R1]
+    ISCADD R3, R0, c[dst], 2
+    STG [R3], R2
+    EXIT
+)";
+
+TEST(CrossLaunch, L1IsFlushedBetweenLaunches) {
+  KernelRunner runner(kLoadStore);
+  const auto src = runner.alloc(std::vector<std::uint32_t>(32, 5));
+  const auto dst = runner.alloc(std::vector<std::uint32_t>(32, 0));
+  ASSERT_TRUE(runner.launch({1, 1, 1}, {32, 1, 1}, {src, dst}).ok());
+  const auto first = runner.gpu().launches()[0].stats.l1d;
+  ASSERT_TRUE(runner.launch({1, 1, 1}, {32, 1, 1}, {src, dst}).ok());
+  const auto second = runner.gpu().launches()[1].stats.l1d;
+  // The second launch re-misses on the loads: nothing survives the flush.
+  EXPECT_EQ(second.misses, first.misses);
+}
+
+TEST(CrossLaunch, L2PersistsAcrossLaunches) {
+  KernelRunner runner(kLoadStore);
+  const auto src = runner.alloc(std::vector<std::uint32_t>(32, 5));
+  const auto dst = runner.alloc(std::vector<std::uint32_t>(32, 0));
+  ASSERT_TRUE(runner.launch({1, 1, 1}, {32, 1, 1}, {src, dst}).ok());
+  const auto first = runner.gpu().launches()[0].stats.l2;
+  ASSERT_TRUE(runner.launch({1, 1, 1}, {32, 1, 1}, {src, dst}).ok());
+  const auto second = runner.gpu().launches()[1].stats.l2;
+  // L2 keeps the lines: the second launch's L1 fills hit in L2.
+  EXPECT_LT(second.misses, first.misses + 1);
+  EXPECT_GT(second.hits, 0u);
+}
+
+TEST(CrossLaunch, L1FaultDoesNotLeakIntoNextLaunch) {
+  // Corrupt every L1D line between launches: the flush (write-through L1,
+  // nothing dirty) must discard the corruption.
+  KernelRunner runner(kLoadStore);
+  const auto src = runner.alloc(std::vector<std::uint32_t>(32, 5));
+  const auto dst = runner.alloc(std::vector<std::uint32_t>(32, 0));
+  ASSERT_TRUE(runner.launch({1, 1, 1}, {32, 1, 1}, {src, dst}).ok());
+  // After end_launch, L1 is already flushed; corrupt it anyway and re-run.
+  for (std::uint32_t s = 0; s < runner.gpu().num_sms(); ++s) {
+    sim::Cache& l1 = runner.gpu().sm(s).l1d();
+    for (std::uint64_t b = 0; b < l1.data_bit_count(); b += 1024) l1.flip_data_bit(b);
+  }
+  ASSERT_TRUE(runner.launch({1, 1, 1}, {32, 1, 1}, {src, dst}).ok());
+  for (std::uint32_t v : runner.read(1)) EXPECT_EQ(v, 5u);
+}
+
+TEST(CrossLaunch, DirtyL2FaultSurvivesIntoLaterReads) {
+  // The paper's §IV-B mechanism across kernels: corrupt the destination
+  // buffer's dirty L2 lines after launch 1; the host read (and any later
+  // kernel) sees the corruption.
+  KernelRunner runner(kLoadStore);
+  const auto src = runner.alloc(std::vector<std::uint32_t>(32, 5));
+  const auto dst = runner.alloc(std::vector<std::uint32_t>(32, 0));
+  ASSERT_TRUE(runner.launch({1, 1, 1}, {32, 1, 1}, {src, dst}).ok());
+  sim::Cache& l2 = runner.gpu().l2();
+  for (std::uint64_t b = 0; b < l2.data_bit_count(); b += 32) {
+    l2.flip_data_bit(b);  // flip bit 0 of every word in the array
+  }
+  bool any_corrupted = false;
+  for (std::uint32_t v : runner.read(1)) any_corrupted |= v != 5u;
+  EXPECT_TRUE(any_corrupted);
+}
+
+TEST(CrossLaunch, FastForwardDoesNotChangeCycleCounts) {
+  // A hook that triggers at every cycle disables the idle-skip entirely;
+  // total cycles must be identical with and without it.
+  class EveryCycle final : public sim::FaultHook {
+   public:
+    void on_cycle(sim::Gpu&, std::uint64_t cycle) override { last_ = cycle; }
+    std::uint64_t next_trigger() const override { return last_ + 1; }
+
+   private:
+    std::uint64_t last_ = 0;
+  };
+
+  std::uint64_t cycles_plain = 0;
+  {
+    KernelRunner runner(kLoadStore);
+    const auto src = runner.alloc(std::vector<std::uint32_t>(256, 1));
+    const auto dst = runner.alloc(std::vector<std::uint32_t>(256, 0));
+    ASSERT_TRUE(runner.launch({8, 1, 1}, {32, 1, 1}, {src, dst}).ok());
+    cycles_plain = runner.gpu().cycle();
+  }
+  {
+    KernelRunner runner(kLoadStore);
+    const auto src = runner.alloc(std::vector<std::uint32_t>(256, 1));
+    const auto dst = runner.alloc(std::vector<std::uint32_t>(256, 0));
+    EveryCycle hook;
+    runner.gpu().set_fault_hook(&hook);
+    ASSERT_TRUE(runner.launch({8, 1, 1}, {32, 1, 1}, {src, dst}).ok());
+    EXPECT_EQ(runner.gpu().cycle(), cycles_plain);
+  }
+}
+
+TEST(CrossLaunch, GoldenCycleCountsAreStableAcrossGpuInstances) {
+  KernelRunner a(kLoadStore), b(kLoadStore);
+  const auto sa = a.alloc(std::vector<std::uint32_t>(64, 9));
+  const auto da = a.alloc(std::vector<std::uint32_t>(64, 0));
+  const auto sb = b.alloc(std::vector<std::uint32_t>(64, 9));
+  const auto db = b.alloc(std::vector<std::uint32_t>(64, 0));
+  ASSERT_TRUE(a.launch({2, 1, 1}, {32, 1, 1}, {sa, da}).ok());
+  ASSERT_TRUE(b.launch({2, 1, 1}, {32, 1, 1}, {sb, db}).ok());
+  EXPECT_EQ(a.gpu().cycle(), b.gpu().cycle());
+}
+
+}  // namespace
+}  // namespace gras

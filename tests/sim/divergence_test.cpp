@@ -1,0 +1,271 @@
+// SIMT control-flow tests: predication, SSY/SYNC divergence, nesting,
+// divergent loop exits, guarded EXIT and barrier semantics.
+#include <gtest/gtest.h>
+
+#include "tests/testing/sim_helpers.h"
+
+namespace gras {
+namespace {
+
+using testing::KernelRunner;
+
+TEST(Divergence, PredicatedExitSplitsWarp) {
+  KernelRunner runner(R"(
+.kernel t
+.param out ptr
+    S2R R0, SR_TID.X
+    ISETP.GE P0, R0, 16
+    @P0 EXIT
+    MOV R1, 7
+    ISCADD R2, R0, c[out], 2
+    STG [R2], R1
+    EXIT
+)");
+  const auto dout = runner.alloc(std::vector<std::uint32_t>(32, 0));
+  ASSERT_TRUE(runner.launch({1, 1, 1}, {32, 1, 1}, {dout}).ok());
+  const auto out = runner.read(0);
+  for (std::uint32_t i = 0; i < 32; ++i) EXPECT_EQ(out[i], i < 16 ? 7u : 0u);
+}
+
+TEST(Divergence, IfElseBothPathsExecute) {
+  KernelRunner runner(R"(
+.kernel t
+.param out ptr
+    S2R R0, SR_TID.X
+    AND R1, R0, 1
+    ISETP.EQ P0, R1, RZ
+    SSY join
+    @P0 BRA even
+    MOV R2, 100       // odd path
+    SYNC
+even:
+    MOV R2, 200       // even path
+    SYNC
+join:
+    ISCADD R3, R0, c[out], 2
+    STG [R3], R2
+    EXIT
+)");
+  const auto dout = runner.alloc(std::vector<std::uint32_t>(32, 0));
+  ASSERT_TRUE(runner.launch({1, 1, 1}, {32, 1, 1}, {dout}).ok());
+  const auto out = runner.read(0);
+  for (std::uint32_t i = 0; i < 32; ++i) {
+    EXPECT_EQ(out[i], (i % 2 == 0) ? 200u : 100u) << i;
+  }
+}
+
+TEST(Divergence, UniformBranchNeedsNoSync) {
+  KernelRunner runner(R"(
+.kernel t
+.param out ptr
+    S2R R0, SR_TID.X
+    SSY join
+    ISETP.GE P0, R0, RZ     // uniformly true
+    @P0 BRA taken
+    MOV R2, 1
+    SYNC
+taken:
+    MOV R2, 2
+    SYNC
+join:
+    ISCADD R3, R0, c[out], 2
+    STG [R3], R2
+    EXIT
+)");
+  const auto dout = runner.alloc(std::vector<std::uint32_t>(32, 0));
+  ASSERT_TRUE(runner.launch({1, 1, 1}, {32, 1, 1}, {dout}).ok());
+  for (std::uint32_t v : runner.read(0)) EXPECT_EQ(v, 2u);
+}
+
+TEST(Divergence, NestedSsyRegions) {
+  KernelRunner runner(R"(
+.kernel t
+.param out ptr
+    S2R R0, SR_TID.X
+    MOV R2, 0
+    AND R1, R0, 1
+    ISETP.EQ P0, R1, RZ
+    SSY join_outer
+    @P0 BRA outer_even
+    // odd half: nested split on bit 1
+    AND R1, R0, 2
+    ISETP.EQ P1, R1, RZ
+    SSY join_inner
+    @P1 BRA inner_a
+    IADD R2, R2, 1        // odd, bit1 set
+    SYNC
+inner_a:
+    IADD R2, R2, 10       // odd, bit1 clear
+    SYNC
+join_inner:
+    IADD R2, R2, 100      // all odd threads
+    SYNC
+outer_even:
+    IADD R2, R2, 1000     // even threads
+    SYNC
+join_outer:
+    ISCADD R3, R0, c[out], 2
+    STG [R3], R2
+    EXIT
+)");
+  const auto dout = runner.alloc(std::vector<std::uint32_t>(32, 0));
+  ASSERT_TRUE(runner.launch({1, 1, 1}, {32, 1, 1}, {dout}).ok());
+  const auto out = runner.read(0);
+  for (std::uint32_t i = 0; i < 32; ++i) {
+    if (i % 2 == 0) EXPECT_EQ(out[i], 1000u) << i;
+    else if (i & 2) EXPECT_EQ(out[i], 101u) << i;
+    else EXPECT_EQ(out[i], 110u) << i;
+  }
+}
+
+TEST(Divergence, LoopWithPerThreadTripCounts) {
+  // Thread i iterates i+1 times; SSY/SYNC reconverges everyone.
+  KernelRunner runner(R"(
+.kernel t
+.param out ptr
+    S2R R0, SR_TID.X
+    MOV R1, 0             // counter
+    MOV R2, 0             // i
+    SSY done
+loop:
+    IADD R1, R1, 1
+    IADD R2, R2, 1
+    ISETP.LE P0, R2, R0
+    @P0 BRA loop
+    SYNC
+done:
+    IADD R1, R1, 1000     // proves reconvergence
+    ISCADD R3, R0, c[out], 2
+    STG [R3], R1
+    EXIT
+)");
+  const auto dout = runner.alloc(std::vector<std::uint32_t>(32, 0));
+  ASSERT_TRUE(runner.launch({1, 1, 1}, {32, 1, 1}, {dout}).ok());
+  const auto out = runner.read(0);
+  for (std::uint32_t i = 0; i < 32; ++i) EXPECT_EQ(out[i], i + 1 + 1000) << i;
+}
+
+TEST(Divergence, ExitInsideDivergentRegion) {
+  KernelRunner runner(R"(
+.kernel t
+.param out ptr
+    S2R R0, SR_TID.X
+    ISETP.LT P0, R0, 8
+    SSY join
+    @P0 BRA low
+    // high threads write then exit inside the region
+    MOV R2, 5
+    ISCADD R3, R0, c[out], 2
+    STG [R3], R2
+    EXIT
+low:
+    MOV R2, 9
+    SYNC
+join:
+    ISCADD R3, R0, c[out], 2
+    STG [R3], R2
+    EXIT
+)");
+  const auto dout = runner.alloc(std::vector<std::uint32_t>(32, 0));
+  ASSERT_TRUE(runner.launch({1, 1, 1}, {32, 1, 1}, {dout}).ok());
+  const auto out = runner.read(0);
+  for (std::uint32_t i = 0; i < 32; ++i) EXPECT_EQ(out[i], i < 8 ? 9u : 5u) << i;
+}
+
+TEST(Divergence, PartialWarpStartsWithCorrectMask) {
+  KernelRunner runner(R"(
+.kernel t
+.param out ptr
+    S2R R0, SR_TID.X
+    ISCADD R3, R0, c[out], 2
+    STG [R3], 1
+    EXIT
+)");
+  const auto dout = runner.alloc(std::vector<std::uint32_t>(32, 0));
+  // 20 threads: lanes 20..31 never run.
+  ASSERT_TRUE(runner.launch({1, 1, 1}, {20, 1, 1}, {dout}).ok());
+  const auto out = runner.read(0);
+  for (std::uint32_t i = 0; i < 32; ++i) EXPECT_EQ(out[i], i < 20 ? 1u : 0u);
+}
+
+TEST(Barrier, SynchronizesSharedMemoryAcrossWarps) {
+  // Warp 0 writes, all warps barrier, warp 1 reads warp 0's values.
+  KernelRunner runner(R"(
+.kernel t
+.smem 256
+.param out ptr
+    S2R R0, SR_TID.X
+    ISETP.LT P0, R0, 32
+    SHL R1, R0, 2
+    IMAD R2, R0, 3, RZ
+    @P0 STS [R1], R2           // warp 0 fills slots 0..31
+    BAR
+    ISETP.GE P1, R0, 32
+    @!P1 EXIT
+    IADD R3, R0, -32
+    SHL R4, R3, 2
+    LDS R5, [R4]
+    ISCADD R6, R3, c[out], 2
+    STG [R6], R5
+    EXIT
+)");
+  const auto dout = runner.alloc(std::vector<std::uint32_t>(32, 0));
+  ASSERT_TRUE(runner.launch({1, 1, 1}, {64, 1, 1}, {dout}).ok());
+  const auto out = runner.read(0);
+  for (std::uint32_t i = 0; i < 32; ++i) EXPECT_EQ(out[i], i * 3) << i;
+}
+
+TEST(Barrier, ReleasesWhenRemainingWarpExits) {
+  // Warp 1 exits immediately; warp 0's barrier must still release.
+  KernelRunner runner(R"(
+.kernel t
+.param out ptr
+    S2R R0, SR_TID.X
+    ISETP.GE P0, R0, 32
+    @P0 EXIT
+    BAR
+    ISCADD R1, R0, c[out], 2
+    STG [R1], 1
+    EXIT
+)");
+  const auto dout = runner.alloc(std::vector<std::uint32_t>(32, 0));
+  const auto result = runner.launch({1, 1, 1}, {64, 1, 1}, {dout});
+  ASSERT_TRUE(result.ok()) << sim::trap_name(result.trap);
+  for (std::uint32_t i = 0; i < 32; ++i) EXPECT_EQ(runner.read(0)[i], 1u);
+}
+
+TEST(Barrier, LoopedBarriersStayInLockstep) {
+  KernelRunner runner(R"(
+.kernel t
+.smem 1024
+.param out ptr
+    S2R R0, SR_TID.X
+    SHL R1, R0, 2
+    STS [R1], R0
+    MOV R2, 0
+loop:
+    BAR
+    // read the neighbour's slot and add it
+    IADD R3, R0, 1
+    AND R3, R3, 63
+    SHL R4, R3, 2
+    LDS R5, [R4]
+    BAR
+    STS [R1], R5
+    IADD R2, R2, 1
+    ISETP.LT P0, R2, 64
+    @P0 BRA loop
+    LDS R6, [R1]
+    ISCADD R7, R0, c[out], 2
+    STG [R7], R6
+    EXIT
+)");
+  const auto dout = runner.alloc(std::vector<std::uint32_t>(64, 0));
+  ASSERT_TRUE(runner.launch({1, 1, 1}, {64, 1, 1}, {dout}).ok());
+  // After 64 rotations of a 64-slot ring, every thread holds its own id.
+  const auto out = runner.read(0);
+  for (std::uint32_t i = 0; i < 64; ++i) EXPECT_EQ(out[i], i) << i;
+}
+
+}  // namespace
+}  // namespace gras

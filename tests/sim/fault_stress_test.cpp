@@ -1,0 +1,85 @@
+// Fault-perturbation stress: hammer every workload with aggressive
+// multi-structure corruption mid-run. Whatever the fault does, the
+// simulator must terminate in one of the four defined outcomes — never
+// crash, assert, or hang past the watchdog.
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/fi/injectors.h"
+#include "src/workloads/workload.h"
+
+namespace gras {
+namespace {
+
+/// Chaos hook: flips a bit somewhere every `period` cycles, across all
+/// structures, live or dead — far beyond the single-fault model.
+class ChaosInjector final : public sim::FaultHook {
+ public:
+  ChaosInjector(Rng rng, std::uint64_t period) : rng_(rng), period_(period) {}
+
+  void on_cycle(sim::Gpu& gpu, std::uint64_t cycle) override {
+    if (cycle < next_) return;
+    next_ = cycle + period_;
+    switch (rng_.below(5)) {
+      case 0: {
+        sim::RegFile& rf = gpu.sm(rng_.below(gpu.num_sms())).regfile();
+        rf.flip_bit(rng_.below(rf.bit_count()));
+        break;
+      }
+      case 1: {
+        sim::SharedMem& smem = gpu.sm(rng_.below(gpu.num_sms())).shared_mem();
+        smem.flip_bit(rng_.below(smem.bit_count()));
+        break;
+      }
+      case 2: {
+        sim::Cache& l1 = gpu.sm(rng_.below(gpu.num_sms())).l1d();
+        l1.flip_data_bit(rng_.below(l1.data_bit_count()));
+        break;
+      }
+      case 3:
+        gpu.l2().flip_data_bit(rng_.below(gpu.l2().data_bit_count()));
+        break;
+      case 4:
+        gpu.l2().flip_tag_bit(rng_.below(gpu.l2().line_count()),
+                              static_cast<unsigned>(rng_.below(24)));
+        break;
+    }
+  }
+  std::uint64_t next_trigger() const override { return next_; }
+
+ private:
+  Rng rng_;
+  std::uint64_t period_;
+  std::uint64_t next_ = 0;
+};
+
+class FaultStress : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(FaultStress, ChaosAlwaysTerminatesInADefinedOutcome) {
+  const auto app = workloads::make_benchmark(GetParam());
+  const sim::GpuConfig config = sim::make_config("gv100-scaled");
+  sim::Gpu golden_gpu(config);
+  const auto golden = workloads::run_app(*app, golden_gpu);
+  ASSERT_TRUE(golden.completed());
+
+  for (int trial = 0; trial < 5; ++trial) {
+    ChaosInjector chaos(Rng::for_sample(0xc4a05, trial), /*period=*/200);
+    sim::Gpu gpu(config);
+    // Tight watchdog keeps fault-induced livelocks cheap.
+    std::vector<std::uint64_t> budgets;
+    for (const auto& l : golden_gpu.launches()) budgets.push_back(l.cycles() * 10 + 2000);
+    gpu.set_launch_budgets(budgets, golden_gpu.cycle() * 10 + 2000);
+    gpu.set_fault_hook(&chaos);
+    const auto out = workloads::run_app(*app, gpu);
+    // Any of the four outcomes is legal; the process surviving is the test.
+    SUCCEED() << GetParam() << " trial " << trial << " -> "
+              << sim::trap_name(out.trap);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, FaultStress,
+                         ::testing::ValuesIn(workloads::benchmark_names()),
+                         [](const auto& info) { return info.param; });
+
+}  // namespace
+}  // namespace gras

@@ -1,0 +1,244 @@
+// Device-level tests: CTA scheduling across SMs and waves, launch records,
+// statistics, host memcpy coherence and cross-launch state.
+#include <gtest/gtest.h>
+
+#include "tests/testing/sim_helpers.h"
+
+namespace gras {
+namespace {
+
+using testing::KernelRunner;
+
+constexpr char kCountKernel[] = R"(
+.kernel count
+.param out ptr
+.param n u32
+    S2R R0, SR_CTAID.X
+    S2R R1, SR_NTID.X
+    S2R R2, SR_TID.X
+    IMAD R3, R0, R1, R2
+    ISETP.GE P0, R3, c[n]
+    @P0 EXIT
+    ISCADD R4, R3, c[out], 2
+    IADD R5, R3, 1
+    STG [R4], R5
+    EXIT
+)";
+
+TEST(Gpu, MultiWaveExecutionCoversAllCtas) {
+  // 64 CTAs on a 4-SM, 8-CTA-slot device: several waves.
+  KernelRunner runner(kCountKernel);
+  const std::uint32_t n = 64 * 64;
+  const auto out = runner.alloc(std::vector<std::uint32_t>(n, 0));
+  ASSERT_TRUE(runner.launch({64, 1, 1}, {64, 1, 1}, {out, n}).ok());
+  const auto result = runner.read(0);
+  for (std::uint32_t i = 0; i < n; ++i) EXPECT_EQ(result[i], i + 1);
+}
+
+TEST(Gpu, TwoDimensionalGridMapsCtaIds) {
+  KernelRunner runner(R"(
+.kernel grid2d
+.param out ptr
+    S2R R0, SR_CTAID.X
+    S2R R1, SR_CTAID.Y
+    S2R R2, SR_NCTAID.X
+    IMAD R3, R1, R2, R0          // linear CTA id
+    ISCADD R4, R3, c[out], 2
+    MOV R5, 1
+    STG [R4], R5
+    EXIT
+)");
+  const auto out = runner.alloc(std::vector<std::uint32_t>(12, 0));
+  ASSERT_TRUE(runner.launch({4, 3, 1}, {1, 1, 1}, {out}).ok());
+  for (std::uint32_t v : runner.read(0)) EXPECT_EQ(v, 1u);
+}
+
+TEST(Gpu, GridZIsVisible) {
+  KernelRunner runner(R"(
+.kernel gz
+.param out ptr
+    S2R R0, SR_CTAID.Z
+    S2R R1, SR_CTAID.X
+    S2R R2, SR_NCTAID.X
+    IMAD R3, R0, R2, R1
+    ISCADD R4, R3, c[out], 2
+    STG [R4], R0
+    EXIT
+)");
+  const auto out = runner.alloc(std::vector<std::uint32_t>(6, 0xff));
+  ASSERT_TRUE(runner.launch({2, 1, 3}, {1, 1, 1}, {out}).ok());
+  const auto result = runner.read(0);
+  for (std::uint32_t z = 0; z < 3; ++z) {
+    EXPECT_EQ(result[z * 2], z);
+    EXPECT_EQ(result[z * 2 + 1], z);
+  }
+}
+
+TEST(Gpu, LaunchRecordsFormContiguousWindows) {
+  KernelRunner runner(kCountKernel);
+  const auto out = runner.alloc(std::vector<std::uint32_t>(64, 0));
+  ASSERT_TRUE(runner.launch({1, 1, 1}, {64, 1, 1}, {out, 64}).ok());
+  ASSERT_TRUE(runner.launch({1, 1, 1}, {64, 1, 1}, {out, 64}).ok());
+  const auto& launches = runner.gpu().launches();
+  ASSERT_EQ(launches.size(), 2u);
+  EXPECT_LT(launches[0].start_cycle, launches[0].end_cycle);
+  EXPECT_EQ(launches[0].end_cycle, launches[1].start_cycle);
+  EXPECT_EQ(launches[1].end_cycle, runner.gpu().cycle());
+  EXPECT_EQ(launches[0].kernel, "count");
+  EXPECT_EQ(launches[0].threads, 64u);
+}
+
+TEST(Gpu, InstructionCountersArePopulated) {
+  KernelRunner runner(kCountKernel);
+  const auto out = runner.alloc(std::vector<std::uint32_t>(64, 0));
+  ASSERT_TRUE(runner.launch({1, 1, 1}, {64, 1, 1}, {out, 64}).ok());
+  const auto& rec = runner.gpu().launches()[0];
+  // 2 warps x 10 instructions (the guarded EXIT issues with no lanes).
+  EXPECT_EQ(rec.stats.warp_instrs, 20u);
+  EXPECT_EQ(rec.stats.thread_instrs, 64u * 9);
+  // GPR writers: S2R x3, IMAD, ISCADD, IADD -> 6 per thread.
+  EXPECT_EQ(rec.gp_end - rec.gp_begin, 64u * 6);
+  EXPECT_EQ(rec.ld_end - rec.ld_begin, 0u);
+  EXPECT_EQ(rec.stats.store_instrs, 2u);  // one STG per warp
+  EXPECT_EQ(rec.stats.load_instrs, 0u);
+}
+
+TEST(Gpu, LoadCountersTrackLoads) {
+  KernelRunner runner(R"(
+.kernel lk
+.param a ptr
+.param out ptr
+    S2R R2, SR_TID.X
+    ISCADD R4, R2, c[a], 2
+    LDG R5, [R4]
+    ISCADD R6, R2, c[out], 2
+    STG [R6], R5
+    EXIT
+)");
+  const auto a = runner.alloc(std::vector<std::uint32_t>(32, 3));
+  const auto out = runner.alloc(std::vector<std::uint32_t>(32, 0));
+  ASSERT_TRUE(runner.launch({1, 1, 1}, {32, 1, 1}, {a, out}).ok());
+  const auto& rec = runner.gpu().launches()[0];
+  EXPECT_EQ(rec.ld_end - rec.ld_begin, 32u);
+  EXPECT_EQ(rec.stats.load_instrs, 1u);
+  EXPECT_EQ(rec.stats.l1d.accesses, 2u);  // one load line + one store line
+}
+
+TEST(Gpu, TextureLoadsGoThroughL1T) {
+  KernelRunner runner(R"(
+.kernel tk
+.param a ptr
+.param out ptr
+    S2R R2, SR_TID.X
+    ISCADD R4, R2, c[a], 2
+    LDT R5, [R4]
+    ISCADD R6, R2, c[out], 2
+    STG [R6], R5
+    EXIT
+)");
+  const auto a = runner.alloc(std::vector<std::uint32_t>(32, 9));
+  const auto out = runner.alloc(std::vector<std::uint32_t>(32, 0));
+  ASSERT_TRUE(runner.launch({1, 1, 1}, {32, 1, 1}, {a, out}).ok());
+  const auto& rec = runner.gpu().launches()[0];
+  EXPECT_EQ(rec.stats.l1t.accesses, 1u);
+  EXPECT_EQ(runner.read(1)[0], 9u);
+}
+
+TEST(Gpu, OccupancyIsBetweenZeroAndOne) {
+  KernelRunner runner(kCountKernel);
+  const auto out = runner.alloc(std::vector<std::uint32_t>(4096, 0));
+  ASSERT_TRUE(runner.launch({16, 1, 1}, {256, 1, 1}, {out, 4096}).ok());
+  const auto& rec = runner.gpu().launches()[0];
+  const double occ = rec.stats.occupancy(runner.gpu().config().max_warps_per_sm);
+  EXPECT_GT(occ, 0.0);
+  EXPECT_LE(occ, 1.0);
+}
+
+TEST(Gpu, MemsetFillsWords) {
+  KernelRunner runner(kCountKernel);
+  const auto addr = runner.gpu().malloc(64);
+  runner.gpu().memset_d32(addr, 0xdeadbeef, 16);
+  std::vector<std::uint32_t> out(16);
+  runner.gpu().memcpy_d2h(out.data(), addr, 64);
+  for (std::uint32_t v : out) EXPECT_EQ(v, 0xdeadbeefu);
+}
+
+TEST(Gpu, DeviceDataPersistsAcrossLaunches) {
+  KernelRunner runner(R"(
+.kernel inc
+.param buf ptr
+    S2R R0, SR_TID.X
+    ISCADD R1, R0, c[buf], 2
+    LDG R2, [R1]
+    IADD R2, R2, 1
+    STG [R1], R2
+    EXIT
+)");
+  const auto buf = runner.alloc(std::vector<std::uint32_t>(32, 0));
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(runner.launch({1, 1, 1}, {32, 1, 1}, {buf}).ok());
+  }
+  for (std::uint32_t v : runner.read(0)) EXPECT_EQ(v, 5u);
+}
+
+TEST(Gpu, AtomicsAccumulateAcrossCtas) {
+  KernelRunner runner(R"(
+.kernel atom
+.param counter ptr
+    MOV R0, c[counter]
+    RED.ADD [R0], 1
+    EXIT
+)");
+  const auto counter = runner.alloc(std::vector<std::uint32_t>(1, 0));
+  ASSERT_TRUE(runner.launch({8, 1, 1}, {64, 1, 1}, {counter}).ok());
+  EXPECT_EQ(runner.read(0)[0], 8u * 64);
+}
+
+TEST(Gpu, AtomAddReturnsUniqueTickets) {
+  KernelRunner runner(R"(
+.kernel tickets
+.param counter ptr
+.param out ptr
+    S2R R0, SR_CTAID.X
+    S2R R1, SR_NTID.X
+    S2R R2, SR_TID.X
+    IMAD R3, R0, R1, R2
+    MOV R4, c[counter]
+    ATOM.ADD R5, [R4], 1
+    ISCADD R6, R3, c[out], 2
+    STG [R6], R5
+    EXIT
+)");
+  const auto counter = runner.alloc(std::vector<std::uint32_t>(1, 0));
+  const auto out = runner.alloc(std::vector<std::uint32_t>(128, 0xffffffff));
+  ASSERT_TRUE(runner.launch({2, 1, 1}, {64, 1, 1}, {counter, out}).ok());
+  auto tickets = runner.read(1);
+  std::sort(tickets.begin(), tickets.end());
+  for (std::uint32_t i = 0; i < 128; ++i) EXPECT_EQ(tickets[i], i);
+}
+
+TEST(Gpu, CycleCountGrowsWithWork) {
+  KernelRunner small(kCountKernel);
+  const auto out1 = small.alloc(std::vector<std::uint32_t>(64, 0));
+  ASSERT_TRUE(small.launch({1, 1, 1}, {64, 1, 1}, {out1, 64}).ok());
+  const auto small_cycles = small.gpu().cycle();
+
+  KernelRunner big(kCountKernel);
+  const auto out2 = big.alloc(std::vector<std::uint32_t>(8192, 0));
+  ASSERT_TRUE(big.launch({128, 1, 1}, {64, 1, 1}, {out2, 8192}).ok());
+  EXPECT_GT(big.gpu().cycle(), small_cycles);
+}
+
+TEST(Gpu, RejectsMismatchedLineSizes) {
+  sim::GpuConfig config = testing::test_config();
+  config.l1d.line_bytes = 64;
+  EXPECT_THROW(sim::Gpu{config}, std::invalid_argument);
+}
+
+TEST(Gpu, EmptyLaunchIsRejected) {
+  KernelRunner runner(kCountKernel);
+  EXPECT_THROW(runner.launch({0, 1, 1}, {32, 1, 1}, {0, 0}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gras

@@ -1,0 +1,92 @@
+// Implicit divergence frames: a divergent branch *without* an enclosing SSY
+// (which only fault-perturbed control flow produces in practice) must
+// serialize both paths and retire them via EXIT — defined behaviour, no
+// wedging.
+#include <gtest/gtest.h>
+
+#include "tests/testing/sim_helpers.h"
+
+namespace gras {
+namespace {
+
+using testing::KernelRunner;
+
+TEST(ImplicitDivergence, BothPathsRunToExit) {
+  KernelRunner runner(R"(
+.kernel t
+.param out ptr
+    S2R R0, SR_TID.X
+    AND R1, R0, 1
+    ISETP.EQ P0, R1, RZ
+    @P0 BRA even            // divergent, no SSY
+    MOV R2, 100
+    ISCADD R3, R0, c[out], 2
+    STG [R3], R2
+    EXIT
+even:
+    MOV R2, 200
+    ISCADD R3, R0, c[out], 2
+    STG [R3], R2
+    EXIT
+)");
+  const auto out = runner.alloc(std::vector<std::uint32_t>(32, 0));
+  const auto result = runner.launch({1, 1, 1}, {32, 1, 1}, {out});
+  ASSERT_TRUE(result.ok()) << sim::trap_name(result.trap);
+  const auto values = runner.read(0);
+  for (std::uint32_t i = 0; i < 32; ++i) {
+    EXPECT_EQ(values[i], (i % 2 == 0) ? 200u : 100u) << i;
+  }
+}
+
+TEST(ImplicitDivergence, StraySyncIsANoop) {
+  KernelRunner runner(R"(
+.kernel t
+.param out ptr
+    S2R R0, SR_TID.X
+    SYNC                    // no frame: must be ignored
+    ISCADD R1, R0, c[out], 2
+    STG [R1], 5
+    EXIT
+)");
+  const auto out = runner.alloc(std::vector<std::uint32_t>(32, 0));
+  ASSERT_TRUE(runner.launch({1, 1, 1}, {32, 1, 1}, {out}).ok());
+  for (std::uint32_t v : runner.read(0)) EXPECT_EQ(v, 5u);
+}
+
+TEST(ImplicitDivergence, NestedImplicitSplitsStillDrain) {
+  KernelRunner runner(R"(
+.kernel t
+.param out ptr
+    S2R R0, SR_TID.X
+    AND R1, R0, 1
+    ISETP.EQ P0, R1, RZ
+    @P0 BRA half            // first unstructured split
+    AND R1, R0, 2
+    ISETP.EQ P1, R1, RZ
+    @P1 BRA quarter         // second split inside the first taken path
+    MOV R2, 1
+    ISCADD R3, R0, c[out], 2
+    STG [R3], R2
+    EXIT
+quarter:
+    MOV R2, 2
+    ISCADD R3, R0, c[out], 2
+    STG [R3], R2
+    EXIT
+half:
+    MOV R2, 3
+    ISCADD R3, R0, c[out], 2
+    STG [R3], R2
+    EXIT
+)");
+  const auto out = runner.alloc(std::vector<std::uint32_t>(32, 0));
+  ASSERT_TRUE(runner.launch({1, 1, 1}, {32, 1, 1}, {out}).ok());
+  const auto values = runner.read(0);
+  for (std::uint32_t i = 0; i < 32; ++i) {
+    const std::uint32_t expect = (i % 2 == 0) ? 3u : ((i & 2) == 0 ? 2u : 1u);
+    EXPECT_EQ(values[i], expect) << i;
+  }
+}
+
+}  // namespace
+}  // namespace gras

@@ -1,0 +1,90 @@
+#include "src/sim/memory.h"
+
+#include <gtest/gtest.h>
+
+#include "src/sim/config.h"
+
+namespace gras::sim {
+namespace {
+
+TEST(GlobalMemory, AllocationsAreAlignedAndDisjoint) {
+  GlobalMemory mem(1 << 20);
+  const std::uint32_t a = mem.allocate(100);
+  const std::uint32_t b = mem.allocate(100);
+  EXPECT_EQ(a % 16, 0u);
+  EXPECT_EQ(b % 16, 0u);
+  EXPECT_GE(b, a + 100);
+  EXPECT_GE(a, GlobalMemory::kBase);
+}
+
+TEST(GlobalMemory, ThrowsWhenExhausted) {
+  GlobalMemory mem(64 * 1024);
+  EXPECT_THROW(mem.allocate(1 << 20), std::bad_alloc);
+}
+
+TEST(GlobalMemory, BoundsChecking) {
+  GlobalMemory mem(1 << 20);
+  const std::uint32_t a = mem.allocate(256);
+  EXPECT_TRUE(mem.in_bounds(a, 4));
+  EXPECT_TRUE(mem.in_bounds(a + 252, 4));
+  EXPECT_FALSE(mem.in_bounds(a + 256, 4));   // past high-water mark
+  EXPECT_FALSE(mem.in_bounds(0, 4));          // guard page
+  EXPECT_FALSE(mem.in_bounds(100, 4));        // below kBase
+  EXPECT_FALSE(mem.in_bounds(~0ull - 2, 4));  // overflow
+}
+
+TEST(GlobalMemory, ReadWriteRoundTrip) {
+  GlobalMemory mem(1 << 20);
+  const std::uint32_t a = mem.allocate(16);
+  const std::uint8_t in[4] = {1, 2, 3, 4};
+  mem.write(a, in);
+  std::uint8_t out[4] = {};
+  mem.read(a, out);
+  EXPECT_EQ(out[0], 1);
+  EXPECT_EQ(out[3], 4);
+}
+
+TEST(GlobalMemory, OutOfBackingReadsZero) {
+  GlobalMemory mem(4096 + 256);
+  std::uint8_t out[8] = {0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff};
+  mem.read(mem.size() + 100, out);
+  for (std::uint8_t b : out) EXPECT_EQ(b, 0);
+}
+
+TEST(GlobalMemory, ResetClearsAllocatorAndData) {
+  GlobalMemory mem(1 << 20);
+  const std::uint32_t a = mem.allocate(16);
+  const std::uint8_t in[4] = {9, 9, 9, 9};
+  mem.write(a, in);
+  mem.reset();
+  EXPECT_EQ(mem.allocate(16), a);  // allocator rewound
+  std::uint8_t out[4] = {1, 1, 1, 1};
+  mem.read(a, out);
+  EXPECT_EQ(out[0], 0);
+}
+
+TEST(Config, PresetsExist) {
+  const GpuConfig scaled = make_config("gv100-scaled");
+  EXPECT_EQ(scaled.name, "gv100-scaled");
+  const GpuConfig full = make_config("gv100");
+  EXPECT_EQ(full.name, "gv100");
+  // The faithful preset has Volta-sized structures.
+  EXPECT_EQ(full.regs_per_sm, 64u * 1024);         // 256 KiB RF per SM
+  EXPECT_EQ(full.smem_bytes_per_sm, 96u * 1024);
+  EXPECT_GT(full.rf_bits_total(), scaled.rf_bits_total());
+}
+
+TEST(Config, UnknownPresetThrows) {
+  EXPECT_THROW(make_config("h100"), std::invalid_argument);
+}
+
+TEST(Config, DerivedBitCountsAreConsistent) {
+  const GpuConfig c = make_config("gv100-scaled");
+  EXPECT_EQ(c.rf_bits_total(), std::uint64_t{c.regs_per_sm} * 32 * c.num_sms);
+  EXPECT_EQ(c.l1d_bits_total(), c.l1d.data_bits() * c.num_sms);
+  EXPECT_EQ(c.l2_bits_total(), c.l2.data_bits());
+  EXPECT_EQ(c.max_threads_per_sm(), c.max_warps_per_sm * c.warp_size);
+}
+
+}  // namespace
+}  // namespace gras::sim

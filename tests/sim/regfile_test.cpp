@@ -1,0 +1,188 @@
+#include "src/sim/regfile.h"
+
+#include <gtest/gtest.h>
+
+namespace gras::sim {
+namespace {
+
+TEST(RegFile, AllocatesContiguousBlocks) {
+  RegFile rf(256);
+  const auto a = rf.allocate(64);
+  const auto b = rf.allocate(64);
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+  EXPECT_NE(*a, *b);
+  EXPECT_EQ(rf.allocated_count(), 128u);
+}
+
+TEST(RegFile, FailsWhenFull) {
+  RegFile rf(100);
+  EXPECT_TRUE(rf.allocate(60).has_value());
+  EXPECT_FALSE(rf.allocate(60).has_value());
+  EXPECT_TRUE(rf.allocate(40).has_value());
+}
+
+TEST(RegFile, FreeEnablesReuse) {
+  RegFile rf(100);
+  const auto a = rf.allocate(100);
+  ASSERT_TRUE(a);
+  rf.free(*a, 100);
+  EXPECT_EQ(rf.allocated_count(), 0u);
+  EXPECT_TRUE(rf.allocate(100).has_value());
+}
+
+TEST(RegFile, FreedCellsKeepStaleData) {
+  RegFile rf(64);
+  const auto a = rf.allocate(8);
+  rf.write(*a, 0xdead);
+  rf.free(*a, 8);
+  EXPECT_EQ(rf.read(*a), 0xdeadu);  // stale, dead data
+  EXPECT_FALSE(rf.is_allocated(*a));
+}
+
+TEST(RegFile, FirstFitReusesGaps) {
+  RegFile rf(64);
+  const auto a = rf.allocate(16);
+  const auto b = rf.allocate(16);
+  ASSERT_TRUE(a && b);
+  rf.free(*a, 16);
+  const auto c = rf.allocate(8);
+  ASSERT_TRUE(c);
+  EXPECT_EQ(*c, *a);  // fills the first gap
+}
+
+TEST(RegFile, AllocatedCellSelectsKth) {
+  RegFile rf(256);
+  const auto a = rf.allocate(4);   // cells 0..3
+  (void)a;
+  const auto b = rf.allocate(4);   // cells 4..7
+  rf.free(*b, 4);
+  const auto c = rf.allocate(8);   // cells 4..11 (first fit spans the gap? no:
+  // first-fit finds 8 contiguous free cells starting at 4)
+  ASSERT_TRUE(c);
+  // Allocated: 0..3 and 4..11 -> k-th allocated cell is simply k here.
+  for (std::uint32_t k = 0; k < rf.allocated_count(); ++k) {
+    const std::uint32_t cell = rf.allocated_cell(k);
+    EXPECT_TRUE(rf.is_allocated(cell));
+    EXPECT_EQ(cell, k);
+  }
+}
+
+TEST(RegFile, AllocatedCellSkipsHoles) {
+  RegFile rf(256);
+  const auto a = rf.allocate(4);
+  const auto b = rf.allocate(4);
+  const auto c = rf.allocate(4);
+  (void)a; (void)c;
+  rf.free(*b, 4);
+  // Allocated cells: 0..3 and 8..11.
+  EXPECT_EQ(rf.allocated_cell(0), 0u);
+  EXPECT_EQ(rf.allocated_cell(3), 3u);
+  EXPECT_EQ(rf.allocated_cell(4), 8u);
+  EXPECT_EQ(rf.allocated_cell(7), 11u);
+}
+
+TEST(RegFile, FlipBitTargetsCellAndBit) {
+  RegFile rf(16);
+  rf.write(3, 0);
+  rf.flip_bit(3 * 32 + 5);
+  EXPECT_EQ(rf.read(3), 1u << 5);
+  rf.flip_bit(3 * 32 + 5);
+  EXPECT_EQ(rf.read(3), 0u);
+}
+
+TEST(RegFile, BitCount) {
+  RegFile rf(1024);
+  EXPECT_EQ(rf.bit_count(), 1024u * 32);
+  rf.allocate(100);
+  EXPECT_EQ(rf.allocated_bit_count(), 100u * 32);
+}
+
+TEST(SharedMem, AllocationIsGranular) {
+  SharedMem sm(4096);
+  const auto a = sm.allocate(100);   // rounds to 256
+  ASSERT_TRUE(a);
+  EXPECT_EQ(sm.allocated_bytes(), 256u);
+  const auto b = sm.allocate(300);   // rounds to 512
+  ASSERT_TRUE(b);
+  EXPECT_EQ(sm.allocated_bytes(), 768u);
+  sm.free(*a, 100);
+  EXPECT_EQ(sm.allocated_bytes(), 512u);
+}
+
+TEST(SharedMem, ZeroByteAllocationStillReservesAGranule) {
+  SharedMem sm(1024);
+  const auto a = sm.allocate(0);
+  ASSERT_TRUE(a);
+  EXPECT_EQ(sm.allocated_bytes(), 256u);
+}
+
+TEST(SharedMem, FailsWhenFull) {
+  SharedMem sm(1024);
+  EXPECT_TRUE(sm.allocate(1024).has_value());
+  EXPECT_FALSE(sm.allocate(1).has_value());
+}
+
+TEST(SharedMem, ReadWriteU32) {
+  SharedMem sm(1024);
+  sm.write_u32(100, 0xabcdef01);
+  EXPECT_EQ(sm.read_u32(100), 0xabcdef01u);
+  // Out-of-backing accesses are inert.
+  sm.write_u32(2000, 1);
+  EXPECT_EQ(sm.read_u32(2000), 0u);
+}
+
+TEST(SharedMem, FlipBit) {
+  SharedMem sm(1024);
+  sm.write_u32(0, 0);
+  sm.flip_bit(7);
+  EXPECT_EQ(sm.read_u32(0), 0x80u);
+}
+
+TEST(SharedMem, AllocatedByteEnumerates) {
+  SharedMem sm(1024);
+  const auto a = sm.allocate(256);
+  (void)a;
+  const auto b = sm.allocate(256);
+  sm.free(*b, 256);
+  const auto c = sm.allocate(512);
+  ASSERT_TRUE(c);
+  EXPECT_EQ(*c, 256u);  // reuses the gap + next granule
+  for (std::uint32_t k = 0; k < sm.allocated_bytes(); ++k) {
+    EXPECT_TRUE(sm.is_allocated(sm.allocated_byte(k)));
+  }
+}
+
+
+TEST(RegFile, FragmentedFreeSpaceIsNotContiguous) {
+  RegFile rf(192);
+  const auto a = rf.allocate(64);
+  const auto b = rf.allocate(64);
+  const auto c = rf.allocate(64);
+  ASSERT_TRUE(a && b && c);
+  rf.free(*a, 64);
+  rf.free(*c, 64);
+  // 128 cells free in total, but no contiguous 100-cell run.
+  EXPECT_FALSE(rf.allocate(100).has_value());
+  EXPECT_TRUE(rf.allocate(64).has_value());
+}
+
+TEST(RegFile, FastRejectWhenNearlyFull) {
+  RegFile rf(16384);
+  ASSERT_TRUE(rf.allocate(9000).has_value());
+  // More than the remaining free cells: must fail (and does so in O(1)).
+  EXPECT_FALSE(rf.allocate(9000).has_value());
+  EXPECT_TRUE(rf.allocate(7000).has_value());
+}
+
+TEST(RegFile, WordBoundaryRunsAreFound) {
+  RegFile rf(256);
+  // Fill cells 0..62, leaving a run that starts mid-word and crosses words.
+  ASSERT_TRUE(rf.allocate(63).has_value());
+  const auto r = rf.allocate(100);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(*r, 63u);
+}
+
+}  // namespace
+}  // namespace gras::sim

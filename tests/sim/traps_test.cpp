@@ -1,0 +1,187 @@
+// Trap (DUE) detection: out-of-bounds / misaligned accesses, parameter
+// violations, invalid control transfers and the watchdog.
+#include <gtest/gtest.h>
+
+#include "tests/testing/sim_helpers.h"
+
+namespace gras {
+namespace {
+
+using testing::KernelRunner;
+
+TEST(Traps, GlobalOutOfBounds) {
+  KernelRunner runner(R"(
+.kernel t
+    MOV R0, 0x700000      // far past any allocation
+    LDG R1, [R0]
+    EXIT
+)");
+  const auto result = runner.launch({1, 1, 1}, {1, 1, 1}, {});
+  EXPECT_EQ(result.trap, sim::TrapKind::OobGlobal);
+}
+
+TEST(Traps, NullishGlobalAccess) {
+  KernelRunner runner(R"(
+.kernel t
+    MOV R0, 16            // inside the unmapped guard page
+    LDG R1, [R0]
+    EXIT
+)");
+  EXPECT_EQ(runner.launch({1, 1, 1}, {1, 1, 1}, {}).trap, sim::TrapKind::OobGlobal);
+}
+
+TEST(Traps, MisalignedGlobal) {
+  KernelRunner runner(R"(
+.kernel t
+.param buf ptr
+    MOV R0, c[buf]
+    IADD R0, R0, 2
+    LDG R1, [R0]
+    EXIT
+)");
+  const auto buf = runner.alloc(std::vector<std::uint32_t>(16, 0));
+  EXPECT_EQ(runner.launch({1, 1, 1}, {1, 1, 1}, {buf}).trap,
+            sim::TrapKind::MisalignedGlobal);
+}
+
+TEST(Traps, StoreOutOfBoundsAlsoTraps) {
+  KernelRunner runner(R"(
+.kernel t
+    MOV R0, 0x700000
+    STG [R0], 1
+    EXIT
+)");
+  EXPECT_EQ(runner.launch({1, 1, 1}, {1, 1, 1}, {}).trap, sim::TrapKind::OobGlobal);
+}
+
+TEST(Traps, SharedOutOfBounds) {
+  KernelRunner runner(R"(
+.kernel t
+.smem 256
+    MOV R0, 0x100000      // way past the SM's shared memory
+    LDS R1, [R0]
+    EXIT
+)");
+  EXPECT_EQ(runner.launch({1, 1, 1}, {1, 1, 1}, {}).trap, sim::TrapKind::OobShared);
+}
+
+TEST(Traps, MisalignedShared) {
+  KernelRunner runner(R"(
+.kernel t
+.smem 256
+    MOV R0, 5
+    STS [R0], 1
+    EXIT
+)");
+  EXPECT_EQ(runner.launch({1, 1, 1}, {1, 1, 1}, {}).trap,
+            sim::TrapKind::MisalignedShared);
+}
+
+TEST(Traps, SharedSpilloverIsSilent) {
+  // Access past the CTA's own allocation but inside the SM's shared memory:
+  // silent wrong-data behaviour, not a trap (matches real hardware).
+  KernelRunner runner(R"(
+.kernel t
+.smem 256
+.param out ptr
+    MOV R0, 0x400         // 1 KiB: beyond our 256 B, inside the SM's smem
+    LDS R1, [R0]
+    MOV R2, c[out]
+    STG [R2], R1
+    EXIT
+)");
+  const auto out = runner.alloc(std::vector<std::uint32_t>(4, 0xffffffff));
+  EXPECT_EQ(runner.launch({1, 1, 1}, {1, 1, 1}, {out}).trap, sim::TrapKind::None);
+}
+
+TEST(Traps, ParamOutOfBounds) {
+  KernelRunner runner(R"(
+.kernel t
+.param a u32
+    MOV R0, c[0x40]       // reads past the supplied parameter block
+    EXIT
+)");
+  EXPECT_EQ(runner.launch({1, 1, 1}, {1, 1, 1}, {5}).trap, sim::TrapKind::ParamOob);
+}
+
+TEST(Traps, RunningOffTheEndIsInvalidPc) {
+  KernelRunner runner(R"(
+.kernel t
+    NOP
+    NOP
+)");
+  EXPECT_EQ(runner.launch({1, 1, 1}, {1, 1, 1}, {}).trap, sim::TrapKind::InvalidPc);
+}
+
+TEST(Traps, WatchdogCatchesInfiniteLoop) {
+  KernelRunner runner(R"(
+.kernel t
+loop:
+    BRA loop
+)");
+  runner.gpu().set_launch_budgets({5000});
+  EXPECT_EQ(runner.launch({1, 1, 1}, {32, 1, 1}, {}).trap, sim::TrapKind::Watchdog);
+}
+
+TEST(Traps, WatchdogCatchesBarrierDeadlock) {
+  // Half the warps skip the barrier into an infinite loop: the other half
+  // can never be released (their loop keeps the CTA alive), watchdog fires.
+  KernelRunner runner(R"(
+.kernel t
+    S2R R0, SR_TID.X
+    ISETP.LT P0, R0, 32
+    @P0 BRA wait
+loop:
+    BRA loop
+wait:
+    BAR
+    BAR
+    EXIT
+)");
+  runner.gpu().set_launch_budgets({5000});
+  EXPECT_EQ(runner.launch({1, 1, 1}, {64, 1, 1}, {}).trap, sim::TrapKind::Watchdog);
+}
+
+TEST(Traps, LaunchAbortFreesResourcesForNextLaunch) {
+  KernelRunner runner(R"(
+.kernel t
+.param mode u32
+.param out ptr
+    MOV R0, c[mode]
+    ISETP.NE P0, R0, RZ
+    MOV R1, 0x700000
+    @P0 LDG R2, [R1]       // traps when mode != 0
+    MOV R3, c[out]
+    STG [R3], 42
+    EXIT
+)");
+  const auto out = runner.alloc(std::vector<std::uint32_t>(1, 0));
+  EXPECT_EQ(runner.launch({4, 1, 1}, {64, 1, 1}, {1, out}).trap,
+            sim::TrapKind::OobGlobal);
+  // The same GPU must accept and complete a follow-up launch.
+  const auto second = runner.launch({4, 1, 1}, {64, 1, 1}, {0, out});
+  EXPECT_EQ(second.trap, sim::TrapKind::None);
+  EXPECT_EQ(runner.read(0)[0], 42u);
+}
+
+TEST(Traps, OversizedCtaIsALaunchError) {
+  KernelRunner runner(R"(
+.kernel t
+    EXIT
+)");
+  // More warps than an SM supports -> host-level error, not a DUE.
+  EXPECT_THROW(runner.launch({1, 1, 1}, {4096, 1, 1}, {}), std::invalid_argument);
+}
+
+TEST(Traps, OversizedSmemIsALaunchError) {
+  sim::GpuConfig config = testing::test_config();
+  KernelRunner runner(R"(
+.kernel t
+.smem 1048576
+    EXIT
+)", config);
+  EXPECT_THROW(runner.launch({1, 1, 1}, {32, 1, 1}, {}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gras

@@ -1,0 +1,92 @@
+// Shared helpers for simulator tests: assemble-and-run one kernel with
+// device buffers, read results back.
+#pragma once
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/assembler/assembler.h"
+#include "src/sim/config.h"
+#include "src/sim/gpu.h"
+
+namespace gras::testing {
+
+inline sim::GpuConfig test_config() {
+  sim::GpuConfig c = sim::make_config("gv100-scaled");
+  return c;
+}
+
+/// One device buffer for a kernel run.
+struct DevBuf {
+  std::vector<std::uint32_t> data;  // uploaded before, downloaded after
+  std::uint32_t addr = 0;
+};
+
+/// Runs `source` (one kernel) with the given buffers; params are built by
+/// the caller from buf addresses after allocation via the callback.
+class KernelRunner {
+ public:
+  explicit KernelRunner(const std::string& source)
+      : config_(test_config()), gpu_(config_), kernel_(assembler::assemble_kernel(source)) {}
+
+  KernelRunner(const std::string& source, sim::GpuConfig config)
+      : config_(std::move(config)), gpu_(config_), kernel_(assembler::assemble_kernel(source)) {}
+
+  std::uint32_t alloc(std::vector<std::uint32_t> init) {
+    const auto bytes = init.size() * 4;
+    const std::uint32_t addr = gpu_.malloc(bytes);
+    gpu_.memcpy_h2d(addr, init.data(), bytes);
+    bufs_.push_back({std::move(init), addr});
+    return addr;
+  }
+
+  std::uint32_t alloc_f(const std::vector<float>& init) {
+    std::vector<std::uint32_t> words(init.size());
+    std::memcpy(words.data(), init.data(), init.size() * 4);
+    return alloc(std::move(words));
+  }
+
+  sim::LaunchResult launch(sim::Dim3 grid, sim::Dim3 block,
+                           std::vector<std::uint32_t> params) {
+    return gpu_.launch(kernel_, grid, block, std::move(params));
+  }
+
+  /// Downloads a buffer by its allocation order.
+  std::vector<std::uint32_t> read(std::size_t index) {
+    DevBuf& b = bufs_.at(index);
+    std::vector<std::uint32_t> out(b.data.size());
+    gpu_.memcpy_d2h(out.data(), b.addr, out.size() * 4);
+    return out;
+  }
+
+  std::vector<float> read_f(std::size_t index) {
+    const auto words = read(index);
+    std::vector<float> out(words.size());
+    std::memcpy(out.data(), words.data(), words.size() * 4);
+    return out;
+  }
+
+  sim::Gpu& gpu() { return gpu_; }
+  const isa::Kernel& kernel() const { return kernel_; }
+
+ private:
+  sim::GpuConfig config_;
+  sim::Gpu gpu_;
+  isa::Kernel kernel_;
+  std::vector<DevBuf> bufs_;
+};
+
+inline std::uint32_t fbits(float f) {
+  std::uint32_t b;
+  std::memcpy(&b, &f, 4);
+  return b;
+}
+
+inline float bitsf(std::uint32_t b) {
+  float f;
+  std::memcpy(&f, &b, 4);
+  return f;
+}
+
+}  // namespace gras::testing

@@ -1,0 +1,41 @@
+// The faithful-size "gv100" preset must run the suite too (campaigns default
+// to gv100-scaled; GRAS_CONFIG=gv100 switches the bench harnesses over).
+#include <gtest/gtest.h>
+
+#include "src/campaign/campaign.h"
+#include "src/metrics/metrics.h"
+#include "src/workloads/workload.h"
+
+namespace gras::workloads {
+namespace {
+
+TEST(Gv100Preset, RunsBenchmarksToCompletion) {
+  const sim::GpuConfig config = sim::make_config("gv100");
+  for (const char* name : {"va", "scp", "bfs"}) {
+    const auto app = make_benchmark(name);
+    sim::Gpu gpu(config);
+    const RunOutput out = run_app(*app, gpu);
+    EXPECT_EQ(out.trap, sim::TrapKind::None) << name;
+  }
+}
+
+TEST(Gv100Preset, OutputsMatchScaledConfig) {
+  // Timing differs between presets, but functional results must not.
+  for (const char* name : {"va", "hotspot"}) {
+    const auto app = make_benchmark(name);
+    sim::Gpu big(sim::make_config("gv100"));
+    sim::Gpu small(sim::make_config("gv100-scaled"));
+    EXPECT_EQ(run_app(*app, big).outputs, run_app(*app, small).outputs) << name;
+  }
+}
+
+TEST(Gv100Preset, DeratingFactorsShrinkOnTheBigChip) {
+  const auto app = make_benchmark("scp");
+  const auto big = campaign::run_golden(*app, sim::make_config("gv100"));
+  const auto small = campaign::run_golden(*app, sim::make_config("gv100-scaled"));
+  EXPECT_LT(gras::metrics::rf_derating(big, "scp_k1", sim::make_config("gv100")),
+            gras::metrics::rf_derating(small, "scp_k1", sim::make_config("gv100-scaled")));
+}
+
+}  // namespace
+}  // namespace gras::workloads

@@ -1,0 +1,51 @@
+// Size-parameterized workload variants (used by the input-size ablation).
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "src/workloads/app_base.h"
+
+namespace gras::workloads {
+namespace {
+
+sim::GpuConfig config() { return sim::make_config("gv100-scaled"); }
+
+TEST(SizedVariants, DefaultSizeKeepsCanonicalName) {
+  EXPECT_EQ(make_va()->name(), "va");
+  EXPECT_EQ(make_hotspot()->name(), "hotspot");
+}
+
+TEST(SizedVariants, NonDefaultSizesGetDistinctNames) {
+  EXPECT_EQ(make_va_sized(1024)->name(), "va@1024");
+  EXPECT_EQ(make_hotspot_sized(32, 2)->name(), "hotspot@32x2");
+}
+
+class VaSizes : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(VaSizes, ComputesCorrectSums) {
+  const auto app = make_va_sized(GetParam());
+  sim::Gpu gpu(config());
+  const RunOutput out = run_app(*app, gpu);
+  ASSERT_TRUE(out.completed());
+  EXPECT_EQ(out.outputs.at(0).size(), GetParam() * 4u);
+  // Spot-check one element against the declared inputs.
+  const auto& a = app->buffers()[0].host_init;
+  const auto& b = app->buffers()[1].host_init;
+  float fa, fb, fc;
+  std::memcpy(&fa, a.data() + 40, 4);
+  std::memcpy(&fb, b.data() + 40, 4);
+  std::memcpy(&fc, out.outputs[0].data() + 40, 4);
+  EXPECT_EQ(fc, fa + fb);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, VaSizes, ::testing::Values(256u, 1024u, 16384u));
+
+TEST(SizedVariants, HotspotScalesCycles) {
+  sim::Gpu small_gpu(config()), big_gpu(config());
+  run_app(*make_hotspot_sized(32, 2), small_gpu);
+  run_app(*make_hotspot_sized(128, 2), big_gpu);
+  EXPECT_GT(big_gpu.cycle(), small_gpu.cycle());
+}
+
+}  // namespace
+}  // namespace gras::workloads

@@ -1,0 +1,140 @@
+// Structural tests over the benchmark suite: the paper's 11 applications and
+// 23 kernels, completion, determinism, and golden-run bookkeeping.
+#include "src/workloads/workload.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "src/campaign/campaign.h"
+#include "src/sim/config.h"
+
+namespace gras::workloads {
+namespace {
+
+sim::GpuConfig config() { return sim::make_config("gv100-scaled"); }
+
+TEST(Suite, HasThePapersElevenBenchmarks) {
+  const auto names = benchmark_names();
+  EXPECT_EQ(names.size(), 11u);
+  const std::set<std::string> expected = {"srad_v1", "srad_v2", "kmeans",     "hotspot",
+                                          "lud",     "scp",     "va",         "nw",
+                                          "pathfinder", "backprop", "bfs"};
+  EXPECT_EQ(std::set<std::string>(names.begin(), names.end()), expected);
+}
+
+TEST(Suite, HasThePapersTwentyThreeKernels) {
+  // §II-D: 11 benchmarks, 23 kernels.
+  std::size_t kernels = 0;
+  for (const auto& app : make_all_benchmarks()) kernels += app->kernels().size();
+  EXPECT_EQ(kernels, 23u);
+}
+
+TEST(Suite, PaperKernelCountsPerApp) {
+  const std::map<std::string, std::size_t> expected = {
+      {"srad_v1", 6}, {"srad_v2", 2}, {"kmeans", 2}, {"hotspot", 1},
+      {"lud", 3},     {"scp", 1},     {"va", 1},     {"nw", 2},
+      {"pathfinder", 1}, {"backprop", 2}, {"bfs", 2}};
+  for (const auto& [name, count] : expected) {
+    EXPECT_EQ(make_benchmark(name)->kernels().size(), count) << name;
+  }
+}
+
+TEST(Suite, UnknownBenchmarkThrows) {
+  EXPECT_THROW(make_benchmark("quicksort"), std::out_of_range);
+}
+
+TEST(Suite, KernelNamesAreUniquePerApp) {
+  for (const auto& app : make_all_benchmarks()) {
+    std::set<std::string> names;
+    for (const auto& k : app->kernels()) {
+      EXPECT_TRUE(names.insert(k.name).second) << app->name() << "/" << k.name;
+    }
+  }
+}
+
+TEST(Suite, KernelLookupWorks) {
+  const auto app = make_benchmark("bfs");
+  EXPECT_EQ(app->kernel("bfs_k1").name, "bfs_k1");
+  EXPECT_THROW(app->kernel("nope"), std::out_of_range);
+}
+
+class EveryApp : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(EveryApp, CompletesWithoutTrap) {
+  const auto app = make_benchmark(GetParam());
+  sim::Gpu gpu(config());
+  const RunOutput out = run_app(*app, gpu);
+  EXPECT_EQ(out.trap, sim::TrapKind::None);
+  ASSERT_FALSE(out.outputs.empty());
+  for (const auto& buf : out.outputs) EXPECT_FALSE(buf.empty());
+}
+
+TEST_P(EveryApp, IsDeterministic) {
+  const auto app = make_benchmark(GetParam());
+  sim::Gpu gpu1(config()), gpu2(config());
+  const RunOutput a = run_app(*app, gpu1);
+  const RunOutput b = run_app(*app, gpu2);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(gpu1.cycle(), gpu2.cycle());
+}
+
+TEST_P(EveryApp, EveryDeclaredKernelActuallyLaunches) {
+  const auto app = make_benchmark(GetParam());
+  const auto golden = campaign::run_golden(*app, config());
+  for (const auto& k : app->kernels()) {
+    EXPECT_FALSE(golden.launches_of(k.name).empty()) << k.name;
+    EXPECT_GT(golden.kernel_cycles(k.name), 0u) << k.name;
+    EXPECT_GT(golden.kernel_gp_instrs(k.name), 0u) << k.name;
+  }
+}
+
+TEST_P(EveryApp, OutputChangesWhenOutputBufferDiffers) {
+  // Outputs must actually depend on computation: a golden output buffer
+  // can't be all zeros (zero-filled scratch would hide SDCs).
+  const auto app = make_benchmark(GetParam());
+  sim::Gpu gpu(config());
+  const RunOutput out = run_app(*app, gpu);
+  bool any_nonzero = false;
+  for (const auto& buf : out.outputs) {
+    for (std::uint8_t b : buf) any_nonzero |= b != 0;
+  }
+  EXPECT_TRUE(any_nonzero);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, EveryApp,
+                         ::testing::ValuesIn(benchmark_names()),
+                         [](const auto& info) { return info.param; });
+
+TEST(GoldenRun, KernelNamesInFirstLaunchOrder) {
+  const auto app = make_benchmark("srad_v1");
+  const auto golden = campaign::run_golden(*app, config());
+  const auto names = golden.kernel_names();
+  ASSERT_EQ(names.size(), 6u);
+  EXPECT_EQ(names.front(), "srad1_extract");
+  EXPECT_EQ(names.back(), "srad1_compress");
+}
+
+TEST(GoldenRun, BudgetsAreTenTimesCycles) {
+  const auto app = make_benchmark("va");
+  const auto golden = campaign::run_golden(*app, config());
+  ASSERT_EQ(golden.budgets.size(), golden.launches.size());
+  EXPECT_EQ(golden.budgets[0], golden.launches[0].cycles() * 10 + 2000);
+  EXPECT_GT(golden.overflow_budget, 0u);
+}
+
+TEST(GoldenRun, StatsAggregateAcrossLaunches) {
+  const auto app = make_benchmark("hotspot");
+  const auto golden = campaign::run_golden(*app, config());
+  const auto stats = golden.kernel_stats("hotspot_k1");
+  // Two launches of the same kernel: aggregated counters double up.
+  EXPECT_EQ(stats.warp_instrs,
+            golden.launches[0].stats.warp_instrs + golden.launches[1].stats.warp_instrs);
+  EXPECT_GT(stats.l1d.accesses, 0u);
+  EXPECT_GT(stats.l1t.accesses, 0u);  // power map goes through the texture path
+  EXPECT_GT(stats.smem_instrs, 0u);
+}
+
+}  // namespace
+}  // namespace gras::workloads

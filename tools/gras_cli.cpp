@@ -1,0 +1,224 @@
+// gras — command-line front end to the library.
+//
+//   gras list                          benchmarks and their kernels
+//   gras run <app>                     fault-free run + per-launch stats
+//   gras disasm <app> [kernel]         disassemble kernels
+//   gras asm <file.sasm>               assemble & validate a kernel file
+//   gras campaign <app> <kernel> <target> [samples]
+//                                      one fault-injection campaign
+//   gras reuse <app> <kernel>          register-reuse summary (Fig. 12)
+//
+// Targets: RF SMEM L1D L1T L2 SVF SVF-LD SVF-SRC1 SVF-REUSE.
+// Environment: GRAS_CONFIG, GRAS_SEED, GRAS_THREADS (see README).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "src/analysis/analysis.h"
+#include "src/assembler/assembler.h"
+#include "src/campaign/campaign.h"
+#include "src/common/env.h"
+#include "src/common/table.h"
+#include "src/isa/disasm.h"
+#include "src/workloads/workload.h"
+
+namespace {
+
+using namespace gras;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: gras <command> [...]\n"
+               "  list\n"
+               "  run <app>\n"
+               "  disasm <app> [kernel]\n"
+               "  asm <file.sasm>\n"
+               "  campaign <app> <kernel> <target> [samples]\n"
+               "  reuse <app> <kernel>\n"
+               "apps: ");
+  for (const auto& name : workloads::benchmark_names()) {
+    std::fprintf(stderr, "%s ", name.c_str());
+  }
+  std::fprintf(stderr, "\n");
+  return 2;
+}
+
+sim::GpuConfig config() { return sim::make_config(env_config()); }
+
+int cmd_list() {
+  TextTable table({"App", "Kernels", "Buffers", "Output bytes"});
+  for (const auto& app : workloads::make_all_benchmarks()) {
+    std::string kernels;
+    for (const auto& k : app->kernels()) {
+      if (!kernels.empty()) kernels += ", ";
+      kernels += k.name;
+    }
+    std::uint64_t out_bytes = 0;
+    for (const auto& b : app->buffers()) {
+      if (b.is_output()) out_bytes += b.bytes;
+    }
+    table.add_row({app->name(), kernels, std::to_string(app->buffers().size()),
+                   std::to_string(out_bytes)});
+  }
+  std::printf("%s", table.render().c_str());
+  return 0;
+}
+
+int cmd_run(const std::string& app_name) {
+  const auto app = workloads::make_benchmark(app_name);
+  sim::Gpu gpu(config());
+  const auto out = workloads::run_app(*app, gpu);
+  std::printf("%s: %s, %llu total cycles, %zu launches\n", app_name.c_str(),
+              out.completed() ? "completed" : sim::trap_name(out.trap),
+              static_cast<unsigned long long>(gpu.cycle()), gpu.launches().size());
+  TextTable table({"#", "Kernel", "Grid", "Block", "Cycles", "WarpInstr", "L1D acc",
+                   "L1D miss%", "L2 acc", "Occupancy%"});
+  std::size_t i = 0;
+  for (const auto& l : gpu.launches()) {
+    const auto dim = [](sim::Dim3 d) {
+      std::string s = std::to_string(d.x);
+      if (d.y > 1 || d.z > 1) s += "x" + std::to_string(d.y);
+      if (d.z > 1) s += "x" + std::to_string(d.z);
+      return s;
+    };
+    table.add_row({std::to_string(++i), l.kernel, dim(l.grid), dim(l.block),
+                   std::to_string(l.cycles()), std::to_string(l.stats.warp_instrs),
+                   std::to_string(l.stats.l1d.accesses),
+                   TextTable::pct(l.stats.l1d.miss_rate(), 1),
+                   std::to_string(l.stats.l2.accesses),
+                   TextTable::pct(l.stats.occupancy(gpu.config().max_warps_per_sm), 1)});
+  }
+  std::printf("%s", table.render().c_str());
+  return 0;
+}
+
+int cmd_disasm(const std::string& app_name, const char* kernel) {
+  const auto app = workloads::make_benchmark(app_name);
+  for (const auto& k : app->kernels()) {
+    if (kernel != nullptr && k.name != kernel) continue;
+    std::printf("%s\n", isa::disassemble(k).c_str());
+  }
+  return 0;
+}
+
+int cmd_asm(const char* path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "gras: cannot open '%s'\n", path);
+    return 1;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  try {
+    const auto kernels = assembler::assemble(text.str());
+    for (const auto& k : kernels) {
+      std::printf("%s: %zu instructions, %d regs/thread, %u B smem, %zu params\n",
+                  k.name.c_str(), k.code.size(), k.num_regs, k.smem_bytes,
+                  k.params.size());
+    }
+    std::printf("OK\n");
+    return 0;
+  } catch (const assembler::AsmError& e) {
+    std::fprintf(stderr, "gras: %s\n", e.what());
+    return 1;
+  }
+}
+
+campaign::Target parse_target(const std::string& s) {
+  if (s == "RF") return campaign::Target::RF;
+  if (s == "SMEM") return campaign::Target::SMEM;
+  if (s == "L1D") return campaign::Target::L1D;
+  if (s == "L1T") return campaign::Target::L1T;
+  if (s == "L2") return campaign::Target::L2;
+  if (s == "SVF") return campaign::Target::Svf;
+  if (s == "SVF-LD") return campaign::Target::SvfLd;
+  if (s == "SVF-SRC1") return campaign::Target::SvfSrcOnce;
+  if (s == "SVF-REUSE") return campaign::Target::SvfSrcReuse;
+  throw std::invalid_argument("unknown target '" + s + "'");
+}
+
+int cmd_campaign(const std::string& app_name, const std::string& kernel,
+                 const std::string& target, std::uint64_t samples) {
+  const auto app = workloads::make_benchmark(app_name);
+  const auto cfg = config();
+  const auto golden = campaign::run_golden(*app, cfg);
+  ThreadPool pool(static_cast<std::size_t>(env_threads()));
+  campaign::CampaignSpec spec;
+  spec.kernel = kernel;
+  spec.target = parse_target(target);
+  spec.samples = samples;
+  spec.seed = env_seed();
+  const auto r = campaign::run_campaign(*app, cfg, golden, spec, pool);
+  const auto ci = r.fr_ci();
+  std::printf("%s / %s / %s: %llu samples (%llu injected)\n", app_name.c_str(),
+              kernel.c_str(), target.c_str(),
+              static_cast<unsigned long long>(r.counts.total()),
+              static_cast<unsigned long long>(r.injected));
+  TextTable table({"Outcome", "Count", "%"});
+  table.add_row({"Masked", std::to_string(r.counts.masked),
+                 TextTable::pct(r.counts.pct(fi::Outcome::Masked))});
+  table.add_row({"SDC", std::to_string(r.counts.sdc),
+                 TextTable::pct(r.counts.pct(fi::Outcome::SDC))});
+  table.add_row({"Timeout", std::to_string(r.counts.timeout),
+                 TextTable::pct(r.counts.pct(fi::Outcome::Timeout))});
+  table.add_row({"DUE", std::to_string(r.counts.due),
+                 TextTable::pct(r.counts.pct(fi::Outcome::DUE))});
+  std::printf("%s", table.render().c_str());
+  std::printf("FR = %s%%  99%% CI [%s%%, %s%%]  control-path masked = %llu\n",
+              TextTable::pct(r.counts.failure_rate()).c_str(),
+              TextTable::pct(ci.lower).c_str(), TextTable::pct(ci.upper).c_str(),
+              static_cast<unsigned long long>(r.control_path_masked));
+  return 0;
+}
+
+int cmd_reuse(const std::string& app_name, const std::string& kernel_name) {
+  const auto app = workloads::make_benchmark(app_name);
+  const isa::Kernel& k = app->kernel(kernel_name);
+  std::printf("average downstream readers per register write: %.2f\n",
+              analysis::average_reuse(k));
+  // Show the site with the widest fault reach.
+  std::size_t best_index = 0;
+  std::uint8_t best_reg = 0;
+  std::size_t best = 0;
+  for (std::size_t i = 0; i < k.code.size(); ++i) {
+    if (!k.code[i].writes_gpr()) continue;
+    const auto site = analysis::analyze_reuse(k, i, k.code[i].dst);
+    if (site.affected.size() > best) {
+      best = site.affected.size();
+      best_index = i;
+      best_reg = k.code[i].dst;
+    }
+  }
+  if (best > 0) {
+    const auto site = analysis::analyze_reuse(k, best_index, best_reg);
+    std::printf("widest fault reach (%zu readers):\n%s", best,
+                analysis::reuse_listing(k, site).c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "list") return cmd_list();
+    if (cmd == "run" && argc == 3) return cmd_run(argv[2]);
+    if (cmd == "disasm" && (argc == 3 || argc == 4)) {
+      return cmd_disasm(argv[2], argc == 4 ? argv[3] : nullptr);
+    }
+    if (cmd == "asm" && argc == 3) return cmd_asm(argv[2]);
+    if (cmd == "campaign" && (argc == 5 || argc == 6)) {
+      const std::uint64_t n = argc == 6 ? std::strtoull(argv[5], nullptr, 10) : 300;
+      return cmd_campaign(argv[2], argv[3], argv[4], n);
+    }
+    if (cmd == "reuse" && argc == 4) return cmd_reuse(argv[2], argv[3]);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "gras: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}
