@@ -3,8 +3,22 @@
 // The paper motivates software-level injection with speed ("two orders of
 // magnitude or more": 1,258 machine-days of AVF vs 10 of SVF). These
 // benchmarks measure the analogous costs in this reproduction: the cost of
-// one golden run per app, one microarchitecture-level sample, and one
-// software-level sample.
+// one golden run per app, one microarchitecture-level sample, one
+// software-level sample, and the launch-boundary checkpoint/restore fast
+// path vs re-simulating the fault-free prefix of every sample (DESIGN.md §7).
+//
+// To track the numbers across revisions, emit machine-readable output:
+//
+//   ./bench/perf_sim_throughput --benchmark_format=json
+//       --benchmark_out=BENCH_perf_sim_throughput.json
+//
+// and compare BENCH_*.json files between commits (benchmark names are
+// stable). The checkpointed-vs-full pairs to watch are
+// BM_SampleCheckpointed/BM_SampleFullRun with matching suffixes: the
+// `late` pair targets a kernel behind a long launch prefix, where the
+// fast-forward should win by >=2x; the `early` pair targets the app's
+// first kernel, where both paths simulate nearly everything and the
+// speedup is just the reuse of a pre-built Gpu workspace.
 #include <benchmark/benchmark.h>
 
 #include "src/campaign/campaign.h"
@@ -56,6 +70,57 @@ void BM_SoftwareSample(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SoftwareSample);
+
+/// One sample via the checkpoint fast path: restore the snapshot preceding
+/// the target kernel's first launch into a reused workspace and replay.
+/// `kernel` empty selects the app's last kernel (deepest fast-forward).
+void BM_SampleCheckpointed(benchmark::State& state, const std::string& name,
+                           const std::string& kernel, campaign::Target target) {
+  const auto app = workloads::make_benchmark(name);
+  const auto golden =
+      campaign::run_golden(*app, config(), campaign::Checkpointing::On);
+  campaign::CampaignSpec spec;
+  spec.kernel = kernel.empty() ? golden.kernel_names().back() : kernel;
+  spec.target = target;
+  sim::Gpu workspace(config());
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(campaign::run_sample(*app, golden, spec, i++, workspace));
+  }
+}
+
+/// The same samples without checkpoints: every sample re-simulates the app
+/// from cycle 0 on a freshly-constructed Gpu (the pre-checkpointing cost).
+void BM_SampleFullRun(benchmark::State& state, const std::string& name,
+                      const std::string& kernel, campaign::Target target) {
+  const auto app = workloads::make_benchmark(name);
+  const auto golden =
+      campaign::run_golden(*app, config(), campaign::Checkpointing::Off);
+  campaign::CampaignSpec spec;
+  spec.kernel = kernel.empty() ? golden.kernel_names().back() : kernel;
+  spec.target = target;
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(campaign::run_sample(*app, config(), golden, spec, i++));
+  }
+}
+
+// Late kernels: srad_v1's compress runs once after the whole diffusion loop;
+// lud_internal's first launch follows diagonal+perimeter sweeps.
+BENCHMARK_CAPTURE(BM_SampleCheckpointed, srad_v1_late_rf, std::string("srad_v1"),
+                  std::string(), campaign::Target::RF);
+BENCHMARK_CAPTURE(BM_SampleFullRun, srad_v1_late_rf, std::string("srad_v1"),
+                  std::string(), campaign::Target::RF);
+BENCHMARK_CAPTURE(BM_SampleCheckpointed, lud_late_svf, std::string("lud"),
+                  std::string("lud_internal"), campaign::Target::Svf);
+BENCHMARK_CAPTURE(BM_SampleFullRun, lud_late_svf, std::string("lud"),
+                  std::string("lud_internal"), campaign::Target::Svf);
+// Early kernel: the first launch has an empty prefix, so the checkpointed
+// path degenerates to a full simulation on a reused workspace.
+BENCHMARK_CAPTURE(BM_SampleCheckpointed, srad_v1_early_rf, std::string("srad_v1"),
+                  std::string("srad1_extract"), campaign::Target::RF);
+BENCHMARK_CAPTURE(BM_SampleFullRun, srad_v1_early_rf, std::string("srad_v1"),
+                  std::string("srad1_extract"), campaign::Target::RF);
 
 void BM_TmrGoldenRun(benchmark::State& state) {
   const auto app = workloads::make_benchmark("hotspot");

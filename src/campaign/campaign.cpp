@@ -2,19 +2,29 @@
 
 #include <atomic>
 #include <memory>
+#include <mutex>
 #include <stdexcept>
 
+#include "src/common/env.h"
 #include "src/common/rng.h"
 #include "src/fi/injectors.h"
 
 namespace gras::campaign {
 
-std::vector<std::size_t> GoldenRun::launches_of(const std::string& kernel) const {
-  std::vector<std::size_t> out;
+void GoldenRun::build_index() {
+  launch_index_.clear();
+  kernel_order_.clear();
   for (std::size_t i = 0; i < launches.size(); ++i) {
-    if (launches[i].kernel == kernel) out.push_back(i);
+    auto [it, inserted] = launch_index_.try_emplace(launches[i].kernel);
+    if (inserted) kernel_order_.push_back(launches[i].kernel);
+    it->second.push_back(i);
   }
-  return out;
+}
+
+const std::vector<std::size_t>& GoldenRun::launches_of(const std::string& kernel) const {
+  static const std::vector<std::size_t> kEmpty;
+  const auto it = launch_index_.find(kernel);
+  return it == launch_index_.end() ? kEmpty : it->second;
 }
 
 std::uint64_t GoldenRun::kernel_cycles(const std::string& kernel) const {
@@ -49,25 +59,23 @@ sim::SimStats GoldenRun::kernel_stats(const std::string& kernel) const {
   return total;
 }
 
-std::vector<std::string> GoldenRun::kernel_names() const {
-  std::vector<std::string> names;
-  for (const auto& l : launches) {
-    bool seen = false;
-    for (const auto& n : names) {
-      if (n == l.kernel) {
-        seen = true;
-        break;
-      }
-    }
-    if (!seen) names.push_back(l.kernel);
-  }
-  return names;
-}
+const std::vector<std::string>& GoldenRun::kernel_names() const { return kernel_order_; }
 
-GoldenRun run_golden(const workloads::App& app, const sim::GpuConfig& config) {
+GoldenRun run_golden(const workloads::App& app, const sim::GpuConfig& config,
+                     Checkpointing mode) {
+  const bool checkpoint =
+      mode == Checkpointing::On ||
+      (mode == Checkpointing::FromEnv && !env_no_checkpoint());
   sim::Gpu gpu(config);
   GoldenRun golden;
-  golden.output = workloads::run_app(app, gpu);
+  std::shared_ptr<GoldenCheckpoints> bundle;
+  if (checkpoint) {
+    bundle = std::make_shared<GoldenCheckpoints>();
+    gpu.set_checkpoint_sink(&bundle->store);
+    golden.output = workloads::run_app(app, gpu, &bundle->trace);
+  } else {
+    golden.output = workloads::run_app(app, gpu);
+  }
   if (!golden.output.completed()) {
     throw std::runtime_error("fault-free run of '" + app.name() + "' failed: " +
                              std::string(sim::trap_name(golden.output.trap)));
@@ -81,6 +89,8 @@ GoldenRun run_golden(const workloads::App& app, const sim::GpuConfig& config) {
     max_budget = std::max(max_budget, b);
   }
   golden.overflow_budget = max_budget;
+  golden.checkpoints = std::move(bundle);
+  golden.build_index();
   return golden;
 }
 
@@ -163,15 +173,43 @@ fi::SvfMode to_mode(Target t) {
   }
 }
 
+/// The checkpoint a sample resumes from: the snapshot preceding the target
+/// kernel's first launch. `snap` is null when the golden run carries no
+/// checkpoints (GRAS_NO_CHECKPOINT) or the kernel never ran — the sample
+/// then falls back to a full from-cycle-0 simulation.
+struct ResumePoint {
+  std::size_t launch = 0;
+  const sim::GpuSnapshot* snap = nullptr;
+};
+
+ResumePoint find_resume(const GoldenRun& golden, const std::string& kernel) {
+  ResumePoint rp;
+  if (!golden.checkpoints) return rp;
+  const auto& indices = golden.launches_of(kernel);
+  if (indices.empty()) return rp;
+  rp.launch = indices.front();
+  rp.snap = golden.checkpoints->store.at(rp.launch);
+  return rp;
+}
+
 /// Builds the injector for one sample, or nullptr when the kernel has no
 /// sampling space for this target (no cycles / no instructions).
+///
+/// When the sample will fast-forward to `resume`, the SoftwareInjector's
+/// dynamic-instruction counter starts at the resume launch's gp/ld base:
+/// replay skips the prefix instructions the counter would otherwise have
+/// walked through. The RNG draw sequence is identical either way, so
+/// checkpointed and full-run samples pick the same fault site.
 std::unique_ptr<sim::FaultHook> make_hook(const GoldenRun& golden,
-                                          const CampaignSpec& spec, Rng& rng) {
-  const auto indices = golden.launches_of(spec.kernel);
+                                          const CampaignSpec& spec, Rng& rng,
+                                          const ResumePoint& resume) {
+  const auto& indices = golden.launches_of(spec.kernel);
   if (indices.empty()) return nullptr;
 
   if (is_microarch(spec.target)) {
     // Pick a launch weighted by its cycle span, then a cycle within it.
+    // Triggers are absolute cycles; a restored Gpu resumes at the golden
+    // boundary cycle, so they line up with replay unchanged.
     std::uint64_t total = 0;
     for (std::size_t i : indices) total += golden.launches[i].cycles();
     if (total == 0) return nullptr;
@@ -202,8 +240,13 @@ std::unique_ptr<sim::FaultHook> make_hook(const GoldenRun& golden,
     const std::uint64_t span = loads ? (l.ld_end - l.ld_begin) : (l.gp_end - l.gp_begin);
     if (r < span) {
       const std::uint64_t global_index = (loads ? l.ld_begin : l.gp_begin) + r;
+      std::uint64_t start_count = 0;
+      if (resume.snap != nullptr) {
+        const auto& first = golden.launches[resume.launch];
+        start_count = loads ? first.ld_begin : first.gp_begin;
+      }
       return std::make_unique<fi::SoftwareInjector>(to_mode(spec.target), global_index,
-                                                    rng);
+                                                    rng, start_count);
     }
     r -= span;
   }
@@ -212,28 +255,31 @@ std::unique_ptr<sim::FaultHook> make_hook(const GoldenRun& golden,
 
 }  // namespace
 
-SampleResult run_sample(const workloads::App& app, const sim::GpuConfig& config,
-                        const GoldenRun& golden, const CampaignSpec& spec,
-                        std::uint64_t sample_index) {
+SampleResult run_sample(const workloads::App& app, const GoldenRun& golden,
+                        const CampaignSpec& spec, std::uint64_t sample_index,
+                        sim::Gpu& workspace) {
   Rng rng = Rng::for_sample(spec.seed ^ (static_cast<std::uint64_t>(spec.target) << 40),
                             sample_index);
-  auto hook = make_hook(golden, spec, rng);
+  const ResumePoint resume = find_resume(golden, spec.kernel);
+  auto hook = make_hook(golden, spec, rng, resume);
 
-  sim::Gpu gpu(config);
-  gpu.set_launch_budgets(golden.budgets, golden.overflow_budget);
-  if (hook) gpu.set_fault_hook(hook.get());
-  const workloads::RunOutput out = workloads::run_app(app, gpu);
+  workloads::RunOutput out;
+  if (resume.snap != nullptr) {
+    workspace.restore(*resume.snap, golden.launches);
+    workspace.set_launch_budgets(golden.budgets, golden.overflow_budget);
+    if (hook) workspace.set_fault_hook(hook.get());
+    out = workloads::replay_app(app, workspace, golden.checkpoints->trace,
+                                resume.launch, golden.launches);
+  } else {
+    workspace.reset();
+    workspace.set_launch_budgets(golden.budgets, golden.overflow_budget);
+    if (hook) workspace.set_fault_hook(hook.get());
+    out = workloads::run_app(app, workspace);
+  }
 
   SampleResult result;
-  result.cycles = gpu.cycle();
-  result.injected = false;
-  if (hook) {
-    if (auto* m = dynamic_cast<fi::MicroarchInjector*>(hook.get())) {
-      result.injected = m->injected();
-    } else if (auto* s = dynamic_cast<fi::SoftwareInjector*>(hook.get())) {
-      result.injected = s->injected();
-    }
-  }
+  result.cycles = workspace.cycle();
+  result.injected = hook != nullptr && hook->injected();
 
   if (out.trap == sim::TrapKind::Watchdog) {
     result.outcome = fi::Outcome::Timeout;
@@ -247,6 +293,13 @@ SampleResult run_sample(const workloads::App& app, const sim::GpuConfig& config,
   return result;
 }
 
+SampleResult run_sample(const workloads::App& app, const sim::GpuConfig& config,
+                        const GoldenRun& golden, const CampaignSpec& spec,
+                        std::uint64_t sample_index) {
+  sim::Gpu gpu(config);
+  return run_sample(app, golden, spec, sample_index, gpu);
+}
+
 CampaignResult run_campaign(const workloads::App& app, const sim::GpuConfig& config,
                             const GoldenRun& golden, const CampaignSpec& spec,
                             ThreadPool& pool) {
@@ -256,8 +309,31 @@ CampaignResult run_campaign(const workloads::App& app, const sim::GpuConfig& con
   std::atomic<std::uint64_t> masked{0}, sdc{0}, timeout{0}, due{0};
   std::atomic<std::uint64_t> control{0}, injected{0};
 
+  // Per-worker Gpu workspaces: restoring a checkpoint into an existing
+  // device is much cheaper than constructing one per sample. The pool grows
+  // to at most one Gpu per concurrently-active worker.
+  std::mutex workspaces_mu;
+  std::vector<std::unique_ptr<sim::Gpu>> workspaces;
+  const auto acquire = [&]() -> std::unique_ptr<sim::Gpu> {
+    {
+      const std::lock_guard<std::mutex> lock(workspaces_mu);
+      if (!workspaces.empty()) {
+        auto gpu = std::move(workspaces.back());
+        workspaces.pop_back();
+        return gpu;
+      }
+    }
+    return std::make_unique<sim::Gpu>(config);
+  };
+  const auto release = [&](std::unique_ptr<sim::Gpu> gpu) {
+    const std::lock_guard<std::mutex> lock(workspaces_mu);
+    workspaces.push_back(std::move(gpu));
+  };
+
   pool.parallel_for(spec.samples, [&](std::size_t i) {
-    const SampleResult s = run_sample(app, config, golden, spec, i);
+    auto gpu = acquire();
+    const SampleResult s = run_sample(app, golden, spec, i, *gpu);
+    release(std::move(gpu));
     switch (s.outcome) {
       case fi::Outcome::Masked:
         masked.fetch_add(1, std::memory_order_relaxed);

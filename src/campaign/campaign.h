@@ -10,8 +10,10 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <span>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "src/common/stats.h"
@@ -23,6 +25,14 @@
 
 namespace gras::campaign {
 
+/// Launch-boundary checkpoints of a golden run: one device-state snapshot
+/// per distinct kernel (preceding its first launch) plus the host trace
+/// needed to fast-forward the host loop over the checkpointed prefix.
+struct GoldenCheckpoints {
+  workloads::HostTrace trace;
+  sim::CheckpointStore store;
+};
+
 /// Fault-free reference execution: outputs, per-launch records, and the
 /// watchdog budgets derived from them (10x golden cycles per launch).
 struct GoldenRun {
@@ -31,9 +41,13 @@ struct GoldenRun {
   std::uint64_t total_cycles = 0;
   std::vector<std::uint64_t> budgets;
   std::uint64_t overflow_budget = 0;
+  /// Null when checkpointing is disabled (GRAS_NO_CHECKPOINT). Shared:
+  /// GoldenRun stays cheaply copyable and thousands of concurrent samples
+  /// read the snapshots without duplicating them.
+  std::shared_ptr<const GoldenCheckpoints> checkpoints;
 
   /// Launch indices of a kernel; empty if the kernel never ran.
-  std::vector<std::size_t> launches_of(const std::string& kernel) const;
+  const std::vector<std::size_t>& launches_of(const std::string& kernel) const;
   /// Total golden cycles of a kernel across its launches.
   std::uint64_t kernel_cycles(const std::string& kernel) const;
   /// Total GPR-writing (or load) thread instructions of a kernel.
@@ -42,12 +56,27 @@ struct GoldenRun {
   /// Aggregated golden SimStats of a kernel.
   sim::SimStats kernel_stats(const std::string& kernel) const;
   /// Kernel names in first-launch order.
-  std::vector<std::string> kernel_names() const;
+  const std::vector<std::string>& kernel_names() const;
+  /// Builds the per-kernel launch index (called by run_golden; call it
+  /// yourself only on hand-assembled GoldenRuns).
+  void build_index();
+
+ private:
+  /// kernel -> launch indices, precomputed so per-sample lookups are O(1)
+  /// instead of a linear scan allocating a vector.
+  std::unordered_map<std::string, std::vector<std::size_t>> launch_index_;
+  std::vector<std::string> kernel_order_;  ///< first-launch order
 };
+
+/// Whether run_golden records launch-boundary checkpoints. FromEnv (the
+/// default) records them unless GRAS_NO_CHECKPOINT is set; On/Off force the
+/// choice regardless of the environment (used by A/B tests and benches).
+enum class Checkpointing : std::uint8_t { FromEnv, On, Off };
 
 /// Runs the app fault-free and collects the golden reference.
 /// Throws std::runtime_error if the fault-free run does not complete.
-GoldenRun run_golden(const workloads::App& app, const sim::GpuConfig& config);
+GoldenRun run_golden(const workloads::App& app, const sim::GpuConfig& config,
+                     Checkpointing mode = Checkpointing::FromEnv);
 
 /// What a campaign injects into.
 enum class Target : std::uint8_t {
@@ -110,6 +139,13 @@ struct SampleResult {
 SampleResult run_sample(const workloads::App& app, const sim::GpuConfig& config,
                         const GoldenRun& golden, const CampaignSpec& spec,
                         std::uint64_t sample_index);
+/// Same, but reusing `workspace` (a Gpu built with the same config) instead
+/// of constructing a fresh device — the campaign hot path. The workspace is
+/// restored from the resume-point checkpoint (or fully reset when the golden
+/// run has no checkpoints), so results are identical either way.
+SampleResult run_sample(const workloads::App& app, const GoldenRun& golden,
+                        const CampaignSpec& spec, std::uint64_t sample_index,
+                        sim::Gpu& workspace);
 
 /// All campaign results for one kernel, keyed by target.
 using KernelCampaigns = std::map<Target, CampaignResult>;

@@ -23,5 +23,6 @@ std::uint64_t env_injections(std::uint64_t fallback) { return env_u64("GRAS_INJE
 std::uint64_t env_seed(std::uint64_t fallback) { return env_u64("GRAS_SEED", fallback); }
 std::uint64_t env_threads(std::uint64_t fallback) { return env_u64("GRAS_THREADS", fallback); }
 std::string env_config(const std::string& fallback) { return env_str("GRAS_CONFIG", fallback); }
+bool env_no_checkpoint() { return env_u64("GRAS_NO_CHECKPOINT", 0) != 0; }
 
 }  // namespace gras

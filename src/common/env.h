@@ -1,9 +1,12 @@
 // Environment-variable knobs shared by the benchmark harnesses:
-//   GRAS_INJECTIONS  samples per fault-injection campaign (default 300;
-//                    the paper uses 3,000 per kernel/structure)
-//   GRAS_CONFIG      "gv100-scaled" (default) or "gv100"
-//   GRAS_THREADS     campaign worker threads (default: hardware concurrency)
-//   GRAS_SEED        campaign master seed (default 2024)
+//   GRAS_INJECTIONS      samples per fault-injection campaign (default 300;
+//                        the paper uses 3,000 per kernel/structure)
+//   GRAS_CONFIG          "gv100-scaled" (default) or "gv100"
+//   GRAS_THREADS         campaign worker threads (default: hardware concurrency)
+//   GRAS_SEED            campaign master seed (default 2024)
+//   GRAS_NO_CHECKPOINT   non-zero disables launch-boundary checkpointing, so
+//                        every sample re-simulates from cycle 0 (A/B
+//                        validation of the fast-forward path)
 #pragma once
 
 #include <cstdint>
@@ -22,5 +25,7 @@ std::uint64_t env_seed(std::uint64_t fallback = 2024);
 std::uint64_t env_threads(std::uint64_t fallback = 0);
 /// GRAS_CONFIG with its default.
 std::string env_config(const std::string& fallback = "gv100-scaled");
+/// True when GRAS_NO_CHECKPOINT is set to a non-zero value.
+bool env_no_checkpoint();
 
 }  // namespace gras

@@ -100,8 +100,9 @@ void MicroarchInjector::inject(sim::Gpu& gpu) {
   }
 }
 
-SoftwareInjector::SoftwareInjector(SvfMode mode, std::uint64_t target_index, Rng rng)
-    : mode_(mode), target_(target_index), rng_(rng) {}
+SoftwareInjector::SoftwareInjector(SvfMode mode, std::uint64_t target_index, Rng rng,
+                                   std::uint64_t start_count)
+    : mode_(mode), target_(target_index), rng_(rng), counter_(start_count) {}
 
 bool SoftwareInjector::counts(const isa::Instr& ins) const {
   if (mode_ == SvfMode::DstLoad) return ins.is_load();

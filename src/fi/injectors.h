@@ -39,7 +39,7 @@ class MicroarchInjector final : public sim::FaultHook {
   void on_cycle(sim::Gpu& gpu, std::uint64_t cycle) override;
   std::uint64_t next_trigger() const override;
 
-  bool injected() const noexcept { return injected_; }
+  bool injected() const noexcept override { return injected_; }
   Structure target() const noexcept { return target_; }
 
  private:
@@ -58,15 +58,19 @@ class SoftwareInjector final : public sim::FaultHook {
  public:
   /// `target_index` is the global index (across the whole application run)
   /// of the dynamic thread instruction to corrupt, in the counting space of
-  /// the mode (all GPR writers, or loads only).
-  SoftwareInjector(SvfMode mode, std::uint64_t target_index, Rng rng);
+  /// the mode (all GPR writers, or loads only). `start_count` pre-advances
+  /// the dynamic-instruction counter; a replay that fast-forwards the
+  /// fault-free launch prefix passes the golden count at the resume
+  /// boundary so the counter stays aligned with the full-run counting space.
+  SoftwareInjector(SvfMode mode, std::uint64_t target_index, Rng rng,
+                   std::uint64_t start_count = 0);
 
   void on_pre_exec(sim::Sm& sm, std::uint32_t warp_slot, const isa::Instr& ins,
                    std::uint32_t exec_mask) override;
   void on_gpr_retire(sim::Sm& sm, std::uint32_t warp_slot, const isa::Instr& ins,
                      std::uint32_t exec_mask) override;
 
-  bool injected() const noexcept { return injected_; }
+  bool injected() const noexcept override { return injected_; }
 
  private:
   bool counts(const isa::Instr& ins) const;

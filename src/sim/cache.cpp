@@ -332,6 +332,29 @@ void Cache::flush() {
   pending_.clear();
 }
 
+Cache::Snapshot Cache::snapshot() const {
+  return Snapshot{meta_, data_, pending_, stats_, use_clock_};
+}
+
+void Cache::restore(const Snapshot& snap) {
+  if (snap.meta.size() != meta_.size() || snap.data.size() != data_.size()) {
+    throw std::invalid_argument("cache snapshot does not match this cache's geometry");
+  }
+  meta_ = snap.meta;
+  data_ = snap.data;
+  pending_ = snap.pending;
+  stats_ = snap.stats;
+  use_clock_ = snap.use_clock;
+}
+
+void Cache::reset() {
+  std::fill(meta_.begin(), meta_.end(), LineMeta{});
+  std::fill(data_.begin(), data_.end(), 0);
+  pending_.clear();
+  stats_ = CacheStats{};
+  use_clock_ = 0;
+}
+
 void Cache::flip_data_bit(std::uint64_t bit_index) noexcept {
   gras::flip_bit(std::span<std::uint8_t>(data_), bit_index);
 }

@@ -127,6 +127,15 @@ class Cache final : public MemLevel {
   /// flushes L1 caches at kernel boundaries).
   void flush();
 
+  /// Full cache state at a launch boundary. Cumulative stats and the LRU
+  /// use-clock are included so per-launch stat deltas and replacement
+  /// decisions after a restore match a full run bit-for-bit.
+  struct Snapshot;
+  Snapshot snapshot() const;
+  void restore(const Snapshot& snap);
+  /// Back to the freshly-constructed state (cold, zeroed, zero stats).
+  void reset();
+
   const CacheStats& stats() const noexcept { return stats_; }
   void reset_stats() noexcept { stats_ = CacheStats{}; }
   const CacheConfig& config() const noexcept { return config_; }
@@ -154,6 +163,16 @@ class Cache final : public MemLevel {
     bool dirty = false;
   };
 
+ public:
+  struct Snapshot {
+    std::vector<LineMeta> meta;
+    std::vector<std::uint8_t> data;
+    std::unordered_map<std::uint64_t, std::uint64_t> pending;  ///< in-flight fills
+    CacheStats stats;
+    std::uint64_t use_clock = 0;
+  };
+
+ private:
   std::uint32_t set_of(std::uint64_t line_addr) const noexcept;
   std::uint64_t tag_of(std::uint64_t line_addr) const noexcept;
   /// Returns way index of a hit, or -1.

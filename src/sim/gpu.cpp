@@ -46,6 +46,50 @@ void Gpu::set_launch_budgets(std::vector<std::uint64_t> budgets, std::uint64_t o
   overflow_budget_ = overflow;
 }
 
+GpuSnapshot Gpu::snapshot() const {
+  GpuSnapshot snap;
+  snap.cycle = cycle_;
+  snap.gp_total = gp_total_;
+  snap.ld_total = ld_total_;
+  snap.launch_count = launches_.size();
+  snap.gmem = gmem_.snapshot();
+  snap.l2 = l2_.snapshot();
+  snap.sms.reserve(sms_.size());
+  for (const auto& sm : sms_) snap.sms.push_back(sm->snapshot());
+  return snap;
+}
+
+void Gpu::restore(const GpuSnapshot& snap, std::span<const LaunchRecord> golden_launches) {
+  if (snap.sms.size() != sms_.size() || snap.launch_count > golden_launches.size()) {
+    throw std::invalid_argument("snapshot does not match this GPU's configuration");
+  }
+  cycle_ = snap.cycle;
+  gp_total_ = snap.gp_total;
+  ld_total_ = snap.ld_total;
+  gmem_.restore(snap.gmem);
+  l2_.restore(snap.l2);
+  for (std::size_t i = 0; i < sms_.size(); ++i) sms_[i]->restore(snap.sms[i]);
+  launches_.assign(golden_launches.begin(),
+                   golden_launches.begin() + static_cast<std::ptrdiff_t>(snap.launch_count));
+  dram_.reset_traffic();
+  hook_ = nullptr;
+}
+
+void Gpu::reset() {
+  cycle_ = 0;
+  gp_total_ = 0;
+  ld_total_ = 0;
+  gmem_.reset();
+  l2_.reset();
+  for (auto& sm : sms_) sm->reset();
+  launches_.clear();
+  budgets_.clear();
+  overflow_budget_ = 0;
+  dram_.reset_traffic();
+  hook_ = nullptr;
+  ckpt_sink_ = nullptr;
+}
+
 LaunchResult Gpu::launch(const isa::Kernel& kernel, Dim3 grid, Dim3 block,
                          std::vector<std::uint32_t> params) {
   LaunchContext ctx;
@@ -66,6 +110,12 @@ LaunchResult Gpu::launch(const isa::Kernel& kernel, Dim3 grid, Dim3 block,
       ctx.warps_per_cta * config_.warp_size * ctx.regs_per_thread > config_.regs_per_sm ||
       kernel.smem_bytes > config_.smem_bytes_per_sm) {
     throw std::invalid_argument("kernel '" + kernel.name + "' does not fit on an SM");
+  }
+
+  // Golden runs checkpoint the pre-launch state at each kernel's first
+  // launch; campaigns later restore it to skip re-simulating the prefix.
+  if (ckpt_sink_ != nullptr && !ckpt_sink_->has_kernel(kernel.name)) {
+    ckpt_sink_->add(kernel.name, launches_.size(), snapshot());
   }
 
   LaunchRecord record;

@@ -7,8 +7,11 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <memory>
+#include <span>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "src/isa/isa.h"
@@ -40,6 +43,47 @@ struct LaunchRecord {
   std::uint64_t cycles() const { return end_cycle - start_cycle; }
 };
 
+/// Whole-device state at a launch boundary: global memory, L2, per-SM
+/// backing arrays and allocation maps, the global cycle counter and the
+/// dynamic-instruction counters. Restoring one (plus the golden launch
+/// records preceding it) is bit-equivalent to re-simulating every launch
+/// before that boundary, which is what lets fault-injection samples
+/// fast-forward over the fault-free prefix (DESIGN.md §7).
+struct GpuSnapshot {
+  std::uint64_t cycle = 0;
+  std::uint64_t gp_total = 0;
+  std::uint64_t ld_total = 0;
+  std::size_t launch_count = 0;  ///< launches completed before this boundary
+  GlobalMemory::Snapshot gmem;
+  Cache::Snapshot l2;
+  std::vector<Sm::Snapshot> sms;
+};
+
+/// Snapshots recorded during a golden run, keyed by the launch index each
+/// one precedes. One snapshot per distinct kernel name (its first launch):
+/// those are the only resume points campaigns ever use, which keeps the
+/// store compact for apps with many iterative launches.
+class CheckpointStore {
+ public:
+  bool has_kernel(const std::string& kernel) const {
+    return kernels_.contains(kernel);
+  }
+  void add(const std::string& kernel, std::size_t launch_index, GpuSnapshot snapshot) {
+    kernels_.insert(kernel);
+    by_index_.emplace(launch_index, std::move(snapshot));
+  }
+  /// Snapshot preceding launch `launch_index`, or nullptr if none recorded.
+  const GpuSnapshot* at(std::size_t launch_index) const {
+    const auto it = by_index_.find(launch_index);
+    return it == by_index_.end() ? nullptr : &it->second;
+  }
+  std::size_t size() const { return by_index_.size(); }
+
+ private:
+  std::map<std::size_t, GpuSnapshot> by_index_;
+  std::unordered_set<std::string> kernels_;
+};
+
 class Gpu {
  public:
   explicit Gpu(GpuConfig config);
@@ -65,6 +109,21 @@ class Gpu {
   void set_launch_budgets(std::vector<std::uint64_t> budgets, std::uint64_t overflow = 0);
   void set_fault_hook(FaultHook* hook) { hook_ = hook; }
 
+  // --- Launch-boundary checkpointing ---
+  /// While set, launch() records a snapshot of the pre-launch state into
+  /// `store` for the first launch of each distinct kernel. Golden runs only.
+  void set_checkpoint_sink(CheckpointStore* store) { ckpt_sink_ = store; }
+  /// Captures full device state. Only meaningful at a launch boundary (no
+  /// CTAs in flight).
+  GpuSnapshot snapshot() const;
+  /// Restores a snapshot captured on an identically-configured Gpu; the
+  /// launch-record prefix is copied from `golden_launches`. Clears the fault
+  /// hook (samples re-attach their own).
+  void restore(const GpuSnapshot& snap, std::span<const LaunchRecord> golden_launches);
+  /// Back to the freshly-constructed state without reallocating the backing
+  /// arrays — campaigns reuse one Gpu per worker thread across samples.
+  void reset();
+
   const std::vector<LaunchRecord>& launches() const noexcept { return launches_; }
   std::uint64_t cycle() const noexcept { return cycle_; }
   const GpuConfig& config() const noexcept { return config_; }
@@ -86,6 +145,7 @@ class Gpu {
   std::vector<std::uint64_t> budgets_;
   std::uint64_t overflow_budget_ = 0;
   FaultHook* hook_ = nullptr;
+  CheckpointStore* ckpt_sink_ = nullptr;
   std::uint64_t cycle_ = 0;
   std::uint64_t gp_total_ = 0;  ///< cumulative GPR-writing thread instrs
   std::uint64_t ld_total_ = 0;

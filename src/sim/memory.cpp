@@ -16,8 +16,30 @@ std::uint32_t GlobalMemory::allocate(std::uint64_t bytes) {
 }
 
 void GlobalMemory::reset() {
-  std::fill(data_.begin(), data_.end(), 0);
+  // Only the written prefix can be non-zero; skip the untouched tail.
+  std::fill(data_.begin(), data_.begin() + static_cast<std::ptrdiff_t>(written_top_), 0);
   top_ = kBase;
+  written_top_ = 0;
+}
+
+GlobalMemory::Snapshot GlobalMemory::snapshot() const {
+  Snapshot snap;
+  snap.top = top_;
+  // Golden runs never write above the allocation top, but capture up to the
+  // written high-water mark anyway so the image is complete by construction.
+  const std::uint64_t extent = std::max(top_, written_top_);
+  snap.data.assign(data_.begin(), data_.begin() + static_cast<std::ptrdiff_t>(extent));
+  return snap;
+}
+
+void GlobalMemory::restore(const Snapshot& snap) {
+  std::copy(snap.data.begin(), snap.data.end(), data_.begin());
+  if (written_top_ > snap.data.size()) {
+    std::fill(data_.begin() + static_cast<std::ptrdiff_t>(snap.data.size()),
+              data_.begin() + static_cast<std::ptrdiff_t>(written_top_), 0);
+  }
+  top_ = snap.top;
+  written_top_ = snap.data.size();
 }
 
 bool GlobalMemory::in_bounds(std::uint64_t addr, std::uint64_t size) const noexcept {
@@ -38,6 +60,7 @@ void GlobalMemory::write(std::uint64_t addr, std::span<const std::uint8_t> in) n
   if (addr >= data_.size()) return;
   const std::uint64_t n = std::min<std::uint64_t>(in.size(), data_.size() - addr);
   std::memcpy(data_.data() + addr, in.data(), n);
+  written_top_ = std::max(written_top_, addr + n);
 }
 
 }  // namespace gras::sim

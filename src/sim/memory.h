@@ -16,6 +16,13 @@ namespace gras::sim {
 
 class GlobalMemory {
  public:
+  /// Compact device-memory image: contents up to the allocation high-water
+  /// mark (everything above is guaranteed zero in a fault-free run).
+  struct Snapshot {
+    std::vector<std::uint8_t> data;
+    std::uint64_t top = kBase;
+  };
+
   explicit GlobalMemory(std::uint64_t bytes);
 
   /// Allocates `bytes` (16-byte aligned); returns the device address.
@@ -24,6 +31,14 @@ class GlobalMemory {
 
   /// Resets the allocator and zeroes memory.
   void reset();
+
+  /// Captures contents up to the allocation top (launch-boundary
+  /// checkpointing; see DESIGN.md §7).
+  Snapshot snapshot() const;
+  /// Restores a snapshot, zeroing everything the current run may have
+  /// written above it (faulty runs can scribble anywhere via corrupted
+  /// cache tags, so the written high-water mark is tracked, not assumed).
+  void restore(const Snapshot& snap);
 
   /// True if [addr, addr+size) lies fully inside allocated memory.
   bool in_bounds(std::uint64_t addr, std::uint64_t size) const noexcept;
@@ -46,6 +61,7 @@ class GlobalMemory {
  private:
   std::vector<std::uint8_t> data_;
   std::uint64_t top_ = kBase;
+  std::uint64_t written_top_ = 0;  ///< furthest byte ever written (for restore)
 };
 
 }  // namespace gras::sim

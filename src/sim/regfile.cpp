@@ -1,5 +1,6 @@
 #include "src/sim/regfile.h"
 
+#include <algorithm>
 #include <bit>
 #include <cassert>
 
@@ -9,6 +10,19 @@ namespace gras::sim {
 
 RegFile::RegFile(std::uint32_t num_regs)
     : cells_(num_regs, 0), alloc_bitmap_((num_regs + 63) / 64, 0) {}
+
+void RegFile::restore(const Snapshot& snap) {
+  assert(snap.cells.size() == cells_.size());
+  cells_ = snap.cells;
+  alloc_bitmap_ = snap.alloc_bitmap;
+  allocated_count_ = snap.allocated_count;
+}
+
+void RegFile::reset() {
+  std::fill(cells_.begin(), cells_.end(), 0);
+  std::fill(alloc_bitmap_.begin(), alloc_bitmap_.end(), 0);
+  allocated_count_ = 0;
+}
 
 std::optional<std::uint32_t> RegFile::allocate(std::uint32_t count) {
   if (count == 0 || count > size()) return std::nullopt;
@@ -84,6 +98,19 @@ std::uint32_t RegFile::allocated_cell(std::uint32_t k) const noexcept {
 SharedMem::SharedMem(std::uint32_t bytes)
     : data_(bytes, 0), granule_used_(bytes / kGranule, false) {
   assert(bytes % kGranule == 0);
+}
+
+void SharedMem::restore(const Snapshot& snap) {
+  assert(snap.data.size() == data_.size());
+  data_ = snap.data;
+  granule_used_ = snap.granule_used;
+  allocated_bytes_ = snap.allocated_bytes;
+}
+
+void SharedMem::reset() {
+  std::fill(data_.begin(), data_.end(), 0);
+  std::fill(granule_used_.begin(), granule_used_.end(), false);
+  allocated_bytes_ = 0;
 }
 
 std::optional<std::uint32_t> SharedMem::allocate(std::uint32_t bytes) {

@@ -19,7 +19,20 @@ namespace gras::sim {
 
 class RegFile {
  public:
+  /// Full physical state: cell contents plus the allocation map (stale data
+  /// in freed cells is part of the fault surface, so it is preserved).
+  struct Snapshot {
+    std::vector<std::uint32_t> cells;
+    std::vector<std::uint64_t> alloc_bitmap;
+    std::uint32_t allocated_count = 0;
+  };
+
   explicit RegFile(std::uint32_t num_regs);
+
+  Snapshot snapshot() const { return {cells_, alloc_bitmap_, allocated_count_}; }
+  void restore(const Snapshot& snap);
+  /// Back to the freshly-constructed all-zero state.
+  void reset();
 
   /// Allocates a contiguous block of `count` registers (first-fit).
   /// Returns the base index, or nullopt if no block fits.
@@ -52,7 +65,17 @@ class RegFile {
 /// story as the register file, at byte granularity.
 class SharedMem {
  public:
+  struct Snapshot {
+    std::vector<std::uint8_t> data;
+    std::vector<bool> granule_used;
+    std::uint32_t allocated_bytes = 0;
+  };
+
   explicit SharedMem(std::uint32_t bytes);
+
+  Snapshot snapshot() const { return {data_, granule_used_, allocated_bytes_}; }
+  void restore(const Snapshot& snap);
+  void reset();
 
   std::optional<std::uint32_t> allocate(std::uint32_t bytes);
   void free(std::uint32_t base, std::uint32_t bytes);

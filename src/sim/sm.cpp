@@ -788,6 +788,40 @@ void Sm::end_launch() {
   rr_next_ = 0;
 }
 
+Sm::Snapshot Sm::snapshot() const {
+  Snapshot snap;
+  snap.rf = rf_.snapshot();
+  snap.smem = smem_.snapshot();
+  snap.l1d = l1d_.snapshot();
+  snap.l1t = l1t_.snapshot();
+  snap.rr_next = rr_next_;
+  return snap;
+}
+
+void Sm::restore(const Snapshot& snap) {
+  rf_.restore(snap.rf);
+  smem_.restore(snap.smem);
+  l1d_.restore(snap.l1d);
+  l1t_.restore(snap.l1t);
+  rr_next_ = snap.rr_next;
+  std::fill(warps_.begin(), warps_.end(), WarpExec{});
+  std::fill(ctas_.begin(), ctas_.end(), CtaExec{});
+  active_ctas_ = 0;
+  resident_warps_ = 0;
+}
+
+void Sm::reset() {
+  rf_.reset();
+  smem_.reset();
+  l1d_.reset();
+  l1t_.reset();
+  rr_next_ = 0;
+  std::fill(warps_.begin(), warps_.end(), WarpExec{});
+  std::fill(ctas_.begin(), ctas_.end(), CtaExec{});
+  active_ctas_ = 0;
+  resident_warps_ = 0;
+}
+
 void Sm::abort_launch() {
   for (CtaExec& cta : ctas_) {
     if (!cta.resident) continue;

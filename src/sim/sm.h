@@ -61,6 +61,10 @@ struct SimStats {
 class FaultHook {
  public:
   virtual ~FaultHook() = default;
+  /// True once this hook has landed its fault (profiling hooks never do).
+  /// Campaigns use this to count effective injections without probing the
+  /// concrete injector type.
+  virtual bool injected() const { return false; }
   /// Called once per GPU cycle before any SM issues.
   virtual void on_cycle(Gpu& gpu, std::uint64_t cycle) { (void)gpu; (void)cycle; }
   /// Earliest future cycle this hook needs to observe (lets the GPU
@@ -169,6 +173,21 @@ class Sm {
   /// Forcibly retires all resident CTAs and frees their resources; used when
   /// a launch aborts on a trap or watchdog.
   void abort_launch();
+
+  /// Launch-boundary state: backing arrays, allocation maps and the
+  /// round-robin pointer. Warp/CTA slots are not captured — at a boundary
+  /// none are resident and placement fully reinitializes a slot on reuse.
+  struct Snapshot {
+    RegFile::Snapshot rf;
+    SharedMem::Snapshot smem;
+    Cache::Snapshot l1d, l1t;
+    std::uint32_t rr_next = 0;
+  };
+  Snapshot snapshot() const;
+  /// Restores a launch-boundary snapshot; all warp/CTA slots become free.
+  void restore(const Snapshot& snap);
+  /// Back to the freshly-constructed state.
+  void reset();
 
   // --- Fault-injection surface ---
   RegFile& regfile() noexcept { return rf_; }

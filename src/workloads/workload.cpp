@@ -17,13 +17,21 @@ const isa::Kernel& App::kernel(std::string_view kname) const {
 
 namespace {
 
-/// Plain (non-TMR) execution context.
+/// Plain (non-TMR) execution context. Three modes share this class:
+///  * live            — simulate every launch (the original behaviour);
+///  * live + record   — additionally capture the HostTrace (golden runs);
+///  * replay          — fast-forward the fault-free prefix: launches below
+///                      the resume point return their recorded results,
+///                      prefix reads are served from the trace, and prefix
+///                      writes are dropped (the restored snapshot already
+///                      contains their effect).
 class DirectCtx final : public ExecCtx {
  public:
-  DirectCtx(const App& app, sim::Gpu& gpu) : gpu_(gpu) {
+  DirectCtx(const App& app, sim::Gpu& gpu, HostTrace* record) : gpu_(gpu), record_(record) {
     for (const BufferSpec& spec : app.buffers()) {
       const std::uint32_t base = gpu_.malloc(spec.bytes);
       addr_.emplace(spec.name, base);
+      if (record_ != nullptr) record_->buffer_addrs.push_back(base);
       if (!spec.host_init.empty()) {
         gpu_.memcpy_h2d(base, spec.host_init.data(), spec.host_init.size());
       } else {
@@ -32,11 +40,41 @@ class DirectCtx final : public ExecCtx {
     }
   }
 
+  /// Replay mode: the gpu must already hold the snapshot preceding
+  /// `resume_launch`; buffers are not allocated, their (deterministic)
+  /// addresses come from the trace.
+  DirectCtx(const App& app, sim::Gpu& gpu, const HostTrace& trace,
+            std::size_t resume_launch, std::span<const sim::LaunchRecord> golden)
+      : gpu_(gpu), trace_(&trace), golden_(golden), resume_(resume_launch) {
+    const std::vector<BufferSpec>& buffers = app.buffers();
+    if (trace.buffer_addrs.size() != buffers.size() || resume_launch > golden.size()) {
+      throw std::logic_error("host trace does not match app '" + app.name() + "'");
+    }
+    for (std::size_t i = 0; i < buffers.size(); ++i) {
+      addr_.emplace(buffers[i].name, trace.buffer_addrs[i]);
+    }
+  }
+
   std::uint32_t addr(std::string_view buffer) override { return lookup(buffer); }
 
   bool launch(const isa::Kernel& kernel, sim::Dim3 grid, sim::Dim3 block,
               std::vector<std::uint32_t> params) override {
     if (aborted_) return false;
+    if (record_ != nullptr) record_->reads_before_launch.push_back(record_->reads.size());
+    if (launched_ < resume_) {
+      // Fast-forward: the golden run proved this launch fault-free and the
+      // restored snapshot already contains its device-state effects.
+      return golden_[launched_++].result.ok();
+    }
+    if (launched_ == resume_ && trace_ != nullptr && resume_ > 0 &&
+        resume_ <= trace_->reads_before_launch.size() &&
+        reads_served_ != trace_->reads_before_launch[resume_ - 1]) {
+      // Trace-served reads are exactly those issued while launched_ < resume_,
+      // i.e. before the last prefix launch returned; reads between that launch
+      // and this one ran live against the restored image instead.
+      throw std::logic_error("host logic diverged from the golden trace before resume");
+    }
+    ++launched_;
     const sim::LaunchResult r = gpu_.launch(kernel, grid, block, std::move(params));
     if (!r.ok()) {
       aborted_ = true;
@@ -48,18 +86,33 @@ class DirectCtx final : public ExecCtx {
 
   std::uint32_t read_u32(std::string_view buffer, std::uint64_t off) override {
     std::uint32_t v = 0;
-    gpu_.memcpy_d2h(&v, lookup(buffer) + static_cast<std::uint32_t>(off), 4);
+    std::uint8_t bytes[4];
+    read_bytes(buffer, off, bytes);
+    __builtin_memcpy(&v, bytes, 4);
     return v;
   }
   void write_u32(std::string_view buffer, std::uint64_t off, std::uint32_t value) override {
-    gpu_.memcpy_h2d(lookup(buffer) + static_cast<std::uint32_t>(off), &value, 4);
+    std::uint8_t bytes[4];
+    __builtin_memcpy(bytes, &value, 4);
+    write_bytes(buffer, off, bytes);
   }
   void read_bytes(std::string_view buffer, std::uint64_t off,
                   std::span<std::uint8_t> out) override {
+    if (launched_ < resume_) {
+      if (reads_served_ >= trace_->reads.size() ||
+          trace_->reads[reads_served_].size() != out.size()) {
+        throw std::logic_error("host replay diverged from the golden trace");
+      }
+      const std::vector<std::uint8_t>& data = trace_->reads[reads_served_++];
+      std::copy(data.begin(), data.end(), out.begin());
+      return;
+    }
     gpu_.memcpy_d2h(out.data(), lookup(buffer) + static_cast<std::uint32_t>(off), out.size());
+    if (record_ != nullptr) record_->reads.emplace_back(out.begin(), out.end());
   }
   void write_bytes(std::string_view buffer, std::uint64_t off,
                    std::span<const std::uint8_t> in) override {
+    if (launched_ < resume_) return;  // effect already in the restored image
     gpu_.memcpy_h2d(lookup(buffer) + static_cast<std::uint32_t>(off), in.data(), in.size());
   }
 
@@ -85,14 +138,17 @@ class DirectCtx final : public ExecCtx {
 
   sim::Gpu& gpu_;
   std::unordered_map<std::string, std::uint32_t> addr_;
+  HostTrace* record_ = nullptr;                     ///< live: capture trace
+  const HostTrace* trace_ = nullptr;                ///< replay: trace source
+  std::span<const sim::LaunchRecord> golden_;       ///< replay: prefix results
+  std::size_t resume_ = 0;                          ///< replay: first live launch
+  std::size_t launched_ = 0;
+  std::size_t reads_served_ = 0;
   bool aborted_ = false;
   sim::TrapKind trap_ = sim::TrapKind::None;
 };
 
-}  // namespace
-
-RunOutput run_app(const App& app, sim::Gpu& gpu) {
-  DirectCtx ctx(app, gpu);
+RunOutput collect_output(const App& app, DirectCtx& ctx) {
   app.execute(ctx);
   RunOutput out;
   out.trap = ctx.trap();
@@ -104,6 +160,20 @@ RunOutput run_app(const App& app, sim::Gpu& gpu) {
     out.outputs.push_back(std::move(bytes));
   }
   return app.postprocess(std::move(out));
+}
+
+}  // namespace
+
+RunOutput run_app(const App& app, sim::Gpu& gpu, HostTrace* record) {
+  DirectCtx ctx(app, gpu, record);
+  return collect_output(app, ctx);
+}
+
+RunOutput replay_app(const App& app, sim::Gpu& gpu, const HostTrace& trace,
+                     std::size_t resume_launch,
+                     std::span<const sim::LaunchRecord> golden_launches) {
+  DirectCtx ctx(app, gpu, trace, resume_launch, golden_launches);
+  return collect_output(app, ctx);
 }
 
 namespace detail {

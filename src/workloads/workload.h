@@ -93,6 +93,21 @@ class ExecCtx {
   }
 };
 
+/// Host-interaction trace of a golden run: everything the deterministic
+/// host logic consumed from the device, in issue order. Replaying these
+/// values lets a fault-injection sample fast-forward the host loop over the
+/// fault-free launch prefix without simulating it — the host control flow
+/// is a pure function of the buffer declarations and these read values.
+struct HostTrace {
+  /// Device base address of each buffer, in buffers() order (the bump
+  /// allocator is deterministic, so these are identical in every run).
+  std::vector<std::uint32_t> buffer_addrs;
+  /// Bytes returned by each host read (memcpy_d2h), in issue order.
+  std::vector<std::vector<std::uint8_t>> reads;
+  /// Number of host reads issued before launch i started.
+  std::vector<std::size_t> reads_before_launch;
+};
+
 /// Result of running an app once.
 struct RunOutput {
   sim::TrapKind trap = sim::TrapKind::None;
@@ -126,8 +141,19 @@ class App {
 };
 
 /// Runs `app` on `gpu`: allocates and initializes buffers, drives execute(),
-/// reads back outputs, and applies the app's postprocess hook.
-RunOutput run_app(const App& app, sim::Gpu& gpu);
+/// reads back outputs, and applies the app's postprocess hook. When `record`
+/// is non-null the host-interaction trace is captured into it (golden runs).
+RunOutput run_app(const App& app, sim::Gpu& gpu, HostTrace* record = nullptr);
+
+/// Replays `app` on a `gpu` that has already been restored to the
+/// launch-boundary snapshot preceding launch `resume_launch`: the first
+/// `resume_launch` launches return their recorded golden results without
+/// simulating, prefix host reads are served from `trace`, and prefix host
+/// writes are dropped (their effect is already part of the restored image).
+/// From `resume_launch` onward everything runs live on the gpu.
+RunOutput replay_app(const App& app, sim::Gpu& gpu, const HostTrace& trace,
+                     std::size_t resume_launch,
+                     std::span<const sim::LaunchRecord> golden_launches);
 
 /// Helpers shared by workload implementations.
 namespace detail {

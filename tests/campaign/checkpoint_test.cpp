@@ -1,0 +1,169 @@
+// Launch-boundary checkpointing: snapshot/restore correctness and the
+// bit-exact equivalence of checkpointed samples vs full from-cycle-0 runs.
+//
+// The equivalence tests are the campaign-level A/B contract behind
+// GRAS_NO_CHECKPOINT: for multi-launch apps (SRADv1, BFS, LUD) and both
+// injection levels (microarchitecture RF, software SVF), outcome histograms,
+// control-path counts and injected counts must be identical bit for bit
+// between Checkpointing::On and Checkpointing::Off golden runs with the
+// same seed.
+#include <gtest/gtest.h>
+
+#include "src/campaign/campaign.h"
+#include "src/sim/gpu.h"
+#include "src/workloads/workload.h"
+
+namespace gras::campaign {
+namespace {
+
+sim::GpuConfig config() { return sim::make_config("gv100-scaled"); }
+
+TEST(Checkpoint, GoldenRunRecordsOneSnapshotPerKernel) {
+  const auto app = workloads::make_benchmark("srad_v1");
+  const GoldenRun golden = run_golden(*app, config(), Checkpointing::On);
+  ASSERT_NE(golden.checkpoints, nullptr);
+  EXPECT_EQ(golden.checkpoints->store.size(), golden.kernel_names().size());
+  // Every kernel's first launch has a resume snapshot.
+  for (const std::string& kernel : golden.kernel_names()) {
+    const std::size_t first = golden.launches_of(kernel).front();
+    const sim::GpuSnapshot* snap = golden.checkpoints->store.at(first);
+    ASSERT_NE(snap, nullptr) << kernel;
+    EXPECT_EQ(snap->launch_count, first) << kernel;
+    EXPECT_EQ(snap->cycle, golden.launches[first].start_cycle) << kernel;
+    EXPECT_EQ(snap->gp_total, golden.launches[first].gp_begin) << kernel;
+    EXPECT_EQ(snap->ld_total, golden.launches[first].ld_begin) << kernel;
+  }
+}
+
+TEST(Checkpoint, OffModeRecordsNothing) {
+  const auto app = workloads::make_benchmark("va");
+  const GoldenRun golden = run_golden(*app, config(), Checkpointing::Off);
+  EXPECT_EQ(golden.checkpoints, nullptr);
+}
+
+TEST(Checkpoint, RestoredReplayReproducesGoldenOutput) {
+  // Fault-free replay from every kernel's checkpoint must reproduce the
+  // golden outputs and the golden total cycle count exactly.
+  const auto app = workloads::make_benchmark("bfs");
+  const GoldenRun golden = run_golden(*app, config(), Checkpointing::On);
+  ASSERT_NE(golden.checkpoints, nullptr);
+  for (const std::string& kernel : golden.kernel_names()) {
+    const std::size_t first = golden.launches_of(kernel).front();
+    const sim::GpuSnapshot* snap = golden.checkpoints->store.at(first);
+    ASSERT_NE(snap, nullptr);
+    sim::Gpu gpu(config());
+    gpu.restore(*snap, golden.launches);
+    const workloads::RunOutput out = workloads::replay_app(
+        *app, gpu, golden.checkpoints->trace, first, golden.launches);
+    EXPECT_TRUE(out.completed()) << kernel;
+    EXPECT_EQ(out.outputs, golden.output.outputs) << kernel;
+    EXPECT_EQ(gpu.cycle(), golden.total_cycles) << kernel;
+  }
+}
+
+TEST(Checkpoint, SnapshotRestoreRoundTripsAcrossGpus) {
+  const auto app = workloads::make_benchmark("lud");
+  const GoldenRun golden = run_golden(*app, config(), Checkpointing::On);
+  const std::size_t last_kernel_first =
+      golden.launches_of(golden.kernel_names().back()).front();
+  const sim::GpuSnapshot* snap = golden.checkpoints->store.at(last_kernel_first);
+  ASSERT_NE(snap, nullptr);
+  sim::Gpu gpu(config());
+  gpu.restore(*snap, golden.launches);
+  EXPECT_EQ(gpu.cycle(), snap->cycle);
+  EXPECT_EQ(gpu.launches().size(), snap->launch_count);
+  // A snapshot of the restored device matches the original bit for bit.
+  const sim::GpuSnapshot again = gpu.snapshot();
+  EXPECT_EQ(again.gmem.data, snap->gmem.data);
+  EXPECT_EQ(again.l2.data, snap->l2.data);
+  ASSERT_EQ(again.sms.size(), snap->sms.size());
+  for (std::size_t s = 0; s < again.sms.size(); ++s) {
+    EXPECT_EQ(again.sms[s].rf.cells, snap->sms[s].rf.cells) << s;
+    EXPECT_EQ(again.sms[s].smem.data, snap->sms[s].smem.data) << s;
+  }
+}
+
+TEST(Checkpoint, RestoreRejectsMismatchedGeometry) {
+  const auto app = workloads::make_benchmark("va");
+  const GoldenRun golden = run_golden(*app, config(), Checkpointing::On);
+  const sim::GpuSnapshot* snap = golden.checkpoints->store.at(0);
+  ASSERT_NE(snap, nullptr);
+  sim::GpuConfig other = config();
+  other.num_sms += 1;
+  sim::Gpu gpu(other);
+  EXPECT_THROW(gpu.restore(*snap, golden.launches), std::invalid_argument);
+}
+
+/// The A/B equivalence harness: same app, same seed, same spec — one
+/// campaign sampled off a checkpointed golden run, one off a plain golden
+/// run (every sample re-simulates from cycle 0). All observable campaign
+/// statistics must match exactly.
+struct EquivalenceCase {
+  const char* app;
+  const char* kernel;  ///< nullptr = last kernel (deepest fast-forward)
+  Target target;
+};
+
+class CheckpointEquivalence : public ::testing::TestWithParam<EquivalenceCase> {};
+
+TEST_P(CheckpointEquivalence, BitIdenticalOutcomes) {
+  const EquivalenceCase& c = GetParam();
+  const auto app = workloads::make_benchmark(c.app);
+  const GoldenRun with = run_golden(*app, config(), Checkpointing::On);
+  const GoldenRun without = run_golden(*app, config(), Checkpointing::Off);
+  ASSERT_NE(with.checkpoints, nullptr);
+  ASSERT_EQ(without.checkpoints, nullptr);
+  // Both golden runs are the same fault-free execution.
+  ASSERT_EQ(with.output.outputs, without.output.outputs);
+  ASSERT_EQ(with.total_cycles, without.total_cycles);
+  ASSERT_GT(with.launches.size(), 1u) << "equivalence needs a multi-launch app";
+
+  CampaignSpec spec;
+  spec.kernel = c.kernel != nullptr ? c.kernel : with.kernel_names().back();
+  spec.target = c.target;
+  spec.samples = 60;
+  spec.seed = 77;
+  // The target kernel must sit behind a non-trivial prefix so the
+  // fast-forward path actually skips launches.
+  ASSERT_GT(with.launches_of(spec.kernel).front(), 0u);
+
+  ThreadPool pool(2);
+  const CampaignResult fast = run_campaign(*app, config(), with, spec, pool);
+  const CampaignResult full = run_campaign(*app, config(), without, spec, pool);
+
+  EXPECT_EQ(fast.counts.masked, full.counts.masked);
+  EXPECT_EQ(fast.counts.sdc, full.counts.sdc);
+  EXPECT_EQ(fast.counts.timeout, full.counts.timeout);
+  EXPECT_EQ(fast.counts.due, full.counts.due);
+  EXPECT_EQ(fast.control_path_masked, full.control_path_masked);
+  EXPECT_EQ(fast.injected, full.injected);
+
+  // Per-sample spot check: cycles and outcomes agree sample by sample.
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    const SampleResult a = run_sample(*app, config(), with, spec, i);
+    const SampleResult b = run_sample(*app, config(), without, spec, i);
+    EXPECT_EQ(a.outcome, b.outcome) << i;
+    EXPECT_EQ(a.cycles, b.cycles) << i;
+    EXPECT_EQ(a.injected, b.injected) << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MultiLaunchApps, CheckpointEquivalence,
+    ::testing::Values(EquivalenceCase{"srad_v1", nullptr, Target::RF},
+                      EquivalenceCase{"srad_v1", nullptr, Target::Svf},
+                      EquivalenceCase{"bfs", nullptr, Target::RF},
+                      EquivalenceCase{"bfs", nullptr, Target::Svf},
+                      EquivalenceCase{"lud", "lud_internal", Target::RF},
+                      EquivalenceCase{"lud", "lud_internal", Target::Svf},
+                      EquivalenceCase{"lud", "lud_internal", Target::SvfLd}),
+    [](const ::testing::TestParamInfo<EquivalenceCase>& info) {
+      std::string name = std::string(info.param.app) + "_" + target_name(info.param.target);
+      for (char& ch : name) {
+        if (ch == '-') ch = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace gras::campaign
