@@ -23,7 +23,7 @@ void measure(bench::Bench& bench, const workloads::App& app, const char* label,
   const std::string kernel = golden.kernel_names().front();
   ThreadPool& pool = bench.pool();
   const campaign::Target targets[] = {campaign::Target::RF, campaign::Target::Svf};
-  const auto campaigns = campaign::cached_kernel_sweep(
+  const auto campaigns = orchestrator::cached_kernel_sweep(
       app, bench.config(), golden, kernel, targets, bench.samples(), bench.seed(), pool);
   const double df = metrics::rf_derating(golden, kernel, bench.config());
   const double avf_rf = campaigns.at(campaign::Target::RF).counts.failure_rate() * df;

@@ -8,7 +8,7 @@
 #include <cstdio>
 
 #include "bench/bench_common.h"
-#include "src/campaign/cache.h"
+#include "src/orchestrator/cache.h"
 
 int main() {
   using namespace gras;
@@ -29,7 +29,7 @@ int main() {
         spec.samples = n;
         spec.seed = bench.seed();
         const auto r =
-            campaign::cached_campaign(*app, bench.config(), golden, spec, bench.pool());
+            orchestrator::cached_campaign(*app, bench.config(), golden, spec, bench.pool());
         const auto ci = r.fr_ci();
         table.add_row({bench::Bench::display_name(name) + " " + kernel,
                        campaign::target_name(target), std::to_string(n),

@@ -69,7 +69,7 @@ std::vector<AppContext>& Bench::apps(bool hardened) {
 
 campaign::KernelCampaigns Bench::sweep(const AppContext& ctx, const std::string& kernel,
                                        std::span<const campaign::Target> targets) {
-  return campaign::cached_kernel_sweep(*ctx.app, config_, ctx.golden, kernel, targets,
+  return orchestrator::cached_kernel_sweep(*ctx.app, config_, ctx.golden, kernel, targets,
                                        samples_, seed_, pool_);
 }
 

@@ -2,7 +2,7 @@
 //
 // Each bench binary regenerates one table or figure of the paper. They all
 // consume the same campaign database, memoized on disk (see
-// src/campaign/cache.h), so running the whole bench directory costs the
+// src/orchestrator/cache.h), so running the whole bench directory costs the
 // union of the campaigns, not the sum.
 //
 // Environment knobs (see src/common/env.h): GRAS_INJECTIONS (default 300;
@@ -15,7 +15,7 @@
 #include <vector>
 
 #include "src/analysis/analysis.h"
-#include "src/campaign/cache.h"
+#include "src/orchestrator/cache.h"
 #include "src/campaign/campaign.h"
 #include "src/common/env.h"
 #include "src/common/table.h"

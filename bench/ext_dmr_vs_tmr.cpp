@@ -10,7 +10,7 @@
 #include <cstdio>
 
 #include "bench/bench_common.h"
-#include "src/campaign/cache.h"
+#include "src/orchestrator/cache.h"
 #include "src/harden/dmr.h"
 #include "src/harden/tmr.h"
 
@@ -42,7 +42,7 @@ int main() {
       spec.samples = bench.samples();
       spec.seed = bench.seed();
       const auto r =
-          campaign::cached_campaign(*v.app, bench.config(), golden, spec, bench.pool());
+          orchestrator::cached_campaign(*v.app, bench.config(), golden, spec, bench.pool());
       table.add_row({bench::Bench::display_name(name) + " " + spec.kernel, v.label,
                      TextTable::num(static_cast<double>(golden.total_cycles) /
                                         static_cast<double>(golden_base.total_cycles),

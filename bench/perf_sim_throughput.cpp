@@ -19,10 +19,18 @@
 // fast-forward should win by >=2x; the `early` pair targets the app's
 // first kernel, where both paths simulate nearly everything and the
 // speedup is just the reuse of a pre-built Gpu workspace.
+// The journal-overhead pair is BM_CampaignJournaled vs BM_CampaignInMemory:
+// identical campaigns through the durable orchestrator with and without the
+// on-disk sample journal. The journal is written by a dedicated writer
+// thread (append + fsync per batch) that overlaps simulation, so the
+// journaled run should stay within 2% of the in-memory one.
 #include <benchmark/benchmark.h>
+
+#include <filesystem>
 
 #include "src/campaign/campaign.h"
 #include "src/harden/tmr.h"
+#include "src/orchestrator/orchestrator.h"
 #include "src/workloads/workload.h"
 
 namespace {
@@ -121,6 +129,37 @@ BENCHMARK_CAPTURE(BM_SampleCheckpointed, srad_v1_early_rf, std::string("srad_v1"
                   std::string("srad1_extract"), campaign::Target::RF);
 BENCHMARK_CAPTURE(BM_SampleFullRun, srad_v1_early_rf, std::string("srad_v1"),
                   std::string("srad1_extract"), campaign::Target::RF);
+
+/// One whole campaign through the durable orchestrator. `journaled` toggles
+/// the sample journal; everything else (chunking, workspace reuse, sample
+/// schedule) is identical, so the pair isolates pure journal overhead.
+void BM_Campaign(benchmark::State& state, bool journaled) {
+  const auto app = workloads::make_benchmark("hotspot");
+  const auto golden =
+      campaign::run_golden(*app, config(), campaign::Checkpointing::On);
+  campaign::CampaignSpec spec;
+  spec.kernel = "hotspot_k1";
+  spec.target = campaign::Target::RF;
+  spec.samples = 64;
+  ThreadPool pool(4);
+  orchestrator::DurableOptions options;
+  options.journaled = journaled;
+  options.resume = false;  // each iteration starts a fresh journal
+  options.journal =
+      std::filesystem::temp_directory_path() / "gras_bench_journal.jrnl";
+  std::uint64_t samples = 0;
+  for (auto _ : state) {
+    const auto r =
+        orchestrator::run_durable(*app, config(), golden, spec, pool, options);
+    samples += r.executed;
+    benchmark::DoNotOptimize(r.result.counts.total());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(samples));
+  std::error_code ec;
+  std::filesystem::remove(options.journal, ec);
+}
+BENCHMARK_CAPTURE(BM_Campaign, journaled, true)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_Campaign, in_memory, false)->Unit(benchmark::kMillisecond);
 
 void BM_TmrGoldenRun(benchmark::State& state) {
   const auto app = workloads::make_benchmark("hotspot");

@@ -9,7 +9,7 @@
 #include <cstdio>
 #include <cstdlib>
 
-#include "src/campaign/cache.h"
+#include "src/orchestrator/cache.h"
 #include "src/campaign/campaign.h"
 #include "src/common/env.h"
 #include "src/common/table.h"
@@ -39,7 +39,7 @@ int main(int argc, char** argv) {
     const auto golden = campaign::run_golden(*app, config);
     metrics::AppReliability rel;
     for (const std::string& kernel : golden.kernel_names()) {
-      const auto campaigns = campaign::cached_kernel_sweep(
+      const auto campaigns = orchestrator::cached_kernel_sweep(
           *app, config, golden, kernel, targets, samples, env_seed(), pool);
       rel.kernels.push_back(metrics::consolidate_kernel(golden, kernel, campaigns, config));
     }

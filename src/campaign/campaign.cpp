@@ -109,6 +109,13 @@ const char* target_name(Target t) {
   return "?";
 }
 
+std::optional<Target> target_from_name(std::string_view name) {
+  for (Target t : kAllTargets) {
+    if (name == target_name(t)) return t;
+  }
+  return std::nullopt;
+}
+
 bool is_microarch(Target t) {
   switch (t) {
     case Target::RF:
@@ -148,8 +155,12 @@ OutcomeCounts& OutcomeCounts::operator+=(const OutcomeCounts& o) {
 }
 
 ProportionCi CampaignResult::fr_ci(double confidence) const {
-  return wald_interval(counts.sdc + counts.timeout + counts.due, counts.total(),
-                       confidence);
+  // Wilson rather than Wald: Wald collapses to zero width when the failure
+  // count is 0 or saturated (common for heavily-masked targets), which would
+  // both misreport precision and stop margin-driven campaigns after the
+  // first chunk. Wilson stays honest at the extremes.
+  return wilson_interval(counts.sdc + counts.timeout + counts.due, counts.total(),
+                         confidence);
 }
 
 namespace {

@@ -11,8 +11,10 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <optional>
 #include <span>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -88,7 +90,13 @@ enum class Target : std::uint8_t {
 };
 
 const char* target_name(Target t);
+/// Inverse of target_name; nullopt for unknown spellings.
+std::optional<Target> target_from_name(std::string_view name);
 bool is_microarch(Target t);
+/// Every target, in declaration order (CLI help, name lookup).
+inline constexpr Target kAllTargets[] = {
+    Target::RF,  Target::SMEM,  Target::L1D,        Target::L1T,        Target::L2,
+    Target::Svf, Target::SvfLd, Target::SvfSrcOnce, Target::SvfSrcReuse};
 /// The five microarchitecture targets.
 inline constexpr Target kMicroarchTargets[] = {Target::RF, Target::SMEM, Target::L1D,
                                                Target::L1T, Target::L2};
@@ -119,7 +127,8 @@ struct CampaignResult {
   /// expire when nothing is allocated in the window).
   std::uint64_t injected = 0;
 
-  /// Confidence interval on the failure rate.
+  /// Wilson confidence interval on the failure rate (well-defined width even
+  /// at 0 or 100% failures, unlike Wald — see stats.h).
   ProportionCi fr_ci(double confidence = 0.99) const;
 };
 

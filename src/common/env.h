@@ -7,6 +7,11 @@
 //   GRAS_NO_CHECKPOINT   non-zero disables launch-boundary checkpointing, so
 //                        every sample re-simulates from cycle 0 (A/B
 //                        validation of the fast-forward path)
+//   GRAS_CACHE           campaign memoization directory (default .gras_cache)
+//   GRAS_JOURNAL_DIR     sample-journal directory (default $GRAS_CACHE/journals)
+//   GRAS_JOURNAL_FSYNC   0 disables the per-batch fsync of sample journals
+//                        (faster, but a power cut may lose the tail; a plain
+//                        SIGKILL still loses nothing)
 #pragma once
 
 #include <cstdint>
@@ -27,5 +32,11 @@ std::uint64_t env_threads(std::uint64_t fallback = 0);
 std::string env_config(const std::string& fallback = "gv100-scaled");
 /// True when GRAS_NO_CHECKPOINT is set to a non-zero value.
 bool env_no_checkpoint();
+/// GRAS_CACHE with its default.
+std::string env_cache_dir(const std::string& fallback = ".gras_cache");
+/// GRAS_JOURNAL_DIR, defaulting to "<env_cache_dir()>/journals".
+std::string env_journal_dir();
+/// False only when GRAS_JOURNAL_FSYNC is set to 0.
+bool env_journal_fsync();
 
 }  // namespace gras

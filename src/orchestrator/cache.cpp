@@ -1,4 +1,4 @@
-#include "src/campaign/cache.h"
+#include "src/orchestrator/cache.h"
 
 #include <cinttypes>
 #include <cstdio>
@@ -6,13 +6,15 @@
 #include <string>
 
 #include "src/common/env.h"
+#include "src/orchestrator/orchestrator.h"
 
-namespace gras::campaign {
+namespace gras::orchestrator {
 namespace {
 
-std::filesystem::path cache_dir() {
-  return std::filesystem::path(env_str("GRAS_CACHE", ".gras_cache"));
-}
+using campaign::CampaignResult;
+using campaign::CampaignSpec;
+
+std::filesystem::path cache_dir() { return std::filesystem::path(env_cache_dir()); }
 
 std::filesystem::path key_path(const workloads::App& app, const sim::GpuConfig& config,
                                const CampaignSpec& spec) {
@@ -20,7 +22,7 @@ std::filesystem::path key_path(const workloads::App& app, const sim::GpuConfig& 
   name += '.';
   name += spec.kernel;
   name += '.';
-  name += target_name(spec.target);
+  name += campaign::target_name(spec.target);
   name += '.';
   name += std::to_string(spec.samples);
   name += '.';
@@ -65,25 +67,29 @@ void store(const std::filesystem::path& path, const CampaignResult& result) {
 }  // namespace
 
 CampaignResult cached_campaign(const workloads::App& app, const sim::GpuConfig& config,
-                               const GoldenRun& golden, const CampaignSpec& spec,
-                               ThreadPool& pool) {
+                               const campaign::GoldenRun& golden,
+                               const CampaignSpec& spec, ThreadPool& pool) {
   const std::filesystem::path path = key_path(app, config, spec);
   CampaignResult result;
   result.spec = spec;
   if (load(path, result)) return result;
-  result = run_campaign(app, config, golden, spec, pool);
-  store(path, result);
-  return result;
+  // Miss: run durably so an interrupted bench run resumes instead of
+  // restarting. The journal is only a recovery log here — once the result
+  // is in the cache it can never be consulted again, so drop it.
+  const DurableResult durable = run_durable(app, config, golden, spec, pool);
+  store(path, durable.result);
+  std::error_code ec;
+  std::filesystem::remove(durable.journal, ec);
+  return durable.result;
 }
 
-KernelCampaigns cached_kernel_sweep(const workloads::App& app,
-                                    const sim::GpuConfig& config,
-                                    const GoldenRun& golden, const std::string& kernel,
-                                    std::span<const Target> targets,
-                                    std::uint64_t samples, std::uint64_t seed,
-                                    ThreadPool& pool) {
-  KernelCampaigns out;
-  for (Target t : targets) {
+campaign::KernelCampaigns cached_kernel_sweep(
+    const workloads::App& app, const sim::GpuConfig& config,
+    const campaign::GoldenRun& golden, const std::string& kernel,
+    std::span<const campaign::Target> targets, std::uint64_t samples,
+    std::uint64_t seed, ThreadPool& pool) {
+  campaign::KernelCampaigns out;
+  for (campaign::Target t : targets) {
     CampaignSpec spec;
     spec.kernel = kernel;
     spec.target = t;
@@ -94,4 +100,4 @@ KernelCampaigns cached_kernel_sweep(const workloads::App& app,
   return out;
 }
 
-}  // namespace gras::campaign
+}  // namespace gras::orchestrator

@@ -1,0 +1,39 @@
+// File-backed memoization of campaign results, now routed through the
+// durable orchestrator.
+//
+// The bench harnesses regenerate 13 paper tables/figures from overlapping
+// campaign sets (e.g. Fig. 1, Fig. 2, Fig. 4 and Table I all consume the
+// same per-kernel sweeps). Campaigns are deterministic in
+// (app, kernel, target, samples, seed, config), so their outcome histograms
+// can be cached on disk and shared across bench binaries.
+//
+// A cache miss runs the campaign via run_durable: every sample lands in a
+// journal under $GRAS_JOURNAL_DIR as it completes, so a killed bench run
+// resumes where it left off instead of restarting the campaign. Once the
+// final histogram is stored in the cache, the journal is deleted.
+//
+// Cache directory: $GRAS_CACHE, defaulting to ".gras_cache" under the
+// current working directory. Delete the directory to force re-runs.
+#pragma once
+
+#include "src/campaign/campaign.h"
+
+namespace gras::orchestrator {
+
+/// Runs a campaign through the cache: returns the stored result when the
+/// exact (app-name, spec, config-name) tuple has been run before, otherwise
+/// runs it durably (journaled, resumable) and stores the outcome.
+campaign::CampaignResult cached_campaign(const workloads::App& app,
+                                         const sim::GpuConfig& config,
+                                         const campaign::GoldenRun& golden,
+                                         const campaign::CampaignSpec& spec,
+                                         ThreadPool& pool);
+
+/// Cached variant of campaign::run_kernel_sweep.
+campaign::KernelCampaigns cached_kernel_sweep(
+    const workloads::App& app, const sim::GpuConfig& config,
+    const campaign::GoldenRun& golden, const std::string& kernel,
+    std::span<const campaign::Target> targets, std::uint64_t samples,
+    std::uint64_t seed, ThreadPool& pool);
+
+}  // namespace gras::orchestrator

@@ -1,0 +1,302 @@
+#include "src/orchestrator/journal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <mutex>
+#include <thread>
+
+#include "src/common/env.h"
+
+namespace gras::orchestrator {
+namespace {
+
+constexpr char kMagic[8] = {'G', 'R', 'A', 'S', 'J', 'R', 'N', '1'};
+
+std::uint64_t fnv1a(const void* data, std::size_t len,
+                    std::uint64_t hash = 14695981039346656037ULL) noexcept {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < len; ++i) {
+    hash ^= p[i];
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+void put_u32(std::string& out, std::uint32_t v) {
+  out.append(reinterpret_cast<const char*>(&v), sizeof v);
+}
+void put_u64(std::string& out, std::uint64_t v) {
+  out.append(reinterpret_cast<const char*>(&v), sizeof v);
+}
+void put_f64(std::string& out, double v) {
+  out.append(reinterpret_cast<const char*>(&v), sizeof v);
+}
+void put_str(std::string& out, const std::string& s) {
+  put_u32(out, static_cast<std::uint32_t>(s.size()));
+  out.append(s);
+}
+
+/// Bounds-checked cursor over a byte buffer; get_* return false on underrun.
+struct Cursor {
+  const char* p;
+  std::size_t left;
+  bool get(void* dst, std::size_t n) {
+    if (left < n) return false;
+    std::memcpy(dst, p, n);
+    p += n;
+    left -= n;
+    return true;
+  }
+  bool get_u32(std::uint32_t& v) { return get(&v, sizeof v); }
+  bool get_u64(std::uint64_t& v) { return get(&v, sizeof v); }
+  bool get_f64(double& v) { return get(&v, sizeof v); }
+  bool get_str(std::string& s) {
+    std::uint32_t n = 0;
+    if (!get_u32(n) || left < n || n > (1u << 20)) return false;
+    s.assign(p, n);
+    p += n;
+    left -= n;
+    return true;
+  }
+};
+
+std::string serialize_header(const JournalHeader& h) {
+  std::string out;
+  out.append(kMagic, sizeof kMagic);
+  put_u32(out, kJournalVersion);
+  put_u32(out, h.shard_index);
+  put_u32(out, h.shard_count);
+  put_u32(out, 0);  // reserved
+  put_u64(out, h.samples);
+  put_u64(out, h.seed);
+  put_f64(out, h.margin);
+  put_f64(out, h.confidence);
+  put_str(out, h.app);
+  put_str(out, h.kernel);
+  put_str(out, h.config);
+  put_str(out, h.target);
+  put_u64(out, fnv1a(out.data(), out.size()));
+  return out;
+}
+
+void serialize_record(const JournalRecord& r, char out[kRecordBytes]) {
+  std::memcpy(out, &r.index, 8);
+  std::memcpy(out + 8, &r.cycles, 8);
+  out[16] = static_cast<char>(r.outcome);
+  out[17] = static_cast<char>(r.injected ? 1 : 0);
+  out[18] = static_cast<char>(r.control_path ? 1 : 0);
+  out[19] = static_cast<char>(r.kind);
+  const auto sum = static_cast<std::uint32_t>(fnv1a(out, 20));
+  std::memcpy(out + 20, &sum, 4);
+}
+
+bool deserialize_record(const char in[kRecordBytes], JournalRecord& r) {
+  std::uint32_t stored = 0;
+  std::memcpy(&stored, in + 20, 4);
+  if (stored != static_cast<std::uint32_t>(fnv1a(in, 20))) return false;
+  std::memcpy(&r.index, in, 8);
+  std::memcpy(&r.cycles, in + 8, 8);
+  const auto outcome = static_cast<unsigned char>(in[16]);
+  if (outcome > static_cast<unsigned char>(fi::Outcome::DUE)) return false;
+  r.outcome = static_cast<fi::Outcome>(outcome);
+  r.injected = in[17] != 0;
+  r.control_path = in[18] != 0;
+  r.kind = static_cast<std::uint8_t>(in[19]);
+  if (r.kind != JournalRecord::kSample && r.kind != JournalRecord::kEarlyStop) {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::uint64_t JournalHeader::fingerprint() const noexcept {
+  std::uint64_t h = 14695981039346656037ULL;
+  const auto mix_str = [&h](const std::string& s) {
+    h = fnv1a(s.data(), s.size(), h);
+    h = fnv1a("\0", 1, h);  // keep ("ab","c") distinct from ("a","bc")
+  };
+  mix_str(app);
+  mix_str(kernel);
+  mix_str(config);
+  mix_str(target);
+  h = fnv1a(&samples, sizeof samples, h);
+  h = fnv1a(&seed, sizeof seed, h);
+  h = fnv1a(&margin, sizeof margin, h);
+  h = fnv1a(&confidence, sizeof confidence, h);
+  return h;
+}
+
+std::optional<JournalContents> read_journal(const std::filesystem::path& path) {
+  std::string bytes;
+  {
+    std::FILE* f = std::fopen(path.string().c_str(), "rb");
+    if (f == nullptr) return std::nullopt;
+    char buf[1 << 16];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) bytes.append(buf, n);
+    std::fclose(f);
+  }
+
+  Cursor c{bytes.data(), bytes.size()};
+  char magic[8];
+  std::uint32_t version = 0, reserved = 0;
+  JournalContents out;
+  JournalHeader& h = out.header;
+  if (!c.get(magic, sizeof magic) || std::memcmp(magic, kMagic, sizeof magic) != 0) {
+    return std::nullopt;
+  }
+  if (!c.get_u32(version) || version != kJournalVersion) return std::nullopt;
+  if (!c.get_u32(h.shard_index) || !c.get_u32(h.shard_count) || !c.get_u32(reserved) ||
+      !c.get_u64(h.samples) || !c.get_u64(h.seed) || !c.get_f64(h.margin) ||
+      !c.get_f64(h.confidence) || !c.get_str(h.app) || !c.get_str(h.kernel) ||
+      !c.get_str(h.config) || !c.get_str(h.target)) {
+    return std::nullopt;
+  }
+  const std::size_t header_bytes = bytes.size() - c.left;
+  std::uint64_t stored = 0;
+  if (!c.get_u64(stored) || stored != fnv1a(bytes.data(), header_bytes)) {
+    return std::nullopt;
+  }
+  out.valid_bytes = header_bytes + sizeof stored;
+
+  // Records: stop at the first torn or checksum-damaged one; everything from
+  // there on is an untrusted tail (crash mid-write) and gets dropped.
+  while (c.left >= kRecordBytes) {
+    JournalRecord r;
+    if (!deserialize_record(c.p, r)) break;
+    c.p += kRecordBytes;
+    c.left -= kRecordBytes;
+    out.valid_bytes += kRecordBytes;
+    if (r.kind == JournalRecord::kEarlyStop) {
+      out.early_stop_consumed = r.index;
+    } else {
+      out.records.push_back(r);
+    }
+  }
+  out.dropped_bytes = c.left;
+  return out;
+}
+
+struct JournalWriter::Impl {
+  int fd = -1;
+  bool do_fsync = true;
+  std::mutex mu;
+  std::condition_variable cv;        ///< wakes the writer thread
+  std::condition_variable drained;   ///< wakes sync() waiters
+  std::deque<JournalRecord> queue;
+  std::uint64_t appended = 0;
+  std::uint64_t durable = 0;
+  bool stop = false;
+  bool io_error = false;
+  std::thread thread;
+};
+
+JournalWriter::JournalWriter(int fd, bool fsync_enabled) : impl_(new Impl) {
+  impl_->fd = fd;
+  impl_->do_fsync = fsync_enabled;
+  impl_->thread = std::thread([this] { writer_loop(); });
+}
+
+JournalWriter::~JournalWriter() {
+  {
+    const std::lock_guard<std::mutex> lock(impl_->mu);
+    impl_->stop = true;
+  }
+  impl_->cv.notify_all();
+  impl_->thread.join();
+  ::close(impl_->fd);
+}
+
+namespace {
+bool write_all(int fd, const char* data, std::size_t len) {
+  while (len > 0) {
+    const ssize_t n = ::write(fd, data, len);
+    if (n < 0) return false;
+    data += n;
+    len -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+}  // namespace
+
+std::unique_ptr<JournalWriter> JournalWriter::open_fresh(
+    const std::filesystem::path& path, const JournalHeader& header) {
+  std::error_code ec;
+  std::filesystem::create_directories(path.parent_path(), ec);
+  const int fd = ::open(path.string().c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return nullptr;
+  const std::string bytes = serialize_header(header);
+  const bool do_fsync = env_journal_fsync();
+  if (!write_all(fd, bytes.data(), bytes.size()) || (do_fsync && ::fsync(fd) != 0)) {
+    ::close(fd);
+    return nullptr;
+  }
+  return std::unique_ptr<JournalWriter>(new JournalWriter(fd, do_fsync));
+}
+
+std::unique_ptr<JournalWriter> JournalWriter::open_resumed(
+    const std::filesystem::path& path, const JournalContents& contents) {
+  // Cut the untrusted tail so appends start right after the valid prefix.
+  std::error_code ec;
+  std::filesystem::resize_file(path, contents.valid_bytes, ec);
+  if (ec) return nullptr;
+  const int fd = ::open(path.string().c_str(), O_WRONLY | O_APPEND);
+  if (fd < 0) return nullptr;
+  return std::unique_ptr<JournalWriter>(new JournalWriter(fd, env_journal_fsync()));
+}
+
+void JournalWriter::append(const JournalRecord& record) {
+  {
+    const std::lock_guard<std::mutex> lock(impl_->mu);
+    impl_->queue.push_back(record);
+    ++impl_->appended;
+  }
+  impl_->cv.notify_one();
+}
+
+void JournalWriter::sync() {
+  std::unique_lock<std::mutex> lock(impl_->mu);
+  impl_->drained.wait(lock, [this] {
+    return impl_->durable == impl_->appended || impl_->io_error;
+  });
+  if (impl_->io_error) {
+    throw std::runtime_error("journal write failed (disk full or I/O error)");
+  }
+}
+
+void JournalWriter::writer_loop() {
+  std::vector<JournalRecord> batch;
+  std::string buf;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(impl_->mu);
+      impl_->cv.wait(lock, [this] { return !impl_->queue.empty() || impl_->stop; });
+      if (impl_->queue.empty() && impl_->stop) return;
+      batch.assign(impl_->queue.begin(), impl_->queue.end());
+      impl_->queue.clear();
+    }
+    buf.resize(batch.size() * kRecordBytes);
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      serialize_record(batch[i], &buf[i * kRecordBytes]);
+    }
+    bool ok = write_all(impl_->fd, buf.data(), buf.size());
+    if (ok && impl_->do_fsync) ok = ::fsync(impl_->fd) == 0;
+    {
+      const std::lock_guard<std::mutex> lock(impl_->mu);
+      if (ok) {
+        impl_->durable += batch.size();
+      } else {
+        impl_->io_error = true;
+      }
+    }
+    impl_->drained.notify_all();
+    if (!ok) return;
+  }
+}
+
+}  // namespace gras::orchestrator

@@ -1,0 +1,119 @@
+// Append-only, crash-safe sample journal for fault-injection campaigns.
+//
+// One journal = one campaign shard. The file starts with a self-describing
+// header (campaign identity, shard position, early-stop contract) followed by
+// fixed-size per-sample records, each carrying its own checksum. Records are
+// written by a dedicated writer thread so campaign workers never block on
+// disk I/O; the writer batches queued records and fsyncs after every batch.
+//
+// Crash model: a SIGKILL (or power cut) leaves a valid header plus an
+// arbitrary prefix of records, possibly ending in a torn or bit-damaged
+// tail. Readers validate record checksums and stop at the first bad one,
+// dropping the tail; because every sample is deterministic in
+// (seed, sample index), dropped samples are simply re-run on resume and the
+// reconstructed histogram is bit-identical to an uninterrupted run.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/fi/fault.h"
+
+namespace gras::orchestrator {
+
+/// Journal file-format version (bump on any layout change).
+inline constexpr std::uint32_t kJournalVersion = 1;
+
+/// Campaign identity + shard position + early-stop contract. Serialized as a
+/// fixed block, three length-prefixed strings (app, kernel, config) and a
+/// trailing checksum; any damage invalidates the whole journal.
+struct JournalHeader {
+  std::string app;       ///< workload name
+  std::string kernel;    ///< target kernel name
+  std::string config;    ///< GpuConfig name
+  std::string target;    ///< campaign::target_name() spelling
+  std::uint64_t samples = 0;      ///< campaign-wide requested sample count
+  std::uint64_t seed = 0;         ///< campaign master seed
+  std::uint32_t shard_index = 0;  ///< this shard's position in [0, shard_count)
+  std::uint32_t shard_count = 1;
+  double margin = 0.0;      ///< requested CI half-width (0 = run all samples)
+  double confidence = 0.99; ///< confidence level for the early-stop margin
+
+  /// FNV-1a over every identity field above: two journals belong to the
+  /// same campaign iff their fingerprints match (shard position excluded,
+  /// so sibling shards share a fingerprint).
+  std::uint64_t fingerprint() const noexcept;
+  bool same_campaign(const JournalHeader& o) const noexcept {
+    return fingerprint() == o.fingerprint();
+  }
+};
+
+/// One completed sample (or the early-stop marker, see `kind`).
+struct JournalRecord {
+  static constexpr std::uint8_t kSample = 0;
+  /// Early-stop marker: `index` holds the number of shard-local positions
+  /// consumed when the margin was reached; no further samples exist.
+  static constexpr std::uint8_t kEarlyStop = 1;
+
+  std::uint64_t index = 0;   ///< campaign-wide sample index
+  std::uint64_t cycles = 0;  ///< faulty run's total cycles
+  fi::Outcome outcome = fi::Outcome::Masked;
+  bool injected = false;
+  /// Masked with cycles != golden total (control-path-affected proxy).
+  bool control_path = false;
+  std::uint8_t kind = kSample;
+};
+
+/// A journal parsed back from disk. `records` holds only checksum-valid
+/// sample records in append order; `early_stop` is set when an early-stop
+/// marker was found; `dropped_bytes` counts the discarded tail.
+struct JournalContents {
+  JournalHeader header;
+  std::vector<JournalRecord> records;
+  std::optional<std::uint64_t> early_stop_consumed;
+  std::uint64_t dropped_bytes = 0;
+  std::uint64_t valid_bytes = 0;  ///< header + valid records (truncation point)
+};
+
+/// Parses a journal. Returns nullopt when the file is missing, too short,
+/// or its header is damaged (callers then start a fresh campaign). A
+/// damaged record tail is not an error: parsing stops there and
+/// `dropped_bytes`/`valid_bytes` report the cut.
+std::optional<JournalContents> read_journal(const std::filesystem::path& path);
+
+/// Asynchronous appender. `open_fresh` truncates and writes a new header;
+/// `open_resumed` truncates a previously-read journal to its valid prefix
+/// and appends after it. All appends go through an internal queue drained by
+/// one writer thread (fwrite + fsync per batch); `sync()` blocks until every
+/// queued record is durable. The destructor syncs and closes.
+class JournalWriter {
+ public:
+  JournalWriter(const JournalWriter&) = delete;
+  JournalWriter& operator=(const JournalWriter&) = delete;
+  ~JournalWriter();
+
+  static std::unique_ptr<JournalWriter> open_fresh(const std::filesystem::path& path,
+                                                   const JournalHeader& header);
+  static std::unique_ptr<JournalWriter> open_resumed(const std::filesystem::path& path,
+                                                     const JournalContents& contents);
+
+  /// Queues one record; never blocks on I/O. Thread-safe.
+  void append(const JournalRecord& record);
+  /// Blocks until all queued records are written and fsync'd.
+  void sync();
+
+ private:
+  JournalWriter(int fd, bool fsync_enabled);
+  void writer_loop();
+
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Serialization helpers shared with tests (record size in bytes).
+inline constexpr std::size_t kRecordBytes = 24;
+
+}  // namespace gras::orchestrator

@@ -1,0 +1,336 @@
+#include "src/orchestrator/orchestrator.h"
+
+#include <algorithm>
+#include <chrono>
+#include <mutex>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "src/common/env.h"
+
+namespace gras::orchestrator {
+namespace {
+
+/// Shard-local position -> campaign-wide sample index.
+std::uint64_t position_to_index(std::uint64_t position, const ShardSpec& shard) {
+  return shard.index + position * shard.count;
+}
+
+std::uint64_t shard_sample_count(std::uint64_t samples, const ShardSpec& shard) {
+  if (shard.index >= samples) return 0;
+  return (samples - shard.index + shard.count - 1) / shard.count;
+}
+
+bool index_in_shard(std::uint64_t index, const JournalHeader& h) {
+  return index < h.samples && index % h.shard_count == h.shard_index;
+}
+
+std::uint64_t failures(const campaign::OutcomeCounts& c) {
+  return c.sdc + c.timeout + c.due;
+}
+
+JournalRecord to_record(std::uint64_t index, const campaign::SampleResult& s,
+                        const campaign::GoldenRun& golden) {
+  JournalRecord r;
+  r.index = index;
+  r.cycles = s.cycles;
+  r.outcome = s.outcome;
+  r.injected = s.injected;
+  r.control_path =
+      s.outcome == fi::Outcome::Masked && s.cycles != golden.total_cycles;
+  return r;
+}
+
+/// Accumulates one record into a shard-local histogram.
+struct Accumulator {
+  campaign::OutcomeCounts counts;
+  std::uint64_t control_path_masked = 0;
+  std::uint64_t injected = 0;
+
+  void add(const JournalRecord& r) {
+    switch (r.outcome) {
+      case fi::Outcome::Masked: ++counts.masked; break;
+      case fi::Outcome::SDC: ++counts.sdc; break;
+      case fi::Outcome::Timeout: ++counts.timeout; break;
+      case fi::Outcome::DUE: ++counts.due; break;
+    }
+    if (r.control_path) ++control_path_masked;
+    if (r.injected) ++injected;
+  }
+};
+
+}  // namespace
+
+JournalHeader make_header(const workloads::App& app, const sim::GpuConfig& config,
+                          const campaign::CampaignSpec& spec,
+                          const DurableOptions& options) {
+  JournalHeader h;
+  h.app = app.name();
+  h.kernel = spec.kernel;
+  h.config = config.name;
+  h.target = campaign::target_name(spec.target);
+  h.samples = spec.samples;
+  h.seed = spec.seed;
+  h.shard_index = options.shard.index;
+  h.shard_count = options.shard.count;
+  h.margin = options.margin;
+  h.confidence = options.confidence;
+  return h;
+}
+
+std::filesystem::path default_journal_path(const workloads::App& app,
+                                           const sim::GpuConfig& config,
+                                           const campaign::CampaignSpec& spec,
+                                           const ShardSpec& shard) {
+  std::string name = app.name();
+  name += '.';
+  name += spec.kernel;
+  name += '.';
+  name += campaign::target_name(spec.target);
+  name += '.';
+  name += std::to_string(spec.samples);
+  name += '.';
+  name += std::to_string(spec.seed);
+  name += '.';
+  name += config.name;
+  if (shard.count > 1) {
+    name += ".shard-" + std::to_string(shard.index) + "-of-" +
+            std::to_string(shard.count);
+  }
+  name += ".jrnl";
+  return std::filesystem::path(env_journal_dir()) / name;
+}
+
+DurableResult run_durable(const workloads::App& app, const sim::GpuConfig& config,
+                          const campaign::GoldenRun& golden,
+                          const campaign::CampaignSpec& spec, ThreadPool& pool,
+                          const DurableOptions& options) {
+  if (options.shard.count == 0 || options.shard.index >= options.shard.count) {
+    throw std::runtime_error("invalid shard spec: index " +
+                             std::to_string(options.shard.index) + " of " +
+                             std::to_string(options.shard.count));
+  }
+  if (options.chunk == 0) throw std::runtime_error("chunk size must be positive");
+
+  DurableResult out;
+  out.result.spec = spec;
+  out.shard_samples = shard_sample_count(spec.samples, options.shard);
+
+  // --- Journal setup: replay a compatible journal, then append after it.
+  const JournalHeader header = make_header(app, config, spec, options);
+  std::unordered_map<std::uint64_t, JournalRecord> replayed;
+  std::optional<std::uint64_t> prior_early_stop;
+  std::unique_ptr<JournalWriter> writer;
+  if (options.journaled) {
+    out.journal = options.journal.empty()
+                      ? default_journal_path(app, config, spec, options.shard)
+                      : options.journal;
+    if (options.resume) {
+      if (auto contents = read_journal(out.journal)) {
+        if (!contents->header.same_campaign(header) ||
+            contents->header.shard_index != header.shard_index ||
+            contents->header.shard_count != header.shard_count) {
+          throw std::runtime_error("journal '" + out.journal.string() +
+                                   "' belongs to a different campaign or shard; "
+                                   "delete it or pick another path");
+        }
+        for (const JournalRecord& r : contents->records) {
+          if (index_in_shard(r.index, header)) replayed.emplace(r.index, r);
+        }
+        prior_early_stop = contents->early_stop_consumed;
+        writer = JournalWriter::open_resumed(out.journal, *contents);
+      }
+    }
+    if (!writer) writer = JournalWriter::open_fresh(out.journal, header);
+    if (!writer) {
+      throw std::runtime_error("cannot open journal '" + out.journal.string() + "'");
+    }
+  }
+
+  // --- Per-worker Gpu workspaces, as in run_campaign: restoring a
+  // checkpoint into an existing device beats constructing one per sample.
+  std::mutex workspaces_mu;
+  std::vector<std::unique_ptr<sim::Gpu>> workspaces;
+  const auto acquire = [&]() -> std::unique_ptr<sim::Gpu> {
+    {
+      const std::lock_guard<std::mutex> lock(workspaces_mu);
+      if (!workspaces.empty()) {
+        auto gpu = std::move(workspaces.back());
+        workspaces.pop_back();
+        return gpu;
+      }
+    }
+    return std::make_unique<sim::Gpu>(config);
+  };
+  const auto release = [&](std::unique_ptr<sim::Gpu> gpu) {
+    const std::lock_guard<std::mutex> lock(workspaces_mu);
+    workspaces.push_back(std::move(gpu));
+  };
+
+  // --- Chunked execution. Chunk boundaries are barriers: the early-stop
+  // rule and progress snapshots see a deterministic prefix of the shard's
+  // sample sequence regardless of thread count or which samples came from
+  // the journal, so a resumed campaign makes the exact decisions the
+  // uninterrupted one would have.
+  Accumulator acc;
+  std::uint64_t consumed = 0;
+  const auto start = std::chrono::steady_clock::now();
+  const auto emit = [&](bool done) {
+    if (options.progress == nullptr) return;
+    ProgressSnapshot s;
+    s.completed = consumed;
+    s.total = out.shard_samples;
+    s.counts = acc.counts;
+    s.injected = acc.injected;
+    s.control_path_masked = acc.control_path_masked;
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+    if (out.executed > 0 && elapsed > 0) {
+      s.samples_per_sec = static_cast<double>(out.executed) / elapsed;
+      s.eta_seconds =
+          static_cast<double>(out.shard_samples - consumed) / s.samples_per_sec;
+    }
+    s.fr_ci = wilson_interval(failures(acc.counts), acc.counts.total(),
+                              options.confidence);
+    s.early_stopped = out.early_stopped;
+    s.done = done;
+    options.progress->on_progress(s);
+  };
+
+  std::vector<JournalRecord> slots;
+  std::vector<std::uint64_t> missing;
+  while (consumed < out.shard_samples) {
+    const std::uint64_t begin = consumed;
+    const std::uint64_t end = std::min(out.shard_samples, begin + options.chunk);
+    slots.assign(end - begin, JournalRecord{});
+    missing.clear();
+    for (std::uint64_t p = begin; p < end; ++p) {
+      const std::uint64_t index = position_to_index(p, options.shard);
+      const auto it = replayed.find(index);
+      if (it != replayed.end()) {
+        slots[p - begin] = it->second;
+      } else {
+        missing.push_back(p);
+      }
+    }
+    if (!missing.empty()) {
+      pool.parallel_for(missing.size(), [&](std::size_t j) {
+        const std::uint64_t p = missing[j];
+        const std::uint64_t index = position_to_index(p, options.shard);
+        auto gpu = acquire();
+        const campaign::SampleResult s =
+            campaign::run_sample(app, golden, spec, index, *gpu);
+        release(std::move(gpu));
+        const JournalRecord r = to_record(index, s, golden);
+        slots[p - begin] = r;
+        if (writer) writer->append(r);
+      });
+      out.executed += missing.size();
+    }
+    out.replayed += (end - begin) - missing.size();
+    for (const JournalRecord& r : slots) acc.add(r);
+    consumed = end;
+
+    if (options.margin > 0.0) {
+      const ProportionCi ci = wilson_interval(failures(acc.counts),
+                                              acc.counts.total(), options.confidence);
+      if (ci.margin() <= options.margin) {
+        out.early_stopped = true;
+        // Persist the stop point unless a prior run already recorded this
+        // exact one (resuming a finished early-stopped journal is a no-op).
+        if (writer && prior_early_stop != consumed) {
+          JournalRecord marker;
+          marker.kind = JournalRecord::kEarlyStop;
+          marker.index = consumed;
+          writer->append(marker);
+        }
+        break;
+      }
+    }
+    emit(consumed == out.shard_samples);
+  }
+  if (writer) writer->sync();
+  if (out.early_stopped || out.shard_samples == 0) emit(true);
+
+  out.result.counts = acc.counts;
+  out.result.control_path_masked = acc.control_path_masked;
+  out.result.injected = acc.injected;
+  return out;
+}
+
+MergedCampaign merge_shards(const std::vector<std::filesystem::path>& journals) {
+  if (journals.empty()) throw std::runtime_error("no journals to merge");
+
+  MergedCampaign merged;
+  std::vector<bool> seen;
+  Accumulator acc;
+  for (std::size_t i = 0; i < journals.size(); ++i) {
+    const auto contents = read_journal(journals[i]);
+    if (!contents) {
+      throw std::runtime_error("cannot read journal '" + journals[i].string() + "'");
+    }
+    const JournalHeader& h = contents->header;
+    if (i == 0) {
+      merged.header = h;
+      if (h.shard_count != journals.size()) {
+        throw std::runtime_error(
+            "campaign has " + std::to_string(h.shard_count) + " shards but " +
+            std::to_string(journals.size()) + " journals were given");
+      }
+      seen.assign(h.shard_count, false);
+    } else if (!h.same_campaign(merged.header)) {
+      throw std::runtime_error("journal '" + journals[i].string() +
+                               "' belongs to a different campaign (fingerprint "
+                               "mismatch)");
+    } else if (h.shard_count != merged.header.shard_count) {
+      throw std::runtime_error("journal '" + journals[i].string() +
+                               "' disagrees on the shard count");
+    }
+    if (h.shard_index >= h.shard_count || seen[h.shard_index]) {
+      throw std::runtime_error("journal '" + journals[i].string() +
+                               "' repeats or exceeds shard " +
+                               std::to_string(h.shard_index));
+    }
+    seen[h.shard_index] = true;
+
+    ShardSpec shard{h.shard_index, h.shard_count};
+    const std::uint64_t expected = shard_sample_count(h.samples, shard);
+    std::uint64_t count = 0;
+    for (const JournalRecord& r : contents->records) {
+      if (!index_in_shard(r.index, h)) {
+        throw std::runtime_error("journal '" + journals[i].string() +
+                                 "' holds sample " + std::to_string(r.index) +
+                                 " outside its shard stride");
+      }
+      acc.add(r);
+      ++count;
+    }
+    if (contents->early_stop_consumed) {
+      merged.early_stopped = true;
+      if (count != *contents->early_stop_consumed) {
+        throw std::runtime_error("journal '" + journals[i].string() +
+                                 "' early-stopped at " +
+                                 std::to_string(*contents->early_stop_consumed) +
+                                 " samples but holds " + std::to_string(count));
+      }
+    } else if (count != expected) {
+      throw std::runtime_error("journal '" + journals[i].string() + "' holds " +
+                               std::to_string(count) + " of " +
+                               std::to_string(expected) +
+                               " samples (incomplete shard; resume it first)");
+    }
+  }
+
+  merged.result.spec.kernel = merged.header.kernel;
+  merged.result.spec.samples = merged.header.samples;
+  merged.result.spec.seed = merged.header.seed;
+  if (const auto t = campaign::target_from_name(merged.header.target)) {
+    merged.result.spec.target = *t;
+  }
+  merged.result.counts = acc.counts;
+  merged.result.control_path_masked = acc.control_path_masked;
+  merged.result.injected = acc.injected;
+  return merged;
+}
+
+}  // namespace gras::orchestrator

@@ -1,0 +1,108 @@
+// Durable campaign orchestrator: crash-safe, shardable, observable campaigns
+// layered on the campaign engine (DESIGN.md §8).
+//
+// run_campaign is an in-memory, all-or-nothing batch loop: a crash at sample
+// 2,999/3,000 loses everything. run_durable runs the same samples, but
+// journals every completed one to an append-only on-disk log ($GRAS_CACHE/
+// journals by default). Because samples are deterministic in
+// (seed, sample index), a restarted campaign replays the journal, re-runs
+// only the missing indices, and lands on the bit-identical histogram an
+// uninterrupted run would have produced.
+//
+// A campaign can also run as shard i/N: shard i owns sample indices
+// {i, i+N, i+2N, ...}, a disjoint stride of the same index space, so N
+// processes (or machines) each journal their own shard and merge_shards
+// recombines them — again bit-identical to the unsharded run, validated via
+// campaign fingerprints in the journal headers.
+//
+// Early stop inverts the paper's statistical-FI contract (§II-A): instead of
+// asking for a sample count, ask for a CI half-width. The orchestrator
+// checks the Wilson margin on the failure rate at fixed chunk boundaries
+// (fixed so the stop point is deterministic for any thread count) and stops
+// once the requested precision is reached, recording the stop point in the
+// journal so resumed and merged results stay honest.
+#pragma once
+
+#include <filesystem>
+
+#include "src/campaign/campaign.h"
+#include "src/orchestrator/journal.h"
+#include "src/orchestrator/progress.h"
+
+namespace gras::orchestrator {
+
+/// Position of this process in a sharded campaign: shard `index` of `count`
+/// owns sample indices congruent to `index` modulo `count`.
+struct ShardSpec {
+  std::uint32_t index = 0;
+  std::uint32_t count = 1;
+};
+
+struct DurableOptions {
+  /// Journal file; empty derives "<GRAS_JOURNAL_DIR>/<campaign key>.jrnl".
+  std::filesystem::path journal;
+  /// False disables the on-disk journal entirely (pure in-memory run; the
+  /// baseline the journal-overhead benchmark compares against).
+  bool journaled = true;
+  /// Reuse an existing compatible journal (skip its completed samples).
+  /// False starts over, truncating any previous journal.
+  bool resume = true;
+  ShardSpec shard;
+  /// Early-stop target: stop once the Wilson CI half-width on the failure
+  /// rate is <= margin (a fraction, e.g. 0.0235). 0 runs all samples.
+  double margin = 0.0;
+  double confidence = 0.99;
+  /// Samples per scheduling chunk. Early-stop checks, journal-order barriers
+  /// and progress snapshots happen at chunk boundaries; the value must not
+  /// depend on the thread count or the early-stop point loses determinism.
+  std::uint64_t chunk = 64;
+  ProgressSink* progress = nullptr;
+};
+
+struct DurableResult {
+  campaign::CampaignResult result;  ///< histogram over this shard's samples
+  std::uint64_t shard_samples = 0;  ///< shard-local positions requested
+  std::uint64_t replayed = 0;       ///< samples recovered from the journal
+  std::uint64_t executed = 0;       ///< samples simulated by this call
+  bool early_stopped = false;
+  std::filesystem::path journal;    ///< empty when journaling was disabled
+};
+
+/// The journal header describing (app, config, spec, options) — the campaign
+/// identity used for resume validation and shard merging.
+JournalHeader make_header(const workloads::App& app, const sim::GpuConfig& config,
+                          const campaign::CampaignSpec& spec,
+                          const DurableOptions& options);
+
+/// Default journal location for a campaign shard.
+std::filesystem::path default_journal_path(const workloads::App& app,
+                                           const sim::GpuConfig& config,
+                                           const campaign::CampaignSpec& spec,
+                                           const ShardSpec& shard);
+
+/// Runs one campaign (shard) durably. Replays any compatible journal at the
+/// target path, executes the missing samples chunk by chunk, and journals
+/// each completed sample. Throws std::runtime_error when an existing journal
+/// belongs to a different campaign (fingerprint mismatch) or the journal
+/// cannot be written.
+DurableResult run_durable(const workloads::App& app, const sim::GpuConfig& config,
+                          const campaign::GoldenRun& golden,
+                          const campaign::CampaignSpec& spec, ThreadPool& pool,
+                          const DurableOptions& options = {});
+
+/// A sharded campaign recombined from its per-shard journals.
+struct MergedCampaign {
+  JournalHeader header;             ///< shared campaign identity
+  campaign::CampaignResult result;  ///< summed histogram across shards
+  bool early_stopped = false;       ///< any shard stopped on margin
+};
+
+/// Merges the journals of one sharded campaign. Validates that every journal
+/// is readable, all fingerprints match, shard positions are exactly
+/// {0..N-1} of the same N, every shard is complete (all of its stride
+/// journaled, or cleanly early-stopped), and no sample index strays outside
+/// its shard's stride. Throws std::runtime_error with a specific message on
+/// any violation.
+MergedCampaign merge_shards(const std::vector<std::filesystem::path>& journals);
+
+}  // namespace gras::orchestrator

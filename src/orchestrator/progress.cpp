@@ -1,0 +1,76 @@
+#include "src/orchestrator/progress.h"
+
+#include <chrono>
+#include <cinttypes>
+#include <stdexcept>
+
+namespace gras::orchestrator {
+namespace {
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+StderrProgress::StderrProgress(double min_interval_sec)
+    : min_interval_sec_(min_interval_sec) {}
+
+void StderrProgress::on_progress(const ProgressSnapshot& s) {
+  const double t = now_seconds();
+  if (!s.done && t - last_emit_ < min_interval_sec_) return;
+  last_emit_ = t;
+  const double pct = s.total == 0 ? 100.0
+                                  : 100.0 * static_cast<double>(s.completed) /
+                                        static_cast<double>(s.total);
+  std::fprintf(stderr,
+               "\r%" PRIu64 "/%" PRIu64 " (%5.1f%%)  FR %5.2f%% +/-%.2f  "
+               "%.0f samples/s  ETA %.0fs ",
+               s.completed, s.total, pct, 100.0 * s.fr_ci.estimate,
+               100.0 * s.fr_ci.margin(), s.samples_per_sec, s.eta_seconds);
+  if (s.done) {
+    std::fprintf(stderr, "%s\n", s.early_stopped ? " [early stop]" : "");
+  }
+  std::fflush(stderr);
+}
+
+JsonlProgress::JsonlProgress(const std::string& path) {
+  if (path == "-") {
+    out_ = stdout;
+  } else {
+    out_ = std::fopen(path.c_str(), "a");
+    if (out_ == nullptr) {
+      throw std::runtime_error("cannot open progress file '" + path + "'");
+    }
+    owned_ = true;
+  }
+}
+
+JsonlProgress::~JsonlProgress() {
+  if (owned_ && out_ != nullptr) std::fclose(out_);
+}
+
+std::string JsonlProgress::to_json(const ProgressSnapshot& s) {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof buf,
+      "{\"completed\":%" PRIu64 ",\"total\":%" PRIu64 ",\"masked\":%" PRIu64
+      ",\"sdc\":%" PRIu64 ",\"timeout\":%" PRIu64 ",\"due\":%" PRIu64
+      ",\"injected\":%" PRIu64 ",\"control_path_masked\":%" PRIu64
+      ",\"samples_per_sec\":%.2f,\"eta_seconds\":%.1f,\"fr\":%.6f"
+      ",\"fr_margin\":%.6f,\"early_stopped\":%s,\"done\":%s}",
+      s.completed, s.total, s.counts.masked, s.counts.sdc, s.counts.timeout,
+      s.counts.due, s.injected, s.control_path_masked, s.samples_per_sec,
+      s.eta_seconds, s.fr_ci.estimate, s.fr_ci.margin(),
+      s.early_stopped ? "true" : "false", s.done ? "true" : "false");
+  return buf;
+}
+
+void JsonlProgress::on_progress(const ProgressSnapshot& s) {
+  std::fprintf(out_, "%s\n", to_json(s).c_str());
+  std::fflush(out_);
+}
+
+}  // namespace gras::orchestrator

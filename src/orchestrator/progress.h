@@ -1,0 +1,85 @@
+// Live campaign progress: periodic snapshots pushed to a ProgressSink.
+//
+// The orchestrator emits one snapshot per completed chunk plus a final one
+// with done = true. Snapshots carry everything a dashboard needs: completed
+// vs total samples, the outcome histogram so far, throughput, an ETA, and
+// the current failure-rate estimate with its Wilson CI margin (the quantity
+// the early-stop rule watches).
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "src/campaign/campaign.h"
+#include "src/common/stats.h"
+
+namespace gras::orchestrator {
+
+struct ProgressSnapshot {
+  std::uint64_t completed = 0;  ///< samples done so far (replayed + executed)
+  std::uint64_t total = 0;      ///< shard-local sample count requested
+  campaign::OutcomeCounts counts;
+  std::uint64_t injected = 0;
+  std::uint64_t control_path_masked = 0;
+  double samples_per_sec = 0.0;  ///< executed this process / elapsed wall time
+  double eta_seconds = 0.0;      ///< remaining / samples_per_sec (0 if unknown)
+  ProportionCi fr_ci;            ///< Wilson CI on the failure rate so far
+  bool early_stopped = false;
+  bool done = false;
+};
+
+/// Receiver of progress snapshots. Called from the orchestrating thread at
+/// chunk boundaries — implementations may block briefly but should not stall.
+class ProgressSink {
+ public:
+  virtual ~ProgressSink() = default;
+  virtual void on_progress(const ProgressSnapshot& snapshot) = 0;
+};
+
+/// Human-readable one-line progress on stderr (carriage-return updates,
+/// final newline when done). Throttled: intermediate snapshots are printed
+/// at most every `min_interval_sec` (the final one always is).
+class StderrProgress : public ProgressSink {
+ public:
+  explicit StderrProgress(double min_interval_sec = 0.5);
+  void on_progress(const ProgressSnapshot& snapshot) override;
+
+ private:
+  double min_interval_sec_;
+  double last_emit_ = -1e300;
+};
+
+/// Machine-readable progress: one JSON object per snapshot, one per line.
+/// Owns the FILE* when constructed from a path.
+class JsonlProgress : public ProgressSink {
+ public:
+  /// Appends to `path` ("-" means stdout).
+  explicit JsonlProgress(const std::string& path);
+  ~JsonlProgress() override;
+  void on_progress(const ProgressSnapshot& snapshot) override;
+
+  /// Formats one snapshot as a JSON object (exposed for tests).
+  static std::string to_json(const ProgressSnapshot& snapshot);
+
+ private:
+  std::FILE* out_ = nullptr;
+  bool owned_ = false;
+};
+
+/// Fans one snapshot stream out to two sinks (e.g. stderr + JSONL).
+class TeeProgress : public ProgressSink {
+ public:
+  TeeProgress(ProgressSink* a, ProgressSink* b) : a_(a), b_(b) {}
+  void on_progress(const ProgressSnapshot& snapshot) override {
+    if (a_ != nullptr) a_->on_progress(snapshot);
+    if (b_ != nullptr) b_->on_progress(snapshot);
+  }
+
+ private:
+  ProgressSink* a_;
+  ProgressSink* b_;
+};
+
+}  // namespace gras::orchestrator

@@ -111,13 +111,36 @@ TEST(RunCampaign, UnknownKernelYieldsAllMasked) {
   EXPECT_EQ(r.injected, 0u);
 }
 
-TEST(RunCampaign, FrCiMatchesWald) {
+TEST(RunCampaign, FrCiUsesWilson) {
   CampaignResult r;
   r.counts.masked = 80;
   r.counts.sdc = 20;
   const ProportionCi ci = r.fr_ci(0.99);
   EXPECT_DOUBLE_EQ(ci.estimate, 0.2);
   EXPECT_GT(ci.margin(), 0.0);
+  const ProportionCi wilson = wilson_interval(20, 100, 0.99);
+  EXPECT_DOUBLE_EQ(ci.lower, wilson.lower);
+  EXPECT_DOUBLE_EQ(ci.upper, wilson.upper);
+}
+
+TEST(RunCampaign, FrCiStaysInformativeAtZeroFailures) {
+  // Wald collapses to zero width at 0 failures; Wilson must not, or
+  // margin-driven early stop would fire after the first chunk of an
+  // all-masked campaign.
+  CampaignResult r;
+  r.counts.masked = 100;
+  const ProportionCi ci = r.fr_ci(0.99);
+  EXPECT_DOUBLE_EQ(ci.estimate, 0.0);
+  EXPECT_GT(ci.margin(), 0.01);
+}
+
+TEST(TargetHelpers, TargetFromNameRoundTrips) {
+  for (Target t : kAllTargets) {
+    const auto parsed = target_from_name(target_name(t));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, t);
+  }
+  EXPECT_FALSE(target_from_name("BOGUS").has_value());
 }
 
 TEST(KernelSweep, RunsEveryTarget) {

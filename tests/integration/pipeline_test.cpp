@@ -5,7 +5,7 @@
 
 #include <filesystem>
 
-#include "src/campaign/cache.h"
+#include "src/orchestrator/cache.h"
 #include "src/campaign/campaign.h"
 #include "src/harden/tmr.h"
 #include "src/analysis/analysis.h"
@@ -131,8 +131,8 @@ TEST(Cache, CampaignCacheRoundTrips) {
   spec.kernel = "va_k1";
   spec.target = campaign::Target::Svf;
   spec.samples = 20;
-  const auto first = campaign::cached_campaign(*app, config(), golden, spec, pool);
-  const auto second = campaign::cached_campaign(*app, config(), golden, spec, pool);
+  const auto first = orchestrator::cached_campaign(*app, config(), golden, spec, pool);
+  const auto second = orchestrator::cached_campaign(*app, config(), golden, spec, pool);
   EXPECT_EQ(first.counts.masked, second.counts.masked);
   EXPECT_EQ(first.counts.sdc, second.counts.sdc);
   EXPECT_EQ(first.injected, second.injected);

@@ -1,0 +1,198 @@
+// Journal file-format robustness: round trips, torn tails, bit flips,
+// damaged headers, campaign fingerprints.
+#include "src/orchestrator/journal.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+namespace gras::orchestrator {
+namespace {
+
+std::filesystem::path temp_journal(const char* name) {
+  const auto dir = std::filesystem::temp_directory_path() / "gras_journal_test";
+  std::filesystem::create_directories(dir);
+  return dir / name;
+}
+
+JournalHeader example_header() {
+  JournalHeader h;
+  h.app = "va";
+  h.kernel = "va_k1";
+  h.config = "gv100-scaled";
+  h.target = "RF";
+  h.samples = 100;
+  h.seed = 2024;
+  h.shard_index = 0;
+  h.shard_count = 1;
+  h.margin = 0.0;
+  h.confidence = 0.99;
+  return h;
+}
+
+JournalRecord example_record(std::uint64_t index) {
+  JournalRecord r;
+  r.index = index;
+  r.cycles = 1000 + index;
+  r.outcome = static_cast<fi::Outcome>(index % 4);
+  r.injected = index % 2 == 0;
+  r.control_path = index % 3 == 0;
+  return r;
+}
+
+void write_records(const std::filesystem::path& path, std::uint64_t n) {
+  auto writer = JournalWriter::open_fresh(path, example_header());
+  ASSERT_NE(writer, nullptr);
+  for (std::uint64_t i = 0; i < n; ++i) writer->append(example_record(i));
+  writer->sync();
+}
+
+std::string slurp(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in), {});
+}
+
+void spit(const std::filesystem::path& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+TEST(Journal, RoundTripsHeaderAndRecords) {
+  const auto path = temp_journal("roundtrip.jrnl");
+  write_records(path, 10);
+  const auto contents = read_journal(path);
+  ASSERT_TRUE(contents.has_value());
+  EXPECT_TRUE(contents->header.same_campaign(example_header()));
+  EXPECT_EQ(contents->header.app, "va");
+  EXPECT_EQ(contents->header.kernel, "va_k1");
+  EXPECT_EQ(contents->header.target, "RF");
+  EXPECT_EQ(contents->header.samples, 100u);
+  ASSERT_EQ(contents->records.size(), 10u);
+  EXPECT_EQ(contents->dropped_bytes, 0u);
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    const JournalRecord& r = contents->records[i];
+    const JournalRecord want = example_record(i);
+    EXPECT_EQ(r.index, want.index);
+    EXPECT_EQ(r.cycles, want.cycles);
+    EXPECT_EQ(r.outcome, want.outcome);
+    EXPECT_EQ(r.injected, want.injected);
+    EXPECT_EQ(r.control_path, want.control_path);
+  }
+}
+
+TEST(Journal, MissingFileIsNullopt) {
+  EXPECT_FALSE(read_journal(temp_journal("never_written.jrnl")).has_value());
+}
+
+TEST(Journal, TornTailRecordIsDropped) {
+  const auto path = temp_journal("torn.jrnl");
+  write_records(path, 8);
+  const std::string bytes = slurp(path);
+  // Cut mid-record, as a SIGKILL during the final write would.
+  spit(path, bytes.substr(0, bytes.size() - kRecordBytes / 2));
+  const auto contents = read_journal(path);
+  ASSERT_TRUE(contents.has_value());
+  EXPECT_EQ(contents->records.size(), 7u);
+  EXPECT_EQ(contents->dropped_bytes, kRecordBytes / 2);
+  EXPECT_EQ(contents->valid_bytes + contents->dropped_bytes,
+            std::filesystem::file_size(path));
+}
+
+TEST(Journal, BitFlippedRecordDropsItAndTheTail) {
+  const auto path = temp_journal("bitflip.jrnl");
+  write_records(path, 8);
+  std::string bytes = slurp(path);
+  // Flip one bit inside record 5's payload; records 5..7 become untrusted.
+  const std::size_t header_bytes = bytes.size() - 8 * kRecordBytes;
+  bytes[header_bytes + 5 * kRecordBytes + 3] ^= 0x10;
+  spit(path, bytes);
+  const auto contents = read_journal(path);
+  ASSERT_TRUE(contents.has_value());
+  EXPECT_EQ(contents->records.size(), 5u);
+  EXPECT_EQ(contents->dropped_bytes, 3 * kRecordBytes);
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(contents->records[i].index, i);
+  }
+}
+
+TEST(Journal, DamagedHeaderInvalidatesTheJournal) {
+  const auto path = temp_journal("bad_header.jrnl");
+  write_records(path, 4);
+  std::string bytes = slurp(path);
+  bytes[12] ^= 0x01;  // inside the fixed header fields
+  spit(path, bytes);
+  EXPECT_FALSE(read_journal(path).has_value());
+}
+
+TEST(Journal, TruncatedHeaderInvalidatesTheJournal) {
+  const auto path = temp_journal("short_header.jrnl");
+  write_records(path, 4);
+  spit(path, slurp(path).substr(0, 20));
+  EXPECT_FALSE(read_journal(path).has_value());
+}
+
+TEST(Journal, EarlyStopMarkerIsSurfacedSeparately) {
+  const auto path = temp_journal("early_stop.jrnl");
+  auto writer = JournalWriter::open_fresh(path, example_header());
+  ASSERT_NE(writer, nullptr);
+  for (std::uint64_t i = 0; i < 3; ++i) writer->append(example_record(i));
+  JournalRecord marker;
+  marker.kind = JournalRecord::kEarlyStop;
+  marker.index = 3;
+  writer->append(marker);
+  writer->sync();
+  writer.reset();
+  const auto contents = read_journal(path);
+  ASSERT_TRUE(contents.has_value());
+  EXPECT_EQ(contents->records.size(), 3u);
+  ASSERT_TRUE(contents->early_stop_consumed.has_value());
+  EXPECT_EQ(*contents->early_stop_consumed, 3u);
+}
+
+TEST(Journal, ResumedWriterTruncatesTheTailAndAppends) {
+  const auto path = temp_journal("resumed.jrnl");
+  write_records(path, 6);
+  std::string bytes = slurp(path);
+  spit(path, bytes.substr(0, bytes.size() - 10));  // torn tail
+  auto contents = read_journal(path);
+  ASSERT_TRUE(contents.has_value());
+  ASSERT_EQ(contents->records.size(), 5u);
+  auto writer = JournalWriter::open_resumed(path, *contents);
+  ASSERT_NE(writer, nullptr);
+  writer->append(example_record(5));
+  writer->append(example_record(6));
+  writer->sync();
+  writer.reset();
+  const auto reread = read_journal(path);
+  ASSERT_TRUE(reread.has_value());
+  EXPECT_EQ(reread->records.size(), 7u);
+  EXPECT_EQ(reread->dropped_bytes, 0u);
+  EXPECT_EQ(reread->records[6].index, 6u);
+}
+
+TEST(Journal, FingerprintSeparatesCampaigns) {
+  const JournalHeader base = example_header();
+  JournalHeader other = base;
+  other.kernel = "va_k2";
+  EXPECT_FALSE(base.same_campaign(other));
+  other = base;
+  other.seed = 7;
+  EXPECT_FALSE(base.same_campaign(other));
+  other = base;
+  other.samples = 101;
+  EXPECT_FALSE(base.same_campaign(other));
+  other = base;
+  other.margin = 0.05;
+  EXPECT_FALSE(base.same_campaign(other));
+  // Shard position is deliberately not part of the campaign identity.
+  other = base;
+  other.shard_index = 1;
+  other.shard_count = 2;
+  EXPECT_TRUE(base.same_campaign(other));
+}
+
+}  // namespace
+}  // namespace gras::orchestrator

@@ -1,0 +1,294 @@
+// Durable orchestrator tests: crash/resume bit-exactness, shard merging,
+// margin-driven early stop, progress snapshots, cache routing.
+#include "src/orchestrator/orchestrator.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "src/orchestrator/cache.h"
+#include "src/workloads/workload.h"
+
+namespace gras::orchestrator {
+namespace {
+
+sim::GpuConfig config() { return sim::make_config("gv100-scaled"); }
+
+std::filesystem::path temp_dir() {
+  const auto dir = std::filesystem::temp_directory_path() / "gras_orch_test";
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+campaign::CampaignSpec spec_of(campaign::Target target, std::uint64_t samples) {
+  campaign::CampaignSpec spec;
+  spec.kernel = "va_k1";
+  spec.target = target;
+  spec.samples = samples;
+  spec.seed = 2024;
+  return spec;
+}
+
+void expect_same_result(const campaign::CampaignResult& a,
+                        const campaign::CampaignResult& b) {
+  EXPECT_EQ(a.counts.masked, b.counts.masked);
+  EXPECT_EQ(a.counts.sdc, b.counts.sdc);
+  EXPECT_EQ(a.counts.timeout, b.counts.timeout);
+  EXPECT_EQ(a.counts.due, b.counts.due);
+  EXPECT_EQ(a.control_path_masked, b.control_path_masked);
+  EXPECT_EQ(a.injected, b.injected);
+}
+
+class OrchestratorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    app_ = workloads::make_benchmark("va");
+    golden_ = campaign::run_golden(*app_, config());
+  }
+
+  std::unique_ptr<workloads::App> app_;
+  campaign::GoldenRun golden_;
+  ThreadPool pool_{4};
+};
+
+TEST_F(OrchestratorTest, MatchesInMemoryCampaign) {
+  const auto spec = spec_of(campaign::Target::RF, 80);
+  const auto reference = campaign::run_campaign(*app_, config(), golden_, spec, pool_);
+
+  DurableOptions options;
+  options.journal = temp_dir() / "match.jrnl";
+  options.resume = false;
+  const auto durable = run_durable(*app_, config(), golden_, spec, pool_, options);
+  expect_same_result(durable.result, reference);
+  EXPECT_EQ(durable.executed, 80u);
+  EXPECT_EQ(durable.replayed, 0u);
+  EXPECT_FALSE(durable.early_stopped);
+
+  DurableOptions in_memory;
+  in_memory.journaled = false;
+  const auto unjournaled =
+      run_durable(*app_, config(), golden_, spec, pool_, in_memory);
+  expect_same_result(unjournaled.result, reference);
+  EXPECT_TRUE(unjournaled.journal.empty());
+}
+
+TEST_F(OrchestratorTest, KillAndResumeIsBitIdentical) {
+  const auto spec = spec_of(campaign::Target::Svf, 70);
+  const auto reference = campaign::run_campaign(*app_, config(), golden_, spec, pool_);
+
+  const auto path = temp_dir() / "killed.jrnl";
+  DurableOptions options;
+  options.journal = path;
+  options.resume = false;
+  run_durable(*app_, config(), golden_, spec, pool_, options);
+
+  std::string bytes;
+  {
+    std::ifstream in(path, std::ios::binary);
+    bytes.assign(std::istreambuf_iterator<char>(in), {});
+  }
+  // A SIGKILL leaves an arbitrary prefix, possibly mid-record. Replay from
+  // several cut points, including one that also flips a bit in the tail.
+  const std::size_t header_bytes = bytes.size() - spec.samples * kRecordBytes;
+  const std::size_t cuts[] = {header_bytes, header_bytes + 3,
+                              header_bytes + 17 * kRecordBytes,
+                              header_bytes + 41 * kRecordBytes + 11,
+                              bytes.size() - 1};
+  for (const std::size_t cut : cuts) {
+    {
+      std::ofstream out(path, std::ios::binary | std::ios::trunc);
+      out.write(bytes.data(), static_cast<std::streamsize>(cut));
+    }
+    DurableOptions resume;
+    resume.journal = path;
+    resume.resume = true;
+    const auto resumed = run_durable(*app_, config(), golden_, spec, pool_, resume);
+    expect_same_result(resumed.result, reference);
+    EXPECT_EQ(resumed.replayed + resumed.executed, 70u) << "cut at " << cut;
+  }
+
+  // Bit-flip damage inside a record: the damaged suffix is re-run.
+  std::string flipped = bytes;
+  flipped[header_bytes + 20 * kRecordBytes + 9] ^= 0x40;
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(flipped.data(), static_cast<std::streamsize>(flipped.size()));
+  }
+  DurableOptions resume;
+  resume.journal = path;
+  const auto resumed = run_durable(*app_, config(), golden_, spec, pool_, resume);
+  expect_same_result(resumed.result, reference);
+  EXPECT_EQ(resumed.replayed, 20u);
+  EXPECT_EQ(resumed.executed, 50u);
+}
+
+TEST_F(OrchestratorTest, ResumeRejectsADifferentCampaign) {
+  const auto path = temp_dir() / "mismatch.jrnl";
+  DurableOptions options;
+  options.journal = path;
+  options.resume = false;
+  run_durable(*app_, config(), golden_, spec_of(campaign::Target::RF, 30), pool_,
+              options);
+  DurableOptions resume;
+  resume.journal = path;
+  resume.resume = true;
+  auto other = spec_of(campaign::Target::RF, 30);
+  other.seed = 7;
+  EXPECT_THROW(run_durable(*app_, config(), golden_, other, pool_, resume),
+               std::runtime_error);
+}
+
+TEST_F(OrchestratorTest, ShardsMergeToTheUnshardedHistogram) {
+  const auto spec = spec_of(campaign::Target::RF, 90);
+  const auto reference = campaign::run_campaign(*app_, config(), golden_, spec, pool_);
+
+  for (const std::uint32_t shards : {2u, 4u}) {
+    std::vector<std::filesystem::path> journals;
+    std::uint64_t total_executed = 0;
+    for (std::uint32_t i = 0; i < shards; ++i) {
+      DurableOptions options;
+      options.journal = temp_dir() / ("shard." + std::to_string(shards) + "." +
+                                      std::to_string(i) + ".jrnl");
+      options.resume = false;
+      options.shard = ShardSpec{i, shards};
+      const auto r = run_durable(*app_, config(), golden_, spec, pool_, options);
+      total_executed += r.executed;
+      journals.push_back(options.journal);
+    }
+    EXPECT_EQ(total_executed, 90u);
+    const MergedCampaign merged = merge_shards(journals);
+    expect_same_result(merged.result, reference);
+    EXPECT_EQ(merged.header.shard_count, shards);
+    EXPECT_FALSE(merged.early_stopped);
+    EXPECT_EQ(merged.result.spec.kernel, "va_k1");
+    EXPECT_EQ(merged.result.spec.target, campaign::Target::RF);
+  }
+}
+
+TEST_F(OrchestratorTest, MergeRejectsBadShardSets) {
+  const auto spec = spec_of(campaign::Target::RF, 40);
+  std::vector<std::filesystem::path> journals;
+  for (std::uint32_t i = 0; i < 2; ++i) {
+    DurableOptions options;
+    options.journal = temp_dir() / ("merge_bad." + std::to_string(i) + ".jrnl");
+    options.resume = false;
+    options.shard = ShardSpec{i, 2};
+    run_durable(*app_, config(), golden_, spec, pool_, options);
+    journals.push_back(options.journal);
+  }
+  // Missing shard.
+  EXPECT_THROW(merge_shards({journals[0]}), std::runtime_error);
+  // Duplicate shard.
+  EXPECT_THROW(merge_shards({journals[0], journals[0]}), std::runtime_error);
+  // Foreign journal in the set (different campaign).
+  DurableOptions other;
+  other.journal = temp_dir() / "merge_bad.other.jrnl";
+  other.resume = false;
+  other.shard = ShardSpec{1, 2};
+  auto other_spec = spec;
+  other_spec.seed = 99;
+  run_durable(*app_, config(), golden_, other_spec, pool_, other);
+  EXPECT_THROW(merge_shards({journals[0], other.journal}), std::runtime_error);
+  // Incomplete shard: cut half of shard 1's records off.
+  const auto size = std::filesystem::file_size(journals[1]);
+  std::filesystem::resize_file(journals[1], size - 5 * kRecordBytes);
+  EXPECT_THROW(merge_shards({journals[0], journals[1]}), std::runtime_error);
+}
+
+TEST_F(OrchestratorTest, EarlyStopIsDeterministicAndResumable) {
+  // VA / SVF fails almost always, so a loose margin is reached quickly.
+  auto spec = spec_of(campaign::Target::Svf, 2000);
+  const auto path = temp_dir() / "early.jrnl";
+  DurableOptions options;
+  options.journal = path;
+  options.resume = false;
+  options.margin = 0.10;
+  options.chunk = 32;
+  const auto first = run_durable(*app_, config(), golden_, spec, pool_, options);
+  EXPECT_TRUE(first.early_stopped);
+  EXPECT_LT(first.result.counts.total(), 2000u);
+  EXPECT_EQ(first.result.counts.total() % 32, 0u);  // chunk-boundary stop
+  EXPECT_LE(first.result.fr_ci(options.confidence).margin(), 0.10);
+
+  // Identical decisions with a different thread count.
+  ThreadPool one(1);
+  DurableOptions fresh = options;
+  fresh.journal = temp_dir() / "early_one_thread.jrnl";
+  const auto serial = run_durable(*app_, config(), golden_, spec, one, fresh);
+  EXPECT_EQ(serial.result.counts.total(), first.result.counts.total());
+  expect_same_result(serial.result, first.result);
+
+  // Resuming a finished early-stopped journal replays without executing.
+  DurableOptions resume = options;
+  resume.resume = true;
+  const auto resumed = run_durable(*app_, config(), golden_, spec, pool_, resume);
+  EXPECT_TRUE(resumed.early_stopped);
+  EXPECT_EQ(resumed.executed, 0u);
+  expect_same_result(resumed.result, first.result);
+
+  // A killed early-stopped campaign resumes to the same stop point.
+  std::string bytes;
+  {
+    std::ifstream in(path, std::ios::binary);
+    bytes.assign(std::istreambuf_iterator<char>(in), {});
+  }
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size() / 2));
+  }
+  const auto rekilled = run_durable(*app_, config(), golden_, spec, pool_, resume);
+  EXPECT_TRUE(rekilled.early_stopped);
+  expect_same_result(rekilled.result, first.result);
+}
+
+TEST_F(OrchestratorTest, ProgressSnapshotsArriveInOrder) {
+  struct Capture : ProgressSink {
+    std::vector<ProgressSnapshot> snapshots;
+    void on_progress(const ProgressSnapshot& s) override { snapshots.push_back(s); }
+  } capture;
+
+  const auto spec = spec_of(campaign::Target::RF, 100);
+  DurableOptions options;
+  options.journaled = false;
+  options.chunk = 25;
+  options.progress = &capture;
+  run_durable(*app_, config(), golden_, spec, pool_, options);
+
+  ASSERT_EQ(capture.snapshots.size(), 4u);  // one per chunk
+  std::uint64_t prev = 0;
+  for (const auto& s : capture.snapshots) {
+    EXPECT_GT(s.completed, prev);
+    prev = s.completed;
+    EXPECT_EQ(s.total, 100u);
+    EXPECT_EQ(s.counts.total(), s.completed);
+  }
+  EXPECT_TRUE(capture.snapshots.back().done);
+  EXPECT_EQ(capture.snapshots.back().completed, 100u);
+
+  const std::string json = JsonlProgress::to_json(capture.snapshots.back());
+  EXPECT_NE(json.find("\"completed\":100"), std::string::npos);
+  EXPECT_NE(json.find("\"done\":true"), std::string::npos);
+}
+
+TEST_F(OrchestratorTest, CachedCampaignRoutesThroughTheOrchestrator) {
+  const auto dir = temp_dir() / "cache_route";
+  std::filesystem::remove_all(dir);
+  ::setenv("GRAS_CACHE", dir.string().c_str(), 1);
+  const auto spec = spec_of(campaign::Target::RF, 25);
+  const auto reference = campaign::run_campaign(*app_, config(), golden_, spec, pool_);
+  const auto cached = cached_campaign(*app_, config(), golden_, spec, pool_);
+  expect_same_result(cached, reference);
+  // The recovery journal is cleaned up once the result is memoized.
+  EXPECT_TRUE(std::filesystem::is_empty(dir / "journals"));
+  const auto again = cached_campaign(*app_, config(), golden_, spec, pool_);
+  expect_same_result(again, reference);
+  ::unsetenv("GRAS_CACHE");
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace gras::orchestrator

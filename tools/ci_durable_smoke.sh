@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# Durable-orchestrator smoke test (CI):
+#   1. run a journaled campaign to completion (reference),
+#   2. start the same campaign fresh, SIGKILL it partway, resume it, and
+#      require the resumed histogram to be identical to the reference,
+#   3. run the campaign as two shards, merge the journals, and require the
+#      merged histogram to be identical as well.
+#
+# Usage: ci_durable_smoke.sh [path-to-gras-binary]
+set -u
+
+GRAS=${1:-build/tools/gras}
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT
+export GRAS_CACHE="$WORK/cache"
+export GRAS_THREADS=2   # slow the campaign down so the kill lands mid-run
+
+APP=hotspot KERNEL=hotspot_k1 TARGET=RF SAMPLES=600
+
+histogram() { grep -E 'Masked|SDC|Timeout|DUE|FR =' "$1"; }
+
+fail() { echo "ci_durable_smoke: $*" >&2; exit 1; }
+
+echo "== reference run =="
+"$GRAS" campaign "$APP" "$KERNEL" "$TARGET" "$SAMPLES" \
+    --journal "$WORK/ref.jrnl" > "$WORK/ref.txt" || fail "reference run failed"
+histogram "$WORK/ref.txt"
+
+echo "== kill partway, then resume =="
+"$GRAS" campaign "$APP" "$KERNEL" "$TARGET" "$SAMPLES" \
+    --journal "$WORK/killed.jrnl" > "$WORK/killed.txt" 2>&1 &
+pid=$!
+sleep 2
+kill -9 "$pid" 2>/dev/null
+wait "$pid" 2>/dev/null
+status=$?
+if [ "$status" -eq 0 ]; then
+    echo "note: campaign finished before the kill; resume will just replay"
+fi
+
+"$GRAS" campaign "$APP" "$KERNEL" "$TARGET" "$SAMPLES" \
+    --resume --journal "$WORK/killed.jrnl" > "$WORK/resumed.txt" \
+    || fail "resume failed"
+grep "resumed:" "$WORK/resumed.txt" || fail "resume did not replay the journal"
+diff <(histogram "$WORK/ref.txt") <(histogram "$WORK/resumed.txt") \
+    || fail "resumed histogram differs from the uninterrupted reference"
+echo "kill/resume histogram matches the uninterrupted run"
+
+echo "== sharded run + merge =="
+for i in 0 1; do
+    "$GRAS" campaign "$APP" "$KERNEL" "$TARGET" "$SAMPLES" \
+        --shard "$i/2" --journal "$WORK/shard$i.jrnl" > /dev/null \
+        || fail "shard $i failed"
+done
+"$GRAS" merge "$WORK/shard0.jrnl" "$WORK/shard1.jrnl" > "$WORK/merged.txt" \
+    || fail "merge failed"
+diff <(histogram "$WORK/ref.txt") <(histogram "$WORK/merged.txt") \
+    || fail "merged histogram differs from the unsharded reference"
+echo "2-shard merge matches the unsharded run"
+
+echo "ci_durable_smoke: OK"

@@ -4,17 +4,30 @@
 //   gras run <app>                     fault-free run + per-launch stats
 //   gras disasm <app> [kernel]         disassemble kernels
 //   gras asm <file.sasm>               assemble & validate a kernel file
-//   gras campaign <app> <kernel> <target> [samples]
-//                                      one fault-injection campaign
+//   gras campaign <app> <kernel> <target> [samples] [flags]
+//                                      one fault-injection campaign, journaled
+//                                      and crash-safe by default:
+//       --shard i/N      run sample-index stride i of N (own journal shard)
+//       --resume         continue a killed/preempted campaign's journal
+//       --margin <pct>   stop once the 99% Wilson CI half-width <= pct points
+//       --progress stderr|jsonl[=path]   live progress snapshots
+//       --journal <path> explicit journal file (default under GRAS_JOURNAL_DIR)
+//       --no-journal     in-memory run (no crash safety)
+//   gras merge <journal>...            recombine the shards of one campaign
 //   gras reuse <app> <kernel>          register-reuse summary (Fig. 12)
 //
 // Targets: RF SMEM L1D L1T L2 SVF SVF-LD SVF-SRC1 SVF-REUSE.
-// Environment: GRAS_CONFIG, GRAS_SEED, GRAS_THREADS (see README).
+// Environment: GRAS_CONFIG, GRAS_SEED, GRAS_THREADS, GRAS_JOURNAL_DIR,
+// GRAS_JOURNAL_FSYNC (see README).
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
+#include <memory>
 #include <sstream>
+#include <vector>
 
 #include "src/analysis/analysis.h"
 #include "src/assembler/assembler.h"
@@ -22,6 +35,7 @@
 #include "src/common/env.h"
 #include "src/common/table.h"
 #include "src/isa/disasm.h"
+#include "src/orchestrator/orchestrator.h"
 #include "src/workloads/workload.h"
 
 namespace {
@@ -36,6 +50,10 @@ int usage() {
                "  disasm <app> [kernel]\n"
                "  asm <file.sasm>\n"
                "  campaign <app> <kernel> <target> [samples]\n"
+               "           [--shard i/N] [--resume] [--margin pct]\n"
+               "           [--progress stderr|jsonl[=path]] [--journal path]\n"
+               "           [--no-journal]\n"
+               "  merge <journal>...\n"
                "  reuse <app> <kernel>\n"
                "apps: ");
   for (const auto& name : workloads::benchmark_names()) {
@@ -126,36 +144,9 @@ int cmd_asm(const char* path) {
   }
 }
 
-campaign::Target parse_target(const std::string& s) {
-  if (s == "RF") return campaign::Target::RF;
-  if (s == "SMEM") return campaign::Target::SMEM;
-  if (s == "L1D") return campaign::Target::L1D;
-  if (s == "L1T") return campaign::Target::L1T;
-  if (s == "L2") return campaign::Target::L2;
-  if (s == "SVF") return campaign::Target::Svf;
-  if (s == "SVF-LD") return campaign::Target::SvfLd;
-  if (s == "SVF-SRC1") return campaign::Target::SvfSrcOnce;
-  if (s == "SVF-REUSE") return campaign::Target::SvfSrcReuse;
-  throw std::invalid_argument("unknown target '" + s + "'");
-}
-
-int cmd_campaign(const std::string& app_name, const std::string& kernel,
-                 const std::string& target, std::uint64_t samples) {
-  const auto app = workloads::make_benchmark(app_name);
-  const auto cfg = config();
-  const auto golden = campaign::run_golden(*app, cfg);
-  ThreadPool pool(static_cast<std::size_t>(env_threads()));
-  campaign::CampaignSpec spec;
-  spec.kernel = kernel;
-  spec.target = parse_target(target);
-  spec.samples = samples;
-  spec.seed = env_seed();
-  const auto r = campaign::run_campaign(*app, cfg, golden, spec, pool);
-  const auto ci = r.fr_ci();
-  std::printf("%s / %s / %s: %llu samples (%llu injected)\n", app_name.c_str(),
-              kernel.c_str(), target.c_str(),
-              static_cast<unsigned long long>(r.counts.total()),
-              static_cast<unsigned long long>(r.injected));
+/// Prints the outcome histogram + failure-rate line shared by `campaign`
+/// and `merge`.
+void print_histogram(const campaign::CampaignResult& r) {
   TextTable table({"Outcome", "Count", "%"});
   table.add_row({"Masked", std::to_string(r.counts.masked),
                  TextTable::pct(r.counts.pct(fi::Outcome::Masked))});
@@ -166,10 +157,169 @@ int cmd_campaign(const std::string& app_name, const std::string& kernel,
   table.add_row({"DUE", std::to_string(r.counts.due),
                  TextTable::pct(r.counts.pct(fi::Outcome::DUE))});
   std::printf("%s", table.render().c_str());
+  const auto ci = r.fr_ci();
   std::printf("FR = %s%%  99%% CI [%s%%, %s%%]  control-path masked = %llu\n",
               TextTable::pct(r.counts.failure_rate()).c_str(),
               TextTable::pct(ci.lower).c_str(), TextTable::pct(ci.upper).c_str(),
               static_cast<unsigned long long>(r.control_path_masked));
+}
+
+/// Flags accepted by `gras campaign` after the positional arguments.
+struct CampaignFlags {
+  orchestrator::ShardSpec shard;
+  bool resume = false;
+  bool journaled = true;
+  double margin = 0.0;  // fraction
+  std::string journal;
+  std::string progress;  // "", "stderr", "jsonl", "jsonl=path"
+};
+
+/// Parses argv[from..), leaving positionals untouched. Throws
+/// std::invalid_argument on malformed flags.
+CampaignFlags parse_campaign_flags(int argc, char** argv, int from) {
+  CampaignFlags flags;
+  for (int i = from; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto need_value = [&](const char* flag) -> std::string {
+      if (i + 1 >= argc) {
+        throw std::invalid_argument(std::string(flag) + " needs a value");
+      }
+      return argv[++i];
+    };
+    if (arg == "--shard") {
+      const std::string v = need_value("--shard");
+      const std::size_t slash = v.find('/');
+      char* end = nullptr;
+      if (slash == std::string::npos) {
+        throw std::invalid_argument("--shard expects i/N, e.g. --shard 0/4");
+      }
+      flags.shard.index =
+          static_cast<std::uint32_t>(std::strtoul(v.c_str(), &end, 10));
+      flags.shard.count = static_cast<std::uint32_t>(
+          std::strtoul(v.c_str() + slash + 1, &end, 10));
+      if (flags.shard.count == 0 || flags.shard.index >= flags.shard.count) {
+        throw std::invalid_argument("--shard " + v + " is out of range");
+      }
+    } else if (arg == "--resume") {
+      flags.resume = true;
+    } else if (arg == "--no-journal") {
+      flags.journaled = false;
+    } else if (arg == "--margin") {
+      flags.margin = std::strtod(need_value("--margin").c_str(), nullptr) / 100.0;
+      if (flags.margin <= 0.0 || flags.margin >= 1.0) {
+        throw std::invalid_argument("--margin expects percentage points in (0, 100)");
+      }
+    } else if (arg == "--journal") {
+      flags.journal = need_value("--journal");
+    } else if (arg == "--progress") {
+      flags.progress = need_value("--progress");
+      const bool ok = flags.progress == "stderr" || flags.progress == "jsonl" ||
+                      flags.progress.rfind("jsonl=", 0) == 0;
+      if (!ok) {
+        throw std::invalid_argument("--progress expects stderr or jsonl[=path]");
+      }
+    } else {
+      throw std::invalid_argument("unknown flag '" + arg + "'");
+    }
+  }
+  return flags;
+}
+
+int cmd_campaign(const std::string& app_name, const std::string& kernel,
+                 const std::string& target, std::uint64_t samples,
+                 const CampaignFlags& flags) {
+  const auto parsed_target = campaign::target_from_name(target);
+  if (!parsed_target) {
+    std::fprintf(stderr, "gras: unknown target '%s'; valid targets:", target.c_str());
+    for (campaign::Target t : campaign::kAllTargets) {
+      std::fprintf(stderr, " %s", campaign::target_name(t));
+    }
+    std::fprintf(stderr, "\n");
+    return 2;
+  }
+  const auto apps = workloads::benchmark_names();
+  if (std::find(apps.begin(), apps.end(), app_name) == apps.end()) {
+    std::fprintf(stderr, "gras: unknown app '%s'; valid apps:", app_name.c_str());
+    for (const auto& name : apps) std::fprintf(stderr, " %s", name.c_str());
+    std::fprintf(stderr, "\n");
+    return 2;
+  }
+  const auto app = workloads::make_benchmark(app_name);
+  const auto cfg = config();
+  const auto golden = campaign::run_golden(*app, cfg);
+  if (golden.launches_of(kernel).empty()) {
+    std::fprintf(stderr, "gras: app '%s' has no kernel '%s'; its kernels are:",
+                 app_name.c_str(), kernel.c_str());
+    for (const auto& name : golden.kernel_names()) {
+      std::fprintf(stderr, " %s", name.c_str());
+    }
+    std::fprintf(stderr, "\n");
+    return 2;
+  }
+
+  ThreadPool pool(static_cast<std::size_t>(env_threads()));
+  campaign::CampaignSpec spec;
+  spec.kernel = kernel;
+  spec.target = *parsed_target;
+  spec.samples = samples;
+  spec.seed = env_seed();
+
+  orchestrator::DurableOptions options;
+  options.shard = flags.shard;
+  options.resume = flags.resume;
+  options.journaled = flags.journaled;
+  options.margin = flags.margin;
+  if (!flags.journal.empty()) options.journal = flags.journal;
+  std::unique_ptr<orchestrator::ProgressSink> sink;
+  if (flags.progress == "stderr") {
+    sink = std::make_unique<orchestrator::StderrProgress>();
+  } else if (flags.progress == "jsonl") {
+    sink = std::make_unique<orchestrator::JsonlProgress>("-");
+  } else if (!flags.progress.empty()) {
+    sink = std::make_unique<orchestrator::JsonlProgress>(
+        flags.progress.substr(std::strlen("jsonl=")));
+  }
+  options.progress = sink.get();
+
+  const auto durable =
+      orchestrator::run_durable(*app, cfg, golden, spec, pool, options);
+  const auto& r = durable.result;
+  std::printf("%s / %s / %s: %llu samples (%llu injected)\n", app_name.c_str(),
+              kernel.c_str(), target.c_str(),
+              static_cast<unsigned long long>(r.counts.total()),
+              static_cast<unsigned long long>(r.injected));
+  if (flags.shard.count > 1) {
+    std::printf("shard %u/%u: %llu of %llu campaign samples\n", flags.shard.index,
+                flags.shard.count,
+                static_cast<unsigned long long>(durable.shard_samples),
+                static_cast<unsigned long long>(samples));
+  }
+  if (durable.replayed > 0) {
+    std::printf("resumed: %llu samples replayed from journal, %llu executed\n",
+                static_cast<unsigned long long>(durable.replayed),
+                static_cast<unsigned long long>(durable.executed));
+  }
+  if (durable.early_stopped) {
+    std::printf("early stop: CI margin %s%% reached after %llu samples\n",
+                TextTable::pct(flags.margin).c_str(),
+                static_cast<unsigned long long>(r.counts.total()));
+  }
+  print_histogram(r);
+  if (!durable.journal.empty()) {
+    std::printf("journal: %s\n", durable.journal.string().c_str());
+  }
+  return 0;
+}
+
+int cmd_merge(const std::vector<std::filesystem::path>& journals) {
+  const auto merged = orchestrator::merge_shards(journals);
+  const auto& h = merged.header;
+  std::printf("%s / %s / %s: %llu samples (%llu injected) across %u shards%s\n",
+              h.app.c_str(), h.kernel.c_str(), h.target.c_str(),
+              static_cast<unsigned long long>(merged.result.counts.total()),
+              static_cast<unsigned long long>(merged.result.injected),
+              h.shard_count, merged.early_stopped ? " [early stop]" : "");
+  print_histogram(merged.result);
   return 0;
 }
 
@@ -211,9 +361,26 @@ int main(int argc, char** argv) {
       return cmd_disasm(argv[2], argc == 4 ? argv[3] : nullptr);
     }
     if (cmd == "asm" && argc == 3) return cmd_asm(argv[2]);
-    if (cmd == "campaign" && (argc == 5 || argc == 6)) {
-      const std::uint64_t n = argc == 6 ? std::strtoull(argv[5], nullptr, 10) : 300;
-      return cmd_campaign(argv[2], argv[3], argv[4], n);
+    if (cmd == "campaign" && argc >= 5) {
+      // Optional positional sample count, then --flags.
+      std::uint64_t n = 300;
+      int flags_from = 5;
+      if (argc >= 6 && argv[5][0] != '-') {
+        char* end = nullptr;
+        n = std::strtoull(argv[5], &end, 10);
+        if (end == argv[5] || *end != '\0' || n == 0) {
+          std::fprintf(stderr, "gras: invalid sample count '%s'\n", argv[5]);
+          return 2;
+        }
+        flags_from = 6;
+      }
+      return cmd_campaign(argv[2], argv[3], argv[4], n,
+                          parse_campaign_flags(argc, argv, flags_from));
+    }
+    if (cmd == "merge" && argc >= 3) {
+      std::vector<std::filesystem::path> journals;
+      for (int i = 2; i < argc; ++i) journals.emplace_back(argv[i]);
+      return cmd_merge(journals);
     }
     if (cmd == "reuse" && argc == 4) return cmd_reuse(argv[2], argv[3]);
   } catch (const std::exception& e) {
