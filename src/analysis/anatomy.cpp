@@ -1,0 +1,124 @@
+#include "src/analysis/anatomy.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+#include <stdexcept>
+
+namespace gras::analysis {
+namespace {
+
+void append_fmt(std::string& out, const char* fmt, ...) {
+  char buf[256];
+  va_list args;
+  va_start(args, fmt);
+  const int n = std::vsnprintf(buf, sizeof buf, fmt, args);
+  va_end(args);
+  if (n > 0) out.append(buf, std::min<std::size_t>(static_cast<std::size_t>(n), sizeof buf - 1));
+}
+
+double pct(std::uint64_t part, std::uint64_t whole) {
+  return whole == 0 ? 0.0
+                    : 100.0 * static_cast<double>(part) / static_cast<double>(whole);
+}
+
+}  // namespace
+
+void accumulate_anatomy(const orchestrator::JournalContents& journal,
+                        std::vector<SdcAnatomy>& rows) {
+  const std::uint64_t fp = journal.header.fingerprint();
+  auto it = std::find_if(rows.begin(), rows.end(), [&](const SdcAnatomy& a) {
+    return a.header.fingerprint() == fp;
+  });
+  if (it == rows.end()) {
+    rows.emplace_back();
+    it = rows.end() - 1;
+    it->header = journal.header;
+  }
+  SdcAnatomy& a = *it;
+  a.journal_version = std::max(a.journal_version, journal.version);
+  for (const orchestrator::JournalRecord& r : journal.records) {
+    ++a.samples;
+    if (r.outcome != fi::Outcome::SDC) continue;
+    ++a.sdc;
+    ++a.sdc_by_sm[r.fault.sm];
+    ++a.sdc_by_launch[r.fault.launch];
+    ++a.sdc_by_fault_bit[r.fault.bit];
+    if (!r.has_signature) continue;
+    ++a.with_signature;
+    const workloads::CorruptionSignature& s = r.signature;
+    if (s.words_mismatched == 1) ++a.single_word;
+    std::uint64_t flips = 0;
+    for (unsigned b = 0; b < 32; ++b) {
+      a.bit_flips[b] += s.bit_flips[b];
+      flips += s.bit_flips[b];
+    }
+    if (flips == 1) ++a.single_bit;
+    a.words_mismatched_sum += s.words_mismatched;
+    a.words_mismatched_max = std::max(a.words_mismatched_max, s.words_mismatched);
+    a.extent_sum += s.spatial_extent();
+    a.extent_max = std::max(a.extent_max, s.spatial_extent());
+    if (s.buffers_affected > 1) ++a.multi_buffer;
+    a.max_rel_error = std::max(a.max_rel_error, s.max_rel_error);
+  }
+}
+
+std::vector<SdcAnatomy> anatomy_from_journals(
+    const std::vector<std::filesystem::path>& paths) {
+  std::vector<SdcAnatomy> rows;
+  for (const std::filesystem::path& p : paths) {
+    const auto journal = orchestrator::read_journal(p);
+    if (!journal) {
+      throw std::runtime_error("cannot read journal '" + p.string() + "'");
+    }
+    accumulate_anatomy(*journal, rows);
+  }
+  return rows;
+}
+
+std::string render_anatomy(const SdcAnatomy& a) {
+  std::string out;
+  append_fmt(out, "=== %s / %s / %s @ %s ===\n", a.header.app.c_str(),
+             a.header.kernel.c_str(), a.header.target.c_str(),
+             a.header.config.c_str());
+  append_fmt(out, "samples %" PRIu64 "   SDC %" PRIu64 " (%.2f%%)   signatures %" PRIu64 "\n",
+             a.samples, a.sdc, pct(a.sdc, a.samples), a.with_signature);
+  if (a.journal_version < 2) {
+    out += "  (v1 journal: outcomes only, no corruption signatures)\n";
+    return out;
+  }
+  if (a.with_signature == 0) {
+    out += "  no SDC signatures to analyze\n";
+    return out;
+  }
+  append_fmt(out,
+             "corruption shape: single-word %" PRIu64 " (%.1f%%)   single-bit %" PRIu64
+             " (%.1f%%)   multi-buffer %" PRIu64 "\n",
+             a.single_word, pct(a.single_word, a.with_signature), a.single_bit,
+             pct(a.single_bit, a.with_signature), a.multi_buffer);
+  append_fmt(out, "  words corrupted: mean %.2f  max %" PRIu64 "\n",
+             a.mean_words_mismatched(), a.words_mismatched_max);
+  append_fmt(out, "  spatial extent:  mean %.2f  max %" PRIu64 "\n", a.mean_extent(),
+             a.extent_max);
+  append_fmt(out, "  max relative error: %.3g\n", a.max_rel_error);
+  out += "flipped output bits (position: count):\n ";
+  for (int b = 31; b >= 0; --b) {
+    if (a.bit_flips[static_cast<unsigned>(b)] == 0) continue;
+    append_fmt(out, " %d:%" PRIu64, b, a.bit_flips[static_cast<unsigned>(b)]);
+  }
+  out += "\n";
+  const auto render_map = [&out](const char* title, const auto& map) {
+    out += title;
+    for (const auto& [key, count] : map) {
+      append_fmt(out, " %u:%" PRIu64, static_cast<unsigned>(key), count);
+    }
+    out += "\n";
+  };
+  render_map("SDCs by SM:", a.sdc_by_sm);
+  render_map("SDCs by launch:", a.sdc_by_launch);
+  render_map("SDCs by fault bit:", a.sdc_by_fault_bit);
+  return out;
+}
+
+}  // namespace gras::analysis

@@ -1,0 +1,76 @@
+// SDC anatomy: aggregate corruption signatures into pattern tables.
+//
+// A campaign's failure rate says how often outputs were corrupted; the
+// anatomy says what the corruption looked like. v2 journals record a
+// CorruptionSignature per SDC sample (workload.h); this module folds those
+// per-sample signatures into per-campaign tables — how many SDCs touched a
+// single word vs. spread across the output, which bit positions flip (sign/
+// exponent/mantissa for float workloads), how large the numeric error gets,
+// and which SMs / kernel launches / fault sites produced them. Journals are
+// grouped by campaign fingerprint, so the shards of one sharded campaign
+// merge into one row exactly as merge_shards would combine their histograms.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <filesystem>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/orchestrator/journal.h"
+
+namespace gras::analysis {
+
+/// Aggregated SDC anatomy of one campaign (all shards with one fingerprint).
+struct SdcAnatomy {
+  orchestrator::JournalHeader header;  ///< campaign identity (app/kernel/...)
+  std::uint32_t journal_version = 0;   ///< max version seen (v1 = no anatomy)
+  std::uint64_t samples = 0;           ///< journaled sample records
+  std::uint64_t sdc = 0;               ///< records with outcome SDC
+  std::uint64_t with_signature = 0;    ///< SDCs carrying a signature (v2)
+
+  // Corruption shape (over SDCs with a signature).
+  std::uint64_t single_word = 0;  ///< exactly one output word corrupted
+  std::uint64_t single_bit = 0;   ///< exactly one output bit flipped
+  std::uint64_t words_mismatched_sum = 0;
+  std::uint64_t words_mismatched_max = 0;
+  std::uint64_t extent_sum = 0;  ///< sum of spatial extents (first..last span)
+  std::uint64_t extent_max = 0;
+  std::uint64_t multi_buffer = 0;  ///< SDCs touching more than one buffer
+  double max_rel_error = 0.0;      ///< worst relative error seen in any SDC
+  /// Summed flipped-bit-position histogram over all SDC signatures.
+  std::array<std::uint64_t, 32> bit_flips{};
+
+  // Provenance tables (over SDCs; keys present only when they occur).
+  std::map<std::uint32_t, std::uint64_t> sdc_by_sm;
+  std::map<std::uint32_t, std::uint64_t> sdc_by_launch;
+  std::map<std::uint8_t, std::uint64_t> sdc_by_fault_bit;
+
+  double mean_words_mismatched() const {
+    return with_signature == 0
+               ? 0.0
+               : static_cast<double>(words_mismatched_sum) /
+                     static_cast<double>(with_signature);
+  }
+  double mean_extent() const {
+    return with_signature == 0
+               ? 0.0
+               : static_cast<double>(extent_sum) / static_cast<double>(with_signature);
+  }
+};
+
+/// Folds one journal into the anatomy rows, grouping by campaign
+/// fingerprint (sibling shards accumulate into the same row).
+void accumulate_anatomy(const orchestrator::JournalContents& journal,
+                        std::vector<SdcAnatomy>& rows);
+
+/// Reads every journal and builds the grouped anatomy rows. Throws
+/// std::runtime_error naming the first unreadable journal.
+std::vector<SdcAnatomy> anatomy_from_journals(
+    const std::vector<std::filesystem::path>& paths);
+
+/// Human-readable report of one anatomy row (multi-line, trailing newline).
+std::string render_anatomy(const SdcAnatomy& a);
+
+}  // namespace gras::analysis

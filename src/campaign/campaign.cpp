@@ -203,19 +203,29 @@ ResumePoint find_resume(const GoldenRun& golden, const std::string& kernel) {
   return rp;
 }
 
-/// Builds the injector for one sample, or nullptr when the kernel has no
-/// sampling space for this target (no cycles / no instructions).
+/// A sample's injector plus a view of its provenance record. The record
+/// pointer aims into the concrete injector (which the campaign constructed),
+/// so the fault site can be read back after the run without the simulator
+/// layer ever knowing the fi types.
+struct HookBundle {
+  std::unique_ptr<sim::FaultHook> hook;
+  const fi::FaultRecord* record = nullptr;
+
+  explicit operator bool() const { return hook != nullptr; }
+};
+
+/// Builds the injector for one sample, or a null bundle when the kernel has
+/// no sampling space for this target (no cycles / no instructions).
 ///
 /// When the sample will fast-forward to `resume`, the SoftwareInjector's
 /// dynamic-instruction counter starts at the resume launch's gp/ld base:
 /// replay skips the prefix instructions the counter would otherwise have
 /// walked through. The RNG draw sequence is identical either way, so
 /// checkpointed and full-run samples pick the same fault site.
-std::unique_ptr<sim::FaultHook> make_hook(const GoldenRun& golden,
-                                          const CampaignSpec& spec, Rng& rng,
-                                          const ResumePoint& resume) {
+HookBundle make_hook(const GoldenRun& golden, const CampaignSpec& spec, Rng& rng,
+                     const ResumePoint& resume) {
   const auto& indices = golden.launches_of(spec.kernel);
-  if (indices.empty()) return nullptr;
+  if (indices.empty()) return {};
 
   if (is_microarch(spec.target)) {
     // Pick a launch weighted by its cycle span, then a cycle within it.
@@ -223,17 +233,20 @@ std::unique_ptr<sim::FaultHook> make_hook(const GoldenRun& golden,
     // boundary cycle, so they line up with replay unchanged.
     std::uint64_t total = 0;
     for (std::size_t i : indices) total += golden.launches[i].cycles();
-    if (total == 0) return nullptr;
+    if (total == 0) return {};
     std::uint64_t r = rng.below(total);
     for (std::size_t i : indices) {
       const auto& l = golden.launches[i];
       if (r < l.cycles()) {
-        return std::make_unique<fi::MicroarchInjector>(
-            to_structure(spec.target), l.start_cycle + 1 + r, l.end_cycle, rng);
+        auto injector = std::make_unique<fi::MicroarchInjector>(
+            to_structure(spec.target), l.start_cycle + 1 + r, l.end_cycle, rng,
+            /*width=*/1, static_cast<std::uint32_t>(i));
+        const fi::FaultRecord* record = &injector->record();
+        return {std::move(injector), record};
       }
       r -= l.cycles();
     }
-    return nullptr;
+    return {};
   }
 
   // Software level: pick a dynamic thread instruction of the kernel,
@@ -244,7 +257,7 @@ std::unique_ptr<sim::FaultHook> make_hook(const GoldenRun& golden,
     const auto& l = golden.launches[i];
     total += loads ? (l.ld_end - l.ld_begin) : (l.gp_end - l.gp_begin);
   }
-  if (total == 0) return nullptr;
+  if (total == 0) return {};
   std::uint64_t r = rng.below(total);
   for (std::size_t i : indices) {
     const auto& l = golden.launches[i];
@@ -256,59 +269,69 @@ std::unique_ptr<sim::FaultHook> make_hook(const GoldenRun& golden,
         const auto& first = golden.launches[resume.launch];
         start_count = loads ? first.ld_begin : first.gp_begin;
       }
-      return std::make_unique<fi::SoftwareInjector>(to_mode(spec.target), global_index,
-                                                    rng, start_count);
+      auto injector = std::make_unique<fi::SoftwareInjector>(
+          to_mode(spec.target), global_index, rng, start_count,
+          static_cast<std::uint32_t>(i));
+      const fi::FaultRecord* record = &injector->record();
+      return {std::move(injector), record};
     }
     r -= span;
   }
-  return nullptr;
+  return {};
 }
 
 }  // namespace
 
 SampleResult run_sample(const workloads::App& app, const GoldenRun& golden,
                         const CampaignSpec& spec, std::uint64_t sample_index,
-                        sim::Gpu& workspace) {
+                        sim::Gpu& workspace, workloads::RunOutput* faulty_output) {
   Rng rng = Rng::for_sample(spec.seed ^ (static_cast<std::uint64_t>(spec.target) << 40),
                             sample_index);
   const ResumePoint resume = find_resume(golden, spec.kernel);
-  auto hook = make_hook(golden, spec, rng, resume);
+  HookBundle hook = make_hook(golden, spec, rng, resume);
 
   workloads::RunOutput out;
   if (resume.snap != nullptr) {
     workspace.restore(*resume.snap, golden.launches);
     workspace.set_launch_budgets(golden.budgets, golden.overflow_budget);
-    if (hook) workspace.set_fault_hook(hook.get());
+    if (hook) workspace.set_fault_hook(hook.hook.get());
     out = workloads::replay_app(app, workspace, golden.checkpoints->trace,
                                 resume.launch, golden.launches);
   } else {
     workspace.reset();
     workspace.set_launch_budgets(golden.budgets, golden.overflow_budget);
-    if (hook) workspace.set_fault_hook(hook.get());
+    if (hook) workspace.set_fault_hook(hook.hook.get());
     out = workloads::run_app(app, workspace);
   }
 
   SampleResult result;
   result.cycles = workspace.cycle();
-  result.injected = hook != nullptr && hook->injected();
+  result.injected = hook && hook.hook->injected();
+  if (hook) result.fault = *hook.record;
 
   if (out.trap == sim::TrapKind::Watchdog) {
     result.outcome = fi::Outcome::Timeout;
   } else if (out.trap != sim::TrapKind::None) {
     result.outcome = fi::Outcome::DUE;
-  } else if (out.outputs != golden.output.outputs) {
-    result.outcome = fi::Outcome::SDC;
   } else {
-    result.outcome = fi::Outcome::Masked;
+    const workloads::CorruptionSignature sig =
+        workloads::compare_outputs(golden.output, out);
+    if (sig.mismatch()) {
+      result.outcome = fi::Outcome::SDC;
+      result.signature = sig;
+    } else {
+      result.outcome = fi::Outcome::Masked;
+    }
   }
+  if (faulty_output != nullptr) *faulty_output = std::move(out);
   return result;
 }
 
 SampleResult run_sample(const workloads::App& app, const sim::GpuConfig& config,
                         const GoldenRun& golden, const CampaignSpec& spec,
-                        std::uint64_t sample_index) {
+                        std::uint64_t sample_index, workloads::RunOutput* faulty_output) {
   sim::Gpu gpu(config);
-  return run_sample(app, golden, spec, sample_index, gpu);
+  return run_sample(app, golden, spec, sample_index, gpu, faulty_output);
 }
 
 CampaignResult run_campaign(const workloads::App& app, const sim::GpuConfig& config,

@@ -138,23 +138,32 @@ CampaignResult run_campaign(const workloads::App& app, const sim::GpuConfig& con
                             const GoldenRun& golden, const CampaignSpec& spec,
                             ThreadPool& pool);
 
-/// Runs one injection sample (exposed for tests): returns the outcome and
-/// the faulty run's total cycles.
+/// Runs one injection sample (exposed for tests): returns the outcome, the
+/// faulty run's total cycles, and the fault's provenance.
 struct SampleResult {
   fi::Outcome outcome;
   std::uint64_t cycles;
   bool injected;
+  /// Where the fault landed (level None when the sample had no hook, e.g. an
+  /// empty sampling space; width 0 when the hook never flipped anything).
+  fi::FaultRecord fault;
+  /// SDC anatomy: populated only for SDC outcomes (default elsewhere).
+  workloads::CorruptionSignature signature;
 };
+/// `faulty_output`, when non-null, receives the faulty run's postprocessed
+/// outputs (replay tracing); omit it on the campaign hot path.
 SampleResult run_sample(const workloads::App& app, const sim::GpuConfig& config,
                         const GoldenRun& golden, const CampaignSpec& spec,
-                        std::uint64_t sample_index);
+                        std::uint64_t sample_index,
+                        workloads::RunOutput* faulty_output = nullptr);
 /// Same, but reusing `workspace` (a Gpu built with the same config) instead
 /// of constructing a fresh device — the campaign hot path. The workspace is
 /// restored from the resume-point checkpoint (or fully reset when the golden
 /// run has no checkpoints), so results are identical either way.
 SampleResult run_sample(const workloads::App& app, const GoldenRun& golden,
                         const CampaignSpec& spec, std::uint64_t sample_index,
-                        sim::Gpu& workspace);
+                        sim::Gpu& workspace,
+                        workloads::RunOutput* faulty_output = nullptr);
 
 /// All campaign results for one kernel, keyed by target.
 using KernelCampaigns = std::map<Target, CampaignResult>;

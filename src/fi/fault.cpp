@@ -23,6 +23,15 @@ const char* outcome_name(Outcome o) {
   return "?";
 }
 
+const char* fault_level_name(FaultLevel l) {
+  switch (l) {
+    case FaultLevel::None: return "none";
+    case FaultLevel::Microarch: return "microarch";
+    case FaultLevel::Software: return "software";
+  }
+  return "?";
+}
+
 const char* svf_mode_name(SvfMode m) {
   switch (m) {
     case SvfMode::Dst: return "SVF";

@@ -28,6 +28,12 @@ enum class Outcome : std::uint8_t { Masked, SDC, Timeout, DUE };
 
 const char* outcome_name(Outcome o);
 
+/// Which injection layer produced a fault (None marks "no fault landed",
+/// e.g. a profiling hook or an RF/SMEM attempt that expired unallocated).
+enum class FaultLevel : std::uint8_t { None, Microarch, Software };
+
+const char* fault_level_name(FaultLevel l);
+
 /// Software-level injection instruction groups.
 enum class SvfMode : std::uint8_t {
   Dst,      ///< NVBitFI default: destination register of any GP instruction
@@ -42,5 +48,38 @@ enum class SvfMode : std::uint8_t {
 };
 
 const char* svf_mode_name(SvfMode m);
+
+/// Provenance of one injected fault: where the flip landed and when. Filled
+/// in by the injectors at injection time and carried through SampleResult
+/// into the campaign journal, so any journaled sample can be located (and
+/// replayed) without re-deriving its RNG draws.
+///
+/// Site conventions by level/structure:
+///  * RF (and software level): `site` is the physical register-cell index in
+///    SM `sm`'s register file; `bit` is the first flipped bit of the 32-bit
+///    word.
+///  * SMEM: `site` is the byte index in SM `sm`'s shared memory; `bit` is
+///    the first flipped bit of that byte.
+///  * L1D/L1T/L2: `site` is the 32-bit word index into the cache's data
+///    array (`sm` is 0 for the shared L2); `bit` is the first flipped bit of
+///    that word, though a multi-bit flip may run past it into the next word
+///    (caches clip only at the end of the data array).
+///
+/// `trigger` is the injection cycle (microarchitecture level) or the global
+/// dynamic-instruction index (software level). `width` counts the bits that
+/// actually flipped after boundary clipping; 0 means the fault consumed its
+/// sampled site without flipping anything (e.g. a source-mode target with no
+/// register operands).
+struct FaultRecord {
+  FaultLevel level = FaultLevel::None;
+  Structure structure = Structure::RF;  ///< valid when level == Microarch
+  SvfMode mode = SvfMode::Dst;          ///< valid when level == Software
+  std::uint32_t sm = 0;
+  std::uint64_t site = 0;
+  std::uint8_t bit = 0;
+  std::uint8_t width = 0;
+  std::uint64_t trigger = 0;
+  std::uint32_t launch = 0;  ///< golden launch index of the owning kernel
+};
 
 }  // namespace gras::fi

@@ -5,12 +5,17 @@
 namespace gras::fi {
 
 MicroarchInjector::MicroarchInjector(Structure target, std::uint64_t trigger_cycle,
-                                     std::uint64_t window_end, Rng rng, unsigned width)
+                                     std::uint64_t window_end, Rng rng, unsigned width,
+                                     std::uint32_t launch_index)
     : target_(target),
       trigger_(trigger_cycle),
       window_end_(window_end),
       rng_(rng),
-      width_(width == 0 ? 1 : width) {}
+      width_(width == 0 ? 1 : width) {
+  record_.level = FaultLevel::Microarch;
+  record_.structure = target;
+  record_.launch = launch_index;
+}
 
 std::uint64_t MicroarchInjector::next_trigger() const {
   if (injected_ || gave_up_) return ~std::uint64_t{0};
@@ -23,12 +28,13 @@ void MicroarchInjector::on_cycle(sim::Gpu& gpu, std::uint64_t cycle) {
     gave_up_ = true;  // kernel window elapsed with nothing allocated
     return;
   }
-  inject(gpu);
+  inject(gpu, cycle);
   if (!injected_) trigger_ = cycle + 1;  // retry next cycle
 }
 
-void MicroarchInjector::inject(sim::Gpu& gpu) {
+void MicroarchInjector::inject(sim::Gpu& gpu, std::uint64_t cycle) {
   const std::uint32_t sms = gpu.num_sms();
+  record_.trigger = cycle;
   switch (target_) {
     case Structure::RF: {
       std::uint64_t total_cells = 0;
@@ -44,9 +50,14 @@ void MicroarchInjector::inject(sim::Gpu& gpu) {
         if (cell_k < rf.allocated_count()) {
           const std::uint32_t cell = rf.allocated_cell(static_cast<std::uint32_t>(cell_k));
           // Adjacent multi-bit flips stay within the 32-bit word.
-          for (unsigned w = 0; w < width_ && bit + w < 32; ++w) {
+          unsigned flipped = 0;
+          for (unsigned w = 0; w < width_ && bit + w < 32; ++w, ++flipped) {
             rf.flip_bit(std::uint64_t{cell} * 32 + bit + w);
           }
+          record_.sm = s;
+          record_.site = cell;
+          record_.bit = static_cast<std::uint8_t>(bit);
+          record_.width = static_cast<std::uint8_t>(flipped);
           injected_ = true;
           return;
         }
@@ -67,9 +78,14 @@ void MicroarchInjector::inject(sim::Gpu& gpu) {
         sim::SharedMem& sm = gpu.sm(s).shared_mem();
         if (byte_k < sm.allocated_bytes()) {
           const std::uint32_t byte = sm.allocated_byte(static_cast<std::uint32_t>(byte_k));
-          for (unsigned w = 0; w < width_ && bit + w < 8; ++w) {
+          unsigned flipped = 0;
+          for (unsigned w = 0; w < width_ && bit + w < 8; ++w, ++flipped) {
             sm.flip_bit(std::uint64_t{byte} * 8 + bit + w);
           }
+          record_.sm = s;
+          record_.site = byte;
+          record_.bit = static_cast<std::uint8_t>(bit);
+          record_.width = static_cast<std::uint8_t>(flipped);
           injected_ = true;
           return;
         }
@@ -83,17 +99,27 @@ void MicroarchInjector::inject(sim::Gpu& gpu) {
       sim::Cache& cache =
           target_ == Structure::L1D ? gpu.sm(s).l1d() : gpu.sm(s).l1t();
       const std::uint64_t bit = rng_.below(cache.data_bit_count());
-      for (unsigned w = 0; w < width_ && bit + w < cache.data_bit_count(); ++w) {
+      unsigned flipped = 0;
+      for (unsigned w = 0; w < width_ && bit + w < cache.data_bit_count(); ++w, ++flipped) {
         cache.flip_data_bit(bit + w);
       }
+      record_.sm = s;
+      record_.site = bit / 32;
+      record_.bit = static_cast<std::uint8_t>(bit % 32);
+      record_.width = static_cast<std::uint8_t>(flipped);
       injected_ = true;
       return;
     }
     case Structure::L2: {
       const std::uint64_t bit = rng_.below(gpu.l2().data_bit_count());
-      for (unsigned w = 0; w < width_ && bit + w < gpu.l2().data_bit_count(); ++w) {
+      unsigned flipped = 0;
+      for (unsigned w = 0; w < width_ && bit + w < gpu.l2().data_bit_count(); ++w, ++flipped) {
         gpu.l2().flip_data_bit(bit + w);
       }
+      record_.sm = 0;
+      record_.site = bit / 32;
+      record_.bit = static_cast<std::uint8_t>(bit % 32);
+      record_.width = static_cast<std::uint8_t>(flipped);
       injected_ = true;
       return;
     }
@@ -101,8 +127,13 @@ void MicroarchInjector::inject(sim::Gpu& gpu) {
 }
 
 SoftwareInjector::SoftwareInjector(SvfMode mode, std::uint64_t target_index, Rng rng,
-                                   std::uint64_t start_count)
-    : mode_(mode), target_(target_index), rng_(rng), counter_(start_count) {}
+                                   std::uint64_t start_count, std::uint32_t launch_index)
+    : mode_(mode), target_(target_index), rng_(rng), counter_(start_count) {
+  record_.level = FaultLevel::Software;
+  record_.mode = mode;
+  record_.trigger = target_index;
+  record_.launch = launch_index;
+}
 
 bool SoftwareInjector::counts(const isa::Instr& ins) const {
   if (mode_ == SvfMode::DstLoad) return ins.is_load();
@@ -142,6 +173,10 @@ void SoftwareInjector::on_pre_exec(sim::Sm& sm, std::uint32_t warp_slot,
   const std::uint32_t cell =
       sm.rf_cell_index(sm.warp(warp_slot), static_cast<std::uint32_t>(lane), reg);
   sm.regfile().flip_bit(std::uint64_t{cell} * 32 + bit);
+  record_.sm = sm.sm_id();
+  record_.site = cell;
+  record_.bit = static_cast<std::uint8_t>(bit);
+  record_.width = 1;
   if (mode_ == SvfMode::SrcOnce) {
     pending_restore_ = true;
     restore_cell_ = cell;
@@ -187,6 +222,10 @@ void SoftwareInjector::on_gpr_retire(sim::Sm& sm, std::uint32_t warp_slot,
     const std::uint32_t cell = sm.rf_cell_index(
         sm.warp(warp_slot), static_cast<std::uint32_t>(lane), ins.dst);
     sm.regfile().flip_bit(std::uint64_t{cell} * 32 + bit);
+    record_.sm = sm.sm_id();
+    record_.site = cell;
+    record_.bit = static_cast<std::uint8_t>(bit);
+    record_.width = 1;
     injected_ = true;
   }
   counter_ += static_cast<std::uint32_t>(std::popcount(exec_mask));

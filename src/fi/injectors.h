@@ -33,17 +33,24 @@ class MicroarchInjector final : public sim::FaultHook {
   /// (§II-A): `width` *adjacent* bits of the same physical word/byte run
   /// flip together, matching beam-test observations that multi-bit upsets
   /// stay within one adjacent area and never span structures.
+  ///
+  /// `launch_index` is the golden launch index of the kernel launch whose
+  /// cycle window [trigger_cycle, window_end] was sampled; it is copied into
+  /// the provenance record as-is (the injector itself never needs it).
   MicroarchInjector(Structure target, std::uint64_t trigger_cycle,
-                    std::uint64_t window_end, Rng rng, unsigned width = 1);
+                    std::uint64_t window_end, Rng rng, unsigned width = 1,
+                    std::uint32_t launch_index = 0);
 
   void on_cycle(sim::Gpu& gpu, std::uint64_t cycle) override;
   std::uint64_t next_trigger() const override;
 
   bool injected() const noexcept override { return injected_; }
   Structure target() const noexcept { return target_; }
+  /// Where the flip landed; `record().width == 0` until injection happens.
+  const FaultRecord& record() const noexcept { return record_; }
 
  private:
-  void inject(sim::Gpu& gpu);
+  void inject(sim::Gpu& gpu, std::uint64_t cycle);
 
   Structure target_;
   std::uint64_t trigger_;
@@ -52,6 +59,7 @@ class MicroarchInjector final : public sim::FaultHook {
   unsigned width_;
   bool injected_ = false;
   bool gave_up_ = false;
+  FaultRecord record_;
 };
 
 class SoftwareInjector final : public sim::FaultHook {
@@ -62,8 +70,10 @@ class SoftwareInjector final : public sim::FaultHook {
   /// the dynamic-instruction counter; a replay that fast-forwards the
   /// fault-free launch prefix passes the golden count at the resume
   /// boundary so the counter stays aligned with the full-run counting space.
+  /// `launch_index` is the golden launch index containing `target_index`
+  /// (provenance only, as in MicroarchInjector).
   SoftwareInjector(SvfMode mode, std::uint64_t target_index, Rng rng,
-                   std::uint64_t start_count = 0);
+                   std::uint64_t start_count = 0, std::uint32_t launch_index = 0);
 
   void on_pre_exec(sim::Sm& sm, std::uint32_t warp_slot, const isa::Instr& ins,
                    std::uint32_t exec_mask) override;
@@ -71,6 +81,9 @@ class SoftwareInjector final : public sim::FaultHook {
                      std::uint32_t exec_mask) override;
 
   bool injected() const noexcept override { return injected_; }
+  /// Where the flip landed; `record().width == 0` until injection happens
+  /// (and stays 0 for a consumed source-mode target with no GPR operands).
+  const FaultRecord& record() const noexcept { return record_; }
 
  private:
   bool counts(const isa::Instr& ins) const;
@@ -88,6 +101,7 @@ class SoftwareInjector final : public sim::FaultHook {
   std::uint32_t restore_cell_ = 0;
   unsigned restore_bit_ = 0;
   sim::Sm* restore_sm_ = nullptr;
+  FaultRecord record_;
 };
 
 }  // namespace gras::fi

@@ -66,12 +66,50 @@ double rf_derating(const campaign::GoldenRun& golden, const std::string& kernel,
   });
 }
 
+namespace {
+
+/// Upper bound on simultaneously-resident CTAs implied by the per-SM
+/// occupancy limits (CTA slots, warp slots, registers, shared memory). Used
+/// for hand-assembled launch records that carry no observed peak.
+std::uint64_t occupancy_cta_bound(const sim::LaunchRecord& l,
+                                  const sim::GpuConfig& config) {
+  const std::uint32_t threads_per_cta = l.block.x * l.block.y;
+  const std::uint32_t warps_per_cta = std::max<std::uint32_t>(
+      1, (threads_per_cta + config.warp_size - 1) / config.warp_size);
+  std::uint64_t per_sm = config.max_ctas_per_sm;
+  per_sm = std::min<std::uint64_t>(per_sm, config.max_warps_per_sm / warps_per_cta);
+  if (l.regs_per_thread > 0) {
+    const std::uint64_t regs_per_cta =
+        std::uint64_t{warps_per_cta} * config.warp_size * l.regs_per_thread;
+    per_sm = std::min(per_sm, config.regs_per_sm / regs_per_cta);
+  }
+  if (l.smem_per_cta > 0) {
+    const std::uint64_t granules =
+        (l.smem_per_cta + sim::SharedMem::kGranule - 1) / sim::SharedMem::kGranule;
+    per_sm = std::min(per_sm,
+                      std::uint64_t{config.smem_bytes_per_sm} /
+                          (granules * sim::SharedMem::kGranule));
+  }
+  return std::max<std::uint64_t>(1, per_sm) * config.num_sms;
+}
+
+}  // namespace
+
 double smem_derating(const campaign::GoldenRun& golden, const std::string& kernel,
                      const sim::GpuConfig& config) {
   const double system_bits = static_cast<double>(config.smem_bits_total());
   return cycle_weighted(golden, kernel, [&](const sim::LaunchRecord& l) {
-    const double ctas = static_cast<double>(l.grid.count());
-    const double used = static_cast<double>(l.smem_per_cta) * 8.0 * ctas;
+    // Weight by CTAs that are actually resident at once, not the grid size:
+    // only resident CTAs hold shared-memory allocations, so for any grid
+    // larger than the device's footprint the grid count would saturate the
+    // derating factor at 1 and overstate SMEM AVF.
+    const std::uint64_t resident =
+        std::min<std::uint64_t>(l.grid.count(),
+                                l.peak_resident_ctas > 0
+                                    ? l.peak_resident_ctas
+                                    : occupancy_cta_bound(l, config));
+    const double used =
+        static_cast<double>(l.smem_per_cta) * 8.0 * static_cast<double>(resident);
     return std::min(1.0, used / system_bits);
   });
 }

@@ -51,7 +51,11 @@ Breakdown breakdown_of(const campaign::OutcomeCounts& counts);
 /// DF_RF(l) = regs_per_thread * 32 * threads(l) / total RF bits.
 double rf_derating(const campaign::GoldenRun& golden, const std::string& kernel,
                    const sim::GpuConfig& config);
-/// DF_SMEM(l) = smem_per_cta * 8 * ctas(l) / total SMEM bits.
+/// DF_SMEM(l) = smem_per_cta * 8 * resident_ctas(l) / total SMEM bits, where
+/// resident_ctas is the launch's observed peak of simultaneously-resident
+/// CTAs (capped by the grid size; an occupancy bound when the record carries
+/// no peak). Only resident CTAs hold SMEM, so weighting by the full grid
+/// would saturate DF at 1 for any grid larger than the device.
 double smem_derating(const campaign::GoldenRun& golden, const std::string& kernel,
                      const sim::GpuConfig& config);
 

@@ -1,11 +1,14 @@
 #include "src/orchestrator/cache.h"
 
+#include <unistd.h>
+
 #include <cinttypes>
 #include <cstdio>
 #include <filesystem>
 #include <string>
 
 #include "src/common/env.h"
+#include "src/orchestrator/journal.h"
 #include "src/orchestrator/orchestrator.h"
 
 namespace gras::orchestrator {
@@ -60,8 +63,14 @@ void store(const std::filesystem::path& path, const CampaignResult& result) {
   std::fprintf(f, "%" PRIu64 " %" PRIu64 " %" PRIu64 " %" PRIu64 " %" PRIu64 " %" PRIu64 "\n",
                result.counts.masked, result.counts.sdc, result.counts.timeout,
                result.counts.due, result.control_path_masked, result.injected);
+  // Atomic-publish discipline: data durable before the rename exposes it,
+  // and the directory entry durable after. Best effort — a lost cache entry
+  // only costs a re-run, never a wrong result.
+  std::fflush(f);
+  ::fsync(::fileno(f));
   std::fclose(f);
   std::filesystem::rename(tmp, path, ec);
+  if (!ec) fsync_parent_dir(path);
 }
 
 }  // namespace

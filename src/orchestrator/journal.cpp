@@ -83,7 +83,20 @@ std::string serialize_header(const JournalHeader& h) {
   return out;
 }
 
-void serialize_record(const JournalRecord& r, char out[kRecordBytes]) {
+// v2 record layout (kRecordBytes total). The v1 prefix (through `kind`)
+// keeps its exact offsets; provenance and signature fields follow, then the
+// checksum over everything before it.
+//   [0]   index u64        [8]   cycles u64
+//   [16]  outcome, injected, control_path, kind (u8 each)
+//   [20]  fault: level, structure, mode, bit (u8 each)
+//   [24]  fault width u8, has_signature u8, zero padding u8 x2
+//   [28]  fault sm u32     [32]  fault site u64   [40] fault trigger u64
+//   [48]  fault launch u32 [52]  buffers_affected u32
+//   [56]  words_total u64  [64]  words_mismatched u64
+//   [72]  first_word u64   [80]  last_word u64    [88] max_rel_error f64
+//   [96]  bit_flips u32 x 32
+//   [224] checksum u32 (FNV-1a over bytes [0, 224))
+void serialize_record_v1(const JournalRecord& r, char out[kRecordBytesV1]) {
   std::memcpy(out, &r.index, 8);
   std::memcpy(out + 8, &r.cycles, 8);
   out[16] = static_cast<char>(r.outcome);
@@ -94,10 +107,45 @@ void serialize_record(const JournalRecord& r, char out[kRecordBytes]) {
   std::memcpy(out + 20, &sum, 4);
 }
 
-bool deserialize_record(const char in[kRecordBytes], JournalRecord& r) {
-  std::uint32_t stored = 0;
-  std::memcpy(&stored, in + 20, 4);
-  if (stored != static_cast<std::uint32_t>(fnv1a(in, 20))) return false;
+void serialize_record_v2(const JournalRecord& r, char out[kRecordBytes]) {
+  std::memset(out, 0, kRecordBytes);
+  std::memcpy(out, &r.index, 8);
+  std::memcpy(out + 8, &r.cycles, 8);
+  out[16] = static_cast<char>(r.outcome);
+  out[17] = static_cast<char>(r.injected ? 1 : 0);
+  out[18] = static_cast<char>(r.control_path ? 1 : 0);
+  out[19] = static_cast<char>(r.kind);
+  out[20] = static_cast<char>(r.fault.level);
+  out[21] = static_cast<char>(r.fault.structure);
+  out[22] = static_cast<char>(r.fault.mode);
+  out[23] = static_cast<char>(r.fault.bit);
+  out[24] = static_cast<char>(r.fault.width);
+  out[25] = static_cast<char>(r.has_signature ? 1 : 0);
+  std::memcpy(out + 28, &r.fault.sm, 4);
+  std::memcpy(out + 32, &r.fault.site, 8);
+  std::memcpy(out + 40, &r.fault.trigger, 8);
+  std::memcpy(out + 48, &r.fault.launch, 4);
+  std::memcpy(out + 52, &r.signature.buffers_affected, 4);
+  std::memcpy(out + 56, &r.signature.words_total, 8);
+  std::memcpy(out + 64, &r.signature.words_mismatched, 8);
+  std::memcpy(out + 72, &r.signature.first_word, 8);
+  std::memcpy(out + 80, &r.signature.last_word, 8);
+  std::memcpy(out + 88, &r.signature.max_rel_error, 8);
+  std::memcpy(out + 96, r.signature.bit_flips.data(), 32 * 4);
+  const auto sum = static_cast<std::uint32_t>(fnv1a(out, kRecordBytes - 4));
+  std::memcpy(out + kRecordBytes - 4, &sum, 4);
+}
+
+void serialize_record(std::uint32_t version, const JournalRecord& r, char* out) {
+  if (version == 1) {
+    serialize_record_v1(r, out);
+  } else {
+    serialize_record_v2(r, out);
+  }
+}
+
+/// Shared v1/v2 prefix; returns false on an invalid enum or kind byte.
+bool deserialize_prefix(const char* in, JournalRecord& r) {
   std::memcpy(&r.index, in, 8);
   std::memcpy(&r.cycles, in + 8, 8);
   const auto outcome = static_cast<unsigned char>(in[16]);
@@ -106,10 +154,51 @@ bool deserialize_record(const char in[kRecordBytes], JournalRecord& r) {
   r.injected = in[17] != 0;
   r.control_path = in[18] != 0;
   r.kind = static_cast<std::uint8_t>(in[19]);
-  if (r.kind != JournalRecord::kSample && r.kind != JournalRecord::kEarlyStop) {
+  return r.kind == JournalRecord::kSample || r.kind == JournalRecord::kEarlyStop;
+}
+
+bool deserialize_record_v1(const char in[kRecordBytesV1], JournalRecord& r) {
+  std::uint32_t stored = 0;
+  std::memcpy(&stored, in + 20, 4);
+  if (stored != static_cast<std::uint32_t>(fnv1a(in, 20))) return false;
+  return deserialize_prefix(in, r);
+}
+
+bool deserialize_record_v2(const char in[kRecordBytes], JournalRecord& r) {
+  std::uint32_t stored = 0;
+  std::memcpy(&stored, in + kRecordBytes - 4, 4);
+  if (stored != static_cast<std::uint32_t>(fnv1a(in, kRecordBytes - 4))) return false;
+  if (!deserialize_prefix(in, r)) return false;
+  const auto level = static_cast<unsigned char>(in[20]);
+  const auto structure = static_cast<unsigned char>(in[21]);
+  const auto mode = static_cast<unsigned char>(in[22]);
+  if (level > static_cast<unsigned char>(fi::FaultLevel::Software) ||
+      structure > static_cast<unsigned char>(fi::Structure::L2) ||
+      mode > static_cast<unsigned char>(fi::SvfMode::SrcReuse)) {
     return false;
   }
+  r.fault.level = static_cast<fi::FaultLevel>(level);
+  r.fault.structure = static_cast<fi::Structure>(structure);
+  r.fault.mode = static_cast<fi::SvfMode>(mode);
+  r.fault.bit = static_cast<std::uint8_t>(in[23]);
+  r.fault.width = static_cast<std::uint8_t>(in[24]);
+  r.has_signature = in[25] != 0;
+  std::memcpy(&r.fault.sm, in + 28, 4);
+  std::memcpy(&r.fault.site, in + 32, 8);
+  std::memcpy(&r.fault.trigger, in + 40, 8);
+  std::memcpy(&r.fault.launch, in + 48, 4);
+  std::memcpy(&r.signature.buffers_affected, in + 52, 4);
+  std::memcpy(&r.signature.words_total, in + 56, 8);
+  std::memcpy(&r.signature.words_mismatched, in + 64, 8);
+  std::memcpy(&r.signature.first_word, in + 72, 8);
+  std::memcpy(&r.signature.last_word, in + 80, 8);
+  std::memcpy(&r.signature.max_rel_error, in + 88, 8);
+  std::memcpy(r.signature.bit_flips.data(), in + 96, 32 * 4);
   return true;
+}
+
+bool deserialize_record(std::uint32_t version, const char* in, JournalRecord& r) {
+  return version == 1 ? deserialize_record_v1(in, r) : deserialize_record_v2(in, r);
 }
 
 }  // namespace
@@ -150,7 +239,10 @@ std::optional<JournalContents> read_journal(const std::filesystem::path& path) {
   if (!c.get(magic, sizeof magic) || std::memcmp(magic, kMagic, sizeof magic) != 0) {
     return std::nullopt;
   }
-  if (!c.get_u32(version) || version != kJournalVersion) return std::nullopt;
+  if (!c.get_u32(version) || version < 1 || version > kJournalVersion) {
+    return std::nullopt;
+  }
+  out.version = version;
   if (!c.get_u32(h.shard_index) || !c.get_u32(h.shard_count) || !c.get_u32(reserved) ||
       !c.get_u64(h.samples) || !c.get_u64(h.seed) || !c.get_f64(h.margin) ||
       !c.get_f64(h.confidence) || !c.get_str(h.app) || !c.get_str(h.kernel) ||
@@ -166,12 +258,13 @@ std::optional<JournalContents> read_journal(const std::filesystem::path& path) {
 
   // Records: stop at the first torn or checksum-damaged one; everything from
   // there on is an untrusted tail (crash mid-write) and gets dropped.
-  while (c.left >= kRecordBytes) {
+  const std::size_t record_bytes = record_bytes_of(version);
+  while (c.left >= record_bytes) {
     JournalRecord r;
-    if (!deserialize_record(c.p, r)) break;
-    c.p += kRecordBytes;
-    c.left -= kRecordBytes;
-    out.valid_bytes += kRecordBytes;
+    if (!deserialize_record(version, c.p, r)) break;
+    c.p += record_bytes;
+    c.left -= record_bytes;
+    out.valid_bytes += record_bytes;
     if (r.kind == JournalRecord::kEarlyStop) {
       out.early_stop_consumed = r.index;
     } else {
@@ -185,6 +278,8 @@ std::optional<JournalContents> read_journal(const std::filesystem::path& path) {
 struct JournalWriter::Impl {
   int fd = -1;
   bool do_fsync = true;
+  /// On-disk record layout this file uses; appends must match it.
+  std::uint32_t version = kJournalVersion;
   std::mutex mu;
   std::condition_variable cv;        ///< wakes the writer thread
   std::condition_variable drained;   ///< wakes sync() waiters
@@ -196,9 +291,11 @@ struct JournalWriter::Impl {
   std::thread thread;
 };
 
-JournalWriter::JournalWriter(int fd, bool fsync_enabled) : impl_(new Impl) {
+JournalWriter::JournalWriter(int fd, bool fsync_enabled, std::uint32_t version)
+    : impl_(new Impl) {
   impl_->fd = fd;
   impl_->do_fsync = fsync_enabled;
+  impl_->version = version;
   impl_->thread = std::thread([this] { writer_loop(); });
 }
 
@@ -236,7 +333,13 @@ std::unique_ptr<JournalWriter> JournalWriter::open_fresh(
     ::close(fd);
     return nullptr;
   }
-  return std::unique_ptr<JournalWriter>(new JournalWriter(fd, do_fsync));
+  // The file's own fsync does not persist its directory entry: after a crash
+  // the journal could exist as data with no name. Sync the directory too.
+  if (do_fsync && !fsync_parent_dir(path)) {
+    ::close(fd);
+    return nullptr;
+  }
+  return std::unique_ptr<JournalWriter>(new JournalWriter(fd, do_fsync, kJournalVersion));
 }
 
 std::unique_ptr<JournalWriter> JournalWriter::open_resumed(
@@ -247,7 +350,10 @@ std::unique_ptr<JournalWriter> JournalWriter::open_resumed(
   if (ec) return nullptr;
   const int fd = ::open(path.string().c_str(), O_WRONLY | O_APPEND);
   if (fd < 0) return nullptr;
-  return std::unique_ptr<JournalWriter>(new JournalWriter(fd, env_journal_fsync()));
+  // Keep appending in the file's own record layout: a resumed v1 journal
+  // stays v1 so its early records and new ones stay mutually parseable.
+  return std::unique_ptr<JournalWriter>(
+      new JournalWriter(fd, env_journal_fsync(), contents.version));
 }
 
 void JournalWriter::append(const JournalRecord& record) {
@@ -280,9 +386,10 @@ void JournalWriter::writer_loop() {
       batch.assign(impl_->queue.begin(), impl_->queue.end());
       impl_->queue.clear();
     }
-    buf.resize(batch.size() * kRecordBytes);
+    const std::size_t record_bytes = record_bytes_of(impl_->version);
+    buf.resize(batch.size() * record_bytes);
     for (std::size_t i = 0; i < batch.size(); ++i) {
-      serialize_record(batch[i], &buf[i * kRecordBytes]);
+      serialize_record(impl_->version, batch[i], &buf[i * record_bytes]);
     }
     bool ok = write_all(impl_->fd, buf.data(), buf.size());
     if (ok && impl_->do_fsync) ok = ::fsync(impl_->fd) == 0;
@@ -297,6 +404,16 @@ void JournalWriter::writer_loop() {
     impl_->drained.notify_all();
     if (!ok) return;
   }
+}
+
+bool fsync_parent_dir(const std::filesystem::path& path) {
+  std::filesystem::path dir = path.parent_path();
+  if (dir.empty()) dir = ".";
+  const int dfd = ::open(dir.string().c_str(), O_RDONLY | O_DIRECTORY);
+  if (dfd < 0) return false;
+  const bool ok = ::fsync(dfd) == 0;
+  ::close(dfd);
+  return ok;
 }
 
 }  // namespace gras::orchestrator

@@ -21,11 +21,18 @@
 #include <vector>
 
 #include "src/fi/fault.h"
+#include "src/workloads/workload.h"
 
 namespace gras::orchestrator {
 
 /// Journal file-format version (bump on any layout change).
-inline constexpr std::uint32_t kJournalVersion = 1;
+///  * v1: bare outcome records (index, cycles, outcome/injected/control/kind).
+///  * v2: v1 plus fault-site provenance (fi::FaultRecord) and, for SDC
+///    outcomes, the corruption signature (workloads::CorruptionSignature).
+/// Readers accept both; writers append records in the version of the file
+/// they are appending to (a resumed v1 journal stays v1), so a campaign's
+/// journal never mixes record layouts.
+inline constexpr std::uint32_t kJournalVersion = 2;
 
 /// Campaign identity + shard position + early-stop contract. Serialized as a
 /// fixed block, three length-prefixed strings (app, kernel, config) and a
@@ -65,6 +72,12 @@ struct JournalRecord {
   /// Masked with cycles != golden total (control-path-affected proxy).
   bool control_path = false;
   std::uint8_t kind = kSample;
+  /// Fault-site provenance (v2; level None in records read from v1 files).
+  fi::FaultRecord fault;
+  /// True when `signature` carries an SDC corruption signature (v2 SDC
+  /// records only; always false in v1 files).
+  bool has_signature = false;
+  workloads::CorruptionSignature signature;
 };
 
 /// A journal parsed back from disk. `records` holds only checksum-valid
@@ -72,6 +85,7 @@ struct JournalRecord {
 /// marker was found; `dropped_bytes` counts the discarded tail.
 struct JournalContents {
   JournalHeader header;
+  std::uint32_t version = kJournalVersion;  ///< on-disk record layout
   std::vector<JournalRecord> records;
   std::optional<std::uint64_t> early_stop_consumed;
   std::uint64_t dropped_bytes = 0;
@@ -106,14 +120,26 @@ class JournalWriter {
   void sync();
 
  private:
-  JournalWriter(int fd, bool fsync_enabled);
+  JournalWriter(int fd, bool fsync_enabled, std::uint32_t version);
   void writer_loop();
 
   struct Impl;
   std::unique_ptr<Impl> impl_;
 };
 
-/// Serialization helpers shared with tests (record size in bytes).
-inline constexpr std::size_t kRecordBytes = 24;
+/// Serialization helpers shared with tests: record sizes in bytes of the
+/// current version (what open_fresh journals contain) and of v1 files.
+inline constexpr std::size_t kRecordBytes = 228;
+inline constexpr std::size_t kRecordBytesV1 = 24;
+/// Record size of a given on-disk version (see JournalContents::version).
+constexpr std::size_t record_bytes_of(std::uint32_t version) {
+  return version == 1 ? kRecordBytesV1 : kRecordBytes;
+}
+
+/// Fsyncs the directory containing `path`, making a just-created or
+/// just-renamed directory entry itself durable (fsync of the file alone does
+/// not persist its name). Returns false when the directory cannot be opened
+/// or synced.
+bool fsync_parent_dir(const std::filesystem::path& path);
 
 }  // namespace gras::orchestrator

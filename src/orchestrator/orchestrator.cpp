@@ -38,6 +38,11 @@ JournalRecord to_record(std::uint64_t index, const campaign::SampleResult& s,
   r.injected = s.injected;
   r.control_path =
       s.outcome == fi::Outcome::Masked && s.cycles != golden.total_cycles;
+  r.fault = s.fault;
+  if (s.outcome == fi::Outcome::SDC) {
+    r.has_signature = true;
+    r.signature = s.signature;
+  }
   return r;
 }
 

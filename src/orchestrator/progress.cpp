@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <cinttypes>
+#include <cmath>
 #include <stdexcept>
 
 namespace gras::orchestrator {
@@ -53,19 +54,32 @@ JsonlProgress::~JsonlProgress() {
 }
 
 std::string JsonlProgress::to_json(const ProgressSnapshot& s) {
+  // %f renders an infinite or NaN double as `inf`/`nan`, which is not JSON
+  // (eta is inf when the rate is still zero); clamp non-finite values to 0.
+  const auto finite = [](double v) { return std::isfinite(v) ? v : 0.0; };
+  const auto emit = [&](char* buf, std::size_t cap) {
+    return std::snprintf(
+        buf, cap,
+        "{\"completed\":%" PRIu64 ",\"total\":%" PRIu64 ",\"masked\":%" PRIu64
+        ",\"sdc\":%" PRIu64 ",\"timeout\":%" PRIu64 ",\"due\":%" PRIu64
+        ",\"injected\":%" PRIu64 ",\"control_path_masked\":%" PRIu64
+        ",\"samples_per_sec\":%.2f,\"eta_seconds\":%.1f,\"fr\":%.6f"
+        ",\"fr_margin\":%.6f,\"early_stopped\":%s,\"done\":%s}",
+        s.completed, s.total, s.counts.masked, s.counts.sdc, s.counts.timeout,
+        s.counts.due, s.injected, s.control_path_masked,
+        finite(s.samples_per_sec), finite(s.eta_seconds),
+        finite(s.fr_ci.estimate), finite(s.fr_ci.margin()),
+        s.early_stopped ? "true" : "false", s.done ? "true" : "false");
+  };
   char buf[512];
-  std::snprintf(
-      buf, sizeof buf,
-      "{\"completed\":%" PRIu64 ",\"total\":%" PRIu64 ",\"masked\":%" PRIu64
-      ",\"sdc\":%" PRIu64 ",\"timeout\":%" PRIu64 ",\"due\":%" PRIu64
-      ",\"injected\":%" PRIu64 ",\"control_path_masked\":%" PRIu64
-      ",\"samples_per_sec\":%.2f,\"eta_seconds\":%.1f,\"fr\":%.6f"
-      ",\"fr_margin\":%.6f,\"early_stopped\":%s,\"done\":%s}",
-      s.completed, s.total, s.counts.masked, s.counts.sdc, s.counts.timeout,
-      s.counts.due, s.injected, s.control_path_masked, s.samples_per_sec,
-      s.eta_seconds, s.fr_ci.estimate, s.fr_ci.margin(),
-      s.early_stopped ? "true" : "false", s.done ? "true" : "false");
-  return buf;
+  const int n = emit(buf, sizeof buf);
+  if (n < 0) return "{}";
+  if (static_cast<std::size_t>(n) < sizeof buf) return std::string(buf, n);
+  // Rare overflow (huge finite doubles): retry with an exactly-sized buffer
+  // instead of emitting a truncated, unparseable line.
+  std::string out(static_cast<std::size_t>(n), '\0');
+  emit(out.data(), out.size() + 1);
+  return out;
 }
 
 void JsonlProgress::on_progress(const ProgressSnapshot& s) {

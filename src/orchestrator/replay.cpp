@@ -1,0 +1,115 @@
+#include "src/orchestrator/replay.h"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+namespace gras::orchestrator {
+namespace {
+
+/// Same word extraction as workloads::compare_outputs: little-endian 32-bit
+/// word `w` of a byte buffer, zero-padded past the end, so the divergent
+/// words listed here use the signature's global word coordinates.
+std::uint32_t word_at(const std::vector<std::uint8_t>& bytes, std::size_t w) {
+  std::uint32_t v = 0;
+  const std::size_t base = w * 4;
+  for (std::size_t i = 0; i < 4 && base + i < bytes.size(); ++i) {
+    v |= std::uint32_t{bytes[base + i]} << (8 * i);
+  }
+  return v;
+}
+
+std::vector<DivergentWord> divergent_words(const workloads::RunOutput& golden,
+                                           const workloads::RunOutput& faulty,
+                                           std::size_t limit) {
+  std::vector<DivergentWord> out;
+  static const std::vector<std::uint8_t> kEmpty;
+  const std::size_t buffers = std::max(golden.outputs.size(), faulty.outputs.size());
+  std::uint64_t base = 0;
+  for (std::size_t b = 0; b < buffers && out.size() < limit; ++b) {
+    const auto& g = b < golden.outputs.size() ? golden.outputs[b] : kEmpty;
+    const auto& f = b < faulty.outputs.size() ? faulty.outputs[b] : kEmpty;
+    const std::size_t words = (std::max(g.size(), f.size()) + 3) / 4;
+    for (std::size_t w = 0; w < words && out.size() < limit; ++w) {
+      const std::uint32_t gw = word_at(g, w);
+      const std::uint32_t fw = word_at(f, w);
+      if (gw != fw) out.push_back({base + w, gw, fw});
+    }
+    base += words;
+  }
+  return out;
+}
+
+bool same_fault(const fi::FaultRecord& a, const fi::FaultRecord& b) {
+  return a.level == b.level && a.structure == b.structure && a.mode == b.mode &&
+         a.sm == b.sm && a.site == b.site && a.bit == b.bit && a.width == b.width &&
+         a.trigger == b.trigger && a.launch == b.launch;
+}
+
+bool same_signature(const workloads::CorruptionSignature& a,
+                    const workloads::CorruptionSignature& b) {
+  return a.words_total == b.words_total && a.words_mismatched == b.words_mismatched &&
+         a.buffers_affected == b.buffers_affected && a.first_word == b.first_word &&
+         a.last_word == b.last_word && a.max_rel_error == b.max_rel_error &&
+         a.bit_flips == b.bit_flips;
+}
+
+}  // namespace
+
+ReplayResult replay_sample(const std::filesystem::path& path, std::uint64_t index,
+                           std::size_t max_divergent_words) {
+  const std::optional<JournalContents> contents = read_journal(path);
+  if (!contents) {
+    throw std::runtime_error("cannot read journal '" + path.string() + "'");
+  }
+
+  ReplayResult out;
+  out.header = contents->header;
+  out.journal_version = contents->version;
+  const auto it = std::find_if(
+      contents->records.begin(), contents->records.end(),
+      [index](const JournalRecord& r) { return r.index == index; });
+  if (it == contents->records.end()) {
+    throw std::runtime_error("sample " + std::to_string(index) +
+                             " is not in journal '" + path.string() +
+                             "' (wrong shard, early-stopped, or never run)");
+  }
+  out.journaled = *it;
+
+  // Rebuild the campaign context the header describes. Unknown names mean
+  // the journal came from a build with apps/configs this binary lacks.
+  const JournalHeader& h = out.header;
+  const auto target = campaign::target_from_name(h.target);
+  if (!target) {
+    throw std::runtime_error("journal names unknown target '" + h.target + "'");
+  }
+  const std::unique_ptr<workloads::App> app = workloads::make_benchmark(h.app);
+  const sim::GpuConfig config = sim::make_config(h.config);
+  const campaign::GoldenRun golden = campaign::run_golden(*app, config);
+
+  campaign::CampaignSpec spec;
+  spec.kernel = h.kernel;
+  spec.target = *target;
+  spec.samples = h.samples;
+  spec.seed = h.seed;
+
+  workloads::RunOutput faulty;
+  out.rerun = campaign::run_sample(*app, config, golden, spec, index, &faulty);
+
+  out.outcome_match = out.rerun.outcome == out.journaled.outcome;
+  out.cycles_match = out.rerun.cycles == out.journaled.cycles;
+  if (out.journal_version >= 2) {
+    out.fault_match = same_fault(out.rerun.fault, out.journaled.fault);
+    out.signature_match =
+        out.journaled.has_signature == (out.rerun.outcome == fi::Outcome::SDC) &&
+        (!out.journaled.has_signature ||
+         same_signature(out.rerun.signature, out.journaled.signature));
+  }
+  if (out.rerun.outcome == fi::Outcome::SDC && max_divergent_words > 0) {
+    out.divergent = divergent_words(golden.output, faulty, max_divergent_words);
+  }
+  return out;
+}
+
+}  // namespace gras::orchestrator

@@ -1,0 +1,59 @@
+// Deterministic re-execution of journaled fault-injection samples.
+//
+// Every campaign sample is a pure function of (campaign identity, sample
+// index): the injector RNG is seeded from (seed ^ target, index) and the
+// simulator is single-threaded per sample. A journal header carries the full
+// campaign identity, so any journaled sample can be re-run bit-identically
+// long after the campaign finished — the forensic loop the paper's SDC
+// anatomy needs ("show me exactly which fault produced this corruption").
+//
+// replay_sample rebuilds the app + config from the header, re-runs the one
+// sample (reusing launch-boundary checkpoint fast-forward like the campaign
+// hot path), and diffs the rerun against the journaled record. A mismatch
+// means the journal and the binary disagree — typically a journal produced
+// by a different build of the simulator.
+#pragma once
+
+#include <filesystem>
+
+#include "src/campaign/campaign.h"
+#include "src/orchestrator/journal.h"
+
+namespace gras::orchestrator {
+
+/// One output word where the faulty rerun differs from golden.
+struct DivergentWord {
+  std::uint64_t word = 0;  ///< global word index (compare_outputs coordinates)
+  std::uint32_t golden = 0;
+  std::uint32_t faulty = 0;
+};
+
+struct ReplayResult {
+  JournalHeader header;
+  std::uint32_t journal_version = kJournalVersion;
+  JournalRecord journaled;        ///< the record as read from the journal
+  campaign::SampleResult rerun;   ///< the same sample re-executed now
+
+  bool outcome_match = false;
+  bool cycles_match = false;
+  /// Fault provenance and SDC signature agreement. v1 journals carry
+  /// neither, so both stay true there (nothing to contradict).
+  bool fault_match = true;
+  bool signature_match = true;
+  bool matches() const {
+    return outcome_match && cycles_match && fault_match && signature_match;
+  }
+
+  /// First divergent output words of an SDC rerun (empty otherwise), capped
+  /// at the `max_divergent_words` passed to replay_sample.
+  std::vector<DivergentWord> divergent;
+};
+
+/// Re-executes the journaled sample `index` (campaign-wide numbering) of the
+/// journal at `path` and diffs it against the record. Throws
+/// std::runtime_error when the journal is unreadable, the index was never
+/// journaled, or the header names an unknown app/config/target.
+ReplayResult replay_sample(const std::filesystem::path& path, std::uint64_t index,
+                           std::size_t max_divergent_words = 8);
+
+}  // namespace gras::orchestrator

@@ -178,9 +178,16 @@ LaunchResult Gpu::launch(const isa::Kernel& kernel, Dim3 grid, Dim3 block,
     }
 
     std::uint64_t resident = 0;
-    for (const auto& sm : sms_) resident += sm->resident_warp_count();
+    std::uint32_t resident_ctas = 0;
+    for (const auto& sm : sms_) {
+      resident += sm->resident_warp_count();
+      resident_ctas += sm->active_cta_count();
+    }
     stats.warp_residency += resident;
     stats.sm_cycles += config_.num_sms;
+    // Residency only grows at the placement loop above, so sampling right
+    // after it captures the true per-launch peak.
+    record.peak_resident_ctas = std::max(record.peak_resident_ctas, resident_ctas);
 
     for (auto& sm : sms_) {
       sm->step(ctx, cycle_);

@@ -32,6 +32,12 @@ struct LaunchRecord {
   std::uint64_t threads = 0;
   std::uint32_t regs_per_thread = 0;
   std::uint32_t smem_per_cta = 0;
+  /// Most CTAs simultaneously resident across all SMs during this launch —
+  /// the device's actual footprint, as opposed to grid.count() (the total
+  /// work). Derating factors must weight by this, not the grid size, or any
+  /// grid larger than the device saturates them at 1. 0 in hand-assembled
+  /// records (metrics fall back to an occupancy bound).
+  std::uint32_t peak_resident_ctas = 0;
   /// Cumulative GPR-writing thread-instruction counts over the whole app
   /// run, [gp_begin, gp_end): the SVF sampling space for this launch.
   std::uint64_t gp_begin = 0, gp_end = 0;

@@ -65,6 +65,10 @@ class RegFile {
 /// story as the register file, at byte granularity.
 class SharedMem {
  public:
+  /// Allocation granule: kernel smem sizes are rounded up to this, which
+  /// keeps the bitmap small and is what occupancy bounds must round with.
+  static constexpr std::uint32_t kGranule = 256;
+
   struct Snapshot {
     std::vector<std::uint8_t> data;
     std::vector<bool> granule_used;
@@ -93,9 +97,6 @@ class SharedMem {
   bool is_allocated(std::uint32_t byte) const noexcept;
 
  private:
-  // Allocation is tracked at 256-byte granule granularity to keep the bitmap
-  // small; kernel smem sizes are rounded up to the granule.
-  static constexpr std::uint32_t kGranule = 256;
   std::vector<std::uint8_t> data_;
   std::vector<bool> granule_used_;
   std::uint32_t allocated_bytes_ = 0;

@@ -157,6 +157,7 @@ class Sm {
 
   /// True while any CTA is resident.
   bool busy() const noexcept { return active_ctas_ > 0; }
+  std::uint32_t active_cta_count() const noexcept { return active_ctas_; }
   std::uint32_t resident_warp_count() const noexcept { return resident_warps_; }
   std::uint32_t free_cta_slots() const noexcept;
 

@@ -1,5 +1,7 @@
 #include "src/workloads/workload.h"
 
+#include <algorithm>
+#include <cmath>
 #include <cstring>
 #include <stdexcept>
 #include <unordered_map>
@@ -174,6 +176,68 @@ RunOutput replay_app(const App& app, sim::Gpu& gpu, const HostTrace& trace,
                      std::span<const sim::LaunchRecord> golden_launches) {
   DirectCtx ctx(app, gpu, trace, resume_launch, golden_launches);
   return collect_output(app, ctx);
+}
+
+namespace {
+
+/// 32-bit word `w` of a byte buffer, zero-padded past the end.
+std::uint32_t word_at(const std::vector<std::uint8_t>& bytes, std::size_t w) {
+  std::uint32_t v = 0;
+  const std::size_t base = w * 4;
+  for (std::size_t i = 0; i < 4 && base + i < bytes.size(); ++i) {
+    v |= std::uint32_t{bytes[base + i]} << (8 * i);
+  }
+  return v;
+}
+
+}  // namespace
+
+CorruptionSignature compare_outputs(const RunOutput& golden, const RunOutput& faulty) {
+  CorruptionSignature sig;
+  static const std::vector<std::uint8_t> kEmpty;
+  const std::size_t buffers = std::max(golden.outputs.size(), faulty.outputs.size());
+  std::uint64_t base = 0;          // global word index of the current buffer
+  bool shape_mismatch = golden.outputs.size() != faulty.outputs.size();
+  for (std::size_t b = 0; b < buffers; ++b) {
+    const auto& g = b < golden.outputs.size() ? golden.outputs[b] : kEmpty;
+    const auto& f = b < faulty.outputs.size() ? faulty.outputs[b] : kEmpty;
+    if (g.size() != f.size()) shape_mismatch = true;
+    const std::size_t words = (std::max(g.size(), f.size()) + 3) / 4;
+    bool buffer_hit = false;
+    for (std::size_t w = 0; w < words; ++w) {
+      const std::uint32_t gw = word_at(g, w);
+      const std::uint32_t fw = word_at(f, w);
+      if (gw == fw) continue;
+      const std::uint64_t index = base + w;
+      if (sig.words_mismatched == 0) sig.first_word = index;
+      sig.last_word = index;
+      ++sig.words_mismatched;
+      buffer_hit = true;
+      const std::uint32_t diff = gw ^ fw;
+      for (unsigned bit = 0; bit < 32; ++bit) {
+        if ((diff >> bit) & 1) ++sig.bit_flips[bit];
+      }
+      float gf, ff;
+      std::memcpy(&gf, &gw, sizeof gf);
+      std::memcpy(&ff, &fw, sizeof ff);
+      if (std::isfinite(gf) && std::isfinite(ff) && gf != 0.0f) {
+        const double rel = std::abs(static_cast<double>(ff) - gf) /
+                           std::abs(static_cast<double>(gf));
+        sig.max_rel_error = std::max(sig.max_rel_error, rel);
+      }
+    }
+    if (buffer_hit) ++sig.buffers_affected;
+    base += words;
+    sig.words_total += words;
+  }
+  // A shape difference with byte-equal zero-padded words (possible only for
+  // buffers differing by trailing zero bytes) still counts as a mismatch so
+  // mismatch() stays exactly equivalent to outputs != golden.outputs.
+  if (shape_mismatch && sig.words_mismatched == 0) {
+    sig.words_mismatched = 1;
+    sig.buffers_affected = std::max<std::uint32_t>(sig.buffers_affected, 1);
+  }
+  return sig;
 }
 
 namespace detail {

@@ -13,6 +13,7 @@
 // Fig. 6.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <span>
@@ -117,6 +118,39 @@ struct RunOutput {
   bool completed() const { return trap == sim::TrapKind::None; }
   bool operator==(const RunOutput&) const = default;
 };
+
+/// How a faulty run's output differs from golden — the SDC "anatomy" signal
+/// (which bits flipped, how big the numeric error is, how far the corruption
+/// spread) instead of a bare corrupted/clean boolean. Output buffers are
+/// compared as a single concatenated stream of 32-bit words in buffers()
+/// order (a trailing partial word is zero-padded on both sides), so word
+/// indices are stable global coordinates across the whole program output.
+struct CorruptionSignature {
+  std::uint64_t words_total = 0;       ///< words compared across all buffers
+  std::uint64_t words_mismatched = 0;  ///< words that differ from golden
+  std::uint32_t buffers_affected = 0;  ///< output buffers holding a mismatch
+  std::uint64_t first_word = 0;        ///< global index of the first mismatch
+  std::uint64_t last_word = 0;         ///< global index of the last mismatch
+  /// Largest |faulty - golden| / |golden| over mismatched words whose golden
+  /// and faulty values are both finite floats and golden is nonzero (0 when
+  /// no such pair exists — e.g. integer outputs or NaN corruption).
+  double max_rel_error = 0.0;
+  /// How often each bit position differs: histogram of set bits of
+  /// golden ^ faulty over mismatched words. Localizes corruption within the
+  /// word (sign/exponent/mantissa for float outputs).
+  std::array<std::uint32_t, 32> bit_flips{};
+
+  bool mismatch() const { return words_mismatched != 0; }
+  /// Words spanned from first to last mismatch (1 = a single corrupted word).
+  std::uint64_t spatial_extent() const {
+    return words_mismatched == 0 ? 0 : last_word - first_word + 1;
+  }
+};
+
+/// Compares a faulty run's outputs against golden. `mismatch()` is true
+/// exactly when `faulty.outputs != golden.outputs`, so SDC classification on
+/// the signature is equivalent to the old boolean comparison.
+CorruptionSignature compare_outputs(const RunOutput& golden, const RunOutput& faulty);
 
 /// A GPU application.
 class App {

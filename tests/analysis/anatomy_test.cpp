@@ -1,0 +1,193 @@
+// SDC anatomy aggregation checked against hand-computed signatures, shard
+// grouping by campaign fingerprint, and v1-journal degradation.
+#include "src/analysis/anatomy.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <stdexcept>
+
+#include "src/orchestrator/journal.h"
+
+namespace gras::analysis {
+namespace {
+
+orchestrator::JournalHeader header(std::uint32_t shard_index = 0,
+                                   std::uint32_t shard_count = 1) {
+  orchestrator::JournalHeader h;
+  h.app = "va";
+  h.kernel = "va_k1";
+  h.config = "gv100-scaled";
+  h.target = "RF";
+  h.samples = 100;
+  h.seed = 7;
+  h.shard_index = shard_index;
+  h.shard_count = shard_count;
+  return h;
+}
+
+orchestrator::JournalRecord masked(std::uint64_t index) {
+  orchestrator::JournalRecord r;
+  r.index = index;
+  r.cycles = 100;
+  r.outcome = fi::Outcome::Masked;
+  return r;
+}
+
+/// An SDC record with provenance set; the signature is left for the test to
+/// fill so every aggregate stays hand-computed.
+orchestrator::JournalRecord sdc(std::uint64_t index, std::uint32_t sm,
+                                std::uint32_t launch, std::uint8_t fault_bit) {
+  orchestrator::JournalRecord r;
+  r.index = index;
+  r.cycles = 100;
+  r.outcome = fi::Outcome::SDC;
+  r.injected = true;
+  r.fault.level = fi::FaultLevel::Microarch;
+  r.fault.structure = fi::Structure::RF;
+  r.fault.sm = sm;
+  r.fault.launch = launch;
+  r.fault.bit = fault_bit;
+  r.has_signature = true;
+  r.signature.words_total = 1024;
+  return r;
+}
+
+TEST(Anatomy, AggregatesHandComputedSignatures) {
+  orchestrator::JournalContents j;
+  j.header = header();
+  j.version = orchestrator::kJournalVersion;
+  // SDC a: one word, one bit (bit 3), extent 1.
+  auto a = sdc(0, 0, 0, 3);
+  a.signature.words_mismatched = 1;
+  a.signature.buffers_affected = 1;
+  a.signature.first_word = 10;
+  a.signature.last_word = 10;
+  a.signature.bit_flips[3] = 1;
+  a.signature.max_rel_error = 0.5;
+  // SDC b: 4 words across 2 buffers, 6 bits, extent 5..95 = 91.
+  auto b = sdc(1, 2, 1, 17);
+  b.signature.words_mismatched = 4;
+  b.signature.buffers_affected = 2;
+  b.signature.first_word = 5;
+  b.signature.last_word = 95;
+  b.signature.bit_flips[3] = 2;
+  b.signature.bit_flips[31] = 4;
+  b.signature.max_rel_error = 0.125;
+  // SDC c: a single word but two flipped bits — single-word, not single-bit.
+  auto c = sdc(2, 0, 0, 3);
+  c.signature.words_mismatched = 1;
+  c.signature.buffers_affected = 1;
+  c.signature.first_word = 0;
+  c.signature.last_word = 0;
+  c.signature.bit_flips[0] = 2;
+  j.records = {masked(3), a, masked(4), b, c, masked(5)};
+
+  std::vector<SdcAnatomy> rows;
+  accumulate_anatomy(j, rows);
+  ASSERT_EQ(rows.size(), 1u);
+  const SdcAnatomy& r = rows[0];
+  EXPECT_EQ(r.journal_version, orchestrator::kJournalVersion);
+  EXPECT_EQ(r.samples, 6u);
+  EXPECT_EQ(r.sdc, 3u);
+  EXPECT_EQ(r.with_signature, 3u);
+  EXPECT_EQ(r.single_word, 2u);
+  EXPECT_EQ(r.single_bit, 1u);
+  EXPECT_EQ(r.words_mismatched_sum, 6u);
+  EXPECT_EQ(r.words_mismatched_max, 4u);
+  EXPECT_EQ(r.extent_sum, 93u);  // 1 + 91 + 1
+  EXPECT_EQ(r.extent_max, 91u);
+  EXPECT_EQ(r.multi_buffer, 1u);
+  EXPECT_DOUBLE_EQ(r.max_rel_error, 0.5);
+  EXPECT_EQ(r.bit_flips[0], 2u);
+  EXPECT_EQ(r.bit_flips[3], 3u);
+  EXPECT_EQ(r.bit_flips[31], 4u);
+  EXPECT_DOUBLE_EQ(r.mean_words_mismatched(), 2.0);
+  EXPECT_DOUBLE_EQ(r.mean_extent(), 31.0);
+  EXPECT_EQ(r.sdc_by_sm.at(0), 2u);
+  EXPECT_EQ(r.sdc_by_sm.at(2), 1u);
+  EXPECT_EQ(r.sdc_by_launch.at(0), 2u);
+  EXPECT_EQ(r.sdc_by_launch.at(1), 1u);
+  EXPECT_EQ(r.sdc_by_fault_bit.at(3), 2u);
+  EXPECT_EQ(r.sdc_by_fault_bit.at(17), 1u);
+
+  const std::string text = render_anatomy(r);
+  EXPECT_NE(text.find("va / va_k1 / RF @ gv100-scaled"), std::string::npos) << text;
+  EXPECT_NE(text.find("single-word 2"), std::string::npos) << text;
+  EXPECT_NE(text.find("single-bit 1"), std::string::npos) << text;
+  EXPECT_NE(text.find("SDCs by SM:"), std::string::npos) << text;
+}
+
+TEST(Anatomy, SiblingShardsMergeIntoOneRow) {
+  // Shards of one campaign share a fingerprint (shard position excluded) and
+  // must fold into a single anatomy row; a different kernel starts a new one.
+  orchestrator::JournalContents s0, s1, other;
+  s0.header = header(0, 2);
+  s1.header = header(1, 2);
+  auto a = sdc(2, 1, 0, 5);
+  a.signature.words_mismatched = 1;
+  a.signature.buffers_affected = 1;
+  a.signature.bit_flips[5] = 1;
+  s0.records = {masked(0), a};
+  s1.records = {masked(1)};
+  other.header = header();
+  other.header.kernel = "va_k2";
+  other.records = {masked(0)};
+
+  std::vector<SdcAnatomy> rows;
+  accumulate_anatomy(s0, rows);
+  accumulate_anatomy(s1, rows);
+  accumulate_anatomy(other, rows);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].samples, 3u);
+  EXPECT_EQ(rows[0].sdc, 1u);
+  EXPECT_EQ(rows[1].samples, 1u);
+  EXPECT_EQ(rows[1].header.kernel, "va_k2");
+}
+
+TEST(Anatomy, V1JournalsReportOutcomesOnly) {
+  orchestrator::JournalContents j;
+  j.header = header();
+  j.version = 1;
+  auto r = masked(0);
+  r.outcome = fi::Outcome::SDC;  // v1 SDCs carry no signature
+  j.records = {r, masked(1)};
+  std::vector<SdcAnatomy> rows;
+  accumulate_anatomy(j, rows);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].journal_version, 1u);
+  EXPECT_EQ(rows[0].sdc, 1u);
+  EXPECT_EQ(rows[0].with_signature, 0u);
+  const std::string text = render_anatomy(rows[0]);
+  EXPECT_NE(text.find("v1 journal"), std::string::npos) << text;
+}
+
+TEST(Anatomy, ReadsJournalsFromDisk) {
+  const auto dir = std::filesystem::temp_directory_path() / "gras_anatomy_test";
+  std::filesystem::create_directories(dir);
+  const auto path = dir / "one.jrnl";
+  {
+    auto writer = orchestrator::JournalWriter::open_fresh(path, header());
+    ASSERT_NE(writer, nullptr);
+    auto a = sdc(0, 1, 0, 9);
+    a.signature.words_mismatched = 2;
+    a.signature.buffers_affected = 1;
+    a.signature.first_word = 4;
+    a.signature.last_word = 6;
+    a.signature.bit_flips[9] = 2;
+    writer->append(masked(1));
+    writer->append(a);
+    writer->sync();
+  }
+  const auto rows = anatomy_from_journals({path});
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].samples, 2u);
+  EXPECT_EQ(rows[0].sdc, 1u);
+  EXPECT_EQ(rows[0].extent_max, 3u);
+  EXPECT_EQ(rows[0].bit_flips[9], 2u);
+
+  EXPECT_THROW(anatomy_from_journals({dir / "missing.jrnl"}), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace gras::analysis

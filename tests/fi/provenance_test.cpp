@@ -1,0 +1,189 @@
+// FaultRecord provenance and injector edge paths: width clipping at word and
+// byte boundaries, permanent give-up, window-end boundary, retry trigger
+// re-arming, and provenance field conventions per structure.
+#include <bit>
+
+#include <gtest/gtest.h>
+
+#include "src/fi/injectors.h"
+#include "tests/testing/sim_helpers.h"
+
+namespace gras {
+namespace {
+
+TEST(MicroarchProvenance, RfWidthClipsAtWordBoundary) {
+  // Multi-bit RF flips must stay inside the sampled 32-bit word: a width-8
+  // fault starting at bit b flips exactly min(8, 32-b) contiguous bits, and
+  // the record reports the clipped count. Property-checked over seeds so
+  // both the clipped (b > 24) and unclipped cases are exercised.
+  bool saw_clipped = false, saw_full = false;
+  for (int seed = 0; seed < 200; ++seed) {
+    sim::Gpu gpu(testing::test_config());
+    sim::RegFile& rf = gpu.sm(0).regfile();
+    const auto base = rf.allocate(4);
+    ASSERT_TRUE(base);
+    fi::MicroarchInjector inj(fi::Structure::RF, 1, 10, Rng(seed), /*width=*/8);
+    inj.on_cycle(gpu, 1);
+    ASSERT_TRUE(inj.injected());
+    const fi::FaultRecord& r = inj.record();
+    EXPECT_EQ(r.level, fi::FaultLevel::Microarch);
+    EXPECT_EQ(r.structure, fi::Structure::RF);
+    EXPECT_EQ(r.sm, 0u);
+    EXPECT_GE(r.site, *base);
+    EXPECT_LT(r.site, *base + 4);
+    const unsigned expect_width = std::min<unsigned>(8, 32 - r.bit);
+    EXPECT_EQ(r.width, expect_width);
+    // The cell was zero, so its value is exactly the contiguous flip mask.
+    const std::uint32_t mask =
+        (expect_width == 32 ? ~0u : ((1u << expect_width) - 1u)) << r.bit;
+    EXPECT_EQ(rf.read(static_cast<std::uint32_t>(r.site)), mask) << "seed " << seed;
+    if (r.bit > 24) saw_clipped = true;
+    if (r.bit <= 24) saw_full = true;
+  }
+  EXPECT_TRUE(saw_clipped);
+  EXPECT_TRUE(saw_full);
+}
+
+TEST(MicroarchProvenance, SmemWidthClipsAtByteBoundary) {
+  // SMEM faults are byte-granular: a width-16 fault never crosses the
+  // sampled byte, so at most 8 bits flip (min(16, 8-b) from bit b).
+  bool saw_clipped = false;
+  for (int seed = 0; seed < 100; ++seed) {
+    sim::Gpu gpu(testing::test_config());
+    sim::SharedMem& smem = gpu.sm(1).shared_mem();
+    const auto base = smem.allocate(64);
+    ASSERT_TRUE(base);
+    fi::MicroarchInjector inj(fi::Structure::SMEM, 1, 10, Rng(seed), /*width=*/16);
+    inj.on_cycle(gpu, 1);
+    ASSERT_TRUE(inj.injected());
+    const fi::FaultRecord& r = inj.record();
+    EXPECT_EQ(r.structure, fi::Structure::SMEM);
+    EXPECT_EQ(r.sm, 1u);
+    const unsigned expect_width = std::min<unsigned>(16, 8 - r.bit);
+    EXPECT_EQ(r.width, expect_width);
+    // Extract the flipped byte (memory started zeroed).
+    const std::uint32_t addr = static_cast<std::uint32_t>(r.site);
+    const std::uint32_t word = smem.read_u32(addr & ~3u);
+    const std::uint32_t byte = (word >> (8 * (addr & 3u))) & 0xffu;
+    const std::uint32_t mask = ((1u << expect_width) - 1u) << r.bit;
+    EXPECT_EQ(byte, mask) << "seed " << seed;
+    if (r.bit > 0) saw_clipped = true;  // width 16 always clips; extra-short runs
+  }
+  EXPECT_TRUE(saw_clipped);
+}
+
+TEST(MicroarchProvenance, GiveUpIsPermanent) {
+  // Once the window elapses with nothing allocated, the injector must stay
+  // inert even if an allocation appears later (the sample is masked).
+  sim::Gpu gpu(testing::test_config());
+  fi::MicroarchInjector inj(fi::Structure::RF, 5, 10, Rng(11));
+  for (std::uint64_t cycle = 5; cycle <= 11; ++cycle) inj.on_cycle(gpu, cycle);
+  ASSERT_FALSE(inj.injected());
+  ASSERT_EQ(inj.next_trigger(), ~std::uint64_t{0});
+  const auto base = gpu.sm(0).regfile().allocate(4);
+  ASSERT_TRUE(base);
+  inj.on_cycle(gpu, 12);
+  inj.on_cycle(gpu, 100);
+  EXPECT_FALSE(inj.injected());
+  EXPECT_EQ(inj.record().width, 0u);  // provenance reflects the non-flip
+}
+
+TEST(MicroarchProvenance, InjectsExactlyAtWindowEnd) {
+  // window_end is inclusive: an allocation appearing on the last window
+  // cycle still gets the fault.
+  sim::Gpu gpu(testing::test_config());
+  fi::MicroarchInjector inj(fi::Structure::RF, 5, 10, Rng(12));
+  for (std::uint64_t cycle = 5; cycle <= 9; ++cycle) inj.on_cycle(gpu, cycle);
+  ASSERT_FALSE(inj.injected());
+  const auto base = gpu.sm(2).regfile().allocate(2);
+  ASSERT_TRUE(base);
+  inj.on_cycle(gpu, 10);
+  EXPECT_TRUE(inj.injected());
+  EXPECT_EQ(inj.record().trigger, 10u);
+  EXPECT_EQ(inj.record().sm, 2u);
+}
+
+TEST(MicroarchProvenance, RetryRearmsAndRecordsActualTrigger) {
+  // The recorded trigger is the cycle the flip landed, not the sampled one.
+  sim::Gpu gpu(testing::test_config());
+  fi::MicroarchInjector inj(fi::Structure::RF, 5, 100, Rng(13), 1, /*launch=*/3);
+  inj.on_cycle(gpu, 5);
+  inj.on_cycle(gpu, 6);
+  ASSERT_FALSE(inj.injected());
+  EXPECT_EQ(inj.next_trigger(), 7u);
+  const auto base = gpu.sm(0).regfile().allocate(1);
+  ASSERT_TRUE(base);
+  inj.on_cycle(gpu, 7);
+  ASSERT_TRUE(inj.injected());
+  EXPECT_EQ(inj.record().trigger, 7u);
+  EXPECT_EQ(inj.record().launch, 3u);
+  EXPECT_EQ(inj.record().site, *base);
+}
+
+TEST(MicroarchProvenance, CacheSitesAreWordIndexed) {
+  for (fi::Structure s : {fi::Structure::L1D, fi::Structure::L1T, fi::Structure::L2}) {
+    sim::Gpu gpu(testing::test_config());
+    fi::MicroarchInjector inj(s, 1, 2, Rng(14));
+    inj.on_cycle(gpu, 1);
+    ASSERT_TRUE(inj.injected()) << fi::structure_name(s);
+    const fi::FaultRecord& r = inj.record();
+    EXPECT_EQ(r.structure, s);
+    EXPECT_LT(r.bit, 32u);
+    EXPECT_EQ(r.width, 1u);
+    const std::uint64_t bits =
+        s == fi::Structure::L2
+            ? gpu.l2().data_bit_count()
+            : (s == fi::Structure::L1D ? gpu.sm(r.sm).l1d().data_bit_count()
+                                       : gpu.sm(r.sm).l1t().data_bit_count());
+    EXPECT_LT(r.site * 32 + r.bit, bits) << fi::structure_name(s);
+    if (s == fi::Structure::L2) {
+      EXPECT_EQ(r.sm, 0u);
+    }
+  }
+}
+
+TEST(SoftwareProvenance, RecordsCellBitAndTriggerIndex) {
+  testing::KernelRunner runner(R"(
+.kernel t
+.param out ptr
+    S2R R0, SR_TID.X
+    MOV R2, 5
+    ISCADD R3, R0, c[out], 2
+    STG [R3], R2
+    EXIT
+)");
+  const auto out = runner.alloc(std::vector<std::uint32_t>(32, 0));
+  fi::SoftwareInjector inj(fi::SvfMode::Dst, 40, Rng(7), 0, /*launch=*/1);
+  runner.gpu().set_fault_hook(&inj);
+  ASSERT_TRUE(runner.launch({1, 1, 1}, {32, 1, 1}, {out}).ok());
+  ASSERT_TRUE(inj.injected());
+  const fi::FaultRecord& r = inj.record();
+  EXPECT_EQ(r.level, fi::FaultLevel::Software);
+  EXPECT_EQ(r.mode, fi::SvfMode::Dst);
+  EXPECT_EQ(r.trigger, 40u);  // the sampled dynamic-instruction index
+  EXPECT_EQ(r.launch, 1u);
+  EXPECT_EQ(r.width, 1u);
+  // The journaled bit position matches the observed output corruption.
+  const auto result = runner.read(0);
+  EXPECT_EQ(result[8] ^ 5u, 1u << r.bit);
+  // The recorded cell holds the corrupted destination value.
+  EXPECT_EQ(runner.gpu().sm(r.sm).regfile().read(static_cast<std::uint32_t>(r.site)),
+            result[8]);
+}
+
+TEST(SoftwareProvenance, UninjectedHookLeavesDefaultSite) {
+  testing::KernelRunner runner(R"(
+.kernel t
+    S2R R0, SR_TID.X
+    EXIT
+)");
+  fi::SoftwareInjector inj(fi::SvfMode::Dst, 1000000, Rng(10));
+  runner.gpu().set_fault_hook(&inj);
+  ASSERT_TRUE(runner.launch({1, 1, 1}, {32, 1, 1}, {}).ok());
+  EXPECT_FALSE(inj.injected());
+  EXPECT_EQ(inj.record().level, fi::FaultLevel::Software);
+  EXPECT_EQ(inj.record().width, 0u);
+}
+
+}  // namespace
+}  // namespace gras

@@ -80,6 +80,70 @@ TEST(Derating, SmemPositiveWhenKernelUsesShared) {
   EXPECT_GT(smem_derating(golden, "scp_k1", config()), 0.0);
 }
 
+/// Hand-assembled single-launch golden run for derating arithmetic.
+campaign::GoldenRun golden_with_launch(sim::LaunchRecord l) {
+  campaign::GoldenRun g;
+  l.kernel = "k";
+  if (l.end_cycle == 0) l.end_cycle = 1000;
+  g.launches.push_back(std::move(l));
+  g.build_index();
+  return g;
+}
+
+TEST(Derating, SmemWeighsResidentCtasNotGridSize) {
+  // Regression: SMEM derating used to weight by grid.count(), which
+  // saturates DF at 1 for any grid larger than the device and overstates
+  // SMEM AVF. The launch's observed peak residency is the real footprint.
+  sim::LaunchRecord l;
+  l.grid = {10000, 1, 1};  // far more CTAs than the device can hold
+  l.block = {32, 1, 1};
+  l.smem_per_cta = 1024;
+  l.peak_resident_ctas = 8;
+  const double df = smem_derating(golden_with_launch(l), "k", config());
+  // 1024 B * 8 bits * 8 resident CTAs / (16384 B * 8 * 4 SMs).
+  EXPECT_DOUBLE_EQ(df, 1024.0 * 8.0 * 8.0 /
+                           static_cast<double>(config().smem_bits_total()));
+  EXPECT_LT(df, 1.0);
+}
+
+TEST(Derating, SmemFallsBackToOccupancyBound) {
+  // Hand-assembled records carry no observed peak; the bound from per-SM
+  // occupancy limits (CTA slots, warp slots, registers, granule-rounded
+  // smem) takes its place. Here: min(8 CTA slots, 16 warp slots / 1,
+  // 16384/1024 regs, 16384/512 smem granules) = 8 per SM, x4 SMs = 32.
+  sim::LaunchRecord l;
+  l.grid = {10000, 1, 1};
+  l.block = {32, 1, 1};
+  l.smem_per_cta = 512;
+  l.regs_per_thread = 32;
+  const double df = smem_derating(golden_with_launch(l), "k", config());
+  EXPECT_DOUBLE_EQ(df, 512.0 * 8.0 * 32.0 /
+                           static_cast<double>(config().smem_bits_total()));
+  EXPECT_LT(df, 1.0);
+}
+
+TEST(Derating, SmemSmallGridIsNotInflatedToTheBound) {
+  // A grid smaller than the residency bound holds only grid.count() CTAs.
+  sim::LaunchRecord l;
+  l.grid = {2, 1, 1};
+  l.block = {32, 1, 1};
+  l.smem_per_cta = 512;
+  const double df = smem_derating(golden_with_launch(l), "k", config());
+  EXPECT_DOUBLE_EQ(df, 512.0 * 8.0 * 2.0 /
+                           static_cast<double>(config().smem_bits_total()));
+}
+
+TEST(Derating, GoldenLaunchesRecordPeakResidency) {
+  // run_golden must observe the real peak so smem_derating never needs the
+  // fallback for simulated launches.
+  const auto app = workloads::make_benchmark("scp");
+  const auto golden = campaign::run_golden(*app, config());
+  for (const auto& l : golden.launches) {
+    EXPECT_GT(l.peak_resident_ctas, 0u) << l.kernel;
+    EXPECT_LE(l.peak_resident_ctas, l.grid.count()) << l.kernel;
+  }
+}
+
 TEST(KernelReliability, AvfIsFrTimesDf) {
   KernelReliability k;
   k.fr[fi::Structure::RF] = Breakdown{0.2, 0.0, 0.1};

@@ -1,0 +1,248 @@
+// Journal v2 format: fault provenance + SDC signature round trips, and
+// backward compatibility with v1 journals (read and append-in-place).
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "src/orchestrator/journal.h"
+
+namespace gras::orchestrator {
+namespace {
+
+std::filesystem::path temp_journal(const char* name) {
+  const auto dir = std::filesystem::temp_directory_path() / "gras_journal_v2_test";
+  std::filesystem::create_directories(dir);
+  return dir / name;
+}
+
+JournalHeader example_header() {
+  JournalHeader h;
+  h.app = "va";
+  h.kernel = "va_k1";
+  h.config = "gv100-scaled";
+  h.target = "RF";
+  h.samples = 100;
+  h.seed = 2024;
+  h.margin = 0.0;
+  h.confidence = 0.99;
+  return h;
+}
+
+/// A record exercising every v2 field.
+JournalRecord full_record(std::uint64_t index) {
+  JournalRecord r;
+  r.index = index;
+  r.cycles = 5000 + index;
+  r.outcome = fi::Outcome::SDC;
+  r.injected = true;
+  r.fault.level = fi::FaultLevel::Microarch;
+  r.fault.structure = fi::Structure::SMEM;
+  r.fault.sm = 3;
+  r.fault.site = 0xdeadbeefULL + index;
+  r.fault.bit = 5;
+  r.fault.width = 3;
+  r.fault.trigger = 123456 + index;
+  r.fault.launch = 2;
+  r.has_signature = true;
+  r.signature.words_total = 4096;
+  r.signature.words_mismatched = 7;
+  r.signature.buffers_affected = 2;
+  r.signature.first_word = 100 + index;
+  r.signature.last_word = 900;
+  r.signature.max_rel_error = 0.125;
+  r.signature.bit_flips[0] = 1;
+  r.signature.bit_flips[17] = 4;
+  r.signature.bit_flips[31] = 2;
+  return r;
+}
+
+std::string slurp(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in), {});
+}
+
+void spit(const std::filesystem::path& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+std::uint64_t fnv1a(const void* data, std::size_t len) {
+  std::uint64_t hash = 14695981039346656037ULL;
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < len; ++i) {
+    hash ^= p[i];
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+/// Hand-builds a v1 journal file: the v1 header (version field = 1) followed
+/// by 24-byte v1 records — the format an older build would have written.
+std::string build_v1_journal(const JournalHeader& h, std::uint64_t records) {
+  std::string out;
+  out.append("GRASJRN1", 8);
+  const auto u32 = [&out](std::uint32_t v) {
+    out.append(reinterpret_cast<const char*>(&v), 4);
+  };
+  const auto u64 = [&out](std::uint64_t v) {
+    out.append(reinterpret_cast<const char*>(&v), 8);
+  };
+  const auto f64 = [&out](double v) {
+    out.append(reinterpret_cast<const char*>(&v), 8);
+  };
+  const auto str = [&](const std::string& s) {
+    u32(static_cast<std::uint32_t>(s.size()));
+    out.append(s);
+  };
+  u32(1);  // version
+  u32(h.shard_index);
+  u32(h.shard_count);
+  u32(0);  // reserved
+  u64(h.samples);
+  u64(h.seed);
+  f64(h.margin);
+  f64(h.confidence);
+  str(h.app);
+  str(h.kernel);
+  str(h.config);
+  str(h.target);
+  u64(fnv1a(out.data(), out.size()));
+  for (std::uint64_t i = 0; i < records; ++i) {
+    char rec[kRecordBytesV1] = {};
+    const std::uint64_t cycles = 1000 + i;
+    std::memcpy(rec, &i, 8);
+    std::memcpy(rec + 8, &cycles, 8);
+    rec[16] = static_cast<char>(i % 4);  // outcome
+    rec[17] = 1;                         // injected
+    const auto sum = static_cast<std::uint32_t>(fnv1a(rec, 20));
+    std::memcpy(rec + 20, &sum, 4);
+    out.append(rec, kRecordBytesV1);
+  }
+  return out;
+}
+
+TEST(JournalV2, RoundTripsProvenanceAndSignature) {
+  const auto path = temp_journal("v2_roundtrip.jrnl");
+  {
+    auto writer = JournalWriter::open_fresh(path, example_header());
+    ASSERT_NE(writer, nullptr);
+    for (std::uint64_t i = 0; i < 5; ++i) writer->append(full_record(i));
+    writer->sync();
+  }
+  const auto contents = read_journal(path);
+  ASSERT_TRUE(contents.has_value());
+  EXPECT_EQ(contents->version, kJournalVersion);
+  ASSERT_EQ(contents->records.size(), 5u);
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    const JournalRecord& r = contents->records[i];
+    const JournalRecord want = full_record(i);
+    EXPECT_EQ(r.index, want.index);
+    EXPECT_EQ(r.cycles, want.cycles);
+    EXPECT_EQ(r.outcome, want.outcome);
+    EXPECT_EQ(r.fault.level, want.fault.level);
+    EXPECT_EQ(r.fault.structure, want.fault.structure);
+    EXPECT_EQ(r.fault.sm, want.fault.sm);
+    EXPECT_EQ(r.fault.site, want.fault.site);
+    EXPECT_EQ(r.fault.bit, want.fault.bit);
+    EXPECT_EQ(r.fault.width, want.fault.width);
+    EXPECT_EQ(r.fault.trigger, want.fault.trigger);
+    EXPECT_EQ(r.fault.launch, want.fault.launch);
+    ASSERT_TRUE(r.has_signature);
+    EXPECT_EQ(r.signature.words_total, want.signature.words_total);
+    EXPECT_EQ(r.signature.words_mismatched, want.signature.words_mismatched);
+    EXPECT_EQ(r.signature.buffers_affected, want.signature.buffers_affected);
+    EXPECT_EQ(r.signature.first_word, want.signature.first_word);
+    EXPECT_EQ(r.signature.last_word, want.signature.last_word);
+    EXPECT_EQ(r.signature.max_rel_error, want.signature.max_rel_error);
+    EXPECT_EQ(r.signature.bit_flips, want.signature.bit_flips);
+  }
+}
+
+TEST(JournalV2, ReadsV1Journals) {
+  const auto path = temp_journal("v1_readable.jrnl");
+  spit(path, build_v1_journal(example_header(), 6));
+  const auto contents = read_journal(path);
+  ASSERT_TRUE(contents.has_value());
+  EXPECT_EQ(contents->version, 1u);
+  EXPECT_TRUE(contents->header.same_campaign(example_header()));
+  ASSERT_EQ(contents->records.size(), 6u);
+  for (std::uint64_t i = 0; i < 6; ++i) {
+    EXPECT_EQ(contents->records[i].index, i);
+    EXPECT_EQ(contents->records[i].cycles, 1000 + i);
+    // v1 carries no provenance: the fault record stays at its default.
+    EXPECT_EQ(contents->records[i].fault.level, fi::FaultLevel::None);
+    EXPECT_FALSE(contents->records[i].has_signature);
+  }
+}
+
+TEST(JournalV2, ResumedV1JournalKeepsAppendingV1Records) {
+  const auto path = temp_journal("v1_resumed.jrnl");
+  spit(path, build_v1_journal(example_header(), 3));
+  auto contents = read_journal(path);
+  ASSERT_TRUE(contents.has_value());
+  ASSERT_EQ(contents->version, 1u);
+  {
+    auto writer = JournalWriter::open_resumed(path, *contents);
+    ASSERT_NE(writer, nullptr);
+    writer->append(full_record(3));  // v2-rich record, serialized as v1
+    writer->sync();
+  }
+  // The appended record must be a 24-byte v1 record, and the whole file must
+  // still parse as v1 with no dropped tail.
+  EXPECT_EQ(std::filesystem::file_size(path),
+            contents->valid_bytes + kRecordBytesV1);
+  const auto reread = read_journal(path);
+  ASSERT_TRUE(reread.has_value());
+  EXPECT_EQ(reread->version, 1u);
+  EXPECT_EQ(reread->dropped_bytes, 0u);
+  ASSERT_EQ(reread->records.size(), 4u);
+  EXPECT_EQ(reread->records[3].index, 3u);
+  EXPECT_EQ(reread->records[3].outcome, fi::Outcome::SDC);
+  // Provenance and signature are not representable in v1 and are dropped.
+  EXPECT_EQ(reread->records[3].fault.level, fi::FaultLevel::None);
+  EXPECT_FALSE(reread->records[3].has_signature);
+}
+
+TEST(JournalV2, UnknownVersionIsRejected) {
+  const auto path = temp_journal("future_version.jrnl");
+  std::string bytes = build_v1_journal(example_header(), 1);
+  // Patch the version field to a future value; the header checksum must be
+  // recomputed or the reader would reject on damage instead of version.
+  const std::uint32_t future = kJournalVersion + 1;
+  std::memcpy(bytes.data() + 8, &future, 4);
+  const std::size_t body = bytes.size() - kRecordBytesV1 - 8;
+  const std::uint64_t sum = fnv1a(bytes.data(), body);
+  std::memcpy(bytes.data() + body, &sum, 8);
+  spit(path, bytes);
+  EXPECT_FALSE(read_journal(path).has_value());
+}
+
+TEST(JournalV2, BitFlippedV2RecordDropsTail) {
+  const auto path = temp_journal("v2_bitflip.jrnl");
+  {
+    auto writer = JournalWriter::open_fresh(path, example_header());
+    ASSERT_NE(writer, nullptr);
+    for (std::uint64_t i = 0; i < 4; ++i) writer->append(full_record(i));
+    writer->sync();
+  }
+  std::string bytes = slurp(path);
+  const std::size_t header_bytes = bytes.size() - 4 * kRecordBytes;
+  bytes[header_bytes + 2 * kRecordBytes + 100] ^= 0x40;  // inside signature
+  spit(path, bytes);
+  const auto contents = read_journal(path);
+  ASSERT_TRUE(contents.has_value());
+  EXPECT_EQ(contents->records.size(), 2u);
+  EXPECT_EQ(contents->dropped_bytes, 2 * kRecordBytes);
+}
+
+TEST(JournalV2, FsyncParentDirHandlesExistingAndMissingDirs) {
+  EXPECT_TRUE(fsync_parent_dir(temp_journal("any_name.jrnl")));
+  EXPECT_FALSE(fsync_parent_dir(
+      std::filesystem::temp_directory_path() / "gras_no_such_dir_xyz" / "f"));
+}
+
+}  // namespace
+}  // namespace gras::orchestrator

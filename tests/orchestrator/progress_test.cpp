@@ -1,0 +1,83 @@
+// JsonlProgress::to_json: every snapshot must serialize to one valid JSON
+// line — non-finite doubles are clamped (not printed as `inf`/`nan`) and
+// extreme finite values grow the buffer instead of truncating the object.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <string>
+
+#include "src/orchestrator/progress.h"
+
+namespace gras::orchestrator {
+namespace {
+
+TEST(JsonlProgressToJson, EmitsAllFields) {
+  ProgressSnapshot s;
+  s.completed = 5;
+  s.total = 10;
+  s.counts.masked = 3;
+  s.counts.sdc = 1;
+  s.counts.timeout = 0;
+  s.counts.due = 1;
+  s.injected = 4;
+  s.control_path_masked = 2;
+  s.samples_per_sec = 123.456;
+  s.eta_seconds = 2.0;
+  s.fr_ci.estimate = 0.4;
+  s.fr_ci.lower = 0.3;
+  s.fr_ci.upper = 0.5;
+  s.done = true;
+  const std::string j = JsonlProgress::to_json(s);
+  EXPECT_EQ(j.front(), '{');
+  EXPECT_EQ(j.back(), '}');
+  EXPECT_NE(j.find("\"completed\":5"), std::string::npos) << j;
+  EXPECT_NE(j.find("\"total\":10"), std::string::npos) << j;
+  EXPECT_NE(j.find("\"masked\":3"), std::string::npos) << j;
+  EXPECT_NE(j.find("\"sdc\":1"), std::string::npos) << j;
+  EXPECT_NE(j.find("\"injected\":4"), std::string::npos) << j;
+  EXPECT_NE(j.find("\"samples_per_sec\":123.46"), std::string::npos) << j;
+  EXPECT_NE(j.find("\"eta_seconds\":2.0"), std::string::npos) << j;
+  EXPECT_NE(j.find("\"fr\":0.400000"), std::string::npos) << j;
+  EXPECT_NE(j.find("\"fr_margin\":0.100000"), std::string::npos) << j;
+  EXPECT_NE(j.find("\"early_stopped\":false"), std::string::npos) << j;
+  EXPECT_NE(j.find("\"done\":true"), std::string::npos) << j;
+}
+
+TEST(JsonlProgressToJson, ClampsNonFiniteToZero) {
+  // Before the first executed sample the ETA is remaining/0 = inf, and a
+  // degenerate CI can carry NaN; %f would render "inf"/"nan", which no JSON
+  // parser accepts. All non-finite doubles clamp to 0.
+  ProgressSnapshot s;
+  s.eta_seconds = std::numeric_limits<double>::infinity();
+  s.samples_per_sec = std::nan("");
+  s.fr_ci.estimate = std::nan("");
+  s.fr_ci.lower = -std::numeric_limits<double>::infinity();
+  s.fr_ci.upper = std::numeric_limits<double>::infinity();  // margin() = inf
+  const std::string j = JsonlProgress::to_json(s);
+  EXPECT_EQ(j.find("inf"), std::string::npos) << j;
+  EXPECT_EQ(j.find("nan"), std::string::npos) << j;
+  EXPECT_NE(j.find("\"samples_per_sec\":0.00"), std::string::npos) << j;
+  EXPECT_NE(j.find("\"eta_seconds\":0.0"), std::string::npos) << j;
+  EXPECT_NE(j.find("\"fr\":0.000000"), std::string::npos) << j;
+  EXPECT_NE(j.find("\"fr_margin\":0.000000"), std::string::npos) << j;
+}
+
+TEST(JsonlProgressToJson, HugeFiniteValuesAreNotTruncated) {
+  // %.2f renders 1e308 as ~310 digits; two such fields overflow the old
+  // fixed 512-byte buffer, which used to cut the line mid-field. The retry
+  // path must return the complete object.
+  ProgressSnapshot s;
+  s.samples_per_sec = 1e308;
+  s.eta_seconds = 1e308;
+  const std::string j = JsonlProgress::to_json(s);
+  EXPECT_GT(j.size(), 512u);
+  EXPECT_NE(j.find("\"done\":false}"), std::string::npos);
+  EXPECT_EQ(std::count(j.begin(), j.end(), '{'), 1);
+  EXPECT_EQ(std::count(j.begin(), j.end(), '}'), 1);
+  EXPECT_EQ(j.back(), '}');
+}
+
+}  // namespace
+}  // namespace gras::orchestrator

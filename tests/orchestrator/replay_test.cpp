@@ -1,0 +1,160 @@
+// replay_sample: any journaled sample re-executes bit-identically (Masked,
+// SDC and DUE alike), divergence against a tampered journal is detected, and
+// the error paths name their cause.
+#include "src/orchestrator/replay.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+
+#include "src/orchestrator/orchestrator.h"
+#include "src/workloads/workload.h"
+
+namespace gras::orchestrator {
+namespace {
+
+sim::GpuConfig config() { return sim::make_config("gv100-scaled"); }
+
+std::filesystem::path temp_dir() {
+  const auto dir = std::filesystem::temp_directory_path() / "gras_replay_test";
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+/// One 200-sample va/RF campaign journaled once and shared by all tests.
+/// 200 samples at seed 2024 produce a healthy mix of Masked, SDC and DUE.
+const std::filesystem::path& fixture_journal() {
+  static const std::filesystem::path path = [] {
+    const auto p = temp_dir() / "fixture.jrnl";
+    const auto app = workloads::make_benchmark("va");
+    const auto golden = campaign::run_golden(*app, config());
+    campaign::CampaignSpec spec;
+    spec.kernel = "va_k1";
+    spec.target = campaign::Target::RF;
+    spec.samples = 200;
+    spec.seed = 2024;
+    ThreadPool pool(4);
+    DurableOptions options;
+    options.journal = p;
+    options.resume = false;
+    run_durable(*app, config(), golden, spec, pool, options);
+    return p;
+  }();
+  return path;
+}
+
+std::uint64_t fnv1a(const void* data, std::size_t len) {
+  std::uint64_t hash = 14695981039346656037ULL;
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < len; ++i) {
+    hash ^= p[i];
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+TEST(Replay, ReproducesEachOutcomeClassBitIdentically) {
+  const auto contents = read_journal(fixture_journal());
+  ASSERT_TRUE(contents.has_value());
+  ASSERT_EQ(contents->version, kJournalVersion);
+  for (const fi::Outcome want :
+       {fi::Outcome::Masked, fi::Outcome::SDC, fi::Outcome::DUE}) {
+    const auto it = std::find_if(
+        contents->records.begin(), contents->records.end(),
+        [&](const JournalRecord& r) { return r.outcome == want; });
+    ASSERT_NE(it, contents->records.end()) << fi::outcome_name(want);
+    const ReplayResult res = replay_sample(fixture_journal(), it->index);
+    EXPECT_TRUE(res.matches()) << fi::outcome_name(want) << " sample " << it->index
+                               << ": outcome " << res.outcome_match << " cycles "
+                               << res.cycles_match << " fault " << res.fault_match
+                               << " signature " << res.signature_match;
+    EXPECT_EQ(res.rerun.outcome, want);
+    EXPECT_EQ(res.rerun.cycles, it->cycles);
+    if (want == fi::Outcome::SDC) {
+      EXPECT_TRUE(res.journaled.has_signature);
+      EXPECT_FALSE(res.divergent.empty());
+    } else {
+      EXPECT_TRUE(res.divergent.empty());
+    }
+  }
+}
+
+TEST(Replay, JournalCarriesProvenanceAndSignatures) {
+  // Every injected RF sample must journal where the flip landed; every SDC
+  // must journal what the corruption looked like — and nothing else may.
+  const auto contents = read_journal(fixture_journal());
+  ASSERT_TRUE(contents.has_value());
+  for (const JournalRecord& r : contents->records) {
+    if (r.injected) {
+      EXPECT_EQ(r.fault.level, fi::FaultLevel::Microarch) << "sample " << r.index;
+      EXPECT_EQ(r.fault.structure, fi::Structure::RF) << "sample " << r.index;
+      EXPECT_GE(r.fault.width, 1u) << "sample " << r.index;
+    }
+    EXPECT_EQ(r.has_signature, r.outcome == fi::Outcome::SDC)
+        << "sample " << r.index;
+    if (r.has_signature) {
+      EXPECT_TRUE(r.signature.mismatch()) << "sample " << r.index;
+    }
+  }
+}
+
+TEST(Replay, DivergentWordListRespectsCap) {
+  const auto contents = read_journal(fixture_journal());
+  ASSERT_TRUE(contents.has_value());
+  const auto it = std::find_if(
+      contents->records.begin(), contents->records.end(),
+      [](const JournalRecord& r) { return r.outcome == fi::Outcome::SDC; });
+  ASSERT_NE(it, contents->records.end());
+  const ReplayResult res = replay_sample(fixture_journal(), it->index, 1);
+  EXPECT_EQ(res.divergent.size(), 1u);
+  EXPECT_NE(res.divergent[0].golden, res.divergent[0].faulty);
+}
+
+TEST(Replay, DetectsTamperedOutcome) {
+  // Flip a journaled Masked outcome to SDC (re-fixing the record checksum so
+  // the journal still parses); the rerun must report divergence.
+  std::string bytes;
+  {
+    std::ifstream in(fixture_journal(), std::ios::binary);
+    bytes.assign(std::istreambuf_iterator<char>(in), {});
+  }
+  const auto contents = read_journal(fixture_journal());
+  ASSERT_TRUE(contents.has_value());
+  const auto it = std::find_if(
+      contents->records.begin(), contents->records.end(),
+      [](const JournalRecord& r) { return r.outcome == fi::Outcome::Masked; });
+  ASSERT_NE(it, contents->records.end());
+  const std::size_t pos =
+      static_cast<std::size_t>(it - contents->records.begin());
+  const std::size_t header_bytes =
+      bytes.size() - contents->records.size() * kRecordBytes;
+  const std::size_t off = header_bytes + pos * kRecordBytes;
+  bytes[off + 16] = static_cast<char>(fi::Outcome::SDC);
+  const auto sum = static_cast<std::uint32_t>(fnv1a(bytes.data() + off, 224));
+  std::memcpy(bytes.data() + off + 224, &sum, 4);
+  const auto tampered = temp_dir() / "tampered.jrnl";
+  {
+    std::ofstream out(tampered, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  const ReplayResult res = replay_sample(tampered, it->index);
+  EXPECT_FALSE(res.outcome_match);
+  EXPECT_FALSE(res.matches());
+  EXPECT_EQ(res.rerun.outcome, fi::Outcome::Masked);
+}
+
+TEST(Replay, ThrowsOnUnjournaledIndex) {
+  EXPECT_THROW(replay_sample(fixture_journal(), 1000000), std::runtime_error);
+}
+
+TEST(Replay, ThrowsOnMissingJournal) {
+  EXPECT_THROW(replay_sample(temp_dir() / "no_such.jrnl", 0), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace gras::orchestrator

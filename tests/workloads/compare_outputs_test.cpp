@@ -1,0 +1,129 @@
+// CorruptionSignature unit tests: compare_outputs must classify exactly like
+// the old boolean output comparison while capturing the SDC anatomy fields.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "src/workloads/workload.h"
+
+namespace gras::workloads {
+namespace {
+
+RunOutput make_output(std::initializer_list<std::vector<std::uint8_t>> buffers) {
+  RunOutput o;
+  o.outputs.assign(buffers);
+  return o;
+}
+
+std::vector<std::uint8_t> words(std::initializer_list<std::uint32_t> values) {
+  std::vector<std::uint8_t> out(values.size() * 4);
+  std::size_t i = 0;
+  for (std::uint32_t v : values) {
+    std::memcpy(out.data() + i * 4, &v, 4);
+    ++i;
+  }
+  return out;
+}
+
+TEST(CompareOutputs, IdenticalOutputsHaveNoMismatch) {
+  const RunOutput golden = make_output({words({1, 2, 3}), words({4, 5})});
+  const CorruptionSignature sig = compare_outputs(golden, golden);
+  EXPECT_FALSE(sig.mismatch());
+  EXPECT_EQ(sig.words_total, 5u);
+  EXPECT_EQ(sig.words_mismatched, 0u);
+  EXPECT_EQ(sig.buffers_affected, 0u);
+  EXPECT_EQ(sig.spatial_extent(), 0u);
+}
+
+TEST(CompareOutputs, SingleBitFlipIsLocalized) {
+  const RunOutput golden = make_output({words({10, 20, 30, 40})});
+  RunOutput faulty = golden;
+  faulty.outputs[0][9] ^= 0x04;  // word 2, byte 1 -> bit 10
+  const CorruptionSignature sig = compare_outputs(golden, faulty);
+  EXPECT_TRUE(sig.mismatch());
+  EXPECT_EQ(sig.mismatch(), faulty.outputs != golden.outputs);
+  EXPECT_EQ(sig.words_mismatched, 1u);
+  EXPECT_EQ(sig.first_word, 2u);
+  EXPECT_EQ(sig.last_word, 2u);
+  EXPECT_EQ(sig.spatial_extent(), 1u);
+  EXPECT_EQ(sig.buffers_affected, 1u);
+  std::uint64_t total_flips = 0;
+  for (unsigned b = 0; b < 32; ++b) total_flips += sig.bit_flips[b];
+  EXPECT_EQ(total_flips, 1u);
+  EXPECT_EQ(sig.bit_flips[10], 1u);
+}
+
+TEST(CompareOutputs, GlobalWordIndicesSpanBuffers) {
+  // Buffer 0 holds 3 words, so buffer 1's words start at global index 3.
+  const RunOutput golden = make_output({words({1, 2, 3}), words({4, 5, 6})});
+  RunOutput faulty = golden;
+  faulty.outputs[0][0] ^= 0xff;   // global word 0
+  faulty.outputs[1][8] ^= 0x01;   // buffer 1 word 2 -> global word 5
+  const CorruptionSignature sig = compare_outputs(golden, faulty);
+  EXPECT_EQ(sig.words_mismatched, 2u);
+  EXPECT_EQ(sig.first_word, 0u);
+  EXPECT_EQ(sig.last_word, 5u);
+  EXPECT_EQ(sig.spatial_extent(), 6u);
+  EXPECT_EQ(sig.buffers_affected, 2u);
+}
+
+TEST(CompareOutputs, TrailingPartialWordIsZeroPadded) {
+  // 6-byte buffers: word 1 is the 2-byte tail. Corrupt its last byte.
+  RunOutput golden = make_output({{1, 2, 3, 4, 5, 6}});
+  RunOutput faulty = golden;
+  faulty.outputs[0][5] = 0x66;
+  const CorruptionSignature sig = compare_outputs(golden, faulty);
+  EXPECT_EQ(sig.words_total, 2u);
+  EXPECT_EQ(sig.words_mismatched, 1u);
+  EXPECT_EQ(sig.first_word, 1u);
+}
+
+TEST(CompareOutputs, RelativeErrorOverFloatWords) {
+  const float g = 2.0f, f = 3.0f;
+  std::uint32_t gw, fw;
+  std::memcpy(&gw, &g, 4);
+  std::memcpy(&fw, &f, 4);
+  const RunOutput golden = make_output({words({gw, gw})});
+  const RunOutput faulty = make_output({words({gw, fw})});
+  const CorruptionSignature sig = compare_outputs(golden, faulty);
+  EXPECT_DOUBLE_EQ(sig.max_rel_error, 0.5);  // |3-2| / |2|
+}
+
+TEST(CompareOutputs, NanCorruptionLeavesRelErrorZero) {
+  const float g = 2.0f;
+  std::uint32_t gw;
+  std::memcpy(&gw, &g, 4);
+  const std::uint32_t nan_bits = 0x7fc00000;
+  const RunOutput golden = make_output({words({gw})});
+  const RunOutput faulty = make_output({words({nan_bits})});
+  const CorruptionSignature sig = compare_outputs(golden, faulty);
+  EXPECT_TRUE(sig.mismatch());
+  EXPECT_EQ(sig.max_rel_error, 0.0);
+}
+
+TEST(CompareOutputs, ShapeMismatchAlwaysCounts) {
+  // A missing buffer whose words were all zero pads to identical word
+  // streams; the signature must still report a mismatch so classification
+  // stays equivalent to outputs != golden.outputs.
+  const RunOutput golden = make_output({words({7}), words({0})});
+  const RunOutput faulty = make_output({words({7})});
+  ASSERT_NE(golden, faulty);
+  const CorruptionSignature sig = compare_outputs(golden, faulty);
+  EXPECT_TRUE(sig.mismatch());
+  EXPECT_GE(sig.buffers_affected, 1u);
+}
+
+TEST(CompareOutputs, SizeMismatchWithZeroTailCounts) {
+  // Same first word; faulty has two trailing zero bytes that pad to the same
+  // words. Byte-wise the buffers differ, so the signature must say mismatch.
+  const RunOutput golden = make_output({words({9})});
+  RunOutput faulty = golden;
+  faulty.outputs[0].push_back(0);
+  faulty.outputs[0].push_back(0);
+  ASSERT_NE(golden, faulty);
+  const CorruptionSignature sig = compare_outputs(golden, faulty);
+  EXPECT_TRUE(sig.mismatch());
+}
+
+}  // namespace
+}  // namespace gras::workloads

@@ -14,6 +14,14 @@
 //       --journal <path> explicit journal file (default under GRAS_JOURNAL_DIR)
 //       --no-journal     in-memory run (no crash safety)
 //   gras merge <journal>...            recombine the shards of one campaign
+//   gras anatomy <journal>...          SDC corruption-pattern report per
+//                                      campaign (v2 journals carry per-SDC
+//                                      corruption signatures)
+//   gras replay <journal> [<seed>:]<index> [--trace]
+//                                      re-execute one journaled sample
+//                                      bit-identically and diff it against
+//                                      the record; --trace dumps the fault
+//                                      site and first divergent output words
 //   gras reuse <app> <kernel>          register-reuse summary (Fig. 12)
 //
 // Targets: RF SMEM L1D L1T L2 SVF SVF-LD SVF-SRC1 SVF-REUSE.
@@ -30,12 +38,14 @@
 #include <vector>
 
 #include "src/analysis/analysis.h"
+#include "src/analysis/anatomy.h"
 #include "src/assembler/assembler.h"
 #include "src/campaign/campaign.h"
 #include "src/common/env.h"
 #include "src/common/table.h"
 #include "src/isa/disasm.h"
 #include "src/orchestrator/orchestrator.h"
+#include "src/orchestrator/replay.h"
 #include "src/workloads/workload.h"
 
 namespace {
@@ -54,6 +64,8 @@ int usage() {
                "           [--progress stderr|jsonl[=path]] [--journal path]\n"
                "           [--no-journal]\n"
                "  merge <journal>...\n"
+               "  anatomy <journal>...\n"
+               "  replay <journal> [<seed>:]<index> [--trace]\n"
                "  reuse <app> <kernel>\n"
                "apps: ");
   for (const auto& name : workloads::benchmark_names()) {
@@ -323,6 +335,105 @@ int cmd_merge(const std::vector<std::filesystem::path>& journals) {
   return 0;
 }
 
+int cmd_anatomy(const std::vector<std::filesystem::path>& journals) {
+  const auto rows = analysis::anatomy_from_journals(journals);
+  for (const auto& row : rows) {
+    std::printf("%s", analysis::render_anatomy(row).c_str());
+  }
+  return 0;
+}
+
+/// One-line description of where a journaled/re-run fault landed.
+std::string describe_fault(const fi::FaultRecord& f) {
+  char buf[160];
+  if (f.level == fi::FaultLevel::Microarch) {
+    std::snprintf(buf, sizeof buf,
+                  "%s %s sm %u site %llu bit %u width %u cycle %llu launch %u",
+                  fi::fault_level_name(f.level), fi::structure_name(f.structure),
+                  f.sm, static_cast<unsigned long long>(f.site), f.bit, f.width,
+                  static_cast<unsigned long long>(f.trigger), f.launch);
+  } else if (f.level == fi::FaultLevel::Software) {
+    std::snprintf(buf, sizeof buf,
+                  "%s %s sm %u cell %llu bit %u width %u instr %llu launch %u",
+                  fi::fault_level_name(f.level), fi::svf_mode_name(f.mode), f.sm,
+                  static_cast<unsigned long long>(f.site), f.bit, f.width,
+                  static_cast<unsigned long long>(f.trigger), f.launch);
+  } else {
+    std::snprintf(buf, sizeof buf, "none (no fault landed)");
+  }
+  return buf;
+}
+
+int cmd_replay(const std::filesystem::path& journal, const std::string& sample,
+               bool trace) {
+  // <index> or <seed>:<index>; an explicit seed must match the journal's.
+  std::uint64_t seed = 0;
+  bool has_seed = false;
+  const char* index_text = sample.c_str();
+  const std::size_t colon = sample.find(':');
+  char* end = nullptr;
+  if (colon != std::string::npos) {
+    seed = std::strtoull(sample.c_str(), &end, 10);
+    if (end != sample.c_str() + colon) {
+      std::fprintf(stderr, "gras: invalid sample spec '%s' (want [seed:]index)\n",
+                   sample.c_str());
+      return 2;
+    }
+    has_seed = true;
+    index_text = sample.c_str() + colon + 1;
+  }
+  const std::uint64_t index = std::strtoull(index_text, &end, 10);
+  if (end == index_text || *end != '\0') {
+    std::fprintf(stderr, "gras: invalid sample spec '%s' (want [seed:]index)\n",
+                 sample.c_str());
+    return 2;
+  }
+
+  const auto r = orchestrator::replay_sample(journal, index);
+  if (has_seed && seed != r.header.seed) {
+    std::fprintf(stderr, "gras: journal has seed %llu, not %llu\n",
+                 static_cast<unsigned long long>(r.header.seed),
+                 static_cast<unsigned long long>(seed));
+    return 2;
+  }
+  std::printf("%s / %s / %s seed %llu sample %llu (journal v%u)\n",
+              r.header.app.c_str(), r.header.kernel.c_str(), r.header.target.c_str(),
+              static_cast<unsigned long long>(r.header.seed),
+              static_cast<unsigned long long>(index), r.journal_version);
+  std::printf("journaled: %-7s %llu cycles\n", fi::outcome_name(r.journaled.outcome),
+              static_cast<unsigned long long>(r.journaled.cycles));
+  std::printf("re-run:    %-7s %llu cycles\n", fi::outcome_name(r.rerun.outcome),
+              static_cast<unsigned long long>(r.rerun.cycles));
+  if (trace) {
+    std::printf("fault: %s\n", describe_fault(r.rerun.fault).c_str());
+    if (r.rerun.outcome == fi::Outcome::SDC) {
+      const auto& s = r.rerun.signature;
+      std::printf("corruption: %llu/%llu words, %u buffers, extent %llu, "
+                  "max rel err %.3g\n",
+                  static_cast<unsigned long long>(s.words_mismatched),
+                  static_cast<unsigned long long>(s.words_total),
+                  s.buffers_affected,
+                  static_cast<unsigned long long>(s.spatial_extent()),
+                  s.max_rel_error);
+      for (const auto& d : r.divergent) {
+        std::printf("  word %llu: golden 0x%08x faulty 0x%08x\n",
+                    static_cast<unsigned long long>(d.word), d.golden, d.faulty);
+      }
+    }
+  }
+  if (!r.matches()) {
+    std::fprintf(stderr,
+                 "gras: replay DIVERGED from journal (%s%s%s%s) — journal written "
+                 "by a different build?\n",
+                 r.outcome_match ? "" : "outcome ", r.cycles_match ? "" : "cycles ",
+                 r.fault_match ? "" : "fault-site ",
+                 r.signature_match ? "" : "signature");
+    return 1;
+  }
+  std::printf("replay matches journal\n");
+  return 0;
+}
+
 int cmd_reuse(const std::string& app_name, const std::string& kernel_name) {
   const auto app = workloads::make_benchmark(app_name);
   const isa::Kernel& k = app->kernel(kernel_name);
@@ -381,6 +492,14 @@ int main(int argc, char** argv) {
       std::vector<std::filesystem::path> journals;
       for (int i = 2; i < argc; ++i) journals.emplace_back(argv[i]);
       return cmd_merge(journals);
+    }
+    if (cmd == "anatomy" && argc >= 3) {
+      std::vector<std::filesystem::path> journals;
+      for (int i = 2; i < argc; ++i) journals.emplace_back(argv[i]);
+      return cmd_anatomy(journals);
+    }
+    if (cmd == "replay" && (argc == 4 || (argc == 5 && !std::strcmp(argv[4], "--trace")))) {
+      return cmd_replay(argv[2], argv[3], argc == 5);
     }
     if (cmd == "reuse" && argc == 4) return cmd_reuse(argv[2], argv[3]);
   } catch (const std::exception& e) {
