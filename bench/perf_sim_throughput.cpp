@@ -24,11 +24,30 @@
 // on-disk sample journal. The journal is written by a dedicated writer
 // thread (append + fsync per batch) that overlaps simulation, so the
 // journaled run should stay within 2% of the in-memory one.
+//
+// After the google-benchmark suite, main() runs a fixed traced-vs-untraced
+// campaign pair and writes BENCH_perf_sim_throughput.json (path overridable
+// via GRAS_BENCH_JSON; pass --json-only to skip the google-benchmark suite):
+// samples/sec with tracing off (the default: Span = one relaxed atomic load)
+// and on, the enabled-tracing overhead, the cost of one disabled Span, and
+// the per-phase median span durations from the traced run on a single
+// worker thread. Compare the JSON between commits to catch observability
+// regressions without parsing human-oriented benchmark output.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
 #include <filesystem>
+#include <map>
+#include <string>
+#include <vector>
 
 #include "src/campaign/campaign.h"
+#include "src/common/build_info.h"
+#include "src/common/env.h"
+#include "src/common/metrics_registry.h"
+#include "src/common/trace.h"
 #include "src/harden/tmr.h"
 #include "src/orchestrator/orchestrator.h"
 #include "src/workloads/workload.h"
@@ -179,6 +198,145 @@ void BM_GpuConstruction(benchmark::State& state) {
 }
 BENCHMARK(BM_GpuConstruction);
 
+// ---- Machine-readable observability benchmark (BENCH_*.json) ----
+
+double wall_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct CampaignMeasurement {
+  double samples_per_sec = 0.0;
+  double wall_sec = 0.0;
+};
+
+/// One fixed journaled campaign on a single worker thread (so every phase
+/// span lands on the caller and phase attribution is deterministic).
+CampaignMeasurement run_fixed_campaign(const workloads::App& app,
+                                       const campaign::GoldenRun& golden,
+                                       std::uint64_t samples) {
+  campaign::CampaignSpec spec;
+  spec.kernel = "hotspot_k1";
+  spec.target = campaign::Target::RF;
+  spec.samples = samples;
+  ThreadPool pool(1);
+  orchestrator::DurableOptions options;
+  options.journaled = true;
+  options.resume = false;
+  options.journal =
+      std::filesystem::temp_directory_path() / "gras_bench_obs_journal.jrnl";
+  const double begin = wall_seconds();
+  const auto r = orchestrator::run_durable(app, config(), golden, spec, pool, options);
+  const double elapsed = wall_seconds() - begin;
+  std::error_code ec;
+  std::filesystem::remove(options.journal, ec);
+  CampaignMeasurement m;
+  m.wall_sec = elapsed;
+  m.samples_per_sec =
+      elapsed > 0 ? static_cast<double>(r.executed) / elapsed : 0.0;
+  return m;
+}
+
+/// Median duration (microseconds) per span name over the recorded trace.
+std::map<std::string, double> phase_median_us(std::vector<trace::Event> events) {
+  std::map<std::string, std::vector<std::uint64_t>> durs;
+  for (const trace::Event& e : events) durs[e.name].push_back(e.dur_ns);
+  std::map<std::string, double> out;
+  for (auto& [name, d] : durs) {
+    std::nth_element(d.begin(), d.begin() + static_cast<std::ptrdiff_t>(d.size() / 2),
+                     d.end());
+    out[name] = static_cast<double>(d[d.size() / 2]) / 1000.0;
+  }
+  return out;
+}
+
+/// Cost of one Span while tracing is disabled — the price every campaign
+/// pays for having the instrumentation compiled in.
+double disabled_span_cost_ns() {
+  constexpr int kSpans = 1 << 20;
+  const double begin = wall_seconds();
+  for (int i = 0; i < kSpans; ++i) {
+    const trace::Span span("bench.disabled", "bench");
+    benchmark::DoNotOptimize(&span);
+  }
+  return (wall_seconds() - begin) * 1e9 / kSpans;
+}
+
+int emit_bench_json() {
+  const auto app = workloads::make_benchmark("hotspot");
+  const auto golden =
+      campaign::run_golden(*app, config(), campaign::Checkpointing::On);
+  constexpr std::uint64_t kSamples = 96;
+
+  run_fixed_campaign(*app, golden, kSamples);  // warm-up (page cache, allocator)
+  trace::reset();
+  const CampaignMeasurement untraced = run_fixed_campaign(*app, golden, kSamples);
+
+  trace::start();
+  const CampaignMeasurement traced = run_fixed_campaign(*app, golden, kSamples);
+  trace::stop();
+  const std::vector<trace::Event> events = trace::collect();
+  const auto medians = phase_median_us(events);
+  std::uint64_t traced_self_ns = 0;
+  for (const auto& p : trace::phase_totals(events)) traced_self_ns += p.self_ns;
+
+  const double span_ns = disabled_span_cost_ns();
+  const double overhead_pct =
+      untraced.samples_per_sec > 0
+          ? 100.0 * (1.0 - traced.samples_per_sec / untraced.samples_per_sec)
+          : 0.0;
+
+  const std::string path =
+      env_str("GRAS_BENCH_JSON", "BENCH_perf_sim_throughput.json");
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write '%s'\n", path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"perf_sim_throughput\",\n");
+  std::fprintf(f, "  \"build\": %s,\n", build_json().c_str());
+  std::fprintf(f, "  \"campaign_samples\": %llu,\n",
+               static_cast<unsigned long long>(kSamples));
+  std::fprintf(f, "  \"samples_per_sec_untraced\": %.2f,\n", untraced.samples_per_sec);
+  std::fprintf(f, "  \"samples_per_sec_traced\": %.2f,\n", traced.samples_per_sec);
+  std::fprintf(f, "  \"trace_enabled_overhead_pct\": %.2f,\n", overhead_pct);
+  std::fprintf(f, "  \"disabled_span_cost_ns\": %.2f,\n", span_ns);
+  std::fprintf(f, "  \"traced_wall_ms\": %.3f,\n", traced.wall_sec * 1e3);
+  std::fprintf(f, "  \"traced_self_total_ms\": %.3f,\n",
+               static_cast<double>(traced_self_ns) / 1e6);
+  std::fprintf(f, "  \"phase_median_us\": {");
+  bool first = true;
+  for (const auto& [name, us] : medians) {
+    std::fprintf(f, "%s\n    \"%s\": %.3f", first ? "" : ",", name.c_str(), us);
+    first = false;
+  }
+  std::fprintf(f, "\n  }\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // --json-only: skip the google-benchmark suite and only write the JSON
+  // summary (what the CI smoke job runs).
+  bool json_only = false;
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--json-only") {
+      json_only = true;
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  argc = kept;
+  if (!json_only) {
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+  }
+  return emit_bench_json();
+}

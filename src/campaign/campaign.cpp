@@ -7,6 +7,7 @@
 
 #include "src/common/env.h"
 #include "src/common/rng.h"
+#include "src/common/trace.h"
 #include "src/fi/injectors.h"
 
 namespace gras::campaign {
@@ -292,15 +293,23 @@ SampleResult run_sample(const workloads::App& app, const GoldenRun& golden,
 
   workloads::RunOutput out;
   if (resume.snap != nullptr) {
-    workspace.restore(*resume.snap, golden.launches);
+    {
+      const trace::Span span("restore", "phase");
+      workspace.restore(*resume.snap, golden.launches);
+    }
     workspace.set_launch_budgets(golden.budgets, golden.overflow_budget);
     if (hook) workspace.set_fault_hook(hook.hook.get());
+    const trace::Span span("execute", "phase", "resume_launch", resume.launch);
     out = workloads::replay_app(app, workspace, golden.checkpoints->trace,
                                 resume.launch, golden.launches);
   } else {
-    workspace.reset();
+    {
+      const trace::Span span("restore", "phase");
+      workspace.reset();
+    }
     workspace.set_launch_budgets(golden.budgets, golden.overflow_budget);
     if (hook) workspace.set_fault_hook(hook.hook.get());
+    const trace::Span span("execute", "phase");
     out = workloads::run_app(app, workspace);
   }
 
@@ -310,12 +319,18 @@ SampleResult run_sample(const workloads::App& app, const GoldenRun& golden,
   if (hook) result.fault = *hook.record;
 
   if (out.trap == sim::TrapKind::Watchdog) {
+    const trace::Span span("classify", "phase");
     result.outcome = fi::Outcome::Timeout;
   } else if (out.trap != sim::TrapKind::None) {
+    const trace::Span span("classify", "phase");
     result.outcome = fi::Outcome::DUE;
   } else {
-    const workloads::CorruptionSignature sig =
-        workloads::compare_outputs(golden.output, out);
+    workloads::CorruptionSignature sig;
+    {
+      const trace::Span span("compare", "phase");
+      sig = workloads::compare_outputs(golden.output, out);
+    }
+    const trace::Span span("classify", "phase");
     if (sig.mismatch()) {
       result.outcome = fi::Outcome::SDC;
       result.signature = sig;

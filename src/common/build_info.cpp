@@ -1,0 +1,77 @@
+#include "src/common/build_info.h"
+
+// CMake injects GRAS_GIT_SHA / GRAS_BUILD_TYPE / GRAS_CXX_FLAGS on this
+// translation unit only (set_source_files_properties), so touching the git
+// HEAD never rebuilds anything but this file.
+#ifndef GRAS_GIT_SHA
+#define GRAS_GIT_SHA "unknown"
+#endif
+#ifndef GRAS_BUILD_TYPE
+#define GRAS_BUILD_TYPE "unknown"
+#endif
+#ifndef GRAS_CXX_FLAGS
+#define GRAS_CXX_FLAGS ""
+#endif
+
+#if defined(__clang__)
+#define GRAS_COMPILER "clang " __clang_version__
+#elif defined(__GNUC__)
+#define GRAS_COMPILER "gcc " __VERSION__
+#else
+#define GRAS_COMPILER "unknown"
+#endif
+
+namespace gras {
+namespace {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      out += ' ';
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+const BuildInfo& build_info() noexcept {
+  static const BuildInfo info{GRAS_GIT_SHA, GRAS_COMPILER, GRAS_BUILD_TYPE,
+                              GRAS_CXX_FLAGS};
+  return info;
+}
+
+std::string build_summary() {
+  const BuildInfo& b = build_info();
+  std::string out = "gras ";
+  out += b.git_sha;
+  out += ' ';
+  out += b.build_type;
+  out += " (";
+  out += b.compiler;
+  out += ')';
+  return out;
+}
+
+std::string build_json() {
+  const BuildInfo& b = build_info();
+  std::string out = "{\"git_sha\":\"";
+  out += json_escape(b.git_sha);
+  out += "\",\"compiler\":\"";
+  out += json_escape(b.compiler);
+  out += "\",\"build_type\":\"";
+  out += json_escape(b.build_type);
+  out += "\",\"flags\":\"";
+  out += json_escape(b.flags);
+  out += "\"}";
+  return out;
+}
+
+}  // namespace gras

@@ -1,0 +1,34 @@
+// Build provenance stamped into the binary at compile time, so every
+// campaign artifact (journal header, trace file, JSONL progress stream,
+// BENCH_*.json) is attributable to the exact binary that produced it.
+//
+// The git SHA, build type and flags are injected by CMake as compile
+// definitions on build_info.cpp only (see src/common/CMakeLists.txt); when
+// the source tree is not a git checkout they fall back to "unknown". The
+// SHA is captured at configure time — rebuilding after new commits without
+// re-running CMake can leave it one configure behind, which the "-dirty"
+// suffix (uncommitted changes at configure time) makes visible.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace gras {
+
+struct BuildInfo {
+  std::string_view git_sha;     ///< short SHA, "-dirty" suffixed; "unknown" outside git
+  std::string_view compiler;    ///< e.g. "gcc 13.2.0"
+  std::string_view build_type;  ///< CMAKE_BUILD_TYPE, e.g. "Release"
+  std::string_view flags;       ///< CXX flags the build type compiled with
+};
+
+const BuildInfo& build_info() noexcept;
+
+/// One-line summary: "gras <sha> <build_type> <compiler>" — the form
+/// embedded in journal headers and printed by `gras --version`.
+std::string build_summary();
+
+/// The same fields as one JSON object (trace files, BENCH_*.json).
+std::string build_json();
+
+}  // namespace gras

@@ -29,5 +29,10 @@ std::string env_journal_dir() {
   return env_str("GRAS_JOURNAL_DIR", env_cache_dir() + "/journals");
 }
 bool env_journal_fsync() { return env_u64("GRAS_JOURNAL_FSYNC", 1) != 0; }
+std::string env_trace_path() {
+  std::string path = env_str("GRAS_TRACE", "");
+  if (path == "0") path.clear();
+  return path;
+}
 
 }  // namespace gras

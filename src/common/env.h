@@ -12,6 +12,13 @@
 //   GRAS_JOURNAL_FSYNC   0 disables the per-batch fsync of sample journals
 //                        (faster, but a power cut may lose the tail; a plain
 //                        SIGKILL still loses nothing)
+//   GRAS_TRACE           path to write a Chrome/Perfetto trace-event JSON
+//                        file at campaign end; unset/empty/"0" (default)
+//                        disables tracing entirely (span cost: one relaxed
+//                        atomic load). The CLI --trace flag sets this.
+//   GRAS_TRACE_BUF       trace span slots per thread (default 262144 = 2^18,
+//                        24 bytes each); overflow drops spans and counts
+//                        them in the trace's otherData.dropped
 #pragma once
 
 #include <cstdint>
@@ -38,5 +45,8 @@ std::string env_cache_dir(const std::string& fallback = ".gras_cache");
 std::string env_journal_dir();
 /// False only when GRAS_JOURNAL_FSYNC is set to 0.
 bool env_journal_fsync();
+/// GRAS_TRACE output path; empty string when tracing is disabled
+/// (unset, empty, or the literal "0").
+std::string env_trace_path();
 
 }  // namespace gras

@@ -1,0 +1,193 @@
+#include "src/common/metrics_registry.h"
+
+#include <bit>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <variant>
+
+namespace gras::telemetry {
+
+void Histogram::observe(std::uint64_t v) noexcept {
+  const auto b = static_cast<std::size_t>(std::bit_width(v));  // 0..64
+  buckets_[b < kBuckets ? b : kBuckets - 1].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+  std::uint64_t seen = max_.load(std::memory_order_relaxed);
+  while (v > seen && !max_.compare_exchange_weak(seen, v, std::memory_order_relaxed)) {
+  }
+}
+
+double Histogram::mean() const noexcept {
+  const std::uint64_t n = count();
+  return n == 0 ? 0.0 : static_cast<double>(sum()) / static_cast<double>(n);
+}
+
+std::uint64_t Histogram::quantile(double q) const noexcept {
+  const std::uint64_t n = count();
+  if (n == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the q-quantile in a population of n (1-based, ceil convention).
+  std::uint64_t rank = static_cast<std::uint64_t>(q * static_cast<double>(n));
+  if (rank == 0) rank = 1;
+  if (rank > n) rank = n;
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    seen += buckets_[b].load(std::memory_order_relaxed);
+    if (seen >= rank) {
+      // Bucket b holds values with bit_width == b: upper bound 2^b - 1.
+      return b >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << b) - 1;
+    }
+  }
+  return max();
+}
+
+void Histogram::reset() noexcept {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+struct Registry::Impl {
+  using Metric = std::variant<std::unique_ptr<Counter>, std::unique_ptr<Gauge>,
+                              std::unique_ptr<Histogram>>;
+  mutable std::mutex mu;
+  std::map<std::string, Metric, std::less<>> metrics;
+};
+
+Registry& Registry::instance() {
+  static Registry* r = new Registry;  // leaky: outlives every worker thread
+  return *r;
+}
+
+Registry::Impl* Registry::impl() {
+  static Impl* i = new Impl;
+  return i;
+}
+
+const Registry::Impl* Registry::impl() const {
+  return const_cast<Registry*>(this)->impl();
+}
+
+namespace {
+
+template <typename T>
+T& get_or_create(Registry::Impl& impl, std::string_view name, const char* kind) {
+  const std::lock_guard<std::mutex> lock(impl.mu);
+  auto it = impl.metrics.find(name);
+  if (it == impl.metrics.end()) {
+    it = impl.metrics
+             .emplace(std::string(name), std::make_unique<T>())
+             .first;
+  }
+  auto* slot = std::get_if<std::unique_ptr<T>>(&it->second);
+  if (slot == nullptr) {
+    throw std::logic_error("metric '" + std::string(name) +
+                           "' already registered as a different kind than " + kind);
+  }
+  return **slot;
+}
+
+}  // namespace
+
+Counter& Registry::counter(std::string_view name) {
+  return get_or_create<Counter>(*impl(), name, "counter");
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  return get_or_create<Gauge>(*impl(), name, "gauge");
+}
+
+Histogram& Registry::histogram(std::string_view name) {
+  return get_or_create<Histogram>(*impl(), name, "histogram");
+}
+
+std::vector<MetricValue> Registry::snapshot() const {
+  const Impl& i = *impl();
+  const std::lock_guard<std::mutex> lock(i.mu);
+  std::vector<MetricValue> out;
+  out.reserve(i.metrics.size());
+  for (const auto& [name, metric] : i.metrics) {
+    MetricValue v;
+    v.name = name;
+    if (const auto* c = std::get_if<std::unique_ptr<Counter>>(&metric)) {
+      v.kind = MetricValue::Kind::Counter;
+      v.value = static_cast<std::int64_t>((*c)->value());
+    } else if (const auto* g = std::get_if<std::unique_ptr<Gauge>>(&metric)) {
+      v.kind = MetricValue::Kind::Gauge;
+      v.value = (*g)->value();
+    } else {
+      const Histogram& h = *std::get<std::unique_ptr<Histogram>>(metric);
+      v.kind = MetricValue::Kind::Histogram;
+      v.value = static_cast<std::int64_t>(h.count());
+      v.sum = h.sum();
+      v.p50 = h.quantile(0.5);
+      v.p99 = h.quantile(0.99);
+      v.max = h.max();
+    }
+    out.push_back(std::move(v));
+  }
+  return out;  // std::map iteration is already name-sorted
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> Registry::flat_snapshot() const {
+  std::vector<std::pair<std::string, std::uint64_t>> out;
+  for (const MetricValue& v : snapshot()) {
+    switch (v.kind) {
+      case MetricValue::Kind::Counter:
+        out.emplace_back(v.name, static_cast<std::uint64_t>(v.value));
+        break;
+      case MetricValue::Kind::Gauge:
+        out.emplace_back(v.name, v.value < 0 ? 0 : static_cast<std::uint64_t>(v.value));
+        break;
+      case MetricValue::Kind::Histogram:
+        out.emplace_back(v.name + ".count", static_cast<std::uint64_t>(v.value));
+        out.emplace_back(v.name + ".sum", v.sum);
+        out.emplace_back(v.name + ".p50", v.p50);
+        out.emplace_back(v.name + ".p99", v.p99);
+        out.emplace_back(v.name + ".max", v.max);
+        break;
+    }
+  }
+  return out;
+}
+
+std::string Registry::snapshot_json() const {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [name, value] : flat_snapshot()) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += name;  // names are [a-z0-9._-] by convention: no escaping needed
+    out += "\":";
+    out += std::to_string(value);
+  }
+  out += '}';
+  return out;
+}
+
+void Registry::reset() {
+  Impl& i = *impl();
+  const std::lock_guard<std::mutex> lock(i.mu);
+  for (auto& [name, metric] : i.metrics) {
+    if (auto* c = std::get_if<std::unique_ptr<Counter>>(&metric)) {
+      (*c)->reset();
+    } else if (auto* g = std::get_if<std::unique_ptr<Gauge>>(&metric)) {
+      (*g)->reset();
+    } else {
+      std::get<std::unique_ptr<Histogram>>(metric)->reset();
+    }
+  }
+}
+
+Counter& counter(std::string_view name) { return Registry::instance().counter(name); }
+Gauge& gauge(std::string_view name) { return Registry::instance().gauge(name); }
+Histogram& histogram(std::string_view name) {
+  return Registry::instance().histogram(name);
+}
+
+}  // namespace gras::telemetry

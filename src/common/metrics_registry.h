@@ -1,0 +1,125 @@
+// Process-wide runtime telemetry: named counters, gauges and histograms.
+//
+// Complements trace.h: spans answer "where does wall-clock go", the
+// registry answers "how much work happened" — simulated cycles, cache
+// traffic, injector arms/give-ups, journal records and fsyncs, pool tasks.
+// Metrics are always on: one relaxed atomic add per event, cheap enough
+// that campaign throughput is unaffected (the fed events are per-launch or
+// per-sample, never per-cycle).
+//
+// Names are static, lower-case, dot-separated ("journal.fsyncs"); the first
+// component names the subsystem. Hot paths must cache the reference
+// returned by counter()/gauge()/histogram() (a function-local static is the
+// usual idiom) — registration takes a lock, updates do not. Registered
+// references stay valid for the life of the process; reset() zeroes values
+// but never invalidates references.
+//
+// Not part of this registry: the paper's AVF/SVF reliability metrics (see
+// src/metrics/) — those are results, these are runtime introspection.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gras::telemetry {
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept { v_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const noexcept { return v_.load(std::memory_order_relaxed); }
+  void reset() noexcept { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Last-write-wins instantaneous value (e.g. worker count, queue depth).
+class Gauge {
+ public:
+  void set(std::int64_t v) noexcept { v_.store(v, std::memory_order_relaxed); }
+  std::int64_t value() const noexcept { return v_.load(std::memory_order_relaxed); }
+  void reset() noexcept { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+};
+
+/// Log2-bucketed distribution of non-negative samples. observe() is two
+/// relaxed adds plus an atomic max; quantiles come back as the upper bound
+/// of the containing power-of-two bucket (coarse by design — these feed
+/// dashboards, not statistics).
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 64;  ///< bucket i holds v with bit_width(v) == i
+
+  void observe(std::uint64_t v) noexcept;
+
+  std::uint64_t count() const noexcept { return count_.load(std::memory_order_relaxed); }
+  std::uint64_t sum() const noexcept { return sum_.load(std::memory_order_relaxed); }
+  std::uint64_t max() const noexcept { return max_.load(std::memory_order_relaxed); }
+  double mean() const noexcept;
+  /// Upper bound of the bucket containing quantile `q` in [0, 1]; 0 when empty.
+  std::uint64_t quantile(double q) const noexcept;
+  void reset() noexcept;
+
+ private:
+  std::atomic<std::uint64_t> buckets_[kBuckets] = {};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> max_{0};
+};
+
+/// One registry entry flattened for snapshots/export.
+struct MetricValue {
+  enum class Kind : std::uint8_t { Counter, Gauge, Histogram };
+  std::string name;
+  Kind kind = Kind::Counter;
+  std::int64_t value = 0;      ///< counter/gauge value; histogram count
+  std::uint64_t sum = 0;       ///< histogram only
+  std::uint64_t p50 = 0, p99 = 0, max = 0;  ///< histogram only
+};
+
+/// The process-wide registry. Thread-safe; a leaky singleton so metric
+/// updates from late-exiting threads never touch a destroyed object.
+class Registry {
+ public:
+  static Registry& instance();
+
+  /// Returns the metric registered under `name`, creating it on first use.
+  /// Throws std::logic_error when `name` is already registered as a
+  /// different metric kind.
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  /// Every registered metric, sorted by name.
+  std::vector<MetricValue> snapshot() const;
+  /// Snapshot flattened to (name, value) scalars, sorted by name: counters
+  /// and gauges one entry each (gauges clamped at 0), histograms expanded to
+  /// name.count/.sum/.p50/.p99/.max. Feeds trace "C" events and JSONL.
+  std::vector<std::pair<std::string, std::uint64_t>> flat_snapshot() const;
+  /// flat_snapshot() as one JSON object: {"sim.cycles":123,...}.
+  std::string snapshot_json() const;
+
+  /// Zeroes every metric (references stay valid). Benches and tests call
+  /// this between campaigns to get per-run deltas.
+  void reset();
+
+  struct Impl;  ///< public only so the .cpp's file-local helpers can name it
+
+ private:
+  Registry() = default;
+  Impl* impl();
+  const Impl* impl() const;
+};
+
+/// Shorthands for Registry::instance().counter(name) etc.
+Counter& counter(std::string_view name);
+Gauge& gauge(std::string_view name);
+Histogram& histogram(std::string_view name);
+
+}  // namespace gras::telemetry

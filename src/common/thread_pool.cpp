@@ -1,8 +1,33 @@
 #include "src/common/thread_pool.h"
 
 #include <exception>
+#include <string>
+
+#if defined(__linux__) || defined(__APPLE__)
+#include <pthread.h>
+#endif
+
+#include "src/common/metrics_registry.h"
+#include "src/common/trace.h"
 
 namespace gras {
+namespace {
+
+thread_local std::size_t t_worker_index = 0;
+
+// Kernel thread names (comm) are capped at 15 chars + NUL on Linux;
+// "gras-worker-99" fits, longer indices get truncated rather than dropped.
+void name_os_thread(const std::string& name) {
+#if defined(__linux__)
+  pthread_setname_np(pthread_self(), name.substr(0, 15).c_str());
+#elif defined(__APPLE__)
+  pthread_setname_np(name.substr(0, 15).c_str());
+#else
+  (void)name;
+#endif
+}
+
+}  // namespace
 
 struct ThreadPool::Batch {
   std::size_t count = 0;
@@ -20,7 +45,10 @@ struct ThreadPool::Batch {
     for (;;) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= count) return;
+      static telemetry::Counter& tasks = telemetry::counter("pool.tasks");
+      tasks.add();
       try {
+        const trace::Span span("pool.task", "pool", "iteration", i);
         (*body)(i);
       } catch (...) {
         std::lock_guard lock(error_m);
@@ -43,9 +71,18 @@ ThreadPool::ThreadPool(std::size_t threads) {
   const std::size_t spawned = threads > 1 ? threads - 1 : 0;
   workers_.reserve(spawned);
   for (std::size_t i = 0; i < spawned; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] {
+      const std::string name = "gras-worker-" + std::to_string(i + 1);
+      t_worker_index = i + 1;
+      name_os_thread(name);
+      trace::set_thread_name(name);
+      worker_loop();
+    });
   }
+  telemetry::gauge("pool.workers").set(static_cast<std::int64_t>(spawned) + 1);
 }
+
+std::size_t ThreadPool::worker_index() noexcept { return t_worker_index; }
 
 ThreadPool::~ThreadPool() {
   {
@@ -78,6 +115,8 @@ void ThreadPool::worker_loop() {
 void ThreadPool::parallel_for(std::size_t count,
                               const std::function<void(std::size_t)>& body) {
   if (count == 0) return;
+  static telemetry::Counter& batches = telemetry::counter("pool.batches");
+  batches.add();
   auto batch = std::make_shared<Batch>();
   batch->count = count;
   batch->body = &body;

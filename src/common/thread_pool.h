@@ -29,6 +29,11 @@ class ThreadPool {
 
   std::size_t thread_count() const noexcept { return workers_.size(); }
 
+  /// Worker ordinal of the calling thread: 0 for any thread that submits
+  /// work (the caller participates in parallel_for), 1..N for the pool's
+  /// spawned workers ("gras-worker-N"). Stable for the thread's lifetime.
+  static std::size_t worker_index() noexcept;
+
   /// Runs body(i) for i in [0, count). Blocks until all iterations finish.
   /// The calling thread participates in the work. Iterations are handed out
   /// through an atomic counter, so ordering is nondeterministic — bodies

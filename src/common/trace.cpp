@@ -1,0 +1,459 @@
+#include "src/common/trace.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "src/common/build_info.h"
+#include "src/common/env.h"
+#include "src/common/metrics_registry.h"
+#include "src/common/table.h"
+
+namespace gras::trace {
+namespace {
+
+/// One slot of a thread's ring buffer: pointers to static strings only, so
+/// recording never allocates.
+struct RawEvent {
+  const char* name;
+  const char* cat;
+  const char* arg_name;  ///< null when the span carried no argument
+  std::uint64_t arg;
+  std::uint64_t start_ns;
+  std::uint64_t dur_ns;
+};
+
+/// Single-producer (owning thread) / snapshot-consumer (collect) buffer.
+/// The owner appends at slots[count] and publishes with a release store;
+/// collect() reads count with acquire and only touches published slots.
+struct ThreadBuffer {
+  std::vector<RawEvent> slots;  ///< sized once, on the owner's first record
+  std::atomic<std::size_t> count{0};
+  std::atomic<std::uint64_t> dropped{0};
+  std::uint32_t tid = 0;
+  std::mutex name_mu;
+  std::string name;
+};
+
+struct Global {
+  std::atomic<bool> enabled{false};
+  std::atomic<std::uint64_t> epoch_ns{0};
+  std::size_t capacity;
+  std::mutex mu;  ///< guards buffers/next_tid (registration + collect only)
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  std::uint32_t next_tid = 1;
+
+  Global() : capacity(static_cast<std::size_t>(env_u64("GRAS_TRACE_BUF", 1u << 18))) {
+    if (capacity == 0) capacity = 1;
+  }
+};
+
+Global& g() {
+  static Global* global = new Global;  // leaky: worker threads may outlive main
+  return *global;
+}
+
+std::uint64_t steady_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+ThreadBuffer& local_buffer() {
+  thread_local std::shared_ptr<ThreadBuffer> buf = [] {
+    auto b = std::make_shared<ThreadBuffer>();
+    Global& gl = g();
+    const std::lock_guard<std::mutex> lock(gl.mu);
+    b->tid = gl.next_tid++;
+    gl.buffers.push_back(b);
+    return b;
+  }();
+  return *buf;
+}
+
+void record(const char* name, const char* cat, const char* arg_name,
+            std::uint64_t arg, std::uint64_t start, std::uint64_t dur) {
+  ThreadBuffer& b = local_buffer();
+  if (b.slots.empty()) b.slots.resize(g().capacity);  // owner thread only
+  const std::size_t n = b.count.load(std::memory_order_relaxed);
+  if (n >= b.slots.size()) {
+    b.dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  b.slots[n] = RawEvent{name, cat, arg_name, arg, start, dur};
+  b.count.store(n + 1, std::memory_order_release);
+}
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      out += ' ';
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+/// Orders events into per-thread nesting order: a parent sorts before its
+/// children (same start: longer first).
+void sort_events(std::vector<Event>& events) {
+  std::sort(events.begin(), events.end(), [](const Event& a, const Event& b) {
+    if (a.tid != b.tid) return a.tid < b.tid;
+    if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
+    return a.dur_ns > b.dur_ns;
+  });
+}
+
+// ---- Trace-file parsing helpers (line-oriented over our own writer). ----
+
+/// Value of `"key":"..."` in `line` (JSON-unescaped), or nullopt.
+std::optional<std::string> find_str(const std::string& line, const char* key) {
+  const std::string pat = std::string("\"") + key + "\":\"";
+  const std::size_t at = line.find(pat);
+  if (at == std::string::npos) return std::nullopt;
+  std::string out;
+  for (std::size_t i = at + pat.size(); i < line.size(); ++i) {
+    const char c = line[i];
+    if (c == '\\' && i + 1 < line.size()) {
+      out += line[++i];
+    } else if (c == '"') {
+      return out;
+    } else {
+      out += c;
+    }
+  }
+  return std::nullopt;
+}
+
+/// Value of `"key":<number>` in `line`, or nullopt.
+std::optional<double> find_num(const std::string& line, const char* key) {
+  const std::string pat = std::string("\"") + key + "\":";
+  const std::size_t at = line.find(pat);
+  if (at == std::string::npos) return std::nullopt;
+  const char* begin = line.c_str() + at + pat.size();
+  char* end = nullptr;
+  const double v = std::strtod(begin, &end);
+  if (end == begin) return std::nullopt;
+  return v;
+}
+
+std::uint64_t us_to_ns(double us) {
+  return us <= 0 ? 0 : static_cast<std::uint64_t>(std::llround(us * 1000.0));
+}
+
+}  // namespace
+
+bool enabled() noexcept {
+  return g().enabled.load(std::memory_order_relaxed);
+}
+
+void start() {
+  Global& gl = g();
+  {
+    const std::lock_guard<std::mutex> lock(gl.mu);
+    for (const auto& b : gl.buffers) {
+      b->count.store(0, std::memory_order_relaxed);
+      b->dropped.store(0, std::memory_order_relaxed);
+    }
+  }
+  gl.epoch_ns.store(steady_ns(), std::memory_order_relaxed);
+  gl.enabled.store(true, std::memory_order_release);
+}
+
+void stop() { g().enabled.store(false, std::memory_order_release); }
+
+void reset() {
+  Global& gl = g();
+  gl.enabled.store(false, std::memory_order_release);
+  const std::lock_guard<std::mutex> lock(gl.mu);
+  for (const auto& b : gl.buffers) {
+    b->count.store(0, std::memory_order_relaxed);
+    b->dropped.store(0, std::memory_order_relaxed);
+  }
+}
+
+std::uint64_t now_ns() noexcept {
+  const std::uint64_t epoch = g().epoch_ns.load(std::memory_order_relaxed);
+  if (epoch == 0) return 0;
+  return steady_ns() - epoch;
+}
+
+std::uint64_t dropped_events() noexcept {
+  Global& gl = g();
+  const std::lock_guard<std::mutex> lock(gl.mu);
+  std::uint64_t total = 0;
+  for (const auto& b : gl.buffers) total += b->dropped.load(std::memory_order_relaxed);
+  return total;
+}
+
+void set_thread_name(const std::string& name) {
+  ThreadBuffer& b = local_buffer();
+  const std::lock_guard<std::mutex> lock(b.name_mu);
+  b.name = name;
+}
+
+Span::Span(const char* name, const char* cat, const char* arg_name,
+           std::uint64_t arg) noexcept
+    : name_(nullptr), cat_(cat), arg_name_(arg_name), arg_(arg), start_(0) {
+  if (!enabled()) return;
+  name_ = name;
+  start_ = now_ns();
+}
+
+Span::~Span() {
+  if (name_ == nullptr) return;
+  record(name_, cat_, arg_name_, arg_, start_, now_ns() - start_);
+}
+
+std::vector<Event> collect() {
+  Global& gl = g();
+  std::vector<Event> out;
+  {
+    const std::lock_guard<std::mutex> lock(gl.mu);
+    for (const auto& b : gl.buffers) {
+      const std::size_t n = b->count.load(std::memory_order_acquire);
+      std::string label;
+      {
+        const std::lock_guard<std::mutex> name_lock(b->name_mu);
+        label = b->name;
+      }
+      if (label.empty()) label = "thread-" + std::to_string(b->tid);
+      for (std::size_t i = 0; i < n; ++i) {
+        const RawEvent& raw = b->slots[i];
+        Event e;
+        e.name = raw.name;
+        e.cat = raw.cat;
+        e.thread = label;
+        e.tid = b->tid;
+        e.start_ns = raw.start_ns;
+        e.dur_ns = raw.dur_ns;
+        if (raw.arg_name != nullptr) e.arg_name = raw.arg_name;
+        e.arg = raw.arg;
+        out.push_back(std::move(e));
+      }
+    }
+  }
+  sort_events(out);
+  return out;
+}
+
+std::string to_json(std::span<const Event> events) {
+  std::string out;
+  out += "{\"displayTimeUnit\":\"ns\",\n";
+  out += "\"otherData\":{\"build\":\"" + json_escape(build_summary()) +
+         "\",\"dropped\":" + std::to_string(dropped_events()) + "},\n";
+  out += "\"traceEvents\":[\n";
+  char buf[256];
+  bool first = true;
+  const auto emit = [&](const std::string& line) {
+    if (!first) out += ",\n";
+    first = false;
+    out += line;
+  };
+  const int pid = static_cast<int>(::getpid());
+
+  // Thread-name metadata first, one per distinct tid. Every event object —
+  // metadata and counters included — carries ph/ts/pid/tid/name so schema
+  // validators can treat the stream uniformly.
+  std::uint32_t last_tid = ~std::uint32_t{0};
+  for (const Event& e : events) {  // events are tid-sorted
+    if (e.tid == last_tid) continue;
+    last_tid = e.tid;
+    std::snprintf(buf, sizeof buf,
+                  "{\"ph\":\"M\",\"ts\":0,\"pid\":%d,\"tid\":%u,"
+                  "\"name\":\"thread_name\",\"args\":{\"name\":\"%s\"}}",
+                  pid, e.tid, json_escape(e.thread).c_str());
+    emit(buf);
+  }
+  for (const Event& e : events) {
+    std::snprintf(buf, sizeof buf,
+                  "{\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":%d,\"tid\":%u,"
+                  "\"name\":\"%s\",\"cat\":\"%s\"",
+                  static_cast<double>(e.start_ns) / 1000.0,
+                  static_cast<double>(e.dur_ns) / 1000.0, pid, e.tid,
+                  json_escape(e.name).c_str(), json_escape(e.cat).c_str());
+    std::string line = buf;
+    if (!e.arg_name.empty()) {
+      std::snprintf(buf, sizeof buf, ",\"args\":{\"%s\":%" PRIu64 "}",
+                    json_escape(e.arg_name).c_str(), e.arg);
+      line += buf;
+    }
+    line += '}';
+    emit(line);
+  }
+  // Final value of every registry metric, as counter events: a Perfetto
+  // track per counter, and the raw material of the `gras stats` table.
+  const std::uint64_t ts = now_ns();
+  for (const auto& [name, value] : telemetry::Registry::instance().flat_snapshot()) {
+    std::snprintf(buf, sizeof buf,
+                  "{\"ph\":\"C\",\"ts\":%.3f,\"pid\":%d,\"tid\":0,\"name\":\"%s\","
+                  "\"args\":{\"value\":%" PRIu64 "}}",
+                  static_cast<double>(ts) / 1000.0, pid, json_escape(name).c_str(),
+                  value);
+    emit(buf);
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+bool write_file(const std::filesystem::path& path) {
+  const std::vector<Event> events = collect();
+  const std::string json = to_json(events);
+  std::FILE* f = std::fopen(path.string().c_str(), "w");
+  if (f == nullptr) return false;
+  const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+std::vector<PhaseTotal> phase_totals(std::span<const Event> events) {
+  std::map<std::string, PhaseTotal> agg;
+  struct Open {
+    const Event* event;
+    std::uint64_t end_ns;
+    std::uint64_t child_ns = 0;
+  };
+  std::vector<Open> stack;
+  const auto finalize = [&](const Open& open) {
+    const std::uint64_t nested = std::min(open.child_ns, open.event->dur_ns);
+    agg[open.event->name].self_ns += open.event->dur_ns - nested;
+  };
+  std::uint32_t tid = ~std::uint32_t{0};
+  for (const Event& e : events) {
+    if (e.tid != tid) {  // new thread: drain the previous thread's stack
+      for (const Open& open : stack) finalize(open);
+      stack.clear();
+      tid = e.tid;
+    }
+    while (!stack.empty() && stack.back().end_ns <= e.start_ns) {
+      finalize(stack.back());
+      stack.pop_back();
+    }
+    if (!stack.empty()) stack.back().child_ns += e.dur_ns;
+    PhaseTotal& t = agg[e.name];
+    t.name = e.name;
+    ++t.count;
+    t.total_ns += e.dur_ns;
+    stack.push_back(Open{&e, e.start_ns + e.dur_ns});
+  }
+  for (const Open& open : stack) finalize(open);
+
+  std::vector<PhaseTotal> out;
+  out.reserve(agg.size());
+  for (auto& [name, total] : agg) out.push_back(std::move(total));
+  std::sort(out.begin(), out.end(), [](const PhaseTotal& a, const PhaseTotal& b) {
+    if (a.self_ns != b.self_ns) return a.self_ns > b.self_ns;
+    return a.name < b.name;
+  });
+  return out;
+}
+
+std::optional<ParsedTrace> read_file(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  std::string line;
+  if (!std::getline(in, line) ||
+      line.rfind("{\"displayTimeUnit\":\"ns\"", 0) != 0) {
+    return std::nullopt;
+  }
+  ParsedTrace out;
+  std::map<std::uint32_t, std::string> thread_names;
+  while (std::getline(in, line)) {
+    if (line.rfind("\"otherData\":", 0) == 0) {
+      if (const auto b = find_str(line, "build")) out.build = *b;
+      if (const auto d = find_num(line, "dropped")) {
+        out.dropped = static_cast<std::uint64_t>(*d);
+      }
+      continue;
+    }
+    const auto ph = find_str(line, "ph");
+    if (!ph) continue;
+    const auto name = find_str(line, "name");
+    const auto tid = find_num(line, "tid");
+    if (!name || !tid) continue;
+    if (*ph == "M") {
+      if (*name == "thread_name") {
+        // "args":{"name":"..."} — the label is the "name" key after "args".
+        const std::size_t args_at = line.find("\"args\":");
+        if (args_at != std::string::npos) {
+          const std::string rest = line.substr(args_at);
+          if (const auto label = find_str(rest, "name")) {
+            thread_names[static_cast<std::uint32_t>(*tid)] = *label;
+          }
+        }
+      }
+    } else if (*ph == "C") {
+      if (const auto value = find_num(line, "value")) {
+        out.counters.emplace_back(*name, static_cast<std::uint64_t>(*value));
+      }
+    } else if (*ph == "X") {
+      const auto ts = find_num(line, "ts");
+      const auto dur = find_num(line, "dur");
+      if (!ts || !dur) continue;
+      Event e;
+      e.name = *name;
+      if (const auto cat = find_str(line, "cat")) e.cat = *cat;
+      e.tid = static_cast<std::uint32_t>(*tid);
+      e.start_ns = us_to_ns(*ts);
+      e.dur_ns = us_to_ns(*dur);
+      out.events.push_back(std::move(e));
+    }
+  }
+  for (Event& e : out.events) {
+    const auto it = thread_names.find(e.tid);
+    e.thread = it != thread_names.end() ? it->second
+                                        : "thread-" + std::to_string(e.tid);
+  }
+  sort_events(out.events);
+  return out;
+}
+
+std::string render_stats(const ParsedTrace& trace) {
+  std::string out;
+  if (!trace.build.empty()) out += "build: " + trace.build + "\n";
+  out += "events: " + std::to_string(trace.events.size()) +
+         ", dropped: " + std::to_string(trace.dropped) + "\n";
+
+  const std::vector<PhaseTotal> phases = phase_totals(trace.events);
+  std::uint64_t traced_self_ns = 0;
+  for (const PhaseTotal& p : phases) traced_self_ns += p.self_ns;
+  TextTable table({"Phase", "Count", "Total ms", "Self ms", "Self %"});
+  for (const PhaseTotal& p : phases) {
+    const double share = traced_self_ns == 0
+                             ? 0.0
+                             : static_cast<double>(p.self_ns) /
+                                   static_cast<double>(traced_self_ns);
+    table.add_row({p.name, std::to_string(p.count),
+                   TextTable::num(static_cast<double>(p.total_ns) / 1e6, 3),
+                   TextTable::num(static_cast<double>(p.self_ns) / 1e6, 3),
+                   TextTable::pct(share, 1)});
+  }
+  out += table.render();
+
+  if (!trace.counters.empty()) {
+    TextTable counters({"Counter", "Value"});
+    for (const auto& [name, value] : trace.counters) {
+      counters.add_row({name, std::to_string(value)});
+    }
+    out += counters.render();
+  }
+  return out;
+}
+
+}  // namespace gras::trace

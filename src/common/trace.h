@@ -1,0 +1,136 @@
+// Low-overhead span tracing for campaign phase attribution (DESIGN.md §10).
+//
+// A Span is an RAII timer: construct it at the top of a phase (restore /
+// fast-forward / execute / compare / classify / journal-append / fsync / …)
+// and its duration is recorded when it goes out of scope. Completed spans
+// land in a per-thread ring buffer with no locks on the hot path: each
+// thread appends only to its own pre-allocated buffer and publishes the
+// slot with one release store, so tracing a campaign perturbs it as little
+// as possible. When tracing is disabled (the default; see GRAS_TRACE in
+// env.h) a Span costs one relaxed atomic load and nothing is recorded.
+//
+// Collected spans export as Chrome trace-event JSON ("X" complete events,
+// one per line) directly loadable in https://ui.perfetto.dev. The same
+// module parses its own files back and renders the deterministic per-phase
+// breakdown behind `gras stats <trace>`.
+//
+// Naming conventions (docs/observability.md): span names are static,
+// lower-case, dot-separated ("journal.fsync"), with the category naming the
+// subsystem ("phase", "sim", "journal", "pool"). Dynamic context (sample
+// index, launch ordinal) travels in the numeric `arg`, never in the name —
+// names must be static strings because the hot path stores only pointers.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace gras::trace {
+
+/// True while a trace session is recording. One relaxed atomic load.
+bool enabled() noexcept;
+
+/// Clears previously recorded spans and starts recording.
+void start();
+/// Stops recording; recorded spans stay available for collect()/write_file().
+void stop();
+/// Stops recording and discards every recorded span and drop counter.
+void reset();
+
+/// Nanoseconds since the current session's start() (0 when never started).
+std::uint64_t now_ns() noexcept;
+
+/// Spans recorded but thrown away because a thread's ring buffer was full
+/// (see GRAS_TRACE_BUF). Exported traces carry this in otherData.
+std::uint64_t dropped_events() noexcept;
+
+/// Labels the calling thread's rows in trace exports ("gras-worker-3");
+/// threads that never call this are labeled "thread-<tid>". The thread-pool
+/// workers set their label to their worker name.
+void set_thread_name(const std::string& name);
+
+/// RAII scoped timer. Records one complete event at destruction; records
+/// nothing (and never touches the clock) when tracing is disabled.
+class Span {
+ public:
+  explicit Span(const char* name, const char* cat = "phase") noexcept
+      : Span(name, cat, nullptr, 0) {}
+  /// `arg_name`/`arg` attach one numeric argument to the event
+  /// (e.g. {"index": 42}); both must be static/outlive the session.
+  Span(const char* name, const char* cat, const char* arg_name,
+       std::uint64_t arg) noexcept;
+  ~Span();
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  const char* name_;  ///< null when tracing was disabled at construction
+  const char* cat_;
+  const char* arg_name_;
+  std::uint64_t arg_;
+  std::uint64_t start_;
+};
+
+/// One recorded span, decoded for export/analysis. `tid` is a small
+/// session-local thread ordinal (not an OS id) so exports and stats are
+/// reproducible run to run.
+struct Event {
+  std::string name;
+  std::string cat;
+  std::string thread;  ///< thread label (set_thread_name)
+  std::uint32_t tid = 0;
+  std::uint64_t start_ns = 0;
+  std::uint64_t dur_ns = 0;
+  std::string arg_name;  ///< empty when the span carried no argument
+  std::uint64_t arg = 0;
+};
+
+/// Snapshot of every span recorded so far, sorted by (tid, start, -dur) so
+/// each thread's events appear in nesting order. Safe to call while other
+/// threads are still recording (their unpublished tails are simply absent).
+std::vector<Event> collect();
+
+/// Serializes events (plus build info, metric counters and thread-name
+/// metadata) as Chrome trace-event JSON. Every event object carries
+/// ph/ts/pid/tid/name; "X" spans add dur/cat/args.
+std::string to_json(std::span<const Event> events);
+/// collect() + to_json() to a file. False when the file cannot be written.
+bool write_file(const std::filesystem::path& path);
+
+/// Per-phase aggregate over a set of events. `self_ns` is exclusive time:
+/// `total_ns` minus the time spent in spans nested inside (same thread), so
+/// summing self_ns over all phases never double-counts nested phases.
+struct PhaseTotal {
+  std::string name;
+  std::uint64_t count = 0;
+  std::uint64_t total_ns = 0;
+  std::uint64_t self_ns = 0;
+};
+
+/// Aggregates events into per-name totals, sorted by self_ns descending
+/// (ties: name ascending). Events must be collect()-ordered.
+std::vector<PhaseTotal> phase_totals(std::span<const Event> events);
+
+/// A trace file parsed back: the spans, the counter events, and the
+/// metadata written alongside them.
+struct ParsedTrace {
+  std::vector<Event> events;                                  ///< "X" spans
+  std::vector<std::pair<std::string, std::uint64_t>> counters;  ///< "C" events
+  std::string build;                                          ///< otherData.build
+  std::uint64_t dropped = 0;                                  ///< otherData.dropped
+};
+
+/// Parses a trace file written by write_file (line-oriented). nullopt when
+/// the file is missing or not one of ours.
+std::optional<ParsedTrace> read_file(const std::filesystem::path& path);
+
+/// Renders the `gras stats` tables for a parsed trace: per-phase breakdown
+/// (count, total, self, share of traced time) and the counter table.
+/// Deterministic: byte-identical output for byte-identical input.
+std::string render_stats(const ParsedTrace& trace);
+
+}  // namespace gras::trace

@@ -2,7 +2,43 @@
 
 #include <bit>
 
+#include "src/common/metrics_registry.h"
+
 namespace gras::fi {
+namespace {
+
+// Injection-lifecycle telemetry (docs/observability.md): arms = injectors
+// constructed, injections = flips landed, clips = multi-bit flips truncated
+// at a word/byte boundary, retries = trigger cycles with nothing allocated,
+// give_ups = windows that closed with nothing allocated, masked = software
+// sites consumed without a register source to flip. All sites are rare
+// (per-sample, not per-cycle), so plain registry counters are fine.
+telemetry::Counter& c_arms() {
+  static telemetry::Counter& c = telemetry::counter("fi.arms");
+  return c;
+}
+telemetry::Counter& c_injections() {
+  static telemetry::Counter& c = telemetry::counter("fi.injections");
+  return c;
+}
+telemetry::Counter& c_clips() {
+  static telemetry::Counter& c = telemetry::counter("fi.clips");
+  return c;
+}
+telemetry::Counter& c_retries() {
+  static telemetry::Counter& c = telemetry::counter("fi.retries");
+  return c;
+}
+telemetry::Counter& c_give_ups() {
+  static telemetry::Counter& c = telemetry::counter("fi.give_ups");
+  return c;
+}
+telemetry::Counter& c_masked() {
+  static telemetry::Counter& c = telemetry::counter("fi.masked");
+  return c;
+}
+
+}  // namespace
 
 MicroarchInjector::MicroarchInjector(Structure target, std::uint64_t trigger_cycle,
                                      std::uint64_t window_end, Rng rng, unsigned width,
@@ -15,6 +51,7 @@ MicroarchInjector::MicroarchInjector(Structure target, std::uint64_t trigger_cyc
   record_.level = FaultLevel::Microarch;
   record_.structure = target;
   record_.launch = launch_index;
+  c_arms().add();
 }
 
 std::uint64_t MicroarchInjector::next_trigger() const {
@@ -26,10 +63,17 @@ void MicroarchInjector::on_cycle(sim::Gpu& gpu, std::uint64_t cycle) {
   if (injected_ || gave_up_ || cycle < trigger_) return;
   if (cycle > window_end_) {
     gave_up_ = true;  // kernel window elapsed with nothing allocated
+    c_give_ups().add();
     return;
   }
   inject(gpu, cycle);
-  if (!injected_) trigger_ = cycle + 1;  // retry next cycle
+  if (injected_) {
+    c_injections().add();
+    if (record_.width < width_) c_clips().add();
+  } else {
+    trigger_ = cycle + 1;  // retry next cycle
+    c_retries().add();
+  }
 }
 
 void MicroarchInjector::inject(sim::Gpu& gpu, std::uint64_t cycle) {
@@ -133,6 +177,7 @@ SoftwareInjector::SoftwareInjector(SvfMode mode, std::uint64_t target_index, Rng
   record_.mode = mode;
   record_.trigger = target_index;
   record_.launch = launch_index;
+  c_arms().add();
 }
 
 bool SoftwareInjector::counts(const isa::Instr& ins) const {
@@ -167,7 +212,11 @@ void SoftwareInjector::on_pre_exec(sim::Sm& sm, std::uint32_t warp_slot,
     }
   }
   injected_ = true;  // the sampled site is consumed either way
-  if (count == 0) return;
+  if (count == 0) {
+    c_masked().add();
+    return;
+  }
+  c_injections().add();
   const std::uint8_t reg = regs[rng_.below(count)];
   const unsigned bit = static_cast<unsigned>(rng_.below(32));
   const std::uint32_t cell =
@@ -227,6 +276,7 @@ void SoftwareInjector::on_gpr_retire(sim::Sm& sm, std::uint32_t warp_slot,
     record_.bit = static_cast<std::uint8_t>(bit);
     record_.width = 1;
     injected_ = true;
+    c_injections().add();
   }
   counter_ += static_cast<std::uint32_t>(std::popcount(exec_mask));
 }

@@ -10,6 +10,8 @@
 #include <thread>
 
 #include "src/common/env.h"
+#include "src/common/metrics_registry.h"
+#include "src/common/trace.h"
 
 namespace gras::orchestrator {
 namespace {
@@ -79,6 +81,7 @@ std::string serialize_header(const JournalHeader& h) {
   put_str(out, h.kernel);
   put_str(out, h.config);
   put_str(out, h.target);
+  put_str(out, h.build);  // v3: build provenance, last string before checksum
   put_u64(out, fnv1a(out.data(), out.size()));
   return out;
 }
@@ -249,6 +252,7 @@ std::optional<JournalContents> read_journal(const std::filesystem::path& path) {
       !c.get_str(h.config) || !c.get_str(h.target)) {
     return std::nullopt;
   }
+  if (version >= 3 && !c.get_str(h.build)) return std::nullopt;
   const std::size_t header_bytes = bytes.size() - c.left;
   std::uint64_t stored = 0;
   if (!c.get_u64(stored) || stored != fnv1a(bytes.data(), header_bytes)) {
@@ -376,6 +380,11 @@ void JournalWriter::sync() {
 }
 
 void JournalWriter::writer_loop() {
+  trace::set_thread_name("gras-journal");
+  static telemetry::Counter& c_records = telemetry::counter("journal.records");
+  static telemetry::Counter& c_batches = telemetry::counter("journal.batches");
+  static telemetry::Counter& c_bytes = telemetry::counter("journal.bytes");
+  static telemetry::Counter& c_fsyncs = telemetry::counter("journal.fsyncs");
   std::vector<JournalRecord> batch;
   std::string buf;
   for (;;) {
@@ -391,8 +400,21 @@ void JournalWriter::writer_loop() {
     for (std::size_t i = 0; i < batch.size(); ++i) {
       serialize_record(impl_->version, batch[i], &buf[i * record_bytes]);
     }
-    bool ok = write_all(impl_->fd, buf.data(), buf.size());
-    if (ok && impl_->do_fsync) ok = ::fsync(impl_->fd) == 0;
+    bool ok;
+    {
+      const trace::Span span("journal.write", "journal", "records", batch.size());
+      ok = write_all(impl_->fd, buf.data(), buf.size());
+    }
+    if (ok && impl_->do_fsync) {
+      const trace::Span span("journal.fsync", "journal");
+      ok = ::fsync(impl_->fd) == 0;
+      if (ok) c_fsyncs.add();
+    }
+    if (ok) {
+      c_records.add(batch.size());
+      c_batches.add();
+      c_bytes.add(buf.size());
+    }
     {
       const std::lock_guard<std::mutex> lock(impl_->mu);
       if (ok) {

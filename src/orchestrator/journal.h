@@ -29,19 +29,25 @@ namespace gras::orchestrator {
 ///  * v1: bare outcome records (index, cycles, outcome/injected/control/kind).
 ///  * v2: v1 plus fault-site provenance (fi::FaultRecord) and, for SDC
 ///    outcomes, the corruption signature (workloads::CorruptionSignature).
-/// Readers accept both; writers append records in the version of the file
-/// they are appending to (a resumed v1 journal stays v1), so a campaign's
-/// journal never mixes record layouts.
-inline constexpr std::uint32_t kJournalVersion = 2;
+///  * v3: v2 with a build-provenance string appended to the header
+///    (gras::build_summary() of the writing binary); record layout unchanged.
+/// Readers accept all three; writers append records in the version of the
+/// file they are appending to (a resumed v1 journal stays v1), so a
+/// campaign's journal never mixes record layouts.
+inline constexpr std::uint32_t kJournalVersion = 3;
 
 /// Campaign identity + shard position + early-stop contract. Serialized as a
-/// fixed block, three length-prefixed strings (app, kernel, config) and a
-/// trailing checksum; any damage invalidates the whole journal.
+/// fixed block, length-prefixed strings and a trailing checksum; any damage
+/// invalidates the whole journal.
 struct JournalHeader {
   std::string app;       ///< workload name
   std::string kernel;    ///< target kernel name
   std::string config;    ///< GpuConfig name
   std::string target;    ///< campaign::target_name() spelling
+  /// Build provenance of the binary that created the journal (v3; empty when
+  /// read from v1/v2 files). Informational only: deliberately excluded from
+  /// fingerprint() so resume/merge work across rebuilds of the same campaign.
+  std::string build;
   std::uint64_t samples = 0;      ///< campaign-wide requested sample count
   std::uint64_t seed = 0;         ///< campaign master seed
   std::uint32_t shard_index = 0;  ///< this shard's position in [0, shard_count)

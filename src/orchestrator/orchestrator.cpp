@@ -1,12 +1,14 @@
 #include "src/orchestrator/orchestrator.h"
 
 #include <algorithm>
-#include <chrono>
 #include <mutex>
 #include <stdexcept>
 #include <unordered_map>
 
+#include "src/common/build_info.h"
 #include "src/common/env.h"
+#include "src/common/metrics_registry.h"
+#include "src/common/trace.h"
 
 namespace gras::orchestrator {
 namespace {
@@ -80,6 +82,7 @@ JournalHeader make_header(const workloads::App& app, const sim::GpuConfig& confi
   h.shard_count = options.shard.count;
   h.margin = options.margin;
   h.confidence = options.confidence;
+  h.build = build_summary();
   return h;
 }
 
@@ -179,7 +182,7 @@ DurableResult run_durable(const workloads::App& app, const sim::GpuConfig& confi
   // uninterrupted one would have.
   Accumulator acc;
   std::uint64_t consumed = 0;
-  const auto start = std::chrono::steady_clock::now();
+  const RateTracker tracker;  // rate counts executed samples, not replayed
   const auto emit = [&](bool done) {
     if (options.progress == nullptr) return;
     ProgressSnapshot s;
@@ -188,13 +191,8 @@ DurableResult run_durable(const workloads::App& app, const sim::GpuConfig& confi
     s.counts = acc.counts;
     s.injected = acc.injected;
     s.control_path_masked = acc.control_path_masked;
-    const double elapsed =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
-    if (out.executed > 0 && elapsed > 0) {
-      s.samples_per_sec = static_cast<double>(out.executed) / elapsed;
-      s.eta_seconds =
-          static_cast<double>(out.shard_samples - consumed) / s.samples_per_sec;
-    }
+    s.samples_per_sec = tracker.rate(out.executed);
+    s.eta_seconds = tracker.eta(out.executed, out.shard_samples - consumed);
     s.fr_ci = wilson_interval(failures(acc.counts), acc.counts.total(),
                               options.confidence);
     s.early_stopped = out.early_stopped;
@@ -202,9 +200,17 @@ DurableResult run_durable(const workloads::App& app, const sim::GpuConfig& confi
     options.progress->on_progress(s);
   };
 
+  static telemetry::Counter& c_executed =
+      telemetry::counter("orchestrator.samples.executed");
+  static telemetry::Counter& c_replayed =
+      telemetry::counter("orchestrator.samples.replayed");
+  static telemetry::Counter& c_chunks = telemetry::counter("orchestrator.chunks");
+
   std::vector<JournalRecord> slots;
   std::vector<std::uint64_t> missing;
   while (consumed < out.shard_samples) {
+    const trace::Span chunk_span("chunk", "phase", "begin", consumed);
+    c_chunks.add();
     const std::uint64_t begin = consumed;
     const std::uint64_t end = std::min(out.shard_samples, begin + options.chunk);
     slots.assign(end - begin, JournalRecord{});
@@ -222,17 +228,23 @@ DurableResult run_durable(const workloads::App& app, const sim::GpuConfig& confi
       pool.parallel_for(missing.size(), [&](std::size_t j) {
         const std::uint64_t p = missing[j];
         const std::uint64_t index = position_to_index(p, options.shard);
+        const trace::Span sample_span("sample", "phase", "index", index);
         auto gpu = acquire();
         const campaign::SampleResult s =
             campaign::run_sample(app, golden, spec, index, *gpu);
         release(std::move(gpu));
         const JournalRecord r = to_record(index, s, golden);
         slots[p - begin] = r;
-        if (writer) writer->append(r);
+        if (writer) {
+          const trace::Span append_span("journal.append", "journal", "index", index);
+          writer->append(r);
+        }
       });
       out.executed += missing.size();
+      c_executed.add(missing.size());
     }
     out.replayed += (end - begin) - missing.size();
+    c_replayed.add((end - begin) - missing.size());
     for (const JournalRecord& r : slots) acc.add(r);
     consumed = end;
 
@@ -254,7 +266,10 @@ DurableResult run_durable(const workloads::App& app, const sim::GpuConfig& confi
     }
     emit(consumed == out.shard_samples);
   }
-  if (writer) writer->sync();
+  if (writer) {
+    const trace::Span sync_span("journal.sync", "journal");
+    writer->sync();
+  }
   if (out.early_stopped || out.shard_samples == 0) emit(true);
 
   out.result.counts = acc.counts;

@@ -4,23 +4,53 @@
 #include <cinttypes>
 #include <cmath>
 #include <stdexcept>
+#include <utility>
+
+#include "src/common/build_info.h"
+#include "src/common/metrics_registry.h"
 
 namespace gras::orchestrator {
 namespace {
 
-double now_seconds() {
+double steady_seconds() {
   return std::chrono::duration<double>(
              std::chrono::steady_clock::now().time_since_epoch())
       .count();
 }
 
+ProgressClock or_steady(ProgressClock now) {
+  if (!now) return steady_seconds;
+  return now;
+}
+
 }  // namespace
 
-StderrProgress::StderrProgress(double min_interval_sec)
-    : min_interval_sec_(min_interval_sec) {}
+RateTracker::RateTracker(ProgressClock now) : now_(or_steady(std::move(now))) {
+  start_ = now_();
+}
+
+void RateTracker::reset() { start_ = now_(); }
+
+double RateTracker::elapsed() const {
+  const double e = now_() - start_;
+  return e > 0.0 ? e : 0.0;
+}
+
+double RateTracker::rate(std::uint64_t units) const {
+  const double e = elapsed();
+  return e > 0.0 ? static_cast<double>(units) / e : 0.0;
+}
+
+double RateTracker::eta(std::uint64_t done, std::uint64_t remaining) const {
+  const double r = rate(done);
+  return r > 0.0 ? static_cast<double>(remaining) / r : 0.0;
+}
+
+StderrProgress::StderrProgress(double min_interval_sec, ProgressClock now)
+    : min_interval_sec_(min_interval_sec), now_(or_steady(std::move(now))) {}
 
 void StderrProgress::on_progress(const ProgressSnapshot& s) {
-  const double t = now_seconds();
+  const double t = now_();
   if (!s.done && t - last_emit_ < min_interval_sec_) return;
   last_emit_ = t;
   const double pct = s.total == 0 ? 100.0
@@ -37,7 +67,9 @@ void StderrProgress::on_progress(const ProgressSnapshot& s) {
   std::fflush(stderr);
 }
 
-JsonlProgress::JsonlProgress(const std::string& path) {
+JsonlProgress::JsonlProgress(const std::string& path, double metrics_interval_sec,
+                             ProgressClock now)
+    : metrics_interval_sec_(metrics_interval_sec), now_(or_steady(std::move(now))) {
   if (path == "-") {
     out_ = stdout;
   } else {
@@ -47,6 +79,8 @@ JsonlProgress::JsonlProgress(const std::string& path) {
     }
     owned_ = true;
   }
+  std::fprintf(out_, "{\"type\":\"build\",\"build\":%s}\n", build_json().c_str());
+  std::fflush(out_);
 }
 
 JsonlProgress::~JsonlProgress() {
@@ -60,7 +94,8 @@ std::string JsonlProgress::to_json(const ProgressSnapshot& s) {
   const auto emit = [&](char* buf, std::size_t cap) {
     return std::snprintf(
         buf, cap,
-        "{\"completed\":%" PRIu64 ",\"total\":%" PRIu64 ",\"masked\":%" PRIu64
+        "{\"type\":\"progress\",\"completed\":%" PRIu64 ",\"total\":%" PRIu64
+        ",\"masked\":%" PRIu64
         ",\"sdc\":%" PRIu64 ",\"timeout\":%" PRIu64 ",\"due\":%" PRIu64
         ",\"injected\":%" PRIu64 ",\"control_path_masked\":%" PRIu64
         ",\"samples_per_sec\":%.2f,\"eta_seconds\":%.1f,\"fr\":%.6f"
@@ -84,6 +119,16 @@ std::string JsonlProgress::to_json(const ProgressSnapshot& s) {
 
 void JsonlProgress::on_progress(const ProgressSnapshot& s) {
   std::fprintf(out_, "%s\n", to_json(s).c_str());
+  if (metrics_interval_sec_ > 0.0) {
+    const double t = now_();
+    if (s.done || t - last_metrics_ >= metrics_interval_sec_) {
+      last_metrics_ = t;
+      std::fprintf(out_, "{\"type\":\"metrics\",\"completed\":%" PRIu64
+                         ",\"metrics\":%s}\n",
+                   s.completed,
+                   telemetry::Registry::instance().snapshot_json().c_str());
+    }
+  }
   std::fflush(out_);
 }
 

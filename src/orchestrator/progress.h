@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <functional>
 #include <memory>
 #include <string>
 
@@ -16,6 +17,35 @@
 #include "src/common/stats.h"
 
 namespace gras::orchestrator {
+
+/// Clock used by the progress machinery: seconds on an arbitrary monotonic
+/// epoch. The default-constructed (empty) function means "real steady
+/// clock"; tests inject a fake to exercise throttling and ETA math without
+/// sleeping.
+using ProgressClock = std::function<double()>;
+
+/// Throughput/ETA bookkeeping extracted from the orchestrator loop so the
+/// math is testable under a fake clock. The window starts at construction
+/// (or the last reset()); rates count only units completed inside it, which
+/// is why the orchestrator feeds it executed samples, not replayed ones.
+class RateTracker {
+ public:
+  explicit RateTracker(ProgressClock now = {});
+
+  /// Restarts the measurement window at the current clock reading.
+  void reset();
+  /// Seconds since the window started (>= 0).
+  double elapsed() const;
+  /// `units` per second over the window; 0 before any time has passed.
+  double rate(std::uint64_t units) const;
+  /// Seconds until `remaining` units complete at rate(done): remaining/rate,
+  /// 0 when the rate is still 0/unknown.
+  double eta(std::uint64_t done, std::uint64_t remaining) const;
+
+ private:
+  ProgressClock now_;
+  double start_ = 0.0;
+};
 
 struct ProgressSnapshot {
   std::uint64_t completed = 0;  ///< samples done so far (replayed + executed)
@@ -43,20 +73,29 @@ class ProgressSink {
 /// at most every `min_interval_sec` (the final one always is).
 class StderrProgress : public ProgressSink {
  public:
-  explicit StderrProgress(double min_interval_sec = 0.5);
+  explicit StderrProgress(double min_interval_sec = 0.5, ProgressClock now = {});
   void on_progress(const ProgressSnapshot& snapshot) override;
 
  private:
   double min_interval_sec_;
+  ProgressClock now_;
   double last_emit_ = -1e300;
 };
 
-/// Machine-readable progress: one JSON object per snapshot, one per line.
+/// Machine-readable progress: one JSON object per line, each tagged with a
+/// "type" field. The stream opens with one {"type":"build",...} provenance
+/// record, then {"type":"progress",...} snapshots; when a metrics interval
+/// is set, {"type":"metrics",...} registry snapshots (see
+/// common/metrics_registry.h) interleave after the progress record that
+/// triggered them — at most one per interval, plus always one at done.
 /// Owns the FILE* when constructed from a path.
 class JsonlProgress : public ProgressSink {
  public:
-  /// Appends to `path` ("-" means stdout).
-  explicit JsonlProgress(const std::string& path);
+  /// Appends to `path` ("-" means stdout). `metrics_interval_sec <= 0`
+  /// disables metrics records entirely.
+  explicit JsonlProgress(const std::string& path,
+                         double metrics_interval_sec = 0.0,
+                         ProgressClock now = {});
   ~JsonlProgress() override;
   void on_progress(const ProgressSnapshot& snapshot) override;
 
@@ -66,6 +105,9 @@ class JsonlProgress : public ProgressSink {
  private:
   std::FILE* out_ = nullptr;
   bool owned_ = false;
+  double metrics_interval_sec_;
+  ProgressClock now_;
+  double last_metrics_ = -1e300;
 };
 
 /// Fans one snapshot stream out to two sinks (e.g. stderr + JSONL).

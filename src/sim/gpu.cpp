@@ -4,6 +4,8 @@
 #include <stdexcept>
 
 #include "src/common/bitops.h"
+#include "src/common/metrics_registry.h"
+#include "src/common/trace.h"
 
 namespace gras::sim {
 
@@ -92,6 +94,9 @@ void Gpu::reset() {
 
 LaunchResult Gpu::launch(const isa::Kernel& kernel, Dim3 grid, Dim3 block,
                          std::vector<std::uint32_t> params) {
+  // Static span name, launch ordinal in the arg: kernel names are dynamic
+  // strings the trace hot path cannot hold (see trace.h conventions).
+  const trace::Span span("sim.launch", "sim", "launch", launches_.size());
   LaunchContext ctx;
   ctx.kernel = &kernel;
   ctx.grid = grid;
@@ -254,6 +259,32 @@ LaunchResult Gpu::launch(const isa::Kernel& kernel, Dim3 grid, Dim3 block,
 
   gp_total_ += stats.gp_thread_instrs;
   ld_total_ += stats.ld_thread_instrs;
+
+  // One telemetry update per launch (never per cycle); function-local
+  // statics skip the registry lookup on the hot path.
+  {
+    using telemetry::Counter;
+    static Counter& launches = telemetry::counter("sim.launches");
+    static Counter& cycles = telemetry::counter("sim.cycles");
+    static Counter& warp_instrs = telemetry::counter("sim.warp_instrs");
+    static Counter& l1d_accesses = telemetry::counter("sim.l1d.accesses");
+    static Counter& l1d_misses = telemetry::counter("sim.l1d.misses");
+    static Counter& l2_accesses = telemetry::counter("sim.l2.accesses");
+    static Counter& l2_misses = telemetry::counter("sim.l2.misses");
+    static Counter& dram_read = telemetry::counter("sim.dram.read_bytes");
+    static Counter& dram_written = telemetry::counter("sim.dram.written_bytes");
+    static Counter& watchdog = telemetry::counter("sim.watchdog_trips");
+    launches.add();
+    cycles.add(stats.cycles);
+    warp_instrs.add(stats.warp_instrs);
+    l1d_accesses.add(stats.l1d.accesses);
+    l1d_misses.add(stats.l1d.misses);
+    l2_accesses.add(stats.l2.accesses);
+    l2_misses.add(stats.l2.misses);
+    dram_read.add(stats.dram_read_bytes);
+    dram_written.add(stats.dram_written_bytes);
+    if (result.trap == TrapKind::Watchdog) watchdog.add();
+  }
 
   result.cycles = stats.cycles;
   result.instructions = stats.warp_instrs;

@@ -7,6 +7,7 @@
 #include <unordered_map>
 
 #include "src/common/rng.h"
+#include "src/common/trace.h"
 
 namespace gras::workloads {
 
@@ -66,6 +67,7 @@ class DirectCtx final : public ExecCtx {
     if (launched_ < resume_) {
       // Fast-forward: the golden run proved this launch fault-free and the
       // restored snapshot already contains its device-state effects.
+      const trace::Span span("fast_forward", "phase", "launch", launched_);
       return golden_[launched_++].result.ok();
     }
     if (launched_ == resume_ && trace_ != nullptr && resume_ > 0 &&

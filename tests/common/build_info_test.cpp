@@ -1,0 +1,46 @@
+// Build provenance: every field is populated, and the summary/JSON forms
+// that get stamped into journals, traces and benchmark output are
+// well-formed and consistent with each other.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/common/build_info.h"
+
+namespace gras {
+namespace {
+
+TEST(BuildInfo, FieldsArePopulated) {
+  const BuildInfo& b = build_info();
+  EXPECT_FALSE(b.git_sha.empty());
+  EXPECT_FALSE(b.compiler.empty());
+  EXPECT_FALSE(b.build_type.empty());
+  // This test suite is always compiled by gcc or clang.
+  EXPECT_TRUE(b.compiler.rfind("gcc ", 0) == 0 ||
+              b.compiler.rfind("clang ", 0) == 0)
+      << b.compiler;
+}
+
+TEST(BuildInfo, SummaryEmbedsEveryIdentityField) {
+  const BuildInfo& b = build_info();
+  const std::string s = build_summary();
+  EXPECT_EQ(s.rfind("gras ", 0), 0u) << s;
+  EXPECT_NE(s.find(b.git_sha), std::string::npos) << s;
+  EXPECT_NE(s.find(b.build_type), std::string::npos) << s;
+  EXPECT_NE(s.find(b.compiler), std::string::npos) << s;
+  // Stable across calls: the summary keys journal/trace attribution.
+  EXPECT_EQ(s, build_summary());
+}
+
+TEST(BuildInfo, JsonCarriesAllKeys) {
+  const std::string j = build_json();
+  EXPECT_EQ(j.front(), '{');
+  EXPECT_EQ(j.back(), '}');
+  EXPECT_NE(j.find("\"git_sha\":\""), std::string::npos) << j;
+  EXPECT_NE(j.find("\"compiler\":\""), std::string::npos) << j;
+  EXPECT_NE(j.find("\"build_type\":\""), std::string::npos) << j;
+  EXPECT_NE(j.find("\"flags\":\""), std::string::npos) << j;
+}
+
+}  // namespace
+}  // namespace gras

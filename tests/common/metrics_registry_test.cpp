@@ -1,0 +1,140 @@
+// Telemetry registry: get-or-create identity, kind-mismatch rejection,
+// log2 histogram quantiles, snapshot flattening and JSON export, and
+// reset() semantics (zeroes values, keeps references valid).
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "src/common/metrics_registry.h"
+
+namespace gras::telemetry {
+namespace {
+
+// The registry is process-global and shared with every other test in this
+// binary, so tests register under a reserved "test.mr." prefix and only
+// assert on their own entries.
+
+TEST(MetricsRegistry, CounterAccumulatesAndIsStable) {
+  Counter& c = counter("test.mr.counter");
+  c.reset();
+  c.add();
+  c.add(5);
+  EXPECT_EQ(c.value(), 6u);
+  // Same name, same object: hot paths may cache the reference.
+  EXPECT_EQ(&c, &counter("test.mr.counter"));
+}
+
+TEST(MetricsRegistry, GaugeHoldsLastWrite) {
+  Gauge& g = gauge("test.mr.gauge");
+  g.set(42);
+  g.set(-7);
+  EXPECT_EQ(g.value(), -7);
+  g.reset();
+  EXPECT_EQ(g.value(), 0);
+}
+
+TEST(MetricsRegistry, KindMismatchThrows) {
+  counter("test.mr.kind");
+  EXPECT_THROW(gauge("test.mr.kind"), std::logic_error);
+  EXPECT_THROW(histogram("test.mr.kind"), std::logic_error);
+  // The original registration survives the failed lookups.
+  counter("test.mr.kind").add();
+  EXPECT_GE(counter("test.mr.kind").value(), 1u);
+}
+
+TEST(MetricsRegistry, HistogramBucketsByBitWidth) {
+  Histogram& h = histogram("test.mr.hist");
+  h.reset();
+  EXPECT_EQ(h.quantile(0.5), 0u);  // empty
+  for (const std::uint64_t v : {1u, 2u, 3u, 4u}) h.observe(v);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.sum(), 10u);
+  EXPECT_EQ(h.max(), 4u);
+  EXPECT_DOUBLE_EQ(h.mean(), 2.5);
+  // Quantiles report the upper bound of the containing log2 bucket:
+  // rank 2 of {1,2,3,4} lands in the bit_width==2 bucket ({2,3}) -> 3.
+  EXPECT_EQ(h.quantile(0.5), 3u);
+  // rank = trunc(q*n): 0.99 -> rank 3, still the {2,3} bucket.
+  EXPECT_EQ(h.quantile(0.99), 3u);
+  // rank 4 lands in the bit_width==3 bucket ({4}) -> 7.
+  EXPECT_EQ(h.quantile(1.0), 7u);
+  EXPECT_EQ(h.quantile(0.0), 1u);  // rank clamps to 1: bucket of value 1
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+}
+
+TEST(MetricsRegistry, SnapshotReportsEveryKindSorted) {
+  counter("test.mr.snap.c").reset();
+  counter("test.mr.snap.c").add(9);
+  gauge("test.mr.snap.g").set(4);
+  Histogram& h = histogram("test.mr.snap.h");
+  h.reset();
+  h.observe(100);
+
+  std::vector<MetricValue> mine;
+  for (const MetricValue& v : Registry::instance().snapshot()) {
+    if (v.name.rfind("test.mr.snap.", 0) == 0) mine.push_back(v);
+  }
+  ASSERT_EQ(mine.size(), 3u);
+  EXPECT_EQ(mine[0].name, "test.mr.snap.c");
+  EXPECT_EQ(mine[0].kind, MetricValue::Kind::Counter);
+  EXPECT_EQ(mine[0].value, 9);
+  EXPECT_EQ(mine[1].name, "test.mr.snap.g");
+  EXPECT_EQ(mine[1].kind, MetricValue::Kind::Gauge);
+  EXPECT_EQ(mine[1].value, 4);
+  EXPECT_EQ(mine[2].name, "test.mr.snap.h");
+  EXPECT_EQ(mine[2].kind, MetricValue::Kind::Histogram);
+  EXPECT_EQ(mine[2].value, 1);  // count
+  EXPECT_EQ(mine[2].sum, 100u);
+  EXPECT_EQ(mine[2].max, 100u);
+  EXPECT_EQ(mine[2].p50, 127u);  // bit_width(100) == 7 -> upper bound 127
+}
+
+TEST(MetricsRegistry, FlatSnapshotExpandsHistogramsAndClampsGauges) {
+  counter("test.mr.flat.c").reset();
+  counter("test.mr.flat.c").add(2);
+  gauge("test.mr.flat.g").set(-5);  // negative gauges clamp to 0
+  Histogram& h = histogram("test.mr.flat.h");
+  h.reset();
+  h.observe(8);
+
+  std::vector<std::pair<std::string, std::uint64_t>> mine;
+  for (const auto& kv : Registry::instance().flat_snapshot()) {
+    if (kv.first.rfind("test.mr.flat.", 0) == 0) mine.push_back(kv);
+  }
+  ASSERT_EQ(mine.size(), 7u);
+  EXPECT_EQ(mine[0], (std::pair<std::string, std::uint64_t>{"test.mr.flat.c", 2}));
+  EXPECT_EQ(mine[1], (std::pair<std::string, std::uint64_t>{"test.mr.flat.g", 0}));
+  EXPECT_EQ(mine[2].first, "test.mr.flat.h.count");
+  EXPECT_EQ(mine[2].second, 1u);
+  EXPECT_EQ(mine[3].first, "test.mr.flat.h.sum");
+  EXPECT_EQ(mine[3].second, 8u);
+  EXPECT_EQ(mine[4].first, "test.mr.flat.h.p50");
+  EXPECT_EQ(mine[5].first, "test.mr.flat.h.p99");
+  EXPECT_EQ(mine[6].first, "test.mr.flat.h.max");
+  EXPECT_EQ(mine[6].second, 8u);
+}
+
+TEST(MetricsRegistry, SnapshotJsonIsOneFlatObject) {
+  counter("test.mr.json.c").reset();
+  counter("test.mr.json.c").add(17);
+  const std::string j = Registry::instance().snapshot_json();
+  EXPECT_EQ(j.front(), '{');
+  EXPECT_EQ(j.back(), '}');
+  EXPECT_NE(j.find("\"test.mr.json.c\":17"), std::string::npos) << j;
+}
+
+TEST(MetricsRegistry, ResetZeroesValuesButKeepsReferences) {
+  Counter& c = counter("test.mr.reset.c");
+  c.add(100);
+  Registry::instance().reset();
+  EXPECT_EQ(c.value(), 0u);
+  c.add(1);  // the pre-reset reference still feeds the same metric
+  EXPECT_EQ(counter("test.mr.reset.c").value(), 1u);
+}
+
+}  // namespace
+}  // namespace gras::telemetry

@@ -1,0 +1,259 @@
+// Span tracing: disabled spans are no-ops, recorded spans collect in
+// nesting order with thread labels, self-time attribution never
+// double-counts nested phases, and trace files round-trip through the
+// exporter/parser with deterministic `gras stats` rendering.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/build_info.h"
+#include "src/common/metrics_registry.h"
+#include "src/common/trace.h"
+
+namespace gras::trace {
+namespace {
+
+std::filesystem::path temp_trace(const char* name) {
+  const auto dir = std::filesystem::temp_directory_path() / "gras_trace_test";
+  std::filesystem::create_directories(dir);
+  return dir / name;
+}
+
+/// The trace module is process-global; every test starts and ends with a
+/// clean, disabled session so tests cannot leak spans into each other.
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override { reset(); }
+  void TearDown() override { reset(); }
+};
+
+Event make_event(std::uint32_t tid, const char* name, std::uint64_t start_ns,
+                 std::uint64_t dur_ns) {
+  Event e;
+  e.name = name;
+  e.cat = "phase";
+  e.tid = tid;
+  e.start_ns = start_ns;
+  e.dur_ns = dur_ns;
+  return e;
+}
+
+TEST_F(TraceTest, DisabledSpansRecordNothing) {
+  ASSERT_FALSE(enabled());
+  {
+    const Span a("never");
+    const Span b("never", "sim", "index", 42);
+  }
+  EXPECT_TRUE(collect().empty());
+  EXPECT_EQ(dropped_events(), 0u);
+}
+
+TEST_F(TraceTest, RecordsNestedSpansInOrder) {
+  start();
+  ASSERT_TRUE(enabled());
+  {
+    const Span outer("outer");
+    { const Span inner("inner", "sim", "index", 7); }
+    { const Span inner("inner", "sim", "index", 8); }
+  }
+  stop();
+  EXPECT_FALSE(enabled());
+
+  const std::vector<Event> events = collect();
+  ASSERT_EQ(events.size(), 3u);
+  // collect() orders each thread's events parent-before-child.
+  EXPECT_EQ(events[0].name, "outer");
+  EXPECT_EQ(events[0].cat, "phase");
+  EXPECT_TRUE(events[0].arg_name.empty());
+  EXPECT_EQ(events[1].name, "inner");
+  EXPECT_EQ(events[1].cat, "sim");
+  EXPECT_EQ(events[1].arg_name, "index");
+  EXPECT_EQ(events[1].arg, 7u);
+  EXPECT_EQ(events[2].arg, 8u);
+  // Nesting: the outer span contains both inner spans.
+  for (std::size_t i = 1; i < 3; ++i) {
+    EXPECT_GE(events[i].start_ns, events[0].start_ns);
+    EXPECT_LE(events[i].start_ns + events[i].dur_ns,
+              events[0].start_ns + events[0].dur_ns);
+  }
+  EXPECT_LE(events[1].start_ns + events[1].dur_ns, events[2].start_ns);
+}
+
+TEST_F(TraceTest, StopEndsRecording) {
+  start();
+  { const Span a("kept"); }
+  stop();
+  { const Span b("discarded"); }
+  const std::vector<Event> events = collect();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].name, "kept");
+}
+
+TEST_F(TraceTest, StartClearsThePreviousSession) {
+  start();
+  { const Span a("first_session"); }
+  start();
+  { const Span b("second_session"); }
+  stop();
+  const std::vector<Event> events = collect();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].name, "second_session");
+}
+
+TEST_F(TraceTest, ThreadsGetDistinctTidsAndLabels) {
+  start();
+  set_thread_name("trace-test-main");
+  { const Span a("main_work"); }
+  std::thread helper([] {
+    set_thread_name("trace-test-helper");
+    const Span b("helper_work", "pool");
+  });
+  helper.join();
+  stop();
+
+  const std::vector<Event> events = collect();
+  ASSERT_EQ(events.size(), 2u);
+  const Event* main_ev = nullptr;
+  const Event* helper_ev = nullptr;
+  for (const Event& e : events) {
+    if (e.name == "main_work") main_ev = &e;
+    if (e.name == "helper_work") helper_ev = &e;
+  }
+  ASSERT_NE(main_ev, nullptr);
+  ASSERT_NE(helper_ev, nullptr);
+  EXPECT_EQ(main_ev->thread, "trace-test-main");
+  EXPECT_EQ(helper_ev->thread, "trace-test-helper");
+  EXPECT_NE(main_ev->tid, helper_ev->tid);
+}
+
+TEST_F(TraceTest, PhaseTotalsSeparatesSelfFromNestedTime) {
+  // tid 1: outer [0,1000) containing inner [100,300) with leaf [150,200)
+  //        and inner [400,500); tid 2: bare outer [0,600).
+  std::vector<Event> events;
+  events.push_back(make_event(1, "outer", 0, 1000));
+  events.push_back(make_event(1, "inner", 100, 200));
+  events.push_back(make_event(1, "leaf", 150, 50));
+  events.push_back(make_event(1, "inner", 400, 100));
+  events.push_back(make_event(2, "outer", 0, 600));
+
+  const std::vector<PhaseTotal> totals = phase_totals(events);
+  ASSERT_EQ(totals.size(), 3u);
+  // Sorted by self time descending.
+  EXPECT_EQ(totals[0].name, "outer");
+  EXPECT_EQ(totals[0].count, 2u);
+  EXPECT_EQ(totals[0].total_ns, 1600u);
+  // outer self: 1000 - (200 + 100) direct children, plus the bare 600.
+  EXPECT_EQ(totals[0].self_ns, 1300u);
+  EXPECT_EQ(totals[1].name, "inner");
+  EXPECT_EQ(totals[1].count, 2u);
+  EXPECT_EQ(totals[1].total_ns, 300u);
+  // The leaf nests in the first inner, not in outer: inner self 300 - 50.
+  EXPECT_EQ(totals[1].self_ns, 250u);
+  EXPECT_EQ(totals[2].name, "leaf");
+  EXPECT_EQ(totals[2].self_ns, 50u);
+
+  // Self times always partition the traced time exactly.
+  std::uint64_t self_sum = 0;
+  for (const PhaseTotal& t : totals) self_sum += t.self_ns;
+  EXPECT_EQ(self_sum, 1000u + 600u);
+}
+
+TEST_F(TraceTest, PhaseTotalsNeverNestsAcrossThreads) {
+  // tid 2's span falls inside tid 1's window but runs on another thread:
+  // it must not be subtracted from tid 1's self time.
+  std::vector<Event> events;
+  events.push_back(make_event(1, "a", 0, 100));
+  events.push_back(make_event(2, "b", 10, 20));
+  const std::vector<PhaseTotal> totals = phase_totals(events);
+  ASSERT_EQ(totals.size(), 2u);
+  EXPECT_EQ(totals[0].name, "a");
+  EXPECT_EQ(totals[0].self_ns, 100u);
+  EXPECT_EQ(totals[1].name, "b");
+  EXPECT_EQ(totals[1].self_ns, 20u);
+}
+
+TEST_F(TraceTest, WriteAndReadFileRoundTrips) {
+  telemetry::counter("test.trace.roundtrip").add(3);
+  start();
+  set_thread_name("trace-test-rt");
+  {
+    const Span outer("rt_outer");
+    const Span inner("rt_inner", "sim", "launch", 11);
+  }
+  stop();
+
+  const auto path = temp_trace("roundtrip.json");
+  ASSERT_TRUE(write_file(path));
+
+  const auto parsed = read_file(path);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->build, build_summary());
+  EXPECT_EQ(parsed->dropped, 0u);
+
+  const std::vector<Event> original = collect();
+  ASSERT_EQ(parsed->events.size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(parsed->events[i].name, original[i].name);
+    EXPECT_EQ(parsed->events[i].cat, original[i].cat);
+    EXPECT_EQ(parsed->events[i].tid, original[i].tid);
+    EXPECT_EQ(parsed->events[i].thread, "trace-test-rt");
+    // The writer prints microseconds with 3 decimals: exact nanoseconds.
+    EXPECT_EQ(parsed->events[i].start_ns, original[i].start_ns);
+    EXPECT_EQ(parsed->events[i].dur_ns, original[i].dur_ns);
+  }
+
+  // Counter events carry the registry snapshot at export time.
+  bool found = false;
+  for (const auto& [name, value] : parsed->counters) {
+    if (name == "test.trace.roundtrip") {
+      found = true;
+      EXPECT_GE(value, 3u);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(TraceTest, ToJsonEmitsUniformEventObjects) {
+  start();
+  { const Span a("json_span", "phase", "index", 5); }
+  stop();
+  const std::string json = to_json(collect());
+  EXPECT_NE(json.find("\"displayTimeUnit\":\"ns\""), std::string::npos);
+  EXPECT_NE(json.find("\"otherData\":"), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"M\""), std::string::npos);  // thread_name
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);  // the span
+  EXPECT_NE(json.find("\"name\":\"json_span\""), std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"index\":5}"), std::string::npos);
+}
+
+TEST_F(TraceTest, ReadFileRejectsForeignFiles) {
+  EXPECT_FALSE(read_file(temp_trace("missing.json")).has_value());
+  const auto path = temp_trace("garbage.json");
+  std::ofstream(path) << "not a trace\n";
+  EXPECT_FALSE(read_file(path).has_value());
+}
+
+TEST_F(TraceTest, RenderStatsIsDeterministic) {
+  ParsedTrace parsed;
+  parsed.build = "gras test-sha Debug (test)";
+  parsed.dropped = 2;
+  parsed.events.push_back(make_event(1, "outer", 0, 2'000'000));
+  parsed.events.push_back(make_event(1, "inner", 500'000, 1'000'000));
+  parsed.counters.emplace_back("sim.cycles", 12345);
+
+  const std::string a = render_stats(parsed);
+  const std::string b = render_stats(parsed);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a.find("build: gras test-sha Debug (test)"), std::string::npos) << a;
+  EXPECT_NE(a.find("events: 2, dropped: 2"), std::string::npos) << a;
+  EXPECT_NE(a.find("outer"), std::string::npos);
+  EXPECT_NE(a.find("sim.cycles"), std::string::npos);
+  EXPECT_NE(a.find("12345"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gras::trace

@@ -1,0 +1,156 @@
+// Journal v3: the header carries the writing binary's build provenance,
+// the fingerprint deliberately ignores it (resume/merge across rebuilds),
+// and v2 journals — no build string — still read and resume cleanly.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "src/common/build_info.h"
+#include "src/orchestrator/journal.h"
+
+namespace gras::orchestrator {
+namespace {
+
+std::filesystem::path temp_journal(const char* name) {
+  const auto dir = std::filesystem::temp_directory_path() / "gras_journal_v3_test";
+  std::filesystem::create_directories(dir);
+  return dir / name;
+}
+
+JournalHeader example_header() {
+  JournalHeader h;
+  h.app = "va";
+  h.kernel = "va_k1";
+  h.config = "gv100-scaled";
+  h.target = "RF";
+  h.build = "gras feedc0ffee12 Release (gcc 13.2.0)";
+  h.samples = 50;
+  h.seed = 7;
+  h.margin = 0.0;
+  h.confidence = 0.99;
+  return h;
+}
+
+std::uint64_t fnv1a(const void* data, std::size_t len) {
+  std::uint64_t hash = 14695981039346656037ULL;
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < len; ++i) {
+    hash ^= p[i];
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+/// Hand-builds a v2 journal header (version field = 2, no build string) —
+/// the bytes an older build would have written — with zero records.
+std::string build_v2_header(const JournalHeader& h) {
+  std::string out;
+  out.append("GRASJRN1", 8);
+  const auto u32 = [&out](std::uint32_t v) {
+    out.append(reinterpret_cast<const char*>(&v), 4);
+  };
+  const auto u64 = [&out](std::uint64_t v) {
+    out.append(reinterpret_cast<const char*>(&v), 8);
+  };
+  const auto f64 = [&out](double v) {
+    out.append(reinterpret_cast<const char*>(&v), 8);
+  };
+  const auto str = [&](const std::string& s) {
+    u32(static_cast<std::uint32_t>(s.size()));
+    out.append(s);
+  };
+  u32(2);  // version
+  u32(h.shard_index);
+  u32(h.shard_count);
+  u32(0);  // reserved
+  u64(h.samples);
+  u64(h.seed);
+  f64(h.margin);
+  f64(h.confidence);
+  str(h.app);
+  str(h.kernel);
+  str(h.config);
+  str(h.target);
+  // v2 ends here: no build string before the checksum.
+  u64(fnv1a(out.data(), out.size()));
+  return out;
+}
+
+TEST(JournalV3, BuildProvenanceRoundTrips) {
+  const auto path = temp_journal("v3_build.jrnl");
+  {
+    auto writer = JournalWriter::open_fresh(path, example_header());
+    ASSERT_NE(writer, nullptr);
+    JournalRecord r;
+    r.index = 0;
+    r.cycles = 1234;
+    writer->append(r);
+    writer->sync();
+  }
+  const auto contents = read_journal(path);
+  ASSERT_TRUE(contents.has_value());
+  EXPECT_EQ(contents->version, 3u);
+  EXPECT_EQ(contents->header.build, example_header().build);
+  ASSERT_EQ(contents->records.size(), 1u);
+  EXPECT_EQ(contents->records[0].cycles, 1234u);
+}
+
+TEST(JournalV3, FingerprintIgnoresBuild) {
+  const JournalHeader a = example_header();
+  JournalHeader b = example_header();
+  b.build = "gras 0123456789ab Debug (clang 17.0.1)";
+  // Same campaign run by a different binary: still resumable/mergeable.
+  EXPECT_EQ(a.fingerprint(), b.fingerprint());
+  EXPECT_TRUE(a.same_campaign(b));
+  // But the identity fields still matter.
+  JournalHeader c = example_header();
+  c.seed = a.seed + 1;
+  EXPECT_FALSE(a.same_campaign(c));
+}
+
+TEST(JournalV3, ResumedV2JournalKeepsItsVersionAndEmptyBuild) {
+  const auto path = temp_journal("v2_resumed.jrnl");
+  std::ofstream(path, std::ios::binary) << build_v2_header(example_header());
+  auto contents = read_journal(path);
+  ASSERT_TRUE(contents.has_value());
+  ASSERT_EQ(contents->version, 2u);
+  EXPECT_TRUE(contents->header.build.empty());
+  EXPECT_TRUE(contents->header.same_campaign(example_header()));
+  {
+    auto writer = JournalWriter::open_resumed(path, *contents);
+    ASSERT_NE(writer, nullptr);
+    JournalRecord r;
+    r.index = 0;
+    r.cycles = 99;
+    writer->append(r);
+    writer->sync();
+  }
+  const auto reread = read_journal(path);
+  ASSERT_TRUE(reread.has_value());
+  EXPECT_EQ(reread->version, 2u);  // resuming never upgrades the file
+  EXPECT_TRUE(reread->header.build.empty());
+  EXPECT_EQ(reread->dropped_bytes, 0u);
+  ASSERT_EQ(reread->records.size(), 1u);
+  EXPECT_EQ(reread->records[0].cycles, 99u);
+}
+
+TEST(JournalV3, OrchestratorStampsTheRunningBuild) {
+  // open_fresh writes whatever the header carries; the orchestrator fills
+  // it from build_summary(). Mirror that here and check the round trip.
+  JournalHeader h = example_header();
+  h.build = build_summary();
+  const auto path = temp_journal("v3_stamped.jrnl");
+  {
+    auto writer = JournalWriter::open_fresh(path, h);
+    ASSERT_NE(writer, nullptr);
+    writer->sync();
+  }
+  const auto contents = read_journal(path);
+  ASSERT_TRUE(contents.has_value());
+  EXPECT_EQ(contents->header.build, build_summary());
+}
+
+}  // namespace
+}  // namespace gras::orchestrator

@@ -1,0 +1,157 @@
+// Progress machinery under an injectable fake clock — no real sleeps:
+// RateTracker throughput/ETA math, StderrProgress throttling, and the
+// JsonlProgress stream shape (build record first, metrics records
+// interleaving with progress records at the configured interval).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "src/common/metrics_registry.h"
+#include "src/orchestrator/progress.h"
+
+namespace gras::orchestrator {
+namespace {
+
+std::filesystem::path temp_jsonl(const char* name) {
+  const auto dir = std::filesystem::temp_directory_path() / "gras_progress_clock_test";
+  std::filesystem::create_directories(dir);
+  const auto path = dir / name;
+  std::filesystem::remove(path);  // JsonlProgress appends
+  return path;
+}
+
+std::vector<std::string> read_lines(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+/// The "type" tag of one JSONL record ("build", "progress", "metrics").
+std::string type_of(const std::string& line) {
+  const std::string pat = "{\"type\":\"";
+  if (line.rfind(pat, 0) != 0) return "";
+  const std::size_t end = line.find('"', pat.size());
+  return end == std::string::npos ? "" : line.substr(pat.size(), end - pat.size());
+}
+
+TEST(RateTrackerFakeClock, RateAndEtaFollowTheClock) {
+  double t = 100.0;
+  RateTracker tracker([&t] { return t; });
+  // No time has passed: rate and ETA are unknown, reported as 0.
+  EXPECT_DOUBLE_EQ(tracker.elapsed(), 0.0);
+  EXPECT_DOUBLE_EQ(tracker.rate(10), 0.0);
+  EXPECT_DOUBLE_EQ(tracker.eta(10, 90), 0.0);
+
+  t = 104.0;  // 4 seconds, 10 samples -> 2.5/s; 90 remaining -> 36 s
+  EXPECT_DOUBLE_EQ(tracker.elapsed(), 4.0);
+  EXPECT_DOUBLE_EQ(tracker.rate(10), 2.5);
+  EXPECT_DOUBLE_EQ(tracker.eta(10, 90), 36.0);
+  EXPECT_DOUBLE_EQ(tracker.eta(0, 90), 0.0);  // nothing done yet: no rate
+
+  tracker.reset();  // window restarts at t=104
+  EXPECT_DOUBLE_EQ(tracker.elapsed(), 0.0);
+  t = 106.0;
+  EXPECT_DOUBLE_EQ(tracker.rate(4), 2.0);
+}
+
+TEST(RateTrackerFakeClock, BackwardsClockClampsToZero) {
+  double t = 50.0;
+  RateTracker tracker([&t] { return t; });
+  t = 49.0;  // e.g. a reset racing a stale reading
+  EXPECT_DOUBLE_EQ(tracker.elapsed(), 0.0);
+  EXPECT_DOUBLE_EQ(tracker.rate(5), 0.0);
+  EXPECT_DOUBLE_EQ(tracker.eta(5, 5), 0.0);
+}
+
+TEST(StderrProgressFakeClock, ThrottlesIntermediateSnapshots) {
+  double t = 0.0;
+  StderrProgress sink(0.5, [&t] { return t; });
+  ProgressSnapshot s;
+  s.total = 100;
+
+  const auto emit_at = [&](double when, std::uint64_t completed, bool done) {
+    t = when;
+    s.completed = completed;
+    s.done = done;
+    ::testing::internal::CaptureStderr();
+    sink.on_progress(s);
+    return ::testing::internal::GetCapturedStderr();
+  };
+
+  EXPECT_FALSE(emit_at(0.0, 10, false).empty());  // first snapshot always prints
+  EXPECT_TRUE(emit_at(0.2, 20, false).empty());   // 0.2 s since last: throttled
+  EXPECT_TRUE(emit_at(0.49, 30, false).empty());
+  EXPECT_FALSE(emit_at(0.5, 40, false).empty());  // interval reached
+  EXPECT_TRUE(emit_at(0.6, 50, false).empty());
+  // The final snapshot always prints, throttle or not, with a newline.
+  const std::string last = emit_at(0.61, 100, true);
+  ASSERT_FALSE(last.empty());
+  EXPECT_EQ(last.back(), '\n');
+}
+
+TEST(JsonlProgressFakeClock, MetricsRecordsInterleaveAtTheInterval) {
+  telemetry::counter("test.pc.samples").reset();
+  double t = 0.0;
+  const auto path = temp_jsonl("interleave.jsonl");
+  {
+    JsonlProgress sink(path.string(), 2.0, [&t] { return t; });
+    ProgressSnapshot s;
+    s.total = 40;
+    const auto emit = [&](double when, std::uint64_t completed, bool done) {
+      t = when;
+      s.completed = completed;
+      s.done = done;
+      telemetry::counter("test.pc.samples").add(10);
+      sink.on_progress(s);
+    };
+    emit(0.0, 10, false);  // first: metrics (nothing emitted yet)
+    emit(1.0, 20, false);  // 1 s since last metrics: progress only
+    emit(2.0, 30, false);  // interval reached: metrics again
+    emit(2.5, 40, true);   // done: metrics always
+  }
+
+  const std::vector<std::string> lines = read_lines(path);
+  std::vector<std::string> types;
+  types.reserve(lines.size());
+  for (const std::string& line : lines) types.push_back(type_of(line));
+  EXPECT_EQ(types, (std::vector<std::string>{"build", "progress", "metrics",
+                                             "progress", "progress", "metrics",
+                                             "progress", "metrics"}));
+
+  // The build record carries provenance keys; each metrics record is tied to
+  // the progress record that triggered it and embeds a registry snapshot.
+  EXPECT_NE(lines[0].find("\"git_sha\""), std::string::npos) << lines[0];
+  EXPECT_NE(lines[2].find("\"completed\":10"), std::string::npos) << lines[2];
+  EXPECT_NE(lines[2].find("\"test.pc.samples\":10"), std::string::npos) << lines[2];
+  EXPECT_NE(lines[5].find("\"completed\":30"), std::string::npos) << lines[5];
+  EXPECT_NE(lines[5].find("\"test.pc.samples\":30"), std::string::npos) << lines[5];
+  EXPECT_NE(lines[7].find("\"completed\":40"), std::string::npos) << lines[7];
+}
+
+TEST(JsonlProgressFakeClock, ZeroIntervalDisablesMetricsRecords) {
+  double t = 0.0;
+  const auto path = temp_jsonl("no_metrics.jsonl");
+  {
+    JsonlProgress sink(path.string(), 0.0, [&t] { return t; });
+    ProgressSnapshot s;
+    s.total = 10;
+    s.completed = 10;
+    s.done = true;
+    t = 100.0;
+    sink.on_progress(s);  // even the final snapshot emits no metrics record
+  }
+  const std::vector<std::string> lines = read_lines(path);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(type_of(lines[0]), "build");
+  EXPECT_EQ(type_of(lines[1]), "progress");
+}
+
+}  // namespace
+}  // namespace gras::orchestrator

@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Validates a gras trace file (Chrome trace-event JSON).
+
+Checks that the file parses as JSON, that every event carries the uniform
+ph/ts/pid/tid/name envelope, and that each thread's "X" spans nest properly
+(a child is fully contained in its parent — overlapping siblings would
+render as garbage in Perfetto and break self-time attribution).
+
+Usage: check_trace.py <trace.json>
+Exit status: 0 valid, 1 invalid, 2 usage.
+"""
+
+import json
+import sys
+
+# "X" timestamps are microseconds with 3 decimals; one representable step.
+EPS_US = 0.001
+
+
+def fail(msg):
+    print(f"check_trace: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    if len(sys.argv) != 2:
+        print(__doc__.strip(), file=sys.stderr)
+        sys.exit(2)
+
+    try:
+        with open(sys.argv[1], encoding="utf-8") as f:
+            trace = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"not readable JSON: {e}")
+
+    if trace.get("displayTimeUnit") != "ns":
+        fail("missing displayTimeUnit")
+    other = trace.get("otherData")
+    if not isinstance(other, dict) or "build" not in other or "dropped" not in other:
+        fail("otherData must carry build and dropped")
+    events = trace.get("traceEvents")
+    if not isinstance(events, list):
+        fail("traceEvents must be a list")
+
+    spans_by_tid = {}
+    counters = 0
+    threads = set()
+    for i, e in enumerate(events):
+        for key in ("ph", "ts", "pid", "tid", "name"):
+            if key not in e:
+                fail(f"event {i} lacks '{key}': {e}")
+        ph = e["ph"]
+        if ph == "M":
+            if e["name"] == "thread_name":
+                if not e.get("args", {}).get("name"):
+                    fail(f"thread_name metadata without a label: {e}")
+                threads.add(e["tid"])
+        elif ph == "X":
+            if "dur" not in e or e["dur"] < 0 or "cat" not in e:
+                fail(f"X event {i} needs a non-negative dur and a cat: {e}")
+            spans_by_tid.setdefault(e["tid"], []).append(e)
+        elif ph == "C":
+            if "value" not in e.get("args", {}):
+                fail(f"C event {i} lacks args.value: {e}")
+            counters += 1
+        else:
+            fail(f"event {i} has unknown ph '{ph}'")
+
+    nspans = 0
+    for tid, spans in sorted(spans_by_tid.items()):
+        if tid not in threads:
+            fail(f"tid {tid} has spans but no thread_name metadata")
+        spans.sort(key=lambda e: (e["ts"], -e["dur"]))
+        stack = []  # (name, start, end) of open ancestors
+        for e in spans:
+            start, end = e["ts"], e["ts"] + e["dur"]
+            while stack and stack[-1][2] <= start + EPS_US:
+                stack.pop()
+            if stack and end > stack[-1][2] + EPS_US:
+                fail(
+                    f"tid {tid}: '{e['name']}' [{start}, {end}] overlaps "
+                    f"'{stack[-1][0]}' [{stack[-1][1]}, {stack[-1][2]}] "
+                    "without nesting inside it"
+                )
+            stack.append((e["name"], start, end))
+            nspans += 1
+
+    print(
+        f"check_trace: OK — {nspans} spans on {len(spans_by_tid)} threads, "
+        f"{counters} counters, build '{other['build']}', "
+        f"{other['dropped']} dropped"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+#!/usr/bin/env bash
+# Observability smoke test (CI):
+#   1. run a small traced campaign (--trace + JSONL progress),
+#   2. validate the trace file's schema and per-thread span nesting,
+#   3. require `gras stats` to be byte-identical across invocations, on
+#      both the trace file and the journal,
+#   4. require the JSONL stream to open with a build record and to carry
+#      at least one metrics record.
+#
+# Usage: ci_trace_smoke.sh [path-to-gras-binary] [trace-output-path]
+# The trace file is left at trace-output-path (default gras_smoke.trace.json)
+# so CI can upload it as an artifact.
+set -u
+
+GRAS=${1:-build/tools/gras}
+TRACE=${2:-gras_smoke.trace.json}
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT
+export GRAS_CACHE="$WORK/cache"
+
+fail() { echo "ci_trace_smoke: $*" >&2; exit 1; }
+
+echo "== version =="
+"$GRAS" --version || fail "--version failed"
+
+echo "== traced campaign =="
+"$GRAS" campaign hotspot hotspot_k1 RF 200 \
+    --journal "$WORK/smoke.jrnl" --trace "$TRACE" \
+    --progress "jsonl=$WORK/progress.jsonl" \
+    > "$WORK/campaign.txt" || fail "traced campaign failed"
+[ -s "$TRACE" ] || fail "campaign did not write the trace file"
+
+echo "== trace schema + nesting =="
+python3 "$(dirname "$0")/check_trace.py" "$TRACE" || fail "trace validation failed"
+
+echo "== stats determinism =="
+"$GRAS" stats "$TRACE" > "$WORK/stats1.txt" || fail "stats <trace> failed"
+"$GRAS" stats "$TRACE" > "$WORK/stats2.txt" || fail "stats <trace> rerun failed"
+diff "$WORK/stats1.txt" "$WORK/stats2.txt" \
+    || fail "stats <trace> is not deterministic"
+grep -q "Phase" "$WORK/stats1.txt" || fail "stats <trace> lacks the phase table"
+"$GRAS" stats "$WORK/smoke.jrnl" > "$WORK/jstats1.txt" \
+    || fail "stats <journal> failed"
+"$GRAS" stats "$WORK/smoke.jrnl" > "$WORK/jstats2.txt" \
+    || fail "stats <journal> rerun failed"
+diff "$WORK/jstats1.txt" "$WORK/jstats2.txt" \
+    || fail "stats <journal> is not deterministic"
+grep -q "build" "$WORK/jstats1.txt" || fail "stats <journal> lacks provenance"
+cat "$WORK/stats1.txt"
+
+echo "== JSONL stream shape =="
+head -1 "$WORK/progress.jsonl" | grep -q '"type":"build"' \
+    || fail "JSONL does not open with a build record"
+grep -q '"type":"progress"' "$WORK/progress.jsonl" \
+    || fail "JSONL has no progress records"
+grep -q '"type":"metrics"' "$WORK/progress.jsonl" \
+    || fail "JSONL has no metrics records"
+
+echo "ci_trace_smoke: OK"

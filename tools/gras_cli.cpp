@@ -23,10 +23,24 @@
 //                                      the record; --trace dumps the fault
 //                                      site and first divergent output words
 //   gras reuse <app> <kernel>          register-reuse summary (Fig. 12)
+//   gras stats <journal|trace>         deterministic summary tables: journal
+//                                      header + outcome histogram, or a trace
+//                                      file's per-phase time breakdown and
+//                                      counter table (docs/observability.md)
+//   gras --version                     build provenance (git SHA, compiler)
+//
+// `gras campaign --trace <file>` records phase spans during the campaign and
+// writes Chrome/Perfetto trace-event JSON (open at https://ui.perfetto.dev
+// or feed to `gras stats`). Distinct from `gras replay ... --trace`, which
+// dumps the fault site of one replayed sample.
+//
+// Exit codes (all commands): 0 success; 1 runtime failure (I/O error, replay
+// divergence, failed assembly); 2 usage error (unknown command/app/kernel/
+// target/flag, malformed arguments).
 //
 // Targets: RF SMEM L1D L1T L2 SVF SVF-LD SVF-SRC1 SVF-REUSE.
 // Environment: GRAS_CONFIG, GRAS_SEED, GRAS_THREADS, GRAS_JOURNAL_DIR,
-// GRAS_JOURNAL_FSYNC (see README).
+// GRAS_JOURNAL_FSYNC, GRAS_TRACE, GRAS_TRACE_BUF (see README).
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -41,8 +55,10 @@
 #include "src/analysis/anatomy.h"
 #include "src/assembler/assembler.h"
 #include "src/campaign/campaign.h"
+#include "src/common/build_info.h"
 #include "src/common/env.h"
 #include "src/common/table.h"
+#include "src/common/trace.h"
 #include "src/isa/disasm.h"
 #include "src/orchestrator/orchestrator.h"
 #include "src/orchestrator/replay.h"
@@ -62,11 +78,13 @@ int usage() {
                "  campaign <app> <kernel> <target> [samples]\n"
                "           [--shard i/N] [--resume] [--margin pct]\n"
                "           [--progress stderr|jsonl[=path]] [--journal path]\n"
-               "           [--no-journal]\n"
+               "           [--no-journal] [--trace file]\n"
                "  merge <journal>...\n"
                "  anatomy <journal>...\n"
                "  replay <journal> [<seed>:]<index> [--trace]\n"
                "  reuse <app> <kernel>\n"
+               "  stats <journal|trace-file>\n"
+               "  --version\n"
                "apps: ");
   for (const auto& name : workloads::benchmark_names()) {
     std::fprintf(stderr, "%s ", name.c_str());
@@ -76,6 +94,10 @@ int usage() {
 }
 
 sim::GpuConfig config() { return sim::make_config(env_config()); }
+
+/// How often `--progress jsonl` interleaves {"type":"metrics"} registry
+/// snapshots between progress records (always one more at done).
+constexpr double kMetricsIntervalSec = 2.0;
 
 int cmd_list() {
   TextTable table({"App", "Kernels", "Buffers", "Output bytes"});
@@ -184,6 +206,7 @@ struct CampaignFlags {
   double margin = 0.0;  // fraction
   std::string journal;
   std::string progress;  // "", "stderr", "jsonl", "jsonl=path"
+  std::string trace;     // Perfetto trace output path ("" = GRAS_TRACE env)
 };
 
 /// Parses argv[from..), leaving positionals untouched. Throws
@@ -223,6 +246,11 @@ CampaignFlags parse_campaign_flags(int argc, char** argv, int from) {
       }
     } else if (arg == "--journal") {
       flags.journal = need_value("--journal");
+    } else if (arg == "--trace") {
+      flags.trace = need_value("--trace");
+      if (flags.trace.empty() || flags.trace == "0") {
+        throw std::invalid_argument("--trace needs an output file path");
+      }
     } else if (arg == "--progress") {
       flags.progress = need_value("--progress");
       const bool ok = flags.progress == "stderr" || flags.progress == "jsonl" ||
@@ -256,9 +284,20 @@ int cmd_campaign(const std::string& app_name, const std::string& kernel,
     std::fprintf(stderr, "\n");
     return 2;
   }
+  // --trace wins over the GRAS_TRACE environment default. Tracing starts
+  // before the golden run so its sim.launch spans are captured too.
+  const std::string trace_path = flags.trace.empty() ? env_trace_path() : flags.trace;
+  if (!trace_path.empty()) {
+    trace::set_thread_name("gras-main");
+    trace::start();
+  }
+
   const auto app = workloads::make_benchmark(app_name);
   const auto cfg = config();
-  const auto golden = campaign::run_golden(*app, cfg);
+  const auto golden = [&] {
+    const trace::Span span("golden", "phase");
+    return campaign::run_golden(*app, cfg);
+  }();
   if (golden.launches_of(kernel).empty()) {
     std::fprintf(stderr, "gras: app '%s' has no kernel '%s'; its kernels are:",
                  app_name.c_str(), kernel.c_str());
@@ -286,10 +325,10 @@ int cmd_campaign(const std::string& app_name, const std::string& kernel,
   if (flags.progress == "stderr") {
     sink = std::make_unique<orchestrator::StderrProgress>();
   } else if (flags.progress == "jsonl") {
-    sink = std::make_unique<orchestrator::JsonlProgress>("-");
+    sink = std::make_unique<orchestrator::JsonlProgress>("-", kMetricsIntervalSec);
   } else if (!flags.progress.empty()) {
     sink = std::make_unique<orchestrator::JsonlProgress>(
-        flags.progress.substr(std::strlen("jsonl=")));
+        flags.progress.substr(std::strlen("jsonl=")), kMetricsIntervalSec);
   }
   options.progress = sink.get();
 
@@ -320,6 +359,74 @@ int cmd_campaign(const std::string& app_name, const std::string& kernel,
   if (!durable.journal.empty()) {
     std::printf("journal: %s\n", durable.journal.string().c_str());
   }
+  if (!trace_path.empty()) {
+    trace::stop();
+    if (!trace::write_file(trace_path)) {
+      std::fprintf(stderr, "gras: cannot write trace '%s'\n", trace_path.c_str());
+      return 1;
+    }
+    std::printf("trace: %s\n", trace_path.c_str());
+  }
+  return 0;
+}
+
+int cmd_stats(const std::filesystem::path& path) {
+  // A journal starts with the GRASJRN1 magic; our trace files start with
+  // '{' — dispatch on the first bytes rather than the file extension.
+  char magic[8] = {};
+  {
+    std::ifstream in(path, std::ios::binary);
+    if (!in || !in.read(magic, sizeof magic)) {
+      std::fprintf(stderr, "gras: cannot read '%s'\n", path.string().c_str());
+      return 1;
+    }
+  }
+  if (std::memcmp(magic, "GRASJRN1", 8) == 0) {
+    const auto contents = orchestrator::read_journal(path);
+    if (!contents) {
+      std::fprintf(stderr, "gras: damaged journal '%s'\n", path.string().c_str());
+      return 1;
+    }
+    const orchestrator::JournalHeader& h = contents->header;
+    TextTable header({"Field", "Value"});
+    header.add_row({"app", h.app});
+    header.add_row({"kernel", h.kernel});
+    header.add_row({"config", h.config});
+    header.add_row({"target", h.target});
+    header.add_row({"build", h.build.empty() ? "(pre-v3 journal)" : h.build});
+    header.add_row({"version", std::to_string(contents->version)});
+    header.add_row({"samples", std::to_string(h.samples)});
+    header.add_row({"seed", std::to_string(h.seed)});
+    header.add_row({"shard", std::to_string(h.shard_index) + "/" +
+                                 std::to_string(h.shard_count)});
+    header.add_row({"records", std::to_string(contents->records.size())});
+    header.add_row({"dropped bytes", std::to_string(contents->dropped_bytes)});
+    if (contents->early_stop_consumed) {
+      header.add_row({"early stop", std::to_string(*contents->early_stop_consumed)});
+    }
+    std::printf("%s", header.render().c_str());
+
+    campaign::CampaignResult r;
+    for (const auto& rec : contents->records) {
+      switch (rec.outcome) {
+        case fi::Outcome::Masked: ++r.counts.masked; break;
+        case fi::Outcome::SDC: ++r.counts.sdc; break;
+        case fi::Outcome::Timeout: ++r.counts.timeout; break;
+        case fi::Outcome::DUE: ++r.counts.due; break;
+      }
+      if (rec.control_path) ++r.control_path_masked;
+      if (rec.injected) ++r.injected;
+    }
+    print_histogram(r);
+    return 0;
+  }
+  const auto parsed = trace::read_file(path);
+  if (!parsed) {
+    std::fprintf(stderr, "gras: '%s' is neither a journal nor a gras trace\n",
+                 path.string().c_str());
+    return 1;
+  }
+  std::printf("%s", trace::render_stats(*parsed).c_str());
   return 0;
 }
 
@@ -466,6 +573,12 @@ int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string cmd = argv[1];
   try {
+    if (cmd == "--version" || cmd == "version") {
+      std::printf("%s\n", build_summary().c_str());
+      std::printf("%s\n", build_json().c_str());
+      return 0;
+    }
+    if (cmd == "stats" && argc == 3) return cmd_stats(argv[2]);
     if (cmd == "list") return cmd_list();
     if (cmd == "run" && argc == 3) return cmd_run(argv[2]);
     if (cmd == "disasm" && (argc == 3 || argc == 4)) {
