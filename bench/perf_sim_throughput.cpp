@@ -19,6 +19,13 @@
 // fast-forward should win by >=2x; the `early` pair targets the app's
 // first kernel, where both paths simulate nearly everything and the
 // speedup is just the reuse of a pre-built Gpu workspace.
+// The execution-backend pairs are BM_SampleBackend/*_timing vs
+// */_functional: identical samples with the fault-free launch prefix run
+// on the cycle-level timing core vs the fast functional interpreter
+// (GRAS_BACKEND, DESIGN.md §11). The JSON summary additionally isolates
+// late-injection SVF samples — where the functional prefix covers most of
+// the work — and reports their per-sample speedup, which the CI perf gate
+// (tools/check_bench.py vs bench/baseline_perf.json) keeps from regressing.
 // The journal-overhead pair is BM_CampaignJournaled vs BM_CampaignInMemory:
 // identical campaigns through the durable orchestrator with and without the
 // on-disk sample journal. The journal is written by a dedicated writer
@@ -149,6 +156,42 @@ BENCHMARK_CAPTURE(BM_SampleCheckpointed, srad_v1_early_rf, std::string("srad_v1"
 BENCHMARK_CAPTURE(BM_SampleFullRun, srad_v1_early_rf, std::string("srad_v1"),
                   std::string("srad1_extract"), campaign::Target::RF);
 
+/// One checkpointed sample with a forced execution backend: the fault-free
+/// launches between the resume checkpoint and the injection launch run on
+/// the timing core (`Backend::Timing`) or the fast functional interpreter
+/// (`Backend::Functional`). Same samples, same results; the pair isolates
+/// the prefix-execution cost. Kernels with many launches (srad2's diffusion
+/// iterations, lud's inner sweeps) give the functional backend the most
+/// prefix to skip.
+void BM_SampleBackend(benchmark::State& state, const std::string& name,
+                      const std::string& kernel, campaign::Target target,
+                      campaign::Backend backend) {
+  const auto app = workloads::make_benchmark(name);
+  const auto golden =
+      campaign::run_golden(*app, config(), campaign::Checkpointing::On);
+  campaign::CampaignSpec spec;
+  spec.kernel = kernel;
+  spec.target = target;
+  sim::Gpu workspace(config());
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        campaign::run_sample(*app, golden, spec, i++, workspace, nullptr, backend));
+  }
+}
+BENCHMARK_CAPTURE(BM_SampleBackend, srad_v1_svf_timing, std::string("srad_v1"),
+                  std::string("srad1_srad2"), campaign::Target::Svf,
+                  campaign::Backend::Timing);
+BENCHMARK_CAPTURE(BM_SampleBackend, srad_v1_svf_functional, std::string("srad_v1"),
+                  std::string("srad1_srad2"), campaign::Target::Svf,
+                  campaign::Backend::Functional);
+BENCHMARK_CAPTURE(BM_SampleBackend, lud_svf_timing, std::string("lud"),
+                  std::string("lud_internal"), campaign::Target::Svf,
+                  campaign::Backend::Timing);
+BENCHMARK_CAPTURE(BM_SampleBackend, lud_svf_functional, std::string("lud"),
+                  std::string("lud_internal"), campaign::Target::Svf,
+                  campaign::Backend::Functional);
+
 /// One whole campaign through the durable orchestrator. `journaled` toggles
 /// the sample journal; everything else (chunking, workspace reuse, sample
 /// schedule) is identical, so the pair isolates pure journal overhead.
@@ -263,6 +306,55 @@ double disabled_span_cost_ns() {
   return (wall_seconds() - begin) * 1e9 / kSpans;
 }
 
+struct BackendMeasurement {
+  double timing_ms_per_sample = 0.0;
+  double functional_ms_per_sample = 0.0;
+  double speedup = 0.0;
+  std::size_t samples = 0;
+};
+
+/// Per-sample cost of the two execution backends on late-injection SVF
+/// samples. Sample indices are scanned (cheaply, on the functional backend)
+/// for injections landing in the last eighth of srad2's diffusion launches —
+/// the samples where the prefix dominates and the backend choice matters —
+/// and that same index set is then timed under both backends. The set is
+/// identical either way because fault-site selection is backend-invariant.
+BackendMeasurement measure_backend_speedup() {
+  const auto app = workloads::make_benchmark("srad_v1");
+  const auto golden =
+      campaign::run_golden(*app, config(), campaign::Checkpointing::On);
+  campaign::CampaignSpec spec;
+  spec.kernel = "srad1_srad2";
+  spec.target = campaign::Target::Svf;
+  const auto& launches = golden.launches_of(spec.kernel);
+  const std::size_t cutoff = launches[launches.size() - 1 - launches.size() / 8];
+  sim::Gpu workspace(config());
+  std::vector<std::uint64_t> late;
+  for (std::uint64_t i = 0; late.size() < 12 && i < 256; ++i) {
+    const auto s = campaign::run_sample(*app, golden, spec, i, workspace, nullptr,
+                                        campaign::Backend::Functional);
+    if (s.fault.launch >= cutoff) late.push_back(i);
+  }
+  BackendMeasurement m;
+  m.samples = late.size();
+  if (late.empty()) return m;
+  const auto per_sample_ms = [&](campaign::Backend backend) {
+    const double begin = wall_seconds();
+    for (const std::uint64_t i : late) {
+      benchmark::DoNotOptimize(
+          campaign::run_sample(*app, golden, spec, i, workspace, nullptr, backend));
+    }
+    return (wall_seconds() - begin) * 1e3 / static_cast<double>(late.size());
+  };
+  per_sample_ms(campaign::Backend::Functional);  // warm-up
+  m.functional_ms_per_sample = per_sample_ms(campaign::Backend::Functional);
+  m.timing_ms_per_sample = per_sample_ms(campaign::Backend::Timing);
+  m.speedup = m.functional_ms_per_sample > 0
+                  ? m.timing_ms_per_sample / m.functional_ms_per_sample
+                  : 0.0;
+  return m;
+}
+
 int emit_bench_json() {
   const auto app = workloads::make_benchmark("hotspot");
   const auto golden =
@@ -280,6 +372,8 @@ int emit_bench_json() {
   const auto medians = phase_median_us(events);
   std::uint64_t traced_self_ns = 0;
   for (const auto& p : trace::phase_totals(events)) traced_self_ns += p.self_ns;
+
+  const BackendMeasurement backend = measure_backend_speedup();
 
   const double span_ns = disabled_span_cost_ns();
   const double overhead_pct =
@@ -302,6 +396,13 @@ int emit_bench_json() {
   std::fprintf(f, "  \"samples_per_sec_traced\": %.2f,\n", traced.samples_per_sec);
   std::fprintf(f, "  \"trace_enabled_overhead_pct\": %.2f,\n", overhead_pct);
   std::fprintf(f, "  \"disabled_span_cost_ns\": %.2f,\n", span_ns);
+  std::fprintf(f, "  \"backend_late_svf_samples\": %llu,\n",
+               static_cast<unsigned long long>(backend.samples));
+  std::fprintf(f, "  \"backend_timing_ms_per_sample\": %.3f,\n",
+               backend.timing_ms_per_sample);
+  std::fprintf(f, "  \"backend_functional_ms_per_sample\": %.3f,\n",
+               backend.functional_ms_per_sample);
+  std::fprintf(f, "  \"backend_speedup_late_svf\": %.2f,\n", backend.speedup);
   std::fprintf(f, "  \"traced_wall_ms\": %.3f,\n", traced.wall_sec * 1e3);
   std::fprintf(f, "  \"traced_self_total_ms\": %.3f,\n",
                static_cast<double>(traced_self_ns) / 1e6);

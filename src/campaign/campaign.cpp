@@ -6,11 +6,31 @@
 #include <stdexcept>
 
 #include "src/common/env.h"
+#include "src/common/metrics_registry.h"
 #include "src/common/rng.h"
 #include "src/common/trace.h"
 #include "src/fi/injectors.h"
+#include "src/sim/backend.h"
+#include "src/sim/functional.h"
 
 namespace gras::campaign {
+
+const sim::GpuSnapshot* PrefixCache::find(std::size_t handoff) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = by_handoff_.find(handoff);
+  return it == by_handoff_.end() ? nullptr : it->second.get();
+}
+
+void PrefixCache::insert(std::size_t handoff, sim::GpuSnapshot snapshot) const {
+  auto owned = std::make_unique<const sim::GpuSnapshot>(std::move(snapshot));
+  const std::lock_guard<std::mutex> lock(mu_);
+  by_handoff_.try_emplace(handoff, std::move(owned));
+}
+
+std::size_t PrefixCache::size() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return by_handoff_.size();
+}
 
 void GoldenRun::build_index() {
   launch_index_.clear();
@@ -73,6 +93,7 @@ GoldenRun run_golden(const workloads::App& app, const sim::GpuConfig& config,
   if (checkpoint) {
     bundle = std::make_shared<GoldenCheckpoints>();
     gpu.set_checkpoint_sink(&bundle->store);
+    gpu.set_residue_sink(&bundle->residues);
     golden.output = workloads::run_app(app, gpu, &bundle->trace);
   } else {
     golden.output = workloads::run_app(app, gpu);
@@ -204,6 +225,39 @@ ResumePoint find_resume(const GoldenRun& golden, const std::string& kernel) {
   return rp;
 }
 
+/// Resolves a campaign Backend to the concrete execution backend, consulting
+/// GRAS_BACKEND for FromEnv. Throws on unknown GRAS_BACKEND spellings.
+sim::BackendKind resolve_backend(Backend mode) {
+  switch (mode) {
+    case Backend::Timing: return sim::BackendKind::Timing;
+    case Backend::Functional: return sim::BackendKind::Functional;
+    case Backend::FromEnv: break;
+  }
+  const std::string name = env_backend();
+  const std::optional<sim::BackendKind> kind = sim::backend_from_name(name);
+  if (!kind) {
+    throw std::runtime_error("unknown GRAS_BACKEND '" + name +
+                             "' (expected \"timing\" or \"functional\")");
+  }
+  return *kind;
+}
+
+/// Latest launch boundary in [resume_launch, inject_launch] the functional
+/// backend can run to: every prefix launch's kernel must be functional_safe
+/// (no old-value atomics, whose result depends on warp interleaving) and the
+/// golden run must carry a boundary residue there. Returns resume_launch
+/// when no functional prefix is possible — the sample then runs pure timing
+/// from the checkpoint, exactly as before.
+std::size_t functional_handoff(const workloads::App& app, const GoldenRun& golden,
+                               std::size_t resume_launch, std::size_t inject_launch) {
+  std::size_t best = resume_launch;
+  for (std::size_t b = resume_launch + 1; b <= inject_launch; ++b) {
+    if (!sim::functional_safe(app.kernel(golden.launches[b - 1].kernel))) break;
+    if (golden.checkpoints->residues.at(b) != nullptr) best = b;
+  }
+  return best;
+}
+
 /// A sample's injector plus a view of its provenance record. The record
 /// pointer aims into the concrete injector (which the campaign constructed),
 /// so the fault site can be read back after the run without the simulator
@@ -211,6 +265,10 @@ ResumePoint find_resume(const GoldenRun& golden, const std::string& kernel) {
 struct HookBundle {
   std::unique_ptr<sim::FaultHook> hook;
   const fi::FaultRecord* record = nullptr;
+  /// First launch index the timing backend simulates live. Equals the resume
+  /// launch for pure-timing samples; under the functional backend it is the
+  /// functional_handoff boundary for the sampled injection launch.
+  std::size_t handoff = 0;
 
   explicit operator bool() const { return hook != nullptr; }
 };
@@ -219,19 +277,25 @@ struct HookBundle {
 /// no sampling space for this target (no cycles / no instructions).
 ///
 /// When the sample will fast-forward to `resume`, the SoftwareInjector's
-/// dynamic-instruction counter starts at the resume launch's gp/ld base:
-/// replay skips the prefix instructions the counter would otherwise have
-/// walked through. The RNG draw sequence is identical either way, so
-/// checkpointed and full-run samples pick the same fault site.
-HookBundle make_hook(const GoldenRun& golden, const CampaignSpec& spec, Rng& rng,
-                     const ResumePoint& resume) {
+/// dynamic-instruction counter starts at the gp/ld base of the launch where
+/// live timing simulation begins — the resume launch, or the functional
+/// handoff boundary when `functional` is set (hooks are never called during
+/// functional prefix launches, so the counter must be pre-advanced past
+/// them). The RNG draw sequence is identical in all three shapes (full run,
+/// checkpointed timing, functional prefix) — the handoff scan consumes no
+/// draws and injectors copy the Rng by value — so every sample picks the
+/// same fault site regardless of backend.
+HookBundle make_hook(const workloads::App& app, const GoldenRun& golden,
+                     const CampaignSpec& spec, Rng& rng, const ResumePoint& resume,
+                     bool functional) {
   const auto& indices = golden.launches_of(spec.kernel);
   if (indices.empty()) return {};
 
   if (is_microarch(spec.target)) {
     // Pick a launch weighted by its cycle span, then a cycle within it.
     // Triggers are absolute cycles; a restored Gpu resumes at the golden
-    // boundary cycle, so they line up with replay unchanged.
+    // boundary cycle (and the functional prefix adopts golden cycle counts
+    // wholesale), so they line up with replay unchanged.
     std::uint64_t total = 0;
     for (std::size_t i : indices) total += golden.launches[i].cycles();
     if (total == 0) return {};
@@ -239,11 +303,14 @@ HookBundle make_hook(const GoldenRun& golden, const CampaignSpec& spec, Rng& rng
     for (std::size_t i : indices) {
       const auto& l = golden.launches[i];
       if (r < l.cycles()) {
+        const std::size_t handoff =
+            functional ? functional_handoff(app, golden, resume.launch, i)
+                       : resume.launch;
         auto injector = std::make_unique<fi::MicroarchInjector>(
             to_structure(spec.target), l.start_cycle + 1 + r, l.end_cycle, rng,
             /*width=*/1, static_cast<std::uint32_t>(i));
         const fi::FaultRecord* record = &injector->record();
-        return {std::move(injector), record};
+        return {std::move(injector), record, handoff};
       }
       r -= l.cycles();
     }
@@ -265,16 +332,19 @@ HookBundle make_hook(const GoldenRun& golden, const CampaignSpec& spec, Rng& rng
     const std::uint64_t span = loads ? (l.ld_end - l.ld_begin) : (l.gp_end - l.gp_begin);
     if (r < span) {
       const std::uint64_t global_index = (loads ? l.ld_begin : l.gp_begin) + r;
+      const std::size_t handoff =
+          functional ? functional_handoff(app, golden, resume.launch, i)
+                     : resume.launch;
       std::uint64_t start_count = 0;
       if (resume.snap != nullptr) {
-        const auto& first = golden.launches[resume.launch];
+        const auto& first = golden.launches[handoff];
         start_count = loads ? first.ld_begin : first.gp_begin;
       }
       auto injector = std::make_unique<fi::SoftwareInjector>(
           to_mode(spec.target), global_index, rng, start_count,
           static_cast<std::uint32_t>(i));
       const fi::FaultRecord* record = &injector->record();
-      return {std::move(injector), record};
+      return {std::move(injector), record, handoff};
     }
     r -= span;
   }
@@ -285,23 +355,63 @@ HookBundle make_hook(const GoldenRun& golden, const CampaignSpec& spec, Rng& rng
 
 SampleResult run_sample(const workloads::App& app, const GoldenRun& golden,
                         const CampaignSpec& spec, std::uint64_t sample_index,
-                        sim::Gpu& workspace, workloads::RunOutput* faulty_output) {
+                        sim::Gpu& workspace, workloads::RunOutput* faulty_output,
+                        Backend backend) {
   Rng rng = Rng::for_sample(spec.seed ^ (static_cast<std::uint64_t>(spec.target) << 40),
                             sample_index);
   const ResumePoint resume = find_resume(golden, spec.kernel);
-  HookBundle hook = make_hook(golden, spec, rng, resume);
+  const bool functional = resume.snap != nullptr &&
+                          resolve_backend(backend) == sim::BackendKind::Functional;
+  HookBundle hook = make_hook(app, golden, spec, rng, resume, functional);
 
   workloads::RunOutput out;
   if (resume.snap != nullptr) {
+    const sim::GpuSnapshot* start = resume.snap;
+    std::size_t start_launch = resume.launch;
+    bool fill_prefix_cache = false;
+    if (hook && hook.handoff > resume.launch) {
+      if (const sim::GpuSnapshot* memo =
+              golden.checkpoints->prefixes.find(hook.handoff)) {
+        // A previous sample already ran the functional prefix ending at this
+        // boundary; its memoized end state replaces both the checkpoint
+        // restore and the functional region.
+        start = memo;
+        start_launch = hook.handoff;
+        static telemetry::Counter& hits =
+            telemetry::counter("campaign.prefix_cache_hits");
+        hits.add();
+      } else {
+        fill_prefix_cache = true;
+      }
+    }
     {
       const trace::Span span("restore", "phase");
-      workspace.restore(*resume.snap, golden.launches);
+      workspace.restore(*start, golden.launches);
     }
     workspace.set_launch_budgets(golden.budgets, golden.overflow_budget);
+    if (fill_prefix_cache) {
+      // Fault-free launches below the handoff run on the fast functional
+      // interpreter; the timing core takes over at the handoff boundary with
+      // the golden L2 residue, so everything the fault can touch is
+      // bit-identical to a pure-timing replay. The end state is published
+      // for every later sample handing off at the same boundary.
+      sim::FunctionalPlan plan;
+      plan.handoff_launch = hook.handoff;
+      plan.golden = golden.launches;
+      plan.residue = golden.checkpoints->residues.at(hook.handoff);
+      plan.validate = env_func_validate();
+      plan.on_handoff = [&golden, handoff = hook.handoff](sim::GpuSnapshot snap) {
+        golden.checkpoints->prefixes.insert(handoff, std::move(snap));
+        static telemetry::Counter& fills =
+            telemetry::counter("campaign.prefix_cache_fills");
+        fills.add();
+      };
+      workspace.set_functional_plan(std::move(plan));
+    }
     if (hook) workspace.set_fault_hook(hook.hook.get());
-    const trace::Span span("execute", "phase", "resume_launch", resume.launch);
+    const trace::Span span("execute", "phase", "resume_launch", start_launch);
     out = workloads::replay_app(app, workspace, golden.checkpoints->trace,
-                                resume.launch, golden.launches);
+                                start_launch, golden.launches);
   } else {
     {
       const trace::Span span("restore", "phase");
@@ -344,9 +454,10 @@ SampleResult run_sample(const workloads::App& app, const GoldenRun& golden,
 
 SampleResult run_sample(const workloads::App& app, const sim::GpuConfig& config,
                         const GoldenRun& golden, const CampaignSpec& spec,
-                        std::uint64_t sample_index, workloads::RunOutput* faulty_output) {
+                        std::uint64_t sample_index, workloads::RunOutput* faulty_output,
+                        Backend backend) {
   sim::Gpu gpu(config);
-  return run_sample(app, golden, spec, sample_index, gpu, faulty_output);
+  return run_sample(app, golden, spec, sample_index, gpu, faulty_output, backend);
 }
 
 CampaignResult run_campaign(const workloads::App& app, const sim::GpuConfig& config,

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <span>
 #include <string>
@@ -27,12 +28,43 @@
 
 namespace gras::campaign {
 
+/// Memoized functional-prefix results, keyed by handoff boundary. The
+/// prefix is deterministic: every sample that resumes at a kernel's
+/// checkpoint and hands off at boundary `b` computes the same device state,
+/// so the first sample through a given boundary snapshots the result (via
+/// sim::FunctionalPlan::on_handoff) and later samples — on any worker
+/// thread — restore it directly, skipping even the functional
+/// interpretation. Entries are immutable once inserted and never evicted,
+/// so returned pointers stay valid for the bundle's lifetime; the methods
+/// are const (internally synchronized) because samples share the bundle
+/// through a shared_ptr-to-const.
+class PrefixCache {
+ public:
+  /// Snapshot at handoff boundary `handoff`, or nullptr if no sample has
+  /// filled it yet.
+  const sim::GpuSnapshot* find(std::size_t handoff) const;
+  /// Publishes the prefix end state for `handoff`; concurrent duplicate
+  /// inserts (two samples racing through the same cold boundary) keep the
+  /// first — the snapshots are identical by determinism.
+  void insert(std::size_t handoff, sim::GpuSnapshot snapshot) const;
+  std::size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  mutable std::map<std::size_t, std::unique_ptr<const sim::GpuSnapshot>> by_handoff_;
+};
+
 /// Launch-boundary checkpoints of a golden run: one device-state snapshot
 /// per distinct kernel (preceding its first launch) plus the host trace
-/// needed to fast-forward the host loop over the checkpointed prefix.
+/// needed to fast-forward the host loop over the checkpointed prefix, plus
+/// the per-boundary residues the functional backend needs to hand a
+/// sample back to the timing core mid-replay (sim::ResidueStore) and the
+/// cross-sample cache of functional-prefix end states.
 struct GoldenCheckpoints {
   workloads::HostTrace trace;
   sim::CheckpointStore store;
+  sim::ResidueStore residues;
+  PrefixCache prefixes;
 };
 
 /// Fault-free reference execution: outputs, per-launch records, and the
@@ -74,6 +106,15 @@ struct GoldenRun {
 /// default) records them unless GRAS_NO_CHECKPOINT is set; On/Off force the
 /// choice regardless of the environment (used by A/B tests and benches).
 enum class Checkpointing : std::uint8_t { FromEnv, On, Off };
+
+/// Which execution backend a sample's fault-free prefix launches run on.
+/// FromEnv (the default) follows GRAS_BACKEND ("functional" unless
+/// overridden); Timing/Functional force the choice regardless of the
+/// environment (A/B equivalence tests and benches). The backend never
+/// changes results — campaign outcomes, fault records, and corruption
+/// signatures are bit-identical either way (enforced by the
+/// backend-equivalence CI smoke) — only how fast the prefix is reached.
+enum class Backend : std::uint8_t { FromEnv, Timing, Functional };
 
 /// Runs the app fault-free and collects the golden reference.
 /// Throws std::runtime_error if the fault-free run does not complete.
@@ -155,15 +196,21 @@ struct SampleResult {
 SampleResult run_sample(const workloads::App& app, const sim::GpuConfig& config,
                         const GoldenRun& golden, const CampaignSpec& spec,
                         std::uint64_t sample_index,
-                        workloads::RunOutput* faulty_output = nullptr);
+                        workloads::RunOutput* faulty_output = nullptr,
+                        Backend backend = Backend::FromEnv);
 /// Same, but reusing `workspace` (a Gpu built with the same config) instead
 /// of constructing a fresh device — the campaign hot path. The workspace is
 /// restored from the resume-point checkpoint (or fully reset when the golden
-/// run has no checkpoints), so results are identical either way.
+/// run has no checkpoints), so results are identical either way. Under the
+/// functional backend the fault-free launches between the resume checkpoint
+/// and the injection launch run on the fast functional interpreter and the
+/// timing core takes over at the handoff boundary (sim::FunctionalPlan);
+/// outcomes are still bit-identical to pure timing.
 SampleResult run_sample(const workloads::App& app, const GoldenRun& golden,
                         const CampaignSpec& spec, std::uint64_t sample_index,
                         sim::Gpu& workspace,
-                        workloads::RunOutput* faulty_output = nullptr);
+                        workloads::RunOutput* faulty_output = nullptr,
+                        Backend backend = Backend::FromEnv);
 
 /// All campaign results for one kernel, keyed by target.
 using KernelCampaigns = std::map<Target, CampaignResult>;

@@ -24,6 +24,8 @@ std::uint64_t env_seed(std::uint64_t fallback) { return env_u64("GRAS_SEED", fal
 std::uint64_t env_threads(std::uint64_t fallback) { return env_u64("GRAS_THREADS", fallback); }
 std::string env_config(const std::string& fallback) { return env_str("GRAS_CONFIG", fallback); }
 bool env_no_checkpoint() { return env_u64("GRAS_NO_CHECKPOINT", 0) != 0; }
+std::string env_backend(const std::string& fallback) { return env_str("GRAS_BACKEND", fallback); }
+bool env_func_validate() { return env_u64("GRAS_FUNC_VALIDATE", 0) != 0; }
 std::string env_cache_dir(const std::string& fallback) { return env_str("GRAS_CACHE", fallback); }
 std::string env_journal_dir() {
   return env_str("GRAS_JOURNAL_DIR", env_cache_dir() + "/journals");

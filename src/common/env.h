@@ -7,6 +7,15 @@
 //   GRAS_NO_CHECKPOINT   non-zero disables launch-boundary checkpointing, so
 //                        every sample re-simulates from cycle 0 (A/B
 //                        validation of the fast-forward path)
+//   GRAS_BACKEND         "functional" (default) runs each sample's fault-free
+//                        prefix launches on the fast functional backend and
+//                        hands off to the timing core at the injection
+//                        launch's boundary; "timing" forces pure
+//                        cycle-approximate simulation (A/B escape hatch,
+//                        mirroring GRAS_NO_CHECKPOINT)
+//   GRAS_FUNC_VALIDATE   non-zero makes every functional→timing handoff
+//                        verify the architectural memory image against the
+//                        golden run's hash (cheap; on in tests/CI smokes)
 //   GRAS_CACHE           campaign memoization directory (default .gras_cache)
 //   GRAS_JOURNAL_DIR     sample-journal directory (default $GRAS_CACHE/journals)
 //   GRAS_JOURNAL_FSYNC   0 disables the per-batch fsync of sample journals
@@ -39,6 +48,11 @@ std::uint64_t env_threads(std::uint64_t fallback = 0);
 std::string env_config(const std::string& fallback = "gv100-scaled");
 /// True when GRAS_NO_CHECKPOINT is set to a non-zero value.
 bool env_no_checkpoint();
+/// GRAS_BACKEND with its default ("functional"); the value is not validated
+/// here — sim::backend_from_name rejects unknown names.
+std::string env_backend(const std::string& fallback = "functional");
+/// True when GRAS_FUNC_VALIDATE is set to a non-zero value.
+bool env_func_validate();
 /// GRAS_CACHE with its default.
 std::string env_cache_dir(const std::string& fallback = ".gras_cache");
 /// GRAS_JOURNAL_DIR, defaulting to "<env_cache_dir()>/journals".

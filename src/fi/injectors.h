@@ -68,8 +68,11 @@ class SoftwareInjector final : public sim::FaultHook {
   /// of the dynamic thread instruction to corrupt, in the counting space of
   /// the mode (all GPR writers, or loads only). `start_count` pre-advances
   /// the dynamic-instruction counter; a replay that fast-forwards the
-  /// fault-free launch prefix passes the golden count at the resume
-  /// boundary so the counter stays aligned with the full-run counting space.
+  /// fault-free launch prefix passes the golden count at the launch boundary
+  /// where live timing simulation begins — the resume checkpoint, or the
+  /// functional→timing handoff when the fast functional backend runs the
+  /// prefix (its launches never invoke hooks) — so the counter stays aligned
+  /// with the full-run counting space.
   /// `launch_index` is the golden launch index containing `target_index`
   /// (provenance only, as in MicroarchInjector).
   SoftwareInjector(SvfMode mode, std::uint64_t target_index, Rng rng,

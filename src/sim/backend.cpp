@@ -1,0 +1,99 @@
+#include "src/sim/backend.h"
+
+#include <algorithm>
+
+#include "src/sim/gpu.h"
+
+namespace gras::sim {
+
+const char* backend_name(BackendKind kind) {
+  switch (kind) {
+    case BackendKind::Timing: return "timing";
+    case BackendKind::Functional: return "functional";
+  }
+  return "?";
+}
+
+std::optional<BackendKind> backend_from_name(std::string_view name) {
+  if (name == "timing") return BackendKind::Timing;
+  if (name == "functional") return BackendKind::Functional;
+  return std::nullopt;
+}
+
+void TimingBackend::run_launch(LaunchContext& ctx, LaunchRecord& record,
+                               std::uint64_t deadline) {
+  Gpu& gpu = gpu_;
+  SimStats& stats = *ctx.stats;
+  const std::uint64_t total_ctas = ctx.grid.count();
+  std::uint64_t next_cta = 0;
+
+  auto all_idle = [&] {
+    for (const auto& sm : gpu.sms_) {
+      if (sm->busy()) return false;
+    }
+    return true;
+  };
+
+  while (next_cta < total_ctas || !all_idle()) {
+    ++gpu.cycle_;
+    if (gpu.cycle_ > deadline) {
+      ctx.trap = TrapKind::Watchdog;
+      break;
+    }
+    if (ctx.hook != nullptr) ctx.hook->on_cycle(gpu, gpu.cycle_);
+
+    // Distribute pending CTAs to SMs with room (row-major CTA order).
+    for (std::uint32_t s = 0; s < gpu.config_.num_sms && next_cta < total_ctas; ++s) {
+      while (next_cta < total_ctas && gpu.sms_[s]->free_cta_slots() > 0) {
+        const std::uint32_t cx = static_cast<std::uint32_t>(next_cta % ctx.grid.x);
+        const std::uint32_t cy =
+            static_cast<std::uint32_t>((next_cta / ctx.grid.x) % ctx.grid.y);
+        const std::uint32_t cz = static_cast<std::uint32_t>(
+            next_cta / (std::uint64_t{ctx.grid.x} * ctx.grid.y));
+        if (!gpu.sms_[s]->try_launch_cta(ctx, cx, cy, cz)) break;
+        ++next_cta;
+      }
+    }
+
+    std::uint64_t resident = 0;
+    std::uint32_t resident_ctas = 0;
+    for (const auto& sm : gpu.sms_) {
+      resident += sm->resident_warp_count();
+      resident_ctas += sm->active_cta_count();
+    }
+    stats.warp_residency += resident;
+    stats.sm_cycles += gpu.config_.num_sms;
+    // Residency only grows at the placement loop above, so sampling right
+    // after it captures the true per-launch peak.
+    record.peak_resident_ctas = std::max(record.peak_resident_ctas, resident_ctas);
+
+    for (auto& sm : gpu.sms_) {
+      sm->step(ctx, gpu.cycle_);
+      if (ctx.trap != TrapKind::None) break;
+    }
+    if (ctx.trap != TrapKind::None) break;
+
+    // Fast-forward over idle stretches: jump to the next cycle at which any
+    // warp becomes ready (bounded by pending fault triggers and the
+    // deadline). CTA placement above only changes state right after a CTA
+    // retires, which happens inside step(), so skipping is safe.
+    if (next_cta >= total_ctas && all_idle()) break;  // launch complete
+
+    std::uint64_t next_event = ~std::uint64_t{0};
+    for (const auto& sm : gpu.sms_) {
+      next_event = std::min(next_event, sm->next_ready_cycle());
+    }
+    if (ctx.hook != nullptr) next_event = std::min(next_event, ctx.hook->next_trigger());
+    // No runnable warp at any future cycle means every resident warp is
+    // stuck at a barrier (fault-induced deadlock): jump to the watchdog.
+    next_event = std::min(next_event, deadline + 1);
+    if (next_event > gpu.cycle_ + 1) {
+      const std::uint64_t skipped = next_event - gpu.cycle_ - 1;
+      stats.warp_residency += skipped * resident;
+      stats.sm_cycles += skipped * gpu.config_.num_sms;
+      gpu.cycle_ = next_event - 1;
+    }
+  }
+}
+
+}  // namespace gras::sim

@@ -1,0 +1,79 @@
+// Execution backends: the seam between *what* a launch computes and *how
+// long it takes* (DESIGN.md §11).
+//
+// An ExecBackend executes one kernel launch. Two implementations exist:
+//
+//  * TimingBackend — the cycle-approximate simulator loop that has always
+//    lived in Gpu::launch(): per-cycle SM stepping, CTA distribution,
+//    issue-time cache timing, watchdog deadline, idle fast-forward. It is
+//    the authority on cycles, stats and fault behaviour.
+//  * FunctionalBackend (functional.h) — an architectural-only interpreter
+//    with no cache, scoreboard or timing model. It computes exactly the
+//    launch's global-memory effects and adopts the golden run's timing
+//    numbers wholesale.
+//
+// step_until semantics: fault-injection samples step the cheap backend
+// forward "until the injection point" — a global cycle for microarch
+// triggers, a global dynamic-instruction index for SVF triggers. Both stop
+// points are mapped to a *launch boundary* via the golden run's per-launch
+// [start_cycle, end_cycle) / [gp_begin, gp_end) windows (the recorded
+// cycle→dyn-instr mapping): the functional backend runs whole fault-free
+// prefix launches and hands the architectural state to the timing backend
+// at the start boundary of the launch containing the stop point. It never
+// runs a partial launch — mid-launch timing state (warp ready cycles, MSHRs,
+// CTA placement) is not reconstructible without a timing model, and the
+// equivalence bar is bit-identical campaign outcomes. The handoff mapping
+// lives in campaign::run_sample; the state transfer in Gpu::launch.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+#include "src/sim/sm.h"
+
+namespace gras::sim {
+
+class Gpu;
+struct LaunchRecord;
+
+/// Which execution backend a campaign runs its fault-free prefix on.
+enum class BackendKind : std::uint8_t {
+  Timing,      ///< cycle-approximate simulation all the way (the baseline)
+  Functional,  ///< functional fast-forward to the handoff, timing after it
+};
+
+const char* backend_name(BackendKind kind);
+/// Inverse of backend_name ("timing"/"functional"); nullopt otherwise.
+std::optional<BackendKind> backend_from_name(std::string_view name);
+
+/// Per-launch execution primitive. Implementations run the launch described
+/// by `ctx` to completion, a trap (reported in ctx.trap), or the watchdog
+/// `deadline` (a global-cycle bound; exceeding it must set
+/// TrapKind::Watchdog). `record` receives backend-specific bookkeeping
+/// (peak CTA residency for the timing backend; nothing for the functional
+/// backend, whose callers adopt golden records wholesale).
+class ExecBackend {
+ public:
+  virtual ~ExecBackend() = default;
+  virtual BackendKind kind() const noexcept = 0;
+  virtual void run_launch(LaunchContext& ctx, LaunchRecord& record,
+                          std::uint64_t deadline) = 0;
+};
+
+/// The original per-cycle timing loop, extracted verbatim from Gpu::launch()
+/// so both backends sit behind one interface. Owns no state of its own: it
+/// advances the Gpu's global cycle counter and SMs in place.
+class TimingBackend final : public ExecBackend {
+ public:
+  explicit TimingBackend(Gpu& gpu) : gpu_(gpu) {}
+
+  BackendKind kind() const noexcept override { return BackendKind::Timing; }
+  void run_launch(LaunchContext& ctx, LaunchRecord& record,
+                  std::uint64_t deadline) override;
+
+ private:
+  Gpu& gpu_;
+};
+
+}  // namespace gras::sim

@@ -1,0 +1,777 @@
+#include "src/sim/functional.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "src/isa/isa.h"
+
+// Direct-threaded dispatch (computed goto) is a GNU extension; fall back to
+// a plain switch elsewhere. The handlers are shared between both forms via
+// the GRAS_OP/GRAS_NEXT macros below.
+#if defined(__GNUC__) && !defined(GRAS_FUNCTIONAL_NO_THREADED_DISPATCH)
+#define GRAS_FUNCTIONAL_THREADED 1
+#else
+#define GRAS_FUNCTIONAL_THREADED 0
+#endif
+
+namespace gras::sim {
+
+using isa::Instr;
+using isa::Op;
+using isa::Operand;
+using isa::OperandKind;
+
+namespace {
+
+constexpr std::uint32_t kFullMask = 0xffffffffu;
+constexpr std::uint32_t kMaxDivergenceDepth = 64;
+
+// Scalar semantics below must match sm.cpp bit-for-bit: the equivalence bar
+// for the functional backend is byte-identical memory images.
+float as_float(std::uint32_t bits) {
+  float f;
+  std::memcpy(&f, &bits, 4);
+  return f;
+}
+
+std::uint32_t as_bits(float f) {
+  std::uint32_t bits;
+  std::memcpy(&bits, &f, 4);
+  return bits;
+}
+
+std::uint32_t f2i(std::uint32_t bits) {
+  const float f = as_float(bits);
+  if (std::isnan(f)) return 0;
+  if (f >= 2147483647.0f) return 0x7fffffffu;
+  if (f <= -2147483648.0f) return 0x80000000u;
+  return static_cast<std::uint32_t>(static_cast<std::int32_t>(f));
+}
+
+/// Same drained-path resolution as Sm::resolve_path (the algorithm only
+/// touches WarpExec state, so it is shared verbatim).
+bool resolve_path(WarpExec& warp) {
+  for (;;) {
+    if (warp.stack.empty()) return warp.path_active() != 0;
+    DivFrame& frame = warp.stack.back();
+    if (!frame.pending.empty()) {
+      const DivPath next = frame.pending.back();
+      frame.pending.pop_back();
+      warp.active_mask = next.mask;
+      warp.pc = next.pc;
+      if (warp.path_active() != 0) return true;
+      continue;
+    }
+    const std::uint32_t restored = frame.union_mask & ~warp.exited_mask;
+    const std::uint32_t reconv = frame.reconv_pc;
+    warp.stack.pop_back();
+    if (restored != 0 && reconv != DivFrame::kNoReconv) {
+      warp.active_mask = restored;
+      warp.pc = reconv;
+      return true;
+    }
+    warp.active_mask = restored;
+    if (restored != 0) return true;
+  }
+}
+
+/// One-CTA-at-a-time architectural interpreter. Register file and shared
+/// memory are private zeroed buffers (see functional.h for why that is
+/// equivalent); global memory is the device's, accessed raw.
+class Interp {
+ public:
+  Interp(const GpuConfig& config, GlobalMemory& gmem, LaunchContext& ctx,
+         std::uint64_t budget)
+      : config_(config),
+        gmem_(gmem),
+        ctx_(ctx),
+        budget_(budget),
+        rf_(std::uint64_t{ctx.threads_per_cta} * ctx.regs_per_thread),
+        smem_(config.smem_bytes_per_sm),
+        warps_(ctx.warps_per_cta) {}
+
+  void run();
+  std::uint64_t warp_instrs() const noexcept { return warp_instrs_; }
+
+ private:
+  void init_cta(std::uint64_t cta_index);
+  void run_cta();
+  void run_warp(std::uint32_t w);
+  void finish_warp(WarpExec& warp) {
+    warp.done = true;
+    warps_done_ += 1;
+  }
+
+  std::uint32_t read_reg(const WarpExec& warp, std::uint32_t lane,
+                         std::uint8_t reg) const {
+    if (reg == isa::kRegRZ) return 0;
+    const std::uint32_t tid = warp.warp_in_cta * config_.warp_size + lane;
+    return rf_[std::uint64_t{tid} * ctx_.regs_per_thread + reg];
+  }
+  void write_reg(const WarpExec& warp, std::uint32_t lane, std::uint8_t reg,
+                 std::uint32_t value) {
+    if (reg == isa::kRegRZ) return;
+    const std::uint32_t tid = warp.warp_in_cta * config_.warp_size + lane;
+    rf_[std::uint64_t{tid} * ctx_.regs_per_thread + reg] = value;
+  }
+  std::uint32_t special_value(const WarpExec& warp, std::uint32_t lane,
+                              isa::SpecialReg sr) const;
+  std::uint32_t eval_operand(const WarpExec& warp, const Operand& op,
+                             std::uint32_t lane, bool& trap) const;
+  std::uint32_t gmem_read_u32(std::uint64_t addr) {
+    std::uint8_t bytes[4];
+    gmem_.read(addr, bytes);
+    std::uint32_t v;
+    std::memcpy(&v, bytes, 4);
+    return v;
+  }
+  void gmem_write_u32(std::uint64_t addr, std::uint32_t v) {
+    std::uint8_t bytes[4];
+    std::memcpy(bytes, &v, 4);
+    gmem_.write(addr, bytes);
+  }
+  void exec_global(WarpExec& warp, const Instr& ins, std::uint32_t exec);
+  void exec_shared(WarpExec& warp, const Instr& ins, std::uint32_t exec);
+  void exec_atomic(WarpExec& warp, const Instr& ins, std::uint32_t exec);
+
+  const GpuConfig& config_;
+  GlobalMemory& gmem_;
+  LaunchContext& ctx_;
+  const std::uint64_t budget_;
+  std::uint64_t warp_instrs_ = 0;
+
+  std::vector<std::uint32_t> rf_;   ///< current CTA, thread-major
+  std::vector<std::uint8_t> smem_;  ///< current CTA, base offset 0
+  std::vector<WarpExec> warps_;     ///< current CTA
+  std::uint32_t ctaid_x_ = 0, ctaid_y_ = 0, ctaid_z_ = 0;
+  std::uint32_t warps_done_ = 0;
+  std::uint32_t barrier_arrived_ = 0;
+};
+
+std::uint32_t Interp::special_value(const WarpExec& warp, std::uint32_t lane,
+                                    isa::SpecialReg sr) const {
+  const std::uint32_t tid = warp.warp_in_cta * config_.warp_size + lane;
+  switch (sr) {
+    case isa::SpecialReg::TID_X: return tid % ctx_.block.x;
+    case isa::SpecialReg::TID_Y: return tid / ctx_.block.x;
+    case isa::SpecialReg::CTAID_X: return ctaid_x_;
+    case isa::SpecialReg::CTAID_Y: return ctaid_y_;
+    case isa::SpecialReg::CTAID_Z: return ctaid_z_;
+    case isa::SpecialReg::NTID_X: return ctx_.block.x;
+    case isa::SpecialReg::NTID_Y: return ctx_.block.y;
+    case isa::SpecialReg::NCTAID_X: return ctx_.grid.x;
+    case isa::SpecialReg::NCTAID_Y: return ctx_.grid.y;
+    case isa::SpecialReg::NCTAID_Z: return ctx_.grid.z;
+    case isa::SpecialReg::LANEID: return lane;
+    case isa::SpecialReg::WARPID: return warp.warp_in_cta;
+  }
+  return 0;
+}
+
+std::uint32_t Interp::eval_operand(const WarpExec& warp, const Operand& op,
+                                   std::uint32_t lane, bool& trap) const {
+  switch (op.kind) {
+    case OperandKind::Gpr:
+      return read_reg(warp, lane, static_cast<std::uint8_t>(op.value));
+    case OperandKind::Imm:
+      return op.value;
+    case OperandKind::Param: {
+      const std::uint32_t index = op.value / 4;
+      if (index >= ctx_.params.size()) {
+        trap = true;
+        return 0;
+      }
+      return ctx_.params[index];
+    }
+    case OperandKind::None:
+      return 0;
+  }
+  return 0;
+}
+
+void Interp::exec_global(WarpExec& warp, const Instr& ins, std::uint32_t exec) {
+  if (exec == 0) return;
+  const bool store = ins.op == Op::STG;
+  bool param_trap = false;
+  // Validate every lane's address before touching memory, exactly like the
+  // timing coalescer's gather phase: a trapping lane means no lane's access
+  // lands.
+  std::uint32_t addrs[32];
+  for (std::uint32_t lane = 0; lane < config_.warp_size; ++lane) {
+    if (!(exec & (1u << lane))) continue;
+    const std::uint32_t base = read_reg(warp, lane, static_cast<std::uint8_t>(ins.a.value));
+    const std::uint32_t addr = base + static_cast<std::uint32_t>(ins.mem_offset);
+    if ((addr & 3u) != 0) {
+      ctx_.trap = TrapKind::MisalignedGlobal;
+      return;
+    }
+    if (!gmem_.in_bounds(addr, 4)) {
+      ctx_.trap = TrapKind::OobGlobal;
+      return;
+    }
+    addrs[lane] = addr;
+  }
+  // Lane-order accesses produce the same memory image as the timing
+  // backend's line-grouped ones: two lanes hitting the same word share a
+  // line, and within a line the timing path applies ops in lane order too.
+  for (std::uint32_t lane = 0; lane < config_.warp_size; ++lane) {
+    if (!(exec & (1u << lane))) continue;
+    if (store) {
+      gmem_write_u32(addrs[lane], eval_operand(warp, ins.b, lane, param_trap));
+    } else {
+      write_reg(warp, lane, ins.dst, gmem_read_u32(addrs[lane]));
+    }
+  }
+  if (param_trap) ctx_.trap = TrapKind::ParamOob;
+}
+
+void Interp::exec_shared(WarpExec& warp, const Instr& ins, std::uint32_t exec) {
+  if (exec == 0) return;
+  const bool store = ins.op == Op::STS;
+  bool param_trap = false;
+  for (std::uint32_t lane = 0; lane < config_.warp_size; ++lane) {
+    if (!(exec & (1u << lane))) continue;
+    const std::uint32_t base = read_reg(warp, lane, static_cast<std::uint8_t>(ins.a.value));
+    const std::uint32_t off = base + static_cast<std::uint32_t>(ins.mem_offset);
+    if ((off & 3u) != 0) {
+      ctx_.trap = TrapKind::MisalignedShared;
+      return;
+    }
+    if (off >= config_.smem_bytes_per_sm) {
+      ctx_.trap = TrapKind::OobShared;
+      return;
+    }
+    // The CTA's base offset is 0 here, so the timing backend's physical
+    // wrap-around reduces to the offset itself.
+    if (store) {
+      const std::uint32_t v = eval_operand(warp, ins.b, lane, param_trap);
+      std::memcpy(smem_.data() + off, &v, 4);
+    } else {
+      std::uint32_t v;
+      std::memcpy(&v, smem_.data() + off, 4);
+      write_reg(warp, lane, ins.dst, v);
+    }
+  }
+  if (param_trap) ctx_.trap = TrapKind::ParamOob;
+}
+
+void Interp::exec_atomic(WarpExec& warp, const Instr& ins, std::uint32_t exec) {
+  if (exec == 0) return;
+  bool param_trap = false;
+  for (std::uint32_t lane = 0; lane < config_.warp_size; ++lane) {
+    if (!(exec & (1u << lane))) continue;
+    const std::uint32_t base = read_reg(warp, lane, static_cast<std::uint8_t>(ins.a.value));
+    const std::uint32_t addr = base + static_cast<std::uint32_t>(ins.mem_offset);
+    if ((addr & 3u) != 0) {
+      ctx_.trap = TrapKind::MisalignedGlobal;
+      return;
+    }
+    if (!gmem_.in_bounds(addr, 4)) {
+      ctx_.trap = TrapKind::OobGlobal;
+      return;
+    }
+    const std::uint32_t operand = eval_operand(warp, ins.b, lane, param_trap);
+    const std::uint32_t old = gmem_read_u32(addr);
+    gmem_write_u32(addr, old + operand);
+    if (ins.op == Op::ATOM_ADD) write_reg(warp, lane, ins.dst, old);
+  }
+  if (param_trap) ctx_.trap = TrapKind::ParamOob;
+}
+
+void Interp::init_cta(std::uint64_t cta_index) {
+  ctaid_x_ = static_cast<std::uint32_t>(cta_index % ctx_.grid.x);
+  ctaid_y_ = static_cast<std::uint32_t>((cta_index / ctx_.grid.x) % ctx_.grid.y);
+  ctaid_z_ = static_cast<std::uint32_t>(
+      cta_index / (std::uint64_t{ctx_.grid.x} * ctx_.grid.y));
+  std::fill(rf_.begin(), rf_.end(), 0u);
+  std::fill(smem_.begin(), smem_.end(), std::uint8_t{0});
+  warps_done_ = 0;
+  barrier_arrived_ = 0;
+  for (std::uint32_t w = 0; w < ctx_.warps_per_cta; ++w) {
+    WarpExec& warp = warps_[w];
+    warp = WarpExec{};
+    warp.resident = true;
+    warp.warp_in_cta = w;
+    const std::uint64_t first_tid = std::uint64_t{w} * config_.warp_size;
+    std::uint32_t mask = 0;
+    for (std::uint32_t lane = 0; lane < config_.warp_size; ++lane) {
+      if (first_tid + lane < ctx_.threads_per_cta) mask |= 1u << lane;
+    }
+    warp.active_mask = mask;
+    warp.pred_mask[isa::kPredPT] = kFullMask;
+  }
+}
+
+void Interp::run_cta() {
+  const std::uint32_t n = ctx_.warps_per_cta;
+  while (warps_done_ < n) {
+    bool progress = false;
+    for (std::uint32_t w = 0; w < n; ++w) {
+      WarpExec& warp = warps_[w];
+      if (warp.done || warp.at_barrier) continue;
+      run_warp(w);
+      progress = true;
+      if (ctx_.trap != TrapKind::None) return;
+    }
+    // Barrier release mirrors Sm::release_barrier_if_ready: every live
+    // (non-exited) warp must have arrived. Exited warps satisfy the barrier
+    // implicitly because `live` shrinks with warps_done_.
+    const std::uint32_t live = n - warps_done_;
+    if (live > 0 && barrier_arrived_ > 0 && barrier_arrived_ >= live) {
+      for (std::uint32_t w = 0; w < n; ++w) {
+        if (warps_[w].at_barrier) warps_[w].at_barrier = false;
+      }
+      barrier_arrived_ = 0;
+      progress = true;
+    }
+    if (!progress) {
+      // Every live warp is stuck at a barrier that can never fill: the
+      // timing backend idles to its deadline and reports Watchdog.
+      ctx_.trap = TrapKind::Watchdog;
+      return;
+    }
+  }
+}
+
+void Interp::run() {
+  const std::uint64_t total_ctas = ctx_.grid.count();
+  for (std::uint64_t cta = 0; cta < total_ctas; ++cta) {
+    init_cta(cta);
+    run_cta();
+    if (ctx_.trap != TrapKind::None) return;
+  }
+}
+
+#if GRAS_FUNCTIONAL_THREADED
+// Label-as-value / computed goto are deliberate GNU extensions here.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wpedantic"
+#if defined(__clang__)
+#pragma GCC diagnostic ignored "-Wgnu-label-as-value"
+#endif
+#define GRAS_OP(name) lbl_##name:
+#define GRAS_NEXT goto epilogue
+#else
+#define GRAS_OP(name) case Op::name:
+#define GRAS_NEXT break
+#endif
+
+void Interp::run_warp(std::uint32_t w) {
+  WarpExec& warp = warps_[w];
+  const isa::Kernel& k = *ctx_.kernel;
+  const std::uint32_t code_size = static_cast<std::uint32_t>(k.code.size());
+
+  for (;;) {
+    if (warp_instrs_ >= budget_) {
+      ctx_.trap = TrapKind::Watchdog;
+      return;
+    }
+    if (warp.pc >= code_size) {
+      ctx_.trap = TrapKind::InvalidPc;
+      return;
+    }
+    const Instr& ins = k.code[warp.pc];
+    const std::uint32_t path = warp.path_active();
+    const std::uint32_t guard_bits = warp.pred_mask[ins.guard];
+    const std::uint32_t exec = path & (ins.guard_neg ? ~guard_bits : guard_bits);
+    warp_instrs_ += 1;
+
+    std::uint32_t next_pc = warp.pc + 1;
+    bool advance = true;
+    bool param_trap = false;
+
+    auto for_lanes = [&](auto&& body) {
+      for (std::uint32_t lane = 0; lane < config_.warp_size; ++lane) {
+        if (exec & (1u << lane)) body(lane);
+      }
+    };
+    auto src = [&](const Operand& op, std::uint32_t lane) {
+      return eval_operand(warp, op, lane, param_trap);
+    };
+
+#if GRAS_FUNCTIONAL_THREADED
+    // One entry per Op, in exact enum order (pinned by the static_assert).
+    static const void* const kDispatch[] = {
+        &&lbl_S2R,  &&lbl_MOV,  &&lbl_IADD, &&lbl_ISUB,  &&lbl_IMUL,
+        &&lbl_IMAD, &&lbl_ISCADD, &&lbl_SHL, &&lbl_SHR,  &&lbl_ASR,
+        &&lbl_AND,  &&lbl_OR,   &&lbl_XOR,  &&lbl_NOT,   &&lbl_IMIN,
+        &&lbl_IMAX, &&lbl_ISETP, &&lbl_SEL, &&lbl_FADD,  &&lbl_FSUB,
+        &&lbl_FMUL, &&lbl_FFMA, &&lbl_FMIN, &&lbl_FMAX,  &&lbl_FSETP,
+        &&lbl_F2I,  &&lbl_I2F,  &&lbl_MUFU, &&lbl_LDG,   &&lbl_LDT,
+        &&lbl_STG,  &&lbl_LDS,  &&lbl_STS,  &&lbl_BRA,   &&lbl_SSY,
+        &&lbl_SYNC, &&lbl_BAR,  &&lbl_EXIT, &&lbl_NOP,   &&lbl_ATOM_ADD,
+        &&lbl_RED_ADD,
+    };
+    static_assert(static_cast<int>(Op::RED_ADD) == 40,
+                  "Op enum changed: update kDispatch");
+    goto *kDispatch[static_cast<std::uint8_t>(ins.op)];
+#else
+    switch (ins.op) {
+#endif
+
+    GRAS_OP(S2R) {
+      for_lanes([&](std::uint32_t lane) {
+        write_reg(warp, lane, ins.dst,
+                  special_value(warp, lane, static_cast<isa::SpecialReg>(ins.b.value)));
+      });
+    }
+    GRAS_NEXT;
+    GRAS_OP(MOV) {
+      for_lanes([&](std::uint32_t lane) { write_reg(warp, lane, ins.dst, src(ins.a, lane)); });
+    }
+    GRAS_NEXT;
+    GRAS_OP(NOT) {
+      for_lanes([&](std::uint32_t lane) { write_reg(warp, lane, ins.dst, ~src(ins.a, lane)); });
+    }
+    GRAS_NEXT;
+    GRAS_OP(IADD) {
+      for_lanes([&](std::uint32_t lane) {
+        write_reg(warp, lane, ins.dst, src(ins.a, lane) + src(ins.b, lane));
+      });
+    }
+    GRAS_NEXT;
+    GRAS_OP(ISUB) {
+      for_lanes([&](std::uint32_t lane) {
+        write_reg(warp, lane, ins.dst, src(ins.a, lane) - src(ins.b, lane));
+      });
+    }
+    GRAS_NEXT;
+    GRAS_OP(IMUL) {
+      for_lanes([&](std::uint32_t lane) {
+        write_reg(warp, lane, ins.dst,
+                  static_cast<std::uint32_t>(static_cast<std::int32_t>(src(ins.a, lane)) *
+                                             static_cast<std::int32_t>(src(ins.b, lane))));
+      });
+    }
+    GRAS_NEXT;
+    GRAS_OP(IMAD) {
+      for_lanes([&](std::uint32_t lane) {
+        const std::int64_t prod = static_cast<std::int64_t>(
+                                      static_cast<std::int32_t>(src(ins.a, lane))) *
+                                  static_cast<std::int32_t>(src(ins.b, lane));
+        write_reg(warp, lane, ins.dst,
+                  static_cast<std::uint32_t>(prod) + src(ins.c, lane));
+      });
+    }
+    GRAS_NEXT;
+    GRAS_OP(ISCADD) {
+      for_lanes([&](std::uint32_t lane) {
+        write_reg(warp, lane, ins.dst,
+                  (src(ins.a, lane) << ins.shift) + src(ins.b, lane));
+      });
+    }
+    GRAS_NEXT;
+    GRAS_OP(SHL) {
+      for_lanes([&](std::uint32_t lane) {
+        write_reg(warp, lane, ins.dst, src(ins.a, lane) << (src(ins.b, lane) & 31));
+      });
+    }
+    GRAS_NEXT;
+    GRAS_OP(SHR) {
+      for_lanes([&](std::uint32_t lane) {
+        write_reg(warp, lane, ins.dst, src(ins.a, lane) >> (src(ins.b, lane) & 31));
+      });
+    }
+    GRAS_NEXT;
+    GRAS_OP(ASR) {
+      for_lanes([&](std::uint32_t lane) {
+        write_reg(warp, lane, ins.dst,
+                  static_cast<std::uint32_t>(static_cast<std::int32_t>(src(ins.a, lane)) >>
+                                             (src(ins.b, lane) & 31)));
+      });
+    }
+    GRAS_NEXT;
+    GRAS_OP(AND) {
+      for_lanes([&](std::uint32_t lane) {
+        write_reg(warp, lane, ins.dst, src(ins.a, lane) & src(ins.b, lane));
+      });
+    }
+    GRAS_NEXT;
+    GRAS_OP(OR) {
+      for_lanes([&](std::uint32_t lane) {
+        write_reg(warp, lane, ins.dst, src(ins.a, lane) | src(ins.b, lane));
+      });
+    }
+    GRAS_NEXT;
+    GRAS_OP(XOR) {
+      for_lanes([&](std::uint32_t lane) {
+        write_reg(warp, lane, ins.dst, src(ins.a, lane) ^ src(ins.b, lane));
+      });
+    }
+    GRAS_NEXT;
+    GRAS_OP(IMIN) {
+      for_lanes([&](std::uint32_t lane) {
+        write_reg(warp, lane, ins.dst,
+                  static_cast<std::uint32_t>(
+                      std::min(static_cast<std::int32_t>(src(ins.a, lane)),
+                               static_cast<std::int32_t>(src(ins.b, lane)))));
+      });
+    }
+    GRAS_NEXT;
+    GRAS_OP(IMAX) {
+      for_lanes([&](std::uint32_t lane) {
+        write_reg(warp, lane, ins.dst,
+                  static_cast<std::uint32_t>(
+                      std::max(static_cast<std::int32_t>(src(ins.a, lane)),
+                               static_cast<std::int32_t>(src(ins.b, lane)))));
+      });
+    }
+    GRAS_NEXT;
+    GRAS_OP(ISETP) {
+      for_lanes([&](std::uint32_t lane) {
+        const std::int32_t a = static_cast<std::int32_t>(src(ins.a, lane));
+        const std::int32_t b = static_cast<std::int32_t>(src(ins.b, lane));
+        bool r = false;
+        switch (ins.cmp) {
+          case isa::Cmp::EQ: r = a == b; break;
+          case isa::Cmp::NE: r = a != b; break;
+          case isa::Cmp::LT: r = a < b; break;
+          case isa::Cmp::LE: r = a <= b; break;
+          case isa::Cmp::GT: r = a > b; break;
+          case isa::Cmp::GE: r = a >= b; break;
+        }
+        if (ins.pdst != isa::kPredPT) {
+          if (r) warp.pred_mask[ins.pdst] |= 1u << lane;
+          else warp.pred_mask[ins.pdst] &= ~(1u << lane);
+        }
+      });
+    }
+    GRAS_NEXT;
+    GRAS_OP(FSETP) {
+      for_lanes([&](std::uint32_t lane) {
+        const float a = as_float(src(ins.a, lane));
+        const float b = as_float(src(ins.b, lane));
+        bool r = false;
+        switch (ins.cmp) {
+          case isa::Cmp::EQ: r = a == b; break;
+          case isa::Cmp::NE: r = a != b; break;
+          case isa::Cmp::LT: r = a < b; break;
+          case isa::Cmp::LE: r = a <= b; break;
+          case isa::Cmp::GT: r = a > b; break;
+          case isa::Cmp::GE: r = a >= b; break;
+        }
+        if (ins.pdst != isa::kPredPT) {
+          if (r) warp.pred_mask[ins.pdst] |= 1u << lane;
+          else warp.pred_mask[ins.pdst] &= ~(1u << lane);
+        }
+      });
+    }
+    GRAS_NEXT;
+    GRAS_OP(SEL) {
+      for_lanes([&](std::uint32_t lane) {
+        const bool p = ((warp.pred_mask[ins.psrc] >> lane) & 1) != 0;
+        const bool take_a = p != ins.psrc_neg;
+        write_reg(warp, lane, ins.dst, take_a ? src(ins.a, lane) : src(ins.b, lane));
+      });
+    }
+    GRAS_NEXT;
+    GRAS_OP(FADD) {
+      for_lanes([&](std::uint32_t lane) {
+        write_reg(warp, lane, ins.dst,
+                  as_bits(as_float(src(ins.a, lane)) + as_float(src(ins.b, lane))));
+      });
+    }
+    GRAS_NEXT;
+    GRAS_OP(FSUB) {
+      for_lanes([&](std::uint32_t lane) {
+        write_reg(warp, lane, ins.dst,
+                  as_bits(as_float(src(ins.a, lane)) - as_float(src(ins.b, lane))));
+      });
+    }
+    GRAS_NEXT;
+    GRAS_OP(FMUL) {
+      for_lanes([&](std::uint32_t lane) {
+        write_reg(warp, lane, ins.dst,
+                  as_bits(as_float(src(ins.a, lane)) * as_float(src(ins.b, lane))));
+      });
+    }
+    GRAS_NEXT;
+    GRAS_OP(FFMA) {
+      for_lanes([&](std::uint32_t lane) {
+        write_reg(warp, lane, ins.dst,
+                  as_bits(std::fmaf(as_float(src(ins.a, lane)), as_float(src(ins.b, lane)),
+                                    as_float(src(ins.c, lane)))));
+      });
+    }
+    GRAS_NEXT;
+    GRAS_OP(FMIN) {
+      for_lanes([&](std::uint32_t lane) {
+        write_reg(warp, lane, ins.dst,
+                  as_bits(std::fmin(as_float(src(ins.a, lane)), as_float(src(ins.b, lane)))));
+      });
+    }
+    GRAS_NEXT;
+    GRAS_OP(FMAX) {
+      for_lanes([&](std::uint32_t lane) {
+        write_reg(warp, lane, ins.dst,
+                  as_bits(std::fmax(as_float(src(ins.a, lane)), as_float(src(ins.b, lane)))));
+      });
+    }
+    GRAS_NEXT;
+    GRAS_OP(F2I) {
+      for_lanes([&](std::uint32_t lane) { write_reg(warp, lane, ins.dst, f2i(src(ins.a, lane))); });
+    }
+    GRAS_NEXT;
+    GRAS_OP(I2F) {
+      for_lanes([&](std::uint32_t lane) {
+        write_reg(warp, lane, ins.dst,
+                  as_bits(static_cast<float>(static_cast<std::int32_t>(src(ins.a, lane)))));
+      });
+    }
+    GRAS_NEXT;
+    GRAS_OP(MUFU) {
+      for_lanes([&](std::uint32_t lane) {
+        const float a = as_float(src(ins.a, lane));
+        float r = 0.0f;
+        switch (ins.mufu) {
+          case isa::Mufu::RCP: r = 1.0f / a; break;
+          case isa::Mufu::SQRT: r = std::sqrt(a); break;
+          case isa::Mufu::RSQRT: r = 1.0f / std::sqrt(a); break;
+          case isa::Mufu::EX2: r = std::exp2(a); break;
+          case isa::Mufu::LG2: r = std::log2(a); break;
+          case isa::Mufu::EXP: r = std::exp(a); break;
+          case isa::Mufu::LOG: r = std::log(a); break;
+          case isa::Mufu::SIN: r = std::sin(a); break;
+          case isa::Mufu::COS: r = std::cos(a); break;
+        }
+        write_reg(warp, lane, ins.dst, as_bits(r));
+      });
+    }
+    GRAS_NEXT;
+    GRAS_OP(LDG)
+    GRAS_OP(LDT)
+    GRAS_OP(STG) {
+      exec_global(warp, ins, exec);
+    }
+    GRAS_NEXT;
+    GRAS_OP(LDS)
+    GRAS_OP(STS) {
+      exec_shared(warp, ins, exec);
+    }
+    GRAS_NEXT;
+    GRAS_OP(ATOM_ADD)
+    GRAS_OP(RED_ADD) {
+      exec_atomic(warp, ins, exec);
+    }
+    GRAS_NEXT;
+    GRAS_OP(SSY) {
+      if (ins.target >= code_size) {
+        ctx_.trap = TrapKind::InvalidPc;
+        return;
+      }
+      if (warp.stack.size() >= kMaxDivergenceDepth) {
+        ctx_.trap = TrapKind::DivergenceOverflow;
+        return;
+      }
+      DivFrame frame;
+      frame.reconv_pc = ins.target;
+      frame.union_mask = path;
+      warp.stack.push_back(std::move(frame));
+    }
+    GRAS_NEXT;
+    GRAS_OP(BRA) {
+      if (exec == 0) GRAS_NEXT;
+      if (ins.target >= code_size) {
+        ctx_.trap = TrapKind::InvalidPc;
+        return;
+      }
+      if (exec == path) {
+        next_pc = ins.target;
+        GRAS_NEXT;
+      }
+      if (warp.stack.empty()) {
+        DivFrame frame;
+        frame.reconv_pc = DivFrame::kNoReconv;
+        frame.union_mask = path;
+        warp.stack.push_back(std::move(frame));
+      }
+      if (warp.stack.size() >= kMaxDivergenceDepth &&
+          warp.stack.back().pending.size() >= kMaxDivergenceDepth) {
+        ctx_.trap = TrapKind::DivergenceOverflow;
+        return;
+      }
+      warp.stack.back().pending.push_back({ins.target, exec});
+      warp.active_mask = path & ~exec;
+    }
+    GRAS_NEXT;
+    GRAS_OP(SYNC) {
+      if (warp.stack.empty() ||
+          warp.stack.back().reconv_pc == DivFrame::kNoReconv) {
+        GRAS_NEXT;  // stray SYNC: no-op
+      }
+      if (!resolve_path(warp)) {
+        finish_warp(warp);
+        return;
+      }
+      advance = false;
+    }
+    GRAS_NEXT;
+    GRAS_OP(BAR) {
+      warp.at_barrier = true;
+      barrier_arrived_ += 1;
+      warp.pc = next_pc;  // resumes after the barrier
+      return;
+    }
+    GRAS_OP(EXIT) {
+      warp.exited_mask |= exec;
+      if (warp.path_active() == 0) {
+        if (!resolve_path(warp)) {
+          finish_warp(warp);
+          return;
+        }
+        advance = false;
+      }
+    }
+    GRAS_NEXT;
+    GRAS_OP(NOP) {}
+    GRAS_NEXT;
+
+#if !GRAS_FUNCTIONAL_THREADED
+    }
+#endif
+
+  epilogue:
+    if (param_trap) {
+      ctx_.trap = TrapKind::ParamOob;
+      return;
+    }
+    if (ctx_.trap != TrapKind::None) return;
+    if (advance) warp.pc = next_pc;
+  }
+}
+
+#if GRAS_FUNCTIONAL_THREADED
+#pragma GCC diagnostic pop
+#endif
+#undef GRAS_OP
+#undef GRAS_NEXT
+
+}  // namespace
+
+bool functional_safe(const isa::Kernel& kernel) {
+  for (const Instr& ins : kernel.code) {
+    if (ins.op == Op::ATOM_ADD && ins.dst != isa::kRegRZ) return false;
+  }
+  return true;
+}
+
+void FunctionalBackend::run_launch(LaunchContext& ctx, LaunchRecord& record,
+                                   std::uint64_t deadline) {
+  (void)record;
+  // The timing backend issues at most one warp instruction per SM per cycle,
+  // so its cycle deadline bounds the instruction count; exceeding that bound
+  // means the timing path would certainly have hit its watchdog.
+  std::uint64_t budget = ~std::uint64_t{0};
+  if (deadline != ~std::uint64_t{0}) {
+    budget = deadline > start_cycle_ ? deadline - start_cycle_ : 0;
+    if (budget <= (~std::uint64_t{0}) / config_.num_sms) budget *= config_.num_sms;
+    else budget = ~std::uint64_t{0};
+  }
+  Interp interp(config_, gmem_, ctx, budget);
+  interp.run();
+  warp_instrs_ = interp.warp_instrs();
+}
+
+}  // namespace gras::sim

@@ -1,0 +1,79 @@
+// Fast functional execution backend (DESIGN.md §11).
+//
+// Interprets one kernel launch at architectural level only: general-purpose
+// registers, predicates, the SIMT divergence stack, shared memory and
+// global-memory effects — no cache model, no scoreboard, no per-cycle
+// scheduling. A direct-threaded dispatch loop (computed goto over the
+// mini-ISA opcodes, the compact-bytecode-interpreter idiom) executes each
+// warp in long uninterrupted runs instead of one instruction per simulated
+// cycle, which is where the order-of-magnitude speedup over the timing
+// backend comes from.
+//
+// Execution model and its equivalence contract:
+//  * CTAs run sequentially in row-major grid order; within a CTA, each warp
+//    runs until it blocks at a barrier, exits, or traps. For the fault-free,
+//    data-race-free launches this backend is given (golden-verified prefix
+//    launches), any schedule computes the same architectural memory image,
+//    so the interleaving freedom is unobservable.
+//  * Registers and shared memory are fresh zeroed per-CTA buffers, not the
+//    physical arrays: well-formed kernels never read a register or shared
+//    word before writing it, so the stale-data difference from the timing
+//    backend's physical allocator is unobservable too. Faults are never
+//    injected while this backend runs (the injector arms at the handoff).
+//  * Global memory is read and written directly (architecturally current
+//    values); the caller is responsible for flushing the L2 into memory
+//    before the first functional launch and restoring the golden L2
+//    residue at the handoff (see Gpu::set_functional_plan).
+//  * Traps mirror the timing backend exactly: OOB/misaligned global and
+//    shared accesses, parameter OOB, invalid PCs, divergence overflow, and
+//    a Watchdog when the launch exceeds its instruction budget (the cycle
+//    deadline times the device's peak issue rate).
+//
+// Kernels whose result can depend on the timing backend's interleaving are
+// not eligible: functional_safe() rejects them, and campaigns clamp the
+// handoff so such launches stay on the timing backend.
+#pragma once
+
+#include "src/sim/backend.h"
+#include "src/sim/config.h"
+#include "src/sim/memory.h"
+
+namespace gras::sim {
+
+/// True when a kernel's architectural result is schedule-independent under
+/// the contract above. The only offender in the mini-ISA is ATOM_ADD with a
+/// consumed result (the returned old value depends on lane/warp/CTA
+/// interleaving); RED_ADD and result-discarding ATOM_ADD are commutative
+/// integer adds and remain safe.
+bool functional_safe(const isa::Kernel& kernel);
+
+class FunctionalBackend final : public ExecBackend {
+ public:
+  /// `start_cycle` is the global cycle at which the launch begins (the
+  /// watchdog deadline is absolute; the instruction budget is derived from
+  /// the difference).
+  FunctionalBackend(const GpuConfig& config, GlobalMemory& gmem,
+                    std::uint64_t start_cycle = 0)
+      : config_(config), gmem_(gmem), start_cycle_(start_cycle) {}
+
+  BackendKind kind() const noexcept override { return BackendKind::Functional; }
+
+  /// Runs the launch architecturally. Sets ctx.trap on any trap; on success
+  /// the launch's global-memory effects are applied and nothing else about
+  /// the device changed. `record` is untouched (callers adopt the golden
+  /// launch record). `deadline` is the same global-cycle watchdog bound the
+  /// timing backend gets; it is converted into a warp-instruction budget.
+  void run_launch(LaunchContext& ctx, LaunchRecord& record,
+                  std::uint64_t deadline) override;
+
+  /// Warp instructions executed by the last run_launch (tests/telemetry).
+  std::uint64_t warp_instrs() const noexcept { return warp_instrs_; }
+
+ private:
+  const GpuConfig& config_;
+  GlobalMemory& gmem_;
+  std::uint64_t start_cycle_ = 0;
+  std::uint64_t warp_instrs_ = 0;
+};
+
+}  // namespace gras::sim

@@ -1,11 +1,14 @@
 #include "src/sim/gpu.h"
 
 #include <algorithm>
+#include <cstring>
 #include <stdexcept>
 
 #include "src/common/bitops.h"
 #include "src/common/metrics_registry.h"
 #include "src/common/trace.h"
+#include "src/sim/backend.h"
+#include "src/sim/functional.h"
 
 namespace gras::sim {
 
@@ -75,6 +78,7 @@ void Gpu::restore(const GpuSnapshot& snap, std::span<const LaunchRecord> golden_
                    golden_launches.begin() + static_cast<std::ptrdiff_t>(snap.launch_count));
   dram_.reset_traffic();
   hook_ = nullptr;
+  func_plan_.reset();
 }
 
 void Gpu::reset() {
@@ -90,13 +94,124 @@ void Gpu::reset() {
   dram_.reset_traffic();
   hook_ = nullptr;
   ckpt_sink_ = nullptr;
+  residue_sink_ = nullptr;
+  func_plan_.reset();
+}
+
+std::uint64_t Gpu::arch_mem_hash() {
+  // FNV-1a over the allocated architectural image, read through the L2 so a
+  // dirty resident line contributes its current (freshest) bytes. With an
+  // empty L2 (functional region) this degenerates to a raw memory hash —
+  // the same bytes, which is exactly the equivalence being fingerprinted.
+  constexpr std::uint64_t kOffset = 1469598103934665603ull;
+  constexpr std::uint64_t kPrime = 1099511628211ull;
+  std::uint64_t h = kOffset;
+  std::uint8_t buf[256];
+  const std::uint64_t top = gmem_.allocated_top();
+  for (std::uint64_t addr = GlobalMemory::kBase; addr < top; addr += sizeof(buf)) {
+    const std::size_t n = static_cast<std::size_t>(std::min<std::uint64_t>(sizeof(buf), top - addr));
+    l2_.peek(addr, {buf, n});
+    for (std::size_t i = 0; i < n; ++i) {
+      h = (h ^ buf[i]) * kPrime;
+    }
+  }
+  return h;
+}
+
+void Gpu::set_functional_plan(FunctionalPlan plan) {
+  if (plan.residue == nullptr) {
+    throw std::logic_error("functional plan needs the handoff boundary residue");
+  }
+  if (plan.residue->sms.size() != sms_.size()) {
+    throw std::logic_error("functional plan residue lacks per-SM boundary state");
+  }
+  if (plan.handoff_launch <= launches_.size() ||
+      plan.golden.size() < plan.handoff_launch) {
+    throw std::logic_error("functional plan handoff is not ahead of the resume point");
+  }
+  // The functional backend reads and writes global memory directly, so the
+  // architectural bytes held in dirty L2 lines must reach memory first. The
+  // flush also invalidates, which keeps host memcpys during the functional
+  // region coherent (they pass straight through to memory).
+  l2_.flush();
+  dram_.reset_traffic();
+  func_plan_ = std::move(plan);
+}
+
+void Gpu::complete_handoff() {
+  const FunctionalPlan& plan = *func_plan_;
+  if (plan.validate && arch_mem_hash() != plan.residue->mem_hash) {
+    throw std::logic_error(
+        "functional prefix diverged from the golden memory image at the handoff");
+  }
+  l2_.restore(plan.residue->l2);
+  // Re-install each SM's golden boundary state. The functional prefix never
+  // touched the SMs, so their arrays still hold resume-checkpoint-era
+  // residuals; the timing suffix must instead see the residuals (stale RF
+  // and SMEM cells of drained CTAs, cumulative L1 stats, LRU clocks) the
+  // pure-timing path would have left — an injected fault can expose them.
+  for (std::size_t i = 0; i < sms_.size(); ++i) {
+    sms_[i]->restore(plan.residue->sms[i]);
+  }
+  dram_.reset_traffic();
+  // The device now holds the deterministic end state of the fault-free
+  // prefix (no fault has fired yet: hooks stay disarmed through the
+  // functional region and the trigger lies at/after this boundary), so the
+  // snapshot is reusable by any sample handing off here.
+  if (plan.on_handoff) plan.on_handoff(snapshot());
+  func_plan_.reset();
+  static telemetry::Counter& handoffs = telemetry::counter("sim.backend_handoffs");
+  handoffs.add();
+}
+
+LaunchResult Gpu::launch_functional(LaunchContext& ctx) {
+  const std::size_t index = launches_.size();
+  // Distinct span so traces show the cheap prefix phase (ISSUE 6's
+  // functional_prefix phase span); launch ordinal in the numeric arg.
+  const trace::Span span("sim.functional_prefix", "sim", "launch", index);
+  const LaunchRecord& gold = func_plan_->golden[index];
+
+  const std::uint64_t budget =
+      index < budgets_.size()
+          ? budgets_[index]
+          : (overflow_budget_ != 0 ? overflow_budget_ : config_.default_watchdog_cycles);
+
+  FunctionalBackend backend(config_, gmem_, cycle_);
+  LaunchRecord scratch;
+  ctx.hook = nullptr;  // faults never arm inside the fault-free prefix
+  backend.run_launch(ctx, scratch, cycle_ + budget);
+
+  // Adopt the golden record wholesale: the timing numbers for this launch
+  // are by definition the golden ones (the prefix is fault-free), and the
+  // downstream cycle→dyn-instr mapping must stay bit-identical.
+  LaunchRecord record = gold;
+  LaunchResult result = gold.result;
+  if (ctx.trap != TrapKind::None) {
+    // Cannot happen for a golden-verified prefix; reachable only by direct
+    // misuse/tests. Keep the golden window so counters stay monotonic, but
+    // report the trap (classification must match the timing backend's DUE).
+    result.trap = ctx.trap;
+    record.result = result;
+  }
+  cycle_ = gold.end_cycle;
+  gp_total_ = gold.gp_end;
+  ld_total_ = gold.ld_end;
+  launches_.push_back(std::move(record));
+
+  {
+    using telemetry::Counter;
+    static Counter& launches = telemetry::counter("sim.functional_launches");
+    static Counter& skipped = telemetry::counter("sim.functional_cycles_skipped");
+    static Counter& instrs = telemetry::counter("sim.functional_warp_instrs");
+    launches.add();
+    skipped.add(gold.cycles());
+    instrs.add(backend.warp_instrs());
+  }
+  return result;
 }
 
 LaunchResult Gpu::launch(const isa::Kernel& kernel, Dim3 grid, Dim3 block,
                          std::vector<std::uint32_t> params) {
-  // Static span name, launch ordinal in the arg: kernel names are dynamic
-  // strings the trace hot path cannot hold (see trace.h conventions).
-  const trace::Span span("sim.launch", "sim", "launch", launches_.size());
   LaunchContext ctx;
   ctx.kernel = &kernel;
   ctx.grid = grid;
@@ -117,10 +232,33 @@ LaunchResult Gpu::launch(const isa::Kernel& kernel, Dim3 grid, Dim3 block,
     throw std::invalid_argument("kernel '" + kernel.name + "' does not fit on an SM");
   }
 
+  // Functional fast-forward: prefix launches run on the cheap backend; the
+  // first launch at/after the handoff re-warms the timing state first.
+  if (func_plan_.has_value()) {
+    if (launches_.size() < func_plan_->handoff_launch) {
+      return launch_functional(ctx);
+    }
+    complete_handoff();
+  }
+
+  // Static span name, launch ordinal in the arg: kernel names are dynamic
+  // strings the trace hot path cannot hold (see trace.h conventions).
+  const trace::Span span("sim.launch", "sim", "launch", launches_.size());
+
   // Golden runs checkpoint the pre-launch state at each kernel's first
   // launch; campaigns later restore it to skip re-simulating the prefix.
   if (ckpt_sink_ != nullptr && !ckpt_sink_->has_kernel(kernel.name)) {
     ckpt_sink_->add(kernel.name, launches_.size(), snapshot());
+  }
+  // Golden runs also record the boundary residue at every launch so functional
+  // samples can hand off to the timing backend at any launch.
+  if (residue_sink_ != nullptr) {
+    BoundaryResidue residue;
+    residue.l2 = l2_.snapshot();
+    residue.sms.reserve(sms_.size());
+    for (const auto& sm : sms_) residue.sms.push_back(sm->snapshot());
+    residue.mem_hash = arch_mem_hash();
+    residue_sink_->add(launches_.size(), std::move(residue));
   }
 
   LaunchRecord record;
@@ -152,78 +290,13 @@ LaunchResult Gpu::launch(const isa::Kernel& kernel, Dim3 grid, Dim3 block,
           : (overflow_budget_ != 0 ? overflow_budget_ : config_.default_watchdog_cycles);
   const std::uint64_t deadline = cycle_ + budget;
 
-  const std::uint64_t total_ctas = grid.count();
-  std::uint64_t next_cta = 0;
+  // The per-cycle loop lives in TimingBackend (the seam the functional
+  // backend plugs into); it advances cycle_ and the SMs in place and reports
+  // any trap — including the watchdog — through ctx.trap.
   LaunchResult result;
-
-  auto all_idle = [&] {
-    for (const auto& sm : sms_) {
-      if (sm->busy()) return false;
-    }
-    return true;
-  };
-
-  while (next_cta < total_ctas || !all_idle()) {
-    ++cycle_;
-    if (cycle_ > deadline) {
-      result.trap = TrapKind::Watchdog;
-      break;
-    }
-    if (hook_ != nullptr) hook_->on_cycle(*this, cycle_);
-
-    // Distribute pending CTAs to SMs with room (row-major CTA order).
-    for (std::uint32_t s = 0; s < config_.num_sms && next_cta < total_ctas; ++s) {
-      while (next_cta < total_ctas && sms_[s]->free_cta_slots() > 0) {
-        const std::uint32_t cx = static_cast<std::uint32_t>(next_cta % grid.x);
-        const std::uint32_t cy = static_cast<std::uint32_t>((next_cta / grid.x) % grid.y);
-        const std::uint32_t cz = static_cast<std::uint32_t>(next_cta / (std::uint64_t{grid.x} * grid.y));
-        if (!sms_[s]->try_launch_cta(ctx, cx, cy, cz)) break;
-        ++next_cta;
-      }
-    }
-
-    std::uint64_t resident = 0;
-    std::uint32_t resident_ctas = 0;
-    for (const auto& sm : sms_) {
-      resident += sm->resident_warp_count();
-      resident_ctas += sm->active_cta_count();
-    }
-    stats.warp_residency += resident;
-    stats.sm_cycles += config_.num_sms;
-    // Residency only grows at the placement loop above, so sampling right
-    // after it captures the true per-launch peak.
-    record.peak_resident_ctas = std::max(record.peak_resident_ctas, resident_ctas);
-
-    for (auto& sm : sms_) {
-      sm->step(ctx, cycle_);
-      if (ctx.trap != TrapKind::None) break;
-    }
-    if (ctx.trap != TrapKind::None) {
-      result.trap = ctx.trap;
-      break;
-    }
-
-    // Fast-forward over idle stretches: jump to the next cycle at which any
-    // warp becomes ready (bounded by pending fault triggers and the
-    // deadline). CTA placement above only changes state right after a CTA
-    // retires, which happens inside step(), so skipping is safe.
-    if (next_cta >= total_ctas && all_idle()) break;  // launch complete
-
-    std::uint64_t next_event = ~std::uint64_t{0};
-    for (const auto& sm : sms_) {
-      next_event = std::min(next_event, sm->next_ready_cycle());
-    }
-    if (hook_ != nullptr) next_event = std::min(next_event, hook_->next_trigger());
-    // No runnable warp at any future cycle means every resident warp is
-    // stuck at a barrier (fault-induced deadlock): jump to the watchdog.
-    next_event = std::min(next_event, deadline + 1);
-    if (next_event > cycle_ + 1) {
-      const std::uint64_t skipped = next_event - cycle_ - 1;
-      stats.warp_residency += skipped * resident;
-      stats.sm_cycles += skipped * config_.num_sms;
-      cycle_ = next_event - 1;
-    }
-  }
+  TimingBackend backend(*this);
+  backend.run_launch(ctx, record, deadline);
+  if (ctx.trap != TrapKind::None) result.trap = ctx.trap;
 
   // On trap/watchdog, abandon resident CTAs (the launch failed); either way
   // flush L1s at the launch boundary.

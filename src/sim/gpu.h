@@ -7,8 +7,10 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
+#include <optional>
 #include <span>
 #include <string>
 #include <unordered_set>
@@ -90,6 +92,70 @@ class CheckpointStore {
   std::unordered_set<std::string> kernels_;
 };
 
+/// Device state a golden run carries across one launch boundary that the
+/// functional backend does not model. The functional backend executes prefix
+/// launches against raw global memory with an empty (flushed) L2 and never
+/// touches the SMs, so handing execution back to the timing backend requires
+/// re-installing (a) the L2 with exactly the lines (and cumulative stats and
+/// LRU clock) the timing path would have had at that boundary, and (b) each
+/// SM's boundary state — chiefly the *residual* contents of the physical
+/// register file and shared memory left by drained CTAs. Residuals are part
+/// of the fault surface (a fault can expose a stale cell through a corrupted
+/// index or a read-before-write), so an injected suffix only reproduces the
+/// pure-timing run bit for bit if they match too. `mem_hash` fingerprints
+/// the architectural memory image (FNV-1a over [GlobalMemory::kBase,
+/// allocated_top) as seen through the L2) so handoffs can optionally verify
+/// the functional prefix computed the same bytes.
+struct BoundaryResidue {
+  Cache::Snapshot l2;
+  std::vector<Sm::Snapshot> sms;
+  std::uint64_t mem_hash = 0;
+};
+
+/// Per-launch-boundary residues recorded during a golden run, keyed by the
+/// launch index each one precedes. Unlike CheckpointStore this records
+/// *every* boundary (a residue is the L2 footprint plus the per-SM backing
+/// arrays — a couple of MB, and even the most launch-happy workload has a
+/// few dozen launches), because the functional prefix may hand off at any
+/// launch.
+class ResidueStore {
+ public:
+  void add(std::size_t launch_index, BoundaryResidue residue) {
+    by_index_.insert_or_assign(launch_index, std::move(residue));
+  }
+  /// Residue preceding launch `launch_index`, or nullptr if none recorded.
+  const BoundaryResidue* at(std::size_t launch_index) const {
+    const auto it = by_index_.find(launch_index);
+    return it == by_index_.end() ? nullptr : &it->second;
+  }
+  std::size_t size() const { return by_index_.size(); }
+
+ private:
+  std::map<std::size_t, BoundaryResidue> by_index_;
+};
+
+/// Tells the Gpu to run the next launches (up to, not including,
+/// `handoff_launch`) on the functional backend, adopting the golden run's
+/// launch records wholesale, then transfer state back to the timing backend.
+/// Set per sample, after restore(); see DESIGN.md §11 for the invariants.
+struct FunctionalPlan {
+  /// First launch index that runs on the timing backend again.
+  std::size_t handoff_launch = 0;
+  /// Golden launch records for at least [current launch, handoff_launch).
+  std::span<const LaunchRecord> golden;
+  /// Golden L2 + per-SM state at the handoff boundary (required).
+  const BoundaryResidue* residue = nullptr;
+  /// Verify the functional prefix's memory image against residue->mem_hash
+  /// at the handoff; throws std::logic_error on mismatch.
+  bool validate = false;
+  /// Optional: receives a full device snapshot taken at the handoff, after
+  /// the golden residue is installed — the deterministic end state of the
+  /// fault-free functional prefix. Campaigns memoize it so later samples
+  /// handing off at the same boundary restore it directly instead of
+  /// re-interpreting the prefix (campaign::PrefixCache).
+  std::function<void(GpuSnapshot)> on_handoff;
+};
+
 class Gpu {
  public:
   explicit Gpu(GpuConfig config);
@@ -119,6 +185,23 @@ class Gpu {
   /// While set, launch() records a snapshot of the pre-launch state into
   /// `store` for the first launch of each distinct kernel. Golden runs only.
   void set_checkpoint_sink(CheckpointStore* store) { ckpt_sink_ = store; }
+  /// While set, launch() records the pre-launch boundary residue (L2, per-SM
+  /// hash) into `store` at every launch boundary. Golden runs only.
+  void set_residue_sink(ResidueStore* store) { residue_sink_ = store; }
+
+  // --- Functional fast-forward (DESIGN.md §11) ---
+  /// Activates a functional plan for this sample: flushes the L2 into memory
+  /// (so the functional backend reads/writes architecturally current bytes)
+  /// and routes subsequent launches below plan.handoff_launch to the
+  /// functional backend. The first launch at/after the handoff restores the
+  /// golden boundary residue and continues on the timing backend. Throws
+  /// std::logic_error if the plan has no residue or the handoff is not ahead
+  /// of the current launch index. Cleared by restore()/reset().
+  void set_functional_plan(FunctionalPlan plan);
+  bool functional_plan_active() const noexcept { return func_plan_.has_value(); }
+  /// FNV-1a hash of the architectural memory image (through the L2), the
+  /// same fingerprint stored in BoundaryResidue::mem_hash.
+  std::uint64_t arch_mem_hash();
   /// Captures full device state. Only meaningful at a launch boundary (no
   /// CTAs in flight).
   GpuSnapshot snapshot() const;
@@ -142,6 +225,16 @@ class Gpu {
   GlobalMemory& gmem() noexcept { return gmem_; }
 
  private:
+  friend class TimingBackend;
+
+  /// Runs one prefix launch on the functional backend and adopts its golden
+  /// record (cycles, stats, counters) wholesale.
+  LaunchResult launch_functional(LaunchContext& ctx);
+  /// Transfers state back to the timing backend: verifies the memory image
+  /// (when the plan asks), restores the golden boundary residue and retires the
+  /// plan. Called at the first launch at/after the handoff boundary.
+  void complete_handoff();
+
   GpuConfig config_;
   GlobalMemory gmem_;
   Dram dram_;
@@ -152,6 +245,8 @@ class Gpu {
   std::uint64_t overflow_budget_ = 0;
   FaultHook* hook_ = nullptr;
   CheckpointStore* ckpt_sink_ = nullptr;
+  ResidueStore* residue_sink_ = nullptr;
+  std::optional<FunctionalPlan> func_plan_;
   std::uint64_t cycle_ = 0;
   std::uint64_t gp_total_ = 0;  ///< cumulative GPR-writing thread instrs
   std::uint64_t ld_total_ = 0;

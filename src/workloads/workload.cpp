@@ -70,12 +70,14 @@ class DirectCtx final : public ExecCtx {
       const trace::Span span("fast_forward", "phase", "launch", launched_);
       return golden_[launched_++].result.ok();
     }
-    if (launched_ == resume_ && trace_ != nullptr && resume_ > 0 &&
-        resume_ <= trace_->reads_before_launch.size() &&
-        reads_served_ != trace_->reads_before_launch[resume_ - 1]) {
-      // Trace-served reads are exactly those issued while launched_ < resume_,
-      // i.e. before the last prefix launch returned; reads between that launch
-      // and this one ran live against the restored image instead.
+    if (launched_ == resume_ && trace_ != nullptr &&
+        resume_ < trace_->reads_before_launch.size() &&
+        reads_served_ != trace_->reads_before_launch[resume_]) {
+      // Every read the golden run issued before calling launch `resume_` must
+      // have been served from the trace — the restored snapshot was taken at
+      // that launch call, so it already contains the effect of host writes
+      // that followed those reads (e.g. a flag cleared after being polled),
+      // and a live read against it would see post-read state.
       throw std::logic_error("host logic diverged from the golden trace before resume");
     }
     ++launched_;
@@ -102,7 +104,16 @@ class DirectCtx final : public ExecCtx {
   }
   void read_bytes(std::string_view buffer, std::uint64_t off,
                   std::span<std::uint8_t> out) override {
-    if (launched_ < resume_) {
+    // Trace-served reads are all reads the golden run issued before calling
+    // launch `resume_` — including reads between the last prefix launch's
+    // return and that call, which must not see the restored (post-write)
+    // image. Reads once the resume launch has issued run live.
+    const bool before_resume_call =
+        launched_ < resume_ ||
+        (launched_ == resume_ && trace_ != nullptr &&
+         resume_ < trace_->reads_before_launch.size() &&
+         reads_served_ < trace_->reads_before_launch[resume_]);
+    if (before_resume_call) {
       if (reads_served_ >= trace_->reads.size() ||
           trace_->reads[reads_served_].size() != out.size()) {
         throw std::logic_error("host replay diverged from the golden trace");

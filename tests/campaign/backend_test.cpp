@@ -1,0 +1,243 @@
+// Backend A/B equivalence: the functional fast-forward backend must be
+// invisible in every campaign observable. For multi-launch apps and both
+// injection levels, each sample's outcome, cycle count, injected flag,
+// fault-provenance record, and SDC corruption signature must match the
+// pure-timing backend bit for bit (the campaign-level contract behind
+// GRAS_BACKEND, mirroring the GRAS_NO_CHECKPOINT equivalence suite in
+// checkpoint_test.cpp). Also covers the degenerate and failure edges: a
+// first-launch injection (no functional prefix at all), an expiring RF/SMEM
+// window (give-up), and a handoff whose validated memory image diverged.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+#include "src/campaign/campaign.h"
+#include "src/sim/gpu.h"
+#include "src/workloads/workload.h"
+
+namespace gras::campaign {
+namespace {
+
+sim::GpuConfig config() { return sim::make_config("gv100-scaled"); }
+
+void expect_same_sample(const SampleResult& t, const SampleResult& f,
+                        std::uint64_t index) {
+  EXPECT_EQ(t.outcome, f.outcome) << index;
+  EXPECT_EQ(t.cycles, f.cycles) << index;
+  EXPECT_EQ(t.injected, f.injected) << index;
+  EXPECT_EQ(t.fault.level, f.fault.level) << index;
+  EXPECT_EQ(t.fault.structure, f.fault.structure) << index;
+  EXPECT_EQ(t.fault.mode, f.fault.mode) << index;
+  EXPECT_EQ(t.fault.sm, f.fault.sm) << index;
+  EXPECT_EQ(t.fault.site, f.fault.site) << index;
+  EXPECT_EQ(t.fault.bit, f.fault.bit) << index;
+  EXPECT_EQ(t.fault.width, f.fault.width) << index;
+  EXPECT_EQ(t.fault.trigger, f.fault.trigger) << index;
+  EXPECT_EQ(t.fault.launch, f.fault.launch) << index;
+  EXPECT_EQ(t.signature.words_mismatched, f.signature.words_mismatched) << index;
+  EXPECT_EQ(t.signature.first_word, f.signature.first_word) << index;
+  EXPECT_EQ(t.signature.last_word, f.signature.last_word) << index;
+  EXPECT_EQ(t.signature.bit_flips, f.signature.bit_flips) << index;
+}
+
+struct EquivalenceCase {
+  const char* app;
+  const char* kernel;  ///< nullptr = last kernel
+  Target target;
+};
+
+class BackendEquivalence : public ::testing::TestWithParam<EquivalenceCase> {};
+
+TEST_P(BackendEquivalence, BitIdenticalSamples) {
+  const EquivalenceCase& c = GetParam();
+  const auto app = workloads::make_benchmark(c.app);
+  const GoldenRun golden = run_golden(*app, config(), Checkpointing::On);
+  ASSERT_NE(golden.checkpoints, nullptr);
+  ASSERT_EQ(golden.checkpoints->residues.size(), golden.launches.size());
+
+  CampaignSpec spec;
+  spec.kernel = c.kernel != nullptr ? c.kernel : golden.kernel_names().back();
+  spec.target = c.target;
+  spec.samples = 30;
+  spec.seed = 99;
+  // At least one launch of the target kernel must sit behind a non-trivial
+  // prefix so some samples run functional launches before handing off (the
+  // first launch may be index 0, e.g. nw_k1 — those samples are the
+  // degenerate no-prefix case and must still match).
+  ASSERT_GT(golden.launches_of(spec.kernel).back(), 0u);
+
+  sim::Gpu timing_gpu(config());
+  sim::Gpu functional_gpu(config());
+  for (std::uint64_t i = 0; i < spec.samples; ++i) {
+    const SampleResult t =
+        run_sample(*app, golden, spec, i, timing_gpu, nullptr, Backend::Timing);
+    const SampleResult f =
+        run_sample(*app, golden, spec, i, functional_gpu, nullptr, Backend::Functional);
+    expect_same_sample(t, f, i);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MultiLaunchApps, BackendEquivalence,
+    // srad1_srad2 runs every diffusion iteration, so injection launches are
+    // spread across the run and most samples hand off past a real functional
+    // prefix. (The app's *last* kernel, compress, launches exactly once —
+    // resume == inject launch, a degenerate case BackendEdge covers.)
+    ::testing::Values(EquivalenceCase{"srad_v1", "srad1_srad2", Target::RF},
+                      EquivalenceCase{"srad_v1", "srad1_srad2", Target::Svf},
+                      EquivalenceCase{"srad_v1", "srad1_srad2", Target::L2},
+                      EquivalenceCase{"bfs", nullptr, Target::RF},
+                      EquivalenceCase{"bfs", nullptr, Target::Svf},
+                      // bfs_k1 starts at launch 0 and interleaves with k2;
+                      // its prefix length varies per sample.
+                      EquivalenceCase{"bfs", "bfs_k1", Target::Svf},
+                      EquivalenceCase{"bfs", "bfs_k1", Target::L1D},
+                      EquivalenceCase{"lud", "lud_internal", Target::Svf},
+                      EquivalenceCase{"lud", "lud_internal", Target::SvfLd},
+                      // nw exercises the texture-load (LDT) path inside a
+                      // functional prefix and interleaves two kernels.
+                      EquivalenceCase{"nw", "nw_k1", Target::Svf},
+                      EquivalenceCase{"nw", nullptr, Target::RF}),
+    [](const ::testing::TestParamInfo<EquivalenceCase>& info) {
+      std::string name = std::string(info.param.app);
+      if (info.param.kernel != nullptr) name += std::string("_") + info.param.kernel;
+      name += std::string("_") + target_name(info.param.target);
+      for (char& ch : name) {
+        if (ch == '-') ch = '_';
+      }
+      return name;
+    });
+
+TEST(BackendEdge, PrefixCacheMemoizesHandoffState) {
+  // The first functional sample through a handoff boundary publishes the
+  // prefix end state; re-running the same sample takes the cache-hit path
+  // (restore the memo, skip the functional region entirely) and must be
+  // indistinguishable from the fill path.
+  const auto app = workloads::make_benchmark("srad_v1");
+  const GoldenRun golden = run_golden(*app, config(), Checkpointing::On);
+  ASSERT_EQ(golden.checkpoints->prefixes.size(), 0u);
+
+  CampaignSpec spec;
+  spec.kernel = "srad1_srad2";  // many launches -> real handoff boundaries
+  spec.target = Target::Svf;
+  spec.samples = 8;
+  spec.seed = 21;
+  sim::Gpu gpu(config());
+  std::vector<SampleResult> first;
+  for (std::uint64_t i = 0; i < spec.samples; ++i) {
+    first.push_back(run_sample(*app, golden, spec, i, gpu, nullptr, Backend::Functional));
+  }
+  const std::size_t filled = golden.checkpoints->prefixes.size();
+  EXPECT_GT(filled, 0u);
+  for (std::uint64_t i = 0; i < spec.samples; ++i) {
+    const SampleResult again =
+        run_sample(*app, golden, spec, i, gpu, nullptr, Backend::Functional);
+    expect_same_sample(first[i], again, i);
+  }
+  // Replayed samples hand off at the same boundaries: all hits, no new fills.
+  EXPECT_EQ(golden.checkpoints->prefixes.size(), filled);
+}
+
+TEST(BackendEdge, FirstLaunchInjectionIsPureTimingDegenerate) {
+  // A single-launch app resumes at launch 0 and injects into launch 0: there
+  // is no fault-free prefix to fast-forward, the functional plan never
+  // activates, and both backends are trivially the same code path.
+  const auto app = workloads::make_benchmark("va");
+  const GoldenRun golden = run_golden(*app, config(), Checkpointing::On);
+  ASSERT_EQ(golden.launches_of(golden.kernel_names().front()).front(), 0u);
+
+  CampaignSpec spec;
+  spec.kernel = golden.kernel_names().front();
+  spec.target = Target::Svf;
+  spec.samples = 15;
+  spec.seed = 7;
+  sim::Gpu timing_gpu(config());
+  sim::Gpu functional_gpu(config());
+  for (std::uint64_t i = 0; i < spec.samples; ++i) {
+    const SampleResult t =
+        run_sample(*app, golden, spec, i, timing_gpu, nullptr, Backend::Timing);
+    const SampleResult f =
+        run_sample(*app, golden, spec, i, functional_gpu, nullptr, Backend::Functional);
+    EXPECT_FALSE(functional_gpu.functional_plan_active());
+    expect_same_sample(t, f, i);
+  }
+}
+
+TEST(BackendEdge, RetryWindowBehavesIdentically) {
+  // SMEM injection into an app whose kernels declare no shared memory: every
+  // resident CTA holds only the 256-byte padding granule, so the injector's
+  // allocation scan, per-cycle retries, and eventual flip (or give-up — the
+  // un-landed path itself is unit-covered in fi/injector_test.cpp) depend on
+  // exact per-cycle residency. The functional prefix skips those cycles
+  // wholesale, so this pins the retry machinery to the same absolute-cycle
+  // decisions under both backends.
+  const auto app = workloads::make_benchmark("bfs");
+  const GoldenRun golden = run_golden(*app, config(), Checkpointing::On);
+
+  CampaignSpec spec;
+  spec.kernel = golden.kernel_names().back();  // every bfs kernel: .smem 0
+  spec.target = Target::SMEM;
+  spec.samples = 10;
+  spec.seed = 5;
+  ASSERT_GT(golden.launches_of(spec.kernel).front(), 0u);
+  sim::Gpu timing_gpu(config());
+  sim::Gpu functional_gpu(config());
+  for (std::uint64_t i = 0; i < spec.samples; ++i) {
+    const SampleResult t =
+        run_sample(*app, golden, spec, i, timing_gpu, nullptr, Backend::Timing);
+    const SampleResult f =
+        run_sample(*app, golden, spec, i, functional_gpu, nullptr, Backend::Functional);
+    expect_same_sample(t, f, i);
+  }
+}
+
+TEST(BackendEdge, ValidatedHandoffCatchesDivergentMemory) {
+  // Corrupt one input word after restoring the checkpoint: the functional
+  // prefix then computes against a non-golden image, and a validating
+  // handoff must refuse to splice the golden L2 residue onto it.
+  const auto app = workloads::make_benchmark("bfs");
+  const GoldenRun golden = run_golden(*app, config(), Checkpointing::On);
+  const std::string kernel = golden.kernel_names().back();
+  const std::size_t resume = golden.launches_of(kernel).front();
+  ASSERT_GT(resume, 0u);
+  const sim::GpuSnapshot* snap = golden.checkpoints->store.at(resume);
+  ASSERT_NE(snap, nullptr);
+  const std::size_t handoff = resume + 1;
+  ASSERT_LT(handoff, golden.launches.size());
+  const sim::BoundaryResidue* residue = golden.checkpoints->residues.at(handoff);
+  ASSERT_NE(residue, nullptr);
+
+  sim::Gpu gpu(config());
+  gpu.restore(*snap, golden.launches);
+  gpu.set_launch_budgets(golden.budgets, golden.overflow_budget);
+  sim::FunctionalPlan plan;
+  plan.handoff_launch = handoff;
+  plan.golden = golden.launches;
+  plan.residue = residue;
+  plan.validate = true;
+  gpu.set_functional_plan(std::move(plan));
+
+  // Flip a bit of the first input buffer (bfs's read-only graph data) in raw
+  // memory, below the flushed L2.
+  std::uint32_t input_index = 0;
+  for (std::size_t b = 0; b < app->buffers().size(); ++b) {
+    if (app->buffers()[b].role == workloads::Role::Input) {
+      input_index = static_cast<std::uint32_t>(b);
+      break;
+    }
+  }
+  const std::uint32_t addr = golden.checkpoints->trace.buffer_addrs.at(input_index);
+  std::uint8_t byte = 0;
+  gpu.gmem().read(addr, {&byte, 1});
+  byte ^= 0x01;
+  gpu.gmem().write(addr, {&byte, 1});
+
+  EXPECT_THROW(workloads::replay_app(*app, gpu, golden.checkpoints->trace, resume,
+                                     golden.launches),
+               std::logic_error);
+}
+
+}  // namespace
+}  // namespace gras::campaign

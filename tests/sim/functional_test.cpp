@@ -1,0 +1,298 @@
+// Fast functional backend (DESIGN.md §11): the direct-threaded interpreter
+// must reproduce the timing core's *architectural* results — memory images
+// and trap classification — exactly, kernel by kernel, because campaign
+// samples run their fault-free prefix on it and hand off to the timing core
+// at a launch boundary. Also covers the handoff support machinery: per-
+// boundary L2 residues, the architectural memory hash, plan validation, and
+// the functional_safe eligibility gate.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <stdexcept>
+
+#include "src/sim/backend.h"
+#include "src/sim/functional.h"
+#include "src/sim/gpu.h"
+#include "tests/testing/sim_helpers.h"
+
+namespace gras::sim {
+namespace {
+
+using testing::KernelRunner;
+
+TEST(Backend, NamesRoundTrip) {
+  EXPECT_STREQ(backend_name(BackendKind::Timing), "timing");
+  EXPECT_STREQ(backend_name(BackendKind::Functional), "functional");
+  EXPECT_EQ(backend_from_name("timing"), BackendKind::Timing);
+  EXPECT_EQ(backend_from_name("functional"), BackendKind::Functional);
+  EXPECT_EQ(backend_from_name("warp-speed"), std::nullopt);
+  EXPECT_EQ(backend_from_name(""), std::nullopt);
+}
+
+TEST(Backend, FunctionalSafeGatesOldValueAtomics) {
+  KernelRunner plain(R"(
+.kernel t
+    MOV R0, 0
+    EXIT
+)");
+  EXPECT_TRUE(functional_safe(plain.kernel()));
+
+  // RED.ADD discards the old value, so any warp interleaving commutes to the
+  // same memory image — eligible.
+  KernelRunner red(R"(
+.kernel t
+.param buf ptr
+    MOV R0, c[buf]
+    RED.ADD [R0], 1
+    EXIT
+)");
+  EXPECT_TRUE(functional_safe(red.kernel()));
+
+  // ATOM.ADD returns the old value, which depends on warp interleaving —
+  // not eligible for the any-schedule functional interpreter.
+  KernelRunner atom(R"(
+.kernel t
+.param buf ptr
+    MOV R1, c[buf]
+    ATOM.ADD R0, [R1], 1
+    EXIT
+)");
+  EXPECT_FALSE(functional_safe(atom.kernel()));
+}
+
+/// Runs `runner`'s kernel on the functional backend directly (against the
+/// runner's Gpu memory) and returns the trap it reports. The LaunchContext
+/// is built the same way Gpu::launch builds one.
+TrapKind run_functional(KernelRunner& runner, Dim3 grid, Dim3 block,
+                        std::vector<std::uint32_t> params,
+                        std::uint64_t deadline = 10'000'000) {
+  const GpuConfig config = testing::test_config();
+  LaunchContext ctx;
+  ctx.kernel = &runner.kernel();
+  ctx.grid = grid;
+  ctx.block = block;
+  ctx.params = std::move(params);
+  ctx.threads_per_cta = block.x * block.y;
+  ctx.warps_per_cta = (ctx.threads_per_cta + config.warp_size - 1) / config.warp_size;
+  ctx.regs_per_thread = std::max<std::uint8_t>(runner.kernel().num_regs, 1);
+  SimStats stats;
+  ctx.stats = &stats;
+  LaunchRecord scratch;
+  FunctionalBackend backend(config, runner.gpu().gmem());
+  backend.run_launch(ctx, scratch, deadline);
+  return ctx.trap;
+}
+
+TEST(FunctionalBackend, MatchesTimingMemoryImage) {
+  // A kernel with divergence, shared memory, global loads and stores: each
+  // thread conditionally scales its element, then a barrier-separated pass
+  // reads a neighbour through shared memory.
+  const std::string source = R"(
+.kernel t
+.param src ptr
+.param dst ptr
+.smem 256
+    S2R R0, SR_TID.X
+    MOV R1, c[src]
+    ISCADD R2, R0, R1, 2
+    LDG R3, [R2]
+    SHL R4, R0, 2
+    STS [R4], R3
+    BAR
+    XOR R5, R0, 1
+    SHL R5, R5, 2
+    LDS R6, [R5]
+    ISETP.LT P0, R0, 32
+@P0 IADD R6, R6, 100
+    MOV R7, c[dst]
+    ISCADD R8, R0, R7, 2
+    STG [R8], R6
+    EXIT
+)";
+  std::vector<std::uint32_t> input(64);
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    input[i] = static_cast<std::uint32_t>(i * 3 + 7);
+  }
+
+  KernelRunner timing(source);
+  const std::uint32_t t_src = timing.alloc(input);
+  const std::uint32_t t_dst = timing.alloc(std::vector<std::uint32_t>(64, 0));
+  ASSERT_EQ(timing.launch({1, 1, 1}, {64, 1, 1}, {t_src, t_dst}).trap, TrapKind::None);
+
+  KernelRunner functional(source);
+  const std::uint32_t f_src = functional.alloc(input);
+  const std::uint32_t f_dst = functional.alloc(std::vector<std::uint32_t>(64, 0));
+  ASSERT_EQ(f_src, t_src);  // the bump allocator is deterministic
+  ASSERT_EQ(f_dst, t_dst);
+  EXPECT_EQ(run_functional(functional, {1, 1, 1}, {64, 1, 1}, {f_src, f_dst}),
+            TrapKind::None);
+
+  EXPECT_EQ(functional.read(1), timing.read(1));
+}
+
+TEST(FunctionalBackend, MultiCtaGridMatchesTiming) {
+  const std::string source = R"(
+.kernel t
+.param buf ptr
+    S2R R0, SR_CTAID.X
+    S2R R1, SR_TID.X
+    IMAD R2, R0, 32, R1
+    MOV R3, c[buf]
+    ISCADD R4, R2, R3, 2
+    LDG R5, [R4]
+    IMUL R5, R5, 5
+    STG [R4], R5
+    EXIT
+)";
+  std::vector<std::uint32_t> input(256);
+  for (std::size_t i = 0; i < input.size(); ++i) input[i] = static_cast<std::uint32_t>(i);
+
+  KernelRunner timing(source);
+  const std::uint32_t t_buf = timing.alloc(input);
+  ASSERT_EQ(timing.launch({8, 1, 1}, {32, 1, 1}, {t_buf}).trap, TrapKind::None);
+
+  KernelRunner functional(source);
+  const std::uint32_t f_buf = functional.alloc(input);
+  EXPECT_EQ(run_functional(functional, {8, 1, 1}, {32, 1, 1}, {f_buf}),
+            TrapKind::None);
+
+  EXPECT_EQ(functional.read(0), timing.read(0));
+}
+
+TEST(FunctionalBackend, TrapClassificationMatchesTiming) {
+  // The same malformed kernels must produce the same TrapKind under both
+  // backends, so a trap inside a functional prefix classifies as the same
+  // DUE a pure-timing replay would report.
+  struct Case {
+    const char* source;
+    TrapKind expected;
+  };
+  const Case cases[] = {
+      {R"(
+.kernel t
+.param buf ptr
+    MOV R0, 0x700000
+    LDG R1, [R0]
+    EXIT
+)",
+       TrapKind::OobGlobal},
+      {R"(
+.kernel t
+.param buf ptr
+    MOV R0, c[buf]
+    IADD R0, R0, 2
+    LDG R1, [R0]
+    EXIT
+)",
+       TrapKind::MisalignedGlobal},
+      {R"(
+.kernel t
+.param buf ptr
+.smem 64
+    MOV R0, 0x40000
+    LDS R1, [R0]
+    EXIT
+)",
+       TrapKind::OobShared},
+  };
+  for (const Case& c : cases) {
+    KernelRunner timing(c.source);
+    const std::uint32_t t_buf = timing.alloc(std::vector<std::uint32_t>(16, 0));
+    EXPECT_EQ(timing.launch({1, 1, 1}, {1, 1, 1}, {t_buf}).trap, c.expected);
+    KernelRunner functional(c.source);
+    const std::uint32_t f_buf = functional.alloc(std::vector<std::uint32_t>(16, 0));
+    EXPECT_EQ(run_functional(functional, {1, 1, 1}, {1, 1, 1}, {f_buf}), c.expected);
+  }
+}
+
+TEST(FunctionalBackend, InstructionBudgetTrapsAsWatchdog) {
+  // An infinite loop exhausts the cycle-derived instruction budget and
+  // reports Watchdog, the same classification the timing watchdog gives.
+  const char* source = R"(
+.kernel t
+loop:
+    BRA loop
+)";
+  KernelRunner functional(source);
+  EXPECT_EQ(run_functional(functional, {1, 1, 1}, {1, 1, 1}, {}, /*deadline=*/5000),
+            TrapKind::Watchdog);
+}
+
+TEST(Residue, RecordedAtEveryLaunchBoundary) {
+  const char* source = R"(
+.kernel t
+.param buf ptr
+    MOV R0, c[buf]
+    LDG R1, [R0]
+    IADD R1, R1, 1
+    STG [R0], R1
+    EXIT
+)";
+  KernelRunner runner(source);
+  const std::uint32_t buf = runner.alloc({41});
+  ResidueStore residues;
+  runner.gpu().set_residue_sink(&residues);
+  ASSERT_EQ(runner.launch({1, 1, 1}, {1, 1, 1}, {buf}).trap, TrapKind::None);
+  ASSERT_EQ(runner.launch({1, 1, 1}, {1, 1, 1}, {buf}).trap, TrapKind::None);
+  EXPECT_EQ(residues.size(), 2u);
+  ASSERT_NE(residues.at(0), nullptr);
+  ASSERT_NE(residues.at(1), nullptr);
+  EXPECT_EQ(residues.at(2), nullptr);
+  // The recorded hash matches the image the device holds now only if memory
+  // did not change since; boundary hashes must differ once the kernel has
+  // bumped the counter.
+  EXPECT_NE(residues.at(0)->mem_hash, residues.at(1)->mem_hash);
+  EXPECT_EQ(runner.read(0), (std::vector<std::uint32_t>{43}));
+}
+
+TEST(Residue, ArchMemHashSeesThroughDirtyL2) {
+  // arch_mem_hash must fingerprint the *architectural* image: a value still
+  // dirty in the L2 hashes the same as after it reaches DRAM.
+  const char* source = R"(
+.kernel t
+.param buf ptr
+    MOV R0, c[buf]
+    STG [R0], 77
+    EXIT
+)";
+  KernelRunner runner(source);
+  const std::uint32_t buf = runner.alloc({0});
+  const std::uint64_t before = runner.gpu().arch_mem_hash();
+  ASSERT_EQ(runner.launch({1, 1, 1}, {1, 1, 1}, {buf}).trap, TrapKind::None);
+  const std::uint64_t dirty = runner.gpu().arch_mem_hash();
+  EXPECT_NE(dirty, before);
+  runner.gpu().l2().flush();
+  EXPECT_EQ(runner.gpu().arch_mem_hash(), dirty);
+}
+
+TEST(FunctionalPlan, RejectsMalformedPlans) {
+  KernelRunner runner(R"(
+.kernel t
+    EXIT
+)");
+  Gpu& gpu = runner.gpu();
+  // No residue: the handoff could not re-warm the L2.
+  FunctionalPlan no_residue;
+  no_residue.handoff_launch = 1;
+  EXPECT_THROW(gpu.set_functional_plan(std::move(no_residue)), std::logic_error);
+  BoundaryResidue residue;
+  residue.l2 = gpu.l2().snapshot();
+  residue.mem_hash = gpu.arch_mem_hash();
+  // Residue without per-SM boundary state: the handoff could not re-install
+  // the residual RF/SMEM images.
+  FunctionalPlan no_sms;
+  no_sms.handoff_launch = 1;
+  no_sms.residue = &residue;
+  EXPECT_THROW(gpu.set_functional_plan(std::move(no_sms)), std::logic_error);
+  for (std::uint32_t i = 0; i < gpu.num_sms(); ++i) {
+    residue.sms.push_back(gpu.sm(i).snapshot());
+  }
+  // Handoff not ahead of the current launch index.
+  FunctionalPlan behind;
+  behind.handoff_launch = 0;
+  behind.residue = &residue;
+  EXPECT_THROW(gpu.set_functional_plan(std::move(behind)), std::logic_error);
+}
+
+}  // namespace
+}  // namespace gras::sim

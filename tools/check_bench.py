@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Perf-regression gate: compare a perf_sim_throughput JSON summary against
+the checked-in baseline (bench/baseline_perf.json) and fail on regression.
+
+Usage: check_bench.py BASELINE_JSON CURRENT_JSON [--tolerance FRACTION]
+
+Gated metrics (relative, machine-speed-independent ratios):
+  - backend_speedup_late_svf   higher is better; must not drop more than
+                               `tolerance` (default 0.15) below baseline.
+  - trace_enabled_overhead_pct lower is better; must not rise more than
+                               10 percentage points above baseline.
+
+Absolute metrics (samples/sec, ms/sample, ns costs) vary with the host and
+are printed side by side for context only.
+
+Exit codes: 0 pass, 1 regression (or malformed input), 2 usage error.
+"""
+
+import json
+import sys
+
+GATED_RATIO = "backend_speedup_late_svf"
+GATED_OVERHEAD = "trace_enabled_overhead_pct"
+OVERHEAD_SLACK_PCT_POINTS = 10.0
+DEFAULT_TOLERANCE = 0.15
+
+INFORMATIONAL = [
+    "campaign_samples",
+    "samples_per_sec_untraced",
+    "samples_per_sec_traced",
+    "disabled_span_cost_ns",
+    "backend_late_svf_samples",
+    "backend_timing_ms_per_sample",
+    "backend_functional_ms_per_sample",
+]
+
+
+def fail(msg):
+    print(f"check_bench: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def load(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as err:
+        fail(f"cannot read {path}: {err}")
+    if not isinstance(doc, dict):
+        fail(f"{path}: expected a JSON object")
+    return doc
+
+
+def main(argv):
+    args = [a for a in argv[1:] if not a.startswith("--")]
+    tolerance = DEFAULT_TOLERANCE
+    for a in argv[1:]:
+        if a.startswith("--tolerance"):
+            try:
+                tolerance = float(a.split("=", 1)[1])
+            except (IndexError, ValueError):
+                print(__doc__, file=sys.stderr)
+                return 2
+        elif a.startswith("--"):
+            print(__doc__, file=sys.stderr)
+            return 2
+    if len(args) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+
+    baseline, current = load(args[0]), load(args[1])
+
+    print(f"{'metric':<36} {'baseline':>12} {'current':>12}")
+    for key in INFORMATIONAL:
+        b = baseline.get(key, "-")
+        c = current.get(key, "-")
+        print(f"{key:<36} {b:>12} {c:>12}")
+
+    for key in (GATED_RATIO, GATED_OVERHEAD):
+        for name, doc in ((args[0], baseline), (args[1], current)):
+            if not isinstance(doc.get(key), (int, float)):
+                fail(f"{name}: missing gated metric '{key}'")
+
+    ok = True
+
+    b, c = baseline[GATED_RATIO], current[GATED_RATIO]
+    floor = b * (1.0 - tolerance)
+    verdict = "ok" if c >= floor else "REGRESSION"
+    print(f"{GATED_RATIO:<36} {b:>12} {c:>12}  (floor {floor:.2f}: {verdict})")
+    if c < floor:
+        ok = False
+
+    b, c = baseline[GATED_OVERHEAD], current[GATED_OVERHEAD]
+    ceiling = b + OVERHEAD_SLACK_PCT_POINTS
+    verdict = "ok" if c <= ceiling else "REGRESSION"
+    print(f"{GATED_OVERHEAD:<36} {b:>12} {c:>12}  (ceiling {ceiling:.1f}: {verdict})")
+    if c > ceiling:
+        ok = False
+
+    if not ok:
+        fail(f"performance regressed beyond tolerance ({tolerance:.0%})")
+    print("check_bench: pass")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Execution-backend A/B smoke test (CI): the same reduced fig01 sweep, run
+# once with the fast functional prefix backend (GRAS_BACKEND=functional,
+# with handoff memory-image validation on) and once pure-timing, must leave
+# byte-identical campaign results on disk — outcome counts, fault records,
+# corruption signatures. This is the campaign-level equivalence contract of
+# DESIGN.md §11, checked end to end through the CLI cache.
+#
+# Usage: ci_backend_smoke.sh [path-to-fig01-binary]
+set -u
+
+FIG01=${1:-build/bench/fig01_app_avf_svf}
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT
+
+fail() { echo "ci_backend_smoke: $*" >&2; exit 1; }
+
+echo "== functional-prefix sweep (validated handoffs) =="
+GRAS_BACKEND=functional GRAS_FUNC_VALIDATE=1 GRAS_CACHE="$WORK/func_cache" \
+    GRAS_INJECTIONS=20 "$FIG01" || fail "functional sweep failed"
+
+echo "== pure-timing sweep =="
+GRAS_BACKEND=timing GRAS_CACHE="$WORK/timing_cache" \
+    GRAS_INJECTIONS=20 "$FIG01" || fail "timing sweep failed"
+
+echo "== A/B diff =="
+diff -r "$WORK/func_cache" "$WORK/timing_cache" || fail "backends diverged"
+echo "backend A/B byte-identical"
