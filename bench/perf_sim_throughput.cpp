@@ -54,6 +54,7 @@
 #include "src/common/build_info.h"
 #include "src/common/env.h"
 #include "src/common/metrics_registry.h"
+#include "src/common/rng.h"
 #include "src/common/trace.h"
 #include "src/harden/tmr.h"
 #include "src/orchestrator/orchestrator.h"
@@ -355,6 +356,96 @@ BackendMeasurement measure_backend_speedup() {
   return m;
 }
 
+struct BatchMeasurement {
+  double unbatched_ms_per_sample = 0.0;
+  double batched_ms_per_sample = 0.0;
+  double speedup = 0.0;
+  double latency_p50_ms = 0.0;  ///< unbatched per-sample latency percentiles
+  double latency_p95_ms = 0.0;
+  std::size_t lanes = 0;
+};
+
+/// Per-sample cost of batched lock-step execution vs one-at-a-time samples
+/// on a same-kernel SVF batch (DESIGN.md §12). The fault-site draw is
+/// replayed directly from the golden launch table (no simulation) to collect
+/// 8 sample indices injecting into the same late diffusion launch — the
+/// workload batching targets: a long shared fault-free prefix paid once
+/// instead of per sample. Both paths run the pure timing backend so the
+/// measurement isolates batching, not the functional-prefix optimization.
+BatchMeasurement measure_batched_speedup() {
+  const auto app = workloads::make_benchmark("srad_v1");
+  const auto golden =
+      campaign::run_golden(*app, config(), campaign::Checkpointing::On);
+  campaign::CampaignSpec spec;
+  spec.kernel = "srad1_srad2";
+  spec.target = campaign::Target::Svf;
+
+  const auto& launches = golden.launches_of(spec.kernel);
+  std::uint64_t total = 0;
+  for (const std::size_t i : launches) {
+    total += golden.launches[i].gp_end - golden.launches[i].gp_begin;
+  }
+  BatchMeasurement m;
+  if (total == 0) return m;
+  // Replay each sample's launch draw (the first rng.below of the campaign's
+  // fault-site selection) until 8 samples land in one back-half launch.
+  const std::size_t back_half = launches[launches.size() / 2];
+  std::map<std::size_t, std::vector<std::uint64_t>> by_launch;
+  std::vector<std::uint64_t> lanes;
+  for (std::uint64_t s = 0; s < 4096 && lanes.empty(); ++s) {
+    Rng rng = Rng::for_sample(
+        spec.seed ^ (static_cast<std::uint64_t>(spec.target) << 40), s);
+    std::uint64_t r = rng.below(total);
+    for (const std::size_t i : launches) {
+      const std::uint64_t span =
+          golden.launches[i].gp_end - golden.launches[i].gp_begin;
+      if (r < span) {
+        if (i >= back_half) {
+          auto& group = by_launch[i];
+          group.push_back(s);
+          if (group.size() >= 8) lanes = group;
+        }
+        break;
+      }
+      r -= span;
+    }
+  }
+  m.lanes = lanes.size();
+  if (lanes.size() < 2) return m;
+
+  sim::Gpu workspace(config());
+  campaign::run_batched(*app, golden, spec, lanes, workspace,
+                        campaign::Backend::Timing);  // warm-up
+
+  const double b0 = wall_seconds();
+  benchmark::DoNotOptimize(campaign::run_batched(*app, golden, spec, lanes,
+                                                 workspace,
+                                                 campaign::Backend::Timing));
+  const double batched_sec = wall_seconds() - b0;
+
+  std::vector<double> per_sample_ms;
+  const double u0 = wall_seconds();
+  for (const std::uint64_t s : lanes) {
+    const double t0 = wall_seconds();
+    benchmark::DoNotOptimize(campaign::run_sample(*app, golden, spec, s, workspace,
+                                                  nullptr,
+                                                  campaign::Backend::Timing));
+    per_sample_ms.push_back((wall_seconds() - t0) * 1e3);
+  }
+  const double unbatched_sec = wall_seconds() - u0;
+
+  std::sort(per_sample_ms.begin(), per_sample_ms.end());
+  m.latency_p50_ms = per_sample_ms[per_sample_ms.size() / 2];
+  m.latency_p95_ms = per_sample_ms[per_sample_ms.size() * 95 / 100];
+  m.unbatched_ms_per_sample =
+      unbatched_sec * 1e3 / static_cast<double>(lanes.size());
+  m.batched_ms_per_sample = batched_sec * 1e3 / static_cast<double>(lanes.size());
+  m.speedup = m.batched_ms_per_sample > 0
+                  ? m.unbatched_ms_per_sample / m.batched_ms_per_sample
+                  : 0.0;
+  return m;
+}
+
 int emit_bench_json() {
   const auto app = workloads::make_benchmark("hotspot");
   const auto golden =
@@ -374,6 +465,7 @@ int emit_bench_json() {
   for (const auto& p : trace::phase_totals(events)) traced_self_ns += p.self_ns;
 
   const BackendMeasurement backend = measure_backend_speedup();
+  const BatchMeasurement batch = measure_batched_speedup();
 
   const double span_ns = disabled_span_cost_ns();
   const double overhead_pct =
@@ -403,6 +495,15 @@ int emit_bench_json() {
   std::fprintf(f, "  \"backend_functional_ms_per_sample\": %.3f,\n",
                backend.functional_ms_per_sample);
   std::fprintf(f, "  \"backend_speedup_late_svf\": %.2f,\n", backend.speedup);
+  std::fprintf(f, "  \"batch_lanes\": %llu,\n",
+               static_cast<unsigned long long>(batch.lanes));
+  std::fprintf(f, "  \"batch_unbatched_ms_per_sample\": %.3f,\n",
+               batch.unbatched_ms_per_sample);
+  std::fprintf(f, "  \"batch_batched_ms_per_sample\": %.3f,\n",
+               batch.batched_ms_per_sample);
+  std::fprintf(f, "  \"batch_speedup_same_kernel_svf\": %.2f,\n", batch.speedup);
+  std::fprintf(f, "  \"sample_latency_p50_ms\": %.3f,\n", batch.latency_p50_ms);
+  std::fprintf(f, "  \"sample_latency_p95_ms\": %.3f,\n", batch.latency_p95_ms);
   std::fprintf(f, "  \"traced_wall_ms\": %.3f,\n", traced.wall_sec * 1e3);
   std::fprintf(f, "  \"traced_self_total_ms\": %.3f,\n",
                static_cast<double>(traced_self_ns) / 1e6);

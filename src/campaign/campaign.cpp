@@ -1,6 +1,8 @@
 #include "src/campaign/campaign.h"
 
+#include <algorithm>
 #include <atomic>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <stdexcept>
@@ -269,6 +271,16 @@ struct HookBundle {
   /// launch for pure-timing samples; under the functional backend it is the
   /// functional_handoff boundary for the sampled injection launch.
   std::size_t handoff = 0;
+  /// Golden launch index the fault triggers in: the batch grouping key —
+  /// only samples injecting into the same launch can share a prefix.
+  std::size_t inject_launch = 0;
+  /// The fault's trigger in its counting space: an absolute cycle for
+  /// microarch targets, a global dynamic-instruction index for SVF ones.
+  /// Batched lanes advance the shared state in ascending trigger order.
+  std::uint64_t trigger = 0;
+  /// Non-null for SVF samples: lets a batched lane re-base the injector's
+  /// dynamic-instruction counter to its fork's retired count.
+  fi::SoftwareInjector* software = nullptr;
 
   explicit operator bool() const { return hook != nullptr; }
 };
@@ -306,11 +318,12 @@ HookBundle make_hook(const workloads::App& app, const GoldenRun& golden,
         const std::size_t handoff =
             functional ? functional_handoff(app, golden, resume.launch, i)
                        : resume.launch;
+        const std::uint64_t trigger = l.start_cycle + 1 + r;
         auto injector = std::make_unique<fi::MicroarchInjector>(
-            to_structure(spec.target), l.start_cycle + 1 + r, l.end_cycle, rng,
+            to_structure(spec.target), trigger, l.end_cycle, rng,
             /*width=*/1, static_cast<std::uint32_t>(i));
         const fi::FaultRecord* record = &injector->record();
-        return {std::move(injector), record, handoff};
+        return {std::move(injector), record, handoff, i, trigger, nullptr};
       }
       r -= l.cycles();
     }
@@ -344,11 +357,47 @@ HookBundle make_hook(const workloads::App& app, const GoldenRun& golden,
           to_mode(spec.target), global_index, rng, start_count,
           static_cast<std::uint32_t>(i));
       const fi::FaultRecord* record = &injector->record();
-      return {std::move(injector), record, handoff};
+      fi::SoftwareInjector* software = injector.get();
+      return {std::move(injector), record, handoff, i, global_index, software};
     }
     r -= span;
   }
   return {};
+}
+
+/// Classifies a finished faulty run: outcome, cycle count, provenance, SDC
+/// anatomy. Shared by the unbatched and batched paths so both produce
+/// byte-identical SampleResults.
+SampleResult classify_run(const GoldenRun& golden, const HookBundle& hook,
+                          sim::Gpu& workspace, workloads::RunOutput out,
+                          workloads::RunOutput* faulty_output) {
+  SampleResult result;
+  result.cycles = workspace.cycle();
+  result.injected = hook && hook.hook->injected();
+  if (hook) result.fault = *hook.record;
+
+  if (out.trap == sim::TrapKind::Watchdog) {
+    const trace::Span span("classify", "phase");
+    result.outcome = fi::Outcome::Timeout;
+  } else if (out.trap != sim::TrapKind::None) {
+    const trace::Span span("classify", "phase");
+    result.outcome = fi::Outcome::DUE;
+  } else {
+    workloads::CorruptionSignature sig;
+    {
+      const trace::Span span("compare", "phase");
+      sig = workloads::compare_outputs(golden.output, out);
+    }
+    const trace::Span span("classify", "phase");
+    if (sig.mismatch()) {
+      result.outcome = fi::Outcome::SDC;
+      result.signature = sig;
+    } else {
+      result.outcome = fi::Outcome::Masked;
+    }
+  }
+  if (faulty_output != nullptr) *faulty_output = std::move(out);
+  return result;
 }
 
 }  // namespace
@@ -423,33 +472,7 @@ SampleResult run_sample(const workloads::App& app, const GoldenRun& golden,
     out = workloads::run_app(app, workspace);
   }
 
-  SampleResult result;
-  result.cycles = workspace.cycle();
-  result.injected = hook && hook.hook->injected();
-  if (hook) result.fault = *hook.record;
-
-  if (out.trap == sim::TrapKind::Watchdog) {
-    const trace::Span span("classify", "phase");
-    result.outcome = fi::Outcome::Timeout;
-  } else if (out.trap != sim::TrapKind::None) {
-    const trace::Span span("classify", "phase");
-    result.outcome = fi::Outcome::DUE;
-  } else {
-    workloads::CorruptionSignature sig;
-    {
-      const trace::Span span("compare", "phase");
-      sig = workloads::compare_outputs(golden.output, out);
-    }
-    const trace::Span span("classify", "phase");
-    if (sig.mismatch()) {
-      result.outcome = fi::Outcome::SDC;
-      result.signature = sig;
-    } else {
-      result.outcome = fi::Outcome::Masked;
-    }
-  }
-  if (faulty_output != nullptr) *faulty_output = std::move(out);
-  return result;
+  return classify_run(golden, hook, workspace, std::move(out), faulty_output);
 }
 
 SampleResult run_sample(const workloads::App& app, const sim::GpuConfig& config,
@@ -458,6 +481,176 @@ SampleResult run_sample(const workloads::App& app, const sim::GpuConfig& config,
                         Backend backend) {
   sim::Gpu gpu(config);
   return run_sample(app, golden, spec, sample_index, gpu, faulty_output, backend);
+}
+
+std::vector<SampleResult> run_batched(const workloads::App& app, const GoldenRun& golden,
+                                      const CampaignSpec& spec,
+                                      std::span<const std::uint64_t> sample_indices,
+                                      sim::Gpu& workspace, Backend backend) {
+  std::vector<SampleResult> results(sample_indices.size());
+  const ResumePoint resume = find_resume(golden, spec.kernel);
+  const bool functional = resume.snap != nullptr &&
+                          resolve_backend(backend) == sim::BackendKind::Functional;
+
+  // Fallback to the unbatched path; bit-identity is trivial there.
+  const auto run_single = [&](std::size_t pos) {
+    results[pos] = run_sample(app, golden, spec, sample_indices[pos], workspace,
+                              nullptr, backend);
+    static telemetry::Counter& singles = telemetry::counter("batch.singles");
+    singles.add();
+  };
+
+  if (resume.snap == nullptr || sample_indices.size() < 2) {
+    for (std::size_t p = 0; p < sample_indices.size(); ++p) run_single(p);
+    return results;
+  }
+
+  // Batch formation: draw each sample's fault site with exactly the RNG
+  // stream run_sample would use, then group by injection launch ordinal —
+  // only samples pausing inside the same golden launch can share a prefix.
+  struct Lane {
+    std::size_t pos = 0;          ///< position in sample_indices / results
+    std::uint64_t sample = 0;     ///< the sample index itself
+    HookBundle hook;
+  };
+  std::map<std::size_t, std::vector<Lane>> groups;
+  {
+    const trace::Span span("batch.form", "phase", "lanes", sample_indices.size());
+    for (std::size_t p = 0; p < sample_indices.size(); ++p) {
+      const std::uint64_t index = sample_indices[p];
+      Rng rng = Rng::for_sample(
+          spec.seed ^ (static_cast<std::uint64_t>(spec.target) << 40), index);
+      HookBundle hook = make_hook(app, golden, spec, rng, resume, functional);
+      if (!hook) {
+        run_single(p);  // empty sampling space: identical no-hook classification
+        continue;
+      }
+      groups[hook.inject_launch].push_back({p, index, std::move(hook)});
+    }
+  }
+
+  const bool loads = spec.target == Target::SvfLd;
+  const sim::ForkTriggerKind kind = is_microarch(spec.target)
+                                        ? sim::ForkTriggerKind::Cycle
+                                    : loads ? sim::ForkTriggerKind::LdIndex
+                                            : sim::ForkTriggerKind::GpIndex;
+
+  for (auto& [inject_launch, lanes] : groups) {
+    if (lanes.size() < 2) {
+      for (const Lane& lane : lanes) run_single(lane.pos);
+      continue;
+    }
+    // Ascending triggers: the shared state only ever advances forward. Ties
+    // break on sample index for determinism; a tied lane's continue_to
+    // re-pauses immediately with zero progress.
+    std::sort(lanes.begin(), lanes.end(), [](const Lane& a, const Lane& b) {
+      return a.hook.trigger != b.hook.trigger ? a.hook.trigger < b.hook.trigger
+                                              : a.sample < b.sample;
+    });
+    static telemetry::Counter& groups_formed = telemetry::counter("batch.groups");
+    groups_formed.add();
+    static telemetry::Counter& lanes_batched = telemetry::counter("batch.lanes");
+    lanes_batched.add(lanes.size());
+
+    // Shared fault-free advance: one prefix replay for the whole group, with
+    // the fork observer armed to pause inside the injection launch. Restore
+    // logic mirrors run_sample (memoized functional prefix, cache fill).
+    const std::size_t handoff = lanes.front().hook.handoff;
+    const sim::GpuSnapshot* start = resume.snap;
+    std::size_t start_launch = resume.launch;
+    bool fill_prefix_cache = false;
+    if (handoff > resume.launch) {
+      if (const sim::GpuSnapshot* memo = golden.checkpoints->prefixes.find(handoff)) {
+        start = memo;
+        start_launch = handoff;
+        static telemetry::Counter& hits =
+            telemetry::counter("campaign.prefix_cache_hits");
+        hits.add();
+      } else {
+        fill_prefix_cache = true;
+      }
+    }
+    {
+      const trace::Span span("restore", "phase");
+      workspace.restore(*start, golden.launches);
+    }
+    workspace.set_launch_budgets(golden.budgets, golden.overflow_budget);
+    if (fill_prefix_cache) {
+      sim::FunctionalPlan plan;
+      plan.handoff_launch = handoff;
+      plan.golden = golden.launches;
+      plan.residue = golden.checkpoints->residues.at(handoff);
+      plan.validate = env_func_validate();
+      plan.on_handoff = [&golden, handoff](sim::GpuSnapshot snap) {
+        golden.checkpoints->prefixes.insert(handoff, std::move(snap));
+        static telemetry::Counter& fills =
+            telemetry::counter("campaign.prefix_cache_fills");
+        fills.add();
+      };
+      workspace.set_functional_plan(std::move(plan));
+    }
+    sim::BatchedBackend batch(workspace, kind, inject_launch);
+    batch.arm(lanes.front().hook.trigger);
+    workloads::RunOutput advance;
+    {
+      // No fault hook here: in an unbatched run no hook fires before its
+      // trigger either, so the shared prefix is the fault-free prefix.
+      const trace::Span span("batch.advance", "phase", "launch", inject_launch);
+      advance = workloads::replay_app(app, workspace, golden.checkpoints->trace,
+                                      start_launch, golden.launches);
+    }
+    if (advance.trap != sim::TrapKind::Paused) {
+      // The launch completed (or trapped) without reaching the first fork
+      // point — should not happen for in-window triggers; fall back.
+      batch.disarm();
+      for (const Lane& lane : lanes) run_single(lane.pos);
+      continue;
+    }
+
+    // Copy-on-write fork capture, advancing the shared state between lanes.
+    std::vector<std::optional<sim::LaunchFork>> forks(lanes.size());
+    for (std::size_t i = 0; i < lanes.size(); ++i) {
+      forks[i] = batch.capture_fork();
+      if (i + 1 < lanes.size() && !batch.continue_to(lanes[i + 1].hook.trigger)) {
+        break;  // completed early: remaining lanes fall back to singles
+      }
+    }
+    batch.disarm();
+
+    // Lane retirement: each fork finishes independently with its fault hook
+    // attached, classified exactly like an unbatched sample.
+    for (std::size_t i = 0; i < lanes.size(); ++i) {
+      Lane& lane = lanes[i];
+      if (!forks[i].has_value()) {
+        run_single(lane.pos);
+        continue;
+      }
+      const sim::LaunchFork& fork = *forks[i];
+      const trace::Span span("batch.lane", "phase", "sample", lane.sample);
+      {
+        const trace::Span restore_span("restore", "phase");
+        workspace.restore_fork(fork, golden.launches);
+      }
+      workspace.set_launch_budgets(golden.budgets, golden.overflow_budget);
+      if (lane.hook.software != nullptr) {
+        // The ctor assumed the launch-boundary count; the fork resumes
+        // mid-launch, so re-base to its retired-instruction count.
+        const sim::LaunchRecord& rec = fork.progress.record;
+        const sim::SimStats& st = fork.progress.stats;
+        lane.hook.software->rebase_counter(loads ? rec.ld_begin + st.ld_thread_instrs
+                                                 : rec.gp_begin + st.gp_thread_instrs);
+      }
+      workspace.set_fault_hook(lane.hook.hook.get());
+      workloads::RunOutput out =
+          workloads::resume_app(app, workspace, golden.checkpoints->trace,
+                                inject_launch, golden.launches, fork);
+      results[lane.pos] =
+          classify_run(golden, lane.hook, workspace, std::move(out), nullptr);
+      static telemetry::Counter& retired = telemetry::counter("batch.lanes_retired");
+      retired.add();
+    }
+  }
+  return results;
 }
 
 CampaignResult run_campaign(const workloads::App& app, const sim::GpuConfig& config,

@@ -212,6 +212,20 @@ SampleResult run_sample(const workloads::App& app, const GoldenRun& golden,
                         workloads::RunOutput* faulty_output = nullptr,
                         Backend backend = Backend::FromEnv);
 
+/// Runs K samples in one simulator instance with batched lock-step execution
+/// (DESIGN.md §12): samples whose faults trigger inside the same golden
+/// launch share the fault-free prefix once, fork copy-on-write at each
+/// sample's trigger, and finish independently. Results come back in
+/// `sample_indices` order and are bit-identical to calling run_sample per
+/// index (same RNG stream, same fault site, same classification); lanes that
+/// cannot batch — no checkpoint, singleton groups, empty sampling space —
+/// transparently fall back to run_sample.
+std::vector<SampleResult> run_batched(const workloads::App& app, const GoldenRun& golden,
+                                      const CampaignSpec& spec,
+                                      std::span<const std::uint64_t> sample_indices,
+                                      sim::Gpu& workspace,
+                                      Backend backend = Backend::FromEnv);
+
 /// All campaign results for one kernel, keyed by target.
 using KernelCampaigns = std::map<Target, CampaignResult>;
 

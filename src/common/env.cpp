@@ -26,6 +26,10 @@ std::string env_config(const std::string& fallback) { return env_str("GRAS_CONFI
 bool env_no_checkpoint() { return env_u64("GRAS_NO_CHECKPOINT", 0) != 0; }
 std::string env_backend(const std::string& fallback) { return env_str("GRAS_BACKEND", fallback); }
 bool env_func_validate() { return env_u64("GRAS_FUNC_VALIDATE", 0) != 0; }
+std::uint64_t env_batch(std::uint64_t fallback) {
+  const std::uint64_t v = env_u64("GRAS_BATCH", fallback);
+  return v == 0 ? 1 : v;
+}
 std::string env_cache_dir(const std::string& fallback) { return env_str("GRAS_CACHE", fallback); }
 std::string env_journal_dir() {
   return env_str("GRAS_JOURNAL_DIR", env_cache_dir() + "/journals");

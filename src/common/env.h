@@ -16,6 +16,11 @@
 //   GRAS_FUNC_VALIDATE   non-zero makes every functional→timing handoff
 //                        verify the architectural memory image against the
 //                        golden run's hash (cheap; on in tests/CI smokes)
+//   GRAS_BATCH           samples per batched simulator instance (default 1 =
+//                        unbatched): K samples injecting into the same launch
+//                        share their fault-free prefix via copy-on-write
+//                        forks (DESIGN.md §12); results stay bit-identical.
+//                        The CLI --batch flag overrides this.
 //   GRAS_CACHE           campaign memoization directory (default .gras_cache)
 //   GRAS_JOURNAL_DIR     sample-journal directory (default $GRAS_CACHE/journals)
 //   GRAS_JOURNAL_FSYNC   0 disables the per-batch fsync of sample journals
@@ -53,6 +58,8 @@ bool env_no_checkpoint();
 std::string env_backend(const std::string& fallback = "functional");
 /// True when GRAS_FUNC_VALIDATE is set to a non-zero value.
 bool env_func_validate();
+/// GRAS_BATCH with its default (1 = unbatched); 0 is clamped to 1.
+std::uint64_t env_batch(std::uint64_t fallback = 1);
 /// GRAS_CACHE with its default.
 std::string env_cache_dir(const std::string& fallback = ".gras_cache");
 /// GRAS_JOURNAL_DIR, defaulting to "<env_cache_dir()>/journals".

@@ -88,6 +88,14 @@ class SoftwareInjector final : public sim::FaultHook {
   /// (and stays 0 for a consumed source-mode target with no GPR operands).
   const FaultRecord& record() const noexcept { return record_; }
 
+  /// Re-bases the dynamic-instruction counter to `count` (the golden count at
+  /// the point where live simulation resumes). Batched lanes use this: the
+  /// hook is constructed before the batch's shared fault-free prefix runs,
+  /// but only attached to the gpu after the lane's fork is restored, so the
+  /// counter must be set to the fork's retired-instruction count rather than
+  /// the launch-boundary count the constructor assumed.
+  void rebase_counter(std::uint64_t count) noexcept { counter_ = count; }
+
  private:
   bool counts(const isa::Instr& ins) const;
   /// Lane of the target thread instruction inside this warp instruction, or

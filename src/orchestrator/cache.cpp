@@ -84,8 +84,13 @@ CampaignResult cached_campaign(const workloads::App& app, const sim::GpuConfig& 
   if (load(path, result)) return result;
   // Miss: run durably so an interrupted bench run resumes instead of
   // restarting. The journal is only a recovery log here — once the result
-  // is in the cache it can never be consulted again, so drop it.
-  const DurableResult durable = run_durable(app, config, golden, spec, pool);
+  // is in the cache it can never be consulted again, so drop it. Batching
+  // follows the ambient GRAS_BATCH so bench sweeps (and the CI batch smoke)
+  // exercise the batched path without per-binary plumbing; results are
+  // bit-identical at any batch size.
+  DurableOptions options;
+  options.batch = env_batch();
+  const DurableResult durable = run_durable(app, config, golden, spec, pool, options);
   store(path, durable.result);
   std::error_code ec;
   std::filesystem::remove(durable.journal, ec);

@@ -119,6 +119,7 @@ DurableResult run_durable(const workloads::App& app, const sim::GpuConfig& confi
                              std::to_string(options.shard.count));
   }
   if (options.chunk == 0) throw std::runtime_error("chunk size must be positive");
+  if (options.batch == 0) throw std::runtime_error("batch size must be positive");
 
   DurableResult out;
   out.result.spec = spec;
@@ -224,7 +225,43 @@ DurableResult run_durable(const workloads::App& app, const sim::GpuConfig& confi
         missing.push_back(p);
       }
     }
-    if (!missing.empty()) {
+    if (!missing.empty() && options.batch > 1) {
+      // Batched: consecutive missing positions form runs of up to `batch`
+      // samples, each executed in one workspace with batched lock-step
+      // execution. Records are buffered and appended at the chunk boundary
+      // in ascending index order — nothing reaches the journal until its
+      // whole run finished, so a mid-chunk kill leaves a clean prefix and
+      // resume re-runs exactly the missing samples.
+      std::vector<std::pair<std::size_t, std::size_t>> runs;
+      for (std::size_t first = 0; first < missing.size(); first += options.batch) {
+        runs.emplace_back(first, std::min(missing.size(), first + options.batch));
+      }
+      pool.parallel_for(runs.size(), [&](std::size_t run) {
+        const auto [first, last] = runs[run];
+        std::vector<std::uint64_t> indices;
+        indices.reserve(last - first);
+        for (std::size_t j = first; j < last; ++j) {
+          indices.push_back(position_to_index(missing[j], options.shard));
+        }
+        const trace::Span batch_span("batch", "phase", "lanes", indices.size());
+        auto gpu = acquire();
+        const std::vector<campaign::SampleResult> rs =
+            campaign::run_batched(app, golden, spec, indices, *gpu);
+        release(std::move(gpu));
+        for (std::size_t j = first; j < last; ++j) {
+          slots[missing[j] - begin] = to_record(indices[j - first], rs[j - first], golden);
+        }
+      });
+      if (writer) {
+        for (const std::uint64_t p : missing) {
+          const std::uint64_t index = position_to_index(p, options.shard);
+          const trace::Span append_span("journal.append", "journal", "index", index);
+          writer->append(slots[p - begin]);
+        }
+      }
+      out.executed += missing.size();
+      c_executed.add(missing.size());
+    } else if (!missing.empty()) {
       pool.parallel_for(missing.size(), [&](std::size_t j) {
         const std::uint64_t p = missing[j];
         const std::uint64_t index = position_to_index(p, options.shard);

@@ -56,6 +56,14 @@ struct DurableOptions {
   /// and progress snapshots happen at chunk boundaries; the value must not
   /// depend on the thread count or the early-stop point loses determinism.
   std::uint64_t chunk = 64;
+  /// Samples per batched simulator instance (campaign::run_batched): up to
+  /// `batch` consecutive missing samples run in one workspace, sharing their
+  /// fault-free prefix when they inject into the same launch. 1 (the
+  /// default) runs every sample independently. Results are bit-identical
+  /// either way; with batch > 1 journal appends move to the chunk boundary
+  /// (still ascending-index order) so a mid-chunk kill simply re-runs the
+  /// chunk's missing samples on resume — the exactly-once contract holds.
+  std::uint64_t batch = 1;
   ProgressSink* progress = nullptr;
 };
 

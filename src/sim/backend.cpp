@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/common/metrics_registry.h"
+#include "src/common/trace.h"
 #include "src/sim/gpu.h"
 
 namespace gras::sim {
@@ -22,10 +24,22 @@ std::optional<BackendKind> backend_from_name(std::string_view name) {
 
 void TimingBackend::run_launch(LaunchContext& ctx, LaunchRecord& record,
                                std::uint64_t deadline) {
+  run_loop(ctx, record, deadline, /*resumed=*/false);
+}
+
+void TimingBackend::resume_run(LaunchContext& ctx, LaunchRecord& record,
+                               std::uint64_t deadline) {
+  run_loop(ctx, record, deadline, /*resumed=*/true);
+}
+
+void TimingBackend::run_loop(LaunchContext& ctx, LaunchRecord& record,
+                             std::uint64_t deadline, bool resumed) {
   Gpu& gpu = gpu_;
   SimStats& stats = *ctx.stats;
   const std::uint64_t total_ctas = ctx.grid.count();
-  std::uint64_t next_cta = 0;
+  // CTA distribution progress lives in the context so a paused launch can
+  // resume exactly where it left off.
+  std::uint64_t& next_cta = ctx.next_cta;
 
   auto all_idle = [&] {
     for (const auto& sm : gpu.sms_) {
@@ -34,7 +48,50 @@ void TimingBackend::run_launch(LaunchContext& ctx, LaunchRecord& record,
     return true;
   };
 
+  // Idle fast-forward: jump to the next cycle at which any warp becomes
+  // ready, bounded by pending fault triggers, observer stops, and the
+  // deadline. State-derived and untouched mid-idle, so splitting one jump
+  // into legs (as an observer pause does) lands on the same cycles and
+  // accumulates the same residency stats.
+  auto fast_forward = [&](std::uint64_t resident) {
+    std::uint64_t next_event = ~std::uint64_t{0};
+    for (const auto& sm : gpu.sms_) {
+      next_event = std::min(next_event, sm->next_ready_cycle());
+    }
+    if (ctx.hook != nullptr) next_event = std::min(next_event, ctx.hook->next_trigger());
+    if (ctx.observer != nullptr) next_event = std::min(next_event, ctx.observer->next_stop());
+    // No runnable warp at any future cycle means every resident warp is
+    // stuck at a barrier (fault-induced deadlock): jump to the watchdog.
+    next_event = std::min(next_event, deadline + 1);
+    if (next_event > gpu.cycle_ + 1) {
+      const std::uint64_t skipped = next_event - gpu.cycle_ - 1;
+      stats.warp_residency += skipped * resident;
+      stats.sm_cycles += skipped * gpu.config_.num_sms;
+      gpu.cycle_ = next_event - 1;
+    }
+  };
+
+  if (resumed) {
+    // A pause lands mid-jump when the suspended observer bounded the idle
+    // fast-forward at its trigger (ForkTriggerKind::Cycle). Complete the
+    // jump under the *current* bounds (lane hook, re-armed observer) before
+    // simulating a cycle, so cycles the unpaused loop skips — where pending
+    // CTAs would be placed early — stay unsimulated. For index-kind pauses
+    // and pauses at naturally-stepped cycles this recomputes a zero-length
+    // jump and is a no-op.
+    std::uint64_t resident = 0;
+    for (const auto& sm : gpu.sms_) resident += sm->resident_warp_count();
+    fast_forward(resident);
+  }
+
   while (next_cta < total_ctas || !all_idle()) {
+    // Fork-point check before the counter advances: a pause leaves the
+    // device at the end of cycle_, and the resumed loop re-enters here.
+    if (ctx.observer != nullptr &&
+        !ctx.observer->before_cycle(gpu, ctx, record, gpu.cycle_ + 1)) {
+      ctx.trap = TrapKind::Paused;
+      break;
+    }
     ++gpu.cycle_;
     if (gpu.cycle_ > deadline) {
       ctx.trap = TrapKind::Watchdog;
@@ -73,27 +130,101 @@ void TimingBackend::run_launch(LaunchContext& ctx, LaunchRecord& record,
     }
     if (ctx.trap != TrapKind::None) break;
 
-    // Fast-forward over idle stretches: jump to the next cycle at which any
-    // warp becomes ready (bounded by pending fault triggers and the
-    // deadline). CTA placement above only changes state right after a CTA
-    // retires, which happens inside step(), so skipping is safe.
+    // CTA placement above only changes state right after a CTA retires,
+    // which happens inside step(), so skipping idle cycles is safe.
     if (next_cta >= total_ctas && all_idle()) break;  // launch complete
-
-    std::uint64_t next_event = ~std::uint64_t{0};
-    for (const auto& sm : gpu.sms_) {
-      next_event = std::min(next_event, sm->next_ready_cycle());
-    }
-    if (ctx.hook != nullptr) next_event = std::min(next_event, ctx.hook->next_trigger());
-    // No runnable warp at any future cycle means every resident warp is
-    // stuck at a barrier (fault-induced deadlock): jump to the watchdog.
-    next_event = std::min(next_event, deadline + 1);
-    if (next_event > gpu.cycle_ + 1) {
-      const std::uint64_t skipped = next_event - gpu.cycle_ - 1;
-      stats.warp_residency += skipped * resident;
-      stats.sm_cycles += skipped * gpu.config_.num_sms;
-      gpu.cycle_ = next_event - 1;
-    }
+    fast_forward(resident);
   }
+}
+
+// ------------------------------------------------------------- Batched ----
+
+BatchedBackend::BatchedBackend(Gpu& gpu, ForkTriggerKind kind,
+                               std::size_t launch_index)
+    : gpu_(gpu),
+      kind_(kind),
+      launch_index_(launch_index),
+      slack_(std::uint64_t{gpu.config().num_sms} * gpu.config().warp_size) {}
+
+void BatchedBackend::arm(std::uint64_t trigger) {
+  trigger_ = trigger;
+  gpu_.set_fork_observer(this, launch_index_);
+}
+
+void BatchedBackend::disarm() { gpu_.set_fork_observer(nullptr, 0); }
+
+bool BatchedBackend::paused() const noexcept {
+  return gpu_.paused_launch().has_value();
+}
+
+bool BatchedBackend::before_cycle(Gpu& gpu, const LaunchContext& ctx,
+                                  const LaunchRecord& record,
+                                  std::uint64_t next_cycle) {
+  (void)gpu;
+  switch (kind_) {
+    case ForkTriggerKind::Cycle:
+      // Pause with cycle_ == trigger - 1: the resumed lane's first iteration
+      // advances to the trigger cycle and fires its hook there, exactly as
+      // an unbatched run would.
+      return next_cycle < trigger_;
+    case ForkTriggerKind::GpIndex:
+      // Conservative: one iteration retires at most slack_ thread instrs
+      // (one warp instruction per SM), so pausing while count + slack_ may
+      // reach the trigger guarantees count <= trigger at the pause — the
+      // lane itself re-simulates the instructions up to and past it. The
+      // final loop iteration of a completing launch satisfies this test
+      // whenever the trigger lies inside the launch, so a pause always
+      // happens before completion for in-window triggers.
+      return record.gp_begin + ctx.stats->gp_thread_instrs + slack_ <= trigger_;
+    case ForkTriggerKind::LdIndex:
+      return record.ld_begin + ctx.stats->ld_thread_instrs + slack_ <= trigger_;
+  }
+  return true;
+}
+
+std::uint64_t BatchedBackend::next_stop() const {
+  // Instruction counters freeze across idle fast-forwards, so only the
+  // cycle-triggered kind has to bound the jump.
+  return kind_ == ForkTriggerKind::Cycle ? trigger_ : ~std::uint64_t{0};
+}
+
+LaunchFork BatchedBackend::capture_fork() {
+  const trace::Span span("batch.fork", "campaign", "launch", launch_index_);
+  LaunchFork fork;
+  fork.progress = *gpu_.paused_launch();
+  if (base_ == nullptr) {
+    // First lane: its pause point becomes the batch's shared base image;
+    // subsequent forks record copy-on-write deltas against it.
+    base_ = std::make_shared<const GpuSnapshot>(gpu_.snapshot());
+    gpu_.gmem().clear_dirty();
+  } else {
+    fork.gmem_pages = gpu_.gmem().collect_dirty_pages();
+    fork.l2 = gpu_.l2().snapshot();
+    std::vector<Sm::Snapshot> sms;
+    sms.reserve(gpu_.num_sms());
+    for (std::uint32_t i = 0; i < gpu_.num_sms(); ++i) {
+      sms.push_back(gpu_.sm(i).snapshot());
+    }
+    fork.sms = std::move(sms);
+  }
+  fork.base = base_;
+  fork.cycle = gpu_.cycle();
+  fork.gp_total = gpu_.gp_total();
+  fork.ld_total = gpu_.ld_total();
+  fork.dram_read = gpu_.dram().bytes_read();
+  fork.dram_written = gpu_.dram().bytes_written();
+  static telemetry::Counter& forks = telemetry::counter("batch.forks");
+  forks.add();
+  return fork;
+}
+
+bool BatchedBackend::continue_to(std::uint64_t trigger) {
+  trigger_ = trigger;
+  // Copy out the progress: resume_launch overwrites paused_ when it pauses
+  // again. Equal/stale triggers re-pause immediately with zero progress.
+  const LaunchProgress progress = *gpu_.paused_launch();
+  const LaunchResult result = gpu_.resume_launch(progress);
+  return result.trap == TrapKind::Paused;
 }
 
 }  // namespace gras::sim

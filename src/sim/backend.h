@@ -27,15 +27,14 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string_view>
 
+#include "src/sim/gpu.h"
 #include "src/sim/sm.h"
 
 namespace gras::sim {
-
-class Gpu;
-struct LaunchRecord;
 
 /// Which execution backend a campaign runs its fault-free prefix on.
 enum class BackendKind : std::uint8_t {
@@ -71,9 +70,101 @@ class TimingBackend final : public ExecBackend {
   BackendKind kind() const noexcept override { return BackendKind::Timing; }
   void run_launch(LaunchContext& ctx, LaunchRecord& record,
                   std::uint64_t deadline) override;
+  /// Continues a launch suspended by a ForkObserver. Identical to
+  /// run_launch except that it first *completes the idle fast-forward the
+  /// pause interrupted*: an observer bounds the idle jump at its trigger, so
+  /// the device sits mid-jump at trigger-1 — cycles the uninterrupted loop
+  /// would never simulate. Re-running the (idempotent, state-derived) jump
+  /// before the loop body keeps the set of simulated cycles — and with it
+  /// CTA placement timing — bit-identical to an unpaused run.
+  void resume_run(LaunchContext& ctx, LaunchRecord& record,
+                  std::uint64_t deadline);
+
+ private:
+  void run_loop(LaunchContext& ctx, LaunchRecord& record, std::uint64_t deadline,
+                bool resumed);
+
+  Gpu& gpu_;
+};
+
+/// Hook into the timing loop that can suspend a launch at fork points
+/// (batched execution). Checked at the top of every loop iteration, before
+/// the cycle counter advances, so a pause leaves the device state exactly as
+/// of the end of the previous cycle.
+class ForkObserver {
+ public:
+  virtual ~ForkObserver() = default;
+  /// Return false to suspend the launch (TrapKind::Paused) before the cycle
+  /// counter advances to `next_cycle`.
+  virtual bool before_cycle(Gpu& gpu, const LaunchContext& ctx,
+                            const LaunchRecord& record,
+                            std::uint64_t next_cycle) = 0;
+  /// Earliest future cycle this observer needs to see, bounding the idle
+  /// fast-forward (like FaultHook::next_trigger). UINT64_MAX when the
+  /// trigger is not cycle-based (instruction counters freeze across idle
+  /// jumps, so the per-iteration check alone suffices).
+  virtual std::uint64_t next_stop() const = 0;
+};
+
+/// What a batched sample's fork trigger counts (DESIGN.md §12): a global
+/// cycle for microarchitecture-level faults, or a global dynamic-instruction
+/// index (GPR-writing or load-only counting space) for software-level ones.
+enum class ForkTriggerKind : std::uint8_t {
+  Cycle,    ///< pause just before the trigger cycle (hook fires on resume)
+  GpIndex,  ///< pause conservatively before the GPR-writer index is reached
+  LdIndex,  ///< same, in the load-only counting space
+};
+
+/// Batched lock-step sample execution (DESIGN.md §12). Not an ExecBackend:
+/// it does not run one launch, it orchestrates *suspensions* of the timing
+/// backend so K samples of the same (app, kernel, launch ordinal) share one
+/// fault-free prefix. Usage, per batch:
+///
+///   BatchedBackend batch(gpu, kind, inject_launch);
+///   batch.arm(first_trigger);           // then run the app prefix once
+///   ... replay_app(...) returns with trap == Paused ...
+///   for each lane (ascending trigger):
+///     fork[i] = batch.capture_fork();   // copy-on-write capture
+///     if (!batch.continue_to(next))     // advance shared state to next lane
+///       break;                          // completed early: fall back
+///   batch.disarm();
+///   for each lane: gpu.restore_fork(fork[i], ...); gpu.resume_launch(...)
+///
+/// The index-based trigger kinds pause *conservatively early* (a slack of
+/// num_sms * warp_size instructions, the most one loop iteration can
+/// retire), so the lane — resumed with its fault hook attached — always
+/// re-simulates the instructions around its trigger itself, bit-identically
+/// to an unbatched run.
+class BatchedBackend final : public ForkObserver {
+ public:
+  BatchedBackend(Gpu& gpu, ForkTriggerKind kind, std::size_t launch_index);
+
+  /// Installs this observer on the Gpu for launch `launch_index`, pausing at
+  /// `trigger`. Call before running the shared prefix.
+  void arm(std::uint64_t trigger);
+  /// Detaches the observer; later launches run normally.
+  void disarm();
+  /// True while the Gpu holds a launch this observer suspended.
+  bool paused() const noexcept;
+  /// Captures the paused state as a fork. The first call takes the shared
+  /// base snapshot (and starts dirty-page tracking); later calls record only
+  /// deltas against it.
+  LaunchFork capture_fork();
+  /// Advances the shared paused state to the next lane's trigger. Returns
+  /// false if the launch ran to completion instead (no pause happened).
+  bool continue_to(std::uint64_t trigger);
+
+  bool before_cycle(Gpu& gpu, const LaunchContext& ctx, const LaunchRecord& record,
+                    std::uint64_t next_cycle) override;
+  std::uint64_t next_stop() const override;
 
  private:
   Gpu& gpu_;
+  ForkTriggerKind kind_;
+  std::size_t launch_index_;
+  std::uint64_t trigger_ = 0;
+  std::uint64_t slack_;
+  std::shared_ptr<const GpuSnapshot> base_;
 };
 
 }  // namespace gras::sim

@@ -82,7 +82,10 @@ Cache::Cache(const CacheConfig& config, MemLevel& next, const char* name)
     : config_(config),
       next_(next),
       name_(name),
-      meta_(std::size_t{config.sets} * config.ways),
+      tags_(std::size_t{config.sets} * config.ways, 0),
+      last_use_(std::size_t{config.sets} * config.ways, 0),
+      valid_(std::size_t{config.sets} * config.ways, 0),
+      dirty_(std::size_t{config.sets} * config.ways, 0),
       data_(std::size_t{config.sets} * config.ways * config.line_bytes, 0) {
   // Line size must be a power of two (callers mask addresses with it); set
   // counts may be arbitrary (e.g. Volta's 24-set L1T) — indexing divides.
@@ -101,9 +104,9 @@ std::uint64_t Cache::tag_of(std::uint64_t line_addr) const noexcept {
 }
 
 int Cache::lookup(std::uint32_t set, std::uint64_t tag) const noexcept {
+  const std::size_t base = std::size_t{set} * config_.ways;
   for (std::uint32_t w = 0; w < config_.ways; ++w) {
-    const LineMeta& m = meta_[std::size_t{set} * config_.ways + w];
-    if (m.valid && m.tag == tag) return static_cast<int>(w);
+    if (valid_[base + w] != 0 && tags_[base + w] == tag) return static_cast<int>(w);
   }
   return -1;
 }
@@ -113,15 +116,15 @@ std::uint8_t* Cache::line_data(std::uint32_t set, std::uint32_t way) noexcept {
 }
 
 void Cache::evict(std::uint32_t set, std::uint32_t way) {
-  LineMeta& m = meta_[std::size_t{set} * config_.ways + way];
-  if (m.valid && m.dirty) {
+  const std::size_t i = std::size_t{set} * config_.ways + way;
+  if (valid_[i] != 0 && dirty_[i] != 0) {
     const std::uint64_t victim_addr =
-        (m.tag * config_.sets + set) * config_.line_bytes;
+        (tags_[i] * config_.sets + set) * config_.line_bytes;
     next_.writeback_line(victim_addr, {line_data(set, way), config_.line_bytes});
     ++stats_.writebacks;
   }
-  m.valid = false;
-  m.dirty = false;
+  valid_[i] = 0;
+  dirty_[i] = 0;
 }
 
 std::uint64_t Cache::mshr_register(std::uint64_t line_addr, std::uint64_t ready,
@@ -162,22 +165,22 @@ std::pair<std::uint32_t, std::uint64_t> Cache::ensure_line(std::uint64_t line_ad
     } else {
       ++stats_.hits;
     }
-    meta_[std::size_t{set} * config_.ways + way].last_use = ++use_clock_;
+    last_use_[std::size_t{set} * config_.ways + way] = ++use_clock_;
     return {static_cast<std::uint32_t>(way), ready};
   }
 
   // Miss: pick LRU victim (prefer invalid ways), evict, fill.
   ++stats_.misses;
+  const std::size_t base = std::size_t{set} * config_.ways;
   std::uint32_t victim = 0;
   std::uint64_t oldest = ~std::uint64_t{0};
   for (std::uint32_t w = 0; w < config_.ways; ++w) {
-    const LineMeta& m = meta_[std::size_t{set} * config_.ways + w];
-    if (!m.valid) {
+    if (valid_[base + w] == 0) {
       victim = w;
       break;
     }
-    if (m.last_use < oldest) {
-      oldest = m.last_use;
+    if (last_use_[base + w] < oldest) {
+      oldest = last_use_[base + w];
       victim = w;
     }
   }
@@ -188,11 +191,10 @@ std::pair<std::uint32_t, std::uint64_t> Cache::ensure_line(std::uint64_t line_ad
   ++stats_.fills;
   const std::uint64_t delay = mshr_register(line_addr, fill_ready, now);
 
-  LineMeta& m = meta_[std::size_t{set} * config_.ways + victim];
-  m.tag = tag;
-  m.valid = true;
-  m.dirty = false;
-  m.last_use = ++use_clock_;
+  tags_[base + victim] = tag;
+  valid_[base + victim] = 1;
+  dirty_[base + victim] = 0;
+  last_use_[base + victim] = ++use_clock_;
   // Data traverses this level after the fill lands.
   return {victim, fill_ready + delay + config_.hit_latency};
 }
@@ -220,7 +222,7 @@ std::uint64_t Cache::write_line(std::uint64_t line_addr, std::span<const LineOp>
     auto [way, ready] = ensure_line(line_addr, now);
     std::uint8_t* dst = line_data(set, way);
     for (const LineOp& op : ops) std::memcpy(dst + op.offset, &op.value, 4);
-    meta_[std::size_t{set} * config_.ways + way].dirty = true;
+    dirty_[std::size_t{set} * config_.ways + way] = 1;
     return ready;
   }
 
@@ -231,7 +233,7 @@ std::uint64_t Cache::write_line(std::uint64_t line_addr, std::span<const LineOp>
     ++stats_.hits;
     std::uint8_t* dst = line_data(set, static_cast<std::uint32_t>(way));
     for (const LineOp& op : ops) std::memcpy(dst + op.offset, &op.value, 4);
-    meta_[std::size_t{set} * config_.ways + static_cast<std::uint32_t>(way)].last_use =
+    last_use_[std::size_t{set} * config_.ways + static_cast<std::uint32_t>(way)] =
         ++use_clock_;
   } else {
     ++stats_.misses;
@@ -258,7 +260,7 @@ void Cache::writeback_line(std::uint64_t line_addr, std::span<const std::uint8_t
     auto [way, ready] = ensure_line(line_addr, now);
     (void)ready;
     std::memcpy(line_data(set_of(line_addr), way), in.data(), config_.line_bytes);
-    meta_[std::size_t{set_of(line_addr)} * config_.ways + way].dirty = true;
+    dirty_[std::size_t{set_of(line_addr)} * config_.ways + way] = 1;
     return;
   }
   next_.writeback_line(line_addr, in);
@@ -275,7 +277,7 @@ std::uint64_t Cache::atomic_add(std::uint64_t addr, std::uint32_t operand,
   const std::uint32_t updated = old_value + operand;
   std::memcpy(dst, &updated, 4);
   if (config_.write_back) {
-    meta_[std::size_t{set_of(line_addr)} * config_.ways + way].dirty = true;
+    dirty_[std::size_t{set_of(line_addr)} * config_.ways + way] = 1;
   } else {
     LineOp op{static_cast<std::uint32_t>(addr - line_addr), updated};
     next_.write_line(line_addr, {&op, 1}, now);
@@ -333,14 +335,17 @@ void Cache::flush() {
 }
 
 Cache::Snapshot Cache::snapshot() const {
-  return Snapshot{meta_, data_, pending_, stats_, use_clock_};
+  return Snapshot{tags_, last_use_, valid_, dirty_, data_, pending_, stats_, use_clock_};
 }
 
 void Cache::restore(const Snapshot& snap) {
-  if (snap.meta.size() != meta_.size() || snap.data.size() != data_.size()) {
+  if (snap.tags.size() != tags_.size() || snap.data.size() != data_.size()) {
     throw std::invalid_argument("cache snapshot does not match this cache's geometry");
   }
-  meta_ = snap.meta;
+  tags_ = snap.tags;
+  last_use_ = snap.last_use;
+  valid_ = snap.valid;
+  dirty_ = snap.dirty;
   data_ = snap.data;
   pending_ = snap.pending;
   stats_ = snap.stats;
@@ -348,7 +353,10 @@ void Cache::restore(const Snapshot& snap) {
 }
 
 void Cache::reset() {
-  std::fill(meta_.begin(), meta_.end(), LineMeta{});
+  std::fill(tags_.begin(), tags_.end(), 0);
+  std::fill(last_use_.begin(), last_use_.end(), 0);
+  std::fill(valid_.begin(), valid_.end(), 0);
+  std::fill(dirty_.begin(), dirty_.end(), 0);
   std::fill(data_.begin(), data_.end(), 0);
   pending_.clear();
   stats_ = CacheStats{};
@@ -360,15 +368,15 @@ void Cache::flip_data_bit(std::uint64_t bit_index) noexcept {
 }
 
 void Cache::flip_tag_bit(std::uint64_t line_index, unsigned bit) noexcept {
-  if (line_index < meta_.size()) meta_[line_index].tag ^= (std::uint64_t{1} << (bit & 63));
+  if (line_index < tags_.size()) tags_[line_index] ^= (std::uint64_t{1} << (bit & 63));
 }
 
 void Cache::flip_valid_bit(std::uint64_t line_index) noexcept {
-  if (line_index < meta_.size()) meta_[line_index].valid = !meta_[line_index].valid;
+  if (line_index < valid_.size()) valid_[line_index] ^= 1u;
 }
 
 void Cache::flip_dirty_bit(std::uint64_t line_index) noexcept {
-  if (line_index < meta_.size()) meta_[line_index].dirty = !meta_[line_index].dirty;
+  if (line_index < dirty_.size()) dirty_[line_index] ^= 1u;
 }
 
 }  // namespace gras::sim

@@ -98,6 +98,11 @@ class Dram final : public MemLevel {
   std::uint64_t bytes_read() const noexcept { return bytes_read_; }
   std::uint64_t bytes_written() const noexcept { return bytes_written_; }
   void reset_traffic() noexcept { bytes_read_ = bytes_written_ = 0; }
+  /// Restores mid-launch traffic counters when resuming from a fork.
+  void set_traffic(std::uint64_t read, std::uint64_t written) noexcept {
+    bytes_read_ = read;
+    bytes_written_ = written;
+  }
 
  private:
   GlobalMemory& memory_;
@@ -146,26 +151,20 @@ class Cache final : public MemLevel {
   /// Flips one bit of the data array, live or dead.
   void flip_data_bit(std::uint64_t bit_index) noexcept;
   /// Number of cache lines (for tag/flag injection, an extension).
-  std::uint64_t line_count() const noexcept { return meta_.size(); }
+  std::uint64_t line_count() const noexcept { return tags_.size(); }
   void flip_tag_bit(std::uint64_t line_index, unsigned bit) noexcept;
   void flip_valid_bit(std::uint64_t line_index) noexcept;
   void flip_dirty_bit(std::uint64_t line_index) noexcept;
 
   /// Introspection for tests.
-  bool line_valid(std::uint64_t line_index) const { return meta_[line_index].valid; }
-  bool line_dirty(std::uint64_t line_index) const { return meta_[line_index].dirty; }
+  bool line_valid(std::uint64_t line_index) const { return valid_[line_index] != 0; }
+  bool line_dirty(std::uint64_t line_index) const { return dirty_[line_index] != 0; }
 
- private:
-  struct LineMeta {
-    std::uint64_t tag = 0;
-    std::uint64_t last_use = 0;
-    bool valid = false;
-    bool dirty = false;
-  };
-
- public:
   struct Snapshot {
-    std::vector<LineMeta> meta;
+    std::vector<std::uint64_t> tags;
+    std::vector<std::uint64_t> last_use;
+    std::vector<std::uint8_t> valid;
+    std::vector<std::uint8_t> dirty;
     std::vector<std::uint8_t> data;
     std::unordered_map<std::uint64_t, std::uint64_t> pending;  ///< in-flight fills
     CacheStats stats;
@@ -191,7 +190,14 @@ class Cache final : public MemLevel {
   CacheConfig config_;
   MemLevel& next_;
   const char* name_;
-  std::vector<LineMeta> meta_;        ///< sets * ways
+  // Line metadata as parallel structure-of-arrays (sets * ways each): tag
+  // compares and LRU scans walk one dense array apiece instead of striding
+  // through an AoS record, which lets the lookup/victim loops vectorize.
+  // valid_/dirty_ are u8, not bool, so the compiler can load them unpacked.
+  std::vector<std::uint64_t> tags_;
+  std::vector<std::uint64_t> last_use_;
+  std::vector<std::uint8_t> valid_;
+  std::vector<std::uint8_t> dirty_;
   std::vector<std::uint8_t> data_;    ///< sets * ways * line_bytes
   std::unordered_map<std::uint64_t, std::uint64_t> pending_;  ///< line -> ready
   CacheStats stats_;

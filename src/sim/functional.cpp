@@ -55,10 +55,11 @@ std::uint32_t f2i(std::uint32_t bits) {
 bool resolve_path(WarpExec& warp) {
   for (;;) {
     if (warp.stack.empty()) return warp.path_active() != 0;
-    DivFrame& frame = warp.stack.back();
-    if (!frame.pending.empty()) {
-      const DivPath next = frame.pending.back();
-      frame.pending.pop_back();
+    const DivFrame& frame = warp.stack.back();
+    // The top frame's pending paths are the arena's tail, [path_base, size).
+    if (warp.paths.size() > frame.path_base) {
+      const DivPath next = warp.paths.back();
+      warp.paths.pop_back();
       warp.active_mask = next.mask;
       warp.pc = next.pc;
       if (warp.path_active() != 0) return true;
@@ -66,7 +67,7 @@ bool resolve_path(WarpExec& warp) {
     }
     const std::uint32_t restored = frame.union_mask & ~warp.exited_mask;
     const std::uint32_t reconv = frame.reconv_pc;
-    warp.stack.pop_back();
+    warp.stack.pop_back();  // pending empty ⇒ paths already ends at path_base
     if (restored != 0 && reconv != DivFrame::kNoReconv) {
       warp.active_mask = restored;
       warp.pc = reconv;
@@ -665,10 +666,8 @@ void Interp::run_warp(std::uint32_t w) {
         ctx_.trap = TrapKind::DivergenceOverflow;
         return;
       }
-      DivFrame frame;
-      frame.reconv_pc = ins.target;
-      frame.union_mask = path;
-      warp.stack.push_back(std::move(frame));
+      warp.stack.push_back(
+          {ins.target, path, static_cast<std::uint32_t>(warp.paths.size())});
     }
     GRAS_NEXT;
     GRAS_OP(BRA) {
@@ -682,17 +681,15 @@ void Interp::run_warp(std::uint32_t w) {
         GRAS_NEXT;
       }
       if (warp.stack.empty()) {
-        DivFrame frame;
-        frame.reconv_pc = DivFrame::kNoReconv;
-        frame.union_mask = path;
-        warp.stack.push_back(std::move(frame));
+        warp.stack.push_back({DivFrame::kNoReconv, path,
+                              static_cast<std::uint32_t>(warp.paths.size())});
       }
       if (warp.stack.size() >= kMaxDivergenceDepth &&
-          warp.stack.back().pending.size() >= kMaxDivergenceDepth) {
+          warp.paths.size() - warp.stack.back().path_base >= kMaxDivergenceDepth) {
         ctx_.trap = TrapKind::DivergenceOverflow;
         return;
       }
-      warp.stack.back().pending.push_back({ins.target, exec});
+      warp.paths.push_back({ins.target, exec});
       warp.active_mask = path & ~exec;
     }
     GRAS_NEXT;

@@ -79,6 +79,8 @@ void Gpu::restore(const GpuSnapshot& snap, std::span<const LaunchRecord> golden_
   dram_.reset_traffic();
   hook_ = nullptr;
   func_plan_.reset();
+  fork_observer_ = nullptr;
+  paused_.reset();
 }
 
 void Gpu::reset() {
@@ -96,6 +98,8 @@ void Gpu::reset() {
   ckpt_sink_ = nullptr;
   residue_sink_ = nullptr;
   func_plan_.reset();
+  fork_observer_ = nullptr;
+  paused_.reset();
 }
 
 std::uint64_t Gpu::arch_mem_hash() {
@@ -241,6 +245,12 @@ LaunchResult Gpu::launch(const isa::Kernel& kernel, Dim3 grid, Dim3 block,
     complete_handoff();
   }
 
+  // Batched execution: the armed observer watches this launch for fork
+  // triggers (prefix launches above never reach here with its ordinal).
+  if (fork_observer_ != nullptr && launches_.size() == fork_observer_launch_) {
+    ctx.observer = fork_observer_;
+  }
+
   // Static span name, launch ordinal in the arg: kernel names are dynamic
   // strings the trace hot path cannot hold (see trace.h conventions).
   const trace::Span span("sim.launch", "sim", "launch", launches_.size());
@@ -277,12 +287,12 @@ LaunchResult Gpu::launch(const isa::Kernel& kernel, Dim3 grid, Dim3 block,
 
   // Cache counters accumulate inside the cache objects; snapshot them so the
   // launch record carries per-launch deltas.
-  CacheStats l1d_before, l1t_before;
+  CacheBaselines baselines;
   for (const auto& sm : sms_) {
-    l1d_before += sm->l1d().stats();
-    l1t_before += sm->l1t().stats();
+    baselines.l1d += sm->l1d().stats();
+    baselines.l1t += sm->l1t().stats();
   }
-  const CacheStats l2_before = l2_.stats();
+  baselines.l2 = l2_.stats();
 
   const std::uint64_t budget =
       launches_.size() < budgets_.size()
@@ -293,9 +303,83 @@ LaunchResult Gpu::launch(const isa::Kernel& kernel, Dim3 grid, Dim3 block,
   // The per-cycle loop lives in TimingBackend (the seam the functional
   // backend plugs into); it advances cycle_ and the SMs in place and reports
   // any trap — including the watchdog — through ctx.trap.
-  LaunchResult result;
   TimingBackend backend(*this);
   backend.run_launch(ctx, record, deadline);
+  if (ctx.trap == TrapKind::Paused) {
+    return pause_launch(ctx, record, stats, baselines, deadline);
+  }
+  return finish_timing_launch(ctx, record, stats, baselines);
+}
+
+LaunchResult Gpu::pause_launch(LaunchContext& ctx, LaunchRecord& record,
+                               SimStats& stats, const CacheBaselines& baselines,
+                               std::uint64_t deadline) {
+  // Suspended by the fork observer: keep the mid-launch device state exactly
+  // as the loop left it — no abort, no L1 flush, no record push — and stash
+  // everything resume_launch needs to continue bit-identically.
+  LaunchProgress progress;
+  progress.kernel = ctx.kernel;
+  progress.params = std::move(ctx.params);
+  progress.next_cta = ctx.next_cta;
+  progress.record = std::move(record);
+  progress.stats = stats;
+  progress.baselines = baselines;
+  progress.deadline = deadline;
+  paused_ = std::move(progress);
+  LaunchResult result;
+  result.trap = TrapKind::Paused;
+  return result;
+}
+
+LaunchResult Gpu::resume_launch(const LaunchProgress& progress) {
+  LaunchContext ctx;
+  ctx.kernel = progress.kernel;
+  ctx.grid = progress.record.grid;
+  ctx.block = progress.record.block;
+  ctx.params = progress.params;
+  ctx.threads_per_cta = ctx.block.x * ctx.block.y;
+  ctx.warps_per_cta = static_cast<std::uint32_t>(
+      ceil_div(ctx.threads_per_cta, config_.warp_size));
+  ctx.regs_per_thread = std::max<std::uint8_t>(progress.kernel->num_regs, 1);
+  ctx.hook = hook_;
+  ctx.next_cta = progress.next_cta;
+  if (fork_observer_ != nullptr && launches_.size() == fork_observer_launch_) {
+    ctx.observer = fork_observer_;
+  }
+
+  const trace::Span span("sim.resume_launch", "sim", "launch", launches_.size());
+
+  LaunchRecord record = progress.record;
+  SimStats stats = progress.stats;
+  ctx.stats = &stats;
+
+  TimingBackend backend(*this);
+  backend.resume_run(ctx, record, progress.deadline);
+  if (ctx.trap == TrapKind::Paused) {
+    return pause_launch(ctx, record, stats, progress.baselines, progress.deadline);
+  }
+  return finish_timing_launch(ctx, record, stats, progress.baselines);
+}
+
+void Gpu::restore_fork(const LaunchFork& fork,
+                       std::span<const LaunchRecord> golden_launches) {
+  restore(*fork.base, golden_launches);
+  for (const GlobalMemory::Page& page : fork.gmem_pages) {
+    gmem_.write(page.index << GlobalMemory::kPageShift, page.bytes);
+  }
+  if (fork.l2.has_value()) l2_.restore(*fork.l2);
+  if (fork.sms.has_value()) {
+    for (std::size_t i = 0; i < sms_.size(); ++i) sms_[i]->restore((*fork.sms)[i]);
+  }
+  cycle_ = fork.cycle;
+  gp_total_ = fork.gp_total;
+  ld_total_ = fork.ld_total;
+  dram_.set_traffic(fork.dram_read, fork.dram_written);
+}
+
+LaunchResult Gpu::finish_timing_launch(LaunchContext& ctx, LaunchRecord& record,
+                                       SimStats& stats, const CacheBaselines& baselines) {
+  LaunchResult result;
   if (ctx.trap != TrapKind::None) result.trap = ctx.trap;
 
   // On trap/watchdog, abandon resident CTAs (the launch failed); either way
@@ -326,9 +410,9 @@ LaunchResult Gpu::launch(const isa::Kernel& kernel, Dim3 grid, Dim3 block,
     d.fills = after.fills - before.fills;
     return d;
   };
-  stats.l1d = delta(l1d_after, l1d_before);
-  stats.l1t = delta(l1t_after, l1t_before);
-  stats.l2 = delta(l2_.stats(), l2_before);
+  stats.l1d = delta(l1d_after, baselines.l1d);
+  stats.l1t = delta(l1t_after, baselines.l1t);
+  stats.l2 = delta(l2_.stats(), baselines.l2);
 
   gp_total_ += stats.gp_thread_instrs;
   ld_total_ += stats.ld_thread_instrs;

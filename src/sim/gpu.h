@@ -156,6 +156,46 @@ struct FunctionalPlan {
   std::function<void(GpuSnapshot)> on_handoff;
 };
 
+/// Cumulative cache-stat baselines captured at launch start; the launch
+/// record's per-launch deltas are computed against these at completion, so a
+/// paused launch must carry them across the suspension.
+struct CacheBaselines {
+  CacheStats l1d, l1t, l2;
+};
+
+/// Everything needed to resume a launch suspended mid-flight by a
+/// ForkObserver (TrapKind::Paused): the in-progress record and stats, CTA
+/// distribution progress, the original launch parameters and the absolute
+/// watchdog deadline. Device state (SMs, caches, memory, cycle counter) is
+/// left in place on the Gpu itself — or captured separately in a LaunchFork.
+struct LaunchProgress {
+  const isa::Kernel* kernel = nullptr;
+  std::vector<std::uint32_t> params;
+  std::uint64_t next_cta = 0;
+  LaunchRecord record;
+  SimStats stats;
+  CacheBaselines baselines;
+  std::uint64_t deadline = 0;
+};
+
+/// Copy-on-write capture of a paused launch: the first fork of a batch
+/// stores a full device snapshot as the shared base; later forks share that
+/// base and carry only the global-memory pages written since, plus eager L2
+/// and per-SM snapshots (those mutate densely between triggers, so deltas
+/// would not pay). restore_fork() reassembles the exact paused device state.
+struct LaunchFork {
+  LaunchProgress progress;
+  std::shared_ptr<const GpuSnapshot> base;
+  std::vector<GlobalMemory::Page> gmem_pages;  ///< empty for the base fork
+  std::optional<Cache::Snapshot> l2;           ///< nullopt for the base fork
+  std::optional<std::vector<Sm::Snapshot>> sms;
+  std::uint64_t cycle = 0;
+  std::uint64_t gp_total = 0;
+  std::uint64_t ld_total = 0;
+  std::uint64_t dram_read = 0;   ///< mid-launch DRAM traffic so far
+  std::uint64_t dram_written = 0;
+};
+
 class Gpu {
  public:
   explicit Gpu(GpuConfig config);
@@ -180,6 +220,26 @@ class Gpu {
   /// default.
   void set_launch_budgets(std::vector<std::uint64_t> budgets, std::uint64_t overflow = 0);
   void set_fault_hook(FaultHook* hook) { hook_ = hook; }
+
+  // --- Batched execution (DESIGN.md §12) ---
+  /// Arms `observer` for the launch with ordinal `launch_index`: that launch
+  /// runs with the observer wired into the timing loop, which can suspend it
+  /// (TrapKind::Paused) at fork triggers. Cleared by restore()/reset().
+  void set_fork_observer(ForkObserver* observer, std::size_t launch_index) {
+    fork_observer_ = observer;
+    fork_observer_launch_ = launch_index;
+  }
+  /// State of the launch currently suspended by a ForkObserver, if any.
+  const std::optional<LaunchProgress>& paused_launch() const noexcept {
+    return paused_;
+  }
+  /// Continues a suspended launch from `progress`; device state must already
+  /// be the paused state (either untouched since the pause, or re-installed
+  /// via restore_fork). May pause again if the observer asks.
+  LaunchResult resume_launch(const LaunchProgress& progress);
+  /// Re-installs the paused device state captured in `fork` (shared base
+  /// snapshot + copy-on-write deltas); pair with resume_launch(fork.progress).
+  void restore_fork(const LaunchFork& fork, std::span<const LaunchRecord> golden_launches);
 
   // --- Launch-boundary checkpointing ---
   /// While set, launch() records a snapshot of the pre-launch state into
@@ -223,6 +283,9 @@ class Gpu {
   std::uint32_t num_sms() const noexcept { return config_.num_sms; }
   Cache& l2() noexcept { return l2_; }
   GlobalMemory& gmem() noexcept { return gmem_; }
+  Dram& dram() noexcept { return dram_; }
+  std::uint64_t gp_total() const noexcept { return gp_total_; }
+  std::uint64_t ld_total() const noexcept { return ld_total_; }
 
  private:
   friend class TimingBackend;
@@ -234,6 +297,14 @@ class Gpu {
   /// (when the plan asks), restores the golden boundary residue and retires the
   /// plan. Called at the first launch at/after the handoff boundary.
   void complete_handoff();
+  /// Saves a ForkObserver suspension into paused_ and returns the Paused
+  /// result; the device keeps the mid-launch state untouched.
+  LaunchResult pause_launch(LaunchContext& ctx, LaunchRecord& record, SimStats& stats,
+                            const CacheBaselines& baselines, std::uint64_t deadline);
+  /// The shared completion tail of launch()/resume_launch(): abort/flush,
+  /// per-launch stat deltas, telemetry and the record push.
+  LaunchResult finish_timing_launch(LaunchContext& ctx, LaunchRecord& record,
+                                    SimStats& stats, const CacheBaselines& baselines);
 
   GpuConfig config_;
   GlobalMemory gmem_;
@@ -247,6 +318,9 @@ class Gpu {
   CheckpointStore* ckpt_sink_ = nullptr;
   ResidueStore* residue_sink_ = nullptr;
   std::optional<FunctionalPlan> func_plan_;
+  ForkObserver* fork_observer_ = nullptr;
+  std::size_t fork_observer_launch_ = 0;
+  std::optional<LaunchProgress> paused_;
   std::uint64_t cycle_ = 0;
   std::uint64_t gp_total_ = 0;  ///< cumulative GPR-writing thread instrs
   std::uint64_t ld_total_ = 0;

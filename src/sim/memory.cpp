@@ -6,7 +6,8 @@
 
 namespace gras::sim {
 
-GlobalMemory::GlobalMemory(std::uint64_t bytes) : data_(bytes, 0) {}
+GlobalMemory::GlobalMemory(std::uint64_t bytes)
+    : data_(bytes, 0), dirty_((bytes + kPageBytes - 1) >> kPageShift, 0) {}
 
 std::uint32_t GlobalMemory::allocate(std::uint64_t bytes) {
   const std::uint64_t aligned = (top_ + 15) & ~std::uint64_t{15};
@@ -61,6 +62,27 @@ void GlobalMemory::write(std::uint64_t addr, std::span<const std::uint8_t> in) n
   const std::uint64_t n = std::min<std::uint64_t>(in.size(), data_.size() - addr);
   std::memcpy(data_.data() + addr, in.data(), n);
   written_top_ = std::max(written_top_, addr + n);
+  if (n != 0) {
+    for (std::uint64_t p = addr >> kPageShift; p <= (addr + n - 1) >> kPageShift; ++p) {
+      dirty_[p] = 1;
+    }
+  }
+}
+
+void GlobalMemory::clear_dirty() noexcept {
+  std::fill(dirty_.begin(), dirty_.end(), 0);
+}
+
+std::vector<GlobalMemory::Page> GlobalMemory::collect_dirty_pages() const {
+  std::vector<Page> pages;
+  for (std::uint64_t p = 0; p < dirty_.size(); ++p) {
+    if (dirty_[p] == 0) continue;
+    const std::uint64_t base = p << kPageShift;
+    const std::uint64_t n = std::min(kPageBytes, data_.size() - base);
+    pages.push_back({p, {data_.begin() + static_cast<std::ptrdiff_t>(base),
+                         data_.begin() + static_cast<std::ptrdiff_t>(base + n)}});
+  }
+  return pages;
 }
 
 }  // namespace gras::sim

@@ -58,10 +58,26 @@ class GlobalMemory {
   /// instead; this is for tests).
   std::span<std::uint8_t> raw() noexcept { return data_; }
 
+  // --- Dirty-page tracking (copy-on-write forks; DESIGN.md §12) ---
+  /// One dirty page: index (addr >> kPageShift) plus its current contents.
+  struct Page {
+    std::uint64_t index;
+    std::vector<std::uint8_t> bytes;
+  };
+  static constexpr std::uint32_t kPageShift = 12;  ///< 4 KiB pages
+  static constexpr std::uint64_t kPageBytes = std::uint64_t{1} << kPageShift;
+  /// Clears the dirty bitmap: subsequent collect_dirty_pages() calls report
+  /// only pages written after this point.
+  void clear_dirty() noexcept;
+  /// Copies of every page written since the last clear_dirty(). The bitmap
+  /// is left intact so successive forks from the same base accumulate.
+  std::vector<Page> collect_dirty_pages() const;
+
  private:
   std::vector<std::uint8_t> data_;
   std::uint64_t top_ = kBase;
   std::uint64_t written_top_ = 0;  ///< furthest byte ever written (for restore)
+  std::vector<std::uint8_t> dirty_;  ///< one byte per page, set in write()
 };
 
 }  // namespace gras::sim

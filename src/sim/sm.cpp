@@ -73,7 +73,8 @@ Sm::Sm(const GpuConfig& config, std::uint32_t sm_id, MemLevel& l2, GlobalMemory&
       l1d_(config.l1d, l2, "L1D"),
       l1t_(config.l1t, l2, "L1T"),
       warps_(config.max_warps_per_sm),
-      ctas_(config.max_ctas_per_sm) {}
+      ctas_(config.max_ctas_per_sm),
+      warp_gate_(config.max_warps_per_sm, ~std::uint64_t{0}) {}
 
 std::uint32_t Sm::free_cta_slots() const noexcept {
   return config_.max_ctas_per_sm - active_ctas_;
@@ -141,6 +142,7 @@ bool Sm::try_launch_cta(LaunchContext& ctx, std::uint32_t x, std::uint32_t y,
     }
     warp.active_mask = mask;
     warp.pred_mask[isa::kPredPT] = kFullMask;
+    sync_gate(first_warp + w);
   }
   active_ctas_ += 1;
   resident_warps_ += need;
@@ -211,11 +213,11 @@ std::uint32_t Sm::eval_operand(const LaunchContext& ctx, const WarpExec& warp,
 }
 
 std::uint64_t Sm::next_ready_cycle() const noexcept {
+  // Flat min-reduce over the gate array (parked slots hold ~0); dense u64
+  // data with no branches, so the compiler can vectorize it.
   std::uint64_t earliest = ~std::uint64_t{0};
-  for (const WarpExec& w : warps_) {
-    if (w.resident && !w.done && !w.at_barrier) {
-      earliest = std::min(earliest, w.ready_cycle);
-    }
+  for (const std::uint64_t gate : warp_gate_) {
+    earliest = std::min(earliest, gate);
   }
   return earliest;
 }
@@ -224,10 +226,12 @@ void Sm::release_barrier_if_ready(CtaExec& cta, std::uint64_t now) {
   const std::uint32_t live = cta.num_warps - cta.warps_done;
   if (live == 0 || cta.barrier_arrived < live) return;
   for (std::uint32_t w = 0; w < cta.num_warps; ++w) {
-    WarpExec& warp = warps_[cta.first_warp_slot + w];
+    const std::uint32_t slot = cta.first_warp_slot + w;
+    WarpExec& warp = warps_[slot];
     if (warp.at_barrier) {
       warp.at_barrier = false;
       warp.ready_cycle = now + 1;
+      sync_gate(slot);
     }
   }
   cta.barrier_arrived = 0;
@@ -236,6 +240,7 @@ void Sm::release_barrier_if_ready(CtaExec& cta, std::uint64_t now) {
 void Sm::finish_warp(LaunchContext& ctx, std::uint32_t slot) {
   WarpExec& warp = warps_[slot];
   warp.done = true;
+  sync_gate(slot);
   resident_warps_ -= 1;
   CtaExec& cta = ctas_[warp.cta_slot];
   cta.warps_done += 1;
@@ -244,6 +249,7 @@ void Sm::finish_warp(LaunchContext& ctx, std::uint32_t slot) {
     smem_.free(cta.smem_base, cta.smem_bytes);
     for (std::uint32_t w = 0; w < cta.num_warps; ++w) {
       warps_[cta.first_warp_slot + w].resident = false;
+      sync_gate(cta.first_warp_slot + w);
     }
     cta.resident = false;
     active_ctas_ -= 1;
@@ -258,10 +264,11 @@ bool Sm::resolve_path(WarpExec& warp, bool via_sync) {
   (void)via_sync;
   for (;;) {
     if (warp.stack.empty()) return warp.path_active() != 0;
-    DivFrame& frame = warp.stack.back();
-    if (!frame.pending.empty()) {
-      const DivPath next = frame.pending.back();
-      frame.pending.pop_back();
+    const DivFrame& frame = warp.stack.back();
+    // The top frame's pending paths are the arena's tail, [path_base, size).
+    if (warp.paths.size() > frame.path_base) {
+      const DivPath next = warp.paths.back();
+      warp.paths.pop_back();
       warp.active_mask = next.mask;
       warp.pc = next.pc;
       if (warp.path_active() != 0) return true;
@@ -269,7 +276,7 @@ bool Sm::resolve_path(WarpExec& warp, bool via_sync) {
     }
     const std::uint32_t restored = frame.union_mask & ~warp.exited_mask;
     const std::uint32_t reconv = frame.reconv_pc;
-    warp.stack.pop_back();
+    warp.stack.pop_back();  // pending empty ⇒ paths already ends at path_base
     if (restored != 0 && reconv != DivFrame::kNoReconv) {
       warp.active_mask = restored;
       warp.pc = reconv;
@@ -290,8 +297,8 @@ void Sm::step(LaunchContext& ctx, std::uint64_t now) {
   const std::uint32_t n = static_cast<std::uint32_t>(warps_.size());
   for (std::uint32_t i = 0; i < n; ++i) {
     const std::uint32_t slot = (rr_next_ + i) % n;
-    WarpExec& warp = warps_[slot];
-    if (!warp.resident || warp.done || warp.at_barrier || warp.ready_cycle > now) continue;
+    // warp_gate_ folds resident/done/at_barrier/ready into one compare.
+    if (warp_gate_[slot] > now) continue;
     rr_next_ = (slot + 1) % n;
     execute_warp(ctx, slot, now);
     return;
@@ -558,10 +565,8 @@ void Sm::execute_warp(LaunchContext& ctx, std::uint32_t slot, std::uint64_t now)
         ctx.trap = TrapKind::DivergenceOverflow;
         return;
       }
-      DivFrame frame;
-      frame.reconv_pc = ins.target;
-      frame.union_mask = path;
-      warp.stack.push_back(std::move(frame));
+      warp.stack.push_back(
+          {ins.target, path, static_cast<std::uint32_t>(warp.paths.size())});
       break;
     }
     case Op::BRA: {
@@ -578,17 +583,15 @@ void Sm::execute_warp(LaunchContext& ctx, std::uint32_t slot, std::uint64_t now)
       if (warp.stack.empty()) {
         // Fault-perturbed control flow can diverge without an SSY; an
         // implicit frame serialises the paths (they retire via EXIT).
-        DivFrame frame;
-        frame.reconv_pc = DivFrame::kNoReconv;
-        frame.union_mask = path;
-        warp.stack.push_back(std::move(frame));
+        warp.stack.push_back({DivFrame::kNoReconv, path,
+                              static_cast<std::uint32_t>(warp.paths.size())});
       }
       if (warp.stack.size() >= kMaxDivergenceDepth &&
-          warp.stack.back().pending.size() >= kMaxDivergenceDepth) {
+          warp.paths.size() - warp.stack.back().path_base >= kMaxDivergenceDepth) {
         ctx.trap = TrapKind::DivergenceOverflow;
         return;
       }
-      warp.stack.back().pending.push_back({ins.target, exec});
+      warp.paths.push_back({ins.target, exec});
       warp.active_mask = path & ~exec;
       break;
     }
@@ -607,6 +610,7 @@ void Sm::execute_warp(LaunchContext& ctx, std::uint32_t slot, std::uint64_t now)
     case Op::BAR: {
       CtaExec& cta = ctas_[warp.cta_slot];
       warp.at_barrier = true;
+      sync_gate(slot);
       cta.barrier_arrived += 1;
       warp.pc = next_pc;  // resumes after the barrier
       release_barrier_if_ready(cta, now);
@@ -642,6 +646,7 @@ void Sm::execute_warp(LaunchContext& ctx, std::uint32_t slot, std::uint64_t now)
 
   if (advance) warp.pc = next_pc;
   warp.ready_cycle = ready;
+  sync_gate(slot);
 }
 
 std::uint64_t Sm::exec_global(LaunchContext& ctx, WarpExec& warp, const Instr& ins,
@@ -795,6 +800,10 @@ Sm::Snapshot Sm::snapshot() const {
   snap.l1d = l1d_.snapshot();
   snap.l1t = l1t_.snapshot();
   snap.rr_next = rr_next_;
+  snap.warps = warps_;
+  snap.ctas = ctas_;
+  snap.active_ctas = active_ctas_;
+  snap.resident_warps = resident_warps_;
   return snap;
 }
 
@@ -804,10 +813,11 @@ void Sm::restore(const Snapshot& snap) {
   l1d_.restore(snap.l1d);
   l1t_.restore(snap.l1t);
   rr_next_ = snap.rr_next;
-  std::fill(warps_.begin(), warps_.end(), WarpExec{});
-  std::fill(ctas_.begin(), ctas_.end(), CtaExec{});
-  active_ctas_ = 0;
-  resident_warps_ = 0;
+  warps_ = snap.warps;
+  ctas_ = snap.ctas;
+  active_ctas_ = snap.active_ctas;
+  resident_warps_ = snap.resident_warps;
+  for (std::uint32_t slot = 0; slot < warps_.size(); ++slot) sync_gate(slot);
 }
 
 void Sm::reset() {
@@ -818,6 +828,7 @@ void Sm::reset() {
   rr_next_ = 0;
   std::fill(warps_.begin(), warps_.end(), WarpExec{});
   std::fill(ctas_.begin(), ctas_.end(), CtaExec{});
+  std::fill(warp_gate_.begin(), warp_gate_.end(), ~std::uint64_t{0});
   active_ctas_ = 0;
   resident_warps_ = 0;
 }
@@ -832,6 +843,7 @@ void Sm::abort_launch() {
       if (!warp.done) resident_warps_ -= 1;
       warp.resident = false;
       warp.done = true;
+      sync_gate(cta.first_warp_slot + w);
     }
     cta.resident = false;
     active_ctas_ -= 1;

@@ -99,10 +99,14 @@ struct DivPath {
 };
 
 /// SIMT reconvergence frame (pushed by SSY, popped when all paths SYNC).
+/// Frames are plain 12-byte records: each frame's pending paths live in the
+/// warp's flat `paths` arena starting at `path_base` (structure-of-arrays
+/// layout; only the top frame's pending region ever grows or shrinks, so the
+/// arena behaves as a second stack parallel to `stack`).
 struct DivFrame {
   std::uint32_t reconv_pc;                 ///< kNoReconv for implicit frames
   std::uint32_t union_mask;
-  std::vector<DivPath> pending;
+  std::uint32_t path_base;                 ///< first pending path in WarpExec::paths
   static constexpr std::uint32_t kNoReconv = ~std::uint32_t{0};
 };
 
@@ -119,6 +123,7 @@ struct WarpExec {
   std::uint64_t ready_cycle = 0;
   std::uint32_t pred_mask[isa::kNumPred] = {};  ///< per-lane predicate bits
   std::vector<DivFrame> stack;
+  std::vector<DivPath> paths;      ///< flat arena of all frames' pending paths
 
   std::uint32_t path_active() const { return active_mask & ~exited_mask; }
 };
@@ -135,6 +140,8 @@ struct CtaExec {
   std::uint32_t first_warp_slot = 0;
 };
 
+class ForkObserver;
+
 /// Everything an SM needs about the launch in flight; owned by the Gpu.
 struct LaunchContext {
   const isa::Kernel* kernel = nullptr;
@@ -145,6 +152,8 @@ struct LaunchContext {
   std::uint32_t regs_per_thread = 0;
   SimStats* stats = nullptr;
   FaultHook* hook = nullptr;
+  ForkObserver* observer = nullptr;  ///< batched execution pause points
+  std::uint64_t next_cta = 0;        ///< CTA distribution progress (resumable)
   TrapKind trap = TrapKind::None;  ///< first trap, aborts the launch
 };
 
@@ -175,17 +184,21 @@ class Sm {
   /// a launch aborts on a trap or watchdog.
   void abort_launch();
 
-  /// Launch-boundary state: backing arrays, allocation maps and the
-  /// round-robin pointer. Warp/CTA slots are not captured — at a boundary
-  /// none are resident and placement fully reinitializes a slot on reuse.
+  /// Full SM state: backing arrays, allocation maps, warp/CTA slots and the
+  /// round-robin pointer. Valid both at launch boundaries (no resident CTAs)
+  /// and mid-launch, which is what batched execution forks from.
   struct Snapshot {
     RegFile::Snapshot rf;
     SharedMem::Snapshot smem;
     Cache::Snapshot l1d, l1t;
     std::uint32_t rr_next = 0;
+    std::vector<WarpExec> warps;
+    std::vector<CtaExec> ctas;
+    std::uint32_t active_ctas = 0;
+    std::uint32_t resident_warps = 0;
   };
   Snapshot snapshot() const;
-  /// Restores a launch-boundary snapshot; all warp/CTA slots become free.
+  /// Restores a snapshot, including warp/CTA occupancy.
   void restore(const Snapshot& snap);
   /// Back to the freshly-constructed state.
   void reset();
@@ -235,8 +248,22 @@ class Sm {
   SharedMem smem_;
   Cache l1d_;
   Cache l1t_;
+  /// Keeps warp_gate_[slot] in sync with the warp's schedulability: its
+  /// ready_cycle while runnable, ~0 while parked (non-resident, done, or at
+  /// a barrier). Call after any mutation of those fields.
+  void sync_gate(std::uint32_t slot) noexcept {
+    const WarpExec& w = warps_[slot];
+    warp_gate_[slot] = (w.resident && !w.done && !w.at_barrier)
+                           ? w.ready_cycle
+                           : ~std::uint64_t{0};
+  }
+
   std::vector<WarpExec> warps_;
   std::vector<CtaExec> ctas_;
+  /// Structure-of-arrays mirror of the per-warp schedulability test: one
+  /// flat u64 per slot so step()'s scan and next_ready_cycle()'s min-reduce
+  /// touch a dense array instead of striding through WarpExec.
+  std::vector<std::uint64_t> warp_gate_;
   std::uint32_t active_ctas_ = 0;
   std::uint32_t resident_warps_ = 0;
   std::uint32_t rr_next_ = 0;

@@ -14,6 +14,7 @@ const char* trap_name(TrapKind k) {
     case TrapKind::DivergenceOverflow: return "DivergenceOverflow";
     case TrapKind::Watchdog: return "Watchdog";
     case TrapKind::HostCheck: return "HostCheck";
+    case TrapKind::Paused: return "Paused";
   }
   return "?";
 }

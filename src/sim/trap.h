@@ -21,6 +21,7 @@ enum class TrapKind : std::uint8_t {
   DivergenceOverflow, ///< SIMT reconvergence stack exceeded its depth bound
   Watchdog,           ///< launch exceeded its cycle budget (classified Timeout)
   HostCheck,          ///< host-side failure (e.g. TMR vote with no majority)
+  Paused,             ///< launch suspended by a ForkObserver (batched prefix)
 };
 
 const char* trap_name(TrapKind k);

@@ -47,8 +47,9 @@ class DirectCtx final : public ExecCtx {
   /// `resume_launch`; buffers are not allocated, their (deterministic)
   /// addresses come from the trace.
   DirectCtx(const App& app, sim::Gpu& gpu, const HostTrace& trace,
-            std::size_t resume_launch, std::span<const sim::LaunchRecord> golden)
-      : gpu_(gpu), trace_(&trace), golden_(golden), resume_(resume_launch) {
+            std::size_t resume_launch, std::span<const sim::LaunchRecord> golden,
+            const sim::LaunchFork* fork = nullptr)
+      : gpu_(gpu), trace_(&trace), golden_(golden), resume_(resume_launch), fork_(fork) {
     const std::vector<BufferSpec>& buffers = app.buffers();
     if (trace.buffer_addrs.size() != buffers.size() || resume_launch > golden.size()) {
       throw std::logic_error("host trace does not match app '" + app.name() + "'");
@@ -79,6 +80,20 @@ class DirectCtx final : public ExecCtx {
       // that followed those reads (e.g. a flag cleared after being polled),
       // and a live read against it would see post-read state.
       throw std::logic_error("host logic diverged from the golden trace before resume");
+    }
+    if (launched_ == resume_ && fork_ != nullptr) {
+      // Batched lane: the gpu was restored mid-launch from the fork, so this
+      // launch call resumes the suspended state instead of starting fresh.
+      // The kernel/grid/params arguments are discarded — the host logic is
+      // deterministic, so they equal what fork.progress already carries.
+      ++launched_;
+      const sim::LaunchResult r = gpu_.resume_launch(fork_->progress);
+      if (!r.ok()) {
+        aborted_ = true;
+        trap_ = r.trap;
+        return false;
+      }
+      return true;
     }
     ++launched_;
     const sim::LaunchResult r = gpu_.launch(kernel, grid, block, std::move(params));
@@ -157,6 +172,7 @@ class DirectCtx final : public ExecCtx {
   const HostTrace* trace_ = nullptr;                ///< replay: trace source
   std::span<const sim::LaunchRecord> golden_;       ///< replay: prefix results
   std::size_t resume_ = 0;                          ///< replay: first live launch
+  const sim::LaunchFork* fork_ = nullptr;           ///< batched: mid-launch resume
   std::size_t launched_ = 0;
   std::size_t reads_served_ = 0;
   bool aborted_ = false;
@@ -188,6 +204,14 @@ RunOutput replay_app(const App& app, sim::Gpu& gpu, const HostTrace& trace,
                      std::size_t resume_launch,
                      std::span<const sim::LaunchRecord> golden_launches) {
   DirectCtx ctx(app, gpu, trace, resume_launch, golden_launches);
+  return collect_output(app, ctx);
+}
+
+RunOutput resume_app(const App& app, sim::Gpu& gpu, const HostTrace& trace,
+                     std::size_t resume_launch,
+                     std::span<const sim::LaunchRecord> golden_launches,
+                     const sim::LaunchFork& fork) {
+  DirectCtx ctx(app, gpu, trace, resume_launch, golden_launches, &fork);
   return collect_output(app, ctx);
 }
 

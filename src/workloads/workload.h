@@ -189,6 +189,16 @@ RunOutput replay_app(const App& app, sim::Gpu& gpu, const HostTrace& trace,
                      std::size_t resume_launch,
                      std::span<const sim::LaunchRecord> golden_launches);
 
+/// Like replay_app, but the gpu has been restored mid-launch from a batched
+/// fork (Gpu::restore_fork): launch `resume_launch` does not start fresh, it
+/// resumes the suspended launch carried in `fork.progress` (the host-side
+/// kernel/params for that call are discarded — determinism guarantees they
+/// match what the fork captured). Later launches run live as usual.
+RunOutput resume_app(const App& app, sim::Gpu& gpu, const HostTrace& trace,
+                     std::size_t resume_launch,
+                     std::span<const sim::LaunchRecord> golden_launches,
+                     const sim::LaunchFork& fork);
+
 /// Helpers shared by workload implementations.
 namespace detail {
 /// Deterministic pseudo-random float in [lo, hi) derived from (seed, index).

@@ -1,0 +1,179 @@
+// Batched lock-step execution A/B equivalence (DESIGN.md §12): for every
+// target level, run_batched must be invisible in every campaign observable.
+// Each lane's outcome, cycle count, injected flag, fault-provenance record,
+// and SDC corruption signature must match an unbatched run_sample bit for
+// bit — across microarch (cycle-triggered) and SVF (instruction-index-
+// triggered) targets, multi-launch apps whose samples split into several
+// batch groups, and the fallback edges (no checkpoints, singleton batches).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/campaign/campaign.h"
+#include "src/sim/gpu.h"
+#include "src/workloads/workload.h"
+
+namespace gras::campaign {
+namespace {
+
+sim::GpuConfig config() { return sim::make_config("gv100-scaled"); }
+
+void expect_same_sample(const SampleResult& a, const SampleResult& b,
+                        std::uint64_t index) {
+  EXPECT_EQ(a.outcome, b.outcome) << index;
+  EXPECT_EQ(a.cycles, b.cycles) << index;
+  EXPECT_EQ(a.injected, b.injected) << index;
+  EXPECT_EQ(a.fault.level, b.fault.level) << index;
+  EXPECT_EQ(a.fault.structure, b.fault.structure) << index;
+  EXPECT_EQ(a.fault.mode, b.fault.mode) << index;
+  EXPECT_EQ(a.fault.sm, b.fault.sm) << index;
+  EXPECT_EQ(a.fault.site, b.fault.site) << index;
+  EXPECT_EQ(a.fault.bit, b.fault.bit) << index;
+  EXPECT_EQ(a.fault.width, b.fault.width) << index;
+  EXPECT_EQ(a.fault.trigger, b.fault.trigger) << index;
+  EXPECT_EQ(a.fault.launch, b.fault.launch) << index;
+  EXPECT_EQ(a.signature.words_mismatched, b.signature.words_mismatched) << index;
+  EXPECT_EQ(a.signature.first_word, b.signature.first_word) << index;
+  EXPECT_EQ(a.signature.last_word, b.signature.last_word) << index;
+  EXPECT_EQ(a.signature.bit_flips, b.signature.bit_flips) << index;
+}
+
+struct BatchCase {
+  const char* app;
+  const char* kernel;  ///< nullptr = last kernel
+  Target target;
+  std::uint64_t samples;
+  Backend backend;
+};
+
+class BatchEquivalence : public ::testing::TestWithParam<BatchCase> {};
+
+TEST_P(BatchEquivalence, BitIdenticalToUnbatched) {
+  const BatchCase& c = GetParam();
+  const auto app = workloads::make_benchmark(c.app);
+  const GoldenRun golden = run_golden(*app, config(), Checkpointing::On);
+
+  CampaignSpec spec;
+  spec.kernel = c.kernel != nullptr ? c.kernel : golden.kernel_names().back();
+  spec.target = c.target;
+  spec.samples = c.samples;
+  spec.seed = 99;
+
+  sim::Gpu single_gpu(config());
+  std::vector<SampleResult> unbatched;
+  std::vector<std::uint64_t> indices;
+  for (std::uint64_t i = 0; i < spec.samples; ++i) {
+    unbatched.push_back(run_sample(*app, golden, spec, i, single_gpu, nullptr, c.backend));
+    indices.push_back(i);
+  }
+
+  sim::Gpu batch_gpu(config());
+  const std::vector<SampleResult> batched =
+      run_batched(*app, golden, spec, indices, batch_gpu, c.backend);
+  ASSERT_EQ(batched.size(), unbatched.size());
+  for (std::uint64_t i = 0; i < spec.samples; ++i) {
+    expect_same_sample(unbatched[i], batched[i], i);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllLevels, BatchEquivalence,
+    ::testing::Values(
+        // Single-launch app: all lanes share one batch group.
+        BatchCase{"va", nullptr, Target::RF, 24, Backend::Timing},
+        BatchCase{"va", nullptr, Target::Svf, 24, Backend::Timing},
+        BatchCase{"va", nullptr, Target::SvfLd, 16, Backend::Timing},
+        BatchCase{"va", nullptr, Target::SvfSrcReuse, 16, Backend::Timing},
+        BatchCase{"va", nullptr, Target::L2, 12, Backend::Timing},
+        // Multi-launch app: lanes split into per-launch groups, some of them
+        // singletons (fallback), with real fault-free prefixes to share.
+        BatchCase{"srad_v1", "srad1_srad2", Target::RF, 12, Backend::Timing},
+        BatchCase{"srad_v1", "srad1_srad2", Target::Svf, 12, Backend::Timing},
+        // Functional prefix + batched suffix compose (prefix cache included).
+        BatchCase{"srad_v1", "srad1_srad2", Target::Svf, 12, Backend::Functional},
+        BatchCase{"bfs", "bfs_k1", Target::Svf, 12, Backend::Timing}),
+    [](const ::testing::TestParamInfo<BatchCase>& info) {
+      std::string name = std::string(info.param.app);
+      if (info.param.kernel != nullptr) name += std::string("_") + info.param.kernel;
+      name += std::string("_") + target_name(info.param.target);
+      name += info.param.backend == Backend::Functional ? "_func" : "_timing";
+      for (char& ch : name) {
+        if (ch == '-') ch = '_';
+      }
+      return name;
+    });
+
+TEST(BatchEdge, NoCheckpointsFallsBackToSingles) {
+  // Without launch-boundary checkpoints there is no shared prefix to fork
+  // from; run_batched must transparently degrade to per-sample execution.
+  const auto app = workloads::make_benchmark("va");
+  const GoldenRun golden = run_golden(*app, config(), Checkpointing::Off);
+  ASSERT_EQ(golden.checkpoints, nullptr);
+
+  CampaignSpec spec;
+  spec.kernel = golden.kernel_names().front();
+  spec.target = Target::Svf;
+  spec.samples = 6;
+  spec.seed = 7;
+
+  sim::Gpu single_gpu(config());
+  sim::Gpu batch_gpu(config());
+  std::vector<std::uint64_t> indices;
+  for (std::uint64_t i = 0; i < spec.samples; ++i) indices.push_back(i);
+  const auto batched =
+      run_batched(*app, golden, spec, indices, batch_gpu, Backend::Timing);
+  for (std::uint64_t i = 0; i < spec.samples; ++i) {
+    const SampleResult u =
+        run_sample(*app, golden, spec, i, single_gpu, nullptr, Backend::Timing);
+    expect_same_sample(u, batched[i], i);
+  }
+}
+
+TEST(BatchEdge, SingletonAndEmptyBatches) {
+  const auto app = workloads::make_benchmark("va");
+  const GoldenRun golden = run_golden(*app, config(), Checkpointing::On);
+
+  CampaignSpec spec;
+  spec.kernel = golden.kernel_names().front();
+  spec.target = Target::RF;
+  spec.samples = 4;
+  spec.seed = 3;
+
+  sim::Gpu gpu(config());
+  const std::vector<std::uint64_t> empty;
+  EXPECT_TRUE(run_batched(*app, golden, spec, empty, gpu).empty());
+
+  const std::vector<std::uint64_t> one{2};
+  const auto single = run_batched(*app, golden, spec, one, gpu);
+  ASSERT_EQ(single.size(), 1u);
+  sim::Gpu reference_gpu(config());
+  const SampleResult u = run_sample(*app, golden, spec, 2, reference_gpu);
+  expect_same_sample(u, single[0], 2);
+}
+
+TEST(BatchEdge, NonContiguousIndicesKeepInputOrder) {
+  // The orchestrator hands run_batched arbitrary (resume-surviving) index
+  // sets; results must come back in input order, not trigger order.
+  const auto app = workloads::make_benchmark("va");
+  const GoldenRun golden = run_golden(*app, config(), Checkpointing::On);
+
+  CampaignSpec spec;
+  spec.kernel = golden.kernel_names().front();
+  spec.target = Target::Svf;
+  spec.samples = 40;
+  spec.seed = 11;
+
+  const std::vector<std::uint64_t> indices{31, 4, 17, 25, 0, 9};
+  sim::Gpu batch_gpu(config());
+  const auto batched = run_batched(*app, golden, spec, indices, batch_gpu);
+  ASSERT_EQ(batched.size(), indices.size());
+  sim::Gpu single_gpu(config());
+  for (std::size_t p = 0; p < indices.size(); ++p) {
+    const SampleResult u = run_sample(*app, golden, spec, indices[p], single_gpu);
+    expect_same_sample(u, batched[p], indices[p]);
+  }
+}
+
+}  // namespace
+}  // namespace gras::campaign

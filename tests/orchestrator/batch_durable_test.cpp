@@ -1,0 +1,185 @@
+// Durable-orchestrator batching tests: with --batch K the journal must stay
+// byte-identical to an unbatched run (single-threaded, so the batch=1 append
+// order is ascending too), a batch spanning the Wilson early-stop boundary
+// must stop at the same deterministic chunk, and a SIGKILL mid-batch must
+// resume to the bit-identical result — the exactly-once journal contract.
+#include "src/orchestrator/orchestrator.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "src/workloads/workload.h"
+
+namespace gras::orchestrator {
+namespace {
+
+sim::GpuConfig config() { return sim::make_config("gv100-scaled"); }
+
+std::filesystem::path temp_dir() {
+  const auto dir = std::filesystem::temp_directory_path() / "gras_batch_test";
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+std::string file_bytes(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(in), {}};
+}
+
+void expect_same_result(const campaign::CampaignResult& a,
+                        const campaign::CampaignResult& b) {
+  EXPECT_EQ(a.counts.masked, b.counts.masked);
+  EXPECT_EQ(a.counts.sdc, b.counts.sdc);
+  EXPECT_EQ(a.counts.timeout, b.counts.timeout);
+  EXPECT_EQ(a.counts.due, b.counts.due);
+  EXPECT_EQ(a.control_path_masked, b.control_path_masked);
+  EXPECT_EQ(a.injected, b.injected);
+}
+
+class BatchDurableTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    app_ = workloads::make_benchmark("va");
+    golden_ = campaign::run_golden(*app_, config(), campaign::Checkpointing::On);
+  }
+
+  campaign::CampaignSpec spec_of(campaign::Target target, std::uint64_t samples) {
+    campaign::CampaignSpec spec;
+    spec.kernel = "va_k1";
+    spec.target = target;
+    spec.samples = samples;
+    spec.seed = 2024;
+    return spec;
+  }
+
+  std::unique_ptr<workloads::App> app_;
+  campaign::GoldenRun golden_;
+  // Single worker: the batch=1 journal then appends in ascending index order
+  // too, making whole-file byte comparison meaningful (the CI smoke pins
+  // GRAS_THREADS=1 for the same reason).
+  ThreadPool pool_{1};
+};
+
+TEST_F(BatchDurableTest, JournalByteIdenticalToUnbatched) {
+  for (const campaign::Target target :
+       {campaign::Target::RF, campaign::Target::Svf}) {
+    const auto spec = spec_of(target, 48);
+    const auto base_path = temp_dir() / (std::string("b1-") +
+                                         campaign::target_name(target) + ".jrnl");
+    DurableOptions base;
+    base.journal = base_path;
+    base.resume = false;
+    const auto unbatched = run_durable(*app_, config(), golden_, spec, pool_, base);
+
+    const auto batch_path = temp_dir() / (std::string("b8-") +
+                                          campaign::target_name(target) + ".jrnl");
+    DurableOptions batched;
+    batched.journal = batch_path;
+    batched.resume = false;
+    batched.batch = 8;
+    const auto result = run_durable(*app_, config(), golden_, spec, pool_, batched);
+
+    expect_same_result(result.result, unbatched.result);
+    EXPECT_EQ(result.executed, 48u);
+    EXPECT_EQ(file_bytes(batch_path), file_bytes(base_path))
+        << campaign::target_name(target);
+  }
+}
+
+TEST_F(BatchDurableTest, BatchSpansEarlyStopBoundary) {
+  // A generous margin stops after few chunks; with chunk 16 and batch 8 the
+  // final chunk's samples ran as batched groups. The stop point (a chunk
+  // boundary) and the journal — records plus the early-stop marker — must
+  // match the unbatched run byte for byte.
+  const auto spec = spec_of(campaign::Target::RF, 96);
+  DurableOptions base;
+  base.journal = temp_dir() / "stop-b1.jrnl";
+  base.resume = false;
+  base.margin = 0.20;
+  base.chunk = 16;
+  const auto unbatched = run_durable(*app_, config(), golden_, spec, pool_, base);
+  ASSERT_TRUE(unbatched.early_stopped);
+  ASSERT_LT(unbatched.executed, 96u);
+
+  DurableOptions batched = base;
+  batched.journal = temp_dir() / "stop-b8.jrnl";
+  batched.batch = 8;
+  const auto result = run_durable(*app_, config(), golden_, spec, pool_, batched);
+  EXPECT_TRUE(result.early_stopped);
+  EXPECT_EQ(result.executed, unbatched.executed);
+  expect_same_result(result.result, unbatched.result);
+  EXPECT_EQ(file_bytes(batched.journal), file_bytes(base.journal));
+}
+
+TEST_F(BatchDurableTest, KillMidBatchResumesBitIdentical) {
+  const auto spec = spec_of(campaign::Target::Svf, 48);
+  const auto reference =
+      campaign::run_campaign(*app_, config(), golden_, spec, pool_);
+
+  const auto path = temp_dir() / "killed-batch.jrnl";
+  DurableOptions options;
+  options.journal = path;
+  options.resume = false;
+  options.batch = 8;
+  run_durable(*app_, config(), golden_, spec, pool_, options);
+  const std::string bytes = file_bytes(path);
+
+  // A SIGKILL can land anywhere — between chunks, inside a batched group's
+  // buffered appends, or mid-record. Cut at several points (record counts
+  // chosen to fall inside batch groups) and resume with batching still on.
+  const std::size_t header_bytes = bytes.size() - spec.samples * kRecordBytes;
+  const std::size_t cuts[] = {header_bytes,
+                              header_bytes + 3 * kRecordBytes,
+                              header_bytes + 11 * kRecordBytes + 7,
+                              header_bytes + 29 * kRecordBytes,
+                              bytes.size() - 1};
+  for (const std::size_t cut : cuts) {
+    {
+      std::ofstream out(path, std::ios::binary | std::ios::trunc);
+      out.write(bytes.data(), static_cast<std::streamsize>(cut));
+    }
+    DurableOptions resume;
+    resume.journal = path;
+    resume.resume = true;
+    resume.batch = 8;
+    const auto resumed = run_durable(*app_, config(), golden_, spec, pool_, resume);
+    expect_same_result(resumed.result, reference);
+    EXPECT_EQ(resumed.replayed + resumed.executed, 48u) << "cut at " << cut;
+    EXPECT_EQ(file_bytes(path), bytes) << "cut at " << cut;
+  }
+}
+
+TEST_F(BatchDurableTest, BatchedResumeOfUnbatchedJournalAndBack) {
+  // Switching batch sizes across resumes must be seamless: the journal
+  // carries no batching state, only per-sample records.
+  const auto spec = spec_of(campaign::Target::RF, 32);
+  const auto path = temp_dir() / "switch.jrnl";
+  DurableOptions first;
+  first.journal = path;
+  first.resume = false;
+  const auto full = run_durable(*app_, config(), golden_, spec, pool_, first);
+  const std::string bytes = file_bytes(path);
+
+  const std::size_t header_bytes = bytes.size() - spec.samples * kRecordBytes;
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    const std::size_t cut = header_bytes + 13 * kRecordBytes;
+    out.write(bytes.data(), static_cast<std::streamsize>(cut));
+  }
+  DurableOptions resume;
+  resume.journal = path;
+  resume.resume = true;
+  resume.batch = 4;
+  const auto resumed = run_durable(*app_, config(), golden_, spec, pool_, resume);
+  expect_same_result(resumed.result, full.result);
+  EXPECT_EQ(resumed.replayed, 13u);
+  EXPECT_EQ(resumed.executed, 19u);
+  EXPECT_EQ(file_bytes(path), bytes);
+}
+
+}  // namespace
+}  // namespace gras::orchestrator

@@ -4,6 +4,7 @@
 #include "src/orchestrator/replay.h"
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <algorithm>
 #include <cstring>
@@ -21,7 +22,11 @@ namespace {
 sim::GpuConfig config() { return sim::make_config("gv100-scaled"); }
 
 std::filesystem::path temp_dir() {
-  const auto dir = std::filesystem::temp_directory_path() / "gras_replay_test";
+  // Per-process directory: each ctest entry is its own process and rebuilds
+  // the fixture, so a shared path would let concurrent entries truncate the
+  // journal out from under a sibling mid-read.
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("gras_replay_test." + std::to_string(::getpid()));
   std::filesystem::create_directories(dir);
   return dir;
 }

@@ -5,10 +5,12 @@ the checked-in baseline (bench/baseline_perf.json) and fail on regression.
 Usage: check_bench.py BASELINE_JSON CURRENT_JSON [--tolerance FRACTION]
 
 Gated metrics (relative, machine-speed-independent ratios):
-  - backend_speedup_late_svf   higher is better; must not drop more than
-                               `tolerance` (default 0.15) below baseline.
-  - trace_enabled_overhead_pct lower is better; must not rise more than
-                               10 percentage points above baseline.
+  - backend_speedup_late_svf       higher is better; must not drop more than
+                                   `tolerance` (default 0.15) below baseline.
+  - batch_speedup_same_kernel_svf  same rule: batched lock-step execution of
+                                   same-kernel SVF samples vs one-at-a-time.
+  - trace_enabled_overhead_pct     lower is better; must not rise more than
+                                   10 percentage points above baseline.
 
 Absolute metrics (samples/sec, ms/sample, ns costs) vary with the host and
 are printed side by side for context only.
@@ -19,7 +21,7 @@ Exit codes: 0 pass, 1 regression (or malformed input), 2 usage error.
 import json
 import sys
 
-GATED_RATIO = "backend_speedup_late_svf"
+GATED_RATIOS = ["backend_speedup_late_svf", "batch_speedup_same_kernel_svf"]
 GATED_OVERHEAD = "trace_enabled_overhead_pct"
 OVERHEAD_SLACK_PCT_POINTS = 10.0
 DEFAULT_TOLERANCE = 0.15
@@ -32,6 +34,11 @@ INFORMATIONAL = [
     "backend_late_svf_samples",
     "backend_timing_ms_per_sample",
     "backend_functional_ms_per_sample",
+    "batch_lanes",
+    "batch_unbatched_ms_per_sample",
+    "batch_batched_ms_per_sample",
+    "sample_latency_p50_ms",
+    "sample_latency_p95_ms",
 ]
 
 
@@ -76,19 +83,20 @@ def main(argv):
         c = current.get(key, "-")
         print(f"{key:<36} {b:>12} {c:>12}")
 
-    for key in (GATED_RATIO, GATED_OVERHEAD):
+    for key in GATED_RATIOS + [GATED_OVERHEAD]:
         for name, doc in ((args[0], baseline), (args[1], current)):
             if not isinstance(doc.get(key), (int, float)):
                 fail(f"{name}: missing gated metric '{key}'")
 
     ok = True
 
-    b, c = baseline[GATED_RATIO], current[GATED_RATIO]
-    floor = b * (1.0 - tolerance)
-    verdict = "ok" if c >= floor else "REGRESSION"
-    print(f"{GATED_RATIO:<36} {b:>12} {c:>12}  (floor {floor:.2f}: {verdict})")
-    if c < floor:
-        ok = False
+    for key in GATED_RATIOS:
+        b, c = baseline[key], current[key]
+        floor = b * (1.0 - tolerance)
+        verdict = "ok" if c >= floor else "REGRESSION"
+        print(f"{key:<36} {b:>12} {c:>12}  (floor {floor:.2f}: {verdict})")
+        if c < floor:
+            ok = False
 
     b, c = baseline[GATED_OVERHEAD], current[GATED_OVERHEAD]
     ceiling = b + OVERHEAD_SLACK_PCT_POINTS

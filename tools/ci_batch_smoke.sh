@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Batched-execution A/B smoke test (CI): batched lock-step sample execution
+# (--batch / GRAS_BATCH, DESIGN.md §12) must be bit-identical to running
+# every sample on its own simulator instance.
+#
+# Two checks, both end to end through real binaries:
+#  1. Journal byte-diff: the same campaign run through the CLI with
+#     --batch 8 and --batch 1 must produce byte-identical journal files —
+#     per-sample outcomes, fault-site provenance, corruption signatures and
+#     append order all match. GRAS_THREADS=1 pins the unbatched append
+#     order to ascending sample index (batched runs append at chunk
+#     boundaries in ascending order regardless), so the files are
+#     comparable byte for byte.
+#  2. Cache diff on the reduced fig01 sweep: the bench cache honours the
+#     ambient GRAS_BATCH, so the whole figure-level sweep run at batch 8
+#     and batch 1 must leave byte-identical campaign results on disk.
+#
+# Usage: ci_batch_smoke.sh [path-to-gras-binary] [path-to-fig01-binary]
+set -u
+
+GRAS=${1:-build/tools/gras}
+FIG01=${2:-build/bench/fig01_app_avf_svf}
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT
+
+fail() { echo "ci_batch_smoke: $*" >&2; exit 1; }
+
+echo "== journal byte-diff: gras campaign --batch 8 vs --batch 1 =="
+for target in RF SVF; do
+    GRAS_THREADS=1 "$GRAS" campaign va va_k1 "$target" 48 \
+        --batch 8 --journal "$WORK/b8.$target.jrnl" \
+        || fail "batched campaign ($target) failed"
+    GRAS_THREADS=1 "$GRAS" campaign va va_k1 "$target" 48 \
+        --batch 1 --journal "$WORK/b1.$target.jrnl" \
+        || fail "unbatched campaign ($target) failed"
+    cmp "$WORK/b8.$target.jrnl" "$WORK/b1.$target.jrnl" \
+        || fail "journals diverged for target $target"
+done
+
+echo "== batched fig01 sweep (GRAS_BATCH=8) =="
+GRAS_BATCH=8 GRAS_CACHE="$WORK/batch8_cache" GRAS_JOURNAL_DIR="$WORK/j8" \
+    GRAS_INJECTIONS=20 "$FIG01" || fail "batched sweep failed"
+
+echo "== unbatched fig01 sweep (GRAS_BATCH=1) =="
+GRAS_BATCH=1 GRAS_CACHE="$WORK/batch1_cache" GRAS_JOURNAL_DIR="$WORK/j1" \
+    GRAS_INJECTIONS=20 "$FIG01" || fail "unbatched sweep failed"
+
+echo "== A/B diff =="
+diff -r "$WORK/batch8_cache" "$WORK/batch1_cache" || fail "batch sizes diverged"
+echo "batch A/B byte-identical"

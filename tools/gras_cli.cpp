@@ -9,6 +9,9 @@
 //                                      and crash-safe by default:
 //       --shard i/N      run sample-index stride i of N (own journal shard)
 //       --resume         continue a killed/preempted campaign's journal
+//       --batch K        run up to K samples per simulator instance with
+//                        batched lock-step execution (default GRAS_BATCH or
+//                        1); results and journals stay bit-identical
 //       --margin <pct>   stop once the 99% Wilson CI half-width <= pct points
 //       --progress stderr|jsonl[=path]   live progress snapshots
 //       --journal <path> explicit journal file (default under GRAS_JOURNAL_DIR)
@@ -39,8 +42,9 @@
 // target/flag, malformed arguments).
 //
 // Targets: RF SMEM L1D L1T L2 SVF SVF-LD SVF-SRC1 SVF-REUSE.
-// Environment: GRAS_CONFIG, GRAS_SEED, GRAS_THREADS, GRAS_JOURNAL_DIR,
-// GRAS_JOURNAL_FSYNC, GRAS_TRACE, GRAS_TRACE_BUF (see README).
+// Environment: GRAS_CONFIG, GRAS_SEED, GRAS_THREADS, GRAS_BATCH,
+// GRAS_JOURNAL_DIR, GRAS_JOURNAL_FSYNC, GRAS_TRACE, GRAS_TRACE_BUF (see
+// README).
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -76,7 +80,7 @@ int usage() {
                "  disasm <app> [kernel]\n"
                "  asm <file.sasm>\n"
                "  campaign <app> <kernel> <target> [samples]\n"
-               "           [--shard i/N] [--resume] [--margin pct]\n"
+               "           [--shard i/N] [--resume] [--margin pct] [--batch K]\n"
                "           [--progress stderr|jsonl[=path]] [--journal path]\n"
                "           [--no-journal] [--trace file]\n"
                "  merge <journal>...\n"
@@ -204,6 +208,7 @@ struct CampaignFlags {
   bool resume = false;
   bool journaled = true;
   double margin = 0.0;  // fraction
+  std::uint64_t batch = 0;  // 0 = use the GRAS_BATCH env default
   std::string journal;
   std::string progress;  // "", "stderr", "jsonl", "jsonl=path"
   std::string trace;     // Perfetto trace output path ("" = GRAS_TRACE env)
@@ -243,6 +248,13 @@ CampaignFlags parse_campaign_flags(int argc, char** argv, int from) {
       flags.margin = std::strtod(need_value("--margin").c_str(), nullptr) / 100.0;
       if (flags.margin <= 0.0 || flags.margin >= 1.0) {
         throw std::invalid_argument("--margin expects percentage points in (0, 100)");
+      }
+    } else if (arg == "--batch") {
+      const std::string v = need_value("--batch");
+      char* end = nullptr;
+      flags.batch = std::strtoull(v.c_str(), &end, 10);
+      if (end == v.c_str() || *end != '\0' || flags.batch == 0) {
+        throw std::invalid_argument("--batch expects a positive sample count");
       }
     } else if (arg == "--journal") {
       flags.journal = need_value("--journal");
@@ -320,6 +332,7 @@ int cmd_campaign(const std::string& app_name, const std::string& kernel,
   options.resume = flags.resume;
   options.journaled = flags.journaled;
   options.margin = flags.margin;
+  options.batch = flags.batch != 0 ? flags.batch : env_batch();
   if (!flags.journal.empty()) options.journal = flags.journal;
   std::unique_ptr<orchestrator::ProgressSink> sink;
   if (flags.progress == "stderr") {
