@@ -1,0 +1,400 @@
+#include "src/fabric/coordinator.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <unordered_set>
+
+#include "src/common/metrics_registry.h"
+#include "src/common/trace.h"
+#include "src/fabric/wire.h"
+
+namespace gras::fabric {
+namespace {
+
+std::uint64_t failures(const campaign::OutcomeCounts& c) {
+  return c.sdc + c.timeout + c.due;
+}
+
+void accumulate(campaign::CampaignResult& result, std::uint64_t& control_path,
+                const orchestrator::JournalRecord& r) {
+  switch (r.outcome) {
+    case fi::Outcome::Masked: ++result.counts.masked; break;
+    case fi::Outcome::SDC: ++result.counts.sdc; break;
+    case fi::Outcome::Timeout: ++result.counts.timeout; break;
+    case fi::Outcome::DUE: ++result.counts.due; break;
+  }
+  if (r.control_path) ++control_path;
+}
+
+/// One worker connection, handled by its own thread. The registry row
+/// outlives the connection so progress keeps showing dead workers at their
+/// final count (connected = false).
+struct Conn {
+  Socket sock;
+  std::thread thread;
+  std::string key;   ///< unique lease-binding key ("conn-<n>")
+  std::string name;  ///< worker-announced display name
+  std::uint64_t completed = 0;  ///< records accepted from this connection
+  bool connected = false;
+  bool helloed = false;
+};
+
+void write_port_file(const std::filesystem::path& path, std::uint16_t port) {
+  // Write-then-rename so a polling script never reads a half-written file.
+  const std::filesystem::path tmp = path.string() + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "w");
+  if (f == nullptr) {
+    throw std::runtime_error("cannot write port file '" + tmp.string() + "'");
+  }
+  std::fprintf(f, "%u\n", static_cast<unsigned>(port));
+  std::fclose(f);
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    throw std::runtime_error("cannot publish port file '" + path.string() + "'");
+  }
+}
+
+}  // namespace
+
+ServeResult serve_campaign(const workloads::App& app, const sim::GpuConfig& config,
+                           const campaign::CampaignSpec& spec,
+                           const ServeOptions& options) {
+  if (options.chunk == 0) throw std::runtime_error("chunk size must be positive");
+  if (options.batch == 0) throw std::runtime_error("batch size must be positive");
+  if (options.lease == 0) throw std::runtime_error("lease size must be positive");
+  const bool kernel_known =
+      std::any_of(app.kernels().begin(), app.kernels().end(),
+                  [&](const isa::Kernel& k) { return k.name == spec.kernel; });
+  if (!kernel_known) {
+    throw std::runtime_error("app '" + app.name() + "' has no kernel '" +
+                             spec.kernel + "'");
+  }
+
+  orchestrator::DurableOptions durable;
+  durable.margin = options.margin;
+  durable.confidence = options.confidence;
+  const orchestrator::JournalHeader header =
+      orchestrator::make_header(app, config, spec, durable);
+
+  ServeResult out;
+  out.result.spec = spec;
+  out.samples = spec.samples;
+  out.journal = options.journal.empty()
+                    ? orchestrator::default_journal_path(app, config, spec, {})
+                    : options.journal;
+
+  // --- Journal replay: the served campaign shares its journal format (and
+  // default path) with a single-process run, so either can resume the
+  // other's work.
+  std::vector<orchestrator::JournalRecord> replayed;
+  std::optional<std::uint64_t> prior_early_stop;
+  std::unique_ptr<orchestrator::JournalWriter> writer;
+  if (options.resume) {
+    if (auto contents = orchestrator::read_journal(out.journal)) {
+      if (!contents->header.same_campaign(header) ||
+          contents->header.shard_count != 1) {
+        throw std::runtime_error("journal '" + out.journal.string() +
+                                 "' belongs to a different campaign or shard; "
+                                 "delete it or pick another path");
+      }
+      for (const orchestrator::JournalRecord& r : contents->records) {
+        if (r.index < spec.samples) replayed.push_back(r);
+      }
+      prior_early_stop = contents->early_stop_consumed;
+      writer = orchestrator::JournalWriter::open_resumed(out.journal, *contents);
+    }
+  }
+  if (!writer) writer = orchestrator::JournalWriter::open_fresh(out.journal, header);
+  if (!writer) {
+    throw std::runtime_error("cannot open journal '" + out.journal.string() + "'");
+  }
+
+  // --- Listener up before any lease state so the port file appears early.
+  std::string net_error;
+  Listener listener = Listener::listen_on(options.host, options.port, &net_error);
+  if (!listener.valid()) {
+    throw std::runtime_error("cannot listen on " + options.host + ":" +
+                             std::to_string(options.port) + ": " + net_error);
+  }
+  out.port = listener.port();
+  if (!options.port_file.empty()) write_port_file(options.port_file, out.port);
+
+  WelcomeMsg welcome;
+  welcome.journal_version = orchestrator::kJournalVersion;
+  welcome.record_bytes = static_cast<std::uint32_t>(orchestrator::kRecordBytes);
+  welcome.fingerprint = header.fingerprint();
+  welcome.app = header.app;
+  welcome.kernel = header.kernel;
+  welcome.config = header.config;
+  welcome.target = header.target;
+  welcome.samples = header.samples;
+  welcome.seed = header.seed;
+  welcome.margin = header.margin;
+  welcome.confidence = header.confidence;
+  welcome.chunk = options.chunk;
+  welcome.batch = options.batch;
+  welcome.heartbeat_sec = options.heartbeat_sec;
+  welcome.lease_ttl_sec = options.lease_ttl_sec;
+
+  // --- Shared coordinator state, serialized under one mutex.
+  std::mutex mu;
+  std::condition_variable cv;
+  bool finishing = false;  ///< set once: stop granting, Stop every worker
+  LeaseTable table(spec.samples, options.lease, options.lease_ttl_sec,
+                   options.clock);
+  InOrderCommitter committer;
+  std::unordered_set<std::uint64_t> journaled;  ///< indices already on disk
+  for (const orchestrator::JournalRecord& r : replayed) {
+    table.mark_done(r.index);
+    if (committer.add(r)) journaled.insert(r.index);
+  }
+  out.replayed = journaled.size();
+  std::vector<std::unique_ptr<Conn>> conns;
+
+  static telemetry::Counter& c_received = telemetry::counter("fabric.records.received");
+  static telemetry::Counter& c_connections = telemetry::counter("fabric.connections");
+
+  // --- Handler threads: one per connection, frames -> lease table.
+  const auto handle = [&](Conn* conn) {
+    Frame f;
+    if (conn->sock.recv_frame(f, 10.0) != Socket::Recv::Frame ||
+        f.type != MsgType::Hello) {
+      return;
+    }
+    HelloMsg hello;
+    if (!decode_hello(f.payload, hello)) return;
+    if (hello.protocol != kProtocolVersion) {
+      RejectMsg reject;
+      reject.reason = "protocol version mismatch: coordinator speaks " +
+                      std::to_string(kProtocolVersion) + ", worker spoke " +
+                      std::to_string(hello.protocol);
+      conn->sock.send_frame(MsgType::Reject, encode_reject(reject));
+      return;
+    }
+    if (!conn->sock.send_frame(MsgType::Welcome, encode_welcome(welcome))) return;
+    {
+      const std::lock_guard<std::mutex> lock(mu);
+      conn->name = hello.name;
+      conn->helloed = true;
+      conn->connected = true;
+    }
+    c_connections.add();
+
+    bool sent_stop = false;
+    double linger_budget = std::max(5.0, options.lease_ttl_sec);
+    while (true) {
+      const Socket::Recv r = conn->sock.recv_frame(f, 0.5);
+      if (r == Socket::Recv::Closed) break;
+      {
+        const std::lock_guard<std::mutex> lock(mu);
+        if (finishing && !sent_stop) {
+          // Keep draining frames after Stop: the worker may have records in
+          // flight it still wants acknowledged by the TCP stream before it
+          // exits. The linger budget bounds how long a stuck worker can
+          // hold the coordinator open.
+          conn->sock.send_frame(MsgType::Stop, "");
+          sent_stop = true;
+        }
+      }
+      if (r == Socket::Recv::Timeout) {
+        if (sent_stop) {
+          linger_budget -= 0.5;
+          if (linger_budget <= 0.0) break;
+        }
+        continue;
+      }
+      const std::lock_guard<std::mutex> lock(mu);
+      switch (f.type) {
+        case MsgType::LeaseRequest: {
+          LeaseGrantMsg g;
+          if (!finishing) {
+            const LeaseTable::Grant grant = table.grant(conn->key);
+            g.lease_id = grant.lease_id;
+            g.begin = grant.begin;
+            g.end = grant.end;
+          }
+          conn->sock.send_frame(MsgType::LeaseGrant, encode_lease_grant(g));
+          break;
+        }
+        case MsgType::Heartbeat: {
+          HeartbeatMsg hb;
+          if (decode_heartbeat(f.payload, hb) && hb.lease_id != 0) {
+            table.heartbeat(hb.lease_id);
+          }
+          break;
+        }
+        case MsgType::Records: {
+          RecordsMsg msg;
+          if (!decode_records(f.payload, msg)) break;
+          for (const orchestrator::JournalRecord& rec : msg.records) {
+            if (rec.kind != orchestrator::JournalRecord::kSample) continue;
+            if (table.accept(msg.lease_id, rec.index) ==
+                LeaseTable::Verdict::Fresh) {
+              committer.add(rec);
+              ++conn->completed;
+              ++out.executed;
+              c_received.add();
+            }
+          }
+          cv.notify_all();
+          break;
+        }
+        case MsgType::LeaseDone: {
+          LeaseDoneMsg done;
+          if (decode_lease_done(f.payload, done)) table.complete(done.lease_id);
+          cv.notify_all();
+          break;
+        }
+        default:
+          break;  // unexpected client frame; ignore
+      }
+    }
+    const std::lock_guard<std::mutex> lock(mu);
+    table.release_worker(conn->key);
+    conn->connected = false;
+    cv.notify_all();
+  };
+
+  // --- Accept thread.
+  std::atomic<bool> accepting{true};
+  std::thread acceptor([&] {
+    std::uint64_t next_conn = 0;
+    while (accepting.load(std::memory_order_relaxed)) {
+      Socket s = listener.accept_next(0.5);
+      if (!s.valid()) continue;
+      const std::lock_guard<std::mutex> lock(mu);
+      auto conn = std::make_unique<Conn>();
+      conn->sock = std::move(s);
+      conn->key = "conn-" + std::to_string(next_conn++);
+      Conn* raw = conn.get();
+      conn->thread = std::thread([&, raw] { handle(raw); });
+      conns.push_back(std::move(conn));
+    }
+  });
+
+  // --- Commit loop: drain the in-order prefix to the journal, evaluating
+  // the early-stop rule at the same chunk barriers (and over the same
+  // record sequence) run_durable uses, so the fleet stops bit-identically
+  // to a single process.
+  std::uint64_t control_path = 0;
+  std::uint64_t injected = 0;
+  orchestrator::RateTracker tracker(options.clock);
+  bool rate_window_open = false;
+
+  const auto emit = [&](bool done) {
+    if (options.progress == nullptr) return;
+    orchestrator::ProgressSnapshot s;
+    s.completed = committer.committed();
+    s.total = spec.samples;
+    s.counts = out.result.counts;
+    s.injected = injected;
+    s.control_path_masked = control_path;
+    s.samples_per_sec = tracker.rate(out.executed);
+    s.eta_seconds = tracker.eta(out.executed, spec.samples - s.completed);
+    s.fr_ci = wilson_interval(failures(out.result.counts),
+                              out.result.counts.total(), options.confidence);
+    s.early_stopped = out.early_stopped;
+    s.done = done;
+    for (const auto& conn : conns) {
+      if (!conn->helloed) continue;
+      orchestrator::WorkerProgress w;
+      w.name = conn->name;
+      w.completed = conn->completed;
+      w.leased = table.leased_to(conn->key);
+      w.connected = conn->connected;
+      s.workers.push_back(std::move(w));
+    }
+    options.progress->on_progress(s);
+  };
+
+  // Drains every committable record; returns true when the campaign is over
+  // (all samples journaled, or the margin was reached at a barrier).
+  const auto drain = [&]() -> bool {
+    const trace::Span drain_span("fabric.drain", "fabric");
+    while (true) {
+      const std::uint64_t committed = committer.committed();
+      if (committed == spec.samples) break;
+      const std::optional<orchestrator::JournalRecord> r = committer.next();
+      if (!r) break;
+      if (!journaled.count(r->index)) {
+        const trace::Span append_span("fabric.append", "fabric", "index", r->index);
+        writer->append(*r);
+      }
+      accumulate(out.result, control_path, *r);
+      if (r->injected) ++injected;
+      const std::uint64_t consumed = committer.committed();
+      const bool barrier = consumed % options.chunk == 0 || consumed == spec.samples;
+      if (!barrier) continue;
+      if (options.margin > 0.0) {
+        const ProportionCi ci =
+            wilson_interval(failures(out.result.counts),
+                            out.result.counts.total(), options.confidence);
+        if (ci.margin() <= options.margin) {
+          out.early_stopped = true;
+          if (prior_early_stop != consumed) {
+            orchestrator::JournalRecord marker;
+            marker.kind = orchestrator::JournalRecord::kEarlyStop;
+            marker.index = consumed;
+            writer->append(marker);
+          }
+          return true;
+        }
+      }
+      emit(consumed == spec.samples);
+    }
+    return committer.committed() == spec.samples;
+  };
+
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    bool done = drain();  // replayed prefix may already satisfy the campaign
+    while (!done) {
+      cv.wait_for(lock, std::chrono::milliseconds(200));
+      if (out.executed > 0 && !rate_window_open) {
+        tracker.reset();
+        rate_window_open = true;
+      }
+      table.expire();
+      done = drain();
+    }
+    finishing = true;
+  }
+  {
+    const trace::Span sync_span("fabric.journal.sync", "fabric");
+    writer->sync();
+  }
+
+  // --- Shutdown: handlers notice `finishing`, send Stop, and exit once
+  // their worker hangs up (or their linger budget runs out). Connections
+  // stuck before the handshake are cut outright — they cannot be mid-lease.
+  accepting.store(false, std::memory_order_relaxed);
+  listener.shutdown();
+  acceptor.join();
+  {
+    const std::lock_guard<std::mutex> lock(mu);
+    for (const auto& conn : conns) {
+      if (!conn->helloed) conn->sock.shutdown();
+    }
+  }
+  for (const auto& conn : conns) {
+    if (conn->thread.joinable()) conn->thread.join();
+  }
+  {
+    const std::lock_guard<std::mutex> lock(mu);
+    if (out.early_stopped || spec.samples == 0) emit(true);
+  }
+
+  out.result.control_path_masked = control_path;
+  out.result.injected = injected;
+  return out;
+}
+
+}  // namespace gras::fabric

@@ -1,0 +1,71 @@
+// Campaign coordinator: `gras serve` (DESIGN.md §13).
+//
+// serve_campaign owns the canonical journal of a distributed campaign. It
+// listens for workers, leases them contiguous sample-index ranges, collects
+// the records they stream back, and appends them to the journal in strict
+// index order — so the journal is always a gapless prefix of the campaign
+// and a coordinator crash resumes by replaying it, exactly like a
+// single-process `gras campaign --resume`. The early-stop rule is evaluated
+// fleet-wide at the same fixed chunk barriers run_durable uses, over the
+// same in-order prefix, so a distributed campaign stops at the bit-identical
+// point (and journals the bit-identical records + marker) a single process
+// would have.
+//
+// The coordinator never simulates: it validates the spec, replays/opens the
+// journal, and runs the protocol. All execution happens in workers
+// (worker.h), which reconstruct the campaign from the Welcome message and
+// cross-check its fingerprint.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+
+#include "src/campaign/campaign.h"
+#include "src/fabric/lease.h"
+#include "src/orchestrator/orchestrator.h"
+
+namespace gras::fabric {
+
+struct ServeOptions {
+  std::string host = "0.0.0.0";
+  std::uint16_t port = 0;  ///< 0 binds an ephemeral port (see ServeResult)
+  /// Written with "<port>\n" once listening (empty = skip): scripts start
+  /// the coordinator with port 0 and read the real port from here.
+  std::filesystem::path port_file;
+  /// Canonical journal; empty derives the default (shard 0/1) path, so a
+  /// served campaign and a single-process one share their journal.
+  std::filesystem::path journal;
+  bool resume = true;
+  double margin = 0.0;  ///< early-stop CI half-width; 0 runs all samples
+  double confidence = 0.99;
+  std::uint64_t chunk = 64;  ///< early-stop barrier spacing (see run_durable)
+  std::uint64_t batch = 1;   ///< worker batching (campaign::run_batched)
+  std::uint64_t lease = 256; ///< samples per lease
+  double heartbeat_sec = 2.0;  ///< worker heartbeat period (sent in Welcome)
+  double lease_ttl_sec = 10.0; ///< lease silence budget before reassignment
+  orchestrator::ProgressSink* progress = nullptr;
+  /// Lease/heartbeat clock (empty = real steady clock); tests inject a fake.
+  Clock clock;
+};
+
+struct ServeResult {
+  campaign::CampaignResult result;
+  std::uint64_t samples = 0;   ///< campaign-wide requested sample count
+  std::uint64_t replayed = 0;  ///< records recovered from the journal
+  std::uint64_t executed = 0;  ///< records received from workers this run
+  bool early_stopped = false;
+  std::filesystem::path journal;
+  std::uint16_t port = 0;  ///< the port actually bound
+};
+
+/// Runs one campaign to completion (or early stop) as the coordinator.
+/// Blocks until every sample index is journaled or the margin is reached;
+/// returns the recombined histogram. Throws std::runtime_error when the
+/// spec is invalid, the address cannot be bound, or the journal at the
+/// target path belongs to a different campaign.
+ServeResult serve_campaign(const workloads::App& app, const sim::GpuConfig& config,
+                           const campaign::CampaignSpec& spec,
+                           const ServeOptions& options = {});
+
+}  // namespace gras::fabric

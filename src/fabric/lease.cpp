@@ -1,0 +1,204 @@
+#include "src/fabric/lease.h"
+
+#include <chrono>
+#include <utility>
+
+#include "src/common/metrics_registry.h"
+
+namespace gras::fabric {
+namespace {
+
+double steady_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+LeaseTable::LeaseTable(std::uint64_t total, std::uint64_t lease_len,
+                       double ttl_sec, Clock now)
+    : total_(total), lease_len_(lease_len == 0 ? 1 : lease_len),
+      ttl_sec_(ttl_sec), now_(now ? std::move(now) : steady_seconds) {
+  if (total_ > 0) pending_.emplace(0, total_);
+}
+
+void LeaseTable::mark_done_prefix(std::uint64_t n) {
+  if (n == 0 || granted_any_) return;
+  if (n > total_) n = total_;
+  pending_.clear();
+  if (n < total_) pending_.emplace(n, total_);
+  delivered_ = n;
+}
+
+void LeaseTable::mark_done(std::uint64_t index) {
+  if (index >= total_ || granted_any_ || pending_.empty()) return;
+  // Find the pending range containing `index` and carve it out.
+  auto it = pending_.upper_bound(index);
+  if (it == pending_.begin()) return;
+  --it;
+  const std::uint64_t begin = it->first;
+  const std::uint64_t end = it->second;
+  if (index >= end) return;  // already marked
+  pending_.erase(it);
+  if (index > begin) pending_.emplace(begin, index);
+  if (index + 1 < end) pending_.emplace(index + 1, end);
+  ++delivered_;
+}
+
+LeaseTable::Grant LeaseTable::grant(const std::string& worker) {
+  granted_any_ = true;
+  Grant g;
+  if (pending_.empty()) return g;
+  const auto it = pending_.begin();
+  const std::uint64_t begin = it->first;
+  const std::uint64_t range_end = it->second;
+  const std::uint64_t end = std::min(range_end, begin + lease_len_);
+  pending_.erase(it);
+  if (end < range_end) pending_.emplace(end, range_end);
+
+  g.lease_id = next_id_++;
+  g.begin = begin;
+  g.end = end;
+  Lease lease;
+  lease.begin = begin;
+  lease.end = end;
+  lease.got.assign(end - begin, false);
+  lease.remaining = end - begin;
+  lease.deadline = now_() + ttl_sec_;
+  lease.worker = worker;
+  leases_.emplace(g.lease_id, std::move(lease));
+  telemetry::counter("fabric.leases.granted").add();
+  return g;
+}
+
+bool LeaseTable::heartbeat(std::uint64_t lease_id) {
+  const auto it = leases_.find(lease_id);
+  if (it == leases_.end()) return false;
+  it->second.deadline = now_() + ttl_sec_;
+  return true;
+}
+
+LeaseTable::Verdict LeaseTable::accept(std::uint64_t lease_id,
+                                       std::uint64_t index) {
+  const auto it = leases_.find(lease_id);
+  if (it == leases_.end()) {
+    telemetry::counter("fabric.records.stale").add();
+    return Verdict::Stale;
+  }
+  Lease& lease = it->second;
+  if (index < lease.begin || index >= lease.end) {
+    telemetry::counter("fabric.records.stale").add();
+    return Verdict::Stale;
+  }
+  if (lease.got[index - lease.begin]) {
+    telemetry::counter("fabric.records.duplicate").add();
+    return Verdict::Duplicate;
+  }
+  lease.got[index - lease.begin] = true;
+  --lease.remaining;
+  ++delivered_;
+  lease.deadline = now_() + ttl_sec_;
+  return Verdict::Fresh;
+}
+
+void LeaseTable::requeue_undelivered(const Lease& lease) {
+  // Re-pend each undelivered index, merging adjacent runs so the pool stays
+  // a set of maximal contiguous ranges.
+  std::uint64_t run_begin = 0;
+  bool in_run = false;
+  const auto flush = [&](std::uint64_t run_end) {
+    if (!in_run) return;
+    in_run = false;
+    std::uint64_t end = run_end;
+    const auto next = pending_.find(run_end);
+    if (next != pending_.end()) {
+      end = next->second;
+      pending_.erase(next);
+    }
+    std::uint64_t begin = run_begin;
+    auto after = pending_.lower_bound(run_begin);
+    if (after != pending_.begin()) {
+      const auto prev = std::prev(after);
+      if (prev->second == run_begin) {
+        begin = prev->first;
+        pending_.erase(prev);
+      }
+    }
+    pending_[begin] = end;
+  };
+  for (std::uint64_t i = lease.begin; i < lease.end; ++i) {
+    if (!lease.got[i - lease.begin]) {
+      if (!in_run) {
+        run_begin = i;
+        in_run = true;
+      }
+    } else {
+      flush(i);
+    }
+  }
+  flush(lease.end);
+}
+
+bool LeaseTable::complete(std::uint64_t lease_id) {
+  const auto it = leases_.find(lease_id);
+  if (it == leases_.end()) return false;
+  if (it->second.remaining > 0) requeue_undelivered(it->second);
+  leases_.erase(it);
+  telemetry::counter("fabric.leases.completed").add();
+  return true;
+}
+
+std::vector<std::uint64_t> LeaseTable::expire() {
+  const double t = now_();
+  std::vector<std::uint64_t> expired;
+  for (auto it = leases_.begin(); it != leases_.end();) {
+    if (it->second.deadline <= t) {
+      expired.push_back(it->first);
+      if (it->second.remaining > 0) requeue_undelivered(it->second);
+      it = leases_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  if (!expired.empty()) {
+    telemetry::counter("fabric.leases.expired").add(expired.size());
+  }
+  return expired;
+}
+
+void LeaseTable::release_worker(const std::string& worker) {
+  for (auto it = leases_.begin(); it != leases_.end();) {
+    if (it->second.worker == worker) {
+      if (it->second.remaining > 0) requeue_undelivered(it->second);
+      it = leases_.erase(it);
+      telemetry::counter("fabric.leases.expired").add();
+    } else {
+      ++it;
+    }
+  }
+}
+
+std::uint64_t LeaseTable::leased_to(const std::string& worker) const {
+  std::uint64_t n = 0;
+  for (const auto& [id, lease] : leases_) {
+    if (lease.worker == worker) n += lease.remaining;
+  }
+  return n;
+}
+
+bool InOrderCommitter::add(const orchestrator::JournalRecord& r) {
+  if (r.index < next_) return false;
+  return buffer_.emplace(r.index, r).second;
+}
+
+std::optional<orchestrator::JournalRecord> InOrderCommitter::next() {
+  const auto it = buffer_.find(next_);
+  if (it == buffer_.end()) return std::nullopt;
+  orchestrator::JournalRecord r = it->second;
+  buffer_.erase(it);
+  ++next_;
+  return r;
+}
+
+}  // namespace gras::fabric

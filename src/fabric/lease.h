@@ -1,0 +1,146 @@
+// Lease bookkeeping of the campaign coordinator (DESIGN.md §13).
+//
+// The coordinator owns the campaign's sample index space [0, total) and
+// hands it out as contiguous leased ranges. A lease is a promise with a
+// deadline: the worker must either deliver records or heartbeat before the
+// TTL elapses, or the lease expires and its undelivered indices return to
+// the pending pool for reassignment. Because samples are deterministic in
+// (seed, index), reassignment is always safe — the replacement worker
+// produces bit-identical records.
+//
+// Exactly-once is enforced per index, not per lease: each active lease
+// tracks which of its indices have been received, duplicate deliveries are
+// flagged, and deliveries against an expired or unknown lease (a zombie
+// worker that missed its expiry) are rejected outright. The companion
+// InOrderCommitter buffers accepted records and releases them in strict
+// index order, so the coordinator's journal is always a contiguous prefix
+// of the campaign — exactly what a crashed coordinator needs to resume.
+//
+// Time is injected (`Clock`), so the grant → heartbeat → expiry →
+// reassignment → zombie-discard state machine is testable without sleeping.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/orchestrator/journal.h"
+
+namespace gras::fabric {
+
+/// Seconds on an arbitrary monotonic epoch; empty = real steady clock.
+using Clock = std::function<double()>;
+
+/// Lease table over sample indices [0, total). Not thread-safe: the
+/// coordinator serializes access under its own mutex.
+class LeaseTable {
+ public:
+  /// `lease_len` is the range size of a fresh grant; `ttl_sec` the silence
+  /// budget before a lease expires (heartbeats and deliveries both renew).
+  LeaseTable(std::uint64_t total, std::uint64_t lease_len, double ttl_sec,
+             Clock now = {});
+
+  /// Marks [0, n) as already delivered (journal replay on coordinator
+  /// resume). Must be called before the first grant.
+  void mark_done_prefix(std::uint64_t n);
+
+  /// Marks one index as already delivered — replayed journals written by a
+  /// streaming single-process run can hold an out-of-order tail beyond the
+  /// contiguous prefix. Must be called before the first grant; marking an
+  /// index twice is a no-op.
+  void mark_done(std::uint64_t index);
+
+  struct Grant {
+    std::uint64_t lease_id = 0;
+    std::uint64_t begin = 0;
+    std::uint64_t end = 0;  ///< begin == end: nothing to lease right now
+  };
+  /// Leases the lowest pending range (up to lease_len indices) to `worker`.
+  Grant grant(const std::string& worker);
+
+  /// Renews a lease's deadline. False when the lease is unknown/expired —
+  /// the worker should drop the range and request a fresh lease.
+  bool heartbeat(std::uint64_t lease_id);
+
+  enum class Verdict : std::uint8_t {
+    Fresh,      ///< first delivery of this index; commit it
+    Duplicate,  ///< already delivered under this lease; drop it
+    Stale,      ///< unknown/expired lease (zombie worker); drop it
+  };
+  /// Judges the delivery of `index` under `lease_id` and records it when
+  /// Fresh. A Fresh delivery also renews the lease deadline.
+  Verdict accept(std::uint64_t lease_id, std::uint64_t index);
+
+  /// Retires a fully-delivered lease. Undelivered indices (a worker
+  /// claiming done early, e.g. after a lost Records frame) return to the
+  /// pending pool. False when the lease is unknown.
+  bool complete(std::uint64_t lease_id);
+
+  /// Expires every lease whose deadline has passed, returning undelivered
+  /// indices to the pending pool. Returns the expired lease ids.
+  std::vector<std::uint64_t> expire();
+
+  /// Expires all leases of `worker` immediately (its connection died).
+  void release_worker(const std::string& worker);
+
+  /// Indices delivered (including the resume prefix).
+  std::uint64_t delivered() const { return delivered_; }
+  /// True when every index in [0, total) has been delivered.
+  bool all_done() const { return delivered_ == total_; }
+  /// Indices currently under an active lease of `worker`.
+  std::uint64_t leased_to(const std::string& worker) const;
+  /// Active lease count (tests/diagnostics).
+  std::size_t active() const { return leases_.size(); }
+
+ private:
+  struct Lease {
+    std::uint64_t begin = 0;
+    std::uint64_t end = 0;
+    std::vector<bool> got;       ///< per-index delivery bitmap
+    std::uint64_t remaining = 0; ///< indices not yet delivered
+    double deadline = 0.0;
+    std::string worker;
+  };
+
+  void requeue_undelivered(const Lease& lease);
+
+  std::uint64_t total_;
+  std::uint64_t lease_len_;
+  double ttl_sec_;
+  Clock now_;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t delivered_ = 0;
+  bool granted_any_ = false;
+  /// Pending ranges, begin -> end, disjoint and non-adjacent by invariant.
+  std::map<std::uint64_t, std::uint64_t> pending_;
+  std::map<std::uint64_t, Lease> leases_;  ///< lease_id -> state
+};
+
+/// Reorders accepted records into strict index order. add() buffers one
+/// record (dropping duplicates); next() releases the contiguous prefix one
+/// record at a time. The coordinator appends exactly what next() yields, so
+/// its journal is always a gapless prefix [0, committed()).
+class InOrderCommitter {
+ public:
+  explicit InOrderCommitter(std::uint64_t next_index = 0) : next_(next_index) {}
+
+  /// False when `r.index` was already committed or is already buffered.
+  bool add(const orchestrator::JournalRecord& r);
+  /// The next in-order record, if its index has arrived.
+  std::optional<orchestrator::JournalRecord> next();
+  /// Index of the next record to commit == records committed so far when
+  /// starting from 0.
+  std::uint64_t committed() const { return next_; }
+  /// Records buffered out of order, waiting for a gap to fill.
+  std::size_t buffered() const { return buffer_.size(); }
+
+ private:
+  std::uint64_t next_;
+  std::map<std::uint64_t, orchestrator::JournalRecord> buffer_;
+};
+
+}  // namespace gras::fabric

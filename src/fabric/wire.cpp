@@ -1,0 +1,452 @@
+#include "src/fabric/wire.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace gras::fabric {
+namespace {
+
+std::uint64_t fnv1a(const void* data, std::size_t len,
+                    std::uint64_t h = 0xcbf29ce484222325ull) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+std::uint32_t payload_checksum(const std::string& payload) {
+  return static_cast<std::uint32_t>(fnv1a(payload.data(), payload.size()));
+}
+
+void put_u32(std::string& out, std::uint32_t v) {
+  char b[4];
+  std::memcpy(b, &v, 4);
+  out.append(b, 4);
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  char b[8];
+  std::memcpy(b, &v, 8);
+  out.append(b, 8);
+}
+
+void put_f64(std::string& out, double v) {
+  char b[8];
+  std::memcpy(b, &v, 8);
+  out.append(b, 8);
+}
+
+void put_str(std::string& out, const std::string& s) {
+  put_u32(out, static_cast<std::uint32_t>(s.size()));
+  out.append(s);
+}
+
+/// Bounds-checked sequential reader over a payload.
+class Cursor {
+ public:
+  explicit Cursor(const std::string& bytes) : bytes_(bytes) {}
+
+  bool get_u32(std::uint32_t& v) {
+    if (bytes_.size() - pos_ < 4) return false;
+    std::memcpy(&v, bytes_.data() + pos_, 4);
+    pos_ += 4;
+    return true;
+  }
+  bool get_u64(std::uint64_t& v) {
+    if (bytes_.size() - pos_ < 8) return false;
+    std::memcpy(&v, bytes_.data() + pos_, 8);
+    pos_ += 8;
+    return true;
+  }
+  bool get_f64(double& v) {
+    if (bytes_.size() - pos_ < 8) return false;
+    std::memcpy(&v, bytes_.data() + pos_, 8);
+    pos_ += 8;
+    return true;
+  }
+  bool get_str(std::string& s) {
+    std::uint32_t n = 0;
+    if (!get_u32(n) || bytes_.size() - pos_ < n) return false;
+    s.assign(bytes_.data() + pos_, n);
+    pos_ += n;
+    return true;
+  }
+  bool get_raw(const char*& p, std::size_t n) {
+    if (bytes_.size() - pos_ < n) return false;
+    p = bytes_.data() + pos_;
+    pos_ += n;
+    return true;
+  }
+  bool done() const { return pos_ == bytes_.size(); }
+
+ private:
+  const std::string& bytes_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+const char* msg_type_name(MsgType t) {
+  switch (t) {
+    case MsgType::Hello: return "hello";
+    case MsgType::Welcome: return "welcome";
+    case MsgType::Reject: return "reject";
+    case MsgType::LeaseRequest: return "lease-request";
+    case MsgType::LeaseGrant: return "lease-grant";
+    case MsgType::Records: return "records";
+    case MsgType::LeaseDone: return "lease-done";
+    case MsgType::Heartbeat: return "heartbeat";
+    case MsgType::Stop: return "stop";
+  }
+  return "unknown";
+}
+
+std::string encode_hello(const HelloMsg& m) {
+  std::string out;
+  put_u32(out, m.protocol);
+  put_str(out, m.name);
+  return out;
+}
+
+bool decode_hello(const std::string& payload, HelloMsg& m) {
+  Cursor c(payload);
+  return c.get_u32(m.protocol) && c.get_str(m.name) && c.done();
+}
+
+std::string encode_welcome(const WelcomeMsg& m) {
+  std::string out;
+  put_u32(out, m.protocol);
+  put_u32(out, m.journal_version);
+  put_u32(out, m.record_bytes);
+  put_u64(out, m.fingerprint);
+  put_str(out, m.app);
+  put_str(out, m.kernel);
+  put_str(out, m.config);
+  put_str(out, m.target);
+  put_u64(out, m.samples);
+  put_u64(out, m.seed);
+  put_f64(out, m.margin);
+  put_f64(out, m.confidence);
+  put_u64(out, m.chunk);
+  put_u64(out, m.batch);
+  put_f64(out, m.heartbeat_sec);
+  put_f64(out, m.lease_ttl_sec);
+  return out;
+}
+
+bool decode_welcome(const std::string& payload, WelcomeMsg& m) {
+  Cursor c(payload);
+  return c.get_u32(m.protocol) && c.get_u32(m.journal_version) &&
+         c.get_u32(m.record_bytes) && c.get_u64(m.fingerprint) &&
+         c.get_str(m.app) && c.get_str(m.kernel) && c.get_str(m.config) &&
+         c.get_str(m.target) && c.get_u64(m.samples) && c.get_u64(m.seed) &&
+         c.get_f64(m.margin) && c.get_f64(m.confidence) && c.get_u64(m.chunk) &&
+         c.get_u64(m.batch) && c.get_f64(m.heartbeat_sec) &&
+         c.get_f64(m.lease_ttl_sec) && c.done();
+}
+
+std::string encode_reject(const RejectMsg& m) {
+  std::string out;
+  put_str(out, m.reason);
+  return out;
+}
+
+bool decode_reject(const std::string& payload, RejectMsg& m) {
+  Cursor c(payload);
+  return c.get_str(m.reason) && c.done();
+}
+
+std::string encode_lease_grant(const LeaseGrantMsg& m) {
+  std::string out;
+  put_u64(out, m.lease_id);
+  put_u64(out, m.begin);
+  put_u64(out, m.end);
+  return out;
+}
+
+bool decode_lease_grant(const std::string& payload, LeaseGrantMsg& m) {
+  Cursor c(payload);
+  return c.get_u64(m.lease_id) && c.get_u64(m.begin) && c.get_u64(m.end) &&
+         c.done();
+}
+
+std::string encode_records(const RecordsMsg& m) {
+  std::string out;
+  put_u64(out, m.lease_id);
+  put_u32(out, static_cast<std::uint32_t>(m.records.size()));
+  char buf[orchestrator::kRecordBytes];
+  for (const orchestrator::JournalRecord& r : m.records) {
+    orchestrator::encode_record(r, buf);
+    out.append(buf, sizeof buf);
+  }
+  return out;
+}
+
+bool decode_records(const std::string& payload, RecordsMsg& m) {
+  Cursor c(payload);
+  std::uint32_t count = 0;
+  if (!c.get_u64(m.lease_id) || !c.get_u32(count)) return false;
+  m.records.clear();
+  m.records.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const char* bytes = nullptr;
+    orchestrator::JournalRecord r;
+    // decode_record re-validates the per-record checksum: a record that was
+    // damaged between the worker's journal codec and this socket is caught
+    // here even though the frame checksum already passed.
+    if (!c.get_raw(bytes, orchestrator::kRecordBytes) ||
+        !orchestrator::decode_record(bytes, r)) {
+      return false;
+    }
+    m.records.push_back(r);
+  }
+  return c.done();
+}
+
+std::string encode_lease_done(const LeaseDoneMsg& m) {
+  std::string out;
+  put_u64(out, m.lease_id);
+  return out;
+}
+
+bool decode_lease_done(const std::string& payload, LeaseDoneMsg& m) {
+  Cursor c(payload);
+  return c.get_u64(m.lease_id) && c.done();
+}
+
+std::string encode_heartbeat(const HeartbeatMsg& m) {
+  std::string out;
+  put_u64(out, m.lease_id);
+  return out;
+}
+
+bool decode_heartbeat(const std::string& payload, HeartbeatMsg& m) {
+  Cursor c(payload);
+  return c.get_u64(m.lease_id) && c.done();
+}
+
+std::string frame_bytes(MsgType type, const std::string& payload) {
+  std::string out;
+  out.reserve(16 + payload.size());
+  put_u32(out, kFrameMagic);
+  put_u32(out, static_cast<std::uint32_t>(type));
+  put_u32(out, static_cast<std::uint32_t>(payload.size()));
+  put_u32(out, payload_checksum(payload));
+  out.append(payload);
+  return out;
+}
+
+std::optional<std::pair<std::string, std::uint16_t>> parse_address(
+    const std::string& address) {
+  const std::size_t colon = address.rfind(':');
+  if (colon == std::string::npos || colon + 1 == address.size()) return std::nullopt;
+  std::string host = address.substr(0, colon);
+  if (host.empty()) host = "0.0.0.0";
+  std::uint64_t port = 0;
+  for (std::size_t i = colon + 1; i < address.size(); ++i) {
+    const char ch = address[i];
+    if (ch < '0' || ch > '9') return std::nullopt;
+    port = port * 10 + static_cast<std::uint64_t>(ch - '0');
+    if (port > 65535) return std::nullopt;
+  }
+  return std::make_pair(std::move(host), static_cast<std::uint16_t>(port));
+}
+
+// --- Socket ---------------------------------------------------------------
+
+Socket::Socket(Socket&& o) noexcept : fd_(o.fd_) { o.fd_ = -1; }
+
+Socket& Socket::operator=(Socket&& o) noexcept {
+  if (this != &o) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = o.fd_;
+    o.fd_ = -1;
+  }
+  return *this;
+}
+
+Socket::~Socket() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Socket Socket::connect_to(const std::string& host, std::uint16_t port,
+                          std::string* error) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    if (error) *error = std::strerror(errno);
+    return Socket{};
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    if (error) *error = "cannot parse IPv4 address '" + host + "'";
+    ::close(fd);
+    return Socket{};
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
+    if (error) *error = std::strerror(errno);
+    ::close(fd);
+    return Socket{};
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  return Socket{fd};
+}
+
+bool Socket::send_all(const char* data, std::size_t len) {
+  while (len > 0) {
+    // MSG_NOSIGNAL: a vanished peer surfaces as EPIPE, not a process-killing
+    // SIGPIPE — the fabric treats dead connections as routine.
+    const ssize_t n = ::send(fd_, data, len, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    data += n;
+    len -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool Socket::send_frame(MsgType type, const std::string& payload) {
+  if (fd_ < 0) return false;
+  const std::string bytes = frame_bytes(type, payload);
+  const std::lock_guard<std::mutex> lock(send_mu_);
+  return send_all(bytes.data(), bytes.size());
+}
+
+bool Socket::recv_all(char* data, std::size_t len, double timeout_sec) {
+  while (len > 0) {
+    if (timeout_sec >= 0.0) {
+      pollfd p{fd_, POLLIN, 0};
+      const int timeout_ms = static_cast<int>(timeout_sec * 1000.0);
+      const int pr = ::poll(&p, 1, timeout_ms);
+      if (pr <= 0) return false;
+    }
+    const ssize_t n = ::recv(fd_, data, len, 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    data += n;
+    len -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+Socket::Recv Socket::recv_frame(Frame& out, double timeout_sec) {
+  if (fd_ < 0) return Recv::Closed;
+  // The deadline applies to the arrival of the frame's first byte; once a
+  // header starts, the rest follows promptly or the peer is broken (short
+  // follow-up timeout instead of blocking forever on a half-written frame).
+  if (timeout_sec >= 0.0) {
+    pollfd p{fd_, POLLIN, 0};
+    const int pr = ::poll(&p, 1, static_cast<int>(timeout_sec * 1000.0));
+    if (pr == 0) return Recv::Timeout;
+    if (pr < 0) return Recv::Closed;
+  }
+  char header[16];
+  if (!recv_all(header, sizeof header, timeout_sec >= 0.0 ? 30.0 : -1.0)) {
+    return Recv::Closed;
+  }
+  std::uint32_t magic = 0, type = 0, len = 0, sum = 0;
+  std::memcpy(&magic, header + 0, 4);
+  std::memcpy(&type, header + 4, 4);
+  std::memcpy(&len, header + 8, 4);
+  std::memcpy(&sum, header + 12, 4);
+  if (magic != kFrameMagic || len > kMaxPayloadBytes) return Recv::Closed;
+  out.type = static_cast<MsgType>(type);
+  out.payload.resize(len);
+  if (len > 0 && !recv_all(out.payload.data(), len, 30.0)) return Recv::Closed;
+  if (payload_checksum(out.payload) != sum) return Recv::Closed;
+  return Recv::Frame;
+}
+
+void Socket::shutdown() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+// --- Listener -------------------------------------------------------------
+
+Listener::Listener(Listener&& o) noexcept : fd_(o.fd_), port_(o.port_) {
+  o.fd_ = -1;
+  o.port_ = 0;
+}
+
+Listener& Listener::operator=(Listener&& o) noexcept {
+  if (this != &o) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = o.fd_;
+    port_ = o.port_;
+    o.fd_ = -1;
+    o.port_ = 0;
+  }
+  return *this;
+}
+
+Listener::~Listener() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Listener Listener::listen_on(const std::string& host, std::uint16_t port,
+                             std::string* error) {
+  Listener l;
+  l.fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (l.fd_ < 0) {
+    if (error) *error = std::strerror(errno);
+    return Listener{};
+  }
+  // SO_REUSEADDR: a restarted coordinator rebinds its port immediately
+  // instead of waiting out TIME_WAIT from its previous life — workers keep
+  // reconnecting to the address they were given.
+  const int one = 1;
+  ::setsockopt(l.fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    if (error) *error = "cannot parse IPv4 address '" + host + "'";
+    return Listener{};
+  }
+  if (::bind(l.fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0 ||
+      ::listen(l.fd_, 64) != 0) {
+    if (error) *error = std::strerror(errno);
+    return Listener{};
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof bound;
+  if (::getsockname(l.fd_, reinterpret_cast<sockaddr*>(&bound), &bound_len) == 0) {
+    l.port_ = ntohs(bound.sin_port);
+  }
+  return l;
+}
+
+Socket Listener::accept_next(double timeout_sec) {
+  if (fd_ < 0) return Socket{};
+  if (timeout_sec >= 0.0) {
+    pollfd p{fd_, POLLIN, 0};
+    const int pr = ::poll(&p, 1, static_cast<int>(timeout_sec * 1000.0));
+    if (pr <= 0) return Socket{};
+  }
+  const int fd = ::accept(fd_, nullptr, nullptr);
+  if (fd < 0) return Socket{};
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  return Socket{fd};
+}
+
+void Listener::shutdown() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+}  // namespace gras::fabric

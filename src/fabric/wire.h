@@ -1,0 +1,217 @@
+// Wire protocol of the distributed campaign fabric (DESIGN.md §13).
+//
+// Coordinator and workers exchange length-prefixed frames over TCP. Every
+// frame is [magic u32 | type u32 | payload len u32 | payload fnv1a-32 u32]
+// followed by the payload, so a torn, reordered, or bit-damaged stream is
+// detected at the frame boundary instead of being half-applied. Sample
+// records cross the network in the exact byte layout the journal stores
+// (orchestrator::encode_record), checksum included — a record is validated
+// the same way whether it came from disk or from a socket.
+//
+// The handshake is versioned and carries the full campaign identity: the
+// worker sends Hello{protocol, name}, the coordinator answers Welcome with
+// every journal-header field plus the fabric execution parameters (chunk,
+// batch, heartbeat period, lease TTL). The worker rebuilds the campaign
+// from those fields, re-derives the fingerprint locally, and refuses to
+// work when it disagrees — a mismatched binary or config cannot silently
+// contribute records to a foreign campaign.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/orchestrator/journal.h"
+
+namespace gras::fabric {
+
+/// Fabric protocol version: bump on any frame or payload layout change.
+/// Welcome echoes it; a worker built at another version is rejected.
+inline constexpr std::uint32_t kProtocolVersion = 1;
+
+/// First field of every frame: "GRFB" little-endian.
+inline constexpr std::uint32_t kFrameMagic = 0x42465247;
+
+/// Upper bound on one payload; larger length fields mean a corrupt or
+/// hostile stream and the connection is dropped.
+inline constexpr std::uint32_t kMaxPayloadBytes = 16u << 20;
+
+enum class MsgType : std::uint32_t {
+  Hello = 1,      ///< worker -> coordinator: protocol + worker name
+  Welcome = 2,    ///< coordinator -> worker: campaign identity + parameters
+  Reject = 3,     ///< coordinator -> worker: handshake refused (reason)
+  LeaseRequest = 4,  ///< worker -> coordinator: give me a range
+  LeaseGrant = 5,    ///< coordinator -> worker: [begin, end) under lease_id
+  Records = 6,       ///< worker -> coordinator: completed records of a lease
+  LeaseDone = 7,     ///< worker -> coordinator: every index of a lease sent
+  Heartbeat = 8,     ///< worker -> coordinator: still alive (current lease)
+  Stop = 9,          ///< coordinator -> worker: campaign over, drain and exit
+};
+const char* msg_type_name(MsgType t);
+
+struct Frame {
+  MsgType type = MsgType::Hello;
+  std::string payload;
+};
+
+// --- Message payloads -----------------------------------------------------
+
+struct HelloMsg {
+  std::uint32_t protocol = kProtocolVersion;
+  std::string name;  ///< worker display name ("worker-<pid>" by default)
+};
+
+/// Campaign identity (every JournalHeader field) + execution parameters.
+/// `fingerprint` is the coordinator's JournalHeader::fingerprint(); the
+/// worker re-derives it from the identity fields and must agree.
+struct WelcomeMsg {
+  std::uint32_t protocol = kProtocolVersion;
+  std::uint32_t journal_version = 0;
+  std::uint32_t record_bytes = 0;
+  std::uint64_t fingerprint = 0;
+  std::string app;
+  std::string kernel;
+  std::string config;
+  std::string target;
+  std::uint64_t samples = 0;
+  std::uint64_t seed = 0;
+  double margin = 0.0;
+  double confidence = 0.99;
+  std::uint64_t chunk = 64;
+  std::uint64_t batch = 1;
+  double heartbeat_sec = 2.0;
+  double lease_ttl_sec = 10.0;
+};
+
+struct RejectMsg {
+  std::string reason;
+};
+
+/// begin == end means "no work available right now": the worker keeps the
+/// connection, waits briefly, and asks again (other leases may expire).
+struct LeaseGrantMsg {
+  std::uint64_t lease_id = 0;
+  std::uint64_t begin = 0;
+  std::uint64_t end = 0;
+};
+
+struct RecordsMsg {
+  std::uint64_t lease_id = 0;
+  std::vector<orchestrator::JournalRecord> records;
+};
+
+struct LeaseDoneMsg {
+  std::uint64_t lease_id = 0;
+};
+
+/// lease_id 0 = idle heartbeat (no active lease).
+struct HeartbeatMsg {
+  std::uint64_t lease_id = 0;
+};
+
+std::string encode_hello(const HelloMsg& m);
+bool decode_hello(const std::string& payload, HelloMsg& m);
+std::string encode_welcome(const WelcomeMsg& m);
+bool decode_welcome(const std::string& payload, WelcomeMsg& m);
+std::string encode_reject(const RejectMsg& m);
+bool decode_reject(const std::string& payload, RejectMsg& m);
+std::string encode_lease_grant(const LeaseGrantMsg& m);
+bool decode_lease_grant(const std::string& payload, LeaseGrantMsg& m);
+std::string encode_records(const RecordsMsg& m);
+bool decode_records(const std::string& payload, RecordsMsg& m);
+std::string encode_lease_done(const LeaseDoneMsg& m);
+bool decode_lease_done(const std::string& payload, LeaseDoneMsg& m);
+std::string encode_heartbeat(const HeartbeatMsg& m);
+bool decode_heartbeat(const std::string& payload, HeartbeatMsg& m);
+
+/// Frames `payload` for the wire: header (magic, type, len, checksum) +
+/// payload bytes (exposed for protocol tests; Socket::send_frame uses it).
+std::string frame_bytes(MsgType type, const std::string& payload);
+
+/// "host:port" -> (host, port). An empty host ("":4000 spelled ":4000")
+/// resolves to 0.0.0.0. nullopt when the port is missing or not numeric.
+std::optional<std::pair<std::string, std::uint16_t>> parse_address(
+    const std::string& address);
+
+// --- Sockets --------------------------------------------------------------
+
+/// One connected TCP stream carrying fabric frames. Sending is
+/// thread-safe (the worker's heartbeat thread shares the socket with its
+/// execution loop); receiving is single-consumer. Move-only; the
+/// destructor closes. shutdown() unblocks a concurrent recv_frame.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  Socket(Socket&& o) noexcept;
+  Socket& operator=(Socket&& o) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+  ~Socket();
+
+  bool valid() const { return fd_ >= 0; }
+
+  /// Connects to host:port. Invalid socket on failure (`error`, when
+  /// non-null, receives the reason).
+  static Socket connect_to(const std::string& host, std::uint16_t port,
+                           std::string* error = nullptr);
+
+  /// Sends one frame. False when the peer is gone (EPIPE/reset) — the
+  /// connection is unusable afterwards.
+  bool send_frame(MsgType type, const std::string& payload);
+
+  enum class Recv : std::uint8_t {
+    Frame,    ///< `out` holds a validated frame
+    Timeout,  ///< nothing arrived within the deadline
+    Closed,   ///< peer closed, or the stream failed validation
+  };
+  /// Receives one frame. `timeout_sec` < 0 blocks indefinitely; 0 polls.
+  /// Magic, length bound, and payload checksum are validated — any
+  /// violation returns Closed (a corrupt stream cannot be resynchronized).
+  Recv recv_frame(Frame& out, double timeout_sec = -1.0);
+
+  /// Unblocks any concurrent recv_frame (returns Closed) and makes further
+  /// sends fail; the fd stays open until destruction.
+  void shutdown();
+
+ private:
+  bool send_all(const char* data, std::size_t len);
+  bool recv_all(char* data, std::size_t len, double timeout_sec);
+
+  int fd_ = -1;
+  std::mutex send_mu_;
+};
+
+/// Listening TCP socket of the coordinator. Port 0 binds an ephemeral port
+/// (read it back with port()); the socket is opened with SO_REUSEADDR so a
+/// restarted coordinator can rebind the same port immediately.
+class Listener {
+ public:
+  Listener() = default;
+  Listener(Listener&& o) noexcept;
+  Listener& operator=(Listener&& o) noexcept;
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+  ~Listener();
+
+  static Listener listen_on(const std::string& host, std::uint16_t port,
+                            std::string* error = nullptr);
+
+  bool valid() const { return fd_ >= 0; }
+  std::uint16_t port() const { return port_; }
+
+  /// Accepts one connection; invalid Socket on timeout or after shutdown().
+  Socket accept_next(double timeout_sec = -1.0);
+
+  /// Unblocks a concurrent accept_next and refuses further connections.
+  void shutdown();
+
+ private:
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+}  // namespace gras::fabric

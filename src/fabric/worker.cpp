@@ -1,0 +1,307 @@
+#include "src/fabric/worker.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <optional>
+#include <thread>
+
+#include "src/campaign/campaign.h"
+#include "src/common/env.h"
+#include "src/common/metrics_registry.h"
+#include "src/common/thread_pool.h"
+#include "src/common/trace.h"
+#include "src/fabric/wire.h"
+#include "src/orchestrator/orchestrator.h"
+
+namespace gras::fabric {
+namespace {
+
+/// The campaign context a worker rebuilds from its first Welcome. Later
+/// reconnects must present the identical fingerprint — a coordinator
+/// restarted with a different campaign is a fatal error, not a reconnect.
+struct CampaignContext {
+  std::unique_ptr<workloads::App> app;
+  sim::GpuConfig config;
+  campaign::CampaignSpec spec;
+  campaign::GoldenRun golden;
+  std::uint64_t fingerprint = 0;
+  std::uint64_t chunk = 64;
+  std::uint64_t batch = 1;
+  double heartbeat_sec = 2.0;
+};
+
+/// Validates a Welcome and builds the context. Empty optional + `error` on
+/// any mismatch (unknown app/config/target, fingerprint disagreement,
+/// journal codec skew).
+std::optional<CampaignContext> build_context(const WelcomeMsg& w,
+                                             std::string& error) {
+  if (w.journal_version != orchestrator::kJournalVersion ||
+      w.record_bytes != orchestrator::kRecordBytes) {
+    error = "journal codec mismatch: coordinator writes v" +
+            std::to_string(w.journal_version) + "/" +
+            std::to_string(w.record_bytes) + "B records, this build v" +
+            std::to_string(orchestrator::kJournalVersion) + "/" +
+            std::to_string(orchestrator::kRecordBytes) + "B";
+    return std::nullopt;
+  }
+  CampaignContext ctx;
+  ctx.app = workloads::make_benchmark(w.app);
+  if (!ctx.app) {
+    error = "coordinator campaign uses unknown app '" + w.app + "'";
+    return std::nullopt;
+  }
+  try {
+    ctx.config = sim::make_config(w.config);
+  } catch (const std::exception&) {
+    error = "coordinator campaign uses unknown config '" + w.config + "'";
+    return std::nullopt;
+  }
+  const std::optional<campaign::Target> target = campaign::target_from_name(w.target);
+  if (!target) {
+    error = "coordinator campaign uses unknown target '" + w.target + "'";
+    return std::nullopt;
+  }
+  ctx.spec.kernel = w.kernel;
+  ctx.spec.target = *target;
+  ctx.spec.samples = w.samples;
+  ctx.spec.seed = w.seed;
+
+  orchestrator::DurableOptions durable;
+  durable.margin = w.margin;
+  durable.confidence = w.confidence;
+  const orchestrator::JournalHeader header =
+      orchestrator::make_header(*ctx.app, ctx.config, ctx.spec, durable);
+  ctx.fingerprint = header.fingerprint();
+  if (ctx.fingerprint != w.fingerprint) {
+    error = "campaign fingerprint mismatch: coordinator announced " +
+            std::to_string(w.fingerprint) + ", this build derives " +
+            std::to_string(ctx.fingerprint) +
+            " for the same identity fields — refusing to contribute records";
+    return std::nullopt;
+  }
+  ctx.chunk = w.chunk == 0 ? 64 : w.chunk;
+  ctx.batch = w.batch == 0 ? 1 : w.batch;
+  ctx.heartbeat_sec = w.heartbeat_sec > 0.0 ? w.heartbeat_sec : 2.0;
+  return ctx;
+}
+
+/// Periodic Heartbeat sender sharing the connection with the execution
+/// loop (Socket::send_frame is thread-safe).
+class HeartbeatThread {
+ public:
+  HeartbeatThread(Socket& sock, const std::atomic<std::uint64_t>& lease,
+                  double period_sec)
+      : sock_(sock), lease_(lease), period_sec_(period_sec),
+        thread_([this] { loop(); }) {}
+
+  ~HeartbeatThread() {
+    stop_.store(true, std::memory_order_relaxed);
+    thread_.join();
+  }
+
+ private:
+  void loop() {
+    double since_beat = 0.0;
+    while (!stop_.load(std::memory_order_relaxed)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      since_beat += 0.05;
+      if (since_beat < period_sec_) continue;
+      since_beat = 0.0;
+      HeartbeatMsg hb;
+      hb.lease_id = lease_.load(std::memory_order_relaxed);
+      sock_.send_frame(MsgType::Heartbeat, encode_heartbeat(hb));
+      telemetry::counter("fabric.heartbeats.sent").add();
+    }
+  }
+
+  Socket& sock_;
+  const std::atomic<std::uint64_t>& lease_;
+  double period_sec_;
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+};
+
+}  // namespace
+
+WorkResult run_worker(const WorkOptions& options) {
+  WorkResult out;
+  const std::string name =
+      options.name.empty() ? "worker-" + std::to_string(::getpid()) : options.name;
+
+  std::optional<CampaignContext> ctx;
+  std::unique_ptr<ThreadPool> pool;
+  std::unique_ptr<orchestrator::SampleRunner> runner;
+
+  double retry_budget = options.retry_sec;
+  while (true) {
+    // --- Connect + handshake (budgeted: refilled after every success).
+    std::string net_error;
+    Socket sock = Socket::connect_to(options.host, options.port, &net_error);
+    if (!sock.valid()) {
+      retry_budget -= 0.5;
+      if (retry_budget <= 0.0) {
+        out.error = "cannot reach coordinator at " + options.host + ":" +
+                    std::to_string(options.port) + " within " +
+                    std::to_string(options.retry_sec) + "s: " + net_error;
+        return out;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(500));
+      continue;
+    }
+    HelloMsg hello;
+    hello.name = name;
+    Frame f;
+    if (!sock.send_frame(MsgType::Hello, encode_hello(hello)) ||
+        sock.recv_frame(f, 10.0) != Socket::Recv::Frame) {
+      retry_budget -= 0.5;
+      if (retry_budget <= 0.0) {
+        out.error = "coordinator did not complete the handshake";
+        return out;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(500));
+      continue;
+    }
+    if (f.type == MsgType::Reject) {
+      RejectMsg reject;
+      out.error = decode_reject(f.payload, reject)
+                      ? "coordinator rejected this worker: " + reject.reason
+                      : "coordinator rejected this worker";
+      return out;
+    }
+    WelcomeMsg welcome;
+    if (f.type != MsgType::Welcome || !decode_welcome(f.payload, welcome)) {
+      out.error = "coordinator answered the handshake with an unexpected frame";
+      return out;
+    }
+    if (!ctx) {
+      // First handshake: rebuild the campaign, cross-check the fingerprint,
+      // then pay for the golden run and runner construction exactly once.
+      std::string error;
+      ctx = build_context(welcome, error);
+      if (!ctx) {
+        out.error = std::move(error);
+        return out;
+      }
+      const trace::Span golden_span("fabric.golden", "fabric");
+      ctx->golden = campaign::run_golden(*ctx->app, ctx->config);
+      pool = std::make_unique<ThreadPool>(
+          static_cast<std::size_t>(options.threads != 0 ? options.threads
+                                                        : env_threads()));
+      runner = std::make_unique<orchestrator::SampleRunner>(
+          *ctx->app, ctx->config, ctx->golden, ctx->spec, *pool, ctx->batch);
+    } else if (welcome.fingerprint != ctx->fingerprint) {
+      out.error = "coordinator changed campaigns across a reconnect "
+                  "(fingerprint mismatch); exiting";
+      return out;
+    }
+    retry_budget = options.retry_sec;
+
+    // --- Session: leases until Stop or the connection breaks.
+    std::atomic<std::uint64_t> current_lease{0};
+    HeartbeatThread heartbeat(sock, current_lease, ctx->heartbeat_sec);
+    bool reconnect = false;
+    while (!reconnect) {
+      if (!sock.send_frame(MsgType::LeaseRequest, "")) {
+        reconnect = true;
+        break;
+      }
+      // Await the grant; unsolicited Stop can arrive instead at any time.
+      LeaseGrantMsg grant;
+      bool granted = false;
+      double grant_wait = 30.0;
+      while (!granted) {
+        const Socket::Recv r = sock.recv_frame(f, 1.0);
+        if (r == Socket::Recv::Closed) {
+          reconnect = true;
+          break;
+        }
+        if (r == Socket::Recv::Timeout) {
+          grant_wait -= 1.0;
+          if (grant_wait <= 0.0) {
+            reconnect = true;  // coordinator wedged; try a fresh connection
+            break;
+          }
+          continue;
+        }
+        if (f.type == MsgType::Stop) {
+          out.stopped = true;
+          return out;
+        }
+        if (f.type == MsgType::LeaseGrant &&
+            decode_lease_grant(f.payload, grant)) {
+          granted = true;
+        }
+      }
+      if (reconnect) break;
+
+      if (grant.begin == grant.end) {
+        // Nothing to lease right now. The wait doubles as a Stop poll: the
+        // campaign usually ends while idle workers sit exactly here.
+        const Socket::Recv r = sock.recv_frame(f, options.idle_poll_sec);
+        if (r == Socket::Recv::Closed) reconnect = true;
+        if (r == Socket::Recv::Frame && f.type == MsgType::Stop) {
+          out.stopped = true;
+          return out;
+        }
+        continue;
+      }
+
+      // --- Execute the lease in chunk-sized steps, streaming each step's
+      // records as soon as they exist so a mid-lease death loses at most
+      // one step, not the whole lease.
+      current_lease.store(grant.lease_id, std::memory_order_relaxed);
+      const trace::Span lease_span("fabric.lease", "fabric", "begin", grant.begin);
+      bool lease_ok = true;
+      for (std::uint64_t step = grant.begin; step < grant.end && lease_ok;
+           step += ctx->chunk) {
+        const std::uint64_t step_end = std::min(grant.end, step + ctx->chunk);
+        std::vector<std::uint64_t> indices;
+        indices.reserve(step_end - step);
+        for (std::uint64_t i = step; i < step_end; ++i) indices.push_back(i);
+        RecordsMsg records;
+        records.lease_id = grant.lease_id;
+        records.records = runner->run(indices);
+        if (!sock.send_frame(MsgType::Records, encode_records(records))) {
+          lease_ok = false;
+          reconnect = true;
+          break;
+        }
+        out.executed += records.records.size();
+        telemetry::counter("fabric.records.sent").add(records.records.size());
+        // Between steps, drain any unsolicited frame (Stop) without waiting.
+        const Socket::Recv r = sock.recv_frame(f, 0.0);
+        if (r == Socket::Recv::Closed) {
+          lease_ok = false;
+          reconnect = true;
+        } else if (r == Socket::Recv::Frame && f.type == MsgType::Stop) {
+          out.stopped = true;
+          return out;
+        }
+      }
+      current_lease.store(0, std::memory_order_relaxed);
+      if (lease_ok) {
+        LeaseDoneMsg done;
+        done.lease_id = grant.lease_id;
+        if (!sock.send_frame(MsgType::LeaseDone, encode_lease_done(done))) {
+          reconnect = true;
+        } else {
+          ++out.leases;
+        }
+      }
+    }
+    // Connection lost: loop back to reconnect with the budget counting down.
+    retry_budget -= 0.5;
+    if (retry_budget <= 0.0) {
+      out.error = "lost the coordinator and could not reconnect within " +
+                  std::to_string(options.retry_sec) + "s";
+      return out;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(500));
+  }
+}
+
+}  // namespace gras::fabric

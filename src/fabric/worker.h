@@ -1,0 +1,55 @@
+// Campaign worker: `gras work` (DESIGN.md §13).
+//
+// run_worker connects to a coordinator, reconstructs the campaign from the
+// Welcome handshake (app, config, spec — and re-derives the fingerprint
+// locally, refusing to execute when it disagrees), runs its own golden
+// reference once, and then loops: request a lease, execute its sample range
+// through the shared SampleRunner (batching and backend selection exactly
+// as in a single-process run), stream the completed records back in
+// chunk-sized steps, report the lease done. A heartbeat thread keeps the
+// active lease alive while long batches execute.
+//
+// Workers are disposable by design: a SIGKILL'd worker just stops
+// heartbeating and its lease is reassigned; a worker that loses the
+// coordinator reconnects within a retry budget (surviving a coordinator
+// restart) and resumes with fresh leases.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "src/fabric/lease.h"
+
+namespace gras::fabric {
+
+struct WorkOptions {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  /// Display name announced in the handshake ("worker-<pid>" when empty).
+  std::string name;
+  /// Simulation threads (0 = GRAS_THREADS / hardware concurrency).
+  std::uint64_t threads = 0;
+  /// Total budget for (re)connect attempts: a worker that cannot reach a
+  /// coordinator for this long gives up. The budget refills after every
+  /// successful handshake, so it bounds one outage, not the whole campaign.
+  double retry_sec = 60.0;
+  /// Wait between lease requests while the coordinator has nothing to
+  /// grant (expired leases may free work at any time).
+  double idle_poll_sec = 0.5;
+};
+
+struct WorkResult {
+  std::uint64_t executed = 0;  ///< samples executed and streamed back
+  std::uint64_t leases = 0;    ///< leases fully completed
+  bool stopped = false;        ///< coordinator ended the campaign (clean exit)
+  /// Non-empty on fatal error (handshake rejected, fingerprint mismatch,
+  /// retry budget exhausted); `stopped` is false then.
+  std::string error;
+};
+
+/// Runs the worker loop until the coordinator sends Stop (WorkResult::
+/// stopped) or a fatal error occurs (WorkResult::error). Never throws on
+/// network failures — they are routine and handled by reconnecting.
+WorkResult run_worker(const WorkOptions& options);
+
+}  // namespace gras::fabric

@@ -206,6 +206,12 @@ bool deserialize_record(std::uint32_t version, const char* in, JournalRecord& r)
 
 }  // namespace
 
+void encode_record(const JournalRecord& r, char* out) { serialize_record_v2(r, out); }
+
+bool decode_record(const char* in, JournalRecord& r) {
+  return deserialize_record_v2(in, r);
+}
+
 std::uint64_t JournalHeader::fingerprint() const noexcept {
   std::uint64_t h = 14695981039346656037ULL;
   const auto mix_str = [&h](const std::string& s) {

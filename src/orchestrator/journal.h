@@ -142,6 +142,15 @@ constexpr std::size_t record_bytes_of(std::uint32_t version) {
   return version == 1 ? kRecordBytesV1 : kRecordBytes;
 }
 
+/// Wire codec for one record in the current (v2/v3) layout: exactly the
+/// kRecordBytes bytes a journal stores, trailing checksum included. The
+/// fabric streams these frames between workers and the coordinator, so a
+/// record crosses the network bit-identical to how it lands on disk.
+void encode_record(const JournalRecord& r, char* out);
+/// Inverse of encode_record; checksum-validated. False leaves `r` partially
+/// written and means the bytes are torn, damaged, or from a different build.
+bool decode_record(const char* in, JournalRecord& r);
+
 /// Fsyncs the directory containing `path`, making a just-created or
 /// just-renamed directory entry itself durable (fsync of the file alone does
 /// not persist its name). Returns false when the directory cannot be opened

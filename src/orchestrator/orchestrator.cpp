@@ -31,23 +31,6 @@ std::uint64_t failures(const campaign::OutcomeCounts& c) {
   return c.sdc + c.timeout + c.due;
 }
 
-JournalRecord to_record(std::uint64_t index, const campaign::SampleResult& s,
-                        const campaign::GoldenRun& golden) {
-  JournalRecord r;
-  r.index = index;
-  r.cycles = s.cycles;
-  r.outcome = s.outcome;
-  r.injected = s.injected;
-  r.control_path =
-      s.outcome == fi::Outcome::Masked && s.cycles != golden.total_cycles;
-  r.fault = s.fault;
-  if (s.outcome == fi::Outcome::SDC) {
-    r.has_signature = true;
-    r.signature = s.signature;
-  }
-  return r;
-}
-
 /// Accumulates one record into a shard-local histogram.
 struct Accumulator {
   campaign::OutcomeCounts counts;
@@ -67,6 +50,91 @@ struct Accumulator {
 };
 
 }  // namespace
+
+JournalRecord make_record(std::uint64_t index, const campaign::SampleResult& s,
+                          const campaign::GoldenRun& golden) {
+  JournalRecord r;
+  r.index = index;
+  r.cycles = s.cycles;
+  r.outcome = s.outcome;
+  r.injected = s.injected;
+  r.control_path =
+      s.outcome == fi::Outcome::Masked && s.cycles != golden.total_cycles;
+  r.fault = s.fault;
+  if (s.outcome == fi::Outcome::SDC) {
+    r.has_signature = true;
+    r.signature = s.signature;
+  }
+  return r;
+}
+
+SampleRunner::SampleRunner(const workloads::App& app, const sim::GpuConfig& config,
+                           const campaign::GoldenRun& golden,
+                           const campaign::CampaignSpec& spec, ThreadPool& pool,
+                           std::uint64_t batch)
+    : app_(app), config_(config), golden_(golden), spec_(spec), pool_(pool),
+      batch_(batch == 0 ? 1 : batch) {}
+
+// Restoring a checkpoint into an existing device beats constructing one per
+// sample, so workspaces are pooled across run() calls.
+std::unique_ptr<sim::Gpu> SampleRunner::acquire() {
+  {
+    const std::lock_guard<std::mutex> lock(workspaces_mu_);
+    if (!workspaces_.empty()) {
+      auto gpu = std::move(workspaces_.back());
+      workspaces_.pop_back();
+      return gpu;
+    }
+  }
+  return std::make_unique<sim::Gpu>(config_);
+}
+
+void SampleRunner::release(std::unique_ptr<sim::Gpu> gpu) {
+  const std::lock_guard<std::mutex> lock(workspaces_mu_);
+  workspaces_.push_back(std::move(gpu));
+}
+
+std::vector<JournalRecord> SampleRunner::run(
+    std::span<const std::uint64_t> indices,
+    const std::function<void(const JournalRecord&)>& on_record) {
+  std::vector<JournalRecord> records(indices.size());
+  if (indices.empty()) return records;
+  if (batch_ > 1) {
+    // Batched: runs of up to `batch` consecutive entries execute in one
+    // workspace with batched lock-step execution. Records come back only in
+    // the returned vector (ascending `indices` order), never streamed —
+    // callers append them at their own barrier so a mid-run kill leaves a
+    // clean journal prefix.
+    std::vector<std::pair<std::size_t, std::size_t>> runs;
+    for (std::size_t first = 0; first < indices.size(); first += batch_) {
+      runs.emplace_back(first, std::min(indices.size(), first + batch_));
+    }
+    pool_.parallel_for(runs.size(), [&](std::size_t run) {
+      const auto [first, last] = runs[run];
+      const std::span<const std::uint64_t> group = indices.subspan(first, last - first);
+      const trace::Span batch_span("batch", "phase", "lanes", group.size());
+      auto gpu = acquire();
+      const std::vector<campaign::SampleResult> rs =
+          campaign::run_batched(app_, golden_, spec_, group, *gpu);
+      release(std::move(gpu));
+      for (std::size_t j = first; j < last; ++j) {
+        records[j] = make_record(indices[j], rs[j - first], golden_);
+      }
+    });
+  } else {
+    pool_.parallel_for(indices.size(), [&](std::size_t j) {
+      const std::uint64_t index = indices[j];
+      const trace::Span sample_span("sample", "phase", "index", index);
+      auto gpu = acquire();
+      const campaign::SampleResult s =
+          campaign::run_sample(app_, golden_, spec_, index, *gpu);
+      release(std::move(gpu));
+      records[j] = make_record(index, s, golden_);
+      if (on_record) on_record(records[j]);
+    });
+  }
+  return records;
+}
 
 JournalHeader make_header(const workloads::App& app, const sim::GpuConfig& config,
                           const campaign::CampaignSpec& spec,
@@ -156,25 +224,8 @@ DurableResult run_durable(const workloads::App& app, const sim::GpuConfig& confi
     }
   }
 
-  // --- Per-worker Gpu workspaces, as in run_campaign: restoring a
-  // checkpoint into an existing device beats constructing one per sample.
-  std::mutex workspaces_mu;
-  std::vector<std::unique_ptr<sim::Gpu>> workspaces;
-  const auto acquire = [&]() -> std::unique_ptr<sim::Gpu> {
-    {
-      const std::lock_guard<std::mutex> lock(workspaces_mu);
-      if (!workspaces.empty()) {
-        auto gpu = std::move(workspaces.back());
-        workspaces.pop_back();
-        return gpu;
-      }
-    }
-    return std::make_unique<sim::Gpu>(config);
-  };
-  const auto release = [&](std::unique_ptr<sim::Gpu> gpu) {
-    const std::lock_guard<std::mutex> lock(workspaces_mu);
-    workspaces.push_back(std::move(gpu));
-  };
+  // --- Sample execution core, shared with the fabric worker.
+  SampleRunner runner(app, config, golden, spec, pool, options.batch);
 
   // --- Chunked execution. Chunk boundaries are barriers: the early-stop
   // rule and progress snapshots see a deterministic prefix of the shard's
@@ -183,7 +234,12 @@ DurableResult run_durable(const workloads::App& app, const sim::GpuConfig& confi
   // uninterrupted one would have.
   Accumulator acc;
   std::uint64_t consumed = 0;
-  const RateTracker tracker;  // rate counts executed samples, not replayed
+  // Rate counts executed samples, not replayed ones, and its measurement
+  // window opens at the first executed sample — not at entry — so a resumed
+  // campaign's replay prefix (reading and re-consuming a large journal)
+  // cannot dilute the rate and inflate the ETA.
+  RateTracker tracker(options.clock);
+  bool rate_window_open = false;
   const auto emit = [&](bool done) {
     if (options.progress == nullptr) return;
     ProgressSnapshot s;
@@ -225,58 +281,35 @@ DurableResult run_durable(const workloads::App& app, const sim::GpuConfig& confi
         missing.push_back(p);
       }
     }
-    if (!missing.empty() && options.batch > 1) {
-      // Batched: consecutive missing positions form runs of up to `batch`
-      // samples, each executed in one workspace with batched lock-step
-      // execution. Records are buffered and appended at the chunk boundary
-      // in ascending index order — nothing reaches the journal until its
-      // whole run finished, so a mid-chunk kill leaves a clean prefix and
-      // resume re-runs exactly the missing samples.
-      std::vector<std::pair<std::size_t, std::size_t>> runs;
-      for (std::size_t first = 0; first < missing.size(); first += options.batch) {
-        runs.emplace_back(first, std::min(missing.size(), first + options.batch));
+    if (!missing.empty()) {
+      if (!rate_window_open) {
+        tracker.reset();
+        rate_window_open = true;
       }
-      pool.parallel_for(runs.size(), [&](std::size_t run) {
-        const auto [first, last] = runs[run];
-        std::vector<std::uint64_t> indices;
-        indices.reserve(last - first);
-        for (std::size_t j = first; j < last; ++j) {
-          indices.push_back(position_to_index(missing[j], options.shard));
-        }
-        const trace::Span batch_span("batch", "phase", "lanes", indices.size());
-        auto gpu = acquire();
-        const std::vector<campaign::SampleResult> rs =
-            campaign::run_batched(app, golden, spec, indices, *gpu);
-        release(std::move(gpu));
-        for (std::size_t j = first; j < last; ++j) {
-          slots[missing[j] - begin] = to_record(indices[j - first], rs[j - first], golden);
-        }
-      });
-      if (writer) {
-        for (const std::uint64_t p : missing) {
-          const std::uint64_t index = position_to_index(p, options.shard);
-          const trace::Span append_span("journal.append", "journal", "index", index);
-          writer->append(slots[p - begin]);
+      std::vector<std::uint64_t> indices;
+      indices.reserve(missing.size());
+      for (const std::uint64_t p : missing) {
+        indices.push_back(position_to_index(p, options.shard));
+      }
+      // Unbatched samples stream to the journal as they complete; with
+      // batch > 1 nothing reaches the journal until the whole chunk
+      // finished, and records are appended here at the chunk boundary in
+      // ascending index order — either way a mid-chunk kill leaves a clean
+      // prefix and resume re-runs exactly the missing samples.
+      const bool stream = options.batch <= 1 && writer != nullptr;
+      const std::vector<JournalRecord> records = runner.run(
+          indices, stream ? [&](const JournalRecord& r) {
+            const trace::Span append_span("journal.append", "journal", "index", r.index);
+            writer->append(r);
+          } : std::function<void(const JournalRecord&)>{});
+      for (std::size_t j = 0; j < missing.size(); ++j) {
+        slots[missing[j] - begin] = records[j];
+        if (writer && !stream) {
+          const trace::Span append_span("journal.append", "journal", "index",
+                                        records[j].index);
+          writer->append(records[j]);
         }
       }
-      out.executed += missing.size();
-      c_executed.add(missing.size());
-    } else if (!missing.empty()) {
-      pool.parallel_for(missing.size(), [&](std::size_t j) {
-        const std::uint64_t p = missing[j];
-        const std::uint64_t index = position_to_index(p, options.shard);
-        const trace::Span sample_span("sample", "phase", "index", index);
-        auto gpu = acquire();
-        const campaign::SampleResult s =
-            campaign::run_sample(app, golden, spec, index, *gpu);
-        release(std::move(gpu));
-        const JournalRecord r = to_record(index, s, golden);
-        slots[p - begin] = r;
-        if (writer) {
-          const trace::Span append_span("journal.append", "journal", "index", index);
-          writer->append(r);
-        }
-      });
       out.executed += missing.size();
       c_executed.add(missing.size());
     }
@@ -318,46 +351,73 @@ DurableResult run_durable(const workloads::App& app, const sim::GpuConfig& confi
 MergedCampaign merge_shards(const std::vector<std::filesystem::path>& journals) {
   if (journals.empty()) throw std::runtime_error("no journals to merge");
 
+  // Validation is exhaustive, not fail-fast: every journal is checked and
+  // every violation is reported per file in one error, so a botched merge
+  // invocation (duplicate shard, foreign campaign, damaged file) is fixed
+  // in one round trip instead of one error at a time.
   MergedCampaign merged;
   std::vector<bool> seen;
+  bool have_reference = false;
   Accumulator acc;
+  std::vector<std::string> problems;
+  const auto problem = [&](const std::filesystem::path& path, std::string what) {
+    problems.push_back(path.string() + ": " + std::move(what));
+  };
   for (std::size_t i = 0; i < journals.size(); ++i) {
     const auto contents = read_journal(journals[i]);
     if (!contents) {
-      throw std::runtime_error("cannot read journal '" + journals[i].string() + "'");
+      problem(journals[i], "cannot read journal (missing or damaged header)");
+      continue;
     }
     const JournalHeader& h = contents->header;
-    if (i == 0) {
+    if (!have_reference) {
       merged.header = h;
+      have_reference = true;
       if (h.shard_count != journals.size()) {
-        throw std::runtime_error(
-            "campaign has " + std::to_string(h.shard_count) + " shards but " +
-            std::to_string(journals.size()) + " journals were given");
+        problem(journals[i],
+                "campaign has " + std::to_string(h.shard_count) + " shards but " +
+                    std::to_string(journals.size()) + " journals were given");
       }
       seen.assign(h.shard_count, false);
     } else if (!h.same_campaign(merged.header)) {
-      throw std::runtime_error("journal '" + journals[i].string() +
-                               "' belongs to a different campaign (fingerprint "
-                               "mismatch)");
+      problem(journals[i],
+              "belongs to a different campaign (fingerprint mismatch: " +
+                  h.app + "/" + h.kernel + "/" + h.target + ", " +
+                  std::to_string(h.samples) + " samples, seed " +
+                  std::to_string(h.seed) + ")");
+      continue;
     } else if (h.shard_count != merged.header.shard_count) {
-      throw std::runtime_error("journal '" + journals[i].string() +
-                               "' disagrees on the shard count");
+      problem(journals[i], "disagrees on the shard count (" +
+                               std::to_string(h.shard_count) + " vs " +
+                               std::to_string(merged.header.shard_count) + ")");
+      continue;
     }
-    if (h.shard_index >= h.shard_count || seen[h.shard_index]) {
-      throw std::runtime_error("journal '" + journals[i].string() +
-                               "' repeats or exceeds shard " +
-                               std::to_string(h.shard_index));
+    if (h.shard_index >= h.shard_count) {
+      problem(journals[i], "shard index " + std::to_string(h.shard_index) +
+                               " exceeds the shard count " +
+                               std::to_string(h.shard_count));
+      continue;
     }
-    seen[h.shard_index] = true;
+    if (h.shard_index < seen.size() && seen[h.shard_index]) {
+      problem(journals[i],
+              "repeats shard " + std::to_string(h.shard_index) + "/" +
+                  std::to_string(h.shard_count) + " (duplicate journal?)");
+      continue;
+    }
+    if (h.shard_index < seen.size()) seen[h.shard_index] = true;
 
     ShardSpec shard{h.shard_index, h.shard_count};
     const std::uint64_t expected = shard_sample_count(h.samples, shard);
     std::uint64_t count = 0;
+    bool strayed = false;
     for (const JournalRecord& r : contents->records) {
       if (!index_in_shard(r.index, h)) {
-        throw std::runtime_error("journal '" + journals[i].string() +
-                                 "' holds sample " + std::to_string(r.index) +
-                                 " outside its shard stride");
+        if (!strayed) {
+          problem(journals[i], "holds sample " + std::to_string(r.index) +
+                                   " outside its shard stride");
+        }
+        strayed = true;
+        continue;
       }
       acc.add(r);
       ++count;
@@ -365,17 +425,25 @@ MergedCampaign merge_shards(const std::vector<std::filesystem::path>& journals) 
     if (contents->early_stop_consumed) {
       merged.early_stopped = true;
       if (count != *contents->early_stop_consumed) {
-        throw std::runtime_error("journal '" + journals[i].string() +
-                                 "' early-stopped at " +
+        problem(journals[i], "early-stopped at " +
                                  std::to_string(*contents->early_stop_consumed) +
                                  " samples but holds " + std::to_string(count));
       }
     } else if (count != expected) {
-      throw std::runtime_error("journal '" + journals[i].string() + "' holds " +
-                               std::to_string(count) + " of " +
+      problem(journals[i], "holds " + std::to_string(count) + " of " +
                                std::to_string(expected) +
                                " samples (incomplete shard; resume it first)");
     }
+  }
+  if (!problems.empty()) {
+    std::string what = "cannot merge " + std::to_string(journals.size()) +
+                       " journal(s); " + std::to_string(problems.size()) +
+                       " problem(s):";
+    for (const std::string& p : problems) {
+      what += "\n  ";
+      what += p;
+    }
+    throw std::runtime_error(what);
   }
 
   merged.result.spec.kernel = merged.header.kernel;

@@ -65,6 +65,9 @@ struct DurableOptions {
   /// chunk's missing samples on resume — the exactly-once contract holds.
   std::uint64_t batch = 1;
   ProgressSink* progress = nullptr;
+  /// Clock feeding the throughput/ETA tracker (empty = real steady clock);
+  /// tests inject a fake to pin resumed-campaign ETA math.
+  ProgressClock clock;
 };
 
 struct DurableResult {
@@ -81,6 +84,54 @@ struct DurableResult {
 JournalHeader make_header(const workloads::App& app, const sim::GpuConfig& config,
                           const campaign::CampaignSpec& spec,
                           const DurableOptions& options);
+
+/// Converts one completed sample into its journal record (outcome, cycles,
+/// control-path proxy, provenance, SDC signature). Shared by the durable
+/// loop and the fabric worker so a record is built identically whether the
+/// sample ran locally or on a remote worker.
+JournalRecord make_record(std::uint64_t index, const campaign::SampleResult& sample,
+                          const campaign::GoldenRun& golden);
+
+/// Executes arbitrary sets of campaign-wide sample indices on a pool of
+/// reusable Gpu workspaces — the execution core shared by run_durable and
+/// the fabric worker (`gras work`). Sample results depend only on
+/// (seed, index), so any partition of the index space across runners,
+/// processes, or machines reproduces the single-process records bit for
+/// bit. Batching and backend selection behave exactly as in run_durable:
+/// runs of up to `batch` consecutive entries of `indices` execute in one
+/// simulator instance via campaign::run_batched.
+class SampleRunner {
+ public:
+  SampleRunner(const workloads::App& app, const sim::GpuConfig& config,
+               const campaign::GoldenRun& golden, const campaign::CampaignSpec& spec,
+               ThreadPool& pool, std::uint64_t batch = 1);
+
+  /// Runs every index in `indices`; returns one record per index, in
+  /// `indices` order. `on_record`, when set, is called for each record as
+  /// its sample completes — from pool threads, in completion order — so
+  /// callers can stream records (journal append, socket send) without
+  /// waiting for the slowest sample. With batch > 1 records are not
+  /// streamed; they only come back in the returned vector, preserving the
+  /// chunk-boundary ascending-order journal contract of DurableOptions.
+  std::vector<JournalRecord> run(
+      std::span<const std::uint64_t> indices,
+      const std::function<void(const JournalRecord&)>& on_record = {});
+
+  std::uint64_t batch() const { return batch_; }
+
+ private:
+  std::unique_ptr<sim::Gpu> acquire();
+  void release(std::unique_ptr<sim::Gpu> gpu);
+
+  const workloads::App& app_;
+  sim::GpuConfig config_;
+  const campaign::GoldenRun& golden_;
+  campaign::CampaignSpec spec_;
+  ThreadPool& pool_;
+  std::uint64_t batch_;
+  std::mutex workspaces_mu_;
+  std::vector<std::unique_ptr<sim::Gpu>> workspaces_;
+};
 
 /// Default journal location for a campaign shard.
 std::filesystem::path default_journal_path(const workloads::App& app,
@@ -109,8 +160,10 @@ struct MergedCampaign {
 /// is readable, all fingerprints match, shard positions are exactly
 /// {0..N-1} of the same N, every shard is complete (all of its stride
 /// journaled, or cleanly early-stopped), and no sample index strays outside
-/// its shard's stride. Throws std::runtime_error with a specific message on
-/// any violation.
+/// its shard's stride. Validation is exhaustive: every journal is checked
+/// and std::runtime_error carries one "path: problem" line per offending
+/// file, so duplicate shards and foreign-campaign journals in one invocation
+/// are all reported at once.
 MergedCampaign merge_shards(const std::vector<std::filesystem::path>& journals);
 
 }  // namespace gras::orchestrator

@@ -61,6 +61,11 @@ void StderrProgress::on_progress(const ProgressSnapshot& s) {
                "%.0f samples/s  ETA %.0fs ",
                s.completed, s.total, pct, 100.0 * s.fr_ci.estimate,
                100.0 * s.fr_ci.margin(), s.samples_per_sec, s.eta_seconds);
+  if (!s.workers.empty()) {
+    std::size_t live = 0;
+    for (const WorkerProgress& w : s.workers) live += w.connected ? 1 : 0;
+    std::fprintf(stderr, " [%zu/%zu workers]", live, s.workers.size());
+  }
   if (s.done) {
     std::fprintf(stderr, "%s\n", s.early_stopped ? " [early stop]" : "");
   }
@@ -117,8 +122,39 @@ std::string JsonlProgress::to_json(const ProgressSnapshot& s) {
   return out;
 }
 
+std::string JsonlProgress::workers_json(const ProgressSnapshot& s) {
+  std::string out = "{\"type\":\"workers\",\"completed\":";
+  out += std::to_string(s.completed);
+  out += ",\"workers\":[";
+  for (std::size_t i = 0; i < s.workers.size(); ++i) {
+    const WorkerProgress& w = s.workers[i];
+    if (i > 0) out += ',';
+    out += "{\"name\":\"";
+    // Worker names come from the handshake: keep only JSON-safe characters
+    // so a hostile or garbled name cannot break the record stream.
+    for (const char c : w.name) {
+      if ((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+          (c >= '0' && c <= '9') || c == '-' || c == '_' || c == '.') {
+        out += c;
+      }
+    }
+    out += "\",\"completed\":";
+    out += std::to_string(w.completed);
+    out += ",\"leased\":";
+    out += std::to_string(w.leased);
+    out += ",\"connected\":";
+    out += w.connected ? "true" : "false";
+    out += '}';
+  }
+  out += "]}";
+  return out;
+}
+
 void JsonlProgress::on_progress(const ProgressSnapshot& s) {
   std::fprintf(out_, "%s\n", to_json(s).c_str());
+  if (!s.workers.empty()) {
+    std::fprintf(out_, "%s\n", workers_json(s).c_str());
+  }
   if (metrics_interval_sec_ > 0.0) {
     const double t = now_();
     if (s.done || t - last_metrics_ >= metrics_interval_sec_) {

@@ -12,6 +12,7 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "src/campaign/campaign.h"
 #include "src/common/stats.h"
@@ -47,17 +48,30 @@ class RateTracker {
   double start_ = 0.0;
 };
 
+/// One worker process of a distributed campaign (src/fabric/), as seen by
+/// the coordinator at snapshot time.
+struct WorkerProgress {
+  std::string name;             ///< worker-announced name (handshake)
+  std::uint64_t completed = 0;  ///< records received from this worker this run
+  std::uint64_t leased = 0;     ///< samples currently leased to it
+  bool connected = false;
+};
+
 struct ProgressSnapshot {
   std::uint64_t completed = 0;  ///< samples done so far (replayed + executed)
   std::uint64_t total = 0;      ///< shard-local sample count requested
   campaign::OutcomeCounts counts;
   std::uint64_t injected = 0;
   std::uint64_t control_path_masked = 0;
-  double samples_per_sec = 0.0;  ///< executed this process / elapsed wall time
+  double samples_per_sec = 0.0;  ///< executed this run / elapsed wall time
   double eta_seconds = 0.0;      ///< remaining / samples_per_sec (0 if unknown)
   ProportionCi fr_ci;            ///< Wilson CI on the failure rate so far
   bool early_stopped = false;
   bool done = false;
+  /// Per-worker fleet progress (empty outside `gras serve`). StderrProgress
+  /// appends a live/total worker count; JsonlProgress emits one extra
+  /// {"type":"workers"} record after the progress line.
+  std::vector<WorkerProgress> workers;
 };
 
 /// Receiver of progress snapshots. Called from the orchestrating thread at
@@ -101,6 +115,9 @@ class JsonlProgress : public ProgressSink {
 
   /// Formats one snapshot as a JSON object (exposed for tests).
   static std::string to_json(const ProgressSnapshot& snapshot);
+  /// Formats the per-worker fleet record emitted after a snapshot whose
+  /// `workers` vector is non-empty (exposed for tests).
+  static std::string workers_json(const ProgressSnapshot& snapshot);
 
  private:
   std::FILE* out_ = nullptr;

@@ -1,0 +1,383 @@
+// End-to-end fabric tests: coordinator + workers in one process over
+// loopback TCP. The invariant under test throughout is bit-identity — a
+// distributed campaign journals exactly the records (and early-stop point) a
+// single-process `run_durable` would have.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/fabric/coordinator.h"
+#include "src/fabric/wire.h"
+#include "src/fabric/worker.h"
+#include "src/orchestrator/orchestrator.h"
+#include "src/workloads/workload.h"
+
+namespace gras::fabric {
+namespace {
+
+namespace orch = gras::orchestrator;
+
+sim::GpuConfig config() { return sim::make_config("gv100-scaled"); }
+
+std::filesystem::path temp_dir() {
+  const auto dir = std::filesystem::temp_directory_path() / "gras_fabric_test";
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+campaign::CampaignSpec spec_of(campaign::Target target, std::uint64_t samples) {
+  campaign::CampaignSpec spec;
+  spec.kernel = "va_k1";
+  spec.target = target;
+  spec.samples = samples;
+  spec.seed = 2024;
+  return spec;
+}
+
+void expect_same_result(const campaign::CampaignResult& a,
+                        const campaign::CampaignResult& b) {
+  EXPECT_EQ(a.counts.masked, b.counts.masked);
+  EXPECT_EQ(a.counts.sdc, b.counts.sdc);
+  EXPECT_EQ(a.counts.timeout, b.counts.timeout);
+  EXPECT_EQ(a.counts.due, b.counts.due);
+  EXPECT_EQ(a.control_path_masked, b.control_path_masked);
+  EXPECT_EQ(a.injected, b.injected);
+}
+
+void expect_same_journal(const std::filesystem::path& got,
+                         const std::filesystem::path& want) {
+  auto a = orch::read_journal(got);
+  auto b = orch::read_journal(want);
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(a->early_stop_consumed, b->early_stop_consumed);
+  ASSERT_EQ(a->records.size(), b->records.size());
+  // A single-process batch-1 run streams records in completion order; the
+  // coordinator commits in index order. Same set, different file order.
+  const auto by_index = [](const orch::JournalRecord& x,
+                           const orch::JournalRecord& y) {
+    return x.index < y.index;
+  };
+  std::sort(a->records.begin(), a->records.end(), by_index);
+  std::sort(b->records.begin(), b->records.end(), by_index);
+  char ba[orch::kRecordBytes];
+  char bb[orch::kRecordBytes];
+  for (std::size_t i = 0; i < a->records.size(); ++i) {
+    orch::encode_record(a->records[i], ba);
+    orch::encode_record(b->records[i], bb);
+    EXPECT_EQ(0, std::memcmp(ba, bb, sizeof ba)) << "record " << i;
+  }
+}
+
+/// Runs serve_campaign on a background thread and exposes the bound port
+/// (via the port file) before any worker connects.
+class Server {
+ public:
+  Server(const workloads::App& app, const campaign::CampaignSpec& spec,
+         ServeOptions options)
+      : port_file_(options.port_file) {
+    thread_ = std::thread([this, &app, spec, options] {
+      try {
+        result_ = serve_campaign(app, config(), spec, options);
+      } catch (const std::exception& e) {
+        error_ = e.what();
+      }
+      done_.store(true);
+    });
+  }
+  ~Server() {
+    if (thread_.joinable()) thread_.join();
+  }
+
+  std::uint16_t wait_port() {
+    for (int i = 0; i < 2000; ++i) {
+      std::ifstream in(port_file_);
+      int port = 0;
+      if (in >> port && port > 0) return static_cast<std::uint16_t>(port);
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    return 0;
+  }
+
+  ServeResult join() {
+    thread_.join();
+    EXPECT_TRUE(error_.empty()) << error_;
+    return result_;
+  }
+
+  bool done() const { return done_.load(); }
+
+ private:
+  std::filesystem::path port_file_;
+  std::thread thread_;
+  ServeResult result_;
+  std::string error_;
+  std::atomic<bool> done_{false};
+};
+
+class FabricTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    app_ = workloads::make_benchmark("va");
+    golden_ = campaign::run_golden(*app_, config());
+  }
+
+  ServeOptions serve_options(const std::string& tag) {
+    ServeOptions o;
+    o.host = "127.0.0.1";
+    o.port = 0;
+    o.port_file = temp_dir() / (tag + ".port");
+    o.journal = temp_dir() / (tag + ".jrnl");
+    std::filesystem::remove(o.port_file);
+    std::filesystem::remove(o.journal);
+    o.resume = false;
+    return o;
+  }
+
+  WorkOptions work_options(std::uint16_t port, const std::string& name) {
+    WorkOptions o;
+    o.port = port;
+    o.name = name;
+    o.threads = 2;
+    o.retry_sec = 20.0;
+    o.idle_poll_sec = 0.05;
+    return o;
+  }
+
+  /// The single-process ground truth for `spec`, journaled at a reference
+  /// path for byte comparison.
+  orch::DurableResult reference(const campaign::CampaignSpec& spec,
+                                const std::string& tag, double margin = 0.0) {
+    orch::DurableOptions o;
+    o.journal = temp_dir() / (tag + ".ref.jrnl");
+    std::filesystem::remove(o.journal);
+    o.resume = false;
+    o.margin = margin;
+    const auto r = run_durable(*app_, config(), golden_, spec, pool_, o);
+    return r;
+  }
+
+  std::unique_ptr<workloads::App> app_;
+  campaign::GoldenRun golden_;
+  ThreadPool pool_{4};
+};
+
+TEST_F(FabricTest, ThreeWorkersMatchSingleProcessBitExactly) {
+  const auto spec = spec_of(campaign::Target::RF, 150);
+  const auto ref = reference(spec, "three");
+
+  auto options = serve_options("three");
+  options.lease = 16;  // enough leases that all three workers get work
+  Server server(*app_, spec, options);
+  const std::uint16_t port = server.wait_port();
+  ASSERT_NE(port, 0);
+
+  std::vector<std::thread> workers;
+  std::vector<WorkResult> results(3);
+  for (int i = 0; i < 3; ++i) {
+    workers.emplace_back([this, port, i, &results] {
+      results[i] = run_worker(work_options(port, "w" + std::to_string(i)));
+    });
+  }
+  for (auto& w : workers) w.join();
+  const auto served = server.join();
+
+  for (const auto& r : results) {
+    EXPECT_TRUE(r.error.empty()) << r.error;
+    EXPECT_TRUE(r.stopped);
+  }
+  std::uint64_t total = 0;
+  for (const auto& r : results) total += r.executed;
+  EXPECT_EQ(total, 150u);
+  EXPECT_EQ(served.executed, 150u);
+  EXPECT_EQ(served.replayed, 0u);
+  EXPECT_FALSE(served.early_stopped);
+  expect_same_result(served.result, ref.result);
+  expect_same_journal(served.journal, ref.journal);
+}
+
+TEST_F(FabricTest, BatchedWorkersStayBitIdentical) {
+  const auto spec = spec_of(campaign::Target::RF, 96);
+  const auto ref = reference(spec, "batched");
+
+  auto options = serve_options("batched");
+  options.batch = 8;
+  options.lease = 32;
+  Server server(*app_, spec, options);
+  const std::uint16_t port = server.wait_port();
+  ASSERT_NE(port, 0);
+
+  auto result = run_worker(work_options(port, "w0"));
+  const auto served = server.join();
+  EXPECT_TRUE(result.error.empty()) << result.error;
+  expect_same_result(served.result, ref.result);
+  expect_same_journal(served.journal, ref.journal);
+}
+
+TEST_F(FabricTest, DyingWorkerLeaseIsReassigned) {
+  const auto spec = spec_of(campaign::Target::RF, 60);
+  const auto ref = reference(spec, "dying");
+
+  auto options = serve_options("dying");
+  options.lease = 16;
+  options.lease_ttl_sec = 60.0;  // reclamation must come from the hangup,
+                                 // not from TTL expiry
+  Server server(*app_, spec, options);
+  const std::uint16_t port = server.wait_port();
+  ASSERT_NE(port, 0);
+
+  // A worker takes the first lease and dies without delivering a single
+  // record: handshake, lease, hangup.
+  {
+    Socket zombie = Socket::connect_to("127.0.0.1", port);
+    ASSERT_TRUE(zombie.valid());
+    HelloMsg hello;
+    hello.protocol = kProtocolVersion;
+    hello.name = "zombie";
+    ASSERT_TRUE(zombie.send_frame(MsgType::Hello, encode_hello(hello)));
+    Frame f;
+    ASSERT_EQ(zombie.recv_frame(f, 5.0), Socket::Recv::Frame);
+    ASSERT_EQ(f.type, MsgType::Welcome);
+    ASSERT_TRUE(zombie.send_frame(MsgType::LeaseRequest, ""));
+    ASSERT_EQ(zombie.recv_frame(f, 5.0), Socket::Recv::Frame);
+    ASSERT_EQ(f.type, MsgType::LeaseGrant);
+    LeaseGrantMsg grant;
+    ASSERT_TRUE(decode_lease_grant(f.payload, grant));
+    EXPECT_EQ(grant.begin, 0u);
+    EXPECT_LT(grant.begin, grant.end);
+  }  // socket closes here; the coordinator reclaims the lease on hangup
+
+  // A real worker finishes the whole campaign, including the abandoned range.
+  auto result = run_worker(work_options(port, "survivor"));
+  const auto served = server.join();
+  EXPECT_TRUE(result.error.empty()) << result.error;
+  EXPECT_EQ(result.executed, 60u);
+  expect_same_result(served.result, ref.result);
+  expect_same_journal(served.journal, ref.journal);
+}
+
+TEST_F(FabricTest, CoordinatorResumesFromATruncatedJournal) {
+  const auto spec = spec_of(campaign::Target::Svf, 70);
+  const auto ref = reference(spec, "resume");
+
+  // Simulate a coordinator killed mid-campaign: take the reference journal
+  // and truncate it to header + 33 records (the coordinator's own journal
+  // is always a contiguous prefix, so any prefix is a valid crash state).
+  auto options = serve_options("resume");
+  {
+    std::ifstream in(ref.journal, std::ios::binary);
+    std::string bytes((std::istreambuf_iterator<char>(in)), {});
+    const std::size_t header = bytes.size() - spec.samples * orch::kRecordBytes;
+    std::ofstream out(options.journal, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(),
+              static_cast<std::streamsize>(header + 33 * orch::kRecordBytes));
+  }
+  options.resume = true;
+  options.lease = 16;
+  Server server(*app_, spec, options);
+  const std::uint16_t port = server.wait_port();
+  ASSERT_NE(port, 0);
+
+  auto result = run_worker(work_options(port, "w0"));
+  const auto served = server.join();
+  EXPECT_TRUE(result.error.empty()) << result.error;
+  EXPECT_EQ(served.replayed, 33u);
+  EXPECT_EQ(served.executed, 37u);
+  EXPECT_EQ(result.executed, 37u);
+  expect_same_result(served.result, ref.result);
+  expect_same_journal(served.journal, ref.journal);
+}
+
+TEST_F(FabricTest, EarlyStopMatchesSingleProcess) {
+  const auto spec = spec_of(campaign::Target::RF, 4000);
+  const double margin = 0.05;
+  const auto ref = reference(spec, "stop", margin);
+  ASSERT_TRUE(ref.early_stopped);  // the margin must actually bind
+
+  auto options = serve_options("stop");
+  options.margin = margin;
+  options.lease = 32;
+  Server server(*app_, spec, options);
+  const std::uint16_t port = server.wait_port();
+  ASSERT_NE(port, 0);
+
+  std::vector<std::thread> workers;
+  std::vector<WorkResult> results(2);
+  for (int i = 0; i < 2; ++i) {
+    workers.emplace_back([this, port, i, &results] {
+      results[i] = run_worker(work_options(port, "w" + std::to_string(i)));
+    });
+  }
+  for (auto& w : workers) w.join();
+  const auto served = server.join();
+
+  for (const auto& r : results) EXPECT_TRUE(r.error.empty()) << r.error;
+  EXPECT_TRUE(served.early_stopped);
+  // The fleet stops at the same barrier: the committed prefix matches the
+  // single-process run record for record, marker included. (served.executed
+  // may exceed the committed prefix — leases in flight when the margin binds
+  // keep delivering until Stop reaches them — so the journal is the check.)
+  expect_same_result(served.result, ref.result);
+  expect_same_journal(served.journal, ref.journal);
+}
+
+TEST_F(FabricTest, ProtocolMismatchIsRejected) {
+  const auto spec = spec_of(campaign::Target::RF, 20);
+  auto options = serve_options("proto");
+  Server server(*app_, spec, options);
+  const std::uint16_t port = server.wait_port();
+  ASSERT_NE(port, 0);
+
+  {
+    Socket old = Socket::connect_to("127.0.0.1", port);
+    ASSERT_TRUE(old.valid());
+    HelloMsg hello;
+    hello.protocol = kProtocolVersion + 7;
+    hello.name = "time-traveler";
+    ASSERT_TRUE(old.send_frame(MsgType::Hello, encode_hello(hello)));
+    Frame f;
+    ASSERT_EQ(old.recv_frame(f, 5.0), Socket::Recv::Frame);
+    EXPECT_EQ(f.type, MsgType::Reject);
+    RejectMsg reject;
+    ASSERT_TRUE(decode_reject(f.payload, reject));
+    EXPECT_NE(reject.reason.find("protocol"), std::string::npos);
+  }
+
+  // The campaign still completes for a well-behaved worker.
+  auto result = run_worker(work_options(port, "modern"));
+  const auto served = server.join();
+  EXPECT_TRUE(result.error.empty()) << result.error;
+  EXPECT_EQ(served.executed, 20u);
+}
+
+TEST_F(FabricTest, ServedJournalResumesInASingleProcessRun) {
+  // Interoperability: the coordinator's journal is a plain shard-0/1
+  // campaign journal, so a single-process --resume picks it up untouched.
+  const auto spec = spec_of(campaign::Target::RF, 50);
+  auto options = serve_options("interop");
+  Server server(*app_, spec, options);
+  const std::uint16_t port = server.wait_port();
+  ASSERT_NE(port, 0);
+  auto result = run_worker(work_options(port, "w0"));
+  const auto served = server.join();
+  ASSERT_TRUE(result.error.empty()) << result.error;
+
+  orch::DurableOptions o;
+  o.journal = served.journal;
+  o.resume = true;
+  const auto resumed = run_durable(*app_, config(), golden_, spec, pool_, o);
+  EXPECT_EQ(resumed.replayed, 50u);
+  EXPECT_EQ(resumed.executed, 0u);
+  expect_same_result(resumed.result, served.result);
+}
+
+}  // namespace
+}  // namespace gras::fabric

@@ -1,0 +1,232 @@
+// Lease state machine under a fake clock: grant → heartbeat → expiry →
+// reassignment → late duplicate from a zombie worker discarded. Exactly-once
+// record acceptance is the property every test guards.
+#include "src/fabric/lease.h"
+
+#include <gtest/gtest.h>
+
+namespace gras::fabric {
+namespace {
+
+orchestrator::JournalRecord record(std::uint64_t index) {
+  orchestrator::JournalRecord r;
+  r.index = index;
+  r.cycles = 1000 + index;
+  return r;
+}
+
+struct FakeClock {
+  double t = 0.0;
+  Clock fn() {
+    return [this] { return t; };
+  }
+};
+
+TEST(LeaseTable, GrantsContiguousRangesLowestFirst) {
+  FakeClock clock;
+  LeaseTable table(100, 32, 10.0, clock.fn());
+  const auto a = table.grant("w1");
+  EXPECT_EQ(a.begin, 0u);
+  EXPECT_EQ(a.end, 32u);
+  const auto b = table.grant("w2");
+  EXPECT_EQ(b.begin, 32u);
+  EXPECT_EQ(b.end, 64u);
+  EXPECT_NE(a.lease_id, b.lease_id);
+  const auto c = table.grant("w1");
+  EXPECT_EQ(c.begin, 64u);
+  EXPECT_EQ(c.end, 96u);
+  const auto d = table.grant("w2");
+  EXPECT_EQ(d.begin, 96u);
+  EXPECT_EQ(d.end, 100u);  // final partial range
+  const auto empty = table.grant("w1");
+  EXPECT_EQ(empty.begin, empty.end);  // nothing left to lease
+  EXPECT_EQ(empty.lease_id, 0u);
+}
+
+TEST(LeaseTable, HeartbeatDefersExpiry) {
+  FakeClock clock;
+  LeaseTable table(10, 10, 10.0, clock.fn());
+  const auto g = table.grant("w1");
+  ASSERT_NE(g.lease_id, 0u);
+
+  clock.t = 9.0;
+  EXPECT_TRUE(table.heartbeat(g.lease_id));
+  clock.t = 18.0;  // 9s after the beat: still inside the renewed TTL
+  EXPECT_TRUE(table.expire().empty());
+  clock.t = 19.5;  // 10.5s after the beat: expired
+  const auto expired = table.expire();
+  ASSERT_EQ(expired.size(), 1u);
+  EXPECT_EQ(expired[0], g.lease_id);
+  EXPECT_FALSE(table.heartbeat(g.lease_id));  // gone
+}
+
+TEST(LeaseTable, ExpiryRequeuesOnlyUndeliveredIndices) {
+  FakeClock clock;
+  LeaseTable table(10, 10, 10.0, clock.fn());
+  const auto g = table.grant("w1");
+  ASSERT_EQ(g.begin, 0u);
+  ASSERT_EQ(g.end, 10u);
+  // Deliver 0..4, then go silent past the TTL.
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(table.accept(g.lease_id, i), LeaseTable::Verdict::Fresh);
+  }
+  clock.t = 100.0;
+  ASSERT_EQ(table.expire().size(), 1u);
+  EXPECT_EQ(table.delivered(), 5u);
+
+  // The reassigned lease covers exactly the missing half.
+  const auto g2 = table.grant("w2");
+  EXPECT_EQ(g2.begin, 5u);
+  EXPECT_EQ(g2.end, 10u);
+  for (std::uint64_t i = 5; i < 10; ++i) {
+    EXPECT_EQ(table.accept(g2.lease_id, i), LeaseTable::Verdict::Fresh);
+  }
+  EXPECT_TRUE(table.all_done());
+}
+
+TEST(LeaseTable, ZombieDeliveriesAfterExpiryAreStale) {
+  FakeClock clock;
+  LeaseTable table(10, 10, 10.0, clock.fn());
+  const auto zombie = table.grant("w1");
+  EXPECT_EQ(table.accept(zombie.lease_id, 0), LeaseTable::Verdict::Fresh);
+
+  clock.t = 100.0;
+  ASSERT_EQ(table.expire().size(), 1u);
+  const auto fresh = table.grant("w2");
+  EXPECT_EQ(fresh.begin, 1u);  // index 0 was delivered before the expiry
+
+  // The zombie wakes up and streams the rest of its range: every delivery
+  // is rejected, whether or not the replacement already covered the index.
+  for (std::uint64_t i = 1; i < 10; ++i) {
+    EXPECT_EQ(table.accept(zombie.lease_id, i), LeaseTable::Verdict::Stale);
+  }
+  // The replacement's deliveries are unaffected — exactly-once holds.
+  for (std::uint64_t i = 1; i < 10; ++i) {
+    EXPECT_EQ(table.accept(fresh.lease_id, i), LeaseTable::Verdict::Fresh);
+  }
+  EXPECT_TRUE(table.all_done());
+  EXPECT_EQ(table.delivered(), 10u);
+}
+
+TEST(LeaseTable, DuplicateDeliveryWithinALeaseIsFlagged) {
+  FakeClock clock;
+  LeaseTable table(4, 4, 10.0, clock.fn());
+  const auto g = table.grant("w1");
+  EXPECT_EQ(table.accept(g.lease_id, 2), LeaseTable::Verdict::Fresh);
+  EXPECT_EQ(table.accept(g.lease_id, 2), LeaseTable::Verdict::Duplicate);
+  EXPECT_EQ(table.delivered(), 1u);  // counted once
+  // An index outside the leased range is stale, not fresh.
+  EXPECT_EQ(table.accept(g.lease_id, 99), LeaseTable::Verdict::Stale);
+}
+
+TEST(LeaseTable, DeliveryRenewsTheDeadline) {
+  FakeClock clock;
+  LeaseTable table(10, 10, 10.0, clock.fn());
+  const auto g = table.grant("w1");
+  clock.t = 9.0;
+  EXPECT_EQ(table.accept(g.lease_id, 0), LeaseTable::Verdict::Fresh);
+  clock.t = 18.0;  // a steady record stream needs no separate heartbeat
+  EXPECT_TRUE(table.expire().empty());
+}
+
+TEST(LeaseTable, ReleaseWorkerReclaimsItsLeasesImmediately) {
+  FakeClock clock;
+  LeaseTable table(40, 10, 10.0, clock.fn());
+  const auto a = table.grant("dying");
+  const auto b = table.grant("dying");
+  const auto c = table.grant("healthy");
+  ASSERT_EQ(c.begin, 20u);
+  EXPECT_EQ(table.accept(a.lease_id, 3), LeaseTable::Verdict::Fresh);
+
+  table.release_worker("dying");
+  EXPECT_EQ(table.active(), 1u);  // only the healthy lease remains
+  EXPECT_EQ(table.accept(b.lease_id, 10), LeaseTable::Verdict::Stale);
+
+  // Reclaimed ranges re-lease with the delivered index carved out, lowest
+  // range first.
+  const auto r1 = table.grant("healthy");
+  EXPECT_EQ(r1.begin, 0u);
+  EXPECT_EQ(r1.end, 3u);
+  const auto r2 = table.grant("healthy");
+  EXPECT_EQ(r2.begin, 4u);
+  EXPECT_EQ(r2.end, 14u);  // merged across the old a/b lease boundary
+}
+
+TEST(LeaseTable, CompleteWithMissingIndicesRequeuesThem) {
+  FakeClock clock;
+  LeaseTable table(8, 8, 10.0, clock.fn());
+  const auto g = table.grant("w1");
+  EXPECT_EQ(table.accept(g.lease_id, 0), LeaseTable::Verdict::Fresh);
+  EXPECT_EQ(table.accept(g.lease_id, 1), LeaseTable::Verdict::Fresh);
+  // Worker claims done without delivering 2..7 (lost Records frame).
+  EXPECT_TRUE(table.complete(g.lease_id));
+  EXPECT_FALSE(table.complete(g.lease_id));  // second done is a no-op
+  const auto g2 = table.grant("w2");
+  EXPECT_EQ(g2.begin, 2u);
+  EXPECT_EQ(g2.end, 8u);
+}
+
+TEST(LeaseTable, MarkDoneSeedsResume) {
+  FakeClock clock;
+  LeaseTable table(10, 16, 10.0, clock.fn());
+  // Journal replay: contiguous prefix plus one out-of-order straggler.
+  for (std::uint64_t i = 0; i < 4; ++i) table.mark_done(i);
+  table.mark_done(7);
+  table.mark_done(7);  // idempotent
+  EXPECT_EQ(table.delivered(), 5u);
+
+  const auto g1 = table.grant("w");
+  EXPECT_EQ(g1.begin, 4u);
+  EXPECT_EQ(g1.end, 7u);
+  const auto g2 = table.grant("w");
+  EXPECT_EQ(g2.begin, 8u);
+  EXPECT_EQ(g2.end, 10u);
+  EXPECT_EQ(table.accept(g1.lease_id, 4), LeaseTable::Verdict::Fresh);
+  EXPECT_EQ(table.accept(g1.lease_id, 5), LeaseTable::Verdict::Fresh);
+  EXPECT_EQ(table.accept(g1.lease_id, 6), LeaseTable::Verdict::Fresh);
+  EXPECT_EQ(table.accept(g2.lease_id, 8), LeaseTable::Verdict::Fresh);
+  EXPECT_EQ(table.accept(g2.lease_id, 9), LeaseTable::Verdict::Fresh);
+  EXPECT_TRUE(table.all_done());
+}
+
+TEST(InOrderCommitter, ReleasesTheContiguousPrefixOnly) {
+  InOrderCommitter committer;
+  EXPECT_FALSE(committer.next().has_value());
+  EXPECT_TRUE(committer.add(record(2)));
+  EXPECT_TRUE(committer.add(record(0)));
+
+  auto r0 = committer.next();
+  ASSERT_TRUE(r0.has_value());
+  EXPECT_EQ(r0->index, 0u);
+  EXPECT_FALSE(committer.next().has_value());  // 1 is missing
+  EXPECT_TRUE(committer.add(record(1)));
+  auto r1 = committer.next();
+  auto r2 = committer.next();
+  ASSERT_TRUE(r1.has_value());
+  ASSERT_TRUE(r2.has_value());
+  EXPECT_EQ(r1->index, 1u);
+  EXPECT_EQ(r2->index, 2u);
+  EXPECT_EQ(committer.committed(), 3u);
+  EXPECT_EQ(committer.buffered(), 0u);
+}
+
+TEST(InOrderCommitter, RejectsDuplicatesAndCommittedIndices) {
+  InOrderCommitter committer;
+  EXPECT_TRUE(committer.add(record(0)));
+  EXPECT_FALSE(committer.add(record(0)));  // already buffered
+  ASSERT_TRUE(committer.next().has_value());
+  EXPECT_FALSE(committer.add(record(0)));  // already committed
+  EXPECT_TRUE(committer.add(record(1)));
+}
+
+TEST(InOrderCommitter, SeededStartSkipsTheReplayPrefix) {
+  InOrderCommitter committer(100);
+  EXPECT_FALSE(committer.add(record(99)));
+  EXPECT_TRUE(committer.add(record(100)));
+  auto r = committer.next();
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->index, 100u);
+}
+
+}  // namespace
+}  // namespace gras::fabric

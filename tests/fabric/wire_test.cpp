@@ -1,0 +1,200 @@
+// Wire-protocol unit tests: payload codecs round-trip, frames carry a
+// checksum that catches damage, sockets move whole frames, and sample
+// records cross the wire bit-identically to their journal encoding.
+#include "src/fabric/wire.h"
+
+#include <arpa/inet.h>
+#include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+
+namespace gras::fabric {
+namespace {
+
+TEST(WireCodec, HelloRoundTrips) {
+  HelloMsg in;
+  in.protocol = kProtocolVersion;
+  in.name = "worker-42";
+  HelloMsg out;
+  ASSERT_TRUE(decode_hello(encode_hello(in), out));
+  EXPECT_EQ(out.protocol, in.protocol);
+  EXPECT_EQ(out.name, in.name);
+}
+
+TEST(WireCodec, WelcomeRoundTripsEveryField) {
+  WelcomeMsg in;
+  in.journal_version = 3;
+  in.record_bytes = 228;
+  in.fingerprint = 0xdeadbeefcafef00dull;
+  in.app = "hotspot";
+  in.kernel = "hotspot_k1";
+  in.config = "gv100-scaled";
+  in.target = "RF";
+  in.samples = 3000;
+  in.seed = 2024;
+  in.margin = 0.0235;
+  in.confidence = 0.99;
+  in.chunk = 64;
+  in.batch = 8;
+  in.heartbeat_sec = 1.5;
+  in.lease_ttl_sec = 7.5;
+  WelcomeMsg out;
+  ASSERT_TRUE(decode_welcome(encode_welcome(in), out));
+  EXPECT_EQ(out.fingerprint, in.fingerprint);
+  EXPECT_EQ(out.app, in.app);
+  EXPECT_EQ(out.kernel, in.kernel);
+  EXPECT_EQ(out.config, in.config);
+  EXPECT_EQ(out.target, in.target);
+  EXPECT_EQ(out.samples, in.samples);
+  EXPECT_EQ(out.seed, in.seed);
+  EXPECT_DOUBLE_EQ(out.margin, in.margin);
+  EXPECT_DOUBLE_EQ(out.confidence, in.confidence);
+  EXPECT_EQ(out.chunk, in.chunk);
+  EXPECT_EQ(out.batch, in.batch);
+  EXPECT_DOUBLE_EQ(out.heartbeat_sec, in.heartbeat_sec);
+  EXPECT_DOUBLE_EQ(out.lease_ttl_sec, in.lease_ttl_sec);
+}
+
+TEST(WireCodec, TruncatedPayloadIsRejected) {
+  const std::string payload = encode_hello(HelloMsg{kProtocolVersion, "w"});
+  HelloMsg out;
+  for (std::size_t cut = 0; cut < payload.size(); ++cut) {
+    EXPECT_FALSE(decode_hello(payload.substr(0, cut), out)) << "cut=" << cut;
+  }
+  // Trailing garbage is rejected too: done() demands exact consumption.
+  EXPECT_FALSE(decode_hello(payload + "x", out));
+}
+
+orchestrator::JournalRecord sample_record(std::uint64_t index) {
+  orchestrator::JournalRecord r;
+  r.index = index;
+  r.cycles = 123456 + index;
+  r.outcome = fi::Outcome::SDC;
+  r.injected = true;
+  r.has_signature = true;
+  r.signature.words_mismatched = 7;
+  return r;
+}
+
+TEST(WireCodec, RecordsCarryJournalBytesBitExactly) {
+  RecordsMsg in;
+  in.lease_id = 99;
+  for (std::uint64_t i = 0; i < 5; ++i) in.records.push_back(sample_record(i));
+  const std::string payload = encode_records(in);
+
+  RecordsMsg out;
+  ASSERT_TRUE(decode_records(payload, out));
+  EXPECT_EQ(out.lease_id, 99u);
+  ASSERT_EQ(out.records.size(), in.records.size());
+  char a[orchestrator::kRecordBytes];
+  char b[orchestrator::kRecordBytes];
+  for (std::size_t i = 0; i < in.records.size(); ++i) {
+    orchestrator::encode_record(in.records[i], a);
+    orchestrator::encode_record(out.records[i], b);
+    EXPECT_EQ(0, std::memcmp(a, b, sizeof a)) << "record " << i;
+  }
+}
+
+TEST(WireCodec, DamagedRecordInPayloadIsRejected) {
+  RecordsMsg in;
+  in.lease_id = 1;
+  in.records.push_back(sample_record(0));
+  std::string payload = encode_records(in);
+  payload[payload.size() / 2] ^= 0x01;  // flip one bit inside the record
+  RecordsMsg out;
+  EXPECT_FALSE(decode_records(payload, out));
+}
+
+TEST(WireParse, Addresses) {
+  const auto a = parse_address("127.0.0.1:4000");
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->first, "127.0.0.1");
+  EXPECT_EQ(a->second, 4000);
+
+  const auto any = parse_address(":0");
+  ASSERT_TRUE(any.has_value());
+  EXPECT_EQ(any->first, "0.0.0.0");
+  EXPECT_EQ(any->second, 0);
+
+  EXPECT_FALSE(parse_address("nope").has_value());
+  EXPECT_FALSE(parse_address("host:").has_value());
+  EXPECT_FALSE(parse_address("host:99999").has_value());
+  EXPECT_FALSE(parse_address("host:12x").has_value());
+}
+
+TEST(WireSocket, FramesCrossALoopbackConnection) {
+  Listener listener = Listener::listen_on("127.0.0.1", 0);
+  ASSERT_TRUE(listener.valid());
+  ASSERT_NE(listener.port(), 0);
+
+  Socket client = Socket::connect_to("127.0.0.1", listener.port());
+  ASSERT_TRUE(client.valid());
+  Socket server = listener.accept_next(5.0);
+  ASSERT_TRUE(server.valid());
+
+  HelloMsg hello;
+  hello.name = "w";
+  ASSERT_TRUE(client.send_frame(MsgType::Hello, encode_hello(hello)));
+  Frame f;
+  ASSERT_EQ(server.recv_frame(f, 5.0), Socket::Recv::Frame);
+  EXPECT_EQ(f.type, MsgType::Hello);
+  HelloMsg got;
+  ASSERT_TRUE(decode_hello(f.payload, got));
+  EXPECT_EQ(got.name, "w");
+
+  // Zero-timeout recv polls without blocking.
+  EXPECT_EQ(server.recv_frame(f, 0.0), Socket::Recv::Timeout);
+
+  // A corrupted frame (checksum mismatch) closes the stream.
+  std::string bad = frame_bytes(MsgType::Heartbeat, "payload");
+  bad[bad.size() - 1] ^= 0x40;
+  ASSERT_TRUE(client.send_frame(MsgType::Stop, ""));  // good frame first
+  ASSERT_EQ(server.recv_frame(f, 5.0), Socket::Recv::Frame);
+  EXPECT_EQ(f.type, MsgType::Stop);
+}
+
+/// Pushes raw bytes at a listener through a plain TCP connection — the only
+/// way to put an intentionally damaged frame on the wire, since
+/// Socket::send_frame always computes a valid checksum.
+void send_raw(std::uint16_t port, const std::string& bytes) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr), 0);
+  ASSERT_EQ(::send(fd, bytes.data(), bytes.size(), 0),
+            static_cast<ssize_t>(bytes.size()));
+  ::close(fd);
+}
+
+TEST(WireSocket, ChecksumDamageReadsAsClosed) {
+  Listener listener = Listener::listen_on("127.0.0.1", 0);
+  ASSERT_TRUE(listener.valid());
+  std::string bad = frame_bytes(MsgType::Heartbeat, "beat");
+  bad.back() ^= 0x01;  // damage the payload; the header checksum now lies
+  send_raw(listener.port(), bad);
+  Socket server = listener.accept_next(5.0);
+  ASSERT_TRUE(server.valid());
+  Frame f;
+  EXPECT_EQ(server.recv_frame(f, 5.0), Socket::Recv::Closed);
+}
+
+TEST(WireSocket, WrongMagicReadsAsClosed) {
+  Listener listener = Listener::listen_on("127.0.0.1", 0);
+  ASSERT_TRUE(listener.valid());
+  std::string junk = frame_bytes(MsgType::Heartbeat, "beat");
+  junk[0] ^= 0xff;
+  send_raw(listener.port(), junk);
+  Socket server = listener.accept_next(5.0);
+  ASSERT_TRUE(server.valid());
+  Frame f;
+  EXPECT_EQ(server.recv_frame(f, 5.0), Socket::Recv::Closed);
+}
+
+}  // namespace
+}  // namespace gras::fabric

@@ -7,6 +7,7 @@
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -272,6 +273,109 @@ TEST_F(OrchestratorTest, ProgressSnapshotsArriveInOrder) {
   const std::string json = JsonlProgress::to_json(capture.snapshots.back());
   EXPECT_NE(json.find("\"completed\":100"), std::string::npos);
   EXPECT_NE(json.find("\"done\":true"), std::string::npos);
+}
+
+TEST_F(OrchestratorTest, MergeListsEveryProblemInOneError) {
+  const auto spec = spec_of(campaign::Target::RF, 40);
+  std::vector<std::filesystem::path> journals;
+  for (std::uint32_t i = 0; i < 2; ++i) {
+    DurableOptions options;
+    options.journal = temp_dir() / ("merge_list." + std::to_string(i) + ".jrnl");
+    options.resume = false;
+    options.shard = ShardSpec{i, 2};
+    run_durable(*app_, config(), golden_, spec, pool_, options);
+    journals.push_back(options.journal);
+  }
+  DurableOptions foreign;
+  foreign.journal = temp_dir() / "merge_list.foreign.jrnl";
+  foreign.resume = false;
+  foreign.shard = ShardSpec{1, 2};
+  auto foreign_spec = spec;
+  foreign_spec.seed = 99;
+  run_durable(*app_, config(), golden_, foreign_spec, pool_, foreign);
+  const auto size = std::filesystem::file_size(journals[1]);
+  std::filesystem::resize_file(journals[1], size - 5 * kRecordBytes);
+
+  // One invocation carrying four distinct problems: wrong journal count,
+  // a duplicated shard 0, a foreign campaign, and a truncated shard 1. All
+  // four must surface in a single error, each tagged with its file.
+  try {
+    merge_shards({journals[0], journals[0], foreign.journal, journals[1]});
+    FAIL() << "merge_shards accepted a broken shard set";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("4 problem(s)"), std::string::npos) << what;
+    EXPECT_NE(what.find("2 shards but 4 journals"), std::string::npos) << what;
+    EXPECT_NE(what.find("repeats shard 0/2 (duplicate journal?)"),
+              std::string::npos)
+        << what;
+    EXPECT_NE(what.find("fingerprint mismatch"), std::string::npos) << what;
+    EXPECT_NE(what.find("seed 99"), std::string::npos) << what;
+    EXPECT_NE(what.find("incomplete shard; resume it first"), std::string::npos)
+        << what;
+    EXPECT_NE(what.find(journals[0].string()), std::string::npos) << what;
+    EXPECT_NE(what.find(journals[1].string()), std::string::npos) << what;
+    EXPECT_NE(what.find(foreign.journal.string()), std::string::npos) << what;
+  }
+}
+
+TEST_F(OrchestratorTest, ResumedCampaignEtaExcludesReplayTime) {
+  const auto spec = spec_of(campaign::Target::RF, 70);
+  const auto path = temp_dir() / "eta.jrnl";
+  std::filesystem::remove(path);
+  {
+    // Single-threaded so the streamed journal is a clean index-order prefix
+    // after truncation.
+    ThreadPool one(1);
+    DurableOptions options;
+    options.journal = path;
+    options.resume = false;
+    run_durable(*app_, config(), golden_, spec, one, options);
+  }
+  const auto size = std::filesystem::file_size(path);
+  std::filesystem::resize_file(path, size - 30 * kRecordBytes);
+
+  // Fake clock: the first reading (tracker construction at entry) is 0; all
+  // later readings return `now`, which starts at 500 — as if replaying the
+  // 40 journaled records took 500 seconds — and advances only from the
+  // progress callback below.
+  auto now = std::make_shared<double>(500.0);
+  auto calls = std::make_shared<int>(0);
+  struct Capture : ProgressSink {
+    std::shared_ptr<double> now;
+    std::vector<ProgressSnapshot> snapshots;
+    void on_progress(const ProgressSnapshot& s) override {
+      snapshots.push_back(s);
+      if (s.completed == 50) *now = 505.0;
+      if (s.completed == 60) *now = 510.0;
+    }
+  } capture;
+  capture.now = now;
+
+  DurableOptions resume;
+  resume.journal = path;
+  resume.resume = true;
+  resume.chunk = 10;
+  resume.progress = &capture;
+  resume.clock = [now, calls] { return (*calls)++ == 0 ? 0.0 : *now; };
+  const auto r = run_durable(*app_, config(), golden_, spec, pool_, resume);
+  EXPECT_EQ(r.replayed, 40u);
+  EXPECT_EQ(r.executed, 30u);
+
+  ASSERT_EQ(capture.snapshots.size(), 7u);  // one per chunk of 10
+  // Replay chunks report no throughput, and the first executed chunk opens
+  // the measurement window (no time has passed inside it yet).
+  EXPECT_EQ(capture.snapshots[3].samples_per_sec, 0.0);
+  EXPECT_EQ(capture.snapshots[4].completed, 50u);
+  EXPECT_EQ(capture.snapshots[4].samples_per_sec, 0.0);
+  // 20 executed samples over the 5 seconds since the window opened: the 500
+  // seconds spent replaying dilute neither the rate nor the ETA.
+  EXPECT_EQ(capture.snapshots[5].completed, 60u);
+  EXPECT_DOUBLE_EQ(capture.snapshots[5].samples_per_sec, 4.0);
+  EXPECT_DOUBLE_EQ(capture.snapshots[5].eta_seconds, 2.5);
+  EXPECT_DOUBLE_EQ(capture.snapshots[6].samples_per_sec, 3.0);
+  EXPECT_DOUBLE_EQ(capture.snapshots[6].eta_seconds, 0.0);
+  EXPECT_TRUE(capture.snapshots[6].done);
 }
 
 TEST_F(OrchestratorTest, CachedCampaignRoutesThroughTheOrchestrator) {

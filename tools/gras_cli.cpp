@@ -16,6 +16,26 @@
 //       --progress stderr|jsonl[=path]   live progress snapshots
 //       --journal <path> explicit journal file (default under GRAS_JOURNAL_DIR)
 //       --no-journal     in-memory run (no crash safety)
+//   gras serve <app> <kernel> <target> [samples] --listen host:port [flags]
+//                                      coordinate a distributed campaign:
+//                                      lease sample ranges to workers, append
+//                                      their records to one canonical journal
+//                                      in sample order, early-stop fleet-wide
+//       --listen h:p     bind address (port 0 = ephemeral; see --port-file)
+//       --port-file f    write the bound port to f once listening
+//       --lease N        samples per lease (default 256)
+//       --heartbeat-sec S  worker heartbeat period (default 2)
+//       --lease-ttl S    lease silence budget before reassignment (default 10)
+//       plus --resume --margin --batch --journal --progress as in campaign
+//   gras work --connect host:port [--name s] [--threads n] [--retry-sec s]
+//                                      execute leases for a coordinator;
+//                                      disposable (SIGKILL-safe), reconnects
+//                                      across coordinator restarts
+//   gras journal info <journal>        header provenance, fingerprint, record
+//                                      count, torn-tail status
+//   gras journal dump <journal>        one line per record: index, outcome,
+//                                      cycles, canonical record bytes (hex) —
+//                                      sort | diff compares campaigns
 //   gras merge <journal>...            recombine the shards of one campaign
 //   gras anatomy <journal>...          SDC corruption-pattern report per
 //                                      campaign (v2 journals carry per-SDC
@@ -63,6 +83,9 @@
 #include "src/common/env.h"
 #include "src/common/table.h"
 #include "src/common/trace.h"
+#include "src/fabric/coordinator.h"
+#include "src/fabric/wire.h"
+#include "src/fabric/worker.h"
 #include "src/isa/disasm.h"
 #include "src/orchestrator/orchestrator.h"
 #include "src/orchestrator/replay.h"
@@ -83,6 +106,13 @@ int usage() {
                "           [--shard i/N] [--resume] [--margin pct] [--batch K]\n"
                "           [--progress stderr|jsonl[=path]] [--journal path]\n"
                "           [--no-journal] [--trace file]\n"
+               "  serve <app> <kernel> <target> [samples] --listen host:port\n"
+               "           [--port-file path] [--lease N] [--heartbeat-sec S]\n"
+               "           [--lease-ttl S] [--resume] [--margin pct] [--batch K]\n"
+               "           [--journal path] [--progress stderr|jsonl[=path]]\n"
+               "  work --connect host:port [--name s] [--threads n] [--retry-sec s]\n"
+               "  journal info <journal>\n"
+               "  journal dump <journal>\n"
                "  merge <journal>...\n"
                "  anatomy <journal>...\n"
                "  replay <journal> [<seed>:]<index> [--trace]\n"
@@ -383,6 +413,264 @@ int cmd_campaign(const std::string& app_name, const std::string& kernel,
   return 0;
 }
 
+/// Flags accepted by `gras serve` after the positional arguments.
+struct ServeFlags {
+  std::string listen;  // "host:port" (required)
+  std::string port_file;
+  std::uint64_t lease = 256;
+  double heartbeat_sec = 2.0;
+  double lease_ttl_sec = 10.0;
+  bool resume = false;
+  double margin = 0.0;  // fraction
+  std::uint64_t batch = 0;  // 0 = GRAS_BATCH env default
+  std::string journal;
+  std::string progress;
+};
+
+ServeFlags parse_serve_flags(int argc, char** argv, int from) {
+  ServeFlags flags;
+  for (int i = from; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto need_value = [&](const char* flag) -> std::string {
+      if (i + 1 >= argc) {
+        throw std::invalid_argument(std::string(flag) + " needs a value");
+      }
+      return argv[++i];
+    };
+    const auto need_positive = [&](const char* flag) {
+      const std::string v = need_value(flag);
+      const double d = std::strtod(v.c_str(), nullptr);
+      if (d <= 0.0) {
+        throw std::invalid_argument(std::string(flag) + " expects a positive value");
+      }
+      return d;
+    };
+    if (arg == "--listen") {
+      flags.listen = need_value("--listen");
+    } else if (arg == "--port-file") {
+      flags.port_file = need_value("--port-file");
+    } else if (arg == "--lease") {
+      flags.lease = static_cast<std::uint64_t>(need_positive("--lease"));
+    } else if (arg == "--heartbeat-sec") {
+      flags.heartbeat_sec = need_positive("--heartbeat-sec");
+    } else if (arg == "--lease-ttl") {
+      flags.lease_ttl_sec = need_positive("--lease-ttl");
+    } else if (arg == "--resume") {
+      flags.resume = true;
+    } else if (arg == "--margin") {
+      flags.margin = std::strtod(need_value("--margin").c_str(), nullptr) / 100.0;
+      if (flags.margin <= 0.0 || flags.margin >= 1.0) {
+        throw std::invalid_argument("--margin expects percentage points in (0, 100)");
+      }
+    } else if (arg == "--batch") {
+      flags.batch = static_cast<std::uint64_t>(need_positive("--batch"));
+    } else if (arg == "--journal") {
+      flags.journal = need_value("--journal");
+    } else if (arg == "--progress") {
+      flags.progress = need_value("--progress");
+      const bool ok = flags.progress == "stderr" || flags.progress == "jsonl" ||
+                      flags.progress.rfind("jsonl=", 0) == 0;
+      if (!ok) {
+        throw std::invalid_argument("--progress expects stderr or jsonl[=path]");
+      }
+    } else {
+      throw std::invalid_argument("unknown flag '" + arg + "'");
+    }
+  }
+  if (flags.listen.empty()) {
+    throw std::invalid_argument("serve requires --listen host:port");
+  }
+  return flags;
+}
+
+int cmd_serve(const std::string& app_name, const std::string& kernel,
+              const std::string& target, std::uint64_t samples,
+              const ServeFlags& flags) {
+  const auto parsed_target = campaign::target_from_name(target);
+  if (!parsed_target) {
+    std::fprintf(stderr, "gras: unknown target '%s'\n", target.c_str());
+    return 2;
+  }
+  const auto app = workloads::make_benchmark(app_name);
+  if (!app) {
+    std::fprintf(stderr, "gras: unknown app '%s'\n", app_name.c_str());
+    return 2;
+  }
+  const auto address = fabric::parse_address(flags.listen);
+  if (!address) {
+    std::fprintf(stderr, "gras: --listen expects host:port, got '%s'\n",
+                 flags.listen.c_str());
+    return 2;
+  }
+
+  campaign::CampaignSpec spec;
+  spec.kernel = kernel;
+  spec.target = *parsed_target;
+  spec.samples = samples;
+  spec.seed = env_seed();
+
+  fabric::ServeOptions options;
+  options.host = address->first;
+  options.port = address->second;
+  if (!flags.port_file.empty()) options.port_file = flags.port_file;
+  if (!flags.journal.empty()) options.journal = flags.journal;
+  options.resume = flags.resume;
+  options.margin = flags.margin;
+  options.lease = flags.lease;
+  options.heartbeat_sec = flags.heartbeat_sec;
+  options.lease_ttl_sec = flags.lease_ttl_sec;
+  options.batch = flags.batch != 0 ? flags.batch : env_batch();
+  std::unique_ptr<orchestrator::ProgressSink> sink;
+  if (flags.progress == "stderr") {
+    sink = std::make_unique<orchestrator::StderrProgress>();
+  } else if (flags.progress == "jsonl") {
+    sink = std::make_unique<orchestrator::JsonlProgress>("-", kMetricsIntervalSec);
+  } else if (!flags.progress.empty()) {
+    sink = std::make_unique<orchestrator::JsonlProgress>(
+        flags.progress.substr(std::strlen("jsonl=")), kMetricsIntervalSec);
+  }
+  options.progress = sink.get();
+
+  const auto served = fabric::serve_campaign(*app, config(), spec, options);
+  const auto& r = served.result;
+  std::printf("%s / %s / %s: %llu samples (%llu injected) served on port %u\n",
+              app_name.c_str(), kernel.c_str(), target.c_str(),
+              static_cast<unsigned long long>(r.counts.total()),
+              static_cast<unsigned long long>(r.injected),
+              static_cast<unsigned>(served.port));
+  if (served.replayed > 0) {
+    std::printf("resumed: %llu samples replayed from journal, %llu from workers\n",
+                static_cast<unsigned long long>(served.replayed),
+                static_cast<unsigned long long>(served.executed));
+  }
+  if (served.early_stopped) {
+    std::printf("early stop: CI margin %s%% reached after %llu samples\n",
+                TextTable::pct(flags.margin).c_str(),
+                static_cast<unsigned long long>(r.counts.total()));
+  }
+  print_histogram(r);
+  std::printf("journal: %s\n", served.journal.string().c_str());
+  return 0;
+}
+
+int cmd_work(int argc, char** argv, int from) {
+  fabric::WorkOptions options;
+  std::string connect;
+  for (int i = from; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto need_value = [&](const char* flag) -> std::string {
+      if (i + 1 >= argc) {
+        throw std::invalid_argument(std::string(flag) + " needs a value");
+      }
+      return argv[++i];
+    };
+    if (arg == "--connect") {
+      connect = need_value("--connect");
+    } else if (arg == "--name") {
+      options.name = need_value("--name");
+    } else if (arg == "--threads") {
+      options.threads = std::strtoull(need_value("--threads").c_str(), nullptr, 10);
+    } else if (arg == "--retry-sec") {
+      options.retry_sec = std::strtod(need_value("--retry-sec").c_str(), nullptr);
+      if (options.retry_sec <= 0.0) {
+        throw std::invalid_argument("--retry-sec expects a positive value");
+      }
+    } else {
+      throw std::invalid_argument("unknown flag '" + arg + "'");
+    }
+  }
+  const auto address = fabric::parse_address(connect);
+  if (!address) {
+    std::fprintf(stderr, "gras: work requires --connect host:port\n");
+    return 2;
+  }
+  options.host = address->first == "0.0.0.0" ? "127.0.0.1" : address->first;
+  options.port = address->second;
+
+  const fabric::WorkResult result = fabric::run_worker(options);
+  if (!result.error.empty()) {
+    std::fprintf(stderr, "gras: %s\n", result.error.c_str());
+    return 1;
+  }
+  std::printf("worker done: %llu samples over %llu leases%s\n",
+              static_cast<unsigned long long>(result.executed),
+              static_cast<unsigned long long>(result.leases),
+              result.stopped ? " (coordinator stopped the campaign)" : "");
+  return 0;
+}
+
+int cmd_journal_info(const std::filesystem::path& path) {
+  const auto contents = orchestrator::read_journal(path);
+  if (!contents) {
+    std::fprintf(stderr, "gras: cannot read journal '%s' (missing or damaged header)\n",
+                 path.string().c_str());
+    return 1;
+  }
+  const orchestrator::JournalHeader& h = contents->header;
+  char fingerprint[32];
+  std::snprintf(fingerprint, sizeof fingerprint, "%016llx",
+                static_cast<unsigned long long>(h.fingerprint()));
+  TextTable table({"Field", "Value"});
+  table.add_row({"version", std::to_string(contents->version)});
+  table.add_row({"build", h.build.empty() ? "(pre-v3 journal)" : h.build});
+  table.add_row({"fingerprint", fingerprint});
+  table.add_row({"campaign", h.app + " / " + h.kernel + " / " + h.target +
+                                 " / " + h.config});
+  table.add_row({"samples", std::to_string(h.samples)});
+  table.add_row({"seed", std::to_string(h.seed)});
+  table.add_row({"shard", std::to_string(h.shard_index) + "/" +
+                              std::to_string(h.shard_count)});
+  if (h.margin > 0.0) {
+    table.add_row({"margin", TextTable::pct(h.margin) + "% at " +
+                                 TextTable::pct(h.confidence) + "% confidence"});
+  }
+  table.add_row({"records", std::to_string(contents->records.size())});
+  table.add_row({"early stop",
+                 contents->early_stop_consumed
+                     ? "after " + std::to_string(*contents->early_stop_consumed) +
+                           " samples"
+                     : "no"});
+  table.add_row({"tail", contents->dropped_bytes == 0
+                             ? "clean"
+                             : "torn: " + std::to_string(contents->dropped_bytes) +
+                                   " bytes dropped (resume re-runs them)"});
+  std::printf("%s", table.render().c_str());
+  return 0;
+}
+
+int cmd_journal_dump(const std::filesystem::path& path) {
+  const auto contents = orchestrator::read_journal(path);
+  if (!contents) {
+    std::fprintf(stderr, "gras: cannot read journal '%s' (missing or damaged header)\n",
+                 path.string().c_str());
+    return 1;
+  }
+  // One line per record: index, outcome, cycles, then the canonical record
+  // bytes (hex). The bytes are the current-version wire/journal codec
+  // regardless of the file's on-disk version, so two campaigns compare with
+  // `gras journal dump a | sort -n` vs the same for b — byte-exact.
+  std::string line;
+  char buf[orchestrator::kRecordBytes];
+  for (const auto& rec : contents->records) {
+    orchestrator::encode_record(rec, buf);
+    line.clear();
+    line += std::to_string(rec.index);
+    line += '\t';
+    line += fi::outcome_name(rec.outcome);
+    line += '\t';
+    line += std::to_string(rec.cycles);
+    line += '\t';
+    static const char* kHex = "0123456789abcdef";
+    for (const char byte : buf) {
+      const auto u = static_cast<unsigned char>(byte);
+      line += kHex[u >> 4];
+      line += kHex[u & 0xf];
+    }
+    std::printf("%s\n", line.c_str());
+  }
+  return 0;
+}
+
 int cmd_stats(const std::filesystem::path& path) {
   // A journal starts with the GRASJRN1 magic; our trace files start with
   // '{' — dispatch on the first bytes rather than the file extension.
@@ -613,6 +901,27 @@ int main(int argc, char** argv) {
       }
       return cmd_campaign(argv[2], argv[3], argv[4], n,
                           parse_campaign_flags(argc, argv, flags_from));
+    }
+    if (cmd == "serve" && argc >= 5) {
+      std::uint64_t n = 300;
+      int flags_from = 5;
+      if (argc >= 6 && argv[5][0] != '-') {
+        char* end = nullptr;
+        n = std::strtoull(argv[5], &end, 10);
+        if (end == argv[5] || *end != '\0' || n == 0) {
+          std::fprintf(stderr, "gras: invalid sample count '%s'\n", argv[5]);
+          return 2;
+        }
+        flags_from = 6;
+      }
+      return cmd_serve(argv[2], argv[3], argv[4], n,
+                       parse_serve_flags(argc, argv, flags_from));
+    }
+    if (cmd == "work" && argc >= 3) return cmd_work(argc, argv, 2);
+    if (cmd == "journal" && argc == 4) {
+      const std::string sub = argv[2];
+      if (sub == "info") return cmd_journal_info(argv[3]);
+      if (sub == "dump") return cmd_journal_dump(argv[3]);
     }
     if (cmd == "merge" && argc >= 3) {
       std::vector<std::filesystem::path> journals;
