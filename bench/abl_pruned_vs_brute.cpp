@@ -1,0 +1,80 @@
+// Ablation: two-level pruned SDC estimation vs brute-force statistical FI.
+//
+// The two-level estimator (DESIGN.md §14) partitions a kernel's SVF fault
+// space into equivalence classes from one fault-free profiled run, injects a
+// single representative per class, and reweights by class population. This
+// bench validates the accuracy/cost contract on every kernel of the
+// fig01/fig02 suite:
+//   accuracy — the brute-force FR must fall inside the pruned estimate's
+//              population-weighted Wilson CI;
+//   cost     — the pruned campaign must execute >= 5x fewer samples.
+// Exit status is the gate: 1 when any kernel violates either bound (the
+// prune-smoke CI job runs this binary on a subset).
+//
+// Optional argv[1] filters to a single app name (e.g. "va").
+#include <cstdio>
+#include <cstring>
+
+#include "bench/bench_common.h"
+#include "src/analysis/prune.h"
+
+int main(int argc, char** argv) {
+  using namespace gras;
+  const char* only_app = argc > 1 ? argv[1] : nullptr;
+  bench::Bench bench;
+  bench.print_header("Ablation — pruned two-level estimation vs brute-force FI (SVF)");
+
+  TextTable table({"Kernel", "Brute FR %", "Pruned FR %", "Pruned 99% CI",
+                   "Classes", "Reps", "Reduction", "Verdict"});
+  const campaign::Target targets[] = {campaign::Target::Svf};
+  std::uint64_t checked = 0, ci_misses = 0, weak_reductions = 0;
+  for (auto& ctx : bench.apps()) {
+    if (only_app && ctx.app->name() != only_app) continue;
+    for (const auto& kernel : ctx.kernels) {
+      const auto sweep = bench.sweep(ctx, kernel, targets);
+      const campaign::CampaignResult& brute = sweep.at(campaign::Target::Svf);
+
+      campaign::CampaignSpec spec;
+      spec.kernel = kernel;
+      spec.target = campaign::Target::Svf;
+      spec.samples = bench.samples();
+      spec.seed = bench.seed();
+      const campaign::PruneClassing classing =
+          analysis::build_prune_classing(*ctx.app, bench.config(), ctx.golden, spec);
+      const campaign::PrunedResult pruned = campaign::run_pruned(
+          *ctx.app, bench.config(), ctx.golden, spec, classing, bench.pool());
+
+      const double brute_fr = brute.counts.failure_rate();
+      const auto ci = pruned.estimate.fr_ci();
+      const std::uint64_t reps = pruned.raw.total();
+      const double reduction =
+          reps > 0 ? static_cast<double>(brute.counts.total()) / static_cast<double>(reps)
+                   : 0.0;
+      const bool in_ci = brute_fr >= ci.lower && brute_fr <= ci.upper;
+      const bool fast_enough = reduction >= 5.0;
+      ++checked;
+      if (!in_ci) ++ci_misses;
+      if (!fast_enough) ++weak_reductions;
+      table.add_row({bench.kernel_label(ctx, kernel), bench::pct(brute_fr),
+                     bench::pct(pruned.estimate.failure_rate()),
+                     "[" + bench::pct(ci.lower) + ", " + bench::pct(ci.upper) + "]",
+                     std::to_string(classing.class_population.size()),
+                     std::to_string(reps), TextTable::num(reduction, 1) + "x",
+                     in_ci && fast_enough ? "ok"
+                     : !in_ci             ? "FR outside CI"
+                                          : "reduction < 5x"});
+    }
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("%llu kernels checked: %llu brute FRs outside the pruned CI, "
+              "%llu reductions below 5x.\n",
+              static_cast<unsigned long long>(checked),
+              static_cast<unsigned long long>(ci_misses),
+              static_cast<unsigned long long>(weak_reductions));
+  if (checked == 0) {
+    std::fprintf(stderr, "abl_pruned_vs_brute: no kernels matched%s%s\n",
+                 only_app ? " app filter " : "", only_app ? only_app : "");
+    return 1;
+  }
+  return ci_misses == 0 && weak_reductions == 0 ? 0 : 1;
+}

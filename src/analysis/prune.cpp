@@ -1,0 +1,196 @@
+#include "src/analysis/prune.h"
+
+#include <bit>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "src/sim/sm.h"
+
+namespace gras::analysis {
+namespace {
+
+constexpr std::uint64_t kUntracked = ~std::uint64_t{0};
+
+/// Coarse magnitude bucket of a written register value: zero, narrow
+/// (<= 16 significant bits: loop counters, lane ids, small offsets) or wide
+/// (addresses, packed floats). Finer bucketing splits classes that fail
+/// identically and inflates the representative count past the point where
+/// pruning pays for itself; coarser merges sites with genuinely different
+/// corruption surfaces. Three levels keeps class counts a small multiple of
+/// the static instruction count while the brute-force FR stays inside the
+/// pruned CI across the fig01/fig02 suite (abl_pruned_vs_brute).
+std::uint8_t value_bucket(std::uint32_t v) {
+  if (v == 0) return 0;
+  return std::bit_width(v) <= 16 ? 1 : 2;
+}
+
+/// FaultHook that mirrors SoftwareInjector's dynamic-instruction counting
+/// exactly — one count per active lane of each counting retire, lanes in
+/// ascending bit order — while tracking register lifetimes the way
+/// AceProfiler does, so each counted site of the target kernel learns
+/// whether its value is ever consumed.
+class SiteProfiler final : public sim::FaultHook {
+ public:
+  SiteProfiler(const sim::GpuConfig& config, const campaign::GoldenRun& golden,
+               const campaign::CampaignSpec& spec, SiteProfile& out)
+      : config_(config),
+        loads_(spec.target == campaign::Target::SvfLd),
+        out_(out) {
+    // Counting-space rows for the target kernel's launches, in launch order
+    // (counts are contiguous per launch); `base` is the kernel-relative
+    // prefix sum — the same enumeration campaign::sample_site draws from.
+    std::uint64_t base = 0;
+    std::uint32_t ord = 0;
+    for (const auto& l : golden.launches) {
+      if (l.kernel != spec.kernel) continue;
+      const std::uint64_t begin = loads_ ? l.ld_begin : l.gp_begin;
+      const std::uint64_t end = loads_ ? l.ld_end : l.gp_end;
+      if (end > begin) rows_.push_back({begin, end, base, ord});
+      base += end - begin;
+      ++ord;
+    }
+  }
+
+  void on_issue(sim::Sm& sm, std::uint32_t warp_slot, const isa::Instr& ins,
+                std::uint32_t exec_mask, std::uint64_t cycle) override {
+    (void)cycle;
+    const sim::WarpExec& warp = sm.warp(warp_slot);
+    const std::uint64_t sm_base = std::uint64_t{sm.sm_id()} * config_.regs_per_sm;
+    for (std::uint32_t lane = 0; lane < 32; ++lane) {
+      if (!(exec_mask & (1u << lane))) continue;
+      for (const isa::Operand* op : {&ins.a, &ins.b, &ins.c}) {
+        if (!op->is_gpr() || op->value == isa::kRegRZ) continue;
+        const auto it = pending_.find(
+            sm_base + sm.rf_cell_index(warp, lane, static_cast<std::uint8_t>(op->value)));
+        if (it == pending_.end() || it->second == kUntracked) continue;
+        std::uint16_t& r = out_.sites[it->second].readers;
+        if (r != 0xffff) ++r;
+      }
+    }
+  }
+
+  void on_gpr_retire(sim::Sm& sm, std::uint32_t warp_slot, const isa::Instr& ins,
+                     std::uint32_t exec_mask) override {
+    const sim::WarpExec& warp = sm.warp(warp_slot);
+    const std::uint64_t sm_base = std::uint64_t{sm.sm_id()} * config_.regs_per_sm;
+    const bool countable = !loads_ || ins.is_load();
+    for (std::uint32_t lane = 0; lane < 32; ++lane) {
+      if (!(exec_mask & (1u << lane))) continue;
+      const std::uint32_t local = sm.rf_cell_index(warp, lane, ins.dst);
+      std::uint64_t site = kUntracked;
+      if (countable) {
+        const std::uint64_t g = count_++;
+        site = target_site(g);
+        if (site != kUntracked) {
+          SiteInfo& info = out_.sites[site];
+          info.pc = warp.pc;
+          info.launch_ord = rows_[cursor_].ord;
+          info.value_bucket = value_bucket(sm.regfile().read(local));
+          info.observed = 1;
+          info.readers = 0;
+        }
+      }
+      // Every GPR write — counted or not — opens a new lifetime on its cell,
+      // ending whatever site was pending there.
+      pending_[sm_base + local] = site;
+    }
+  }
+
+ private:
+  struct Row {
+    std::uint64_t begin, end, base;
+    std::uint32_t ord;
+  };
+
+  /// Kernel-relative site of global counting index `g`, or kUntracked when
+  /// the count belongs to another kernel. Counts are monotonic, so a cursor
+  /// suffices.
+  std::uint64_t target_site(std::uint64_t g) {
+    while (cursor_ < rows_.size() && g >= rows_[cursor_].end) ++cursor_;
+    if (cursor_ < rows_.size() && g >= rows_[cursor_].begin) {
+      return rows_[cursor_].base + (g - rows_[cursor_].begin);
+    }
+    return kUntracked;
+  }
+
+  const sim::GpuConfig& config_;
+  const bool loads_;
+  SiteProfile& out_;
+  std::vector<Row> rows_;
+  std::size_t cursor_ = 0;
+  std::uint64_t count_ = 0;
+  /// RF cell (global across SMs) -> pending tracked site, or kUntracked.
+  std::unordered_map<std::uint64_t, std::uint64_t> pending_;
+};
+
+}  // namespace
+
+std::uint64_t SiteProfile::observed_sites() const {
+  std::uint64_t n = 0;
+  for (const SiteInfo& s : sites) n += s.observed;
+  return n;
+}
+
+SiteProfile profile_sites(const workloads::App& app, const sim::GpuConfig& config,
+                          const campaign::GoldenRun& golden,
+                          const campaign::CampaignSpec& spec) {
+  if (!campaign::prunable(spec.target)) {
+    throw std::invalid_argument("profile_sites: target must be SVF or SVF-LD");
+  }
+  SiteProfile profile;
+  profile.total_sites = campaign::site_count(golden, spec);
+  profile.sites.assign(profile.total_sites, SiteInfo{});
+  if (profile.total_sites == 0) return profile;
+
+  SiteProfiler profiler(config, golden, spec, profile);
+  sim::Gpu gpu(config);
+  gpu.set_fault_hook(&profiler);
+  const workloads::RunOutput out = workloads::run_app(app, gpu);
+  if (!out.completed()) {
+    throw std::runtime_error("profile_sites: fault-free profiled run did not complete");
+  }
+  if (profile.observed_sites() != profile.total_sites) {
+    // A gap here means the profiled instruction stream diverged from the
+    // golden enumeration — unusable for derating, since an unobserved site
+    // would be misclassified as dead.
+    throw std::runtime_error(
+        "profile_sites: profiled site stream does not cover the golden enumeration");
+  }
+  return profile;
+}
+
+campaign::PruneClassing classify_sites(const SiteProfile& profile) {
+  campaign::PruneClassing out;
+  out.total_sites = profile.total_sites;
+  out.class_of_site.assign(profile.sites.size(), campaign::PruneClassing::kDeadClass);
+  std::unordered_map<std::uint64_t, std::uint32_t> ids;
+  for (std::size_t i = 0; i < profile.sites.size(); ++i) {
+    const SiteInfo& s = profile.sites[i];
+    if (s.observed == 0 || s.readers == 0) continue;  // derated: known Masked
+    // Live-site key: (static instruction, value shape, single vs multiple
+    // consumers). Launch ordinal is deliberately absent — the same static
+    // write in launch 40 of a sweep is the same fault site as in launch 4
+    // (temporal symmetry), just as the same write on another SM is
+    // (structural symmetry). Folding launches in is what keeps many-launch
+    // kernels (NW's diagonal sweep, LUD's panel loop) at tens of classes
+    // instead of thousands.
+    const std::uint64_t fanout = s.readers >= 2 ? 2 : 1;
+    const std::uint64_t key =
+        (std::uint64_t{s.pc} << 8) | (std::uint64_t{s.value_bucket} << 2) | fanout;
+    const auto [it, inserted] =
+        ids.try_emplace(key, static_cast<std::uint32_t>(out.class_population.size()));
+    if (inserted) out.class_population.push_back(0);
+    out.class_of_site[i] = it->second;
+    ++out.class_population[it->second];
+  }
+  return out;
+}
+
+campaign::PruneClassing build_prune_classing(const workloads::App& app,
+                                             const sim::GpuConfig& config,
+                                             const campaign::GoldenRun& golden,
+                                             const campaign::CampaignSpec& spec) {
+  return classify_sites(profile_sites(app, config, golden, spec));
+}
+
+}  // namespace gras::analysis

@@ -1,0 +1,72 @@
+// Fault-site equivalence-class builder for two-level SDC estimation
+// (DESIGN.md §14; Hari et al., arXiv 2005.01445).
+//
+// A software-level (SVF / SVF-LD) campaign's fault-site space is the
+// enumeration of dynamic destination-register writes of the target kernel.
+// One profiled fault-free run observes every site and records, per site:
+// whether the written value is ever read before being overwritten (dead
+// sites have a known Masked outcome — derating, the first level of the
+// model), the static instruction that produced it, a coarse magnitude
+// bucket of the written value (value identity: sites writing equal-shaped
+// values fail alike), and how many consumers read it (fan-out). Sites
+// agreeing on all of those collapse into one equivalence class regardless
+// of which SM, warp, lane, or kernel launch executed them — the symmetry
+// axes: the same static write on another SM (structural) or in another
+// launch of the kernel (temporal) is the same fault site by symmetry.
+//
+// The classifier is deliberately conservative in one direction only: a site
+// can be wrongly *live* (e.g. a stale cross-kernel read credits it), never
+// wrongly dead, because every consumption path — stores, addresses,
+// predicates, ALU inputs — flows through the operand reads the profiler
+// observes. Wrongly-live sites cost an extra representative injection;
+// wrongly-dead sites would silently bias the estimate, so they are
+// impossible by construction (and profile_sites throws if the profiled
+// stream does not cover the enumerated space exactly).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/campaign/campaign.h"
+
+namespace gras::analysis {
+
+/// Per-site facts from the profiled fault-free run, in kernel-relative site
+/// order (the same enumeration campaign::sample_site indexes into).
+struct SiteInfo {
+  std::uint32_t pc = 0;          ///< static instruction index in the kernel
+  std::uint32_t launch_ord = 0;  ///< ordinal among the kernel's launches
+  std::uint8_t value_bucket = 0; ///< coarse magnitude bucket of the value
+  std::uint8_t observed = 0;     ///< 1 once the profiler saw this site
+  std::uint16_t readers = 0;     ///< reads before overwrite; 0 = dead site
+};
+
+struct SiteProfile {
+  std::uint64_t total_sites = 0;  ///< campaign::site_count of the spec
+  std::vector<SiteInfo> sites;    ///< size total_sites
+  std::uint64_t observed_sites() const;
+};
+
+/// Runs the app fault-free once with the site profiler attached (profiling
+/// never perturbs execution) and returns the per-site facts. Throws
+/// std::invalid_argument for non-prunable targets and std::runtime_error
+/// when the run fails or the observed site stream does not match the golden
+/// enumeration (which would indicate a determinism bug, not a usable
+/// profile).
+SiteProfile profile_sites(const workloads::App& app, const sim::GpuConfig& config,
+                          const campaign::GoldenRun& golden,
+                          const campaign::CampaignSpec& spec);
+
+/// Collapses a profile into equivalence classes: dead sites (readers == 0)
+/// into the derated pseudo-class, live sites keyed by
+/// (pc, value bucket zero/narrow/wide, fan-out bucket single/multi).
+campaign::PruneClassing classify_sites(const SiteProfile& profile);
+
+/// profile_sites + classify_sites; the result always satisfies
+/// PruneClassing::partitions().
+campaign::PruneClassing build_prune_classing(const workloads::App& app,
+                                             const sim::GpuConfig& config,
+                                             const campaign::GoldenRun& golden,
+                                             const campaign::CampaignSpec& spec);
+
+}  // namespace gras::analysis

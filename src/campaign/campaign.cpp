@@ -710,6 +710,202 @@ CampaignResult run_campaign(const workloads::App& app, const sim::GpuConfig& con
   return result;
 }
 
+// ---- Two-level SDC estimation with fault-site pruning (DESIGN.md §14) ----
+
+bool prunable(Target t) { return t == Target::Svf || t == Target::SvfLd; }
+
+std::uint64_t site_count(const GoldenRun& golden, const CampaignSpec& spec) {
+  if (!prunable(spec.target)) return 0;
+  return spec.target == Target::SvfLd ? golden.kernel_ld_instrs(spec.kernel)
+                                      : golden.kernel_gp_instrs(spec.kernel);
+}
+
+std::optional<std::uint64_t> sample_site(const GoldenRun& golden, const CampaignSpec& spec,
+                                         std::uint64_t sample_index) {
+  const std::uint64_t total = site_count(golden, spec);
+  if (total == 0) return std::nullopt;
+  // Mirrors make_hook's software path exactly: the first draw picks the site,
+  // and because launches are walked in ascending order subtracting spans, the
+  // kernel-relative ordinal of the chosen site IS the raw draw.
+  Rng rng = Rng::for_sample(spec.seed ^ (static_cast<std::uint64_t>(spec.target) << 40),
+                            sample_index);
+  return rng.below(total);
+}
+
+std::uint64_t PruneClassing::dead_sites() const {
+  std::uint64_t dead = 0;
+  for (const std::uint32_t c : class_of_site) {
+    if (c == kDeadClass) ++dead;
+  }
+  return dead;
+}
+
+bool PruneClassing::partitions() const {
+  if (class_of_site.size() != total_sites) return false;
+  std::vector<std::uint64_t> pop(class_population.size(), 0);
+  for (const std::uint32_t c : class_of_site) {
+    if (c == kDeadClass) continue;
+    if (c >= pop.size()) return false;
+    ++pop[c];
+  }
+  return pop == class_population;
+}
+
+PrunePlan plan_pruned(const PruneClassing& classing, const GoldenRun& golden,
+                      const CampaignSpec& spec, std::uint64_t scan_budget,
+                      std::uint64_t rep_budget) {
+  PrunePlan plan;
+  const std::uint64_t classes = classing.class_population.size();
+  if (classes == 0 || classing.total_sites == 0) return plan;
+  if (scan_budget == 0) {
+    // Coupon-collector bound with slack: the scan is pure RNG arithmetic
+    // (no simulation), so generosity here costs microseconds.
+    scan_budget = std::max<std::uint64_t>(4096, 64 * classes);
+  }
+  std::vector<char> covered(classes, 0);
+  std::uint64_t covered_n = 0;
+  for (std::uint64_t i = 0; i < scan_budget && covered_n < classes; ++i) {
+    ++plan.scanned;
+    const auto site = sample_site(golden, spec, i);
+    if (!site) break;
+    const std::uint32_t c = classing.class_of_site.at(*site);
+    if (c == PruneClassing::kDeadClass || covered[c] != 0) continue;
+    covered[c] = 1;
+    ++covered_n;
+    plan.rep_samples.push_back(i);
+    plan.rep_class.push_back(c);
+    plan.covered_population += classing.class_population[c];
+  }
+  if (rep_budget > 0 && plan.rep_samples.size() > rep_budget) {
+    // Over budget: keep the representatives of the largest classes — each
+    // dropped rare class costs the least covered population — then restore
+    // ascending sample order so batching/journaling see a sorted plan.
+    std::vector<std::size_t> order(plan.rep_samples.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      const std::uint64_t pa = classing.class_population[plan.rep_class[a]];
+      const std::uint64_t pb = classing.class_population[plan.rep_class[b]];
+      if (pa != pb) return pa > pb;
+      return plan.rep_samples[a] < plan.rep_samples[b];
+    });
+    order.resize(rep_budget);
+    std::sort(order.begin(), order.end());
+    PrunePlan kept;
+    kept.scanned = plan.scanned;
+    for (const std::size_t i : order) {
+      kept.rep_samples.push_back(plan.rep_samples[i]);
+      kept.rep_class.push_back(plan.rep_class[i]);
+      kept.covered_population += classing.class_population[plan.rep_class[i]];
+    }
+    plan = std::move(kept);
+  }
+  return plan;
+}
+
+PrunedEstimate estimate_pruned(const PruneClassing& classing, const PrunePlan& plan,
+                               std::span<const fi::Outcome> rep_outcomes) {
+  PrunedEstimate est;
+  est.total_sites = classing.total_sites;
+  est.dead_sites = classing.dead_sites();
+  const std::size_t n = std::min(rep_outcomes.size(), plan.rep_class.size());
+  double masked_cov = 0, sdc_cov = 0, timeout_cov = 0, due_cov = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto w = static_cast<double>(classing.class_population[plan.rep_class[i]]);
+    est.covered_population += w;
+    est.covered_population_sq += w * w;
+    switch (rep_outcomes[i]) {
+      case fi::Outcome::Masked: masked_cov += w; break;
+      case fi::Outcome::SDC: sdc_cov += w; break;
+      case fi::Outcome::Timeout: timeout_cov += w; break;
+      case fi::Outcome::DUE: due_cov += w; break;
+    }
+  }
+  est.live_fail_weight = sdc_cov + timeout_cov + due_cov;
+  // Covered classes stand for ALL live sites: scale their weights so the
+  // weighted outcome masses sum to the full site space (dead sites enter as
+  // certain Masked mass, the first level of the two-level model).
+  const auto live = static_cast<double>(est.total_sites - est.dead_sites);
+  const double scale = est.covered_population > 0 ? live / est.covered_population : 0.0;
+  est.masked_w = static_cast<double>(est.dead_sites) + masked_cov * scale;
+  est.sdc_w = sdc_cov * scale;
+  est.timeout_w = timeout_cov * scale;
+  est.due_w = due_cov * scale;
+  return est;
+}
+
+double PrunedEstimate::failure_rate() const {
+  if (total_sites == 0) return 0.0;
+  return (sdc_w + timeout_w + due_w) / static_cast<double>(total_sites);
+}
+
+ProportionCi PrunedEstimate::fr_ci(double confidence) const {
+  if (total_sites == 0) return {0.0, 0.0, 1.0};   // empty space: no information
+  const std::uint64_t live = total_sites - dead_sites;
+  const auto f = static_cast<double>(live) / static_cast<double>(total_sites);
+  if (live == 0) return {0.0, 0.0, 0.0};          // every site provably Masked
+  if (covered_population <= 0.0) return {0.0, 0.0, f};  // nothing executed yet
+  // Second level: Wilson on the covered-class failure proportion at the Kish
+  // effective sample size (C² / Σw²), then scaled by the live-site fraction.
+  // One representative carrying a huge class drags n_eff toward 1 and the
+  // interval honestly widens.
+  const double p = live_fail_weight / covered_population;
+  const double n_eff = covered_population * covered_population / covered_population_sq;
+  const ProportionCi inner = wilson_interval_real(p * n_eff, n_eff, confidence);
+  return {inner.estimate * f, inner.lower * f, inner.upper * f};
+}
+
+PrunedResult run_pruned(const workloads::App& app, const sim::GpuConfig& config,
+                        const GoldenRun& golden, const CampaignSpec& spec,
+                        const PruneClassing& classing, ThreadPool& pool) {
+  if (!prunable(spec.target)) {
+    throw std::invalid_argument("run_pruned: target must be SVF or SVF-LD");
+  }
+  PrunedResult result;
+  result.spec = spec;
+  result.plan = plan_pruned(classing, golden, spec, 0, pruned_rep_budget(spec));
+  const std::size_t reps = result.plan.rep_samples.size();
+  std::vector<fi::Outcome> outcomes(reps, fi::Outcome::Masked);
+  std::atomic<std::uint64_t> injected{0};
+
+  std::mutex workspaces_mu;
+  std::vector<std::unique_ptr<sim::Gpu>> workspaces;
+  const auto acquire = [&]() -> std::unique_ptr<sim::Gpu> {
+    {
+      const std::lock_guard<std::mutex> lock(workspaces_mu);
+      if (!workspaces.empty()) {
+        auto gpu = std::move(workspaces.back());
+        workspaces.pop_back();
+        return gpu;
+      }
+    }
+    return std::make_unique<sim::Gpu>(config);
+  };
+  const auto release = [&](std::unique_ptr<sim::Gpu> gpu) {
+    const std::lock_guard<std::mutex> lock(workspaces_mu);
+    workspaces.push_back(std::move(gpu));
+  };
+
+  pool.parallel_for(reps, [&](std::size_t i) {
+    auto gpu = acquire();
+    const SampleResult s = run_sample(app, golden, spec, result.plan.rep_samples[i], *gpu);
+    release(std::move(gpu));
+    outcomes[i] = s.outcome;  // distinct slots per worker, no synchronization
+    if (s.injected) injected.fetch_add(1, std::memory_order_relaxed);
+  });
+
+  for (const fi::Outcome o : outcomes) {
+    switch (o) {
+      case fi::Outcome::Masked: ++result.raw.masked; break;
+      case fi::Outcome::SDC: ++result.raw.sdc; break;
+      case fi::Outcome::Timeout: ++result.raw.timeout; break;
+      case fi::Outcome::DUE: ++result.raw.due; break;
+    }
+  }
+  result.injected = injected.load();
+  result.estimate = estimate_pruned(classing, result.plan, outcomes);
+  return result;
+}
+
 KernelCampaigns run_kernel_sweep(const workloads::App& app, const sim::GpuConfig& config,
                                  const GoldenRun& golden, const std::string& kernel,
                                  std::span<const Target> targets, std::uint64_t samples,

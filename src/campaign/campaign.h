@@ -8,6 +8,7 @@
 // results are bit-reproducible for any thread count.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -225,6 +226,131 @@ std::vector<SampleResult> run_batched(const workloads::App& app, const GoldenRun
                                       std::span<const std::uint64_t> sample_indices,
                                       sim::Gpu& workspace,
                                       Backend backend = Backend::FromEnv);
+
+// ---------------------------------------------------------------------------
+// Two-level SDC estimation with fault-site pruning (DESIGN.md §14).
+//
+// For software-level destination targets (Svf / SvfLd) the sampling space is
+// a fixed enumeration of dynamic destination-register writes, so the fault
+// site a sample hits is a pure function of (seed, target, sample index) —
+// independent of any simulation. That lets a campaign be restructured as:
+// partition the site space into equivalence classes (analysis::
+// build_prune_classing), execute ONE representative sample per class through
+// the unchanged SampleRunner machinery, and weight each representative's
+// outcome by its class population (Hari et al., arXiv 2005.01445).
+// ---------------------------------------------------------------------------
+
+/// Pruning is defined for targets whose fault site is a deterministic
+/// function of the sample index alone: the software-level destination
+/// spaces. Microarchitectural targets (site depends on runtime allocation)
+/// and source-operand modes (site depends on the operand read stream) stay
+/// brute-force.
+bool prunable(Target t);
+
+/// Size of the campaign's fault-site enumeration space (0 when the target is
+/// not prunable or the kernel never writes the sampled space).
+std::uint64_t site_count(const GoldenRun& golden, const CampaignSpec& spec);
+
+/// Kernel-relative site ordinal sample `sample_index` injects into — exactly
+/// the site the SoftwareInjector built by run_sample would pick, computed
+/// without running anything. nullopt when the target is not prunable or the
+/// space is empty (such samples report "not injected").
+std::optional<std::uint64_t> sample_site(const GoldenRun& golden, const CampaignSpec& spec,
+                                         std::uint64_t sample_index);
+
+/// Partition of the fault-site space [0, total_sites) into equivalence
+/// classes. Sites proven dead (written value never read before overwrite or
+/// kernel end) collapse into the derated pseudo-class kDeadClass with known
+/// Masked outcome; every other site belongs to exactly one live class.
+/// Invariant (checked by partitions()): the class populations plus the dead
+/// sites account for every site exactly once.
+struct PruneClassing {
+  static constexpr std::uint32_t kDeadClass = 0xffffffffu;
+  std::uint64_t total_sites = 0;               ///< brute-force enumeration count
+  std::vector<std::uint32_t> class_of_site;    ///< size total_sites, or kDeadClass
+  std::vector<std::uint64_t> class_population; ///< site count per live class
+
+  std::uint64_t dead_sites() const;
+  std::uint64_t live_sites() const { return total_sites - dead_sites(); }
+  /// True when sum(class_population) + dead_sites() == total_sites and every
+  /// class id in class_of_site is in range.
+  bool partitions() const;
+};
+
+/// One representative sample per covered live class, found by scanning the
+/// campaign's own deterministic sample stream (indices 0, 1, 2, ...) and
+/// keeping the first sample that lands in each not-yet-covered class. Using
+/// real sample indices means every representative replays bit-identically
+/// through run_sample / run_batched / the fabric, with no new RNG pathway.
+struct PrunePlan {
+  std::vector<std::uint64_t> rep_samples;  ///< ascending sample indices
+  std::vector<std::uint32_t> rep_class;    ///< class of rep_samples[i]
+  std::uint64_t scanned = 0;               ///< sample indices examined
+  std::uint64_t covered_population = 0;    ///< sites in covered classes
+};
+
+/// Builds the representative plan. `scan_budget` bounds the index scan
+/// (0 = automatic: enough to cover every class with overwhelming
+/// probability); classes never hit by the scan stay uncovered and the
+/// estimator treats them as unobserved population. `rep_budget`, when
+/// non-zero, caps the representative count: the plan keeps the
+/// largest-population classes (ties to the lower sample index), since the
+/// estimator scales covered population to all live sites and dropping the
+/// rarest classes costs the least coverage per representative saved.
+PrunePlan plan_pruned(const PruneClassing& classing, const GoldenRun& golden,
+                      const CampaignSpec& spec, std::uint64_t scan_budget = 0,
+                      std::uint64_t rep_budget = 0);
+
+/// Representative cap run_pruned / run_pruned_durable plan with: an eighth
+/// of the brute-force sample budget (at least one), making the >= 5x
+/// executed-sample reduction of the two-level method structural rather than
+/// dependent on the kernel's class count.
+inline std::uint64_t pruned_rep_budget(const CampaignSpec& spec) {
+  return std::max<std::uint64_t>(1, spec.samples / 8);
+}
+
+/// Population-weighted two-level estimate. Weighted outcome masses are in
+/// site units (masked_w includes the derated dead sites); the CI uses the
+/// Kish effective sample size of the covered-class weights, so one
+/// representative standing for a huge class honestly widens the interval.
+struct PrunedEstimate {
+  std::uint64_t total_sites = 0;
+  std::uint64_t dead_sites = 0;
+  double covered_population = 0.0;     ///< Σ population over executed classes
+  double covered_population_sq = 0.0;  ///< Σ population² (Kish denominator)
+  double live_fail_weight = 0.0;       ///< Σ population over failed reps
+  double masked_w = 0.0, sdc_w = 0.0, timeout_w = 0.0, due_w = 0.0;
+
+  double failure_rate() const;
+  /// Weighted Wilson CI on the failure rate; degenerate inputs (no sites, no
+  /// coverage) yield honest all-uncertainty or analytically-exact intervals,
+  /// never NaN (see wilson_interval_real).
+  ProportionCi fr_ci(double confidence = 0.99) const;
+};
+
+/// Folds the first `rep_outcomes.size()` representatives of `plan` (in plan
+/// order) into a weighted estimate; a prefix gives the running estimate the
+/// early-stop rule evaluates at chunk barriers.
+PrunedEstimate estimate_pruned(const PruneClassing& classing, const PrunePlan& plan,
+                               std::span<const fi::Outcome> rep_outcomes);
+
+/// A pruned campaign's result: the weighted estimate plus the raw
+/// (unweighted) outcomes of the executed representatives.
+struct PrunedResult {
+  CampaignSpec spec;
+  PrunePlan plan;
+  PrunedEstimate estimate;
+  OutcomeCounts raw;           ///< executed representatives, unweighted
+  std::uint64_t injected = 0;  ///< representatives whose flip landed
+};
+
+/// Runs the pruned campaign in-memory: plans representatives, executes each
+/// through run_sample (pooled workspaces, same backend/checkpoint path as
+/// run_campaign), and returns the weighted estimate. Throws
+/// std::invalid_argument when the target is not prunable.
+PrunedResult run_pruned(const workloads::App& app, const sim::GpuConfig& config,
+                        const GoldenRun& golden, const CampaignSpec& spec,
+                        const PruneClassing& classing, ThreadPool& pool);
 
 /// All campaign results for one kernel, keyed by target.
 using KernelCampaigns = std::map<Target, CampaignResult>;

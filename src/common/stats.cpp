@@ -43,10 +43,19 @@ double z_for_confidence(double confidence) noexcept {
   return normal_quantile(0.5 + confidence / 2.0);
 }
 
+namespace {
+
+// Interval carrying no information: zero observations constrain nothing,
+// so the honest answer is [0, 1], not the zero-width [0, 0] that would
+// satisfy any early-stop margin comparison immediately.
+constexpr ProportionCi kNoInformation{0.0, 0.0, 1.0};
+
+}  // namespace
+
 ProportionCi wald_interval(std::uint64_t successes, std::uint64_t trials,
                            double confidence) noexcept {
   ProportionCi ci;
-  if (trials == 0) return ci;
+  if (trials == 0) return kNoInformation;
   const double p = static_cast<double>(successes) / static_cast<double>(trials);
   const double z = z_for_confidence(confidence);
   const double half = z * std::sqrt(p * (1 - p) / static_cast<double>(trials));
@@ -58,18 +67,29 @@ ProportionCi wald_interval(std::uint64_t successes, std::uint64_t trials,
 
 ProportionCi wilson_interval(std::uint64_t successes, std::uint64_t trials,
                              double confidence) noexcept {
-  ProportionCi ci;
-  if (trials == 0) return ci;
-  const double n = static_cast<double>(trials);
-  const double p = static_cast<double>(successes) / n;
-  const double z = z_for_confidence(confidence);
+  if (trials == 0) return kNoInformation;
+  return wilson_interval_real(static_cast<double>(successes),
+                              static_cast<double>(trials), confidence);
+}
+
+ProportionCi wilson_interval_real(double successes, double trials,
+                                  double confidence) noexcept {
+  if (!std::isfinite(successes) || !std::isfinite(trials) || !std::isfinite(confidence) ||
+      trials <= 0.0) {
+    return kNoInformation;
+  }
+  const double n = trials;
+  const double p = std::clamp(successes / n, 0.0, 1.0);
+  const double z = z_for_confidence(std::clamp(confidence, 0.0, 1.0));
   const double z2 = z * z;
   const double denom = 1 + z2 / n;
   const double center = (p + z2 / (2 * n)) / denom;
   const double half = (z / denom) * std::sqrt(p * (1 - p) / n + z2 / (4 * n * n));
+  ProportionCi ci;
   ci.estimate = p;
   ci.lower = std::max(0.0, center - half);
   ci.upper = std::min(1.0, center + half);
+  if (!std::isfinite(ci.lower) || !std::isfinite(ci.upper)) return kNoInformation;
   return ci;
 }
 

@@ -32,13 +32,26 @@ double z_for_confidence(double confidence) noexcept;
 
 /// Normal-approximation ("Wald") CI for `successes` out of `trials`.
 /// This is the interval form used by Leveugle et al. and the paper.
+/// With zero trials the proportion is unknown: the interval is [0, 1]
+/// (margin 0.5), never the degenerate zero-width interval that would
+/// misreport perfect precision to early-stop rules and progress sinks.
 ProportionCi wald_interval(std::uint64_t successes, std::uint64_t trials,
                            double confidence) noexcept;
 
 /// Wilson score interval: better behaved for proportions near 0 or 1, which
 /// is the common case for AVF measurements (most faults are masked).
+/// Zero trials yield the all-uncertainty interval [0, 1], as above.
 ProportionCi wilson_interval(std::uint64_t successes, std::uint64_t trials,
                              double confidence) noexcept;
+
+/// Wilson interval over real-valued (weighted) counts — the two-level
+/// pruned estimator feeds it an effective sample size (Kish) and a scaled
+/// success weight. Hardened for degenerate inputs so no NaN/inf can reach a
+/// margin comparison or a JSONL sink: non-finite arguments or trials <= 0
+/// yield [0, 1]; successes are clamped into [0, trials]; trials may be
+/// fractional (weighted counts < 1 behave like a sub-sample, not a crash).
+ProportionCi wilson_interval_real(double successes, double trials,
+                                  double confidence) noexcept;
 
 /// Leveugle et al. sample size for estimating a proportion with margin `e`
 /// at confidence `confidence`, drawing from a population of `population`

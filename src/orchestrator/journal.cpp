@@ -86,7 +86,7 @@ std::string serialize_header(const JournalHeader& h) {
   return out;
 }
 
-// v2 record layout (kRecordBytes total). The v1 prefix (through `kind`)
+// v2/v3 record layout (kRecordBytesV2 total). The v1 prefix (through `kind`)
 // keeps its exact offsets; provenance and signature fields follow, then the
 // checksum over everything before it.
 //   [0]   index u64        [8]   cycles u64
@@ -99,6 +99,9 @@ std::string serialize_header(const JournalHeader& h) {
 //   [72]  first_word u64   [80]  last_word u64    [88] max_rel_error f64
 //   [96]  bit_flips u32 x 32
 //   [224] checksum u32 (FNV-1a over bytes [0, 224))
+// v4 (kRecordBytes total) keeps bytes [0, 224) identical and appends:
+//   [224] class_id u32     [228] class_weight u64
+//   [236] checksum u32 (FNV-1a over bytes [0, 236))
 void serialize_record_v1(const JournalRecord& r, char out[kRecordBytesV1]) {
   std::memcpy(out, &r.index, 8);
   std::memcpy(out + 8, &r.cycles, 8);
@@ -110,8 +113,9 @@ void serialize_record_v1(const JournalRecord& r, char out[kRecordBytesV1]) {
   std::memcpy(out + 20, &sum, 4);
 }
 
-void serialize_record_v2(const JournalRecord& r, char out[kRecordBytes]) {
-  std::memset(out, 0, kRecordBytes);
+/// Fields common to v2/v3/v4: bytes [0, 224), zero-initialized.
+void serialize_common_fields(const JournalRecord& r, char* out) {
+  std::memset(out, 0, kRecordBytesV2 - 4);
   std::memcpy(out, &r.index, 8);
   std::memcpy(out + 8, &r.cycles, 8);
   out[16] = static_cast<char>(r.outcome);
@@ -135,15 +139,28 @@ void serialize_record_v2(const JournalRecord& r, char out[kRecordBytes]) {
   std::memcpy(out + 80, &r.signature.last_word, 8);
   std::memcpy(out + 88, &r.signature.max_rel_error, 8);
   std::memcpy(out + 96, r.signature.bit_flips.data(), 32 * 4);
+}
+
+void serialize_record_v2(const JournalRecord& r, char out[kRecordBytesV2]) {
+  serialize_common_fields(r, out);
+  const auto sum = static_cast<std::uint32_t>(fnv1a(out, kRecordBytesV2 - 4));
+  std::memcpy(out + kRecordBytesV2 - 4, &sum, 4);
+}
+
+void serialize_record_v4(const JournalRecord& r, char out[kRecordBytes]) {
+  serialize_common_fields(r, out);
+  std::memcpy(out + 224, &r.class_id, 4);
+  std::memcpy(out + 228, &r.class_weight, 8);
   const auto sum = static_cast<std::uint32_t>(fnv1a(out, kRecordBytes - 4));
   std::memcpy(out + kRecordBytes - 4, &sum, 4);
 }
 
 void serialize_record(std::uint32_t version, const JournalRecord& r, char* out) {
-  if (version == 1) {
-    serialize_record_v1(r, out);
-  } else {
-    serialize_record_v2(r, out);
+  switch (version) {
+    case 1: serialize_record_v1(r, out); break;
+    case 2:
+    case 3: serialize_record_v2(r, out); break;
+    default: serialize_record_v4(r, out); break;
   }
 }
 
@@ -167,10 +184,9 @@ bool deserialize_record_v1(const char in[kRecordBytesV1], JournalRecord& r) {
   return deserialize_prefix(in, r);
 }
 
-bool deserialize_record_v2(const char in[kRecordBytes], JournalRecord& r) {
-  std::uint32_t stored = 0;
-  std::memcpy(&stored, in + kRecordBytes - 4, 4);
-  if (stored != static_cast<std::uint32_t>(fnv1a(in, kRecordBytes - 4))) return false;
+/// Fields common to v2/v3/v4: bytes [0, 224). Checksum already verified by
+/// the per-version wrapper; returns false on an invalid enum byte.
+bool deserialize_common_fields(const char* in, JournalRecord& r) {
   if (!deserialize_prefix(in, r)) return false;
   const auto level = static_cast<unsigned char>(in[20]);
   const auto structure = static_cast<unsigned char>(in[21]);
@@ -200,16 +216,38 @@ bool deserialize_record_v2(const char in[kRecordBytes], JournalRecord& r) {
   return true;
 }
 
+bool deserialize_record_v2(const char in[kRecordBytesV2], JournalRecord& r) {
+  std::uint32_t stored = 0;
+  std::memcpy(&stored, in + kRecordBytesV2 - 4, 4);
+  if (stored != static_cast<std::uint32_t>(fnv1a(in, kRecordBytesV2 - 4))) return false;
+  return deserialize_common_fields(in, r);
+}
+
+bool deserialize_record_v4(const char in[kRecordBytes], JournalRecord& r) {
+  std::uint32_t stored = 0;
+  std::memcpy(&stored, in + kRecordBytes - 4, 4);
+  if (stored != static_cast<std::uint32_t>(fnv1a(in, kRecordBytes - 4))) return false;
+  if (!deserialize_common_fields(in, r)) return false;
+  std::memcpy(&r.class_id, in + 224, 4);
+  std::memcpy(&r.class_weight, in + 228, 8);
+  return true;
+}
+
 bool deserialize_record(std::uint32_t version, const char* in, JournalRecord& r) {
-  return version == 1 ? deserialize_record_v1(in, r) : deserialize_record_v2(in, r);
+  switch (version) {
+    case 1: return deserialize_record_v1(in, r);
+    case 2:
+    case 3: return deserialize_record_v2(in, r);
+    default: return deserialize_record_v4(in, r);
+  }
 }
 
 }  // namespace
 
-void encode_record(const JournalRecord& r, char* out) { serialize_record_v2(r, out); }
+void encode_record(const JournalRecord& r, char* out) { serialize_record_v4(r, out); }
 
 bool decode_record(const char* in, JournalRecord& r) {
-  return deserialize_record_v2(in, r);
+  return deserialize_record_v4(in, r);
 }
 
 std::uint64_t JournalHeader::fingerprint() const noexcept {

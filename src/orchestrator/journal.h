@@ -31,10 +31,13 @@ namespace gras::orchestrator {
 ///    outcomes, the corruption signature (workloads::CorruptionSignature).
 ///  * v3: v2 with a build-provenance string appended to the header
 ///    (gras::build_summary() of the writing binary); record layout unchanged.
-/// Readers accept all three; writers append records in the version of the
+///  * v4: v3 plus per-record fault-site equivalence-class provenance for
+///    pruned campaigns (class id + class population weight); records written
+///    by unpruned campaigns carry 0/0 in the new fields.
+/// Readers accept all four; writers append records in the version of the
 /// file they are appending to (a resumed v1 journal stays v1), so a
 /// campaign's journal never mixes record layouts.
-inline constexpr std::uint32_t kJournalVersion = 3;
+inline constexpr std::uint32_t kJournalVersion = 4;
 
 /// Campaign identity + shard position + early-stop contract. Serialized as a
 /// fixed block, length-prefixed strings and a trailing checksum; any damage
@@ -84,6 +87,11 @@ struct JournalRecord {
   /// records only; always false in v1 files).
   bool has_signature = false;
   workloads::CorruptionSignature signature;
+  /// Fault-site equivalence class of this sample (v4, pruned campaigns).
+  /// `class_weight` is the class population the representative stands for;
+  /// 0 means "unpruned record" (one sample = one site, weight 1 implied).
+  std::uint32_t class_id = 0;
+  std::uint64_t class_weight = 0;
 };
 
 /// A journal parsed back from disk. `records` holds only checksum-valid
@@ -134,15 +142,23 @@ class JournalWriter {
 };
 
 /// Serialization helpers shared with tests: record sizes in bytes of the
-/// current version (what open_fresh journals contain) and of v1 files.
-inline constexpr std::size_t kRecordBytes = 228;
+/// current version (what open_fresh journals contain) and of older files.
+inline constexpr std::size_t kRecordBytes = 240;
 inline constexpr std::size_t kRecordBytesV1 = 24;
+inline constexpr std::size_t kRecordBytesV2 = 228;  ///< v2 and v3 files
 /// Record size of a given on-disk version (see JournalContents::version).
+/// Every supported version gets an explicit arm so an unknown version can
+/// never silently alias the current layout.
 constexpr std::size_t record_bytes_of(std::uint32_t version) {
-  return version == 1 ? kRecordBytesV1 : kRecordBytes;
+  switch (version) {
+    case 1: return kRecordBytesV1;
+    case 2:
+    case 3: return kRecordBytesV2;
+    default: return kRecordBytes;  // 4 = current
+  }
 }
 
-/// Wire codec for one record in the current (v2/v3) layout: exactly the
+/// Wire codec for one record in the current (v4) layout: exactly the
 /// kRecordBytes bytes a journal stores, trailing checksum included. The
 /// fabric streams these frames between workers and the coordinator, so a
 /// record crosses the network bit-identical to how it lands on disk.

@@ -348,6 +348,177 @@ DurableResult run_durable(const workloads::App& app, const sim::GpuConfig& confi
   return out;
 }
 
+std::filesystem::path default_pruned_journal_path(const workloads::App& app,
+                                                  const sim::GpuConfig& config,
+                                                  const campaign::CampaignSpec& spec) {
+  std::filesystem::path path = default_journal_path(app, config, spec, ShardSpec{});
+  path.replace_extension(".pruned.jrnl");
+  return path;
+}
+
+PrunedDurableResult run_pruned_durable(const workloads::App& app,
+                                       const sim::GpuConfig& config,
+                                       const campaign::GoldenRun& golden,
+                                       const campaign::CampaignSpec& spec,
+                                       const campaign::PruneClassing& classing,
+                                       ThreadPool& pool,
+                                       const DurableOptions& options) {
+  if (!campaign::prunable(spec.target)) {
+    throw std::invalid_argument("pruned campaign: target must be SVF or SVF-LD");
+  }
+  if (options.shard.count != 1) {
+    throw std::runtime_error("pruned campaigns cannot shard: classes, not index "
+                             "strides, partition the work");
+  }
+  if (options.chunk == 0) throw std::runtime_error("chunk size must be positive");
+  if (options.batch == 0) throw std::runtime_error("batch size must be positive");
+
+  PrunedDurableResult out;
+  out.result.spec = spec;
+  out.result.plan =
+      campaign::plan_pruned(classing, golden, spec, 0, campaign::pruned_rep_budget(spec));
+  const campaign::PrunePlan& plan = out.result.plan;
+  out.planned = plan.rep_samples.size();
+
+  // index -> (plan position); class/weight annotations come from the plan.
+  std::unordered_map<std::uint64_t, std::size_t> position_of;
+  position_of.reserve(plan.rep_samples.size());
+  for (std::size_t i = 0; i < plan.rep_samples.size(); ++i) {
+    position_of.emplace(plan.rep_samples[i], i);
+  }
+  const auto annotate = [&](JournalRecord r) {
+    const auto it = position_of.find(r.index);
+    if (it != position_of.end() && r.kind == JournalRecord::kSample) {
+      const std::uint32_t cls = plan.rep_class[it->second];
+      r.class_id = cls;
+      r.class_weight = classing.class_population[cls];
+    }
+    return r;
+  };
+
+  // --- Journal setup mirrors run_durable, on the pruned path.
+  const JournalHeader header = make_header(app, config, spec, options);
+  std::unordered_map<std::uint64_t, JournalRecord> replayed;
+  std::optional<std::uint64_t> prior_early_stop;
+  std::unique_ptr<JournalWriter> writer;
+  if (options.journaled) {
+    out.journal = options.journal.empty()
+                      ? default_pruned_journal_path(app, config, spec)
+                      : options.journal;
+    if (options.resume) {
+      if (auto contents = read_journal(out.journal)) {
+        if (!contents->header.same_campaign(header)) {
+          throw std::runtime_error("journal '" + out.journal.string() +
+                                   "' belongs to a different campaign; "
+                                   "delete it or pick another path");
+        }
+        for (const JournalRecord& r : contents->records) {
+          if (position_of.count(r.index) != 0) replayed.emplace(r.index, r);
+        }
+        prior_early_stop = contents->early_stop_consumed;
+        writer = JournalWriter::open_resumed(out.journal, *contents);
+      }
+    }
+    if (!writer) writer = JournalWriter::open_fresh(out.journal, header);
+    if (!writer) {
+      throw std::runtime_error("cannot open journal '" + out.journal.string() + "'");
+    }
+  }
+
+  SampleRunner runner(app, config, golden, spec, pool, options.batch);
+
+  std::vector<fi::Outcome> outcomes(plan.rep_samples.size(), fi::Outcome::Masked);
+  Accumulator acc;
+  std::uint64_t consumed = 0;
+  RateTracker tracker(options.clock);
+  bool rate_window_open = false;
+  const auto emit = [&](bool done) {
+    if (options.progress == nullptr) return;
+    ProgressSnapshot s;
+    s.completed = consumed;
+    s.total = plan.rep_samples.size();
+    s.counts = acc.counts;
+    s.injected = acc.injected;
+    s.control_path_masked = acc.control_path_masked;
+    s.samples_per_sec = tracker.rate(out.executed);
+    s.eta_seconds = tracker.eta(out.executed, plan.rep_samples.size() - consumed);
+    s.fr_ci = campaign::estimate_pruned(
+                  classing, plan, std::span<const fi::Outcome>(outcomes.data(), consumed))
+                  .fr_ci(options.confidence);
+    s.early_stopped = out.early_stopped;
+    s.done = done;
+    options.progress->on_progress(s);
+  };
+
+  std::vector<JournalRecord> slots;
+  std::vector<std::uint64_t> missing;  // plan positions
+  while (consumed < plan.rep_samples.size()) {
+    const std::uint64_t begin = consumed;
+    const std::uint64_t end =
+        std::min<std::uint64_t>(plan.rep_samples.size(), begin + options.chunk);
+    slots.assign(end - begin, JournalRecord{});
+    missing.clear();
+    for (std::uint64_t p = begin; p < end; ++p) {
+      const auto it = replayed.find(plan.rep_samples[p]);
+      if (it != replayed.end()) {
+        slots[p - begin] = it->second;
+      } else {
+        missing.push_back(p);
+      }
+    }
+    if (!missing.empty()) {
+      if (!rate_window_open) {
+        tracker.reset();
+        rate_window_open = true;
+      }
+      std::vector<std::uint64_t> indices;
+      indices.reserve(missing.size());
+      for (const std::uint64_t p : missing) indices.push_back(plan.rep_samples[p]);
+      const bool stream = options.batch <= 1 && writer != nullptr;
+      const std::vector<JournalRecord> records = runner.run(
+          indices, stream ? [&](const JournalRecord& r) { writer->append(annotate(r)); }
+                          : std::function<void(const JournalRecord&)>{});
+      for (std::size_t j = 0; j < missing.size(); ++j) {
+        slots[missing[j] - begin] = annotate(records[j]);
+        if (writer && !stream) writer->append(slots[missing[j] - begin]);
+      }
+      out.executed += missing.size();
+    }
+    out.replayed += (end - begin) - missing.size();
+    for (std::uint64_t p = begin; p < end; ++p) {
+      acc.add(slots[p - begin]);
+      outcomes[p] = slots[p - begin].outcome;
+    }
+    consumed = end;
+
+    if (options.margin > 0.0) {
+      const ProportionCi ci =
+          campaign::estimate_pruned(
+              classing, plan, std::span<const fi::Outcome>(outcomes.data(), consumed))
+              .fr_ci(options.confidence);
+      if (ci.margin() <= options.margin) {
+        out.early_stopped = true;
+        if (writer && prior_early_stop != consumed) {
+          JournalRecord marker;
+          marker.kind = JournalRecord::kEarlyStop;
+          marker.index = consumed;
+          writer->append(marker);
+        }
+        break;
+      }
+    }
+    emit(consumed == plan.rep_samples.size());
+  }
+  if (writer) writer->sync();
+  if (out.early_stopped || plan.rep_samples.empty()) emit(true);
+
+  out.result.estimate = campaign::estimate_pruned(
+      classing, plan, std::span<const fi::Outcome>(outcomes.data(), consumed));
+  out.result.raw = acc.counts;
+  out.result.injected = acc.injected;
+  return out;
+}
+
 MergedCampaign merge_shards(const std::vector<std::filesystem::path>& journals) {
   if (journals.empty()) throw std::runtime_error("no journals to merge");
 

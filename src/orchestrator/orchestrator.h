@@ -149,6 +149,41 @@ DurableResult run_durable(const workloads::App& app, const sim::GpuConfig& confi
                           const campaign::CampaignSpec& spec, ThreadPool& pool,
                           const DurableOptions& options = {});
 
+/// Result of a durable pruned campaign (DESIGN.md §14): the weighted
+/// two-level estimate plus the journal/replay bookkeeping of the
+/// representative executions.
+struct PrunedDurableResult {
+  campaign::PrunedResult result;
+  std::uint64_t planned = 0;   ///< representatives in the plan
+  std::uint64_t replayed = 0;  ///< representatives recovered from the journal
+  std::uint64_t executed = 0;  ///< representatives simulated by this call
+  bool early_stopped = false;
+  std::filesystem::path journal;  ///< empty when journaling was disabled
+};
+
+/// Default journal location for a pruned campaign: the unpruned path with
+/// ".pruned" before the extension, so a pruned run never resumes into (or
+/// truncates) a brute-force journal of the same spec.
+std::filesystem::path default_pruned_journal_path(const workloads::App& app,
+                                                  const sim::GpuConfig& config,
+                                                  const campaign::CampaignSpec& spec);
+
+/// Durable two-level pruned campaign: plans one representative sample per
+/// covered equivalence class (campaign::plan_pruned), executes the missing
+/// ones through the shared SampleRunner (batching/backend compose
+/// unchanged), journals each completed representative as a v4 record
+/// carrying its class id and population weight, and early-stops on the
+/// weighted Wilson margin at chunk boundaries. Sharding is rejected
+/// (options.shard.count must be 1): classes, not index strides, partition a
+/// pruned campaign. Throws std::invalid_argument for non-prunable targets.
+PrunedDurableResult run_pruned_durable(const workloads::App& app,
+                                       const sim::GpuConfig& config,
+                                       const campaign::GoldenRun& golden,
+                                       const campaign::CampaignSpec& spec,
+                                       const campaign::PruneClassing& classing,
+                                       ThreadPool& pool,
+                                       const DurableOptions& options = {});
+
 /// A sharded campaign recombined from its per-shard journals.
 struct MergedCampaign {
   JournalHeader header;             ///< shared campaign identity

@@ -1,0 +1,166 @@
+// Fault-site equivalence classing tests on a hand-checked mini-kernel: one
+// warp, straight-line code, one provably dead write. Site enumeration is
+// program order here (single warp, in-order retire), so every site ordinal
+// below is known by inspection.
+#include "src/analysis/prune.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "src/workloads/app_base.h"
+
+namespace gras::analysis {
+namespace {
+
+// One launch, one block of 32 threads (a single warp), no divergence.
+// GPR-writing instructions, in program order:
+//   pc 0  S2R R0  <- tid       sites   0..31   live (read by IADD + ISCADD)
+//   pc 1  MOV R1, 7            sites  32..63   DEAD (overwritten at pc 2)
+//   pc 2  MOV R1, 5            sites  64..95   live (read by IADD)
+//   pc 3  IADD R2, R0, R1      sites  96..127  live (stored)
+//   pc 4  ISCADD R3, ...       sites 128..159  live (store address)
+// STG and EXIT write no GPR, so total_sites = 5 * 32 = 160, dead = 32.
+constexpr char kMiniAsm[] = R"(
+.kernel mini_k1
+.param out ptr
+    S2R R0, SR_TID.X
+    MOV R1, 7
+    MOV R1, 5
+    IADD R2, R0, R1
+    ISCADD R3, R0, c[out], 2
+    STG [R3], R2
+    EXIT
+)";
+
+class MiniApp final : public workloads::BenchApp {
+ public:
+  MiniApp() : BenchApp("prune_mini") {
+    add_kernels(kMiniAsm);
+    add_buffer("out", 32 * 4, workloads::Role::Output);
+  }
+  void execute(workloads::ExecCtx& ctx) const override {
+    ctx.launch(kernel("mini_k1"), {1, 1, 1}, {32, 1, 1}, {ctx.addr("out")});
+  }
+};
+
+sim::GpuConfig config() { return sim::make_config("gv100-scaled"); }
+
+campaign::CampaignSpec mini_spec() {
+  campaign::CampaignSpec spec;
+  spec.kernel = "mini_k1";
+  spec.target = campaign::Target::Svf;
+  spec.samples = 32;
+  spec.seed = 7;
+  return spec;
+}
+
+TEST(ProfileSites, ObservesEverySiteOfTheGoldenEnumeration) {
+  const MiniApp app;
+  const auto golden = campaign::run_golden(app, config());
+  const auto spec = mini_spec();
+  ASSERT_EQ(campaign::site_count(golden, spec), 160u);
+  const SiteProfile profile = profile_sites(app, config(), golden, spec);
+  EXPECT_EQ(profile.total_sites, 160u);
+  EXPECT_EQ(profile.observed_sites(), 160u);
+}
+
+TEST(ProfileSites, DeadWriteHasNoReadersLiveWritesDo) {
+  const MiniApp app;
+  const auto golden = campaign::run_golden(app, config());
+  const SiteProfile profile = profile_sites(app, config(), golden, mini_spec());
+  for (std::uint64_t s = 32; s < 64; ++s) {
+    EXPECT_EQ(profile.sites[s].readers, 0u) << "site " << s;
+  }
+  for (std::uint64_t s = 0; s < 32; ++s) {
+    EXPECT_EQ(profile.sites[s].readers, 2u) << "site " << s;  // IADD + ISCADD
+  }
+  for (std::uint64_t s = 64; s < 160; ++s) {
+    EXPECT_GE(profile.sites[s].readers, 1u) << "site " << s;
+  }
+}
+
+TEST(ProfileSites, RejectsNonPrunableTargets) {
+  const MiniApp app;
+  const auto golden = campaign::run_golden(app, config());
+  auto spec = mini_spec();
+  spec.target = campaign::Target::RF;
+  EXPECT_THROW(profile_sites(app, config(), golden, spec), std::invalid_argument);
+}
+
+TEST(ClassifySites, PopulationsPartitionTheFullFaultSpace) {
+  const MiniApp app;
+  const auto golden = campaign::run_golden(app, config());
+  const auto spec = mini_spec();
+  const campaign::PruneClassing classing =
+      build_prune_classing(app, config(), golden, spec);
+
+  // The invariant the estimator rests on: class populations plus the derated
+  // dead sites account for the brute-force enumeration exactly once.
+  EXPECT_TRUE(classing.partitions());
+  EXPECT_EQ(classing.total_sites, campaign::site_count(golden, spec));
+  const std::uint64_t pop_sum = std::accumulate(
+      classing.class_population.begin(), classing.class_population.end(),
+      std::uint64_t{0});
+  EXPECT_EQ(pop_sum + classing.dead_sites(), classing.total_sites);
+  EXPECT_EQ(classing.dead_sites(), 32u);
+  EXPECT_EQ(classing.live_sites(), 128u);
+
+  // Exactly the pc-1 sites are derated.
+  for (std::uint64_t s = 0; s < 160; ++s) {
+    const bool dead = s >= 32 && s < 64;
+    EXPECT_EQ(classing.class_of_site[s] == campaign::PruneClassing::kDeadClass, dead)
+        << "site " << s;
+  }
+
+  // S2R splits on the value bucket (lane 0 writes tid 0, the zero bucket;
+  // lanes 1..31 write narrow values), the other live writes land in one
+  // class per pc each — the structural-symmetry collapse across lanes.
+  std::vector<std::uint64_t> pops = classing.class_population;
+  std::sort(pops.begin(), pops.end());
+  EXPECT_GE(classing.class_population.size(), 4u);
+  EXPECT_LE(classing.class_population.size(), 6u);
+  EXPECT_EQ(pops.front(), 1u);   // the tid-0 S2R site
+  EXPECT_EQ(pops.back(), 32u);   // a full-warp class
+}
+
+TEST(ClassifySites, LanesOfOneInstructionShareAClass) {
+  const MiniApp app;
+  const auto golden = campaign::run_golden(app, config());
+  const campaign::PruneClassing classing =
+      build_prune_classing(app, config(), golden, mini_spec());
+  // MOV R1, 5 writes the same value in every lane: sites 64..95 are one class.
+  const std::uint32_t c = classing.class_of_site[64];
+  ASSERT_NE(c, campaign::PruneClassing::kDeadClass);
+  for (std::uint64_t s = 64; s < 96; ++s) {
+    EXPECT_EQ(classing.class_of_site[s], c) << "site " << s;
+  }
+  EXPECT_EQ(classing.class_population[c], 32u);
+}
+
+TEST(ClassifySites, DeterministicAcrossRuns) {
+  const MiniApp app;
+  const auto golden = campaign::run_golden(app, config());
+  const auto a = build_prune_classing(app, config(), golden, mini_spec());
+  const auto b = build_prune_classing(app, config(), golden, mini_spec());
+  EXPECT_EQ(a.class_of_site, b.class_of_site);
+  EXPECT_EQ(a.class_population, b.class_population);
+}
+
+TEST(ClassifySites, SvfLdSpaceClassesOnlyLoads) {
+  // The mini kernel has no loads; the SVF-LD site space is empty and the
+  // classing degenerates cleanly instead of mixing in non-load writes.
+  const MiniApp app;
+  const auto golden = campaign::run_golden(app, config());
+  auto spec = mini_spec();
+  spec.target = campaign::Target::SvfLd;
+  ASSERT_EQ(campaign::site_count(golden, spec), 0u);
+  const campaign::PruneClassing classing =
+      build_prune_classing(app, config(), golden, spec);
+  EXPECT_EQ(classing.total_sites, 0u);
+  EXPECT_TRUE(classing.class_population.empty());
+  EXPECT_TRUE(classing.partitions());
+}
+
+}  // namespace
+}  // namespace gras::analysis

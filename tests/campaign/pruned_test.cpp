@@ -1,0 +1,293 @@
+// Two-level pruned estimation tests: the site-identity shortcut, plan
+// properties, the weighted estimator against closed forms, and the in-memory
+// and durable pruned runners against brute force.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+
+#include "src/analysis/prune.h"
+#include "src/campaign/campaign.h"
+#include "src/orchestrator/orchestrator.h"
+#include "src/workloads/workload.h"
+
+namespace gras::campaign {
+namespace {
+
+sim::GpuConfig config() { return sim::make_config("gv100-scaled"); }
+
+CampaignSpec va_spec(std::uint64_t samples) {
+  CampaignSpec spec;
+  spec.kernel = "va_k1";
+  spec.target = Target::Svf;
+  spec.samples = samples;
+  spec.seed = 2024;
+  return spec;
+}
+
+TEST(SampleSite, MatchesTheInjectorSiteForEverySample) {
+  // The pruning plan rests on computing each sample's fault site without
+  // simulation; it must agree with where the injector actually lands.
+  const auto app = workloads::make_benchmark("va");
+  const GoldenRun golden = run_golden(*app, config());
+  const auto spec = va_spec(16);
+  const std::uint64_t total = site_count(golden, spec);
+  ASSERT_GT(total, 0u);
+  for (std::uint64_t i = 0; i < 16; ++i) {
+    const auto predicted = sample_site(golden, spec, i);
+    ASSERT_TRUE(predicted.has_value());
+    EXPECT_LT(*predicted, total);
+    const SampleResult run = run_sample(*app, config(), golden, spec, i);
+    ASSERT_TRUE(run.injected);
+    // The injector records the global counting index (fault.trigger) and the
+    // owning golden launch; map back to the kernel-relative ordinal and it
+    // must match the simulation-free prediction.
+    std::uint64_t base = 0;
+    for (const std::size_t l : golden.launches_of(spec.kernel)) {
+      if (l == run.fault.launch) break;
+      base += golden.launches[l].gp_end - golden.launches[l].gp_begin;
+    }
+    const std::uint64_t ordinal =
+        base + (run.fault.trigger - golden.launches[run.fault.launch].gp_begin);
+    EXPECT_EQ(ordinal, *predicted) << "sample " << i;
+  }
+}
+
+TEST(SampleSite, NonPrunableTargetsHaveNoSiteSpace) {
+  const auto app = workloads::make_benchmark("va");
+  const GoldenRun golden = run_golden(*app, config());
+  auto spec = va_spec(4);
+  spec.target = Target::RF;
+  EXPECT_FALSE(prunable(spec.target));
+  EXPECT_EQ(site_count(golden, spec), 0u);
+  EXPECT_FALSE(sample_site(golden, spec, 0).has_value());
+  EXPECT_TRUE(prunable(Target::Svf));
+  EXPECT_TRUE(prunable(Target::SvfLd));
+}
+
+TEST(PlanPruned, CoversEachClassOnceInAscendingOrder) {
+  const auto app = workloads::make_benchmark("va");
+  const GoldenRun golden = run_golden(*app, config());
+  const auto spec = va_spec(200);
+  const PruneClassing classing =
+      analysis::build_prune_classing(*app, config(), golden, spec);
+  const PrunePlan plan = plan_pruned(classing, golden, spec);
+  ASSERT_FALSE(plan.rep_samples.empty());
+  ASSERT_EQ(plan.rep_samples.size(), plan.rep_class.size());
+  std::vector<char> seen(classing.class_population.size(), 0);
+  std::uint64_t covered = 0;
+  for (std::size_t i = 0; i < plan.rep_samples.size(); ++i) {
+    if (i > 0) EXPECT_LT(plan.rep_samples[i - 1], plan.rep_samples[i]);
+    const std::uint32_t c = plan.rep_class[i];
+    ASSERT_LT(c, seen.size());
+    EXPECT_EQ(seen[c], 0) << "class " << c << " covered twice";
+    seen[c] = 1;
+    covered += classing.class_population[c];
+  }
+  EXPECT_EQ(plan.covered_population, covered);
+  EXPECT_LE(plan.covered_population, classing.live_sites());
+}
+
+TEST(PlanPruned, RepBudgetKeepsTheLargestClasses) {
+  const auto app = workloads::make_benchmark("va");
+  const GoldenRun golden = run_golden(*app, config());
+  const auto spec = va_spec(200);
+  const PruneClassing classing =
+      analysis::build_prune_classing(*app, config(), golden, spec);
+  const PrunePlan full = plan_pruned(classing, golden, spec);
+  ASSERT_GT(full.rep_samples.size(), 2u);
+  const std::uint64_t budget = full.rep_samples.size() - 2;
+  const PrunePlan capped = plan_pruned(classing, golden, spec, 0, budget);
+  EXPECT_EQ(capped.rep_samples.size(), budget);
+  // The capped plan keeps the biggest classes: its covered population beats
+  // any other choice of `budget` covered classes, in particular it is at
+  // least the full coverage minus the two smallest classes.
+  std::vector<std::uint64_t> pops;
+  for (const std::uint32_t c : full.rep_class) {
+    pops.push_back(classing.class_population[c]);
+  }
+  std::sort(pops.begin(), pops.end());
+  EXPECT_EQ(capped.covered_population, full.covered_population - pops[0] - pops[1]);
+  for (std::size_t i = 1; i < capped.rep_samples.size(); ++i) {
+    EXPECT_LT(capped.rep_samples[i - 1], capped.rep_samples[i]);
+  }
+}
+
+TEST(EstimatePruned, MatchesClosedForm) {
+  // 100 sites: 40 provably dead, classes of 30/20/10 live sites. Plan covers
+  // the 30-class (rep fails: SDC) and the 20-class (rep masked); the
+  // 10-class stays uncovered. Hand-derived:
+  //   scale     = live / covered = 60 / 50 = 1.2
+  //   sdc_w     = 30 * 1.2            = 36
+  //   masked_w  = 40 + 20 * 1.2       = 64
+  //   FR        = 36 / 100            = 0.36
+  PruneClassing classing;
+  classing.total_sites = 100;
+  classing.class_population = {30, 20, 10};
+  classing.class_of_site.assign(100, PruneClassing::kDeadClass);
+  std::size_t s = 0;
+  for (std::uint32_t c = 0; c < 3; ++c) {
+    for (std::uint64_t i = 0; i < classing.class_population[c]; ++i) {
+      classing.class_of_site[s++] = c;
+    }
+  }
+  ASSERT_TRUE(classing.partitions());
+  ASSERT_EQ(classing.dead_sites(), 40u);
+
+  PrunePlan plan;
+  plan.rep_samples = {0, 1};
+  plan.rep_class = {0, 1};
+  plan.covered_population = 50;
+  const fi::Outcome outcomes[] = {fi::Outcome::SDC, fi::Outcome::Masked};
+  const PrunedEstimate est = estimate_pruned(classing, plan, outcomes);
+  EXPECT_DOUBLE_EQ(est.covered_population, 50.0);
+  EXPECT_DOUBLE_EQ(est.covered_population_sq, 30.0 * 30 + 20.0 * 20);
+  EXPECT_DOUBLE_EQ(est.sdc_w, 36.0);
+  EXPECT_DOUBLE_EQ(est.masked_w, 64.0);
+  EXPECT_DOUBLE_EQ(est.timeout_w, 0.0);
+  EXPECT_DOUBLE_EQ(est.due_w, 0.0);
+  EXPECT_DOUBLE_EQ(est.failure_rate(), 0.36);
+  // Weighted masses always re-total the full site space.
+  EXPECT_DOUBLE_EQ(est.masked_w + est.sdc_w + est.timeout_w + est.due_w, 100.0);
+
+  // CI: Wilson at the Kish effective sample size (2500/1300), scaled by the
+  // live fraction 0.6. The point estimate is exact; the bounds bracket it.
+  const ProportionCi ci = est.fr_ci(0.99);
+  EXPECT_NEAR(ci.estimate, 0.36, 1e-12);
+  EXPECT_GE(ci.lower, 0.0);
+  EXPECT_LE(ci.upper, 0.6);  // can never exceed the live fraction
+  EXPECT_LT(ci.lower, 0.36);
+  EXPECT_GT(ci.upper, 0.36);
+}
+
+TEST(EstimatePruned, DegenerateInputsStayFinite) {
+  PruneClassing empty;
+  PrunePlan plan;
+  const PrunedEstimate none = estimate_pruned(empty, plan, {});
+  EXPECT_DOUBLE_EQ(none.failure_rate(), 0.0);
+  const ProportionCi no_info = none.fr_ci();
+  EXPECT_EQ(no_info.lower, 0.0);
+  EXPECT_EQ(no_info.upper, 1.0);  // empty space: no information, not [0,0]
+
+  // All sites dead: FR is certainly 0 and the CI collapses honestly.
+  PruneClassing all_dead;
+  all_dead.total_sites = 10;
+  all_dead.class_of_site.assign(10, PruneClassing::kDeadClass);
+  const PrunedEstimate dead = estimate_pruned(all_dead, plan, {});
+  EXPECT_DOUBLE_EQ(dead.failure_rate(), 0.0);
+  EXPECT_DOUBLE_EQ(dead.fr_ci().upper, 0.0);
+
+  // Live sites but nothing executed yet: FR unknown within the live mass.
+  PruneClassing live;
+  live.total_sites = 10;
+  live.class_of_site.assign(10, 0);
+  live.class_population = {10};
+  const PrunedEstimate pending = estimate_pruned(live, plan, {});
+  const ProportionCi ci = pending.fr_ci();
+  EXPECT_EQ(ci.lower, 0.0);
+  EXPECT_DOUBLE_EQ(ci.upper, 1.0);
+}
+
+TEST(RunPruned, BruteForceFrWithinPrunedCiWithFewerSamples) {
+  const auto app = workloads::make_benchmark("va");
+  const GoldenRun golden = run_golden(*app, config());
+  const auto spec = va_spec(96);
+  ThreadPool pool(4);
+  const PruneClassing classing =
+      analysis::build_prune_classing(*app, config(), golden, spec);
+  const CampaignResult brute = run_campaign(*app, config(), golden, spec, pool);
+  const PrunedResult pruned = run_pruned(*app, config(), golden, spec, classing, pool);
+
+  ASSERT_GT(pruned.raw.total(), 0u);
+  EXPECT_LE(pruned.raw.total() * 5, brute.counts.total());
+  const double brute_fr = brute.counts.failure_rate();
+  const ProportionCi ci = pruned.estimate.fr_ci();
+  EXPECT_GE(brute_fr, ci.lower);
+  EXPECT_LE(brute_fr, ci.upper);
+}
+
+TEST(RunPruned, DeterministicAcrossThreadCounts) {
+  const auto app = workloads::make_benchmark("va");
+  const GoldenRun golden = run_golden(*app, config());
+  const auto spec = va_spec(64);
+  const PruneClassing classing =
+      analysis::build_prune_classing(*app, config(), golden, spec);
+  ThreadPool one(1), four(4);
+  const PrunedResult a = run_pruned(*app, config(), golden, spec, classing, one);
+  const PrunedResult b = run_pruned(*app, config(), golden, spec, classing, four);
+  EXPECT_EQ(a.plan.rep_samples, b.plan.rep_samples);
+  EXPECT_EQ(a.raw.masked, b.raw.masked);
+  EXPECT_EQ(a.raw.sdc, b.raw.sdc);
+  EXPECT_EQ(a.raw.timeout, b.raw.timeout);
+  EXPECT_EQ(a.raw.due, b.raw.due);
+  EXPECT_DOUBLE_EQ(a.estimate.failure_rate(), b.estimate.failure_rate());
+}
+
+TEST(RunPruned, ThrowsForNonPrunableTarget) {
+  const auto app = workloads::make_benchmark("va");
+  const GoldenRun golden = run_golden(*app, config());
+  auto spec = va_spec(8);
+  spec.target = Target::L1D;
+  ThreadPool pool(2);
+  EXPECT_THROW(run_pruned(*app, config(), golden, spec, PruneClassing{}, pool),
+               std::invalid_argument);
+}
+
+TEST(RunPrunedDurable, ResumeReplaysRepresentativesBitIdentically) {
+  const auto app = workloads::make_benchmark("va");
+  const auto cfg = config();
+  const GoldenRun golden = run_golden(*app, cfg);
+  const auto spec = va_spec(64);
+  const PruneClassing classing =
+      analysis::build_prune_classing(*app, cfg, golden, spec);
+  ThreadPool pool(4);
+
+  const auto dir = std::filesystem::temp_directory_path() / "gras_pruned_test";
+  std::filesystem::create_directories(dir);
+  orchestrator::DurableOptions options;
+  options.journal = dir / "resume.pruned.jrnl";
+  std::filesystem::remove(options.journal);
+
+  const auto first =
+      orchestrator::run_pruned_durable(*app, cfg, golden, spec, classing, pool, options);
+  EXPECT_GT(first.executed, 0u);
+  EXPECT_EQ(first.replayed, 0u);
+  EXPECT_EQ(first.planned, first.result.raw.total());
+
+  // Every journal record carries its class provenance (v4).
+  const auto contents = orchestrator::read_journal(options.journal);
+  ASSERT_TRUE(contents.has_value());
+  EXPECT_EQ(contents->version, orchestrator::kJournalVersion);
+  ASSERT_EQ(contents->records.size(), first.planned);
+  for (const auto& r : contents->records) {
+    EXPECT_GT(r.class_weight, 0u);
+    EXPECT_LT(r.class_id, classing.class_population.size());
+    EXPECT_EQ(r.class_weight, classing.class_population[r.class_id]);
+  }
+
+  const auto second =
+      orchestrator::run_pruned_durable(*app, cfg, golden, spec, classing, pool, options);
+  EXPECT_EQ(second.executed, 0u);
+  EXPECT_EQ(second.replayed, first.planned);
+  EXPECT_EQ(second.result.raw.masked, first.result.raw.masked);
+  EXPECT_EQ(second.result.raw.sdc, first.result.raw.sdc);
+  EXPECT_DOUBLE_EQ(second.result.estimate.failure_rate(),
+                   first.result.estimate.failure_rate());
+}
+
+TEST(RunPrunedDurable, RejectsSharding) {
+  const auto app = workloads::make_benchmark("va");
+  const auto cfg = config();
+  const GoldenRun golden = run_golden(*app, cfg);
+  const auto spec = va_spec(16);
+  ThreadPool pool(2);
+  orchestrator::DurableOptions options;
+  options.journaled = false;
+  options.shard.count = 2;
+  EXPECT_THROW(orchestrator::run_pruned_durable(*app, cfg, golden, spec,
+                                                PruneClassing{}, pool, options),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace gras::campaign

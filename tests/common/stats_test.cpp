@@ -55,11 +55,22 @@ TEST(WaldInterval, ClampsToUnitInterval) {
   EXPECT_EQ(hi.upper, 1.0);
 }
 
-TEST(WaldInterval, ZeroTrials) {
+TEST(WaldInterval, ZeroTrialsIsNoInformation) {
+  // Zero trials must yield the vacuous interval [0, 1], never [0, 0]: a
+  // zero-width interval would satisfy any early-stop margin before a single
+  // sample has run.
   const ProportionCi ci = wald_interval(0, 0, 0.99);
   EXPECT_EQ(ci.estimate, 0.0);
   EXPECT_EQ(ci.lower, 0.0);
-  EXPECT_EQ(ci.upper, 0.0);
+  EXPECT_EQ(ci.upper, 1.0);
+  EXPECT_DOUBLE_EQ(ci.margin(), 0.5);
+}
+
+TEST(WilsonInterval, ZeroTrialsIsNoInformation) {
+  const ProportionCi ci = wilson_interval(0, 0, 0.99);
+  EXPECT_EQ(ci.estimate, 0.0);
+  EXPECT_EQ(ci.lower, 0.0);
+  EXPECT_EQ(ci.upper, 1.0);
 }
 
 TEST(WilsonInterval, NeverDegenerateAtExtremes) {
@@ -79,6 +90,48 @@ TEST(WilsonInterval, NarrowerWithMoreSamples) {
   const ProportionCi a = wilson_interval(30, 100, 0.95);
   const ProportionCi b = wilson_interval(300, 1000, 0.95);
   EXPECT_LT(b.margin(), a.margin());
+}
+
+TEST(WilsonIntervalReal, MatchesIntegerWilson) {
+  const ProportionCi integer = wilson_interval(30, 100, 0.95);
+  const ProportionCi real = wilson_interval_real(30.0, 100.0, 0.95);
+  EXPECT_DOUBLE_EQ(real.estimate, integer.estimate);
+  EXPECT_DOUBLE_EQ(real.lower, integer.lower);
+  EXPECT_DOUBLE_EQ(real.upper, integer.upper);
+}
+
+TEST(WilsonIntervalReal, FractionalEffectiveSampleSize) {
+  // Weighted estimators feed fractional (Kish) trial counts; fewer effective
+  // trials must widen the interval, smoothly.
+  const ProportionCi big = wilson_interval_real(7.5, 25.0, 0.99);
+  const ProportionCi small = wilson_interval_real(1.86, 6.2, 0.99);
+  EXPECT_NEAR(big.estimate, 0.3, 1e-12);
+  EXPECT_NEAR(small.estimate, 0.3, 1e-12);
+  EXPECT_GT(small.margin(), big.margin());
+  EXPECT_GE(small.lower, 0.0);
+  EXPECT_LE(small.upper, 1.0);
+}
+
+TEST(WilsonIntervalReal, DegenerateInputsAreNoInformation) {
+  const double nan = std::nan("");
+  const double inf = std::numeric_limits<double>::infinity();
+  for (const ProportionCi ci :
+       {wilson_interval_real(0.0, 0.0, 0.99), wilson_interval_real(1.0, -3.0, 0.99),
+        wilson_interval_real(nan, 10.0, 0.99), wilson_interval_real(5.0, nan, 0.99),
+        wilson_interval_real(5.0, inf, 0.99), wilson_interval_real(5.0, 10.0, nan)}) {
+    EXPECT_EQ(ci.estimate, 0.0);
+    EXPECT_EQ(ci.lower, 0.0);
+    EXPECT_EQ(ci.upper, 1.0);
+  }
+}
+
+TEST(WilsonIntervalReal, ClampsSuccessesToTrials) {
+  // successes > trials (possible from accumulated rounding) clamps p to 1.
+  const ProportionCi ci = wilson_interval_real(10.5, 10.0, 0.99);
+  EXPECT_DOUBLE_EQ(ci.estimate, 1.0);
+  EXPECT_EQ(ci.upper, 1.0);
+  EXPECT_GT(ci.lower, 0.0);
+  EXPECT_TRUE(std::isfinite(ci.lower));
 }
 
 TEST(RunningStat, MeanAndVariance) {

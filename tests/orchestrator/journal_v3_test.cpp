@@ -91,7 +91,7 @@ TEST(JournalV3, BuildProvenanceRoundTrips) {
   }
   const auto contents = read_journal(path);
   ASSERT_TRUE(contents.has_value());
-  EXPECT_EQ(contents->version, 3u);
+  EXPECT_EQ(contents->version, kJournalVersion);
   EXPECT_EQ(contents->header.build, example_header().build);
   ASSERT_EQ(contents->records.size(), 1u);
   EXPECT_EQ(contents->records[0].cycles, 1234u);

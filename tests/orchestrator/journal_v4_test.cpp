@@ -1,0 +1,253 @@
+// Journal v4: per-record fault-site equivalence-class provenance (class id +
+// population weight) for pruned campaigns. The version matrix below checks
+// that v1..v4 files all read through the same API, that writers append in
+// the version of the file they resume (never upgrading it), and that the
+// class fields survive exactly where the format can carry them.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "src/orchestrator/journal.h"
+
+namespace gras::orchestrator {
+namespace {
+
+std::filesystem::path temp_journal(const char* name) {
+  const auto dir = std::filesystem::temp_directory_path() / "gras_journal_v4_test";
+  std::filesystem::create_directories(dir);
+  return dir / name;
+}
+
+JournalHeader example_header() {
+  JournalHeader h;
+  h.app = "va";
+  h.kernel = "va_k1";
+  h.config = "gv100-scaled";
+  h.target = "SVF";
+  h.samples = 64;
+  h.seed = 2024;
+  h.margin = 0.0;
+  h.confidence = 0.99;
+  return h;
+}
+
+/// A pruned-campaign record: class provenance plus the usual v2 payload.
+JournalRecord pruned_record(std::uint64_t index) {
+  JournalRecord r;
+  r.index = index;
+  r.cycles = 7000 + index;
+  r.outcome = fi::Outcome::SDC;
+  r.injected = true;
+  r.fault.level = fi::FaultLevel::Software;
+  r.fault.structure = fi::Structure::RF;
+  r.fault.site = 40 + index;
+  r.fault.bit = 11;
+  r.fault.width = 1;
+  r.has_signature = true;
+  r.signature.words_total = 1024;
+  r.signature.words_mismatched = 3;
+  r.class_id = static_cast<std::uint32_t>(100 + index);
+  r.class_weight = 5000 + index;
+  return r;
+}
+
+std::uint64_t fnv1a(const void* data, std::size_t len) {
+  std::uint64_t hash = 14695981039346656037ULL;
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < len; ++i) {
+    hash ^= p[i];
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+/// Hand-builds a record-free journal header of any past version — the bytes
+/// an older build would have written (v1/v2: no build string; v3: build
+/// string before the checksum).
+std::string build_old_header(std::uint32_t version, const JournalHeader& h) {
+  std::string out;
+  out.append("GRASJRN1", 8);
+  const auto u32 = [&out](std::uint32_t v) {
+    out.append(reinterpret_cast<const char*>(&v), 4);
+  };
+  const auto u64 = [&out](std::uint64_t v) {
+    out.append(reinterpret_cast<const char*>(&v), 8);
+  };
+  const auto f64 = [&out](double v) {
+    out.append(reinterpret_cast<const char*>(&v), 8);
+  };
+  const auto str = [&](const std::string& s) {
+    u32(static_cast<std::uint32_t>(s.size()));
+    out.append(s);
+  };
+  u32(version);
+  u32(h.shard_index);
+  u32(h.shard_count);
+  u32(0);  // reserved
+  u64(h.samples);
+  u64(h.seed);
+  f64(h.margin);
+  f64(h.confidence);
+  str(h.app);
+  str(h.kernel);
+  str(h.config);
+  str(h.target);
+  if (version >= 3) str(h.build);
+  u64(fnv1a(out.data(), out.size()));
+  return out;
+}
+
+/// Creates a journal of the requested on-disk version holding `n` pruned
+/// records: fresh for the current version, a hand-built old header resumed
+/// by the writer (which appends in the file's own version) otherwise.
+std::filesystem::path make_versioned_journal(std::uint32_t version, const char* name,
+                                             std::uint64_t n) {
+  const auto path = temp_journal(name);
+  std::unique_ptr<JournalWriter> writer;
+  if (version == kJournalVersion) {
+    writer = JournalWriter::open_fresh(path, example_header());
+  } else {
+    std::ofstream(path, std::ios::binary) << build_old_header(version, example_header());
+    const auto contents = read_journal(path);
+    EXPECT_TRUE(contents.has_value());
+    EXPECT_EQ(contents->version, version);
+    writer = JournalWriter::open_resumed(path, *contents);
+  }
+  EXPECT_NE(writer, nullptr);
+  for (std::uint64_t i = 0; i < n; ++i) writer->append(pruned_record(i));
+  writer->sync();
+  return path;
+}
+
+TEST(JournalV4, VersionMatrixReadsUniformly) {
+  const struct {
+    std::uint32_t version;
+    const char* name;
+    std::size_t record_bytes;
+  } cases[] = {
+      {1, "matrix_v1.jrnl", kRecordBytesV1},
+      {2, "matrix_v2.jrnl", kRecordBytesV2},
+      {3, "matrix_v3.jrnl", kRecordBytesV2},
+      {4, "matrix_v4.jrnl", kRecordBytes},
+  };
+  for (const auto& c : cases) {
+    SCOPED_TRACE(c.version);
+    const auto path = make_versioned_journal(c.version, c.name, 3);
+    const auto contents = read_journal(path);
+    ASSERT_TRUE(contents.has_value());
+    EXPECT_EQ(contents->version, c.version);
+    EXPECT_EQ(record_bytes_of(c.version), c.record_bytes);
+    EXPECT_EQ(contents->dropped_bytes, 0u);
+    EXPECT_TRUE(contents->header.same_campaign(example_header()));
+    ASSERT_EQ(contents->records.size(), 3u);
+    for (std::uint64_t i = 0; i < 3; ++i) {
+      const JournalRecord& r = contents->records[i];
+      // The core sample identity reads identically from every version.
+      EXPECT_EQ(r.index, i);
+      EXPECT_EQ(r.cycles, 7000 + i);
+      EXPECT_EQ(r.outcome, fi::Outcome::SDC);
+      EXPECT_TRUE(r.injected);
+      if (c.version >= 2) {
+        EXPECT_EQ(r.fault.level, fi::FaultLevel::Software);
+        EXPECT_EQ(r.fault.site, 40 + i);
+        ASSERT_TRUE(r.has_signature);
+        EXPECT_EQ(r.signature.words_mismatched, 3u);
+      }
+      if (c.version >= 4) {
+        EXPECT_EQ(r.class_id, 100 + i);
+        EXPECT_EQ(r.class_weight, 5000 + i);
+      } else {
+        // Older layouts cannot carry class provenance: defaults on read.
+        EXPECT_EQ(r.class_id, 0u);
+        EXPECT_EQ(r.class_weight, 0u);
+      }
+    }
+  }
+}
+
+TEST(JournalV4, FreshJournalsAreV4) {
+  const auto path = temp_journal("fresh_is_v4.jrnl");
+  {
+    auto writer = JournalWriter::open_fresh(path, example_header());
+    ASSERT_NE(writer, nullptr);
+    writer->append(pruned_record(0));
+    writer->sync();
+  }
+  const auto contents = read_journal(path);
+  ASSERT_TRUE(contents.has_value());
+  EXPECT_EQ(contents->version, 4u);
+  EXPECT_EQ(kJournalVersion, 4u);
+}
+
+TEST(JournalV4, ResumedV3JournalStaysV3AndDropsClassFields) {
+  const auto path = make_versioned_journal(3, "v3_stays_v3.jrnl", 2);
+  const auto size_after = std::filesystem::file_size(path);
+  const auto contents = read_journal(path);
+  ASSERT_TRUE(contents.has_value());
+  EXPECT_EQ(contents->version, 3u);
+  // Two 228-byte v2-layout records were appended — not 240-byte v4 ones.
+  EXPECT_EQ(size_after, contents->valid_bytes);
+  ASSERT_EQ(contents->records.size(), 2u);
+  EXPECT_EQ(contents->records[1].class_id, 0u);
+  EXPECT_EQ(contents->records[1].class_weight, 0u);
+}
+
+TEST(JournalV4, UnprunedRecordsCarryZeroWeight) {
+  // Weight 0 is the "unpruned record" sentinel: a default-constructed record
+  // round-trips it untouched, so brute-force campaigns need no special case.
+  const auto path = temp_journal("unpruned_zero.jrnl");
+  {
+    auto writer = JournalWriter::open_fresh(path, example_header());
+    ASSERT_NE(writer, nullptr);
+    JournalRecord r;
+    r.index = 9;
+    writer->append(r);
+    writer->sync();
+  }
+  const auto contents = read_journal(path);
+  ASSERT_TRUE(contents.has_value());
+  ASSERT_EQ(contents->records.size(), 1u);
+  EXPECT_EQ(contents->records[0].class_id, 0u);
+  EXPECT_EQ(contents->records[0].class_weight, 0u);
+}
+
+TEST(JournalV4, WireCodecCarriesClassProvenance) {
+  // encode/decode_record is the fabric's frame codec; it must speak v4 so a
+  // pruned record crosses the network bit-identical to its on-disk form.
+  char buf[kRecordBytes];
+  const JournalRecord want = pruned_record(7);
+  encode_record(want, buf);
+  JournalRecord got;
+  ASSERT_TRUE(decode_record(buf, got));
+  EXPECT_EQ(got.index, want.index);
+  EXPECT_EQ(got.class_id, want.class_id);
+  EXPECT_EQ(got.class_weight, want.class_weight);
+  // Damage inside the class fields must fail the checksum, not pass through.
+  buf[230] ^= 0x01;
+  EXPECT_FALSE(decode_record(buf, got));
+}
+
+TEST(JournalV4, BitFlippedV4RecordDropsTail) {
+  const auto path = make_versioned_journal(4, "v4_bitflip.jrnl", 4);
+  std::string bytes;
+  {
+    std::ifstream in(path, std::ios::binary);
+    bytes.assign(std::istreambuf_iterator<char>(in), {});
+  }
+  const std::size_t header_bytes = bytes.size() - 4 * kRecordBytes;
+  bytes[header_bytes + 2 * kRecordBytes + 228] ^= 0x10;  // inside class_weight
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  const auto contents = read_journal(path);
+  ASSERT_TRUE(contents.has_value());
+  EXPECT_EQ(contents->records.size(), 2u);
+  EXPECT_EQ(contents->dropped_bytes, 2 * kRecordBytes);
+}
+
+}  // namespace
+}  // namespace gras::orchestrator

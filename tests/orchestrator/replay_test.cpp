@@ -140,8 +140,11 @@ TEST(Replay, DetectsTamperedOutcome) {
       bytes.size() - contents->records.size() * kRecordBytes;
   const std::size_t off = header_bytes + pos * kRecordBytes;
   bytes[off + 16] = static_cast<char>(fi::Outcome::SDC);
-  const auto sum = static_cast<std::uint32_t>(fnv1a(bytes.data() + off, 224));
-  std::memcpy(bytes.data() + off + 224, &sum, 4);
+  // v4 records checksum their full 236-byte prefix (class provenance
+  // included); re-fix it so the tampered record still parses.
+  const auto sum = static_cast<std::uint32_t>(
+      fnv1a(bytes.data() + off, kRecordBytes - 4));
+  std::memcpy(bytes.data() + off + kRecordBytes - 4, &sum, 4);
   const auto tampered = temp_dir() / "tampered.jrnl";
   {
     std::ofstream out(tampered, std::ios::binary | std::ios::trunc);

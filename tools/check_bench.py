@@ -47,6 +47,21 @@ def fail(msg):
     sys.exit(1)
 
 
+def is_number(value):
+    # bool is a subclass of int, but True/False in a metric slot is a bug in
+    # the producer, not a measurement — treat it as malformed.
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def cell(value):
+    """Right-aligned table cell for any JSON value.
+
+    Informational keys are printed verbatim, and a summary produced by a
+    newer (or broken) bench may hold a list/dict/bool there; str() first so
+    the alignment format spec never hits a non-scalar (TypeError)."""
+    return f"{str(value):>12}"
+
+
 def load(path):
     try:
         with open(path, encoding="utf-8") as f:
@@ -81,12 +96,15 @@ def main(argv):
     for key in INFORMATIONAL:
         b = baseline.get(key, "-")
         c = current.get(key, "-")
-        print(f"{key:<36} {b:>12} {c:>12}")
+        print(f"{key:<36} {cell(b)} {cell(c)}")
 
     for key in GATED_RATIOS + [GATED_OVERHEAD]:
         for name, doc in ((args[0], baseline), (args[1], current)):
-            if not isinstance(doc.get(key), (int, float)):
+            if key not in doc:
                 fail(f"{name}: missing gated metric '{key}'")
+            if not is_number(doc[key]):
+                fail(f"{name}: gated metric '{key}' is not a number "
+                     f"(got {json.dumps(doc[key])})")
 
     ok = True
 

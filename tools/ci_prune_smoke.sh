@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# Two-level pruned estimation smoke test (CI): the pruned campaign path
+# (--prune, DESIGN.md §14) must agree with brute force and actually prune.
+#
+# Three checks, all end to end through real binaries:
+#  1. abl_pruned_vs_brute on two apps: for every kernel the brute-force FR
+#     must fall inside the pruned estimate's population-weighted Wilson CI,
+#     with >= 5x fewer executed samples (the binary exits 1 otherwise).
+#  2. CLI round trip: `gras campaign --prune` runs, journals a v4 file with
+#     class provenance, and `gras journal info` reads it back.
+#  3. Determinism: two identical --prune runs print identical summaries.
+#
+# Usage: ci_prune_smoke.sh [path-to-gras-binary] [path-to-bench-binary]
+set -u
+
+GRAS=${1:-build/tools/gras}
+BENCH=${2:-build/bench/abl_pruned_vs_brute}
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT
+
+fail() { echo "ci_prune_smoke: $*" >&2; exit 1; }
+
+echo "== pruned vs brute-force: FR within CI, >= 5x reduction =="
+for app in va kmeans; do
+    GRAS_CACHE="$WORK/cache" GRAS_INJECTIONS=120 "$BENCH" "$app" \
+        || fail "pruned estimate violated the accuracy/cost gate for $app"
+done
+
+echo "== CLI --prune round trip with a v4 journal =="
+GRAS_CACHE="$WORK/cache" "$GRAS" campaign va va_k1 SVF 120 --prune \
+    --journal "$WORK/va.pruned.jrnl" > "$WORK/run1.txt" \
+    || fail "gras campaign --prune failed"
+grep -q "pruned .* sites" "$WORK/run1.txt" || fail "missing pruned summary"
+grep -q "population-weighted" "$WORK/run1.txt" || fail "missing weighted FR line"
+"$GRAS" journal info "$WORK/va.pruned.jrnl" > "$WORK/info.txt" \
+    || fail "gras journal info rejected the pruned journal"
+grep -q "version.*4" "$WORK/info.txt" || fail "pruned journal is not v4"
+
+echo "== determinism: identical re-run =="
+GRAS_CACHE="$WORK/cache" "$GRAS" campaign va va_k1 SVF 120 --prune \
+    --no-journal > "$WORK/run2.txt" || fail "second --prune run failed"
+# The first run journaled and the second did not, so strip the lines that
+# legitimately differ (journal path, replay/execution split).
+grep -Ev "journal|executed" "$WORK/run1.txt" > "$WORK/run1.cmp"
+grep -Ev "journal|executed" "$WORK/run2.txt" > "$WORK/run2.cmp"
+cmp "$WORK/run1.cmp" "$WORK/run2.cmp" || fail "pruned runs diverged"
+
+echo "== non-prunable target is rejected cleanly =="
+if "$GRAS" campaign va va_k1 RF 16 --prune --no-journal 2> "$WORK/err.txt"; then
+    fail "--prune accepted a microarch target"
+fi
+grep -q "SVF" "$WORK/err.txt" || fail "rejection message does not name SVF targets"
+
+echo "prune smoke passed"

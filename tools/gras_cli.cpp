@@ -13,6 +13,10 @@
 //                        batched lock-step execution (default GRAS_BATCH or
 //                        1); results and journals stay bit-identical
 //       --margin <pct>   stop once the 99% Wilson CI half-width <= pct points
+//       --prune          two-level estimation (DESIGN.md §14): partition the
+//                        fault-site space into equivalence classes, inject one
+//                        representative per class, weight by class population
+//                        (SVF / SVF-LD only; incompatible with --shard)
 //       --progress stderr|jsonl[=path]   live progress snapshots
 //       --journal <path> explicit journal file (default under GRAS_JOURNAL_DIR)
 //       --no-journal     in-memory run (no crash safety)
@@ -77,6 +81,7 @@
 
 #include "src/analysis/analysis.h"
 #include "src/analysis/anatomy.h"
+#include "src/analysis/prune.h"
 #include "src/assembler/assembler.h"
 #include "src/campaign/campaign.h"
 #include "src/common/build_info.h"
@@ -104,8 +109,8 @@ int usage() {
                "  asm <file.sasm>\n"
                "  campaign <app> <kernel> <target> [samples]\n"
                "           [--shard i/N] [--resume] [--margin pct] [--batch K]\n"
-               "           [--progress stderr|jsonl[=path]] [--journal path]\n"
-               "           [--no-journal] [--trace file]\n"
+               "           [--prune] [--progress stderr|jsonl[=path]]\n"
+               "           [--journal path] [--no-journal] [--trace file]\n"
                "  serve <app> <kernel> <target> [samples] --listen host:port\n"
                "           [--port-file path] [--lease N] [--heartbeat-sec S]\n"
                "           [--lease-ttl S] [--resume] [--margin pct] [--batch K]\n"
@@ -239,6 +244,7 @@ struct CampaignFlags {
   bool journaled = true;
   double margin = 0.0;  // fraction
   std::uint64_t batch = 0;  // 0 = use the GRAS_BATCH env default
+  bool prune = false;       // two-level estimation with fault-site pruning
   std::string journal;
   std::string progress;  // "", "stderr", "jsonl", "jsonl=path"
   std::string trace;     // Perfetto trace output path ("" = GRAS_TRACE env)
@@ -286,6 +292,8 @@ CampaignFlags parse_campaign_flags(int argc, char** argv, int from) {
       if (end == v.c_str() || *end != '\0' || flags.batch == 0) {
         throw std::invalid_argument("--batch expects a positive sample count");
       }
+    } else if (arg == "--prune") {
+      flags.prune = true;
     } else if (arg == "--journal") {
       flags.journal = need_value("--journal");
     } else if (arg == "--trace") {
@@ -374,6 +382,91 @@ int cmd_campaign(const std::string& app_name, const std::string& kernel,
         flags.progress.substr(std::strlen("jsonl=")), kMetricsIntervalSec);
   }
   options.progress = sink.get();
+
+  const auto finish_trace = [&]() -> int {
+    if (!trace_path.empty()) {
+      trace::stop();
+      if (!trace::write_file(trace_path)) {
+        std::fprintf(stderr, "gras: cannot write trace '%s'\n", trace_path.c_str());
+        return 1;
+      }
+      std::printf("trace: %s\n", trace_path.c_str());
+    }
+    return 0;
+  };
+
+  if (flags.prune) {
+    if (!campaign::prunable(spec.target)) {
+      std::fprintf(stderr,
+                   "gras: --prune supports software destination targets only "
+                   "(SVF, SVF-LD); %s stays brute-force\n",
+                   target.c_str());
+      return 2;
+    }
+    if (flags.shard.count > 1) {
+      std::fprintf(stderr, "gras: --prune cannot combine with --shard "
+                           "(classes, not index strides, partition the work)\n");
+      return 2;
+    }
+    const campaign::PruneClassing classing = [&] {
+      const trace::Span span("prune.classify", "phase");
+      return analysis::build_prune_classing(*app, cfg, golden, spec);
+    }();
+    const auto pruned =
+        orchestrator::run_pruned_durable(*app, cfg, golden, spec, classing, pool, options);
+    const campaign::PrunedEstimate& est = pruned.result.estimate;
+    const campaign::PrunePlan& plan = pruned.result.plan;
+    std::printf("%s / %s / %s: pruned %llu sites -> %llu classes "
+                "(%llu derated dead sites)\n",
+                app_name.c_str(), kernel.c_str(), target.c_str(),
+                static_cast<unsigned long long>(classing.total_sites),
+                static_cast<unsigned long long>(classing.class_population.size()),
+                static_cast<unsigned long long>(classing.dead_sites()));
+    std::printf("representatives: %llu planned covering %llu of %llu live sites "
+                "(scan examined %llu indices); %llu executed, %llu replayed, "
+                "%llu injected\n",
+                static_cast<unsigned long long>(pruned.planned),
+                static_cast<unsigned long long>(plan.covered_population),
+                static_cast<unsigned long long>(classing.live_sites()),
+                static_cast<unsigned long long>(plan.scanned),
+                static_cast<unsigned long long>(pruned.executed),
+                static_cast<unsigned long long>(pruned.replayed),
+                static_cast<unsigned long long>(pruned.result.injected));
+    if (pruned.early_stopped) {
+      std::printf("early stop: weighted CI margin %s%% reached after %llu "
+                  "representatives\n",
+                  TextTable::pct(flags.margin).c_str(),
+                  static_cast<unsigned long long>(pruned.result.raw.total()));
+    }
+    TextTable table({"Outcome", "Weight (sites)", "%", "Raw reps"});
+    const double total = static_cast<double>(est.total_sites);
+    const auto weight_row = [&](const char* name, double w, std::uint64_t raw) {
+      table.add_row({name, TextTable::num(w, 1),
+                     TextTable::pct(total > 0 ? w / total : 0.0),
+                     std::to_string(raw)});
+    };
+    weight_row("Masked", est.masked_w, pruned.result.raw.masked);
+    weight_row("SDC", est.sdc_w, pruned.result.raw.sdc);
+    weight_row("Timeout", est.timeout_w, pruned.result.raw.timeout);
+    weight_row("DUE", est.due_w, pruned.result.raw.due);
+    std::printf("%s", table.render().c_str());
+    const auto ci = est.fr_ci(options.confidence);
+    std::printf("FR = %s%%  99%% CI [%s%%, %s%%]  (population-weighted)\n",
+                TextTable::pct(est.failure_rate()).c_str(),
+                TextTable::pct(ci.lower).c_str(), TextTable::pct(ci.upper).c_str());
+    const std::uint64_t executed_total = pruned.result.raw.total();
+    if (executed_total > 0 && samples > 0) {
+      std::printf("reduction: %llu brute-force samples -> %llu representatives "
+                  "(%.1fx fewer)\n",
+                  static_cast<unsigned long long>(samples),
+                  static_cast<unsigned long long>(executed_total),
+                  static_cast<double>(samples) / static_cast<double>(executed_total));
+    }
+    if (!pruned.journal.empty()) {
+      std::printf("journal: %s\n", pruned.journal.string().c_str());
+    }
+    return finish_trace();
+  }
 
   const auto durable =
       orchestrator::run_durable(*app, cfg, golden, spec, pool, options);
