@@ -44,6 +44,14 @@ std::uint64_t Histogram::quantile(double q) const noexcept {
   return max();
 }
 
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+  std::vector<std::uint64_t> out(kBuckets, 0);
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    out[b] = buckets_[b].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
 void Histogram::reset() noexcept {
   for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
   count_.store(0, std::memory_order_relaxed);
@@ -127,33 +135,55 @@ std::vector<MetricValue> Registry::snapshot() const {
       v.p50 = h.quantile(0.5);
       v.p99 = h.quantile(0.99);
       v.max = h.max();
+      v.buckets = h.bucket_counts();
     }
     out.push_back(std::move(v));
   }
   return out;  // std::map iteration is already name-sorted
 }
 
-std::vector<std::pair<std::string, std::uint64_t>> Registry::flat_snapshot() const {
-  std::vector<std::pair<std::string, std::uint64_t>> out;
+std::vector<std::pair<std::string, std::int64_t>> Registry::flat_snapshot() const {
+  std::vector<std::pair<std::string, std::int64_t>> out;
   for (const MetricValue& v : snapshot()) {
     switch (v.kind) {
       case MetricValue::Kind::Counter:
-        out.emplace_back(v.name, static_cast<std::uint64_t>(v.value));
-        break;
       case MetricValue::Kind::Gauge:
-        out.emplace_back(v.name, v.value < 0 ? 0 : static_cast<std::uint64_t>(v.value));
+        out.emplace_back(v.name, v.value);
         break;
       case MetricValue::Kind::Histogram:
-        out.emplace_back(v.name + ".count", static_cast<std::uint64_t>(v.value));
-        out.emplace_back(v.name + ".sum", v.sum);
-        out.emplace_back(v.name + ".p50", v.p50);
-        out.emplace_back(v.name + ".p99", v.p99);
-        out.emplace_back(v.name + ".max", v.max);
+        out.emplace_back(v.name + ".count", v.value);
+        out.emplace_back(v.name + ".sum", static_cast<std::int64_t>(v.sum));
+        out.emplace_back(v.name + ".p50", static_cast<std::int64_t>(v.p50));
+        out.emplace_back(v.name + ".p99", static_cast<std::int64_t>(v.p99));
+        out.emplace_back(v.name + ".max", static_cast<std::int64_t>(v.max));
         break;
     }
   }
   return out;
 }
+
+namespace {
+
+// Names are [a-z0-9._-] by convention, but the registry does not enforce it;
+// escape so a hostile name can never produce malformed JSON.
+void append_json_escaped(std::string& out, std::string_view s) {
+  static const char* kHex = "0123456789abcdef";
+  for (const char ch : s) {
+    const auto c = static_cast<unsigned char>(ch);
+    if (ch == '"' || ch == '\\') {
+      out += '\\';
+      out += ch;
+    } else if (c < 0x20) {
+      out += "\\u00";
+      out += kHex[c >> 4];
+      out += kHex[c & 0xf];
+    } else {
+      out += ch;
+    }
+  }
+}
+
+}  // namespace
 
 std::string Registry::snapshot_json() const {
   std::string out = "{";
@@ -162,7 +192,7 @@ std::string Registry::snapshot_json() const {
     if (!first) out += ',';
     first = false;
     out += '"';
-    out += name;  // names are [a-z0-9._-] by convention: no escaping needed
+    append_json_escaped(out, name);
     out += "\":";
     out += std::to_string(value);
   }

@@ -64,6 +64,9 @@ class Histogram {
   double mean() const noexcept;
   /// Upper bound of the bucket containing quantile `q` in [0, 1]; 0 when empty.
   std::uint64_t quantile(double q) const noexcept;
+  /// Raw per-bucket counts (size kBuckets); bucket i covers bit_width == i,
+  /// i.e. values in [2^(i-1), 2^i - 1] (bucket 0 is exactly 0).
+  std::vector<std::uint64_t> bucket_counts() const;
   void reset() noexcept;
 
  private:
@@ -81,6 +84,10 @@ struct MetricValue {
   std::int64_t value = 0;      ///< counter/gauge value; histogram count
   std::uint64_t sum = 0;       ///< histogram only
   std::uint64_t p50 = 0, p99 = 0, max = 0;  ///< histogram only
+  /// Histogram only: raw per-bucket counts (bucket i holds values with
+  /// bit_width == i). Feeds exporters that want real bucket boundaries
+  /// (Prometheus text format) rather than the coarse p50/p99 summary.
+  std::vector<std::uint64_t> buckets;
 };
 
 /// The process-wide registry. Thread-safe; a leaky singleton so metric
@@ -99,9 +106,10 @@ class Registry {
   /// Every registered metric, sorted by name.
   std::vector<MetricValue> snapshot() const;
   /// Snapshot flattened to (name, value) scalars, sorted by name: counters
-  /// and gauges one entry each (gauges clamped at 0), histograms expanded to
-  /// name.count/.sum/.p50/.p99/.max. Feeds trace "C" events and JSONL.
-  std::vector<std::pair<std::string, std::uint64_t>> flat_snapshot() const;
+  /// and gauges one entry each (gauges keep their sign), histograms expanded
+  /// to name.count/.sum/.p50/.p99/.max. Feeds trace "C" events, JSONL and
+  /// the fabric's per-worker stats reports.
+  std::vector<std::pair<std::string, std::int64_t>> flat_snapshot() const;
   /// flat_snapshot() as one JSON object: {"sim.cycles":123,...}.
   std::string snapshot_json() const;
 

@@ -1,0 +1,299 @@
+#include "src/common/promtext.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <system_error>
+
+namespace gras::promtext {
+
+std::string metric_name(std::string_view raw, std::string_view prefix) {
+  std::string out(prefix);
+  out.reserve(prefix.size() + raw.size());
+  for (const char c : raw) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+std::string escape_label_value(std::string_view v) {
+  std::string out;
+  out.reserve(v.size());
+  for (const char c : v) {
+    if (c == '\\' || c == '"') {
+      out += '\\';
+      out += c;
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+void Writer::family(std::string_view name, std::string_view help,
+                    std::string_view type) {
+  out_ += "# HELP ";
+  out_ += name;
+  out_ += ' ';
+  out_ += help;
+  out_ += "\n# TYPE ";
+  out_ += name;
+  out_ += ' ';
+  out_ += type;
+  out_ += '\n';
+}
+
+void Writer::sample_prefix(std::string_view name, const Labels& labels) {
+  out_ += name;
+  if (!labels.empty()) {
+    out_ += '{';
+    bool first = true;
+    for (const auto& [k, v] : labels) {
+      if (!first) out_ += ',';
+      first = false;
+      out_ += k;
+      out_ += "=\"";
+      out_ += escape_label_value(v);
+      out_ += '"';
+    }
+    out_ += '}';
+  }
+  out_ += ' ';
+}
+
+void Writer::sample(std::string_view name, const Labels& labels, double value) {
+  sample_prefix(name, labels);
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.10g", value);
+  out_ += buf;
+  out_ += '\n';
+}
+
+void Writer::sample(std::string_view name, const Labels& labels,
+                    std::uint64_t value) {
+  sample_prefix(name, labels);
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%" PRIu64, value);
+  out_ += buf;
+  out_ += '\n';
+}
+
+void Writer::sample(std::string_view name, const Labels& labels,
+                    std::int64_t value) {
+  sample_prefix(name, labels);
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%" PRId64, value);
+  out_ += buf;
+  out_ += '\n';
+}
+
+std::string render_registry(const std::vector<telemetry::MetricValue>& snapshot,
+                            std::string_view prefix) {
+  Writer w;
+  for (const telemetry::MetricValue& m : snapshot) {
+    switch (m.kind) {
+      case telemetry::MetricValue::Kind::Counter: {
+        const std::string name = metric_name(m.name, prefix) + "_total";
+        w.family(name, "registry counter " + m.name, "counter");
+        w.sample(name, {}, static_cast<std::uint64_t>(m.value));
+        break;
+      }
+      case telemetry::MetricValue::Kind::Gauge: {
+        const std::string name = metric_name(m.name, prefix);
+        w.family(name, "registry gauge " + m.name, "gauge");
+        w.sample(name, {}, m.value);
+        break;
+      }
+      case telemetry::MetricValue::Kind::Histogram: {
+        const std::string name = metric_name(m.name, prefix);
+        w.family(name, "registry histogram " + m.name + " (log2 buckets)",
+                 "histogram");
+        // Bucket i holds values with bit_width == i: upper bound 2^i - 1.
+        // Emit cumulative counts up to the last non-empty bucket, then +Inf.
+        std::size_t last = 0;
+        for (std::size_t b = 0; b < m.buckets.size(); ++b) {
+          if (m.buckets[b] != 0) last = b;
+        }
+        std::uint64_t cum = 0;
+        for (std::size_t b = 0; b <= last && b < m.buckets.size(); ++b) {
+          cum += m.buckets[b];
+          const std::uint64_t le =
+              b >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << b) - 1;
+          char le_buf[32];
+          std::snprintf(le_buf, sizeof le_buf, "%" PRIu64, le);
+          w.sample(name + "_bucket", {{"le", le_buf}}, cum);
+        }
+        w.sample(name + "_bucket", {{"le", "+Inf"}},
+                 static_cast<std::uint64_t>(m.value));
+        w.sample(name + "_sum", {}, m.sum);
+        w.sample(name + "_count", {}, static_cast<std::uint64_t>(m.value));
+        break;
+      }
+    }
+  }
+  return w.take();
+}
+
+namespace {
+
+void send_all(int fd, std::string_view data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n =
+        ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+void send_response(int fd, const char* status, std::string_view body) {
+  char head[160];
+  std::snprintf(head, sizeof head,
+                "HTTP/1.1 %s\r\n"
+                "Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
+                "Content-Length: %zu\r\n"
+                "Connection: close\r\n\r\n",
+                status, body.size());
+  send_all(fd, head);
+  send_all(fd, body);
+}
+
+// Reads until the end of the request head ("\r\n\r\n") or a small cap; the
+// body (there should be none for GET) is ignored. Returns false on timeout
+// or close before a full head arrived.
+bool read_request_head(int fd, std::string& head) {
+  head.clear();
+  char buf[1024];
+  while (head.size() < 8192) {
+    pollfd p{fd, POLLIN, 0};
+    if (::poll(&p, 1, /*timeout_ms=*/2000) <= 0) return false;
+    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n <= 0) return false;
+    head.append(buf, static_cast<std::size_t>(n));
+    if (head.find("\r\n\r\n") != std::string::npos) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool MetricsHttpServer::start(const std::string& host, std::uint16_t port,
+                              Render render, std::string* error) {
+  stop();
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  const std::string bind_host = host.empty() ? "0.0.0.0" : host;
+  if (::inet_pton(AF_INET, bind_host.c_str(), &addr.sin_addr) != 1) {
+    if (error != nullptr) *error = "bad metrics host '" + bind_host + "'";
+    return false;
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    if (error != nullptr) *error = std::strerror(errno);
+    return false;
+  }
+  // SO_REUSEADDR: a restarted coordinator rebinds its metrics port
+  // immediately, same as the fabric listener.
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0 ||
+      ::listen(fd, 16) != 0) {
+    if (error != nullptr) *error = std::strerror(errno);
+    ::close(fd);
+    return false;
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof bound;
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+    if (error != nullptr) *error = std::strerror(errno);
+    ::close(fd);
+    return false;
+  }
+  listen_fd_ = fd;
+  port_ = ntohs(bound.sin_port);
+  render_ = std::move(render);
+  thread_ = std::thread([this] { serve(); });
+  return true;
+}
+
+void MetricsHttpServer::serve() {
+  static telemetry::Counter& c_scrapes = telemetry::counter("metrics.scrapes");
+  std::string head;
+  while (true) {
+    pollfd p{listen_fd_, POLLIN, 0};
+    const int pr = ::poll(&p, 1, /*timeout_ms=*/200);
+    if (pr < 0 && errno != EINTR) return;
+    if (pr <= 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) return;  // listen fd closed by stop()
+    // One request per connection, handled inline: scrapers are rare and a
+    // stuck client only delays the next scrape by the read timeout.
+    if (read_request_head(fd, head)) {
+      const bool get = head.rfind("GET ", 0) == 0;
+      const std::size_t path_end = head.find(' ', 4);
+      const std::string path =
+          get && path_end != std::string::npos ? head.substr(4, path_end - 4) : "";
+      if (!get) {
+        send_response(fd, "405 Method Not Allowed", "method not allowed\n");
+      } else if (path == "/metrics" || path == "/") {
+        c_scrapes.add();
+        send_response(fd, "200 OK", render_ ? render_() : "");
+      } else {
+        send_response(fd, "404 Not Found", "not found (try /metrics)\n");
+      }
+    }
+    ::shutdown(fd, SHUT_RDWR);
+    ::close(fd);
+  }
+}
+
+void MetricsHttpServer::stop() {
+  if (listen_fd_ < 0) return;
+  // Closing the listen fd makes the accept thread's accept() fail and exit.
+  const int fd = listen_fd_;
+  ::shutdown(fd, SHUT_RDWR);
+  ::close(fd);
+  if (thread_.joinable()) thread_.join();
+  listen_fd_ = -1;
+  port_ = 0;
+  render_ = nullptr;
+}
+
+bool write_port_file(const std::filesystem::path& path, std::uint16_t port,
+                     std::string* error) {
+  const std::filesystem::path tmp = path.string() + ".tmp";
+  {
+    std::ofstream f(tmp, std::ios::trunc);
+    f << port << '\n';
+    if (!f.good()) {
+      if (error != nullptr) *error = "cannot write " + tmp.string();
+      return false;
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    if (error != nullptr) *error = ec.message();
+    return false;
+  }
+  return true;
+}
+
+}  // namespace gras::promtext

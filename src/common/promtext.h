@@ -1,0 +1,100 @@
+// Prometheus text exposition for the telemetry registry, plus the minimal
+// HTTP listener that serves it.
+//
+// render_registry() turns a Registry::snapshot() into exposition text
+// (https://prometheus.io/docs/instrumenting/exposition_formats/): counters
+// become `<prefix><name>_total`, gauges `<prefix><name>`, histograms a full
+// `_bucket{le=...}` series using the registry's log2 buckets — bucket i holds
+// values with bit_width == i, so its upper bound is 2^i - 1.
+//
+// MetricsHttpServer is deliberately tiny: one accept thread, GET-only,
+// Connection: close, no TLS, no keep-alive — enough for a Prometheus scraper
+// or `curl` against a campaign that is already listening on a trusted
+// network. It lives in common (not fabric) so plain `gras campaign` runs can
+// expose /metrics without linking the fabric.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "src/common/metrics_registry.h"
+
+namespace gras::promtext {
+
+/// Registry-style name ("fabric.records.received") to a valid Prometheus
+/// metric name: `prefix` + name with every char outside [a-zA-Z0-9_:]
+/// mapped to '_'. The default prefix namespaces all gras metrics.
+std::string metric_name(std::string_view raw, std::string_view prefix = "gras_");
+
+/// Escapes a label value per the exposition format: \\, \" and \n.
+std::string escape_label_value(std::string_view v);
+
+/// Incremental exposition-text builder. family() emits the # HELP / # TYPE
+/// header; sample() emits one `name{labels} value` line.
+class Writer {
+ public:
+  using Labels = std::vector<std::pair<std::string_view, std::string_view>>;
+
+  /// `type` is one of "counter", "gauge", "histogram", "untyped".
+  void family(std::string_view name, std::string_view help, std::string_view type);
+  void sample(std::string_view name, const Labels& labels, double value);
+  void sample(std::string_view name, const Labels& labels, std::uint64_t value);
+  void sample(std::string_view name, const Labels& labels, std::int64_t value);
+
+  const std::string& text() const { return out_; }
+  std::string take() { return std::move(out_); }
+
+ private:
+  void sample_prefix(std::string_view name, const Labels& labels);
+  std::string out_;
+};
+
+/// Renders a full registry snapshot as exposition text. Counter `a.b` becomes
+/// `<prefix>a_b_total`, gauge `a.b` becomes `<prefix>a_b`, histogram `a.b`
+/// becomes `<prefix>a_b` with cumulative `_bucket{le="2^i - 1"}` samples
+/// (trailing empty buckets elided), `_bucket{le="+Inf"}`, `_sum` and `_count`.
+std::string render_registry(const std::vector<telemetry::MetricValue>& snapshot,
+                            std::string_view prefix = "gras_");
+
+/// Serves `GET /metrics` (and `/`) with the string returned by the render
+/// callback; anything else is 404. The callback runs on the accept thread and
+/// must be thread-safe against the rest of the process.
+class MetricsHttpServer {
+ public:
+  using Render = std::function<std::string()>;
+
+  MetricsHttpServer() = default;
+  ~MetricsHttpServer() { stop(); }
+  MetricsHttpServer(const MetricsHttpServer&) = delete;
+  MetricsHttpServer& operator=(const MetricsHttpServer&) = delete;
+
+  /// Binds `host:port` (port 0 = ephemeral, see port()) and starts the accept
+  /// thread. Returns false and fills `error` on failure.
+  bool start(const std::string& host, std::uint16_t port, Render render,
+             std::string* error);
+  /// The bound port; 0 when not running.
+  std::uint16_t port() const { return port_; }
+  bool running() const { return listen_fd_ >= 0; }
+  void stop();
+
+ private:
+  void serve();
+
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  Render render_;
+  std::thread thread_;
+};
+
+/// Publishes `port` to `path` via the write-then-rename idiom the fabric uses
+/// for --port-file: scripts can poll the path and never observe a torn write.
+/// Returns false and fills `error` on failure.
+bool write_port_file(const std::filesystem::path& path, std::uint16_t port,
+                     std::string* error);
+
+}  // namespace gras::promtext

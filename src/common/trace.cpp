@@ -89,6 +89,10 @@ void record(const char* name, const char* cat, const char* arg_name,
   const std::size_t n = b.count.load(std::memory_order_relaxed);
   if (n >= b.slots.size()) {
     b.dropped.fetch_add(1, std::memory_order_relaxed);
+    // Mirrored into the registry so drops show up on /metrics and JSONL, not
+    // only in the Perfetto export's otherData.dropped field.
+    static telemetry::Counter& c_dropped = telemetry::counter("trace.dropped");
+    c_dropped.add();
     return;
   }
   b.slots[n] = RawEvent{name, cat, arg_name, arg, start, dur};
@@ -304,7 +308,7 @@ std::string to_json(std::span<const Event> events) {
   for (const auto& [name, value] : telemetry::Registry::instance().flat_snapshot()) {
     std::snprintf(buf, sizeof buf,
                   "{\"ph\":\"C\",\"ts\":%.3f,\"pid\":%d,\"tid\":0,\"name\":\"%s\","
-                  "\"args\":{\"value\":%" PRIu64 "}}",
+                  "\"args\":{\"value\":%" PRId64 "}}",
                   static_cast<double>(ts) / 1000.0, pid, json_escape(name).c_str(),
                   value);
     emit(buf);

@@ -12,7 +12,9 @@
 #include <unordered_set>
 
 #include "src/common/metrics_registry.h"
+#include "src/common/promtext.h"
 #include "src/common/trace.h"
+#include "src/fabric/fleet.h"
 #include "src/fabric/wire.h"
 
 namespace gras::fabric {
@@ -161,14 +163,78 @@ ServeResult serve_campaign(const workloads::App& app, const sim::GpuConfig& conf
 
   static telemetry::Counter& c_received = telemetry::counter("fabric.records.received");
   static telemetry::Counter& c_connections = telemetry::counter("fabric.connections");
+  static telemetry::Counter& c_stats = telemetry::counter("fabric.stats.received");
+  static telemetry::Counter& c_stats_bad = telemetry::counter("fabric.stats.unparseable");
+  static telemetry::Counter& c_status = telemetry::counter("fabric.status.requests");
+  static telemetry::Counter& c_unknown = telemetry::counter("fabric.frames.unknown");
+
+  // --- Observability plane (strictly out-of-band: nothing below feeds the
+  // lease table, the committer, or the early-stop rule).
+  std::uint64_t control_path = 0;
+  std::uint64_t injected = 0;
+  orchestrator::RateTracker tracker(options.clock);
+  bool rate_window_open = false;
+  FleetTracker fleet(options.lease_ttl_sec, options.clock);
+
+  // Per-worker table + fleet aggregates; callers hold `mu`.
+  const auto build_status = [&]() {
+    FleetStatus s;
+    s.app = header.app;
+    s.kernel = header.kernel;
+    s.config = header.config;
+    s.target = header.target;
+    s.samples = spec.samples;
+    s.committed = committer.committed();
+    s.executed = out.executed;
+    s.replayed = out.replayed;
+    s.masked = out.result.counts.masked;
+    s.sdc = out.result.counts.sdc;
+    s.timeout = out.result.counts.timeout;
+    s.due = out.result.counts.due;
+    const ProportionCi ci =
+        wilson_interval(failures(out.result.counts), out.result.counts.total(),
+                        options.confidence);
+    s.fr = ci.estimate;
+    s.fr_lo = ci.lower;
+    s.fr_hi = ci.upper;
+    s.samples_per_sec = tracker.rate(out.executed);
+    s.eta_sec = tracker.eta(out.executed, spec.samples - s.committed);
+    s.early_stopped = out.early_stopped;
+    for (const auto& conn : conns) {
+      if (!conn->helloed) continue;
+      WorkerStatus w = fleet.row(conn->key);
+      w.name = conn->name;
+      w.connected = conn->connected;
+      if (!conn->connected) w.stale = false;  // gone beats stale
+      w.completed = conn->completed;
+      w.leased = table.leased_to(conn->key);
+      s.workers.push_back(std::move(w));
+    }
+    return s;
+  };
 
   // --- Handler threads: one per connection, frames -> lease table.
   const auto handle = [&](Conn* conn) {
     Frame f;
-    if (conn->sock.recv_frame(f, 10.0) != Socket::Recv::Frame ||
-        f.type != MsgType::Hello) {
-      return;
+    if (conn->sock.recv_frame(f, 10.0) != Socket::Recv::Frame) return;
+    if (f.type == MsgType::Status) {
+      // Fleet status client (`gras fleet`): no handshake, never a worker
+      // row. Each Status frame gets one StatusReply; --watch keeps the
+      // connection and asks again. Shutdown cuts it via the !helloed path.
+      while (true) {
+        c_status.add();
+        std::string reply;
+        {
+          const std::lock_guard<std::mutex> lock(mu);
+          reply = encode_fleet_status(build_status());
+        }
+        if (!conn->sock.send_frame(MsgType::StatusReply, reply)) return;
+        Socket::Recv r = Socket::Recv::Timeout;
+        while (r == Socket::Recv::Timeout) r = conn->sock.recv_frame(f, 0.5);
+        if (r != Socket::Recv::Frame || f.type != MsgType::Status) return;
+      }
     }
+    if (f.type != MsgType::Hello) return;
     HelloMsg hello;
     if (!decode_hello(f.payload, hello)) return;
     if (hello.protocol != kProtocolVersion) {
@@ -189,6 +255,7 @@ ServeResult serve_campaign(const workloads::App& app, const sim::GpuConfig& conf
     c_connections.add();
 
     bool sent_stop = false;
+    bool warned_unknown = false;
     double linger_budget = std::max(5.0, options.lease_ttl_sec);
     while (true) {
       const Socket::Recv r = conn->sock.recv_frame(f, 0.5);
@@ -212,6 +279,7 @@ ServeResult serve_campaign(const workloads::App& app, const sim::GpuConfig& conf
         continue;
       }
       const std::lock_guard<std::mutex> lock(mu);
+      fleet.touch(conn->key);  // any frame proves liveness
       switch (f.type) {
         case MsgType::LeaseRequest: {
           LeaseGrantMsg g;
@@ -253,8 +321,37 @@ ServeResult serve_campaign(const workloads::App& app, const sim::GpuConfig& conf
           cv.notify_all();
           break;
         }
+        case MsgType::Stats: {
+          StatsMsg stats;
+          if (decode_stats(f.payload, stats)) {
+            fleet.on_stats(conn->key, stats);
+            c_stats.add();
+          } else {
+            // Unknown StatsMsg version or damaged payload: the stats are
+            // lost, the worker (and its leases) are unaffected.
+            c_stats_bad.add();
+          }
+          break;
+        }
+        case MsgType::Status: {
+          c_status.add();
+          conn->sock.send_frame(MsgType::StatusReply,
+                                encode_fleet_status(build_status()));
+          break;
+        }
         default:
-          break;  // unexpected client frame; ignore
+          // A frame type this build does not know (newer peer): skip it,
+          // keep the connection. Dropping the worker over an out-of-band
+          // frame would turn an observability mismatch into lost leases.
+          c_unknown.add();
+          if (!warned_unknown) {
+            warned_unknown = true;
+            std::fprintf(stderr,
+                         "gras serve: ignoring unknown frame type %u from "
+                         "worker '%s'\n",
+                         static_cast<unsigned>(f.type), conn->name.c_str());
+          }
+          break;
       }
     }
     const std::lock_guard<std::mutex> lock(mu);
@@ -280,15 +377,38 @@ ServeResult serve_campaign(const workloads::App& app, const sim::GpuConfig& conf
     }
   });
 
+  // --- Embedded /metrics listener: registry families + gras_fleet_*
+  // aggregates from the same build_status table `gras fleet` sees. A bind
+  // failure is reported and ignored — scraping is never worth a campaign.
+  promtext::MetricsHttpServer metrics_server;
+  if (options.metrics_port >= 0) {
+    std::string metrics_error;
+    const bool up = metrics_server.start(
+        options.host == "0.0.0.0" ? "" : options.host,
+        static_cast<std::uint16_t>(options.metrics_port),
+        [&] {
+          std::string body = promtext::render_registry(
+              telemetry::Registry::instance().snapshot());
+          const std::lock_guard<std::mutex> lock(mu);
+          body += render_fleet_promtext(build_status());
+          return body;
+        },
+        &metrics_error);
+    if (up) {
+      out.metrics_port = metrics_server.port();
+      if (!options.metrics_port_file.empty()) {
+        write_port_file(options.metrics_port_file, out.metrics_port);
+      }
+    } else {
+      std::fprintf(stderr, "gras serve: /metrics listener disabled: %s\n",
+                   metrics_error.c_str());
+    }
+  }
+
   // --- Commit loop: drain the in-order prefix to the journal, evaluating
   // the early-stop rule at the same chunk barriers (and over the same
   // record sequence) run_durable uses, so the fleet stops bit-identically
   // to a single process.
-  std::uint64_t control_path = 0;
-  std::uint64_t injected = 0;
-  orchestrator::RateTracker tracker(options.clock);
-  bool rate_window_open = false;
-
   const auto emit = [&](bool done) {
     if (options.progress == nullptr) return;
     orchestrator::ProgressSnapshot s;

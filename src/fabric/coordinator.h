@@ -47,6 +47,13 @@ struct ServeOptions {
   orchestrator::ProgressSink* progress = nullptr;
   /// Lease/heartbeat clock (empty = real steady clock); tests inject a fake.
   Clock clock;
+  /// Embedded Prometheus /metrics listener (registry + gras_fleet_*
+  /// aggregates): -1 disables, 0 binds an ephemeral port (see
+  /// metrics_port_file / ServeResult::metrics_port), >0 binds that port.
+  /// Failure to bind is a warning, never fatal: metrics are out-of-band.
+  std::int32_t metrics_port = -1;
+  /// Written with "<port>\n" once the metrics listener is up (empty = skip).
+  std::filesystem::path metrics_port_file;
 };
 
 struct ServeResult {
@@ -57,6 +64,7 @@ struct ServeResult {
   bool early_stopped = false;
   std::filesystem::path journal;
   std::uint16_t port = 0;  ///< the port actually bound
+  std::uint16_t metrics_port = 0;  ///< bound /metrics port (0 = disabled)
 };
 
 /// Runs one campaign to completion (or early stop) as the coordinator.

@@ -1,0 +1,280 @@
+#include "src/fabric/fleet.h"
+
+#include <chrono>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+
+#include "src/common/promtext.h"
+#include "src/common/table.h"
+
+namespace gras::fabric {
+namespace {
+
+double steady_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+std::uint64_t FleetStatus::workers_connected() const {
+  std::uint64_t n = 0;
+  for (const WorkerStatus& w : workers) n += w.connected ? 1 : 0;
+  return n;
+}
+
+std::uint64_t FleetStatus::workers_stale() const {
+  std::uint64_t n = 0;
+  for (const WorkerStatus& w : workers) n += w.stale ? 1 : 0;
+  return n;
+}
+
+double FleetStatus::workers_samples_per_sec() const {
+  double r = 0.0;
+  for (const WorkerStatus& w : workers) {
+    if (w.connected) r += w.samples_per_sec;
+  }
+  return r;
+}
+
+FleetTracker::FleetTracker(double stale_after_sec, Clock now, double window_sec)
+    : stale_after_sec_(stale_after_sec),
+      window_sec_(window_sec),
+      clock_(now ? std::move(now) : Clock(steady_seconds)) {}
+
+double FleetTracker::now() const { return clock_(); }
+
+void FleetTracker::touch(const std::string& key) {
+  entries_[key].last_seen = now();
+}
+
+void FleetTracker::on_stats(const std::string& key, const StatsMsg& m) {
+  Entry& e = entries_[key];
+  const double t = now();
+  e.last_seen = t;
+  e.lease_id = m.lease_id;
+  e.executed = m.executed;
+  for (const auto& [name, value] : m.entries) e.stats[name] = value;
+  // Throughput series: keep the points inside the window, plus one older
+  // point so a sparse reporter still spans a full window's worth of work.
+  e.points.emplace_back(t, m.executed);
+  while (e.points.size() > 2 && e.points[1].first < t - window_sec_) {
+    e.points.pop_front();
+  }
+}
+
+void FleetTracker::forget(const std::string& key) { entries_.erase(key); }
+
+WorkerStatus FleetTracker::row(const std::string& key) const {
+  WorkerStatus w;
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) return w;
+  const Entry& e = it->second;
+  const double t = now();
+  w.lease_id = e.lease_id;
+  w.executed = e.executed;
+  w.heartbeat_age_sec = t > e.last_seen ? t - e.last_seen : 0.0;
+  w.stale = w.heartbeat_age_sec > stale_after_sec_;
+  w.stats.assign(e.stats.begin(), e.stats.end());
+  if (e.points.size() >= 2) {
+    const auto& [t0, x0] = e.points.front();
+    const auto& [t1, x1] = e.points.back();
+    if (t1 > t0 && x1 >= x0) {
+      w.samples_per_sec = static_cast<double>(x1 - x0) / (t1 - t0);
+    }
+  }
+  return w;
+}
+
+std::string render_fleet_table(const FleetStatus& s) {
+  char buf[256];
+  std::string out;
+  std::snprintf(buf, sizeof buf,
+                "%s / %s / %s (%s): %" PRIu64 "/%" PRIu64
+                " committed, %" PRIu64 " workers (%" PRIu64 " live)%s\n",
+                s.app.c_str(), s.kernel.c_str(), s.config.c_str(),
+                s.target.c_str(), s.committed, s.samples,
+                static_cast<std::uint64_t>(s.workers.size()),
+                s.workers_connected(),
+                s.early_stopped ? " [early stop]" : "");
+  out += buf;
+  std::snprintf(buf, sizeof buf,
+                "FR %.2f%% CI [%.2f%%, %.2f%%]  %.1f samples/s  ETA %.0fs\n",
+                100.0 * s.fr, 100.0 * s.fr_lo, 100.0 * s.fr_hi,
+                s.samples_per_sec, s.eta_sec);
+  out += buf;
+  TextTable t({"worker", "state", "done", "leased", "executed", "samples/s",
+               "hb age"});
+  for (const WorkerStatus& w : s.workers) {
+    const char* state = !w.connected ? "gone" : w.stale ? "stale" : "live";
+    t.add_row({w.name, state, std::to_string(w.completed),
+               std::to_string(w.leased), std::to_string(w.executed),
+               TextTable::num(w.samples_per_sec, 1),
+               TextTable::num(w.heartbeat_age_sec, 1) + "s"});
+  }
+  out += t.render();
+  return out;
+}
+
+namespace {
+
+void append_sanitized(std::string& out, const std::string& name) {
+  // Worker names come from the handshake; stats names from a remote
+  // registry. Keep only JSON-safe characters, as JsonlProgress does.
+  for (const char c : name) {
+    if ((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+        (c >= '0' && c <= '9') || c == '-' || c == '_' || c == '.') {
+      out += c;
+    }
+  }
+}
+
+void append_f(std::string& out, const char* key, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, ",\"%s\":%.6g", key,
+                std::isfinite(v) ? v : 0.0);
+  out += buf;
+}
+
+void append_u(std::string& out, const char* key, std::uint64_t v) {
+  out += ",\"";
+  out += key;
+  out += "\":";
+  out += std::to_string(v);
+}
+
+}  // namespace
+
+std::string fleet_status_json(const FleetStatus& s) {
+  std::string out = "{\"type\":\"fleet\",\"app\":\"";
+  append_sanitized(out, s.app);
+  out += "\",\"kernel\":\"";
+  append_sanitized(out, s.kernel);
+  out += "\",\"config\":\"";
+  append_sanitized(out, s.config);
+  out += "\",\"target\":\"";
+  append_sanitized(out, s.target);
+  out += '"';
+  append_u(out, "samples", s.samples);
+  append_u(out, "committed", s.committed);
+  append_u(out, "executed", s.executed);
+  append_u(out, "replayed", s.replayed);
+  append_u(out, "masked", s.masked);
+  append_u(out, "sdc", s.sdc);
+  append_u(out, "timeout", s.timeout);
+  append_u(out, "due", s.due);
+  append_f(out, "fr", s.fr);
+  append_f(out, "fr_lo", s.fr_lo);
+  append_f(out, "fr_hi", s.fr_hi);
+  append_f(out, "samples_per_sec", s.samples_per_sec);
+  append_f(out, "eta_seconds", s.eta_sec);
+  out += ",\"early_stopped\":";
+  out += s.early_stopped ? "true" : "false";
+  out += ",\"workers\":[";
+  for (std::size_t i = 0; i < s.workers.size(); ++i) {
+    const WorkerStatus& w = s.workers[i];
+    if (i > 0) out += ',';
+    out += "{\"name\":\"";
+    append_sanitized(out, w.name);
+    out += "\",\"connected\":";
+    out += w.connected ? "true" : "false";
+    out += ",\"stale\":";
+    out += w.stale ? "true" : "false";
+    append_u(out, "completed", w.completed);
+    append_u(out, "leased", w.leased);
+    append_u(out, "lease_id", w.lease_id);
+    append_u(out, "executed", w.executed);
+    append_f(out, "samples_per_sec", w.samples_per_sec);
+    append_f(out, "heartbeat_age_sec", w.heartbeat_age_sec);
+    out += ",\"stats\":{";
+    for (std::size_t j = 0; j < w.stats.size(); ++j) {
+      if (j > 0) out += ',';
+      out += '"';
+      append_sanitized(out, w.stats[j].first);
+      out += "\":";
+      out += std::to_string(w.stats[j].second);
+    }
+    out += "}}";
+  }
+  out += "]}";
+  return out;
+}
+
+std::string render_fleet_promtext(const FleetStatus& s) {
+  promtext::Writer w;
+  w.family("gras_fleet_samples", "campaign sample count", "gauge");
+  w.sample("gras_fleet_samples", {}, s.samples);
+  w.family("gras_fleet_samples_committed",
+           "contiguous journaled prefix of the campaign", "gauge");
+  w.sample("gras_fleet_samples_committed", {}, s.committed);
+  w.family("gras_fleet_samples_executed",
+           "records received from workers this coordinator run", "gauge");
+  w.sample("gras_fleet_samples_executed", {}, s.executed);
+  w.family("gras_fleet_samples_replayed",
+           "records recovered from the journal on startup", "gauge");
+  w.sample("gras_fleet_samples_replayed", {}, s.replayed);
+  w.family("gras_fleet_outcome", "committed outcomes by class", "gauge");
+  w.sample("gras_fleet_outcome", {{"outcome", "masked"}}, s.masked);
+  w.sample("gras_fleet_outcome", {{"outcome", "sdc"}}, s.sdc);
+  w.sample("gras_fleet_outcome", {{"outcome", "timeout"}}, s.timeout);
+  w.sample("gras_fleet_outcome", {{"outcome", "due"}}, s.due);
+  w.family("gras_fleet_failure_rate",
+           "failure-rate point estimate over committed samples", "gauge");
+  w.sample("gras_fleet_failure_rate", {}, s.fr);
+  w.family("gras_fleet_failure_rate_lo", "failure-rate CI lower bound", "gauge");
+  w.sample("gras_fleet_failure_rate_lo", {}, s.fr_lo);
+  w.family("gras_fleet_failure_rate_hi", "failure-rate CI upper bound", "gauge");
+  w.sample("gras_fleet_failure_rate_hi", {}, s.fr_hi);
+  w.family("gras_fleet_samples_per_sec", "fleet-wide commit throughput", "gauge");
+  w.sample("gras_fleet_samples_per_sec", {}, s.samples_per_sec);
+  w.family("gras_fleet_eta_seconds", "remaining samples / throughput", "gauge");
+  w.sample("gras_fleet_eta_seconds", {}, s.eta_sec);
+  w.family("gras_fleet_early_stopped", "1 once the margin was reached", "gauge");
+  w.sample("gras_fleet_early_stopped",
+           {}, static_cast<std::uint64_t>(s.early_stopped ? 1 : 0));
+  w.family("gras_fleet_workers", "worker connections by state", "gauge");
+  w.sample("gras_fleet_workers", {{"state", "total"}},
+           static_cast<std::uint64_t>(s.workers.size()));
+  w.sample("gras_fleet_workers", {{"state", "connected"}},
+           s.workers_connected());
+  w.sample("gras_fleet_workers", {{"state", "stale"}}, s.workers_stale());
+  // Two workers may announce the same display name (the default is
+  // "worker-<pid>", unique per host only); suffix repeats so every sample
+  // keeps a distinct label set.
+  std::vector<std::string> labels;
+  labels.reserve(s.workers.size());
+  std::map<std::string, int> seen;
+  for (const WorkerStatus& ws : s.workers) {
+    const int n = seen[ws.name]++;
+    labels.push_back(n == 0 ? ws.name : ws.name + "#" + std::to_string(n));
+  }
+  w.family("gras_fleet_worker_samples_per_sec",
+           "per-worker reported execution throughput", "gauge");
+  for (std::size_t i = 0; i < s.workers.size(); ++i) {
+    w.sample("gras_fleet_worker_samples_per_sec", {{"worker", labels[i]}},
+             s.workers[i].samples_per_sec);
+  }
+  w.family("gras_fleet_worker_executed",
+           "per-worker reported samples executed", "gauge");
+  for (std::size_t i = 0; i < s.workers.size(); ++i) {
+    w.sample("gras_fleet_worker_executed", {{"worker", labels[i]}},
+             s.workers[i].executed);
+  }
+  w.family("gras_fleet_worker_completed",
+           "per-worker records accepted by the coordinator", "gauge");
+  for (std::size_t i = 0; i < s.workers.size(); ++i) {
+    w.sample("gras_fleet_worker_completed", {{"worker", labels[i]}},
+             s.workers[i].completed);
+  }
+  w.family("gras_fleet_worker_heartbeat_age_seconds",
+           "seconds since the last frame from each worker", "gauge");
+  for (std::size_t i = 0; i < s.workers.size(); ++i) {
+    w.sample("gras_fleet_worker_heartbeat_age_seconds",
+             {{"worker", labels[i]}}, s.workers[i].heartbeat_age_sec);
+  }
+  return w.take();
+}
+
+}  // namespace gras::fabric

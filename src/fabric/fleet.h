@@ -1,0 +1,117 @@
+// Fleet observability: the coordinator's live per-worker telemetry table.
+//
+// Workers piggyback StatsMsg frames (absolute flat_snapshot() values plus a
+// cumulative executed-samples count) on their heartbeat cadence; the
+// coordinator folds them into a FleetTracker keyed by connection. The
+// tracker answers "who is alive, how fast, and how far" — per-worker
+// windowed throughput, heartbeat age, staleness — and FleetStatus bundles
+// that table with the campaign-level aggregates (committed, outcome counts,
+// failure-rate CI) for two consumers: the StatusReply wire frame behind
+// `gras fleet`, and the gras_fleet_* families on /metrics.
+//
+// Everything here is strictly out-of-band: the tracker never feeds leasing,
+// commit order, or early stop, so the fabric's bit-identity contract is
+// untouched whether stats arrive, arrive late, or never arrive at all
+// (stats-free v1 workers simply show zero throughput).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/fabric/lease.h"
+#include "src/fabric/wire.h"
+
+namespace gras::fabric {
+
+/// One row of the fleet table: coordinator-side truth (completed, leased,
+/// connected) merged with the worker's last self-report.
+struct WorkerStatus {
+  std::string name;
+  bool connected = false;
+  bool stale = false;  ///< connected but no frame within the stale budget
+  std::uint64_t completed = 0;  ///< records accepted by the coordinator
+  std::uint64_t leased = 0;     ///< indices currently under lease
+  std::uint64_t lease_id = 0;   ///< active lease per last report (0 = idle)
+  std::uint64_t executed = 0;   ///< worker-reported samples executed
+  double samples_per_sec = 0.0;  ///< windowed throughput from stats reports
+  double heartbeat_age_sec = 0.0;  ///< seconds since the last frame
+  /// Folded registry values from the worker's StatsMsg deltas (absolute).
+  std::vector<std::pair<std::string, std::int64_t>> stats;
+};
+
+/// Fleet aggregates + per-worker table, as served by StatusReply.
+struct FleetStatus {
+  std::string app, kernel, config, target;
+  std::uint64_t samples = 0;    ///< campaign size
+  std::uint64_t committed = 0;  ///< contiguous journal prefix
+  std::uint64_t executed = 0;   ///< fresh executions this coordinator run
+  std::uint64_t replayed = 0;   ///< resumed from the journal on startup
+  std::uint64_t masked = 0, sdc = 0, timeout = 0, due = 0;
+  double fr = 0.0, fr_lo = 0.0, fr_hi = 0.0;  ///< failure rate + CI bounds
+  double samples_per_sec = 0.0;  ///< fleet-wide commit throughput
+  double eta_sec = 0.0;          ///< remaining / throughput (0 = unknown)
+  bool early_stopped = false;
+  std::vector<WorkerStatus> workers;
+
+  std::uint64_t workers_connected() const;
+  std::uint64_t workers_stale() const;
+  /// Sum of connected workers' reported throughput (can disagree with
+  /// samples_per_sec: workers report executions, the fleet rate commits).
+  double workers_samples_per_sec() const;
+};
+
+/// Per-connection telemetry fold. Not thread-safe: the coordinator calls it
+/// under the same mutex that guards its connection table.
+class FleetTracker {
+ public:
+  /// `stale_after_sec`: a connected worker with no frame for this long is
+  /// flagged stale (the lease TTL is the natural choice). `window_sec`
+  /// bounds the throughput window: the rate is Δexecuted/Δt over the stats
+  /// points retained within the window (≥ 2 points needed).
+  explicit FleetTracker(double stale_after_sec, Clock now = {},
+                        double window_sec = 30.0);
+
+  /// Any frame from `key` proves liveness and resets its heartbeat age.
+  void touch(const std::string& key);
+  /// Folds one stats report: entries overwrite by name, `executed` extends
+  /// the throughput series.
+  void on_stats(const std::string& key, const StatsMsg& m);
+  void forget(const std::string& key);
+
+  /// Telemetry-only row for `key` (name/connected/completed/leased are the
+  /// coordinator's to fill in). Unknown keys yield a default row.
+  WorkerStatus row(const std::string& key) const;
+
+ private:
+  struct Entry {
+    double last_seen = 0.0;
+    std::uint64_t lease_id = 0;
+    std::uint64_t executed = 0;
+    std::map<std::string, std::int64_t> stats;
+    std::deque<std::pair<double, std::uint64_t>> points;  ///< (time, executed)
+  };
+
+  double now() const;
+
+  double stale_after_sec_;
+  double window_sec_;
+  Clock clock_;
+  std::map<std::string, Entry> entries_;
+};
+
+/// `gras fleet` renderings of a FleetStatus: a human table (src/common/table)
+/// and one JSON object per line for scripts. Worker names are sanitized to
+/// [A-Za-z0-9._-] in JSON, like JsonlProgress does.
+std::string render_fleet_table(const FleetStatus& s);
+std::string fleet_status_json(const FleetStatus& s);
+
+/// The gras_fleet_* exposition families served on the coordinator's
+/// /metrics endpoint, next to promtext::render_registry's output: campaign
+/// aggregates plus per-worker throughput/executed/heartbeat-age samples
+/// labeled {worker="<name>"}.
+std::string render_fleet_promtext(const FleetStatus& s);
+
+}  // namespace gras::fabric

@@ -1,5 +1,7 @@
 #include "src/fabric/wire.h"
 
+#include "src/fabric/fleet.h"
+
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
@@ -106,6 +108,9 @@ const char* msg_type_name(MsgType t) {
     case MsgType::LeaseDone: return "lease-done";
     case MsgType::Heartbeat: return "heartbeat";
     case MsgType::Stop: return "stop";
+    case MsgType::Stats: return "stats";
+    case MsgType::Status: return "status";
+    case MsgType::StatusReply: return "status-reply";
   }
   return "unknown";
 }
@@ -232,6 +237,126 @@ std::string encode_heartbeat(const HeartbeatMsg& m) {
 bool decode_heartbeat(const std::string& payload, HeartbeatMsg& m) {
   Cursor c(payload);
   return c.get_u64(m.lease_id) && c.done();
+}
+
+namespace {
+
+void put_i64(std::string& out, std::int64_t v) {
+  put_u64(out, static_cast<std::uint64_t>(v));
+}
+
+void put_entries(std::string& out,
+                 const std::vector<std::pair<std::string, std::int64_t>>& e) {
+  put_u32(out, static_cast<std::uint32_t>(e.size()));
+  for (const auto& [name, value] : e) {
+    put_str(out, name);
+    put_i64(out, value);
+  }
+}
+
+bool get_entries(Cursor& c,
+                 std::vector<std::pair<std::string, std::int64_t>>& e) {
+  std::uint32_t n = 0;
+  if (!c.get_u32(n)) return false;
+  e.clear();
+  for (std::uint32_t i = 0; i < n; ++i) {
+    std::string name;
+    std::uint64_t value = 0;
+    if (!c.get_str(name) || !c.get_u64(value)) return false;
+    e.emplace_back(std::move(name), static_cast<std::int64_t>(value));
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string encode_stats(const StatsMsg& m) {
+  std::string out;
+  put_u32(out, m.version);
+  put_u64(out, m.lease_id);
+  put_u64(out, m.executed);
+  put_entries(out, m.entries);
+  return out;
+}
+
+bool decode_stats(const std::string& payload, StatsMsg& m) {
+  Cursor c(payload);
+  if (!c.get_u32(m.version)) return false;
+  // An unknown layout version cannot be parsed; the caller counts the frame
+  // and drops the stats, never the connection.
+  if (m.version != kStatsVersion) return false;
+  return c.get_u64(m.lease_id) && c.get_u64(m.executed) &&
+         get_entries(c, m.entries) && c.done();
+}
+
+std::string encode_fleet_status(const FleetStatus& s) {
+  std::string out;
+  put_u32(out, kFleetStatusVersion);
+  put_str(out, s.app);
+  put_str(out, s.kernel);
+  put_str(out, s.config);
+  put_str(out, s.target);
+  put_u64(out, s.samples);
+  put_u64(out, s.committed);
+  put_u64(out, s.executed);
+  put_u64(out, s.replayed);
+  put_u64(out, s.masked);
+  put_u64(out, s.sdc);
+  put_u64(out, s.timeout);
+  put_u64(out, s.due);
+  put_f64(out, s.fr);
+  put_f64(out, s.fr_lo);
+  put_f64(out, s.fr_hi);
+  put_f64(out, s.samples_per_sec);
+  put_f64(out, s.eta_sec);
+  put_u32(out, s.early_stopped ? 1 : 0);
+  put_u32(out, static_cast<std::uint32_t>(s.workers.size()));
+  for (const WorkerStatus& w : s.workers) {
+    put_str(out, w.name);
+    put_u32(out, (w.connected ? 1u : 0u) | (w.stale ? 2u : 0u));
+    put_u64(out, w.completed);
+    put_u64(out, w.leased);
+    put_u64(out, w.lease_id);
+    put_u64(out, w.executed);
+    put_f64(out, w.samples_per_sec);
+    put_f64(out, w.heartbeat_age_sec);
+    put_entries(out, w.stats);
+  }
+  return out;
+}
+
+bool decode_fleet_status(const std::string& payload, FleetStatus& s) {
+  Cursor c(payload);
+  std::uint32_t version = 0;
+  if (!c.get_u32(version) || version != kFleetStatusVersion) return false;
+  std::uint32_t early = 0;
+  std::uint32_t n = 0;
+  if (!c.get_str(s.app) || !c.get_str(s.kernel) || !c.get_str(s.config) ||
+      !c.get_str(s.target) || !c.get_u64(s.samples) ||
+      !c.get_u64(s.committed) || !c.get_u64(s.executed) ||
+      !c.get_u64(s.replayed) || !c.get_u64(s.masked) || !c.get_u64(s.sdc) ||
+      !c.get_u64(s.timeout) || !c.get_u64(s.due) || !c.get_f64(s.fr) ||
+      !c.get_f64(s.fr_lo) || !c.get_f64(s.fr_hi) ||
+      !c.get_f64(s.samples_per_sec) || !c.get_f64(s.eta_sec) ||
+      !c.get_u32(early) || !c.get_u32(n)) {
+    return false;
+  }
+  s.early_stopped = early != 0;
+  s.workers.clear();
+  for (std::uint32_t i = 0; i < n; ++i) {
+    WorkerStatus w;
+    std::uint32_t flags = 0;
+    if (!c.get_str(w.name) || !c.get_u32(flags) || !c.get_u64(w.completed) ||
+        !c.get_u64(w.leased) || !c.get_u64(w.lease_id) ||
+        !c.get_u64(w.executed) || !c.get_f64(w.samples_per_sec) ||
+        !c.get_f64(w.heartbeat_age_sec) || !get_entries(c, w.stats)) {
+      return false;
+    }
+    w.connected = (flags & 1u) != 0;
+    w.stale = (flags & 2u) != 0;
+    s.workers.push_back(std::move(w));
+  }
+  return c.done();
 }
 
 std::string frame_bytes(MsgType type, const std::string& payload) {

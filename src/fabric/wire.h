@@ -49,6 +49,12 @@ enum class MsgType : std::uint32_t {
   LeaseDone = 7,     ///< worker -> coordinator: every index of a lease sent
   Heartbeat = 8,     ///< worker -> coordinator: still alive (current lease)
   Stop = 9,          ///< coordinator -> worker: campaign over, drain and exit
+  // Observability plane (additive; protocol still v1). A peer that predates
+  // these types skips them with a counted warning — they never carry work,
+  // so a mixed-version fleet stays correct, just less observable.
+  Stats = 10,        ///< worker -> coordinator: telemetry delta (piggybacked)
+  Status = 11,       ///< fleet client -> coordinator: status request (empty)
+  StatusReply = 12,  ///< coordinator -> fleet client: FleetStatus
 };
 const char* msg_type_name(MsgType t);
 
@@ -112,6 +118,27 @@ struct HeartbeatMsg {
   std::uint64_t lease_id = 0;
 };
 
+/// Payload layout version of StatsMsg; bump when its fields change. A
+/// decoder rejects versions it does not know — the coordinator then counts
+/// the frame as unparseable and carries on without the stats.
+inline constexpr std::uint32_t kStatsVersion = 1;
+
+/// Worker telemetry piggybacked on the heartbeat cadence. Strictly
+/// out-of-band: a coordinator may ignore every StatsMsg and the campaign is
+/// unaffected. `entries` carries absolute flat_snapshot() values, filtered
+/// to the names whose value changed since the previous report.
+struct StatsMsg {
+  std::uint32_t version = kStatsVersion;
+  std::uint64_t lease_id = 0;  ///< active lease (0 = idle), as in Heartbeat
+  std::uint64_t executed = 0;  ///< samples executed by this worker this run
+  std::vector<std::pair<std::string, std::int64_t>> entries;
+};
+
+/// Payload layout version of the StatusReply frame (see fleet.h).
+inline constexpr std::uint32_t kFleetStatusVersion = 1;
+
+struct FleetStatus;  // fleet.h: per-worker table + fleet aggregates
+
 std::string encode_hello(const HelloMsg& m);
 bool decode_hello(const std::string& payload, HelloMsg& m);
 std::string encode_welcome(const WelcomeMsg& m);
@@ -126,6 +153,10 @@ std::string encode_lease_done(const LeaseDoneMsg& m);
 bool decode_lease_done(const std::string& payload, LeaseDoneMsg& m);
 std::string encode_heartbeat(const HeartbeatMsg& m);
 bool decode_heartbeat(const std::string& payload, HeartbeatMsg& m);
+std::string encode_stats(const StatsMsg& m);
+bool decode_stats(const std::string& payload, StatsMsg& m);
+std::string encode_fleet_status(const FleetStatus& s);
+bool decode_fleet_status(const std::string& payload, FleetStatus& s);
 
 /// Frames `payload` for the wire: header (magic, type, len, checksum) +
 /// payload bytes (exposed for protocol tests; Socket::send_frame uses it).

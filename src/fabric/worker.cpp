@@ -5,6 +5,8 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstdio>
+#include <map>
 #include <memory>
 #include <optional>
 #include <thread>
@@ -89,14 +91,53 @@ std::optional<CampaignContext> build_context(const WelcomeMsg& w,
   return ctx;
 }
 
+/// Computes the registry delta between stats reports: absolute
+/// flat_snapshot() values, filtered to the names whose value changed since
+/// the previous call — the compact form StatsMsg carries on the wire.
+class StatsReporter {
+ public:
+  std::vector<std::pair<std::string, std::int64_t>> delta() {
+    std::vector<std::pair<std::string, std::int64_t>> changed;
+    for (const auto& [name, value] :
+         telemetry::Registry::instance().flat_snapshot()) {
+      const auto it = last_.find(name);
+      if (it != last_.end() && it->second == value) continue;
+      last_[name] = value;
+      changed.emplace_back(name, value);
+    }
+    return changed;
+  }
+
+ private:
+  std::map<std::string, std::int64_t> last_;
+};
+
+/// A frame type this build does not expect here (usually a newer peer):
+/// count it, warn once, keep the connection — an out-of-band frame must
+/// never cost a lease.
+void skip_unexpected_frame(MsgType t) {
+  static telemetry::Counter& c_unknown = telemetry::counter("fabric.frames.unknown");
+  c_unknown.add();
+  static std::atomic<bool> warned{false};
+  if (!warned.exchange(true, std::memory_order_relaxed)) {
+    std::fprintf(stderr,
+                 "gras work: ignoring unexpected frame type %u from the "
+                 "coordinator\n",
+                 static_cast<unsigned>(t));
+  }
+}
+
 /// Periodic Heartbeat sender sharing the connection with the execution
-/// loop (Socket::send_frame is thread-safe).
+/// loop (Socket::send_frame is thread-safe). Each heartbeat is followed by
+/// a piggybacked StatsMsg: the registry delta plus the cumulative executed
+/// count. A coordinator that predates StatsMsg skips it with a counted
+/// warning — stats are out-of-band by contract.
 class HeartbeatThread {
  public:
   HeartbeatThread(Socket& sock, const std::atomic<std::uint64_t>& lease,
-                  double period_sec)
-      : sock_(sock), lease_(lease), period_sec_(period_sec),
-        thread_([this] { loop(); }) {}
+                  const std::atomic<std::uint64_t>& executed, double period_sec)
+      : sock_(sock), lease_(lease), executed_(executed),
+        period_sec_(period_sec), thread_([this] { loop(); }) {}
 
   ~HeartbeatThread() {
     stop_.store(true, std::memory_order_relaxed);
@@ -115,12 +156,20 @@ class HeartbeatThread {
       hb.lease_id = lease_.load(std::memory_order_relaxed);
       sock_.send_frame(MsgType::Heartbeat, encode_heartbeat(hb));
       telemetry::counter("fabric.heartbeats.sent").add();
+      StatsMsg stats;
+      stats.lease_id = hb.lease_id;
+      stats.executed = executed_.load(std::memory_order_relaxed);
+      stats.entries = reporter_.delta();
+      sock_.send_frame(MsgType::Stats, encode_stats(stats));
+      telemetry::counter("fabric.stats.sent").add();
     }
   }
 
   Socket& sock_;
   const std::atomic<std::uint64_t>& lease_;
+  const std::atomic<std::uint64_t>& executed_;
   double period_sec_;
+  StatsReporter reporter_;
   std::atomic<bool> stop_{false};
   std::thread thread_;
 };
@@ -135,6 +184,8 @@ WorkResult run_worker(const WorkOptions& options) {
   std::optional<CampaignContext> ctx;
   std::unique_ptr<ThreadPool> pool;
   std::unique_ptr<orchestrator::SampleRunner> runner;
+  // Cumulative across reconnects; the heartbeat thread reports it in StatsMsg.
+  std::atomic<std::uint64_t> executed_total{0};
 
   double retry_budget = options.retry_sec;
   while (true) {
@@ -202,7 +253,8 @@ WorkResult run_worker(const WorkOptions& options) {
 
     // --- Session: leases until Stop or the connection breaks.
     std::atomic<std::uint64_t> current_lease{0};
-    HeartbeatThread heartbeat(sock, current_lease, ctx->heartbeat_sec);
+    HeartbeatThread heartbeat(sock, current_lease, executed_total,
+                              ctx->heartbeat_sec);
     bool reconnect = false;
     while (!reconnect) {
       if (!sock.send_frame(MsgType::LeaseRequest, "")) {
@@ -231,9 +283,10 @@ WorkResult run_worker(const WorkOptions& options) {
           out.stopped = true;
           return out;
         }
-        if (f.type == MsgType::LeaseGrant &&
-            decode_lease_grant(f.payload, grant)) {
-          granted = true;
+        if (f.type == MsgType::LeaseGrant) {
+          if (decode_lease_grant(f.payload, grant)) granted = true;
+        } else {
+          skip_unexpected_frame(f.type);
         }
       }
       if (reconnect) break;
@@ -243,9 +296,12 @@ WorkResult run_worker(const WorkOptions& options) {
         // campaign usually ends while idle workers sit exactly here.
         const Socket::Recv r = sock.recv_frame(f, options.idle_poll_sec);
         if (r == Socket::Recv::Closed) reconnect = true;
-        if (r == Socket::Recv::Frame && f.type == MsgType::Stop) {
-          out.stopped = true;
-          return out;
+        if (r == Socket::Recv::Frame) {
+          if (f.type == MsgType::Stop) {
+            out.stopped = true;
+            return out;
+          }
+          skip_unexpected_frame(f.type);
         }
         continue;
       }
@@ -271,15 +327,19 @@ WorkResult run_worker(const WorkOptions& options) {
           break;
         }
         out.executed += records.records.size();
+        executed_total.store(out.executed, std::memory_order_relaxed);
         telemetry::counter("fabric.records.sent").add(records.records.size());
         // Between steps, drain any unsolicited frame (Stop) without waiting.
         const Socket::Recv r = sock.recv_frame(f, 0.0);
         if (r == Socket::Recv::Closed) {
           lease_ok = false;
           reconnect = true;
-        } else if (r == Socket::Recv::Frame && f.type == MsgType::Stop) {
-          out.stopped = true;
-          return out;
+        } else if (r == Socket::Recv::Frame) {
+          if (f.type == MsgType::Stop) {
+            out.stopped = true;
+            return out;
+          }
+          skip_unexpected_frame(f.type);
         }
       }
       current_lease.store(0, std::memory_order_relaxed);

@@ -168,4 +168,36 @@ void JsonlProgress::on_progress(const ProgressSnapshot& s) {
   std::fflush(out_);
 }
 
+void MetricsProgress::on_progress(const ProgressSnapshot& s) {
+  static telemetry::Gauge& g_completed = telemetry::gauge("progress.completed");
+  static telemetry::Gauge& g_total = telemetry::gauge("progress.total");
+  static telemetry::Gauge& g_masked = telemetry::gauge("progress.masked");
+  static telemetry::Gauge& g_sdc = telemetry::gauge("progress.sdc");
+  static telemetry::Gauge& g_timeout = telemetry::gauge("progress.timeout");
+  static telemetry::Gauge& g_due = telemetry::gauge("progress.due");
+  static telemetry::Gauge& g_rate = telemetry::gauge("progress.samples_per_sec_milli");
+  static telemetry::Gauge& g_eta = telemetry::gauge("progress.eta_sec");
+  static telemetry::Gauge& g_early = telemetry::gauge("progress.early_stopped");
+  static telemetry::Gauge& g_done = telemetry::gauge("progress.done");
+  static telemetry::Gauge& g_workers = telemetry::gauge("progress.workers");
+  static telemetry::Gauge& g_live = telemetry::gauge("progress.workers_connected");
+  const auto finite = [](double v) { return std::isfinite(v) ? v : 0.0; };
+  g_completed.set(static_cast<std::int64_t>(s.completed));
+  g_total.set(static_cast<std::int64_t>(s.total));
+  g_masked.set(static_cast<std::int64_t>(s.counts.masked));
+  g_sdc.set(static_cast<std::int64_t>(s.counts.sdc));
+  g_timeout.set(static_cast<std::int64_t>(s.counts.timeout));
+  g_due.set(static_cast<std::int64_t>(s.counts.due));
+  g_rate.set(static_cast<std::int64_t>(finite(s.samples_per_sec) * 1000.0));
+  g_eta.set(static_cast<std::int64_t>(finite(s.eta_seconds)));
+  g_early.set(s.early_stopped ? 1 : 0);
+  g_done.set(s.done ? 1 : 0);
+  if (!s.workers.empty()) {
+    std::int64_t live = 0;
+    for (const WorkerProgress& w : s.workers) live += w.connected ? 1 : 0;
+    g_workers.set(static_cast<std::int64_t>(s.workers.size()));
+    g_live.set(live);
+  }
+}
+
 }  // namespace gras::orchestrator

@@ -127,6 +127,17 @@ class JsonlProgress : public ProgressSink {
   double last_metrics_ = -1e300;
 };
 
+/// Mirrors each snapshot into `progress.*` registry gauges so an embedded
+/// /metrics endpoint (src/common/promtext.h) exposes live campaign progress
+/// next to the counters: completed/total, outcome counts, throughput
+/// (millisamples/s — gauges are integral), ETA, early-stop and done flags,
+/// plus worker totals when the snapshot carries fleet rows. Tee it with the
+/// user-facing sink; it never writes to any stream itself.
+class MetricsProgress : public ProgressSink {
+ public:
+  void on_progress(const ProgressSnapshot& snapshot) override;
+};
+
 /// Fans one snapshot stream out to two sinks (e.g. stderr + JSONL).
 class TeeProgress : public ProgressSink {
  public:

@@ -93,29 +93,49 @@ TEST(MetricsRegistry, SnapshotReportsEveryKindSorted) {
   EXPECT_EQ(mine[2].p50, 127u);  // bit_width(100) == 7 -> upper bound 127
 }
 
-TEST(MetricsRegistry, FlatSnapshotExpandsHistogramsAndClampsGauges) {
+TEST(MetricsRegistry, FlatSnapshotExpandsHistogramsAndKeepsGaugeSign) {
   counter("test.mr.flat.c").reset();
   counter("test.mr.flat.c").add(2);
-  gauge("test.mr.flat.g").set(-5);  // negative gauges clamp to 0
+  gauge("test.mr.flat.g").set(-5);  // gauges export signed, not clamped
   Histogram& h = histogram("test.mr.flat.h");
   h.reset();
   h.observe(8);
 
-  std::vector<std::pair<std::string, std::uint64_t>> mine;
+  std::vector<std::pair<std::string, std::int64_t>> mine;
   for (const auto& kv : Registry::instance().flat_snapshot()) {
     if (kv.first.rfind("test.mr.flat.", 0) == 0) mine.push_back(kv);
   }
   ASSERT_EQ(mine.size(), 7u);
-  EXPECT_EQ(mine[0], (std::pair<std::string, std::uint64_t>{"test.mr.flat.c", 2}));
-  EXPECT_EQ(mine[1], (std::pair<std::string, std::uint64_t>{"test.mr.flat.g", 0}));
+  EXPECT_EQ(mine[0], (std::pair<std::string, std::int64_t>{"test.mr.flat.c", 2}));
+  EXPECT_EQ(mine[1], (std::pair<std::string, std::int64_t>{"test.mr.flat.g", -5}));
   EXPECT_EQ(mine[2].first, "test.mr.flat.h.count");
-  EXPECT_EQ(mine[2].second, 1u);
+  EXPECT_EQ(mine[2].second, 1);
   EXPECT_EQ(mine[3].first, "test.mr.flat.h.sum");
-  EXPECT_EQ(mine[3].second, 8u);
+  EXPECT_EQ(mine[3].second, 8);
   EXPECT_EQ(mine[4].first, "test.mr.flat.h.p50");
   EXPECT_EQ(mine[5].first, "test.mr.flat.h.p99");
   EXPECT_EQ(mine[6].first, "test.mr.flat.h.max");
-  EXPECT_EQ(mine[6].second, 8u);
+  EXPECT_EQ(mine[6].second, 8);
+}
+
+TEST(MetricsRegistry, QuantileEdges) {
+  Histogram& h = histogram("test.mr.qedge");
+  h.reset();
+  // Empty: every quantile is 0.
+  EXPECT_EQ(h.quantile(0.0), 0u);
+  EXPECT_EQ(h.quantile(0.5), 0u);
+  EXPECT_EQ(h.quantile(1.0), 0u);
+  // Single bucket: every quantile reports that bucket's upper bound.
+  h.observe(5);  // bit_width(5) == 3 -> upper bound 7
+  EXPECT_EQ(h.quantile(0.0), 7u);
+  EXPECT_EQ(h.quantile(0.5), 7u);
+  EXPECT_EQ(h.quantile(0.99), 7u);
+  EXPECT_EQ(h.quantile(1.0), 7u);
+  // Zero observations land in bucket 0, whose upper bound is 0.
+  h.reset();
+  h.observe(0);
+  EXPECT_EQ(h.quantile(0.5), 0u);
+  EXPECT_EQ(h.quantile(1.0), 0u);
 }
 
 TEST(MetricsRegistry, SnapshotJsonIsOneFlatObject) {
@@ -125,6 +145,19 @@ TEST(MetricsRegistry, SnapshotJsonIsOneFlatObject) {
   EXPECT_EQ(j.front(), '{');
   EXPECT_EQ(j.back(), '}');
   EXPECT_NE(j.find("\"test.mr.json.c\":17"), std::string::npos) << j;
+}
+
+TEST(MetricsRegistry, SnapshotJsonEscapesHostileNames) {
+  // Nothing stops a caller registering a name with quotes, backslashes, or
+  // control characters; the JSON export must stay parseable anyway.
+  counter("test.mr.esc.\"quote\\back\nline").reset();
+  counter("test.mr.esc.\"quote\\back\nline").add(3);
+  const std::string j = Registry::instance().snapshot_json();
+  EXPECT_NE(j.find("\"test.mr.esc.\\\"quote\\\\back\\u000aline\":3"),
+            std::string::npos)
+      << j;
+  // No raw control characters or unescaped quotes survive in the output.
+  for (const char c : j) EXPECT_GE(static_cast<unsigned char>(c), 0x20u);
 }
 
 TEST(MetricsRegistry, ResetZeroesValuesButKeepsReferences) {

@@ -1,0 +1,162 @@
+// Prometheus text exposition: name sanitization, label escaping, registry
+// rendering (counter/gauge/histogram with cumulative log2 buckets), and the
+// embedded HTTP listener probed with a raw socket.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "src/common/promtext.h"
+
+namespace gras::promtext {
+namespace {
+
+TEST(Promtext, MetricNameSanitizes) {
+  EXPECT_EQ(metric_name("fabric.records.received"),
+            "gras_fabric_records_received");
+  EXPECT_EQ(metric_name("a.b", "x_"), "x_a_b");
+  EXPECT_EQ(metric_name("ok_name:sub"), "gras_ok_name:sub");
+  // Everything outside [a-zA-Z0-9_:] maps to '_'.
+  EXPECT_EQ(metric_name("sp ace-dash\"quote"), "gras_sp_ace_dash_quote");
+  EXPECT_EQ(metric_name(""), "gras_");
+}
+
+TEST(Promtext, EscapeLabelValue) {
+  EXPECT_EQ(escape_label_value("plain"), "plain");
+  EXPECT_EQ(escape_label_value("a\\b"), "a\\\\b");
+  EXPECT_EQ(escape_label_value("a\"b"), "a\\\"b");
+  EXPECT_EQ(escape_label_value("a\nb"), "a\\nb");
+}
+
+TEST(Promtext, WriterEmitsFamiliesAndSamples) {
+  Writer w;
+  w.family("m", "help text", "gauge");
+  w.sample("m", {}, std::int64_t{-3});
+  w.sample("m", {{"k", "v"}, {"k2", "x\"y"}}, std::uint64_t{7});
+  w.sample("m", {}, 1.5);
+  EXPECT_EQ(w.text(),
+            "# HELP m help text\n"
+            "# TYPE m gauge\n"
+            "m -3\n"
+            "m{k=\"v\",k2=\"x\\\"y\"} 7\n"
+            "m 1.5\n");
+}
+
+TEST(Promtext, RenderRegistryCounterAndGauge) {
+  std::vector<telemetry::MetricValue> snap(2);
+  snap[0].name = "fab.sent";
+  snap[0].kind = telemetry::MetricValue::Kind::Counter;
+  snap[0].value = 12;
+  snap[1].name = "queue.depth";
+  snap[1].kind = telemetry::MetricValue::Kind::Gauge;
+  snap[1].value = -4;  // gauges keep their sign
+  const std::string text = render_registry(snap);
+  EXPECT_NE(text.find("# TYPE gras_fab_sent_total counter\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("gras_fab_sent_total 12\n"), std::string::npos) << text;
+  EXPECT_NE(text.find("# TYPE gras_queue_depth gauge\n"), std::string::npos);
+  EXPECT_NE(text.find("gras_queue_depth -4\n"), std::string::npos) << text;
+}
+
+TEST(Promtext, RenderRegistryHistogramBucketsAreCumulative) {
+  telemetry::MetricValue h;
+  h.name = "lat";
+  h.kind = telemetry::MetricValue::Kind::Histogram;
+  h.value = 6;  // count
+  h.sum = 30;
+  h.buckets.assign(64, 0);
+  h.buckets[1] = 2;  // values with bit_width 1 (just 1), le="1"
+  h.buckets[3] = 4;  // values in [4,7], le="7"
+  const std::string text = render_registry({h});
+  // Cumulative counts: le="0" 0, le="1" 2, le="3" 2, le="7" 6, +Inf 6.
+  EXPECT_NE(text.find("gras_lat_bucket{le=\"0\"} 0\n"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("gras_lat_bucket{le=\"1\"} 2\n"), std::string::npos);
+  EXPECT_NE(text.find("gras_lat_bucket{le=\"3\"} 2\n"), std::string::npos);
+  EXPECT_NE(text.find("gras_lat_bucket{le=\"7\"} 6\n"), std::string::npos);
+  EXPECT_NE(text.find("gras_lat_bucket{le=\"+Inf\"} 6\n"), std::string::npos);
+  EXPECT_NE(text.find("gras_lat_sum 30\n"), std::string::npos);
+  EXPECT_NE(text.find("gras_lat_count 6\n"), std::string::npos);
+  // Trailing empty buckets are elided: nothing past le="7" but +Inf.
+  EXPECT_EQ(text.find("le=\"15\""), std::string::npos) << text;
+}
+
+// Issues one HTTP request against 127.0.0.1:port and returns the raw
+// response (empty on any socket failure).
+std::string http_request(std::uint16_t port, const std::string& request) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  std::string out;
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) ==
+      0) {
+    ::send(fd, request.data(), request.size(), 0);
+    char buf[4096];
+    ssize_t n;
+    while ((n = ::recv(fd, buf, sizeof buf, 0)) > 0) {
+      out.append(buf, static_cast<std::size_t>(n));
+    }
+  }
+  ::close(fd);
+  return out;
+}
+
+TEST(Promtext, HttpServerServesMetricsAnd404s) {
+  MetricsHttpServer server;
+  std::string error;
+  ASSERT_TRUE(server.start("127.0.0.1", 0,
+                           [] { return std::string("test_metric 1\n"); },
+                           &error))
+      << error;
+  ASSERT_NE(server.port(), 0);
+
+  const std::string ok = http_request(
+      server.port(), "GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n");
+  EXPECT_NE(ok.find("200 OK"), std::string::npos) << ok;
+  EXPECT_NE(ok.find("text/plain; version=0.0.4"), std::string::npos) << ok;
+  EXPECT_NE(ok.find("test_metric 1\n"), std::string::npos) << ok;
+
+  const std::string root =
+      http_request(server.port(), "GET / HTTP/1.1\r\nHost: x\r\n\r\n");
+  EXPECT_NE(root.find("200 OK"), std::string::npos) << root;
+
+  const std::string missing =
+      http_request(server.port(), "GET /nope HTTP/1.1\r\nHost: x\r\n\r\n");
+  EXPECT_NE(missing.find("404 Not Found"), std::string::npos) << missing;
+
+  const std::string post =
+      http_request(server.port(), "POST /metrics HTTP/1.1\r\nHost: x\r\n\r\n");
+  EXPECT_NE(post.find("405 Method Not Allowed"), std::string::npos) << post;
+
+  const std::uint16_t port = server.port();
+  server.stop();
+  EXPECT_FALSE(server.running());
+  EXPECT_TRUE(http_request(port, "GET /metrics HTTP/1.1\r\n\r\n").empty());
+}
+
+TEST(Promtext, WritePortFilePublishesAtomically) {
+  const std::filesystem::path path =
+      std::filesystem::temp_directory_path() / "gras_promtext_port_test.txt";
+  std::string error;
+  ASSERT_TRUE(write_port_file(path, 12345, &error)) << error;
+  std::ifstream f(path);
+  std::string line;
+  std::getline(f, line);
+  EXPECT_EQ(line, "12345");
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace gras::promtext

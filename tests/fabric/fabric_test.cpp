@@ -14,7 +14,9 @@
 #include <thread>
 #include <vector>
 
+#include "src/common/metrics_registry.h"
 #include "src/fabric/coordinator.h"
+#include "src/fabric/fleet.h"
 #include "src/fabric/wire.h"
 #include "src/fabric/worker.h"
 #include "src/orchestrator/orchestrator.h"
@@ -356,6 +358,162 @@ TEST_F(FabricTest, ProtocolMismatchIsRejected) {
   const auto served = server.join();
   EXPECT_TRUE(result.error.empty()) << result.error;
   EXPECT_EQ(served.executed, 20u);
+}
+
+TEST_F(FabricTest, UnknownFrameTypeIsSkippedNotFatal) {
+  // Forward compatibility: a newer worker may send frame types this
+  // coordinator does not know. They must be counted and skipped — never
+  // cost the connection or a lease.
+  const auto spec = spec_of(campaign::Target::RF, 20);
+  auto options = serve_options("unknown");
+  Server server(*app_, spec, options);
+  const std::uint16_t port = server.wait_port();
+  ASSERT_NE(port, 0);
+
+  const std::uint64_t unknown_before =
+      telemetry::counter("fabric.frames.unknown").value();
+  {
+    Socket futuristic = Socket::connect_to("127.0.0.1", port);
+    ASSERT_TRUE(futuristic.valid());
+    HelloMsg hello;
+    hello.name = "futuristic";
+    ASSERT_TRUE(futuristic.send_frame(MsgType::Hello, encode_hello(hello)));
+    Frame f;
+    ASSERT_EQ(futuristic.recv_frame(f, 5.0), Socket::Recv::Frame);
+    ASSERT_EQ(f.type, MsgType::Welcome);
+    // Two frames from the future, then a normal lease request: the grant
+    // arriving proves the connection survived both.
+    ASSERT_TRUE(futuristic.send_frame(static_cast<MsgType>(99), "payload"));
+    ASSERT_TRUE(futuristic.send_frame(static_cast<MsgType>(200), ""));
+    ASSERT_TRUE(futuristic.send_frame(MsgType::LeaseRequest, ""));
+    ASSERT_EQ(futuristic.recv_frame(f, 5.0), Socket::Recv::Frame);
+    EXPECT_EQ(f.type, MsgType::LeaseGrant);
+  }  // hangup; the coordinator reclaims whatever was leased
+  EXPECT_GE(telemetry::counter("fabric.frames.unknown").value(),
+            unknown_before + 2);
+
+  auto result = run_worker(work_options(port, "modern"));
+  const auto served = server.join();
+  EXPECT_TRUE(result.error.empty()) << result.error;
+  EXPECT_EQ(served.executed, 20u);
+}
+
+TEST_F(FabricTest, StatsFreeLegacyWorkerStillCompletesLeases) {
+  // Heartbeat compatibility: a worker that predates the observability plane
+  // speaks protocol v1 with plain Heartbeats and never sends Stats. It must
+  // complete leases against a stats-aware coordinator, and the journal must
+  // still match the single-process reference byte for byte.
+  const auto spec = spec_of(campaign::Target::RF, 48);
+  const auto ref = reference(spec, "legacy");
+
+  auto options = serve_options("legacy");
+  options.lease = 16;
+  Server server(*app_, spec, options);
+  const std::uint16_t port = server.wait_port();
+  ASSERT_NE(port, 0);
+
+  orch::SampleRunner runner(*app_, config(), golden_, spec, pool_, 1);
+  Socket legacy = Socket::connect_to("127.0.0.1", port);
+  ASSERT_TRUE(legacy.valid());
+  HelloMsg hello;
+  hello.protocol = kProtocolVersion;
+  hello.name = "legacy";
+  ASSERT_TRUE(legacy.send_frame(MsgType::Hello, encode_hello(hello)));
+  Frame f;
+  ASSERT_EQ(legacy.recv_frame(f, 5.0), Socket::Recv::Frame);
+  ASSERT_EQ(f.type, MsgType::Welcome);
+
+  std::uint64_t executed = 0;
+  bool stopped = false;
+  for (int iter = 0; iter < 1000 && !stopped; ++iter) {
+    ASSERT_TRUE(legacy.send_frame(MsgType::LeaseRequest, ""));
+    ASSERT_EQ(legacy.recv_frame(f, 10.0), Socket::Recv::Frame);
+    if (f.type == MsgType::Stop) {
+      stopped = true;
+      break;
+    }
+    ASSERT_EQ(f.type, MsgType::LeaseGrant);
+    LeaseGrantMsg grant;
+    ASSERT_TRUE(decode_lease_grant(f.payload, grant));
+    if (grant.begin == grant.end) {
+      // Nothing leasable right now; poll for Stop the way v1 workers do.
+      const Socket::Recv r = legacy.recv_frame(f, 0.05);
+      if (r == Socket::Recv::Frame && f.type == MsgType::Stop) stopped = true;
+      ASSERT_NE(r, Socket::Recv::Closed);
+      continue;
+    }
+    // A plain idle-format Heartbeat mid-lease: the pre-stats liveness frame.
+    HeartbeatMsg hb;
+    hb.lease_id = grant.lease_id;
+    ASSERT_TRUE(legacy.send_frame(MsgType::Heartbeat, encode_heartbeat(hb)));
+    std::vector<std::uint64_t> indices;
+    for (std::uint64_t i = grant.begin; i < grant.end; ++i) indices.push_back(i);
+    RecordsMsg records;
+    records.lease_id = grant.lease_id;
+    records.records = runner.run(indices);
+    executed += records.records.size();
+    ASSERT_TRUE(legacy.send_frame(MsgType::Records, encode_records(records)));
+    LeaseDoneMsg done;
+    done.lease_id = grant.lease_id;
+    ASSERT_TRUE(legacy.send_frame(MsgType::LeaseDone, encode_lease_done(done)));
+  }
+  EXPECT_TRUE(stopped);
+  EXPECT_EQ(executed, 48u);
+  legacy.shutdown();  // hang up promptly so the coordinator can finish
+
+  const auto served = server.join();
+  EXPECT_EQ(served.executed, 48u);
+  expect_same_result(served.result, ref.result);
+  expect_same_journal(served.journal, ref.journal);
+}
+
+TEST_F(FabricTest, FleetStatusServedMidCampaign) {
+  const auto spec = spec_of(campaign::Target::RF, 2000);
+  auto options = serve_options("fleet");
+  options.lease = 32;
+  Server server(*app_, spec, options);
+  const std::uint16_t port = server.wait_port();
+  ASSERT_NE(port, 0);
+
+  std::thread worker([this, port] {
+    const auto r = run_worker(work_options(port, "observed"));
+    EXPECT_TRUE(r.error.empty()) << r.error;
+  });
+
+  // A fleet client: no Hello, just Status -> StatusReply on a connection of
+  // its own. Poll until the worker shows up in the table.
+  FleetStatus status;
+  bool saw_worker = false;
+  {
+    Socket fleet = Socket::connect_to("127.0.0.1", port);
+    ASSERT_TRUE(fleet.valid());
+    Frame f;
+    for (int i = 0; i < 400 && !saw_worker; ++i) {
+      ASSERT_TRUE(fleet.send_frame(MsgType::Status, ""));
+      ASSERT_EQ(fleet.recv_frame(f, 10.0), Socket::Recv::Frame);
+      ASSERT_EQ(f.type, MsgType::StatusReply);
+      ASSERT_TRUE(decode_fleet_status(f.payload, status));
+      saw_worker = status.workers_connected() >= 1;
+      if (!saw_worker) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      }
+    }
+  }
+  ASSERT_TRUE(saw_worker);
+  EXPECT_EQ(status.app, "va");
+  EXPECT_EQ(status.kernel, "va_k1");
+  EXPECT_EQ(status.target, "RF");
+  EXPECT_EQ(status.samples, 2000u);
+  ASSERT_GE(status.workers.size(), 1u);
+  EXPECT_EQ(status.workers[0].name, "observed");
+  EXPECT_TRUE(status.workers[0].connected);
+
+  worker.join();
+  const auto served = server.join();
+  EXPECT_EQ(served.executed, 2000u);
+  // The status plane never feeds the campaign: the fleet client's extra
+  // connection changed nothing about the result.
+  EXPECT_EQ(served.result.counts.total(), 2000u);
 }
 
 TEST_F(FabricTest, ServedJournalResumesInASingleProcessRun) {

@@ -1,0 +1,214 @@
+// FleetTracker under a fake clock: heartbeat aging and staleness, windowed
+// throughput math, aggregate helpers, and the three FleetStatus renderings
+// (table, JSON, exposition text).
+#include "src/fabric/fleet.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace gras::fabric {
+namespace {
+
+StatsMsg stats(std::uint64_t executed, std::uint64_t lease_id = 1) {
+  StatsMsg m;
+  m.lease_id = lease_id;
+  m.executed = executed;
+  return m;
+}
+
+TEST(FleetTracker, UnknownKeyYieldsDefaultRow) {
+  double t = 0.0;
+  const FleetTracker tracker(10.0, [&] { return t; });
+  const WorkerStatus w = tracker.row("nobody");
+  EXPECT_EQ(w.executed, 0u);
+  EXPECT_FALSE(w.stale);
+  EXPECT_DOUBLE_EQ(w.samples_per_sec, 0.0);
+}
+
+TEST(FleetTracker, HeartbeatAgeAndStaleness) {
+  double t = 100.0;
+  FleetTracker tracker(10.0, [&] { return t; });
+  tracker.touch("w");
+  EXPECT_DOUBLE_EQ(tracker.row("w").heartbeat_age_sec, 0.0);
+  t = 105.0;
+  EXPECT_DOUBLE_EQ(tracker.row("w").heartbeat_age_sec, 5.0);
+  EXPECT_FALSE(tracker.row("w").stale);
+  t = 110.5;  // past the 10s budget
+  EXPECT_TRUE(tracker.row("w").stale);
+  // Any frame revives the worker.
+  tracker.touch("w");
+  EXPECT_FALSE(tracker.row("w").stale);
+  EXPECT_DOUBLE_EQ(tracker.row("w").heartbeat_age_sec, 0.0);
+}
+
+TEST(FleetTracker, ThroughputNeedsTwoPoints) {
+  double t = 0.0;
+  FleetTracker tracker(10.0, [&] { return t; });
+  tracker.on_stats("w", stats(100));
+  EXPECT_DOUBLE_EQ(tracker.row("w").samples_per_sec, 0.0);
+  t = 2.0;
+  tracker.on_stats("w", stats(300));
+  // 200 samples over 2 seconds.
+  EXPECT_DOUBLE_EQ(tracker.row("w").samples_per_sec, 100.0);
+  EXPECT_EQ(tracker.row("w").executed, 300u);
+}
+
+TEST(FleetTracker, ThroughputWindowSlidesForward) {
+  double t = 0.0;
+  FleetTracker tracker(100.0, [&] { return t; }, /*window_sec=*/10.0);
+  tracker.on_stats("w", stats(0));
+  t = 2.0;
+  tracker.on_stats("w", stats(1000));  // a fast burst...
+  for (int i = 1; i <= 10; ++i) {
+    t = 2.0 + 10.0 * i;  // ...then 10 samples/s for 100 seconds
+    tracker.on_stats("w", stats(1000 + 100 * static_cast<std::uint64_t>(i)));
+  }
+  // The burst at t=2 left the 10s window long ago; the rate reflects the
+  // recent cadence, not the lifetime average (~19.6/s).
+  const double rate = tracker.row("w").samples_per_sec;
+  EXPECT_NEAR(rate, 10.0, 0.1);
+}
+
+TEST(FleetTracker, ThroughputKeepsOnePointOlderThanTheWindow) {
+  double t = 0.0;
+  FleetTracker tracker(100.0, [&] { return t; }, /*window_sec=*/10.0);
+  // A sparse reporter: one report every 8s. Both retained points must span
+  // a full interval even though only one of them is inside the window.
+  tracker.on_stats("w", stats(0));
+  t = 8.0;
+  tracker.on_stats("w", stats(80));
+  t = 16.0;
+  tracker.on_stats("w", stats(160));
+  EXPECT_NEAR(tracker.row("w").samples_per_sec, 10.0, 1e-9);
+}
+
+TEST(FleetTracker, ExecutedRegressionReportsZeroRate) {
+  // A worker restart resets its cumulative executed count; the tracker must
+  // not report a bogus (negative or underflowed) rate.
+  double t = 0.0;
+  FleetTracker tracker(10.0, [&] { return t; });
+  tracker.on_stats("w", stats(500));
+  t = 1.0;
+  tracker.on_stats("w", stats(10));
+  EXPECT_DOUBLE_EQ(tracker.row("w").samples_per_sec, 0.0);
+}
+
+TEST(FleetTracker, StatsEntriesOverwriteByName) {
+  double t = 0.0;
+  FleetTracker tracker(10.0, [&] { return t; });
+  StatsMsg m = stats(10);
+  m.entries = {{"sim.cycles", 100}, {"fi.injections", 9}};
+  tracker.on_stats("w", m);
+  m = stats(20);
+  m.entries = {{"sim.cycles", 250}};  // delta report: only what changed
+  tracker.on_stats("w", m);
+  const WorkerStatus w = tracker.row("w");
+  ASSERT_EQ(w.stats.size(), 2u);  // folded map keeps both names
+  EXPECT_EQ(w.stats[0].first, "fi.injections");
+  EXPECT_EQ(w.stats[0].second, 9);
+  EXPECT_EQ(w.stats[1].first, "sim.cycles");
+  EXPECT_EQ(w.stats[1].second, 250);
+}
+
+TEST(FleetTracker, ForgetDropsTheRow) {
+  double t = 0.0;
+  FleetTracker tracker(10.0, [&] { return t; });
+  tracker.on_stats("w", stats(42));
+  tracker.forget("w");
+  EXPECT_EQ(tracker.row("w").executed, 0u);
+}
+
+FleetStatus sample_status() {
+  FleetStatus s;
+  s.app = "va";
+  s.kernel = "va_k1";
+  s.config = "gv100-scaled";
+  s.target = "SVF";
+  s.samples = 1000;
+  s.committed = 600;
+  s.executed = 500;
+  s.replayed = 100;
+  s.masked = 400;
+  s.sdc = 150;
+  s.timeout = 20;
+  s.due = 30;
+  s.fr = 0.333;
+  s.fr_lo = 0.30;
+  s.fr_hi = 0.37;
+  s.samples_per_sec = 120.0;
+  s.eta_sec = 3.3;
+  WorkerStatus a;
+  a.name = "worker-1";
+  a.connected = true;
+  a.completed = 300;
+  a.leased = 64;
+  a.executed = 250;
+  a.samples_per_sec = 60.0;
+  WorkerStatus b;
+  b.name = "worker-2";
+  b.connected = true;
+  b.stale = true;
+  b.samples_per_sec = 40.0;
+  WorkerStatus c;
+  c.name = "worker-3";  // gone
+  c.samples_per_sec = 99.0;
+  s.workers = {a, b, c};
+  return s;
+}
+
+TEST(FleetStatus, AggregateHelpers) {
+  const FleetStatus s = sample_status();
+  EXPECT_EQ(s.workers_connected(), 2u);
+  EXPECT_EQ(s.workers_stale(), 1u);
+  // Disconnected workers do not contribute to the fleet rate.
+  EXPECT_DOUBLE_EQ(s.workers_samples_per_sec(), 100.0);
+}
+
+TEST(FleetStatus, TableShowsEveryWorkerState) {
+  const std::string table = render_fleet_table(sample_status());
+  EXPECT_NE(table.find("600/1000 committed"), std::string::npos) << table;
+  EXPECT_NE(table.find("3 workers (2 live)"), std::string::npos) << table;
+  EXPECT_NE(table.find("worker-1"), std::string::npos);
+  EXPECT_NE(table.find("live"), std::string::npos);
+  EXPECT_NE(table.find("stale"), std::string::npos);
+  EXPECT_NE(table.find("gone"), std::string::npos);
+}
+
+TEST(FleetStatus, JsonIsOneLineAndSanitizesNames) {
+  FleetStatus s = sample_status();
+  s.workers[0].name = "evil\"name\nworker-1";
+  const std::string j = fleet_status_json(s);
+  EXPECT_EQ(j.find('\n'), std::string::npos) << j;
+  EXPECT_EQ(j.front(), '{');
+  EXPECT_EQ(j.back(), '}');
+  EXPECT_NE(j.find("\"type\":\"fleet\""), std::string::npos);
+  EXPECT_NE(j.find("\"committed\":600"), std::string::npos);
+  // Hostile characters are stripped, not escaped, as in JsonlProgress.
+  EXPECT_NE(j.find("\"evilnameworker-1\""), std::string::npos) << j;
+  EXPECT_EQ(j.find("evil\""), std::string::npos);
+}
+
+TEST(FleetStatus, PromtextDedupesDuplicateWorkerNames) {
+  FleetStatus s = sample_status();
+  s.workers[1].name = "worker-1";  // collides with workers[0]
+  const std::string text = render_fleet_promtext(s);
+  EXPECT_NE(text.find("gras_fleet_samples_committed 600\n"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("gras_fleet_outcome{outcome=\"sdc\"} 150\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("gras_fleet_workers{state=\"connected\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(
+      text.find("gras_fleet_worker_samples_per_sec{worker=\"worker-1\"} 60\n"),
+      std::string::npos)
+      << text;
+  // The second worker-1 gets a disambiguating suffix: no duplicate series.
+  EXPECT_NE(
+      text.find("gras_fleet_worker_samples_per_sec{worker=\"worker-1#1\"} 40\n"),
+      std::string::npos)
+      << text;
+}
+
+}  // namespace
+}  // namespace gras::fabric

@@ -11,6 +11,8 @@
 
 #include <cstring>
 
+#include "src/fabric/fleet.h"
+
 namespace gras::fabric {
 namespace {
 
@@ -106,6 +108,126 @@ TEST(WireCodec, DamagedRecordInPayloadIsRejected) {
   payload[payload.size() / 2] ^= 0x01;  // flip one bit inside the record
   RecordsMsg out;
   EXPECT_FALSE(decode_records(payload, out));
+}
+
+TEST(WireCodec, StatsRoundTrips) {
+  StatsMsg in;
+  in.lease_id = 7;
+  in.executed = 4096;
+  in.entries = {{"fi.injections", 4095}, {"sim.cycles", 123456789},
+                {"queue.depth", -3}};  // gauges may be negative
+  StatsMsg out;
+  ASSERT_TRUE(decode_stats(encode_stats(in), out));
+  EXPECT_EQ(out.version, kStatsVersion);
+  EXPECT_EQ(out.lease_id, 7u);
+  EXPECT_EQ(out.executed, 4096u);
+  ASSERT_EQ(out.entries.size(), 3u);
+  EXPECT_EQ(out.entries[0].first, "fi.injections");
+  EXPECT_EQ(out.entries[0].second, 4095);
+  EXPECT_EQ(out.entries[2].second, -3);
+
+  // An empty delta (nothing changed since the last report) is valid.
+  StatsMsg empty;
+  ASSERT_TRUE(decode_stats(encode_stats(StatsMsg{}), empty));
+  EXPECT_TRUE(empty.entries.empty());
+}
+
+TEST(WireCodec, StatsUnknownVersionIsRejected) {
+  StatsMsg in;
+  in.version = kStatsVersion + 1;
+  in.entries = {{"a", 1}};
+  StatsMsg out;
+  EXPECT_FALSE(decode_stats(encode_stats(in), out));
+}
+
+TEST(WireCodec, StatsTruncationIsRejected) {
+  StatsMsg in;
+  in.lease_id = 1;
+  in.entries = {{"fi.injections", 42}};
+  const std::string payload = encode_stats(in);
+  StatsMsg out;
+  for (std::size_t cut = 0; cut < payload.size(); ++cut) {
+    EXPECT_FALSE(decode_stats(payload.substr(0, cut), out)) << "cut=" << cut;
+  }
+  EXPECT_FALSE(decode_stats(payload + "x", out));
+}
+
+TEST(WireCodec, FleetStatusRoundTripsEveryField) {
+  FleetStatus in;
+  in.app = "hotspot";
+  in.kernel = "hotspot_k1";
+  in.config = "gv100-scaled";
+  in.target = "RF";
+  in.samples = 9000;
+  in.committed = 4200;
+  in.executed = 4100;
+  in.replayed = 100;
+  in.masked = 4000;
+  in.sdc = 150;
+  in.timeout = 20;
+  in.due = 30;
+  in.fr = 0.0476;
+  in.fr_lo = 0.041;
+  in.fr_hi = 0.055;
+  in.samples_per_sec = 812.5;
+  in.eta_sec = 5.9;
+  in.early_stopped = true;
+  WorkerStatus w;
+  w.name = "worker-9";
+  w.connected = true;
+  w.stale = true;
+  w.completed = 2100;
+  w.leased = 64;
+  w.lease_id = 33;
+  w.executed = 2048;
+  w.samples_per_sec = 406.25;
+  w.heartbeat_age_sec = 11.5;
+  w.stats = {{"sim.cycles", 999}, {"fi.injections", 2048}};
+  in.workers.push_back(w);
+  in.workers.push_back(WorkerStatus{});  // a gone worker with defaults
+
+  FleetStatus out;
+  ASSERT_TRUE(decode_fleet_status(encode_fleet_status(in), out));
+  EXPECT_EQ(out.app, in.app);
+  EXPECT_EQ(out.kernel, in.kernel);
+  EXPECT_EQ(out.config, in.config);
+  EXPECT_EQ(out.target, in.target);
+  EXPECT_EQ(out.samples, in.samples);
+  EXPECT_EQ(out.committed, in.committed);
+  EXPECT_EQ(out.executed, in.executed);
+  EXPECT_EQ(out.replayed, in.replayed);
+  EXPECT_EQ(out.masked, in.masked);
+  EXPECT_EQ(out.sdc, in.sdc);
+  EXPECT_EQ(out.timeout, in.timeout);
+  EXPECT_EQ(out.due, in.due);
+  EXPECT_DOUBLE_EQ(out.fr, in.fr);
+  EXPECT_DOUBLE_EQ(out.fr_lo, in.fr_lo);
+  EXPECT_DOUBLE_EQ(out.fr_hi, in.fr_hi);
+  EXPECT_DOUBLE_EQ(out.samples_per_sec, in.samples_per_sec);
+  EXPECT_DOUBLE_EQ(out.eta_sec, in.eta_sec);
+  EXPECT_TRUE(out.early_stopped);
+  ASSERT_EQ(out.workers.size(), 2u);
+  EXPECT_EQ(out.workers[0].name, "worker-9");
+  EXPECT_TRUE(out.workers[0].connected);
+  EXPECT_TRUE(out.workers[0].stale);
+  EXPECT_EQ(out.workers[0].completed, 2100u);
+  EXPECT_EQ(out.workers[0].leased, 64u);
+  EXPECT_EQ(out.workers[0].lease_id, 33u);
+  EXPECT_EQ(out.workers[0].executed, 2048u);
+  EXPECT_DOUBLE_EQ(out.workers[0].samples_per_sec, 406.25);
+  EXPECT_DOUBLE_EQ(out.workers[0].heartbeat_age_sec, 11.5);
+  ASSERT_EQ(out.workers[0].stats.size(), 2u);
+  EXPECT_EQ(out.workers[0].stats[0].first, "sim.cycles");
+  EXPECT_EQ(out.workers[0].stats[0].second, 999);
+  EXPECT_FALSE(out.workers[1].connected);
+
+  // Truncation anywhere is rejected.
+  const std::string payload = encode_fleet_status(in);
+  FleetStatus cut_out;
+  for (std::size_t cut = 0; cut < payload.size(); cut += 7) {
+    EXPECT_FALSE(decode_fleet_status(payload.substr(0, cut), cut_out))
+        << "cut=" << cut;
+  }
 }
 
 TEST(WireParse, Addresses) {

@@ -1,0 +1,151 @@
+#!/usr/bin/env python3
+"""Validates a Prometheus text-exposition scrape (version 0.0.4).
+
+Checks the line grammar (# HELP / # TYPE comments, sample lines with
+optional labels), metric-name and label syntax, that every sample belongs
+to a family declared with # TYPE, that histogram buckets are cumulative
+and end with an le="+Inf" bucket equal to the family's _count, that no
+(name, labels) series repeats, and that every family named on the command
+line is present with at least one sample.
+
+Usage: check_promtext.py <metrics.txt> [required-family ...]
+Exit status: 0 valid, 1 invalid, 2 usage.
+"""
+
+import re
+import sys
+
+NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+# name{labels} value  — the label block must consume everything between
+# the braces, which LABEL_RE re-checks pair by pair.
+SAMPLE_RE = re.compile(r"^(\S+?)(?:\{(.*)\})? ([^ ]+)$")
+TYPES = {"counter", "gauge", "histogram", "summary", "untyped"}
+
+
+def fail(msg):
+    print(f"check_promtext: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def parse_value(text, where):
+    if text in ("+Inf", "-Inf", "NaN"):
+        return float(text.replace("Inf", "inf").replace("NaN", "nan"))
+    try:
+        return float(text)
+    except ValueError:
+        fail(f"{where}: unparseable sample value {text!r}")
+
+
+def base_family(name):
+    """Maps histogram series names back to their declared family."""
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix):
+            return name[: -len(suffix)]
+    return name
+
+
+def main():
+    if len(sys.argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        sys.exit(2)
+
+    try:
+        with open(sys.argv[1], encoding="utf-8") as f:
+            lines = f.read().split("\n")
+    except OSError as e:
+        fail(f"not readable: {e}")
+    if lines and lines[-1] == "":
+        lines.pop()
+    if not lines:
+        fail("empty exposition")
+
+    types = {}      # family -> declared type
+    seen = set()    # (name, labels) series identity
+    sampled = set() # families with at least one sample
+    buckets = {}    # (family, non-le labels) -> [(le, cumulative count)]
+    counts = {}     # (family, non-le labels) -> _count value
+
+    for i, line in enumerate(lines, 1):
+        if line == "":
+            fail(f"line {i}: blank line inside exposition")
+        if line.startswith("#"):
+            m = re.match(r"^# (HELP|TYPE) (\S+)(?: (.*))?$", line)
+            if not m:
+                fail(f"line {i}: malformed comment {line!r}")
+            kind, family, rest = m.groups()
+            if not NAME_RE.match(family):
+                fail(f"line {i}: bad metric name {family!r}")
+            if kind == "TYPE":
+                if rest not in TYPES:
+                    fail(f"line {i}: unknown type {rest!r}")
+                if family in types:
+                    fail(f"line {i}: duplicate # TYPE for {family}")
+                if family in sampled:
+                    fail(f"line {i}: # TYPE for {family} after its samples")
+                types[family] = rest
+            continue
+
+        m = SAMPLE_RE.match(line)
+        if not m:
+            fail(f"line {i}: malformed sample {line!r}")
+        name, label_blob, value_text = m.groups()
+        if not NAME_RE.match(name):
+            fail(f"line {i}: bad metric name {name!r}")
+        labels = []
+        if label_blob is not None:
+            consumed = LABEL_RE.sub("", label_blob).strip(",")
+            if consumed:
+                fail(f"line {i}: malformed labels {{{label_blob}}}")
+            labels = LABEL_RE.findall(label_blob)
+        value = parse_value(value_text, f"line {i}")
+
+        series = (name, tuple(sorted(labels)))
+        if series in seen:
+            fail(f"line {i}: duplicate series {series}")
+        seen.add(series)
+
+        family = base_family(name)
+        if family not in types:
+            fail(f"line {i}: sample {name!r} has no # TYPE declaration")
+        sampled.add(family)
+
+        if types[family] == "histogram":
+            others = tuple(sorted((k, v) for k, v in labels if k != "le"))
+            key = (family, others)
+            if name.endswith("_bucket"):
+                le = [v for k, v in labels if k == "le"]
+                if len(le) != 1:
+                    fail(f"line {i}: _bucket needs exactly one le label")
+                bound = parse_value(le[0], f"line {i}")
+                buckets.setdefault(key, []).append((bound, value))
+            elif name.endswith("_count"):
+                counts[key] = value
+
+    for (family, others), series in buckets.items():
+        where = f"{family}{dict(others) if others else ''}"
+        last = None
+        for bound, cumulative in series:
+            if last is not None:
+                if bound <= last[0]:
+                    fail(f"{where}: le bounds not increasing at le={bound}")
+                if cumulative < last[1]:
+                    fail(f"{where}: bucket counts not cumulative at le={bound}")
+            last = (bound, cumulative)
+        if last is None or last[0] != float("inf"):
+            fail(f"{where}: histogram must end with an le=\"+Inf\" bucket")
+        if (family, others) not in counts:
+            fail(f"{where}: histogram has buckets but no _count")
+        if counts[(family, others)] != last[1]:
+            fail(f"{where}: +Inf bucket {last[1]} != _count "
+                 f"{counts[(family, others)]}")
+
+    for family in sys.argv[2:]:
+        if family not in sampled:
+            fail(f"required family {family!r} missing from the scrape")
+
+    print(f"check_promtext: OK ({len(seen)} series, {len(types)} families)")
+
+
+if __name__ == "__main__":
+    main()

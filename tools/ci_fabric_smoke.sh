@@ -1,11 +1,14 @@
 #!/usr/bin/env bash
 # Distributed campaign fabric smoke test (CI):
 #   1. run a single-process --batch 1 campaign to completion (reference),
-#   2. serve the same campaign to 3 workers, SIGKILL one worker mid-lease,
-#      SIGKILL the coordinator partway, restart the coordinator once on the
-#      same port (surviving workers reconnect and finish),
+#   2. serve the same campaign to 3 workers, observe the live fleet through
+#      `gras fleet --json` and a /metrics scrape (validated by
+#      check_promtext.py), SIGKILL one worker mid-lease, SIGKILL the
+#      coordinator partway, restart the coordinator once on the same port
+#      (surviving workers reconnect and finish),
 #   3. require the served journal to be byte-identical (as a sorted record
-#      dump) to the reference, and the histograms to match.
+#      dump) to the reference, and the histograms to match — proving the
+#      observability plane never touched the campaign's behavior.
 #
 # Usage: ci_fabric_smoke.sh [path-to-gras-binary]
 set -u
@@ -15,7 +18,9 @@ WORK=$(mktemp -d)
 trap 'kill $(jobs -p) 2>/dev/null; rm -rf "$WORK"' EXIT
 export GRAS_THREADS=2   # slow the workers down so the kills land mid-run
 
-APP=hotspot KERNEL=hotspot_k1 TARGET=RF SAMPLES=600
+# 1200 samples keeps the distributed run alive (~7s at 3 workers) through
+# the fleet/metrics observation steps AND both SIGKILLs that follow.
+APP=hotspot KERNEL=hotspot_k1 TARGET=RF SAMPLES=1200
 
 histogram() { grep -E 'Masked|SDC|Timeout|DUE|FR =' "$1"; }
 
@@ -39,6 +44,8 @@ echo "== coordinator + 3 workers, one worker SIGKILLed mid-lease =="
 "$GRAS" serve "$APP" "$KERNEL" "$TARGET" "$SAMPLES" \
     --listen 127.0.0.1:0 --port-file "$WORK/port.txt" \
     --journal "$WORK/served.jrnl" --lease 16 --lease-ttl 3 \
+    --heartbeat-sec 0.5 \
+    --metrics-port 0 --metrics-port-file "$WORK/mport.txt" \
     > "$WORK/serve1.txt" 2>&1 &
 serve_pid=$!
 PORT=$(wait_port "$WORK/port.txt") || fail "coordinator never wrote its port file"
@@ -51,7 +58,45 @@ for i in 0 1 2; do
     worker_pids+=($!)
 done
 
-sleep 1.5
+echo "== gras fleet --json must show 3 live workers with throughput =="
+fleet_live() {
+    # Succeeds once the fleet status shows 3 connected workers and a
+    # nonzero per-worker throughput (needs two stats reports per worker).
+    "$GRAS" fleet "127.0.0.1:$PORT" --json > "$WORK/fleet.json" 2>/dev/null \
+        || return 1
+    python3 - "$WORK/fleet.json" <<'EOF'
+import json, sys
+s = json.load(open(sys.argv[1]))
+live = [w for w in s["workers"] if w["connected"]]
+ok = len(live) >= 3 and any(w["samples_per_sec"] > 0 for w in live)
+sys.exit(0 if ok else 1)
+EOF
+}
+fleet_ok=0
+for _ in $(seq 1 100); do
+    if fleet_live; then fleet_ok=1; break; fi
+    sleep 0.2
+done
+[ "$fleet_ok" = 1 ] || fail "fleet status never showed 3 live workers with throughput: $(cat "$WORK/fleet.json" 2>/dev/null)"
+echo "fleet: $(cat "$WORK/fleet.json")"
+
+echo "== scrape /metrics mid-campaign and validate the exposition =="
+MPORT=$(wait_port "$WORK/mport.txt") || fail "coordinator never wrote its metrics port file"
+python3 - "$MPORT" "$WORK/metrics.txt" <<'EOF' || fail "/metrics scrape failed"
+import sys, urllib.request
+body = urllib.request.urlopen(
+    f"http://127.0.0.1:{sys.argv[1]}/metrics", timeout=10).read()
+open(sys.argv[2], "wb").write(body)
+EOF
+python3 "$(dirname "$0")/check_promtext.py" "$WORK/metrics.txt" \
+    gras_fleet_samples_committed \
+    gras_fleet_samples_per_sec \
+    gras_fleet_workers \
+    gras_fleet_worker_samples_per_sec \
+    gras_fabric_records_received_total \
+    gras_metrics_scrapes_total \
+    || fail "mid-campaign /metrics scrape failed validation"
+
 kill -9 "${worker_pids[2]}" 2>/dev/null
 wait "${worker_pids[2]}" 2>/dev/null
 echo "worker smoke-w2 SIGKILLed; its lease must be reassigned"
@@ -70,6 +115,8 @@ echo "coordinator SIGKILLed; restarting with --resume"
 "$GRAS" serve "$APP" "$KERNEL" "$TARGET" "$SAMPLES" \
     --listen "127.0.0.1:$PORT" --port-file "$WORK/port.txt" \
     --journal "$WORK/served.jrnl" --resume --lease 16 --lease-ttl 3 \
+    --heartbeat-sec 0.5 \
+    --metrics-port 0 --metrics-port-file "$WORK/mport2.txt" \
     > "$WORK/serve2.txt" 2>&1 &
 serve_pid=$!
 

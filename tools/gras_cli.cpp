@@ -20,6 +20,9 @@
 //       --progress stderr|jsonl[=path]   live progress snapshots
 //       --journal <path> explicit journal file (default under GRAS_JOURNAL_DIR)
 //       --no-journal     in-memory run (no crash safety)
+//       --metrics-port N serve Prometheus /metrics on port N while the
+//                        campaign runs (0 = ephemeral; see --metrics-port-file)
+//       --metrics-port-file f  write the bound /metrics port to f
 //   gras serve <app> <kernel> <target> [samples] --listen host:port [flags]
 //                                      coordinate a distributed campaign:
 //                                      lease sample ranges to workers, append
@@ -30,11 +33,21 @@
 //       --lease N        samples per lease (default 256)
 //       --heartbeat-sec S  worker heartbeat period (default 2)
 //       --lease-ttl S    lease silence budget before reassignment (default 10)
-//       plus --resume --margin --batch --journal --progress as in campaign
+//       plus --resume --margin --batch --journal --progress
+//       --metrics-port --metrics-port-file as in campaign (the serve
+//       endpoint additionally exposes gras_fleet_* per-worker families)
 //   gras work --connect host:port [--name s] [--threads n] [--retry-sec s]
 //                                      execute leases for a coordinator;
 //                                      disposable (SIGKILL-safe), reconnects
 //                                      across coordinator restarts
+//   gras fleet <host:port> [--watch[=sec]] [--json]
+//                                      live status from a serving
+//                                      coordinator: campaign aggregates plus
+//                                      a per-worker table (state, throughput,
+//                                      heartbeat age); --watch refreshes
+//                                      every 2s (or the given period), --json
+//                                      prints one machine-readable line per
+//                                      snapshot
 //   gras journal info <journal>        header provenance, fingerprint, record
 //                                      count, torn-tail status
 //   gras journal dump <journal>        one line per record: index, outcome,
@@ -70,6 +83,7 @@
 // GRAS_JOURNAL_DIR, GRAS_JOURNAL_FSYNC, GRAS_TRACE, GRAS_TRACE_BUF (see
 // README).
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -77,6 +91,7 @@
 #include <fstream>
 #include <memory>
 #include <sstream>
+#include <thread>
 #include <vector>
 
 #include "src/analysis/analysis.h"
@@ -86,9 +101,11 @@
 #include "src/campaign/campaign.h"
 #include "src/common/build_info.h"
 #include "src/common/env.h"
+#include "src/common/promtext.h"
 #include "src/common/table.h"
 #include "src/common/trace.h"
 #include "src/fabric/coordinator.h"
+#include "src/fabric/fleet.h"
 #include "src/fabric/wire.h"
 #include "src/fabric/worker.h"
 #include "src/isa/disasm.h"
@@ -111,11 +128,14 @@ int usage() {
                "           [--shard i/N] [--resume] [--margin pct] [--batch K]\n"
                "           [--prune] [--progress stderr|jsonl[=path]]\n"
                "           [--journal path] [--no-journal] [--trace file]\n"
+               "           [--metrics-port N] [--metrics-port-file path]\n"
                "  serve <app> <kernel> <target> [samples] --listen host:port\n"
                "           [--port-file path] [--lease N] [--heartbeat-sec S]\n"
                "           [--lease-ttl S] [--resume] [--margin pct] [--batch K]\n"
                "           [--journal path] [--progress stderr|jsonl[=path]]\n"
+               "           [--metrics-port N] [--metrics-port-file path]\n"
                "  work --connect host:port [--name s] [--threads n] [--retry-sec s]\n"
+               "  fleet <host:port> [--watch[=sec]] [--json]\n"
                "  journal info <journal>\n"
                "  journal dump <journal>\n"
                "  merge <journal>...\n"
@@ -248,6 +268,8 @@ struct CampaignFlags {
   std::string journal;
   std::string progress;  // "", "stderr", "jsonl", "jsonl=path"
   std::string trace;     // Perfetto trace output path ("" = GRAS_TRACE env)
+  std::int32_t metrics_port = -1;  // -1 = no /metrics listener, 0 = ephemeral
+  std::string metrics_port_file;
 };
 
 /// Parses argv[from..), leaving positionals untouched. Throws
@@ -308,6 +330,16 @@ CampaignFlags parse_campaign_flags(int argc, char** argv, int from) {
       if (!ok) {
         throw std::invalid_argument("--progress expects stderr or jsonl[=path]");
       }
+    } else if (arg == "--metrics-port") {
+      const std::string v = need_value("--metrics-port");
+      char* end = nullptr;
+      const long p = std::strtol(v.c_str(), &end, 10);
+      if (end == v.c_str() || *end != '\0' || p < 0 || p > 65535) {
+        throw std::invalid_argument("--metrics-port expects a port (0 = ephemeral)");
+      }
+      flags.metrics_port = static_cast<std::int32_t>(p);
+    } else if (arg == "--metrics-port-file") {
+      flags.metrics_port_file = need_value("--metrics-port-file");
     } else {
       throw std::invalid_argument("unknown flag '" + arg + "'");
     }
@@ -382,6 +414,40 @@ int cmd_campaign(const std::string& app_name, const std::string& kernel,
         flags.progress.substr(std::strlen("jsonl=")), kMetricsIntervalSec);
   }
   options.progress = sink.get();
+
+  // Optional embedded /metrics listener. MetricsProgress tees each progress
+  // snapshot into progress.* gauges so the scrape shows live campaign state,
+  // not just the counters. Bind failure is a warning: metrics never gate a
+  // campaign.
+  promtext::MetricsHttpServer metrics_server;
+  orchestrator::MetricsProgress metrics_progress;
+  orchestrator::TeeProgress metrics_tee(sink.get(), &metrics_progress);
+  if (flags.metrics_port >= 0) {
+    std::string metrics_error;
+    const bool up = metrics_server.start(
+        "", static_cast<std::uint16_t>(flags.metrics_port),
+        [] {
+          return promtext::render_registry(
+              telemetry::Registry::instance().snapshot());
+        },
+        &metrics_error);
+    if (up) {
+      options.progress = &metrics_tee;
+      std::fprintf(stderr, "metrics: http://127.0.0.1:%u/metrics\n",
+                   static_cast<unsigned>(metrics_server.port()));
+      if (!flags.metrics_port_file.empty()) {
+        std::string file_error;
+        if (!promtext::write_port_file(flags.metrics_port_file,
+                                       metrics_server.port(), &file_error)) {
+          std::fprintf(stderr, "gras: cannot write --metrics-port-file: %s\n",
+                       file_error.c_str());
+        }
+      }
+    } else {
+      std::fprintf(stderr, "gras: /metrics listener disabled: %s\n",
+                   metrics_error.c_str());
+    }
+  }
 
   const auto finish_trace = [&]() -> int {
     if (!trace_path.empty()) {
@@ -518,6 +584,8 @@ struct ServeFlags {
   std::uint64_t batch = 0;  // 0 = GRAS_BATCH env default
   std::string journal;
   std::string progress;
+  std::int32_t metrics_port = -1;  // -1 = no /metrics listener, 0 = ephemeral
+  std::string metrics_port_file;
 };
 
 ServeFlags parse_serve_flags(int argc, char** argv, int from) {
@@ -566,6 +634,16 @@ ServeFlags parse_serve_flags(int argc, char** argv, int from) {
       if (!ok) {
         throw std::invalid_argument("--progress expects stderr or jsonl[=path]");
       }
+    } else if (arg == "--metrics-port") {
+      const std::string v = need_value("--metrics-port");
+      char* end = nullptr;
+      const long p = std::strtol(v.c_str(), &end, 10);
+      if (end == v.c_str() || *end != '\0' || p < 0 || p > 65535) {
+        throw std::invalid_argument("--metrics-port expects a port (0 = ephemeral)");
+      }
+      flags.metrics_port = static_cast<std::int32_t>(p);
+    } else if (arg == "--metrics-port-file") {
+      flags.metrics_port_file = need_value("--metrics-port-file");
     } else {
       throw std::invalid_argument("unknown flag '" + arg + "'");
     }
@@ -613,6 +691,10 @@ int cmd_serve(const std::string& app_name, const std::string& kernel,
   options.heartbeat_sec = flags.heartbeat_sec;
   options.lease_ttl_sec = flags.lease_ttl_sec;
   options.batch = flags.batch != 0 ? flags.batch : env_batch();
+  options.metrics_port = flags.metrics_port;
+  if (!flags.metrics_port_file.empty()) {
+    options.metrics_port_file = flags.metrics_port_file;
+  }
   std::unique_ptr<orchestrator::ProgressSink> sink;
   if (flags.progress == "stderr") {
     sink = std::make_unique<orchestrator::StderrProgress>();
@@ -622,7 +704,13 @@ int cmd_serve(const std::string& app_name, const std::string& kernel,
     sink = std::make_unique<orchestrator::JsonlProgress>(
         flags.progress.substr(std::strlen("jsonl=")), kMetricsIntervalSec);
   }
-  options.progress = sink.get();
+  // The coordinator's /metrics scrape already folds in live fleet state, but
+  // the progress.* gauges ride along for parity with plain campaigns.
+  orchestrator::MetricsProgress metrics_progress;
+  orchestrator::TeeProgress metrics_tee(sink.get(), &metrics_progress);
+  options.progress =
+      flags.metrics_port >= 0 ? static_cast<orchestrator::ProgressSink*>(&metrics_tee)
+                              : sink.get();
 
   const auto served = fabric::serve_campaign(*app, config(), spec, options);
   const auto& r = served.result;
@@ -690,6 +778,88 @@ int cmd_work(int argc, char** argv, int from) {
               static_cast<unsigned long long>(result.leases),
               result.stopped ? " (coordinator stopped the campaign)" : "");
   return 0;
+}
+
+/// `gras fleet <host:port>`: ask a serving coordinator for its FleetStatus
+/// and print it — a table by default, one JSON line with --json. --watch
+/// keeps the connection open and re-asks every period. Exits 0 once at
+/// least one status was shown (a coordinator that finishes its campaign and
+/// closes mid-watch is success, not failure), 1 when the coordinator never
+/// answered, 2 on usage errors.
+int cmd_fleet(int argc, char** argv, int from) {
+  std::string address_arg;
+  bool json = false;
+  double watch_sec = 0.0;  // 0 = print one status and exit
+  for (int i = from; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "--watch") {
+      watch_sec = 2.0;
+    } else if (arg.rfind("--watch=", 0) == 0) {
+      watch_sec = std::strtod(arg.c_str() + std::strlen("--watch="), nullptr);
+      if (watch_sec <= 0.0) {
+        throw std::invalid_argument("--watch expects a positive period in seconds");
+      }
+    } else if (!arg.empty() && arg[0] == '-') {
+      throw std::invalid_argument("unknown flag '" + arg + "'");
+    } else if (address_arg.empty()) {
+      address_arg = arg;
+    } else {
+      throw std::invalid_argument("fleet takes one host:port");
+    }
+  }
+  const auto address = fabric::parse_address(address_arg);
+  if (!address) {
+    std::fprintf(stderr, "gras: fleet requires host:port\n");
+    return 2;
+  }
+  const std::string host =
+      address->first == "0.0.0.0" ? "127.0.0.1" : address->first;
+
+  std::string error;
+  fabric::Socket sock = fabric::Socket::connect_to(host, address->second, &error);
+  if (!sock.valid()) {
+    std::fprintf(stderr, "gras: cannot reach coordinator at %s:%u: %s\n",
+                 host.c_str(), static_cast<unsigned>(address->second),
+                 error.c_str());
+    return 1;
+  }
+  bool received = false;
+  for (;;) {
+    if (!sock.send_frame(fabric::MsgType::Status, "")) break;
+    fabric::Frame frame;
+    bool got = false;
+    // Skip anything that is not a StatusReply: a newer coordinator may
+    // interleave frame types this build does not know.
+    while (sock.recv_frame(frame, 10.0) == fabric::Socket::Recv::Frame) {
+      if (frame.type == fabric::MsgType::StatusReply) {
+        got = true;
+        break;
+      }
+    }
+    if (!got) break;
+    fabric::FleetStatus status;
+    if (!fabric::decode_fleet_status(frame.payload, status)) {
+      std::fprintf(stderr, "gras: undecodable status reply from %s:%u\n",
+                   host.c_str(), static_cast<unsigned>(address->second));
+      return 1;
+    }
+    if (json) {
+      std::printf("%s\n", fabric::fleet_status_json(status).c_str());
+    } else {
+      if (received) std::printf("\n");
+      std::printf("%s", fabric::render_fleet_table(status).c_str());
+    }
+    std::fflush(stdout);
+    received = true;
+    if (watch_sec <= 0.0) return 0;
+    std::this_thread::sleep_for(std::chrono::duration<double>(watch_sec));
+  }
+  if (received) return 0;  // campaign ended while watching
+  std::fprintf(stderr, "gras: no status reply from %s:%u\n", host.c_str(),
+               static_cast<unsigned>(address->second));
+  return 1;
 }
 
 int cmd_journal_info(const std::filesystem::path& path) {
@@ -1011,6 +1181,7 @@ int main(int argc, char** argv) {
                        parse_serve_flags(argc, argv, flags_from));
     }
     if (cmd == "work" && argc >= 3) return cmd_work(argc, argv, 2);
+    if (cmd == "fleet" && argc >= 3) return cmd_fleet(argc, argv, 2);
     if (cmd == "journal" && argc == 4) {
       const std::string sub = argv[2];
       if (sub == "info") return cmd_journal_info(argv[3]);
